@@ -1,0 +1,16 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one of the paper's tables/figures and prints
+the data rows (run with ``-s`` to see them; they are also attached to the
+benchmark JSON via ``extra_info``).  Experiment drivers run full emulation
+scenarios, so benchmarks use single-round pedantic mode — the interesting
+number is the row content, the timing is a bonus.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under the benchmark timer; return result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

@@ -1,0 +1,50 @@
+"""Bench: regenerate Fig 10 — packet loss rate vs time (§6.2, Table 3).
+
+Runs the Fig 9 relay scenario (4 Mbps CBR, VMN2 drifting away at
+10 units/s) and prints the three curves the paper plots: measured,
+expected real-time, expected non-real-time.  Asserts the paper's
+conclusion — the measurement tracks the real-time expectation and the
+non-real-time curve diverges.
+"""
+
+import numpy as np
+
+from repro.experiments import fig10
+
+from .conftest import run_once
+
+
+def test_fig10_curves(benchmark):
+    result = run_once(benchmark, fig10.run_fig10, fig10.Fig10Params())
+    print("\n" + fig10.format_result(result))
+    benchmark.extra_info["rows"] = [
+        {"t": t, "expected_rt": rt, "expected_nonrt": nrt,
+         "measured": None if np.isnan(m) else m}
+        for t, rt, nrt, m in result.rows()
+    ]
+    benchmark.extra_info["mean_abs_error_rt"] = (
+        result.mean_abs_error_realtime()
+    )
+    # The paper's claim: real-time recording tracks the true curve...
+    assert result.mean_abs_error_realtime() < 0.05
+    # ...and loss saturates once the relay leaves radio range (t = 16 s).
+    late = result.measured[result.t > result.breakage_time + 1.0]
+    assert np.all(late[~np.isnan(late)] == 1.0)
+
+
+def test_fig10_expected_curves_only(benchmark):
+    """Timing bench for the closed-form theory (the cheap half)."""
+    params = fig10.Fig10Params()
+    scenario = params.scenario()
+    t = np.linspace(0.0, params.duration, 200)
+
+    def curves():
+        return (
+            scenario.end_to_end_loss(t),
+            fig10.nonrealtime_curve(
+                scenario, t, 488.0, 0.6 * 488.0
+            ),
+        )
+
+    rt, nrt = benchmark(curves)
+    assert rt.shape == nrt.shape == t.shape

@@ -1,0 +1,31 @@
+"""Bench: quantify the Fig 2 phenomenon — serial time-stamping error.
+
+Sweeps client count; same simultaneous burst on PoEm (parallel client
+stamps) and on the JEmu-style baseline (serial server stamps).  The
+paper's argument holds when PoEm's error is ~0 and the baseline's grows
+linearly with contention.
+"""
+
+from repro.experiments import fig2
+
+from .conftest import run_once
+
+
+def test_fig2_stamp_error_sweep(benchmark):
+    rows = run_once(
+        benchmark, fig2.run_fig2, (2, 4, 8, 16, 32), burst=4,
+        service_time=0.001,
+    )
+    print("\n" + fig2.format_rows(rows))
+    benchmark.extra_info["rows"] = [
+        {
+            "n_clients": r.n_clients,
+            "poem_max_error": r.poem_max_error,
+            "jemu_max_error": r.jemu_max_error,
+        }
+        for r in rows
+    ]
+    for row in rows:
+        assert row.poem_max_error < 1e-9
+    errors = [r.jemu_max_error for r in rows]
+    assert errors == sorted(errors) and errors[-1] > errors[0]

@@ -1,0 +1,34 @@
+"""Bench: quantify the Fig 3 phenomenon — stale-scene misdirection.
+
+Sweeps scene-churn rate on a ring of heterogeneous distributed stations
+(MobiEmu-style) versus the centralized PoEm scene.  The distributed
+architecture misdirects a growing share of frames as the scene becomes
+more dynamic; the centralized scene never does.
+"""
+
+from repro.experiments import fig3
+
+from .conftest import run_once
+
+
+def test_fig3_misdirection_sweep(benchmark):
+    rows = run_once(
+        benchmark, fig3.run_fig3, (2.0, 1.0, 0.5, 0.25), duration=15.0,
+    )
+    print("\n" + fig3.format_rows(rows))
+    benchmark.extra_info["rows"] = [
+        {
+            "churn_interval": r.churn_interval,
+            "mobiemu_misdirected": r.mobiemu_misdirected,
+            "mobiemu_rate": r.mobiemu_misdirection_rate,
+            "scene_messages": r.scene_messages,
+            "poem_misdirected": r.poem_misdirected,
+        }
+        for r in rows
+    ]
+    for row in rows:
+        assert row.mobiemu_misdirected > 0
+        assert row.poem_misdirected == 0
+    # Faster churn → more scene broadcast traffic (the 'broadcast storm').
+    msgs = [r.scene_messages for r in rows]
+    assert msgs == sorted(msgs)

@@ -1,0 +1,32 @@
+"""Bench: Fig 5 — accuracy of the lightweight clock-sync scheme (§4.1).
+
+Sweeps transport-delay asymmetry over a virtual link and reports the
+offset-estimate error of the six-step exchange against the theoretical
+half-asymmetry bound.
+"""
+
+from repro.experiments import fig5
+
+from .conftest import run_once
+
+
+def test_fig5_sync_error_sweep(benchmark):
+    rows = run_once(
+        benchmark,
+        fig5.run_fig5,
+        (0.0, 0.001, 0.002, 0.005, 0.01, 0.02),
+        server_processing=0.004,
+    )
+    print("\n" + fig5.format_rows(rows))
+    benchmark.extra_info["rows"] = [
+        {
+            "asymmetry": r.up_delay - r.down_delay,
+            "error": r.single_shot_error,
+            "bound": r.theory_bound,
+        }
+        for r in rows
+    ]
+    for row in rows:
+        assert row.within_bound
+    # Symmetric delay: exact estimate despite server processing time.
+    assert abs(rows[0].single_shot_error) < 1e-9

@@ -1,0 +1,58 @@
+"""Bench (ablation): Fig 6 — channel-indexed vs single neighbor table.
+
+Sweeps scene size and channel count under identical churn streams and
+compares units touched + wall time of the two schemes.  The paper's §4.2
+efficiency claim holds when the indexed scheme is cheaper and its
+advantage grows with the number of channels.
+"""
+
+from repro.experiments import fig6
+
+from .conftest import run_once
+
+
+def test_fig6_update_cost_sweep(benchmark):
+    rows = run_once(
+        benchmark,
+        fig6.run_fig6,
+        (20, 50, 100),
+        (1, 2, 4, 8),
+        n_events=200,
+    )
+    print("\n" + fig6.format_rows(rows))
+    benchmark.extra_info["rows"] = [
+        {
+            "n_nodes": r.n_nodes,
+            "n_channels": r.n_channels,
+            "indexed_units": r.indexed_units,
+            "single_units": r.single_units,
+            "ratio": r.unit_ratio,
+        }
+        for r in rows
+    ]
+    for row in rows:
+        assert row.indexed_units < row.single_units
+    # Channel partitioning is what the index exploits: with more channels,
+    # each event touches only its channels' (smaller) tables, so the
+    # indexed scheme's absolute cost falls steeply.
+    big = {r.n_channels: r.indexed_units for r in rows if r.n_nodes == 100}
+    assert big[8] < big[1] / 2
+
+
+def test_fig6_incremental_update_speed(benchmark):
+    """Microbench: one scene mutation through the indexed tables."""
+    from repro.core.geometry import Vec2
+    from repro.core.neighbor import ChannelIndexedNeighborTables
+
+    scene = fig6.build_random_scene(100, 4, seed=0)
+    scheme = ChannelIndexedNeighborTables(scene)
+    node = scene.node_ids()[0]
+    positions = [Vec2(float(100 + i % 7), float(200 + i % 5))
+                 for i in range(8)]
+    idx = iter(range(10**9))
+
+    def one_move():
+        scene.move_node(node, positions[next(idx) % len(positions)])
+
+    benchmark(one_move)
+    scheme.detach()

@@ -1,0 +1,126 @@
+"""Microbenchmarks of the hot paths (not tied to a paper figure).
+
+These guard the emulator's own performance: ingest throughput, schedule
+operations, neighbor rebuilds, framing, and wire codecs.  Useful when
+optimizing — the experiment benches are too coarse to localize a
+regression.
+"""
+
+import numpy as np
+
+from repro.core.clock import VirtualClock
+from repro.core.engine import ForwardingEngine
+from repro.core.geometry import Vec2
+from repro.core.ids import BROADCAST_NODE, ChannelId, NodeId
+from repro.core.neighbor import ChannelIndexedNeighborTables
+from repro.core.packet import Packet
+from repro.core.recording import MemoryRecorder
+from repro.core.scene import Scene
+from repro.core.scheduler import ForwardSchedule, ScheduledPacket
+from repro.models.radio import RadioConfig
+from repro.net import framing, messages
+
+
+def build_engine(n_nodes=50):
+    scene = Scene(seed=0)
+    rng = np.random.default_rng(0)
+    for i in range(1, n_nodes + 1):
+        scene.add_node(
+            NodeId(i),
+            Vec2(float(rng.uniform(0, 500)), float(rng.uniform(0, 500))),
+            RadioConfig.single(1, 150.0),
+        )
+    clock = VirtualClock()
+    engine = ForwardingEngine(
+        scene, ChannelIndexedNeighborTables(scene), clock,
+        MemoryRecorder(), rng=np.random.default_rng(0),
+    )
+    return engine, scene, clock
+
+
+def test_engine_broadcast_ingest(benchmark):
+    """One broadcast ingest on a 50-node scene (lookup + N loss draws +
+    N schedule pushes)."""
+    engine, scene, clock = build_engine(50)
+    packet = Packet(
+        source=NodeId(1), destination=BROADCAST_NODE, payload=b"x",
+        size_bits=512, seqno=1, channel=ChannelId(1), t_origin=0.0,
+    )
+
+    def ingest():
+        engine.ingest(NodeId(1), packet)
+        engine.schedule.drain()
+
+    benchmark(ingest)
+
+
+def test_engine_unicast_pipeline(benchmark):
+    """Full ingest → flush round trip for one unicast frame."""
+    engine, scene, clock = build_engine(10)
+    engine.deliver = lambda r, p: None
+    packet = Packet(
+        source=NodeId(1), destination=NodeId(2), payload=b"x",
+        size_bits=512, seqno=1, channel=ChannelId(1), t_origin=0.0,
+    )
+    scene.move_node(NodeId(2), Vec2(scene.position(NodeId(1)).x + 10,
+                                    scene.position(NodeId(1)).y))
+
+    def roundtrip():
+        engine.ingest(NodeId(1), packet)
+        engine.flush_due(now=1e9)
+
+    benchmark(roundtrip)
+
+
+def test_schedule_push_pop(benchmark):
+    schedule = ForwardSchedule()
+    packet = Packet(
+        source=NodeId(1), destination=NodeId(2), payload=b"x",
+        size_bits=8, seqno=1, channel=ChannelId(1),
+    )
+    entry = ScheduledPacket(t_forward=1.0, packet=packet,
+                            receiver=NodeId(2), sender=NodeId(1))
+
+    def push_pop():
+        for _ in range(100):
+            schedule.push(entry)
+        schedule.pop_due(2.0)
+
+    benchmark(push_pop)
+
+
+def test_neighbor_full_rebuild_100(benchmark):
+    """Vectorized O(n²) rebuild of a 100-node channel table."""
+    scene = Scene(seed=1)
+    rng = np.random.default_rng(1)
+    for i in range(1, 101):
+        scene.add_node(
+            NodeId(i),
+            Vec2(float(rng.uniform(0, 1000)), float(rng.uniform(0, 1000))),
+            RadioConfig.single(1, 200.0),
+        )
+    tables = ChannelIndexedNeighborTables(scene)
+    benchmark(tables.rebuild)
+
+
+def test_framing_roundtrip(benchmark):
+    payload = b"z" * 1024
+    buf = framing.FrameBuffer()
+
+    def roundtrip():
+        frames = buf.feed(framing.pack_frame(payload))
+        assert len(frames) == 1
+
+    benchmark(roundtrip)
+
+
+def test_packet_wire_codec(benchmark):
+    packet = Packet(
+        source=NodeId(1), destination=NodeId(2), payload=b"p" * 256,
+        size_bits=2048, seqno=7, channel=ChannelId(1), t_origin=1.0,
+    )
+
+    def codec():
+        messages.packet_from_wire(messages.packet_to_wire(packet))
+
+    benchmark(codec)

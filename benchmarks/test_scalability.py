@@ -1,0 +1,54 @@
+"""Bench: scalability in emulated nodes + the future-work cluster (§3, §7).
+
+Two sweeps: emulator throughput vs node count (the 'scalable in the
+number of emulated nodes' claim) and worst queueing lag vs cluster size
+(the parallelized-server future work, implemented in
+:mod:`repro.cluster`).
+"""
+
+from repro.experiments import scale
+
+from .conftest import run_once
+
+
+def test_node_count_scaling(benchmark):
+    rows = run_once(
+        benchmark, scale.run_node_scaling, (10, 25, 50, 100), duration=5.0,
+    )
+    print("\n" + scale.format_node_rows(rows))
+    benchmark.extra_info["rows"] = [
+        {
+            "n_nodes": r.n_nodes,
+            "frames": r.frames_ingested,
+            "wall_seconds": r.wall_seconds,
+            "frames_per_second": r.frames_per_wall_second,
+        }
+        for r in rows
+    ]
+    # All offered beacons were processed at every scale.
+    for row in rows:
+        assert row.frames_ingested > 0
+        assert row.frames_forwarded > 0
+
+
+def test_cluster_scaling(benchmark):
+    rows = run_once(
+        benchmark,
+        scale.run_cluster_scaling,
+        (1, 2, 4, 8),
+        n_nodes=32,
+        worker_service_rate=2_000.0,
+    )
+    print("\n" + scale.format_cluster_rows(rows))
+    benchmark.extra_info["rows"] = [
+        {
+            "n_workers": r.n_workers,
+            "max_queue_lag": r.max_queue_lag,
+            "imbalance": r.imbalance,
+        }
+        for r in rows
+    ]
+    lags = {r.n_workers: r.max_queue_lag for r in rows}
+    assert lags[8] < lags[1]  # the cluster conquers the bottleneck
+    # Same offered load processed at every cluster size.
+    assert len({r.processed for r in rows}) == 1

@@ -1,0 +1,34 @@
+"""Bench (robustness): Fig 10 agreement across a parameter grid.
+
+The measured-vs-expected match must hold away from Table 3's exact
+values — relay speed, loss ceiling and knee distance are swept and the
+worst grid-point error asserted small.
+"""
+
+from repro.experiments import sensitivity
+
+from .conftest import run_once
+
+
+def test_fig10_sensitivity_grid(benchmark):
+    rows = run_once(
+        benchmark,
+        sensitivity.run_sensitivity,
+        (5.0, 10.0, 20.0),
+        (0.5, 0.9),
+        (25.0, 50.0, 100.0),
+    )
+    print("\n" + sensitivity.format_rows(rows))
+    benchmark.extra_info["rows"] = [
+        {
+            "speed": r.speed, "p1": r.p1, "d0": r.d0,
+            "breakage": r.breakage_time, "error": r.mean_abs_error,
+        }
+        for r in rows
+    ]
+    assert len(rows) == 18
+    assert max(r.mean_abs_error for r in rows) < 0.06
+    # Breakage time depends only on geometry/speed — same for all P1/D0.
+    for speed in (5.0, 10.0, 20.0):
+        times = {r.breakage_time for r in rows if r.speed == speed}
+        assert len(times) == 1

@@ -1,0 +1,27 @@
+"""Bench: regenerate Table 1 — the feature-comparison matrix.
+
+Probes each emulator implementation (PoEm, JEmu-style, MobiEmu-style) for
+the four capabilities the paper tabulates, and checks the probed matrix
+against the paper's checkmarks.
+"""
+
+from repro.experiments import table1
+
+from .conftest import run_once
+
+
+def test_table1_feature_matrix(benchmark):
+    rows = run_once(benchmark, table1.run_table1)
+    print("\n" + table1.format_rows(rows))
+    benchmark.extra_info["rows"] = [
+        {
+            "emulator": r.emulator,
+            "realtime_scene_construction": r.realtime_scene_construction,
+            "realtime_traffic_recording": r.realtime_traffic_recording,
+            "multi_radio": r.multi_radio,
+            "replay": r.replay,
+        }
+        for r in rows
+    ]
+    for row in rows:
+        assert row.as_tuple() == table1.EXPECTED[row.emulator]

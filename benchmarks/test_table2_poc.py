@@ -1,0 +1,21 @@
+"""Bench: regenerate Table 2 — the proof-of-concept test (§6.1).
+
+Runs the Fig 8 scene with the hybrid protocol, performs the paper's three
+operator actions, and prints VMN1's routing table after each — the same
+rows Table 2 reports.
+"""
+
+from repro.experiments import table2
+
+from .conftest import run_once
+
+
+def test_table2_routing_tables(benchmark):
+    rows = run_once(benchmark, table2.run_table2)
+    print("\n" + table2.format_table(rows))
+    benchmark.extra_info["rows"] = [
+        {"step": r.step, "operation": r.operation, "entries": list(r.entries)}
+        for r in rows
+    ]
+    for got, want in zip(rows, table2.EXPECTED):
+        assert got.entries == want.entries

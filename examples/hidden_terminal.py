@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""The hidden-terminal problem, demonstrated on the spatial MAC model.
+
+Classic setup: A and B are out of range of each other but both reach the
+middle receiver R.  Under the channel-wide collision models A and B
+could never coexist anywhere; under :class:`SpatialAlohaMac` the collision
+is adjudicated *per receiver* — A and B destroy each other's frames at R
+(they cannot carrier-sense each other), while a far-away pair on the same
+channel communicates untouched (spatial reuse).
+
+Then the classic fix: RTS/CTS is out of scope, but the paper's own remedy
+applies — put the second flow on another channel.
+
+Run:  python examples/hidden_terminal.py
+"""
+
+from repro import (
+    InProcessEmulator,
+    RadioConfig,
+    SpatialAlohaMac,
+    Vec2,
+)
+from repro.core.packet import DropReason
+from repro.gui import render_scene
+
+
+def run(b_channel: int) -> tuple[int, int, int]:
+    """One experiment: A→R and B→R bursts; B on ``b_channel``.
+
+    Returns (frames R received, collisions, far-pair deliveries).
+    """
+    emu = InProcessEmulator(seed=8, mac=SpatialAlohaMac())
+    a = emu.add_node(Vec2(0, 0), RadioConfig.single(1, 120.0), label="A")
+    r = emu.add_node(Vec2(100, 0), RadioConfig.single(1, 120.0), label="R")
+    b = emu.add_node(Vec2(200, 0), RadioConfig.single(b_channel, 120.0),
+                     label="B")
+    if b_channel != 1:
+        # R needs a radio on B's channel to hear it.
+        from repro.models.radio import Radio
+
+        emu.scene.remove_node(r.node_id)
+        r = emu.add_node(
+            Vec2(100, 0),
+            RadioConfig.of([Radio(1, 120.0), Radio(b_channel, 120.0)]),
+            label="R",
+        )
+    # A far-away pair sharing channel 1: spatial reuse control group.
+    c = emu.add_node(Vec2(5000, 0), RadioConfig.single(1, 120.0), label="C")
+    d = emu.add_node(Vec2(5100, 0), RadioConfig.single(1, 120.0), label="D")
+
+    if b_channel == 1:
+        print(render_scene(emu.scene, width=66, height=6))
+
+    # Simultaneous bursts: the hidden terminals can't hear each other.
+    for i in range(10):
+        t = i * 0.01
+        emu.clock.call_at(t, lambda a=a: a.transmit(
+            r.node_id, b"x" * 500, channel=1))
+        emu.clock.call_at(t, lambda b=b: b.transmit(
+            r.node_id, b"y" * 500, channel=b_channel))
+        emu.clock.call_at(t, lambda c=c: c.transmit(
+            d.node_id, b"z" * 500, channel=1))
+    emu.run_until(2.0)
+
+    collisions = sum(
+        1 for rec in emu.recorder.dropped_packets()
+        if rec.drop_reason == DropReason.COLLISION
+    )
+    return len(r.received), collisions, len(d.received)
+
+
+def main() -> None:
+    got, collisions, far = run(b_channel=1)
+    print("Hidden terminals, one channel:")
+    print(f"  R received {got}/20 frames, {collisions} collision drops")
+    print(f"  far-away pair on the same channel: {far}/10 delivered "
+          "(spatial reuse)")
+    print()
+    got, collisions, far = run(b_channel=2)
+    print("The paper's remedy — B moved to channel 2 (R dual-radio):")
+    print(f"  R received {got}/20 frames, {collisions} collision drops")
+    print(f"  far-away pair: {far}/10 delivered")
+
+
+if __name__ == "__main__":
+    main()

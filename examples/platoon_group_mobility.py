@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Group mobility (§7): a platoon convoy under RPGM.
+
+A military platoon — the paper's target application — moves as a group:
+a reference point follows a random-waypoint patrol while six members hold
+a column formation with small local deviations (Reference Point Group
+Mobility).  A lone scout wanders independently under Gauss-Markov motion.
+
+The hybrid protocol runs on every node; we watch intra-platoon routes
+stay stable (the formation keeps everyone in range) while routes to the
+scout come and go as it drifts past the platoon.
+
+Run:  python examples/platoon_group_mobility.py
+"""
+
+from repro import (
+    Bounds,
+    GaussMarkovMobility,
+    HybridProtocol,
+    InProcessEmulator,
+    RadioConfig,
+    RandomWaypoint,
+    ReferencePointGroupModel,
+    Vec2,
+)
+from repro.gui import render_scene
+from repro.protocols.common import ProtocolTuning
+
+AREA = Bounds(0, 0, 600, 600)
+TUNING = ProtocolTuning(hello_interval=0.5, neighbor_timeout=1.8,
+                        route_lifetime=4.0)
+
+
+def main() -> None:
+    emu = InProcessEmulator(seed=17, bounds=AREA)
+
+    # The platoon: reference point on patrol, members in column formation.
+    group = ReferencePointGroupModel(
+        Vec2(150, 300),
+        RandomWaypoint(AREA, 8.0, 15.0, pause_time=2.0),
+        bounds=AREA,
+        deviation=8.0,
+        seed=17,
+    )
+    platoon = []
+    for i in range(6):
+        offset = Vec2(25.0 * (i % 3) - 25.0, 30.0 * (i // 3) - 15.0)
+        start = group.reference.position_at(0.0) + offset
+        host = emu.add_node(
+            AREA.apply(start), RadioConfig.single(1, 120.0),
+            protocol=HybridProtocol(TUNING), label=f"P{i + 1}",
+        )
+        emu.scene.set_trajectory(host.node_id, group.member(offset))
+        platoon.append(host)
+
+    # The scout: independent, temporally-correlated wandering.
+    scout = emu.add_node(
+        Vec2(450, 300), RadioConfig.single(1, 120.0),
+        protocol=HybridProtocol(TUNING), label="SCOUT",
+    )
+    emu.scene.set_mobility(
+        scout.node_id,
+        GaussMarkovMobility(mean_speed=12.0, alpha=0.85,
+                            direction_sigma_deg=25.0),
+    )
+
+    lead = platoon[0]
+    scout_visible = 0
+    checkpoints = 12
+    for step in range(1, checkpoints + 1):
+        emu.run_until(step * 5.0)
+        routes = lead.protocol.route_summary()
+        intra = sum(
+            1 for r in routes if not r.endswith(str(int(scout.node_id)))
+        )
+        sees_scout = len(routes) - intra > 0
+        scout_visible += sees_scout
+        print(
+            f"t={step * 5.0:5.1f}s  P1 routes: {len(routes)} "
+            f"(intra-platoon {intra}, scout {'yes' if sees_scout else 'no '})"
+        )
+
+    print()
+    print(render_scene(emu.scene, width=70, height=18))
+    print(
+        f"Formation held: P1 kept routes to "
+        f"{min(len(lead.protocol.route_summary()), 5)}/5 platoon peers at "
+        f"the final checkpoint; the scout was reachable at "
+        f"{scout_visible}/{checkpoints} checkpoints (it comes and goes — "
+        "that's the point)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Quickstart: a five-node multi-radio MANET in thirty lines.
+
+Builds a small scene, embeds the paper's hybrid routing protocol in every
+client, lets the periodic broadcasting converge, sends application data
+across multiple hops, and prints what the operator would see on the GUI:
+the scene picture and each node's routing table.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    HybridProtocol,
+    InProcessEmulator,
+    Radio,
+    RadioConfig,
+    Vec2,
+)
+from repro.gui import render_scene
+from repro.protocols.common import ProtocolTuning
+
+
+def main() -> None:
+    emu = InProcessEmulator(seed=42)
+    tuning = ProtocolTuning(hello_interval=0.5, neighbor_timeout=1.6)
+
+    # A line of three single-radio nodes on channel 1 ...
+    nodes = [
+        emu.add_node(
+            Vec2(150.0 * i, 0.0),
+            RadioConfig.single(1, 200.0),
+            protocol=HybridProtocol(tuning),
+            label=f"VMN{i + 1}",
+        )
+        for i in range(3)
+    ]
+    # ... plus a dual-radio gateway bridging channel 1 and channel 2,
+    # and a channel-2-only node reachable only through the gateway.
+    gateway = emu.add_node(
+        Vec2(300.0, 150.0),
+        RadioConfig.of([Radio(1, 200.0), Radio(2, 200.0)]),
+        protocol=HybridProtocol(tuning),
+        label="GW",
+    )
+    island = emu.add_node(
+        Vec2(450.0, 150.0),
+        RadioConfig.single(2, 200.0),
+        protocol=HybridProtocol(tuning),
+        label="VMN5",
+    )
+
+    emu.run_until(6.0)  # let the periodic broadcasting converge
+
+    print(render_scene(emu.scene, width=64, height=14))
+    for host in (*nodes, gateway, island):
+        label = emu.scene.label(host.node_id)
+        print(f"{label:>5} routing table: {host.protocol.route_summary()}")
+
+    # End-to-end data across channels: VMN1 -> ... -> GW -> VMN5.
+    print("\nVMN1 sends 3 datagrams to VMN5 (channel 1 -> gateway -> channel 2)")
+    for i in range(3):
+        nodes[0].protocol.send_data(island.node_id, f"hello #{i}".encode())
+    emu.run_for(2.0)
+
+    print(f"VMN5 received: {[p.payload.decode() for p in island.app_received]}")
+    stats = emu.engine
+    print(
+        f"\nserver pipeline: {stats.ingested} frames in, "
+        f"{stats.forwarded} delivered, {stats.dropped} dropped"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""The paper-faithful deployment: real TCP server, real threaded clients.
+
+Starts a :class:`~repro.core.tcpserver.PoEmServer` on localhost, connects
+three :class:`~repro.core.client.PoEmClient` processes-worth of clients
+(threads here; the wire protocol is identical across machines), each
+embedding an *unmodified* :class:`HybridProtocol` — the same class the
+virtual-time examples run.  Shows the clock synchronization handshake,
+live routing convergence over real sockets, and a data transfer.
+
+Run:  python examples/tcp_live.py
+"""
+
+import time
+
+from repro import PoEmClient, PoEmServer, RadioConfig, Vec2
+from repro.protocols.common import ProtocolTuning
+from repro.protocols.hybrid import HybridProtocol
+
+
+def main() -> None:
+    server = PoEmServer(seed=5, mobility_tick=0.05)
+    host, port = server.start()
+    print(f"PoEm server listening on {host}:{port}")
+
+    tuning = ProtocolTuning(hello_interval=0.3, neighbor_timeout=1.0,
+                            route_lifetime=2.0)
+    clients = []
+    try:
+        for i, x in enumerate((0.0, 150.0, 300.0)):
+            client = PoEmClient(
+                (host, port),
+                Vec2(x, 0.0),
+                RadioConfig.single(1, 200.0),
+                label=f"VMN{i + 1}",
+            )
+            node = client.connect()
+            sync = client.last_sync
+            print(
+                f"  VMN{i + 1} registered as node {node}; clock sync: "
+                f"offset={sync.offset * 1e3:+.3f} ms "
+                f"(est. one-way delay {sync.round_trip_delay * 1e6:.0f} us)"
+            )
+            client.attach_protocol(HybridProtocol(tuning))
+            clients.append(client)
+
+        print("\nletting the periodic broadcasting converge (3 s wall)...")
+        time.sleep(3.0)
+        for i, client in enumerate(clients):
+            print(f"  VMN{i + 1} routes: {client.protocol.route_summary()}")
+
+        print("\nVMN1 -> VMN3 (two real hops over the emulated medium)")
+        a, c = clients[0], clients[2]
+        a.protocol.send_data(c.node_id, b"hello over real TCP")
+        deadline = time.time() + 5.0
+        while time.time() < deadline and not c.app_received:
+            time.sleep(0.05)
+        if c.app_received:
+            print(f"  VMN3 received: {c.app_received[0].payload.decode()!r} "
+                  f"(latency "
+                  f"{c.app_received[0].transit_latency() * 1e3:.1f} ms emu)")
+        else:
+            print("  (not delivered within 5 s — lossy run)")
+        print(f"\nserver pipeline: {server.engine.ingested} in / "
+              f"{server.engine.forwarded} out / {server.engine.dropped} dropped")
+    finally:
+        for client in clients:
+            client.close()
+        server.stop()
+        print("shut down cleanly")
+
+
+if __name__ == "__main__":
+    main()

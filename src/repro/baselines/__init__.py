@@ -1,0 +1,6 @@
+"""Comparison emulators: JEmu-style (centralized) and MobiEmu-style (distributed)."""
+
+from .jemu import JEmuEmulator
+from .mobiemu import MobiEmuEmulator, MobiEmuStation
+
+__all__ = ["JEmuEmulator", "MobiEmuEmulator", "MobiEmuStation"]

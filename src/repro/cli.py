@@ -1,0 +1,318 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+The commands cover the operator workflows the paper's GUI served:
+
+``run-scenario``
+    Headless emulation run: build nodes from a JSON spec, drive the scene
+    with a scenario script, record everything to SQLite.
+``replay``
+    Post-emulation replay of a recording — ASCII timeline to stdout
+    and/or SVG frames to a directory.
+``experiment``
+    Regenerate one of the paper's tables/figures and print its rows.
+``stats``
+    Whole-run statistics report from a recording.
+``export``
+    Dump a recording as CSV or JSON-lines for external analysis.
+``console``
+    Interactive operator console on a fresh emulator.
+``serve``
+    Start the real-time TCP emulation server and wait for clients.
+
+Node-spec JSON (``run-scenario --nodes``)::
+
+    [
+      {"x": 0,   "y": 0, "label": "VMN1", "protocol": "hybrid",
+       "radios": [{"channel": 1, "range": 200}]},
+      {"x": 120, "y": 0, "label": "VMN2", "protocol": "hybrid",
+       "radios": [{"channel": 1, "range": 200}, {"channel": 2, "range": 200}]}
+    ]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from .core.geometry import Vec2
+from .core.recording import SqliteRecorder
+from .core.server import InProcessEmulator
+from .errors import PoEmError
+from .models.radio import Radio, RadioConfig
+from .protocols.aodv import AodvProtocol
+from .protocols.dsdv import DsdvProtocol
+from .protocols.flooding import FloodingProtocol
+from .protocols.hybrid import HybridProtocol
+
+__all__ = ["main", "build_parser"]
+
+PROTOCOLS = {
+    "hybrid": HybridProtocol,
+    "aodv": AodvProtocol,
+    "dsdv": DsdvProtocol,
+    "flooding": FloodingProtocol,
+    "none": None,
+}
+
+EXPERIMENTS = (
+    "table1", "table2", "fig2", "fig3", "fig5", "fig6", "fig10",
+    "ablation", "scale", "sensitivity",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PoEm — portable real-time emulator for multi-radio MANETs",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run-scenario", help="headless recorded emulation run")
+    run.add_argument("scenario", help="scenario JSON file (timed scene ops)")
+    run.add_argument("--nodes", required=True, help="node-spec JSON file")
+    run.add_argument("--record", required=True, help="output SQLite path")
+    run.add_argument("--until", type=float, required=True,
+                     help="emulation end time (seconds)")
+    run.add_argument("--seed", type=int, default=0)
+
+    replay = sub.add_parser("replay", help="replay a recording")
+    replay.add_argument("recording", help="SQLite recording path")
+    replay.add_argument("--fps", type=float, default=2.0)
+    replay.add_argument("--svg", help="directory to write SVG frames into")
+    replay.add_argument("--width", type=int, default=72)
+    replay.add_argument("--height", type=int, default=20)
+    replay.add_argument("--summary-only", action="store_true")
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate a table/figure from the paper"
+    )
+    experiment.add_argument("name", choices=EXPERIMENTS)
+
+    stats = sub.add_parser("stats", help="print a recording's statistics")
+    stats.add_argument("recording", help="SQLite recording path")
+    stats.add_argument("--top-flows", type=int, default=10)
+
+    export = sub.add_parser(
+        "export", help="export a recording for external analysis"
+    )
+    export.add_argument("recording", help="SQLite recording path")
+    export.add_argument("--format", choices=("csv", "jsonl"), default="csv")
+    export.add_argument("--out", required=True,
+                        help="output file (csv: packets; a *_scene.csv "
+                             "sibling is written too)")
+
+    console = sub.add_parser(
+        "console", help="interactive operator console on a fresh emulator"
+    )
+    console.add_argument("--nodes", help="optional node-spec JSON file")
+    console.add_argument("--seed", type=int, default=0)
+
+    serve = sub.add_parser("serve", help="start the real-time TCP server")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0)
+    serve.add_argument("--record", help="optional SQLite recording path")
+    serve.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def _load_nodes(emu: InProcessEmulator, path: str) -> None:
+    specs = json.loads(Path(path).read_text())
+    if not isinstance(specs, list):
+        raise PoEmError("node spec must be a JSON list")
+    for spec in specs:
+        radios = RadioConfig.of(
+            Radio(int(r["channel"]), float(r["range"]))
+            for r in spec["radios"]
+        )
+        name = str(spec.get("protocol", "hybrid")).lower()
+        if name not in PROTOCOLS:
+            raise PoEmError(
+                f"unknown protocol {name!r}; choose from {sorted(PROTOCOLS)}"
+            )
+        factory = PROTOCOLS[name]
+        emu.add_node(
+            Vec2(float(spec["x"]), float(spec["y"])),
+            radios,
+            label=str(spec.get("label", "")),
+            protocol=factory() if factory else None,
+        )
+
+
+def _cmd_run_scenario(args: argparse.Namespace) -> int:
+    from .scenario import Scenario
+
+    recorder = SqliteRecorder(args.record)
+    try:
+        emu = InProcessEmulator(seed=args.seed, recorder=recorder)
+        _load_nodes(emu, args.nodes)
+        script = Scenario.from_json(Path(args.scenario).read_text())
+        script.run(emu, until=args.until)
+        packets = len(recorder.packets())
+        events = len(recorder.scene_events())
+        print(
+            f"recorded {packets} packet rows and {events} scene events "
+            f"to {args.record} ({args.until:.1f}s of emulation, "
+            f"{len(emu.scene)} nodes)"
+        )
+    finally:
+        recorder.close()
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from .gui.svg import frame_to_svg
+    from .gui.timeline import ReplayTimeline
+
+    recorder = SqliteRecorder(args.recording)
+    try:
+        timeline = ReplayTimeline(
+            recorder, fps=args.fps, width=args.width, height=args.height
+        )
+        print(timeline.summary())
+        if not args.summary_only:
+            for frame in timeline.iter_frames():
+                print(frame)
+        if args.svg:
+            out = Path(args.svg)
+            out.mkdir(parents=True, exist_ok=True)
+            replay = timeline.replay
+            step = 1.0 / args.fps
+            t, i = replay.start_time, 0
+            while t <= replay.end_time + 1e-12:
+                (out / f"frame_{i:04d}.svg").write_text(
+                    frame_to_svg(replay.frame_at(t))
+                )
+                t += step
+                i += 1
+            print(f"wrote {i} SVG frames to {out}/")
+    finally:
+        recorder.close()
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from .experiments import (  # noqa: F401 — dispatch table below
+        ablation, fig2, fig3, fig5, fig6, fig10, scale, sensitivity,
+        table1, table2,
+    )
+
+    name = args.name
+    if name == "table1":
+        print(table1.format_rows(table1.run_table1()))
+    elif name == "table2":
+        print(table2.format_table(table2.run_table2()))
+    elif name == "fig2":
+        print(fig2.format_rows(fig2.run_fig2()))
+    elif name == "fig3":
+        print(fig3.format_rows(fig3.run_fig3()))
+    elif name == "fig5":
+        print(fig5.format_rows(fig5.run_fig5()))
+    elif name == "fig6":
+        print(fig6.format_rows(fig6.run_fig6()))
+    elif name == "fig10":
+        print(fig10.format_result(fig10.run_fig10()))
+    elif name == "ablation":
+        print(ablation.format_rows(ablation.run_channel_mac_ablation()))
+    elif name == "sensitivity":
+        print(sensitivity.format_rows(sensitivity.run_sensitivity()))
+    elif name == "scale":
+        print(scale.format_node_rows(scale.run_node_scaling()))
+        print()
+        print(scale.format_cluster_rows(scale.run_cluster_scaling()))
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from .stats.report import build_report, format_report
+
+    recorder = SqliteRecorder(args.recording)
+    try:
+        print(format_report(build_report(recorder, top_flows=args.top_flows)))
+    finally:
+        recorder.close()
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from .stats.export import export_jsonl, export_packets_csv, export_scene_csv
+
+    recorder = SqliteRecorder(args.recording)
+    try:
+        out = Path(args.out)
+        if args.format == "jsonl":
+            lines = export_jsonl(recorder, out)
+            print(f"wrote {lines} JSON lines to {out}")
+        else:
+            n_packets = export_packets_csv(recorder, out)
+            scene_path = out.with_name(out.stem + "_scene.csv")
+            n_events = export_scene_csv(recorder, scene_path)
+            print(f"wrote {n_packets} packet rows to {out} and "
+                  f"{n_events} scene rows to {scene_path}")
+    finally:
+        recorder.close()
+    return 0
+
+
+def _cmd_console(args: argparse.Namespace) -> int:
+    from .gui.console import PoEmConsole
+
+    emu = InProcessEmulator(seed=args.seed)
+    if args.nodes:
+        _load_nodes(emu, args.nodes)
+    PoEmConsole(emu).cmdloop()
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from .core.tcpserver import PoEmServer
+
+    recorder = SqliteRecorder(args.record) if args.record else None
+    server = PoEmServer(
+        host=args.host, port=args.port, seed=args.seed, recorder=recorder
+    )
+    host, port = server.start()
+    print(f"PoEm server listening on {host}:{port} (Ctrl-C to stop)")
+    stop = threading.Event()
+    signal.signal(signal.SIGINT, lambda *_: stop.set())
+    signal.signal(signal.SIGTERM, lambda *_: stop.set())
+    try:
+        stop.wait()
+    finally:
+        server.stop()
+        if recorder is not None:
+            recorder.close()
+        print("server stopped")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "run-scenario": _cmd_run_scenario,
+        "replay": _cmd_replay,
+        "experiment": _cmd_experiment,
+        "stats": _cmd_stats,
+        "export": _cmd_export,
+        "console": _cmd_console,
+        "serve": _cmd_serve,
+    }
+    try:
+        return handlers[args.command](args)
+    except PoEmError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,5 @@
+"""Parallelized server cluster (the paper's future work, implemented)."""
+
+from .parallel import ParallelEmulator, WorkerStats
+
+__all__ = ["ParallelEmulator", "WorkerStats"]

@@ -1,0 +1,1 @@
+"""Core emulator: scene, clocks, neighbor tables, pipeline, servers, replay."""

@@ -1,0 +1,285 @@
+"""The real-time emulation client (§3.3).
+
+"Developed routing protocols are embedded in the clients.  All traffic
+originated from protocol implementations will be packed, time-stamped and
+then directed to the server via TCP/IP connections."
+
+:class:`PoEmClient` is a full :class:`~repro.protocols.base.ProtocolHost`:
+it connects, registers its VMN (position + radios), synchronizes its
+emulation clock with the server (§4.1 — several rounds, keeping the
+minimum-delay sample, Cristian-style), stamps every outgoing packet with
+the synchronized clock (*parallel time-stamping*), and dispatches
+delivered frames to the embedded protocol on a receiver thread.
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import threading
+from typing import Callable, Optional
+
+from ..errors import TransportError
+from ..models.radio import RadioConfig
+from ..net import framing, messages
+from ..protocols.base import ProtocolHost, RoutingProtocol, ThreadTimerService, TimerService
+from .clock import (
+    RealTimeClock,
+    SynchronizedClock,
+    SyncReply,
+    SyncResult,
+    estimate_offset,
+)
+from .geometry import Vec2
+from .ids import ChannelId, NodeId
+from .packet import Packet, PacketStamper
+
+__all__ = ["PoEmClient"]
+
+
+class PoEmClient(ProtocolHost):
+    """One emulation client ↔ one VMN on the server."""
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        position: Vec2,
+        radios: RadioConfig,
+        *,
+        label: str = "",
+        sync_rounds: int = 5,
+        connect_timeout: float = 5.0,
+    ) -> None:
+        self._address = address
+        self._position = position
+        self._radios = radios
+        self._label = label
+        self._sync_rounds = sync_rounds
+        self._connect_timeout = connect_timeout
+
+        self._sock: Optional[socket.socket] = None
+        self._send_lock = threading.Lock()
+        self._node_id: Optional[NodeId] = None
+        self._local_clock = RealTimeClock()
+        self.clock = SynchronizedClock(self._local_clock)
+        self.last_sync: Optional[SyncResult] = None
+        self._stamper: Optional[PacketStamper] = None
+        self._timers = ThreadTimerService()
+        self._receiver: Optional[threading.Thread] = None
+        self._running = False
+        self._early_deliveries: list[dict] = []
+        self._sync_replies: "queue.Queue[dict]" = queue.Queue()
+        self.protocol: Optional[RoutingProtocol] = None
+        self.received: list[Packet] = []
+        self.app_received: list[Packet] = []
+        self.on_app_packet: Optional[Callable[[Packet], None]] = None
+        self._recv_lock = threading.Lock()
+
+    # -- connection lifecycle -------------------------------------------------------
+
+    def connect(self) -> NodeId:
+        """Register with the server and synchronize the emulation clock."""
+        if self._sock is not None:
+            raise TransportError("client already connected")
+        sock = socket.create_connection(
+            self._address, timeout=self._connect_timeout
+        )
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock = sock
+        self._send(
+            {
+                "op": "register",
+                "x": self._position.x,
+                "y": self._position.y,
+                "label": self._label,
+                "radios": [
+                    {"channel": int(r.channel), "range": r.range}
+                    for r in self._radios.radios
+                ],
+            }
+        )
+        msg = self._recv_expect("registered")
+        self._node_id = NodeId(int(msg["node"]))
+        self._stamper = PacketStamper(self._node_id)
+        self.synchronize()
+        sock.settimeout(None)
+        self._running = True
+        self._receiver = threading.Thread(
+            target=self._receive_loop, name=f"poem-client-{self._node_id}",
+            daemon=True,
+        )
+        self._receiver.start()
+        # Replay any frames that raced the handshake.
+        for raw in self._early_deliveries:
+            self._dispatch_delivery(raw)
+        self._early_deliveries.clear()
+        return self._node_id
+
+    def synchronize(self, rounds: Optional[int] = None) -> SyncResult:
+        """Run the §4.1 exchange ``rounds`` times; keep the min-delay sample.
+
+        The scheme's error is bounded by delay asymmetry; taking the
+        exchange with the smallest estimated delay minimizes the bound.
+        Callable again at any time — "how to set the synchronization
+        frequency is determined by the user" (§4.1).
+        """
+        rounds = rounds if rounds is not None else self._sync_rounds
+        best: Optional[SyncResult] = None
+        for _ in range(max(rounds, 1)):
+            t_c1 = self._local_clock.now()
+            self._send({"op": "sync_req", "t_c1": t_c1})
+            # Before the receiver thread exists (handshake) we read the
+            # socket directly; afterwards the reply is routed to us via
+            # the sync queue so there is exactly one socket reader.
+            if self._running:
+                try:
+                    msg = self._sync_replies.get(timeout=self._connect_timeout)
+                except queue.Empty:
+                    raise TransportError("sync_rep timed out") from None
+            else:
+                msg = self._recv_expect("sync_rep")
+            t_c4 = self._local_clock.now()
+            result = estimate_offset(
+                SyncReply(t_s3=float(msg["t_s3"]), echo=float(msg["echo"])),
+                t_c4,
+            )
+            if best is None or result.round_trip_delay < best.round_trip_delay:
+                best = result
+        assert best is not None
+        self.clock.set_offset(best.offset)
+        self.last_sync = best
+        return best
+
+    def close(self) -> None:
+        """Orderly shutdown: stop the protocol, say bye, drop the socket."""
+        if self.protocol is not None:
+            self.protocol.stop()
+            self.protocol = None
+        self._timers.cancel_all()
+        self._running = False
+        if self._sock is not None:
+            try:
+                self._send({"op": "bye"})
+            except TransportError:
+                pass
+            try:
+                self._sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            self._sock.close()
+            self._sock = None
+        if self._receiver is not None:
+            self._receiver.join(timeout=2.0)
+            self._receiver = None
+
+    def __enter__(self) -> "PoEmClient":
+        self.connect()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- ProtocolHost -----------------------------------------------------------------
+
+    @property
+    def node_id(self) -> NodeId:
+        if self._node_id is None:
+            raise TransportError("client not connected")
+        return self._node_id
+
+    def channels(self) -> frozenset[ChannelId]:
+        return self._radios.channels
+
+    def now(self) -> float:
+        """Synchronized emulation time (server reference)."""
+        return self.clock.now()
+
+    def transmit(
+        self,
+        destination: NodeId,
+        payload: bytes,
+        *,
+        channel: ChannelId,
+        kind: str = "data",
+        size_bits: Optional[int] = None,
+    ) -> Packet:
+        if self._stamper is None:
+            raise TransportError("client not connected")
+        packet = self._stamper.make_packet(
+            destination,
+            payload,
+            channel=channel,
+            kind=kind,
+            size_bits=size_bits,
+            t_origin=self.now(),  # the parallel time-stamp
+        )
+        self._send({"op": "packet", "packet": messages.packet_to_wire(packet)})
+        return packet
+
+    def timers(self) -> TimerService:
+        return self._timers
+
+    def deliver_to_app(self, packet: Packet) -> None:
+        self.app_received.append(packet)
+        if self.on_app_packet is not None:
+            self.on_app_packet(packet)
+
+    def attach_protocol(self, protocol: RoutingProtocol) -> None:
+        """Embed the protocol under test (real implementation, unmodified)."""
+        if self.protocol is not None:
+            raise TransportError("client already runs a protocol")
+        self.protocol = protocol
+        protocol.start(self)
+
+    # -- operator console helpers ------------------------------------------------------
+
+    def scene_op(self, **fields) -> None:
+        """Send a topology-control operation (GUI-equivalent) to the server."""
+        self._send({"op": "scene_op", **fields})
+
+    # -- internals -------------------------------------------------------------------------
+
+    def _send(self, message: dict) -> None:
+        if self._sock is None:
+            raise TransportError("client not connected")
+        with self._send_lock:
+            framing.send_frame(self._sock, messages.encode_message(message))
+
+    def _recv_expect(self, op: str) -> dict:
+        """Handshake-time receive: buffer deliveries that race us."""
+        assert self._sock is not None
+        while True:
+            frame = framing.recv_frame(self._sock)
+            if frame is None:
+                raise TransportError("server closed during handshake")
+            msg = messages.decode_message(frame)
+            if msg["op"] == op:
+                return msg
+            if msg["op"] == "deliver":
+                self._early_deliveries.append(msg)
+                continue
+            raise TransportError(f"expected {op!r}, got {msg['op']!r}")
+
+    def _receive_loop(self) -> None:
+        assert self._sock is not None
+        try:
+            while self._running:
+                frame = framing.recv_frame(self._sock)
+                if frame is None:
+                    return
+                msg = messages.decode_message(frame)
+                if msg["op"] == "deliver":
+                    self._dispatch_delivery(msg)
+                elif msg["op"] == "sync_rep":
+                    self._sync_replies.put(msg)
+        except TransportError:
+            return
+
+    def _dispatch_delivery(self, msg: dict) -> None:
+        packet = messages.packet_from_wire(msg["packet"])
+        with self._recv_lock:
+            self.received.append(packet)
+        if self.protocol is not None:
+            self.protocol.on_packet(packet)
+        elif self.on_app_packet is not None:
+            self.on_app_packet(packet)

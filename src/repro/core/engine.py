@@ -1,0 +1,290 @@
+"""The forwarding engine: §3.2 Steps 1–7, clock- and transport-agnostic.
+
+For each incoming packet the PoEm server:
+
+1. receives the packet from an emulation client;
+2. searches the **channel-ID indexed neighbor table** for the destinations
+   the packet should be forwarded to;
+3. decides whether to drop it, and — *from the receipt time that is
+   stamped by the clients* (parallel time-stamping!) — computes
+   ``t_forward = t_receipt + delay + packet_size / bandwidth``;
+4. lists the packet into the schedule;
+5. a scanning thread watches the schedule and, once the emulation clock
+   meets the forward time,
+6. a sending thread sends the packet out its connection;
+7. recording threads log every packet and every scene change.
+
+:class:`ForwardingEngine` implements Steps 2–4 (:meth:`ingest`) and the
+delivery half of 5–7 (:meth:`flush_due`), leaving *when* ``flush_due`` runs
+to the owner: the real-time server calls it from a scanning thread against
+the wall clock; the virtual-time emulator calls it from clock callbacks.
+Both therefore execute the identical forwarding logic — the property that
+makes deterministic tests meaningful for the real deployment.
+
+Medium semantics: radio transmission is broadcast at the physical layer,
+so a frame transmitted by ``sender`` on channel ``k`` reaches **every**
+member of ``NT(sender, k)``, each with an independent loss-model draw.  A
+unicast frame (MAC destination set) is delivered only to that destination;
+a broadcast frame is delivered to all neighbors.  Either way a frame whose
+destination is not currently a neighbor is dropped — exactly how Table 2's
+scene operations cut routes.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..errors import SceneError, UnknownNodeError
+from ..models.energy import EnergyTracker
+from ..models.mac import IdealMac, MacModel
+from .clock import EmulationClock
+from .ids import NodeId
+from .neighbor import NeighborScheme
+from .packet import DropReason, Packet, PacketRecord
+from .recording import MemoryRecorder, Recorder
+from .scene import Scene
+from .scheduler import ForwardSchedule, ScheduledPacket
+
+__all__ = ["ForwardingEngine", "DeliverFn"]
+
+DeliverFn = Callable[[NodeId, Packet], None]
+"""Callback delivering a packet to a destination VMN's client."""
+
+
+class ForwardingEngine:
+    """Steps 2–7 of the PoEm pipeline over a scene + neighbor tables."""
+
+    def __init__(
+        self,
+        scene: Scene,
+        neighbors: NeighborScheme,
+        clock: EmulationClock,
+        recorder: Optional[Recorder] = None,
+        *,
+        rng: Optional[np.random.Generator] = None,
+        schedule_capacity: Optional[int] = None,
+        use_client_stamps: bool = True,
+        mac: Optional[MacModel] = None,
+        energy: Optional[EnergyTracker] = None,
+    ) -> None:
+        self.scene = scene
+        self.neighbors = neighbors
+        self.clock = clock
+        self.recorder = recorder if recorder is not None else MemoryRecorder()
+        self.schedule = ForwardSchedule(schedule_capacity)
+        self.deliver: Optional[DeliverFn] = None
+        self.use_client_stamps = use_client_stamps
+        self.mac = mac if mac is not None else IdealMac()
+        self.energy = energy
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._lock = threading.Lock()
+        # Counters surfaced to the GUI/stats panes.
+        self.ingested = 0
+        self.forwarded = 0
+        self.dropped = 0
+
+    # -- Step 1–4 -------------------------------------------------------------
+
+    def ingest(self, sender: NodeId, packet: Packet) -> list[ScheduledPacket]:
+        """Process one frame transmitted by ``sender``; returns what was scheduled.
+
+        ``packet.t_origin`` must have been stamped by the sending client;
+        when ``use_client_stamps`` is True (PoEm's mode) it anchors the
+        forward-time formula.  Setting it False reproduces the JEmu-style
+        server-arrival anchoring used by the Fig 2 baseline.
+        """
+        with self._lock:
+            self.ingested += 1
+        now = self.clock.now()
+        if self.use_client_stamps and packet.t_origin is not None:
+            t_receipt = packet.t_origin
+        else:
+            t_receipt = now
+        packet = packet.stamped(t_receipt=t_receipt)
+
+        channel = packet.channel
+        try:
+            radio = self.scene.radio_on_channel(sender, channel)
+        except UnknownNodeError:
+            radio = None
+        if radio is None:
+            self._record_drop(packet, sender, None, DropReason.NO_SUCH_CHANNEL)
+            return []
+
+        # Power consumption (§7 extension): a dead battery cannot transmit.
+        if self.energy is not None and not self.energy.charge_tx(
+            sender, packet.size_bits
+        ):
+            self._record_drop(packet, sender, None, DropReason.NO_ENERGY)
+            return []
+
+        # Medium access (§7 extension): one airtime reservation per
+        # transmission.  The medium is occupied for the frame's nominal
+        # serialization time at the radio's peak rate.
+        airtime = packet.size_bits / radio.link.bandwidth.peak
+        decision = self.mac.admit(channel, sender, t_receipt, airtime)
+        if decision.collided:
+            self._record_drop(packet, sender, None, DropReason.COLLISION)
+            return []
+        t_receipt = decision.start  # CSMA deferral shifts the whole frame
+        packet = packet.stamped(t_receipt=t_receipt)
+
+        neighborhood = self.neighbors.neighbors(sender, channel)
+        if packet.is_broadcast:
+            targets = sorted(neighborhood)
+        elif packet.destination in neighborhood:
+            targets = [packet.destination]
+        else:
+            self._record_drop(
+                packet, sender,
+                None if packet.is_broadcast else packet.destination,
+                DropReason.NOT_NEIGHBOR,
+            )
+            return []
+
+        scheduled: list[ScheduledPacket] = []
+        for target in targets:
+            try:
+                r = self.scene.distance_between(sender, target)
+            except (UnknownNodeError, SceneError):
+                self._record_drop(packet, sender, target, DropReason.NODE_REMOVED)
+                continue
+            if radio.link.should_drop(self._rng, r):
+                self._record_drop(packet, sender, target, DropReason.LOSS_MODEL)
+                continue
+            t_forward = radio.link.forward_time(t_receipt, packet.size_bits, r)
+            # Causality floor: a frame cannot leave before the server saw it
+            # (matters when client stamps lag the server clock slightly).
+            t_forward = max(t_forward, t_receipt)
+            entry = ScheduledPacket(
+                t_forward=t_forward,
+                packet=packet.stamped(t_receipt=t_receipt, t_forward=t_forward),
+                receiver=target,
+                sender=sender,
+            )
+            if self.schedule.push(entry):
+                scheduled.append(entry)
+            else:
+                self._record_drop(packet, sender, target, DropReason.QUEUE_OVERFLOW)
+        return scheduled
+
+    # -- Steps 5–7 -------------------------------------------------------------
+
+    def flush_due(self, now: Optional[float] = None) -> int:
+        """Deliver every scheduled frame whose forward time has arrived.
+
+        Returns the number delivered.  The delivery stamp ``t_delivered``
+        is the emulation clock at delivery — identical to ``t_forward``
+        under the virtual clock, and ``t_forward`` plus scheduling jitter
+        under the real-time clock (the jitter the paper attributes to
+        "overload of server computation").
+        """
+        if now is None:
+            now = self.clock.now()
+        count = 0
+        for entry in self.schedule.pop_due(now):
+            if self._deliver(entry, now):
+                count += 1
+        return count
+
+    def flush_all(self) -> int:
+        """Deliver everything still scheduled (shutdown path)."""
+        count = 0
+        for entry in self.schedule.drain():
+            if self._deliver(entry, entry.t_forward):
+                count += 1
+        return count
+
+    def next_forward_time(self) -> Optional[float]:
+        """When the next scheduled frame becomes due (None when idle)."""
+        return self.schedule.peek_time()
+
+    def _deliver(self, entry: ScheduledPacket, now: float) -> bool:
+        """Deliver one due entry; False if it cannot be delivered."""
+        delivered = entry.packet.stamped(t_delivered=max(now, entry.t_forward))
+        if entry.receiver not in self.scene:
+            self._record_drop(
+                entry.packet, entry.sender, entry.receiver,
+                DropReason.NODE_REMOVED,
+            )
+            return False
+        # ALOHA-style retroactive collision: a later overlapping frame may
+        # have corrupted this one after it was scheduled.
+        if entry.packet.t_receipt is not None and self.mac.was_collided(
+            entry.packet.channel, entry.sender, entry.packet.t_receipt
+        ):
+            self._record_drop(
+                entry.packet, entry.sender, entry.receiver,
+                DropReason.COLLISION,
+            )
+            return False
+        # Spatially-adjudicated collision (hidden terminal): corrupted only
+        # at receivers that hear both overlapping transmissions.
+        if entry.packet.t_receipt is not None and self.mac.receiver_corrupted(
+            entry.packet.channel, entry.sender, entry.packet.t_receipt,
+            entry.receiver, self.scene,
+        ):
+            self._record_drop(
+                entry.packet, entry.sender, entry.receiver,
+                DropReason.COLLISION,
+            )
+            return False
+        # Receiving costs energy too; a drained receiver hears nothing.
+        if self.energy is not None and not self.energy.charge_rx(
+            entry.receiver, entry.packet.size_bits
+        ):
+            self._record_drop(
+                entry.packet, entry.sender, entry.receiver,
+                DropReason.NO_ENERGY,
+            )
+            return False
+        with self._lock:
+            self.forwarded += 1
+        self.recorder.record_packet(
+            self._make_record(delivered, entry.sender, entry.receiver)
+        )
+        if self.deliver is not None:
+            self.deliver(entry.receiver, delivered)
+        return True
+
+    # -- recording helpers -------------------------------------------------------
+
+    def _make_record(
+        self,
+        packet: Packet,
+        sender: NodeId,
+        receiver: Optional[NodeId],
+        drop_reason: Optional[str] = None,
+    ) -> PacketRecord:
+        return PacketRecord(
+            record_id=self.recorder.next_record_id(),
+            seqno=int(packet.seqno),
+            source=int(packet.source),
+            destination=int(packet.destination),
+            sender=int(sender),
+            receiver=None if receiver is None else int(receiver),
+            channel=int(packet.channel),
+            kind=packet.kind,
+            size_bits=packet.size_bits,
+            t_origin=packet.t_origin,
+            t_receipt=packet.t_receipt,
+            t_forward=packet.t_forward,
+            t_delivered=packet.t_delivered,
+            drop_reason=drop_reason,
+        )
+
+    def _record_drop(
+        self,
+        packet: Packet,
+        sender: NodeId,
+        receiver: Optional[NodeId],
+        reason: str,
+    ) -> None:
+        with self._lock:
+            self.dropped += 1
+        self.recorder.record_packet(
+            self._make_record(packet, sender, receiver, reason)
+        )

@@ -1,0 +1,61 @@
+"""Identifier types used throughout the emulator.
+
+The paper's notation (Section 4.2):
+
+* ``NS(n)`` — node set indexed by channel *n*
+* ``CS(A)`` — channel set of node *A*
+* ``NT(A, n)`` — neighbor table of node *A* via channel *n*
+
+Nodes, radios and channels are identified by small integers.  We wrap them
+in ``NewType`` aliases so signatures document which kind of integer they
+expect, at zero runtime cost, and provide a tiny monotonically increasing
+allocator used by scenes and servers when callers do not supply explicit
+ids.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import NewType
+
+__all__ = [
+    "NodeId",
+    "ChannelId",
+    "RadioIndex",
+    "SequenceNumber",
+    "IdAllocator",
+    "BROADCAST_NODE",
+]
+
+NodeId = NewType("NodeId", int)
+"""Identifier of a virtual MANET node (VMN)."""
+
+ChannelId = NewType("ChannelId", int)
+"""Identifier of a radio channel.  Channel ids are non-negative."""
+
+RadioIndex = NewType("RadioIndex", int)
+"""Index of a radio within a node (0-based; multi-radio nodes have several)."""
+
+SequenceNumber = NewType("SequenceNumber", int)
+"""Monotonic per-sender packet sequence number."""
+
+BROADCAST_NODE: NodeId = NodeId(-1)
+"""Pseudo destination meaning 'all neighbors on the sending radio's channel'."""
+
+
+class IdAllocator:
+    """Thread-safe allocator of monotonically increasing integer ids.
+
+    The real-time server allocates VMN ids from multiple accept threads,
+    hence the lock; the virtual-time emulator shares the same code path.
+    """
+
+    def __init__(self, start: int = 1) -> None:
+        self._counter = itertools.count(start)
+        self._lock = threading.Lock()
+
+    def allocate(self) -> int:
+        """Return the next unused id."""
+        with self._lock:
+            return next(self._counter)

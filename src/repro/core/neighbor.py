@@ -1,0 +1,352 @@
+"""Channel-ID indexed neighbor tables — the multi-radio contribution (§4.2).
+
+The neighborhood model::
+
+    for channel k:   B ∈ NT(A, k)  ⟺  k ∈ CS(A) ∩ CS(B)
+                                      and A, B ∈ NS(k)
+                                      and D(A, B) <= R(A, k)
+
+PoEm keeps **one neighbor table per channel** (``ChannelIndexedNeighborTables``)
+rather than one flat table with channel-tagged units
+(``SingleTableNeighbors``).  The payoff, in the paper's own example
+(Fig 6): "unless [node a] switches one of its radios to channel 1, any
+change of node a won't cause the update between it and the nodes in the
+neighbor table indexed by channel 1 since its radio is on channel 2" — a
+scene change only touches the tables of the channels the changed node is
+actually on, which "relieves the server processor of heavy load especially
+when emulating dynamic large-scale multi-radio MANETs."
+
+Both schemes implement the same read interface and subscribe to scene
+events; both count the *units touched* per update so the Fig 6 ablation
+bench (``benchmarks/test_fig6_neighbor_update.py``) can quantify the claim.
+A property test asserts the two schemes always agree with the scene's
+ground-truth predicate.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+import numpy as np
+
+from .geometry import points_within
+from .ids import ChannelId, NodeId
+from .scene import Scene, SceneEvent
+
+__all__ = [
+    "UpdateStats",
+    "NeighborScheme",
+    "ChannelIndexedNeighborTables",
+    "SingleTableNeighbors",
+]
+
+
+@dataclass
+class UpdateStats:
+    """Update-cost accounting for the Fig 6 ablation.
+
+    ``units_touched`` counts neighbor-table units examined or rewritten;
+    ``events`` counts scene events processed.  The indexed scheme's whole
+    point is a smaller ``units_touched`` for the same event stream.
+    """
+
+    units_touched: int = 0
+    events: int = 0
+
+    def reset(self) -> None:
+        self.units_touched = 0
+        self.events = 0
+
+
+class NeighborScheme(ABC):
+    """Read interface shared by both schemes (and used by the engine)."""
+
+    def __init__(self, scene: Scene) -> None:
+        self.scene = scene
+        self.stats = UpdateStats()
+        scene.add_listener(self._on_event)
+        self.rebuild()
+
+    def detach(self) -> None:
+        """Stop observing the scene (tests swap schemes on one scene)."""
+        self.scene.remove_listener(self._on_event)
+
+    @abstractmethod
+    def neighbors(self, node: NodeId, channel: ChannelId) -> frozenset[NodeId]:
+        """``NT(node, channel)`` — empty if the node has no radio there."""
+
+    @abstractmethod
+    def rebuild(self) -> None:
+        """Recompute everything from the scene (initialization / recovery)."""
+
+    @abstractmethod
+    def _on_event(self, event: SceneEvent) -> None:
+        """Incremental update on one scene mutation."""
+
+    # -- shared ground-truth helpers -----------------------------------------
+
+    def _row(self, node: NodeId, channel: ChannelId) -> set[NodeId]:
+        """Compute ``NT(node, channel)`` from scratch (vectorized).
+
+        Uses A's range on the channel per the paper's (asymmetric)
+        predicate.
+        """
+        scene = self.scene
+        radio = scene.radio_on_channel(node, channel)
+        if radio is None:
+            return set()
+        members = [m for m in scene.nodes_on_channel(channel) if m != node]
+        if not members:
+            return set()
+        pts = scene.positions_array(members)
+        mask = points_within(scene.position(node), radio.range, pts)
+        return {m for m, hit in zip(members, mask) if hit}
+
+
+class ChannelIndexedNeighborTables(NeighborScheme):
+    """PoEm's scheme: ``tables[k][A] == NT(A, k)``.
+
+    Incremental updates only touch the channels in the changed node's
+    channel set (plus, on a retune, the channel it left).
+    """
+
+    def __init__(self, scene: Scene) -> None:
+        self._tables: dict[ChannelId, dict[NodeId, set[NodeId]]] = {}
+        super().__init__(scene)
+
+    # -- reads ---------------------------------------------------------------
+
+    def neighbors(self, node: NodeId, channel: ChannelId) -> frozenset[NodeId]:
+        table = self._tables.get(channel)
+        if table is None:
+            return frozenset()
+        return frozenset(table.get(node, ()))
+
+    def table_for_channel(
+        self, channel: ChannelId
+    ) -> dict[NodeId, frozenset[NodeId]]:
+        """The whole per-channel table (GUI and tests inspect this)."""
+        return {
+            n: frozenset(row) for n, row in self._tables.get(channel, {}).items()
+        }
+
+    def channels(self) -> set[ChannelId]:
+        return set(self._tables)
+
+    # -- full rebuild ----------------------------------------------------------
+
+    def rebuild(self) -> None:
+        self._tables = {}
+        for channel in self.scene.all_channels():
+            self._rebuild_channel(channel)
+
+    def _rebuild_channel(self, channel: ChannelId) -> None:
+        """Vectorized rebuild of one channel's table.
+
+        O(|NS(k)|²) distance checks in numpy — the hot path when many
+        nodes move at once (mobility tick).
+        """
+        scene = self.scene
+        members = sorted(scene.nodes_on_channel(channel))
+        table: dict[NodeId, set[NodeId]] = {}
+        if members:
+            pts = scene.positions_array(members)
+            deltas = pts[:, None, :] - pts[None, :, :]
+            dist2 = np.einsum("ijk,ijk->ij", deltas, deltas)
+            ranges = np.array(
+                [scene.radio_on_channel(m, channel).range for m in members]
+            )
+            within = dist2 <= (ranges[:, None] ** 2)
+            np.fill_diagonal(within, False)
+            for i, m in enumerate(members):
+                table[m] = {members[j] for j in np.nonzero(within[i])[0]}
+            self.stats.units_touched += len(members) * len(members)
+        if table:
+            self._tables[channel] = table
+        else:
+            self._tables.pop(channel, None)
+
+    # -- incremental updates -----------------------------------------------------
+
+    def _on_event(self, event: SceneEvent) -> None:
+        self.stats.events += 1
+        kind = event.kind
+        node = event.node
+        if kind == "node-added":
+            for channel in self.scene.channels_of(node):
+                self._insert(node, channel)
+        elif kind == "node-removed":
+            self._remove_everywhere(node)
+        elif kind == "node-moved":
+            # Only the channels the moved node is on can change.
+            for channel in self.scene.channels_of(node):
+                self._refresh_node_on_channel(node, channel)
+        elif kind == "range-set":
+            # R(A, k) only appears in A's own row on that radio's channel.
+            radio = self.scene.radios(node)[event.details["radio"]]
+            self._refresh_own_row(node, radio.channel)
+        elif kind == "channel-set":
+            self._handle_retune(node, ChannelId(event.details["channel"]))
+        # link-set / mobility-set don't affect neighborhood.
+
+    def _insert(self, node: NodeId, channel: ChannelId) -> None:
+        """Add ``node`` to channel ``channel``'s table, updating both sides."""
+        scene = self.scene
+        table = self._tables.setdefault(channel, {})
+        row = self._row(node, channel)
+        table[node] = set(row)
+        self.stats.units_touched += max(len(scene.nodes_on_channel(channel)) - 1, 0)
+        # Other members' rows: does node fall within *their* range?
+        pos = scene.position(node)
+        for other, other_row in table.items():
+            if other == node:
+                continue
+            r = scene.radio_on_channel(other, channel)
+            if r is not None and scene.position(other).distance_to(pos) <= r.range:
+                other_row.add(node)
+            else:
+                other_row.discard(node)
+            self.stats.units_touched += 1
+
+    def _remove_everywhere(self, node: NodeId) -> None:
+        """Remove a departed node from every table it appears in."""
+        empty_channels = []
+        for channel, table in self._tables.items():
+            if node in table:
+                del table[node]
+                for row in table.values():
+                    row.discard(node)
+                    self.stats.units_touched += 1
+            if not table:
+                empty_channels.append(channel)
+        for channel in empty_channels:
+            del self._tables[channel]
+
+    def _refresh_node_on_channel(self, node: NodeId, channel: ChannelId) -> None:
+        """Recompute ``node``'s row and its membership in peers' rows."""
+        scene = self.scene
+        table = self._tables.setdefault(channel, {})
+        table[node] = self._row(node, channel)
+        pos = scene.position(node)
+        for other, other_row in table.items():
+            if other == node:
+                continue
+            r = scene.radio_on_channel(other, channel)
+            if r is not None and scene.position(other).distance_to(pos) <= r.range:
+                other_row.add(node)
+            else:
+                other_row.discard(node)
+            self.stats.units_touched += 2  # node->other and other->node units
+        if not table[node] and len(table) == 1:
+            # sole member with empty row — keep the row; table still valid
+            pass
+
+    def _refresh_own_row(self, node: NodeId, channel: ChannelId) -> None:
+        """Range change: only NT(node, channel) can differ."""
+        table = self._tables.setdefault(channel, {})
+        table[node] = self._row(node, channel)
+        self.stats.units_touched += max(
+            len(self.scene.nodes_on_channel(channel)) - 1, 0
+        )
+
+    def _handle_retune(self, node: NodeId, new_channel: ChannelId) -> None:
+        """A radio switched channels: leave the old table, join the new.
+
+        The scene has already applied the change, so the channel the radio
+        *left* is whichever table still lists the node but is no longer in
+        ``CS(node)``.  Channels the node *stays* on are refreshed too: on a
+        multi-radio node the retuned radio may have been the one providing
+        ``R(node, k)`` for a channel another radio still covers, so the
+        node's rows there can change range.
+        """
+        current = self.scene.channels_of(node)
+        for channel in list(self._tables):
+            if channel not in current and node in self._tables[channel]:
+                table = self._tables[channel]
+                del table[node]
+                for row in table.values():
+                    row.discard(node)
+                    self.stats.units_touched += 1
+                if not table:
+                    del self._tables[channel]
+        for channel in current:
+            self._refresh_node_on_channel(node, channel)
+
+
+class SingleTableNeighbors(NeighborScheme):
+    """The contrast scheme: one flat table of channel-tagged units.
+
+    ``units[A] == {(B, k), ...}`` meaning ``B ∈ NT(A, k)``.  Because units
+    for every channel are interleaved in each node's row, *any* change to
+    node ``a`` forces a scan of **all** rows to find/refresh units
+    involving ``a`` — including rows whose shared channels ``a`` isn't
+    even on.  That scan cost is what the paper's indexed scheme avoids.
+    """
+
+    def __init__(self, scene: Scene) -> None:
+        self._units: dict[NodeId, set[tuple[NodeId, ChannelId]]] = {}
+        super().__init__(scene)
+
+    # -- reads ---------------------------------------------------------------
+
+    def neighbors(self, node: NodeId, channel: ChannelId) -> frozenset[NodeId]:
+        row = self._units.get(node)
+        if not row:
+            return frozenset()
+        return frozenset(b for b, k in row if k == channel)
+
+    def rebuild(self) -> None:
+        self._units = {}
+        for node in self.scene.node_ids():
+            self._units[node] = self._full_row(node)
+
+    def _full_row(self, node: NodeId) -> set[tuple[NodeId, ChannelId]]:
+        units: set[tuple[NodeId, ChannelId]] = set()
+        for channel in self.scene.channels_of(node):
+            for b in self._row(node, channel):
+                units.add((b, channel))
+        return units
+
+    # -- incremental updates -----------------------------------------------------
+
+    def _on_event(self, event: SceneEvent) -> None:
+        self.stats.events += 1
+        kind = event.kind
+        node = event.node
+        if kind == "node-removed":
+            self._units.pop(node, None)
+            self._purge_and_refresh(node, removed=True)
+        elif kind in ("node-added", "node-moved", "range-set", "channel-set"):
+            if node in self.scene:
+                self._units[node] = self._full_row(node)
+                self.stats.units_touched += len(self._units[node]) + 1
+            self._purge_and_refresh(node, removed=False)
+        # link-set / mobility-set: no neighborhood effect.
+
+    def _purge_and_refresh(self, node: NodeId, removed: bool) -> None:
+        """Scan the whole flat table for units mentioning ``node``.
+
+        This is the scheme's inherent cost: channel tags live inside each
+        row, so there is no index telling us which rows could reference
+        ``node`` — every unit must be examined.
+        """
+        scene = self.scene
+        pos = scene.position(node) if (not removed and node in scene) else None
+        node_channels = (
+            scene.channels_of(node) if (not removed and node in scene) else frozenset()
+        )
+        for other, row in self._units.items():
+            if other == node:
+                continue
+            self.stats.units_touched += max(len(row), 1)
+            stale = {(b, k) for (b, k) in row if b == node}
+            row -= stale
+            if pos is None:
+                continue
+            for k in node_channels:
+                r = scene.radio_on_channel(other, k)
+                if r is None:
+                    continue
+                if scene.position(other).distance_to(pos) <= r.range:
+                    row.add((node, k))
+                self.stats.units_touched += 1

@@ -1,0 +1,183 @@
+"""Packets and their time-stamps.
+
+A :class:`Packet` is what a routing protocol hands to its host: an opaque
+payload plus addressing (source VMN, destination VMN or broadcast, and the
+radio it was sent on).  The emulator never inspects the payload — the
+paper's core promise is that *real implementations run unmodified* — it
+only adds time-stamps as the packet moves through the pipeline:
+
+``t_origin``
+    stamped by the **client** at generation time using its synchronized
+    clock.  This is the paper's *parallel time-stamping*: every client
+    stamps concurrently, so recording accuracy does not degrade with the
+    number of clients (contrast the Fig 2 serial-reception error).
+``t_receipt``
+    when the server pulled the packet off its incoming connection.
+``t_forward``
+    when the scheduling thread decided the packet leaves the emulated
+    medium: ``t_forward = t_receipt + delay + size / bandwidth`` (§3.2
+    Step 3; PoEm anchors the formula at the client-stamped receipt time).
+``t_delivered``
+    when the destination client actually received it.
+
+Sizes are in **bits** so the bandwidth division in the forward-time formula
+is unit-consistent with the paper's Mbps link model.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from ..errors import ConfigurationError
+from .ids import BROADCAST_NODE, ChannelId, NodeId, RadioIndex, SequenceNumber
+
+__all__ = ["Packet", "PacketRecord", "PacketStamper", "DropReason"]
+
+
+@dataclass(frozen=True, slots=True)
+class Packet:
+    """One protocol packet traversing the emulated medium.
+
+    Immutable; pipeline stages produce stamped copies via :meth:`stamped`.
+    """
+
+    source: NodeId
+    destination: NodeId
+    payload: bytes
+    size_bits: int
+    seqno: SequenceNumber
+    channel: ChannelId
+    radio: RadioIndex = RadioIndex(0)
+    kind: str = "data"
+    t_origin: Optional[float] = None
+    t_receipt: Optional[float] = None
+    t_forward: Optional[float] = None
+    t_delivered: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.size_bits <= 0:
+            raise ConfigurationError(
+                f"packet size must be positive, got {self.size_bits} bits"
+            )
+
+    @property
+    def is_broadcast(self) -> bool:
+        """True when addressed to all neighbors on the sending channel."""
+        return self.destination == BROADCAST_NODE
+
+    def stamped(self, **stamps: float) -> "Packet":
+        """Return a copy with the given time-stamp fields set.
+
+        Only the four ``t_*`` fields may be stamped; anything else would
+        let pipeline code mutate addressing, which must stay exactly what
+        the protocol implementation emitted.
+        """
+        allowed = {"t_origin", "t_receipt", "t_forward", "t_delivered"}
+        bad = set(stamps) - allowed
+        if bad:
+            raise ConfigurationError(f"cannot stamp non-timestamp fields: {bad}")
+        return replace(self, **stamps)
+
+    def transit_latency(self) -> Optional[float]:
+        """End-to-end latency ``t_delivered - t_origin`` if both known."""
+        if self.t_delivered is None or self.t_origin is None:
+            return None
+        return self.t_delivered - self.t_origin
+
+
+class DropReason:
+    """Why the server dropped a packet (recorded for statistics/replay)."""
+
+    NOT_NEIGHBOR = "not-neighbor"
+    LOSS_MODEL = "loss-model"
+    NO_SUCH_CHANNEL = "no-such-channel"
+    QUEUE_OVERFLOW = "queue-overflow"
+    NODE_REMOVED = "node-removed"
+    COLLISION = "collision"
+    NO_ENERGY = "no-energy"
+
+    ALL = (NOT_NEIGHBOR, LOSS_MODEL, NO_SUCH_CHANNEL, QUEUE_OVERFLOW,
+           NODE_REMOVED, COLLISION, NO_ENERGY)
+
+
+@dataclass(frozen=True, slots=True)
+class PacketRecord:
+    """One row in the packet log (§3.2 Step 7).
+
+    Captures the complete information of an incoming/outgoing packet: the
+    addressing, every time-stamp, the hop it traversed, and the outcome
+    (delivered to ``receiver`` or dropped with ``drop_reason``).  The
+    statistics and replay subsystems consume these rows.
+    """
+
+    record_id: int
+    seqno: int
+    source: int
+    destination: int
+    sender: int
+    receiver: Optional[int]
+    channel: int
+    kind: str
+    size_bits: int
+    t_origin: Optional[float]
+    t_receipt: Optional[float]
+    t_forward: Optional[float]
+    t_delivered: Optional[float]
+    drop_reason: Optional[str] = None
+
+    @property
+    def dropped(self) -> bool:
+        return self.drop_reason is not None
+
+
+class PacketStamper:
+    """Allocates per-sender sequence numbers and origin time-stamps.
+
+    Lives in the **client** (one per VMN).  Thread-safe because a client
+    may host a protocol with its own timer threads under the real-time
+    stack.
+    """
+
+    def __init__(self, node: NodeId) -> None:
+        self.node = node
+        self._seq = itertools.count(1)
+        self._lock = threading.Lock()
+
+    def next_seqno(self) -> SequenceNumber:
+        with self._lock:
+            return SequenceNumber(next(self._seq))
+
+    def make_packet(
+        self,
+        destination: NodeId,
+        payload: bytes,
+        *,
+        channel: ChannelId,
+        radio: RadioIndex = RadioIndex(0),
+        kind: str = "data",
+        size_bits: Optional[int] = None,
+        t_origin: Optional[float] = None,
+    ) -> Packet:
+        """Build an origin-stamped packet from this node.
+
+        ``size_bits`` defaults to the payload's wire size; protocols that
+        emulate larger frames (e.g. the 4 Mbps CBR workload uses sizeable
+        frames without materializing megabytes of payload) pass it
+        explicitly.
+        """
+        if size_bits is None:
+            size_bits = max(1, len(payload) * 8)
+        return Packet(
+            source=self.node,
+            destination=destination,
+            payload=payload,
+            size_bits=size_bits,
+            seqno=self.next_seqno(),
+            channel=channel,
+            radio=radio,
+            kind=kind,
+            t_origin=t_origin,
+        )

@@ -1,0 +1,486 @@
+"""The emulation scene: the server's single consistent view of the MANET.
+
+PoEm is centralized precisely so there is *one* scene — "the central server
+offers plentiful convenience to set arbitrary scenes in real time" (§2.1)
+and every client's traffic is forwarded against the same, never-stale
+topology (unlike the distributed Fig 3 failure mode).
+
+The scene holds, per VMN: its position, its radios (channel/range/link
+model — possibly several: multi-radio), and optionally a mobility
+trajectory.  Every operation the paper performs on the GUI maps to one
+method here:
+
+=======================================  ==================================
+GUI action (paper)                        Scene method
+=======================================  ==================================
+drag & drop a VMN                         :meth:`Scene.move_node`
+"moving out some nodes"                   :meth:`Scene.remove_node`
+"switching the channel"                   :meth:`Scene.set_radio_channel`
+"changing the radio range"                :meth:`Scene.set_radio_range`
+"lowering link bandwidth" (attack)        :meth:`Scene.set_link_model`
+configure mobility in dialog box          :meth:`Scene.set_mobility`
+=======================================  ==================================
+
+Each mutation emits a :class:`SceneEvent` to registered listeners —
+neighbor tables update incrementally, the scene recorder logs the event
+for post-emulation replay, and the GUI renderer refreshes.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional
+
+import numpy as np
+
+from ..errors import (
+    ConfigurationError,
+    SceneError,
+    UnknownNodeError,
+    UnknownRadioError,
+)
+from ..models.link import LinkModel
+from ..models.mobility import Bounds, MobilityModel, Trajectory
+from ..models.radio import Radio, RadioConfig, RadioState
+from .geometry import Vec2, distance
+from .ids import ChannelId, NodeId, RadioIndex
+
+__all__ = ["SceneEvent", "NodeState", "Scene", "SceneListener"]
+
+
+@dataclass(frozen=True, slots=True)
+class SceneEvent:
+    """One scene mutation, as recorded and replayed.
+
+    ``kind`` is one of ``node-added``, ``node-removed``, ``node-moved``,
+    ``channel-set``, ``range-set``, ``link-set``, ``mobility-set``.
+    ``details`` carries kind-specific fields (all JSON-serializable so the
+    sqlite recorder can persist them verbatim).
+    """
+
+    time: float
+    kind: str
+    node: NodeId
+    details: dict = field(default_factory=dict)
+
+
+SceneListener = Callable[[SceneEvent], None]
+
+
+class NodeState:
+    """Runtime state of one VMN inside the scene (scene-private).
+
+    Read through the scene's query methods; mutate only through the
+    scene's operation methods so listeners stay consistent.
+    """
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        position: Vec2,
+        radios: RadioConfig,
+        label: str = "",
+    ) -> None:
+        self.node_id = node_id
+        self.position = position
+        self.radios = RadioState(radios)
+        self.label = label or f"VMN{int(node_id)}"
+        self.mobility: Optional[Trajectory] = None
+        self.mobility_model: Optional[MobilityModel] = None
+
+
+class Scene:
+    """The mutable, observable network scene.
+
+    Thread-safe: the real-time server mutates it from GUI/scenario threads
+    while scheduling threads query it.  A single re-entrant lock keeps the
+    paper's guarantee that every forwarding decision sees one consistent
+    scene.  The virtual-time emulator shares this code (the lock is then
+    uncontended and effectively free).
+    """
+
+    def __init__(
+        self,
+        bounds: Optional[Bounds] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.bounds = bounds
+        self._nodes: dict[NodeId, NodeState] = {}
+        self._listeners: list[SceneListener] = []
+        self._lock = threading.RLock()
+        self._rng = np.random.default_rng(seed)
+        self._time = 0.0
+        self._time_source: Optional[Callable[[], float]] = None
+
+    def bind_time_source(self, now_fn: Callable[[], float]) -> None:
+        """Slave scene time to an emulation clock.
+
+        Once bound, every mutation first advances scene time (and
+        mobility) to the clock's current instant, so recorded scene
+        events carry correct emulation timestamps without the owner
+        having to call :meth:`advance_time` manually.
+        """
+        with self._lock:
+            self._time_source = now_fn
+
+    def _sync_time(self) -> None:
+        if self._time_source is not None:
+            t = self._time_source()
+            if t > self._time:
+                self.advance_time(t)
+
+    # -- listeners ----------------------------------------------------------
+
+    def add_listener(self, listener: SceneListener) -> None:
+        """Register a mutation observer (neighbor tables, recorder, GUI)."""
+        with self._lock:
+            self._listeners.append(listener)
+
+    def remove_listener(self, listener: SceneListener) -> None:
+        with self._lock:
+            self._listeners.remove(listener)
+
+    def _emit(self, event: SceneEvent) -> None:
+        for listener in list(self._listeners):
+            listener(event)
+
+    # -- node lifecycle -----------------------------------------------------
+
+    def add_node(
+        self,
+        node_id: NodeId,
+        position: Vec2,
+        radios: RadioConfig,
+        label: str = "",
+    ) -> NodeState:
+        """Create a VMN (a client connecting maps to exactly one of these)."""
+        with self._lock:
+            self._sync_time()
+            if node_id in self._nodes:
+                raise SceneError(f"node {node_id} already exists")
+            if self.bounds is not None and not self.bounds.contains(position):
+                raise SceneError(
+                    f"position {position} outside scene bounds {self.bounds}"
+                )
+            state = NodeState(node_id, position, radios, label)
+            self._nodes[node_id] = state
+            self._emit(
+                SceneEvent(
+                    self._time,
+                    "node-added",
+                    node_id,
+                    {
+                        "x": position.x,
+                        "y": position.y,
+                        "label": state.label,
+                        "radios": [
+                            {"channel": int(r.channel), "range": r.range}
+                            for r in state.radios
+                        ],
+                    },
+                )
+            )
+            return state
+
+    def remove_node(self, node_id: NodeId) -> None:
+        """'Moving out' a node (paper's military-attack example, §2.2)."""
+        with self._lock:
+            self._sync_time()
+            self._require(node_id)
+            del self._nodes[node_id]
+            self._emit(SceneEvent(self._time, "node-removed", node_id))
+
+    # -- GUI-equivalent mutations --------------------------------------------
+
+    def move_node(self, node_id: NodeId, position: Vec2) -> None:
+        """Drag-and-drop: teleport a VMN to ``position``."""
+        with self._lock:
+            self._sync_time()
+            state = self._require(node_id)
+            if self.bounds is not None:
+                position = self.bounds.apply(position)
+            state.position = position
+            self._emit(
+                SceneEvent(
+                    self._time,
+                    "node-moved",
+                    node_id,
+                    {"x": position.x, "y": position.y},
+                )
+            )
+
+    def set_radio_channel(
+        self, node_id: NodeId, radio: RadioIndex, channel: ChannelId
+    ) -> None:
+        """Switch one radio of a VMN to another channel."""
+        with self._lock:
+            self._sync_time()
+            state = self._require(node_id)
+            try:
+                state.radios.set_channel(radio, channel)
+            except ConfigurationError as exc:
+                raise UnknownRadioError(node_id, radio) from exc
+            self._emit(
+                SceneEvent(
+                    self._time,
+                    "channel-set",
+                    node_id,
+                    {"radio": int(radio), "channel": int(channel)},
+                )
+            )
+
+    def set_radio_range(
+        self, node_id: NodeId, radio: RadioIndex, range_: float
+    ) -> None:
+        """Shrink/grow one radio's range (Table 2 Step 2 does this)."""
+        with self._lock:
+            self._sync_time()
+            state = self._require(node_id)
+            try:
+                state.radios.set_range(radio, range_)
+            except ConfigurationError:
+                if not 0 <= radio < len(state.radios):
+                    raise UnknownRadioError(node_id, radio) from None
+                raise
+            self._emit(
+                SceneEvent(
+                    self._time,
+                    "range-set",
+                    node_id,
+                    {"radio": int(radio), "range": range_},
+                )
+            )
+
+    def set_link_model(
+        self, node_id: NodeId, radio: RadioIndex, link: LinkModel
+    ) -> None:
+        """Reconfigure a radio's link model live (e.g. lower bandwidth)."""
+        with self._lock:
+            self._sync_time()
+            state = self._require(node_id)
+            try:
+                state.radios.set_link(radio, link)
+            except ConfigurationError:
+                raise UnknownRadioError(node_id, radio) from None
+            self._emit(
+                SceneEvent(
+                    self._time,
+                    "link-set",
+                    node_id,
+                    {
+                        "radio": int(radio),
+                        "p0": link.loss.p0,
+                        "p1": link.loss.p1,
+                        "d0": link.loss.d0,
+                        "loss_range": link.loss.radio_range,
+                        "bw_peak": link.bandwidth.peak,
+                        "bw_edge": link.bandwidth.edge,
+                        "delay": link.delay.base,
+                    },
+                )
+            )
+
+    def set_mobility(
+        self, node_id: NodeId, model: Optional[MobilityModel]
+    ) -> None:
+        """Attach (or clear) a mobility model; trajectory starts 'now'."""
+        with self._lock:
+            self._sync_time()
+            state = self._require(node_id)
+            state.mobility_model = model
+            if model is None:
+                state.mobility = None
+            else:
+                state.mobility = Trajectory(
+                    state.position,
+                    model,
+                    self._rng,
+                    bounds=self.bounds,
+                    t0=self._time,
+                )
+            self._emit(
+                SceneEvent(
+                    self._time,
+                    "mobility-set",
+                    node_id,
+                    {"model": type(model).__name__ if model else None},
+                )
+            )
+
+    def set_trajectory(self, node_id: NodeId, trajectory) -> None:
+        """Attach a precomputed trajectory (anything with ``position_at(t)``).
+
+        Used by coordinated models like RPGM group members
+        (:mod:`repro.models.group_mobility`), whose positions cannot be
+        derived from a per-node :class:`MobilityModel` alone.
+        """
+        if trajectory is not None and not hasattr(trajectory, "position_at"):
+            raise ConfigurationError(
+                f"trajectory must expose position_at(t): {trajectory!r}"
+            )
+        with self._lock:
+            self._sync_time()
+            state = self._require(node_id)
+            state.mobility_model = None
+            state.mobility = trajectory
+            self._emit(
+                SceneEvent(
+                    self._time,
+                    "mobility-set",
+                    node_id,
+                    {
+                        "model": None if trajectory is None
+                        else type(trajectory).__name__
+                    },
+                )
+            )
+
+    # -- time / mobility stepping ---------------------------------------------
+
+    @property
+    def time(self) -> float:
+        return self._time
+
+    def advance_time(self, t: float) -> list[NodeId]:
+        """Advance scene time to ``t``, moving every mobile node.
+
+        Returns the ids of nodes that actually moved.  The engine calls
+        this on a fixed tick (real-time stack) or before each forwarding
+        decision (virtual stack), so positions used for loss/neighbor
+        computations always reflect the configured mobility.
+        """
+        with self._lock:
+            if t < self._time:
+                raise SceneError(
+                    f"cannot move scene time backwards ({self._time} -> {t})"
+                )
+            self._time = t
+            moved: list[NodeId] = []
+            for node_id, state in self._nodes.items():
+                if state.mobility is None:
+                    continue
+                new_pos = state.mobility.position_at(t)
+                if new_pos != state.position:
+                    state.position = new_pos
+                    moved.append(node_id)
+                    self._emit(
+                        SceneEvent(
+                            t,
+                            "node-moved",
+                            node_id,
+                            {"x": new_pos.x, "y": new_pos.y},
+                        )
+                    )
+            return moved
+
+    # -- queries (the neighborhood model's primitives, §4.2) -------------------
+
+    def _require(self, node_id: NodeId) -> NodeState:
+        state = self._nodes.get(node_id)
+        if state is None:
+            raise UnknownNodeError(node_id)
+        return state
+
+    def __contains__(self, node_id: NodeId) -> bool:
+        with self._lock:
+            return node_id in self._nodes
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._nodes)
+
+    def node_ids(self) -> list[NodeId]:
+        with self._lock:
+            return list(self._nodes)
+
+    def iter_nodes(self) -> Iterator[NodeState]:
+        with self._lock:
+            return iter(list(self._nodes.values()))
+
+    def position(self, node_id: NodeId) -> Vec2:
+        with self._lock:
+            return self._require(node_id).position
+
+    def label(self, node_id: NodeId) -> str:
+        with self._lock:
+            return self._require(node_id).label
+
+    def radios(self, node_id: NodeId) -> RadioState:
+        with self._lock:
+            return self._require(node_id).radios
+
+    def channels_of(self, node_id: NodeId) -> frozenset[ChannelId]:
+        """``CS(A)`` — the channel set of a node."""
+        with self._lock:
+            return self._require(node_id).radios.channels
+
+    def nodes_on_channel(self, channel: ChannelId) -> set[NodeId]:
+        """``NS(n)`` — every node with a radio tuned to ``channel``."""
+        with self._lock:
+            return {
+                nid
+                for nid, st in self._nodes.items()
+                if channel in st.radios.channels
+            }
+
+    def all_channels(self) -> set[ChannelId]:
+        with self._lock:
+            channels: set[ChannelId] = set()
+            for st in self._nodes.values():
+                channels |= st.radios.channels
+            return channels
+
+    def distance_between(self, a: NodeId, b: NodeId) -> float:
+        """``D(A, B)``."""
+        with self._lock:
+            return distance(self._require(a).position, self._require(b).position)
+
+    def radio_on_channel(
+        self, node_id: NodeId, channel: ChannelId
+    ) -> Optional[Radio]:
+        """Node's radio tuned to ``channel`` (None if none is)."""
+        with self._lock:
+            hit = self._require(node_id).radios.radio_on_channel(channel)
+            return hit[1] if hit else None
+
+    def is_neighbor(self, a: NodeId, b: NodeId, channel: ChannelId) -> bool:
+        """The paper's predicate: ``B ∈ NT(A, k)``.
+
+        Requires ``k ∈ CS(A) ∩ CS(B)`` and ``D(A,B) <= R(A,k)``.  Note the
+        range is *A's* range on the channel, so neighborhood may be
+        asymmetric when ranges differ (exactly what Table 2 Step 2
+        exploits by shrinking only VMN1's range).
+        """
+        with self._lock:
+            if a == b:
+                return False
+            sa, sb = self._require(a), self._require(b)
+            hit = sa.radios.radio_on_channel(channel)
+            if hit is None or sb.radios.radio_on_channel(channel) is None:
+                return False
+            return distance(sa.position, sb.position) <= hit[1].range
+
+    def positions_array(self, node_ids: list[NodeId]) -> np.ndarray:
+        """``(n, 2)`` positions for vectorized bulk recomputation."""
+        with self._lock:
+            return np.array(
+                [self._require(n).position.as_tuple() for n in node_ids],
+                dtype=float,
+            ).reshape(-1, 2)
+
+    def snapshot(self) -> dict[NodeId, dict]:
+        """JSON-friendly snapshot of the whole scene (GUI/replay seed)."""
+        with self._lock:
+            return {
+                nid: {
+                    "label": st.label,
+                    "x": st.position.x,
+                    "y": st.position.y,
+                    "radios": [
+                        {"channel": int(r.channel), "range": r.range}
+                        for r in st.radios
+                    ],
+                }
+                for nid, st in self._nodes.items()
+            }

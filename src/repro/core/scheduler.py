@@ -1,0 +1,134 @@
+"""The forwarding schedule (§3.2 Steps 4–6).
+
+After the scheduling thread computes ``t_forward`` for each (packet,
+receiver) pair, the pair is "listed into the schedule"; a scanning thread
+"keeps watching the schedule and initiates a sending thread once the
+emulation clock meets the time to forward".
+
+:class:`ForwardSchedule` is that schedule: a thread-safe priority queue
+ordered by ``t_forward`` with FIFO tie-breaking (two packets scheduled for
+the same instant leave in arrival order — keeps CBR streams in order).  It
+supports both deployment styles:
+
+* the **real-time** server's scanning thread blocks in :meth:`wait_due`,
+  which wakes when the head entry becomes due or an earlier entry arrives;
+* the **virtual-time** emulator polls :meth:`pop_due` from clock callbacks.
+
+A configurable ``capacity`` models the server's finite buffering; pushes
+beyond it are rejected so the engine records a ``queue-overflow`` drop
+(§2.1's "bounded by the server processing power" made observable).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import SchedulerError
+from .ids import NodeId
+from .packet import Packet
+
+__all__ = ["ScheduledPacket", "ForwardSchedule"]
+
+
+@dataclass(frozen=True, slots=True)
+class ScheduledPacket:
+    """One (packet, receiver) pair awaiting its forward time.
+
+    ``sender`` is the node that transmitted this hop's frame (it differs
+    from ``packet.source`` on relayed hops) — the packet log records both.
+    """
+
+    t_forward: float
+    packet: Packet
+    receiver: NodeId
+    sender: NodeId
+
+
+class ForwardSchedule:
+    """Priority queue of :class:`ScheduledPacket`, ordered by forward time."""
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity <= 0:
+            raise SchedulerError(f"capacity must be positive, got {capacity}")
+        self._capacity = capacity
+        self._heap: list[tuple[float, int, ScheduledPacket]] = []
+        self._seq = itertools.count()
+        self._lock = threading.Lock()
+        self._nonempty = threading.Condition(self._lock)
+        self._closed = False
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._heap)
+
+    @property
+    def capacity(self) -> Optional[int]:
+        return self._capacity
+
+    def push(self, entry: ScheduledPacket) -> bool:
+        """Enqueue; returns False (dropping the entry) when at capacity."""
+        with self._nonempty:
+            if self._closed:
+                raise SchedulerError("schedule is closed")
+            if self._capacity is not None and len(self._heap) >= self._capacity:
+                return False
+            heapq.heappush(
+                self._heap, (entry.t_forward, next(self._seq), entry)
+            )
+            self._nonempty.notify_all()
+            return True
+
+    def peek_time(self) -> Optional[float]:
+        """Forward time of the head entry (None when empty)."""
+        with self._lock:
+            return self._heap[0][0] if self._heap else None
+
+    def pop_due(self, now: float) -> list[ScheduledPacket]:
+        """Remove and return every entry with ``t_forward <= now``, in order."""
+        due: list[ScheduledPacket] = []
+        with self._lock:
+            while self._heap and self._heap[0][0] <= now:
+                due.append(heapq.heappop(self._heap)[2])
+        return due
+
+    def wait_due(self, now: float, max_wait: float = 0.1) -> list[ScheduledPacket]:
+        """Real-time scanning-thread primitive.
+
+        Returns due entries immediately if any; otherwise blocks up to
+        ``max_wait`` seconds (or until the head's due time, whichever is
+        sooner) waiting for new entries, then returns whatever is due.
+        ``now`` is re-evaluated by the caller between calls; this method
+        treats it as the instant of the call.
+        """
+        with self._nonempty:
+            due: list[ScheduledPacket] = []
+            while self._heap and self._heap[0][0] <= now:
+                due.append(heapq.heappop(self._heap)[2])
+            if due or self._closed:
+                return due
+            timeout = max_wait
+            if self._heap:
+                timeout = min(max_wait, max(self._heap[0][0] - now, 0.0))
+            if timeout > 0:
+                self._nonempty.wait(timeout)
+            while self._heap and self._heap[0][0] <= now + timeout:
+                # Entries that became due while we waited.
+                if self._heap[0][0] <= now + timeout:
+                    due.append(heapq.heappop(self._heap)[2])
+            return due
+
+    def drain(self) -> list[ScheduledPacket]:
+        """Remove and return everything (shutdown path), in order."""
+        with self._lock:
+            out = [heapq.heappop(self._heap)[2] for _ in range(len(self._heap))]
+            return out
+
+    def close(self) -> None:
+        """Wake waiters and refuse further pushes."""
+        with self._nonempty:
+            self._closed = True
+            self._nonempty.notify_all()

@@ -1,0 +1,301 @@
+"""The PoEm emulation server, in both deployment styles.
+
+:class:`InProcessEmulator` runs the whole client/server structure inside
+one process on a :class:`~repro.core.clock.VirtualClock`: every VMN gets a
+:class:`VirtualNodeHost` (the client), frames flow through the same
+:class:`~repro.core.engine.ForwardingEngine` pipeline the TCP server uses,
+and time advances deterministically.  This is the test/benchmark stack —
+and also a perfectly usable headless emulator for scripted scenarios.
+
+:class:`PoEmServer` (in :mod:`repro.core.tcpserver`) is the paper-faithful
+deployment: a threaded TCP server workstations connect to.  Both share
+scene, neighbor tables, engine, recorder — only clocks and transports
+differ (DESIGN.md §2).
+
+Client-side imperfections are first-class here because the paper's whole
+§2 argument is about them: each virtual host can be given a **clock
+offset** (imperfect synchronization) and **uplink/downlink latencies**
+(the LAN between client and server), which the Fig 2 / Fig 5 benches
+dial.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Type
+
+import numpy as np
+
+from ..errors import ProtocolError, SceneError
+from ..models.mobility import Bounds
+from ..models.radio import RadioConfig
+from ..net.virtual import LatencySpec
+from ..protocols.base import (
+    ProtocolHost,
+    RoutingProtocol,
+    TimerService,
+    VirtualTimerService,
+)
+from .clock import VirtualClock
+from .engine import ForwardingEngine
+from .geometry import Vec2
+from .ids import ChannelId, IdAllocator, NodeId
+from .neighbor import ChannelIndexedNeighborTables, NeighborScheme
+from .packet import Packet, PacketStamper
+from .recording import MemoryRecorder, Recorder
+from .scene import Scene
+
+__all__ = ["VirtualNodeHost", "InProcessEmulator"]
+
+
+class VirtualNodeHost(ProtocolHost):
+    """One emulation client of the in-process stack.
+
+    Implements the full :class:`ProtocolHost` contract, so any
+    :class:`RoutingProtocol` runs here unmodified — identical to running
+    on the TCP client.
+    """
+
+    def __init__(
+        self,
+        emulator: "InProcessEmulator",
+        node_id: NodeId,
+        *,
+        clock_offset: float = 0.0,
+        uplink: Optional[LatencySpec] = None,
+        downlink: Optional[LatencySpec] = None,
+    ) -> None:
+        self._emulator = emulator
+        self._node_id = node_id
+        self.clock_offset = clock_offset
+        self.uplink = uplink or LatencySpec(base=0.0)
+        self.downlink = downlink or LatencySpec(base=0.0)
+        self._stamper = PacketStamper(node_id)
+        self._timers = VirtualTimerService(emulator.clock)
+        self.protocol: Optional[RoutingProtocol] = None
+        self.received: list[Packet] = []
+        self.app_received: list[Packet] = []
+        self.on_app_packet: Optional[Callable[[Packet], None]] = None
+        self._rng = np.random.default_rng(int(node_id) * 7919 + 13)
+
+    # -- ProtocolHost ----------------------------------------------------------
+
+    @property
+    def node_id(self) -> NodeId:
+        return self._node_id
+
+    def channels(self) -> frozenset[ChannelId]:
+        if self._node_id not in self._emulator.scene:
+            return frozenset()  # node was removed mid-run
+        return self._emulator.scene.channels_of(self._node_id)
+
+    def now(self) -> float:
+        """The client's synchronized emulation clock (offset models the
+        residual sync error of §4.1)."""
+        return self._emulator.clock.now() + self.clock_offset
+
+    def transmit(
+        self,
+        destination: NodeId,
+        payload: bytes,
+        *,
+        channel: ChannelId,
+        kind: str = "data",
+        size_bits: Optional[int] = None,
+    ) -> Packet:
+        if channel not in self.channels():
+            raise ProtocolError(
+                f"node {self._node_id} has no radio on channel {channel}"
+            )
+        packet = self._stamper.make_packet(
+            destination,
+            payload,
+            channel=channel,
+            kind=kind,
+            size_bits=size_bits,
+            t_origin=self.now(),  # parallel time-stamping, at the client
+        )
+        self._emulator._client_transmit(self, packet)
+        return packet
+
+    def timers(self) -> TimerService:
+        return self._timers
+
+    def deliver_to_app(self, packet: Packet) -> None:
+        self.app_received.append(packet)
+        if self.on_app_packet is not None:
+            self.on_app_packet(packet)
+
+    # -- emulator-side delivery ---------------------------------------------------
+
+    def _receive_from_server(self, packet: Packet) -> None:
+        delay = self.downlink.sample(self._rng)
+
+        def arrive() -> None:
+            self.received.append(packet)
+            if self.protocol is not None:
+                self.protocol.on_packet(packet)
+            elif self.on_app_packet is not None:
+                self.on_app_packet(packet)
+
+        if delay <= 0.0:
+            arrive()
+        else:
+            self._emulator.clock.call_after(delay, arrive)
+
+    def attach_protocol(self, protocol: RoutingProtocol) -> None:
+        """Embed a routing protocol in this client and start it."""
+        if self.protocol is not None:
+            raise ProtocolError(f"node {self._node_id} already runs a protocol")
+        self.protocol = protocol
+        protocol.start(self)
+
+    def detach_protocol(self) -> None:
+        if self.protocol is not None:
+            self.protocol.stop()
+            self.protocol = None
+
+
+class InProcessEmulator:
+    """The whole PoEm client/server structure on one virtual clock."""
+
+    def __init__(
+        self,
+        *,
+        seed: Optional[int] = 0,
+        bounds: Optional[Bounds] = None,
+        recorder: Optional[Recorder] = None,
+        neighbor_scheme: Type[NeighborScheme] = ChannelIndexedNeighborTables,
+        schedule_capacity: Optional[int] = None,
+        use_client_stamps: bool = True,
+        mac=None,
+        energy=None,
+    ) -> None:
+        self.clock = VirtualClock()
+        self.scene = Scene(bounds=bounds, seed=seed)
+        self.scene.bind_time_source(self.clock.now)
+        self.recorder = recorder if recorder is not None else MemoryRecorder()
+        self.recorder.attach_to_scene(self.scene)
+        self.neighbors = neighbor_scheme(self.scene)
+        self.engine = ForwardingEngine(
+            self.scene,
+            self.neighbors,
+            self.clock,
+            self.recorder,
+            rng=np.random.default_rng(seed),
+            schedule_capacity=schedule_capacity,
+            use_client_stamps=use_client_stamps,
+            mac=mac,
+            energy=energy,
+        )
+        self.engine.deliver = self._deliver_to_host
+        self._hosts: dict[NodeId, VirtualNodeHost] = {}
+        self._ids = IdAllocator()
+        # A node removed directly through the scene (GUI op, scenario step)
+        # must also disconnect its client, or its protocol keeps ticking.
+        self.scene.add_listener(self._on_scene_event)
+
+    def _on_scene_event(self, event) -> None:
+        if event.kind == "node-removed":
+            host = self._hosts.pop(event.node, None)
+            if host is not None:
+                host.detach_protocol()
+
+    # -- topology construction ---------------------------------------------------
+
+    def add_node(
+        self,
+        position: Vec2,
+        radios: RadioConfig,
+        *,
+        node_id: Optional[NodeId] = None,
+        label: str = "",
+        protocol: Optional[RoutingProtocol] = None,
+        clock_offset: float = 0.0,
+        uplink: Optional[LatencySpec] = None,
+        downlink: Optional[LatencySpec] = None,
+    ) -> VirtualNodeHost:
+        """Create a VMN + its client; optionally embed a protocol."""
+        if node_id is None:
+            node_id = NodeId(self._ids.allocate())
+        self.scene.add_node(node_id, position, radios, label=label)
+        host = VirtualNodeHost(
+            self,
+            node_id,
+            clock_offset=clock_offset,
+            uplink=uplink,
+            downlink=downlink,
+        )
+        self._hosts[node_id] = host
+        if protocol is not None:
+            host.attach_protocol(protocol)
+        return host
+
+    def remove_node(self, node_id: NodeId) -> None:
+        """Disconnect a client and remove its VMN from the scene."""
+        host = self._hosts.pop(node_id, None)
+        if host is not None:
+            host.detach_protocol()
+        if node_id in self.scene:
+            self.scene.remove_node(node_id)
+
+    def host(self, node_id: NodeId) -> VirtualNodeHost:
+        try:
+            return self._hosts[node_id]
+        except KeyError:
+            raise SceneError(f"no client for node {node_id}") from None
+
+    def hosts(self) -> list[VirtualNodeHost]:
+        return list(self._hosts.values())
+
+    # -- the pipeline ------------------------------------------------------------
+
+    def _client_transmit(self, host: VirtualNodeHost, packet: Packet) -> None:
+        """Client → server leg: uplink latency, then Steps 1–4."""
+        delay = host.uplink.sample(host._rng)
+
+        def arrive_at_server() -> None:
+            # Scene positions must reflect mobility up to 'now' before
+            # neighbor lookup / loss draws (the server's view is current).
+            self.scene.advance_time(self.clock.now())
+            entries = self.engine.ingest(host.node_id, packet)
+            now = self.clock.now()
+            for entry in entries:
+                self.clock.call_at(
+                    max(entry.t_forward, now), self._flush_engine
+                )
+
+        if delay <= 0.0:
+            arrive_at_server()
+        else:
+            self.clock.call_after(delay, arrive_at_server)
+
+    def _flush_engine(self) -> None:
+        self.engine.flush_due(self.clock.now())
+
+    def _deliver_to_host(self, receiver: NodeId, packet: Packet) -> None:
+        host = self._hosts.get(receiver)
+        if host is not None:
+            host._receive_from_server(packet)
+
+    # -- running -------------------------------------------------------------------
+
+    def run_until(self, t: float) -> None:
+        """Advance emulation to time ``t`` (events + mobility)."""
+        self.clock.run_until(t)
+        self.scene.advance_time(t)
+
+    def run_for(self, dt: float) -> None:
+        self.run_until(self.clock.now() + dt)
+
+    def enable_mobility_tick(self, interval: float) -> None:
+        """Emit scene positions every ``interval`` s (for replay smoothness).
+
+        Without this, mobility is evaluated lazily (exact, but the scene
+        record only contains positions at packet instants).
+        """
+
+        def tick() -> None:
+            self.scene.advance_time(self.clock.now())
+            self.clock.call_after(interval, tick)
+
+        self.clock.call_after(interval, tick)

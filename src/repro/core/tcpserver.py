@@ -1,0 +1,351 @@
+"""The paper-faithful real-time TCP emulation server (Fig 4, §3.2).
+
+Workstations (or processes — "several clients can run in one workstation")
+connect over TCP; each connection is mapped to a Virtual MANET Node.  The
+server's thread structure mirrors the paper's Step 1–7 description:
+
+* one **accept thread** admits connections;
+* one **receiver thread per client** performs Step 1 (and answers
+  clock-sync requests with server time-stamps — §4.1 steps 2–3);
+* ingest (Steps 2–4) runs inline on the receiver thread — the scheduling
+  work of the paper's "parallel multiple threads";
+* one **scanning thread** watches the schedule (Step 5);
+* one **sending thread per client** drains an outbound queue (Step 6), so
+  a slow client never stalls the scan loop;
+* recording (Step 7) happens inside the engine via the shared recorder;
+* one **mobility thread** ticks scene time forward.
+
+Scene mutations arrive either from local code (scenario scripts, the GUI
+module) or from a connected operator console via ``scene_op`` messages.
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import threading
+from typing import Optional, Type
+
+import numpy as np
+
+from ..errors import TransportError
+from ..models.link import BandwidthModel, DelayModel, LinkModel, PacketLossModel
+from ..models.mobility import Bounds
+from ..models.radio import Radio, RadioConfig
+from ..net import framing, messages
+from .clock import RealTimeClock, make_sync_reply, SyncRequest
+from .engine import ForwardingEngine
+from .geometry import Vec2
+from .ids import ChannelId, IdAllocator, NodeId, RadioIndex
+from .neighbor import ChannelIndexedNeighborTables, NeighborScheme
+from .packet import Packet
+from .recording import MemoryRecorder, Recorder
+from .scene import Scene
+
+__all__ = ["PoEmServer"]
+
+
+class _ClientConnection:
+    """Server-side state for one connected emulation client."""
+
+    def __init__(self, sock: socket.socket, server: "PoEmServer") -> None:
+        self.sock = sock
+        self.server = server
+        self.node_id: Optional[NodeId] = None
+        self.outbox: "queue.Queue[Optional[bytes]]" = queue.Queue()
+        self.sender = threading.Thread(target=self._send_loop, daemon=True)
+        self.sender.start()
+        self._send_lock = threading.Lock()
+
+    def enqueue(self, frame: bytes) -> None:
+        self.outbox.put(frame)
+
+    def _send_loop(self) -> None:
+        while True:
+            frame = self.outbox.get()
+            if frame is None:
+                return
+            try:
+                framing.send_frame(self.sock, frame)
+            except TransportError:
+                return  # receiver thread notices the dead socket and cleans up
+
+    def close(self) -> None:
+        self.outbox.put(None)
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self.sock.close()
+
+
+class PoEmServer:
+    """The central emulation server of the real-time deployment."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        recorder: Optional[Recorder] = None,
+        bounds: Optional[Bounds] = None,
+        seed: Optional[int] = 0,
+        neighbor_scheme: Type[NeighborScheme] = ChannelIndexedNeighborTables,
+        schedule_capacity: Optional[int] = None,
+        use_client_stamps: bool = True,
+        mobility_tick: float = 0.05,
+        scan_poll: float = 0.002,
+    ) -> None:
+        self._host = host
+        self._port = port
+        self.clock = RealTimeClock()
+        self.scene = Scene(bounds=bounds, seed=seed)
+        self.scene.bind_time_source(self.clock.now)
+        self.recorder = recorder if recorder is not None else MemoryRecorder()
+        self.recorder.attach_to_scene(self.scene)
+        self.neighbors = neighbor_scheme(self.scene)
+        self.engine = ForwardingEngine(
+            self.scene,
+            self.neighbors,
+            self.clock,
+            self.recorder,
+            rng=np.random.default_rng(seed),
+            schedule_capacity=schedule_capacity,
+            use_client_stamps=use_client_stamps,
+        )
+        self.engine.deliver = self._deliver
+        self._ids = IdAllocator()
+        self._mobility_tick = mobility_tick
+        self._scan_poll = scan_poll
+        self._sock: Optional[socket.socket] = None
+        self._running = False
+        self._threads: list[threading.Thread] = []
+        self._clients: dict[NodeId, _ClientConnection] = {}
+        self._clients_lock = threading.Lock()
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> tuple[str, int]:
+        """Bind, listen, and spin up the thread complement.
+
+        Returns the bound (host, port) — port 0 lets the OS pick one.
+        """
+        if self._running:
+            raise TransportError("server already running")
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind((self._host, self._port))
+        self._sock.listen(64)
+        self._running = True
+        for target, name in (
+            (self._accept_loop, "poem-accept"),
+            (self._scan_loop, "poem-scan"),
+            (self._mobility_loop, "poem-mobility"),
+        ):
+            t = threading.Thread(target=target, name=name, daemon=True)
+            t.start()
+            self._threads.append(t)
+        return self.address
+
+    @property
+    def address(self) -> tuple[str, int]:
+        if self._sock is None:
+            raise TransportError("server not started")
+        return self._sock.getsockname()[:2]
+
+    def stop(self) -> None:
+        """Shut everything down; safe to call twice."""
+        if not self._running:
+            return
+        self._running = False
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+        with self._clients_lock:
+            clients = list(self._clients.values())
+            self._clients.clear()
+        for c in clients:
+            c.close()
+        self.engine.schedule.close()
+        for t in self._threads:
+            t.join(timeout=2.0)
+        self._threads.clear()
+
+    def __enter__(self) -> "PoEmServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- accept / per-client receive ------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        assert self._sock is not None
+        while self._running:
+            try:
+                sock, _addr = self._sock.accept()
+            except OSError:
+                return  # listening socket closed
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            conn = _ClientConnection(sock, self)
+            t = threading.Thread(
+                target=self._client_loop, args=(conn,), daemon=True
+            )
+            t.start()
+
+    def _client_loop(self, conn: _ClientConnection) -> None:
+        """Step 1: receive frames from one emulation client."""
+        try:
+            while self._running:
+                frame = framing.recv_frame(conn.sock)
+                if frame is None:
+                    break
+                self._handle_message(conn, messages.decode_message(frame))
+        except TransportError:
+            pass
+        finally:
+            self._drop_client(conn)
+
+    def _handle_message(self, conn: _ClientConnection, msg: dict) -> None:
+        op = msg["op"]
+        if op == "register":
+            self._register(conn, msg)
+        elif op == "sync_req":
+            # §4.1 steps 2–3: stamp receipt, stamp reply, echo the sum.
+            t_s2 = self.clock.now()
+            reply = make_sync_reply(
+                SyncRequest(t_c1=float(msg["t_c1"])), t_s2, self.clock.now()
+            )
+            conn.enqueue(
+                messages.encode_message(
+                    {"op": "sync_rep", "t_s3": reply.t_s3, "echo": reply.echo}
+                )
+            )
+        elif op == "packet":
+            if conn.node_id is None:
+                raise TransportError("packet before register")
+            packet = messages.packet_from_wire(msg["packet"])
+            self.engine.ingest(conn.node_id, packet)
+        elif op == "scene_op":
+            self._scene_op(msg)
+        elif op == "bye":
+            raise TransportError("client said bye")  # unwinds to cleanup
+        else:
+            raise TransportError(f"unknown op: {op!r}")
+
+    def _register(self, conn: _ClientConnection, msg: dict) -> None:
+        node_id = NodeId(self._ids.allocate())
+        radios = RadioConfig(
+            tuple(_radio_from_wire(r) for r in msg["radios"])
+        )
+        self.scene.add_node(
+            node_id,
+            Vec2(float(msg["x"]), float(msg["y"])),
+            radios,
+            label=str(msg.get("label", "")),
+        )
+        conn.node_id = node_id
+        with self._clients_lock:
+            self._clients[node_id] = conn
+        conn.enqueue(
+            messages.encode_message({"op": "registered", "node": int(node_id)})
+        )
+
+    def _drop_client(self, conn: _ClientConnection) -> None:
+        node_id = conn.node_id
+        if node_id is not None:
+            with self._clients_lock:
+                self._clients.pop(node_id, None)
+            if node_id in self.scene:
+                self.scene.remove_node(node_id)
+        conn.close()
+
+    def _scene_op(self, msg: dict) -> None:
+        """Topology control from a connected console (GUI substitute)."""
+        op = msg["scene"]
+        node = NodeId(int(msg["node"]))
+        if op == "move":
+            self.scene.move_node(node, Vec2(float(msg["x"]), float(msg["y"])))
+        elif op == "set_channel":
+            self.scene.set_radio_channel(
+                node, RadioIndex(int(msg["radio"])), ChannelId(int(msg["channel"]))
+            )
+        elif op == "set_range":
+            self.scene.set_radio_range(
+                node, RadioIndex(int(msg["radio"])), float(msg["range"])
+            )
+        elif op == "remove":
+            self.scene.remove_node(node)
+        else:
+            raise TransportError(f"unknown scene op: {op!r}")
+
+    # -- scan / deliver / mobility -----------------------------------------------------
+
+    def _scan_loop(self) -> None:
+        """Step 5: fire deliveries as the wall clock meets forward times."""
+        import time as _time
+
+        while self._running:
+            now = self.clock.now()
+            delivered = self.engine.flush_due(now)
+            if delivered:
+                continue
+            nxt = self.engine.next_forward_time()
+            if nxt is None:
+                _time.sleep(self._scan_poll)
+            else:
+                _time.sleep(min(max(nxt - self.clock.now(), 0.0),
+                               self._scan_poll))
+
+    def _deliver(self, receiver: NodeId, packet: Packet) -> None:
+        """Step 6 hand-off: queue the frame on the receiver's sender thread."""
+        with self._clients_lock:
+            conn = self._clients.get(receiver)
+        if conn is not None:
+            conn.enqueue(
+                messages.encode_message(
+                    {"op": "deliver", "packet": messages.packet_to_wire(packet)}
+                )
+            )
+
+    def _mobility_loop(self) -> None:
+        import time as _time
+
+        while self._running:
+            _time.sleep(self._mobility_tick)
+            try:
+                self.scene.advance_time(self.clock.now())
+            except Exception:
+                if self._running:
+                    raise
+
+
+def _radio_from_wire(raw: dict) -> Radio:
+    """Build a radio (with optional link-model parameters) from JSON."""
+    link_raw = raw.get("link")
+    if link_raw:
+        rng_ = float(raw["range"])
+        link = LinkModel(
+            loss=PacketLossModel(
+                p0=float(link_raw.get("p0", 0.0)),
+                p1=float(link_raw.get("p1", link_raw.get("p0", 0.0))),
+                d0=float(link_raw.get("d0", 0.0)),
+                radio_range=float(link_raw.get("loss_range", rng_)),
+            ),
+            bandwidth=BandwidthModel(
+                peak=float(link_raw.get("bw_peak", 11e6)),
+                edge=float(link_raw.get("bw_edge", link_raw.get("bw_peak", 11e6))),
+                radio_range=rng_,
+            ),
+            delay=DelayModel(base=float(link_raw.get("delay", 0.0))),
+        )
+    else:
+        link = LinkModel()
+    return Radio(
+        channel=ChannelId(int(raw["channel"])),
+        range=float(raw["range"]),
+        link=link,
+    )

@@ -1,0 +1,95 @@
+"""Exception hierarchy for the PoEm emulator.
+
+All library-raised exceptions derive from :class:`PoEmError` so callers can
+catch everything the emulator raises with a single ``except`` clause while
+still distinguishing configuration mistakes from runtime failures.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "PoEmError",
+    "ConfigurationError",
+    "SceneError",
+    "UnknownNodeError",
+    "UnknownRadioError",
+    "ChannelError",
+    "TransportError",
+    "FramingError",
+    "ProtocolError",
+    "ClockError",
+    "RecordingError",
+    "ReplayError",
+    "SchedulerError",
+    "ClusterError",
+    "ScenarioError",
+]
+
+
+class PoEmError(Exception):
+    """Base class for every exception raised by the :mod:`repro` package."""
+
+
+class ConfigurationError(PoEmError):
+    """A model, node, or emulator was configured with invalid parameters."""
+
+
+class SceneError(PoEmError):
+    """An invalid operation was attempted on the emulation scene."""
+
+
+class UnknownNodeError(SceneError):
+    """A scene operation referenced a node id that does not exist."""
+
+    def __init__(self, node_id: object) -> None:
+        super().__init__(f"unknown node id: {node_id!r}")
+        self.node_id = node_id
+
+
+class UnknownRadioError(SceneError):
+    """A scene operation referenced a radio index that does not exist."""
+
+    def __init__(self, node_id: object, radio_index: int) -> None:
+        super().__init__(f"node {node_id!r} has no radio #{radio_index}")
+        self.node_id = node_id
+        self.radio_index = radio_index
+
+
+class ChannelError(SceneError):
+    """An invalid channel id was used."""
+
+
+class TransportError(PoEmError):
+    """A transport (TCP or virtual) failed to deliver or connect."""
+
+
+class FramingError(TransportError):
+    """A stream contained a malformed or oversized frame."""
+
+
+class ProtocolError(PoEmError):
+    """A routing-protocol implementation violated its host contract."""
+
+
+class ClockError(PoEmError):
+    """Emulation-clock misuse (e.g. scheduling into the past)."""
+
+
+class RecordingError(PoEmError):
+    """The packet/scene recorder could not persist a record."""
+
+
+class ReplayError(PoEmError):
+    """A replay source was missing, truncated, or inconsistent."""
+
+
+class SchedulerError(PoEmError):
+    """The forwarding schedule was used incorrectly."""
+
+
+class ClusterError(PoEmError):
+    """The parallelized (multi-worker) server encountered an error."""
+
+
+class ScenarioError(PoEmError):
+    """A scenario script was malformed or failed to execute."""

@@ -1,0 +1,16 @@
+"""Experiment drivers: one module per reproduced table/figure (DESIGN.md §4)."""
+
+from . import (
+    ablation,
+    fig2,
+    fig3,
+    fig5,
+    fig6,
+    fig10,
+    scale,
+    sensitivity,
+    table1,
+    table2,
+)
+
+__all__ = ["table1", "table2", "fig2", "fig3", "fig5", "fig6", "fig10", "scale", "ablation", "sensitivity"]

@@ -1,0 +1,120 @@
+"""Fig 2 phenomenon — serialized time-stamping error, quantified.
+
+§2.1: "Several emulation clients generate packets simultaneously but in
+the view of the server these packets are sent at different time due to
+the serial reception and subsequent processing."
+
+Experiment: ``n`` clients each transmit a burst of frames at the *same*
+emulation instant.  We run the identical workload on
+
+* **PoEm** — clients stamp in parallel with synchronized clocks; the
+  recorded receipt anchor is the client stamp, and
+* **JEmu baseline** — the server stamps on serial reception, one
+  ``service_time`` apart.
+
+The metric is the time-stamping error ``t_receipt − t_origin`` per
+recorded packet.  For PoEm it is zero by construction; for the serial
+baseline the worst error grows linearly with the burst size — the
+scalability wall the paper's parallel stamping removes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..baselines.jemu import JEmuEmulator
+from ..core.geometry import Vec2
+from ..core.ids import BROADCAST_NODE
+from ..core.server import InProcessEmulator
+from ..models.radio import RadioConfig
+from ..stats.metrics import stamp_errors
+
+__all__ = ["Fig2Row", "run_fig2"]
+
+
+@dataclass(frozen=True)
+class Fig2Row:
+    """Stamp-error statistics at one client count."""
+
+    n_clients: int
+    burst: int
+    poem_max_error: float
+    poem_mean_error: float
+    jemu_max_error: float
+    jemu_mean_error: float
+
+
+def _simultaneous_burst(emu, hosts, burst: int) -> None:
+    """Every client transmits ``burst`` broadcast frames at t=now."""
+    for host in hosts:
+        for _ in range(burst):
+            host.transmit(BROADCAST_NODE, b"burst-probe", channel=1,
+                          size_bits=1024)
+
+
+def run_fig2(
+    client_counts: tuple[int, ...] = (2, 4, 8, 16, 32),
+    *,
+    burst: int = 4,
+    service_time: float = 0.001,
+    seed: int = 3,
+) -> list[Fig2Row]:
+    """Measure stamp error vs client count on both architectures."""
+    rows = []
+    for n in client_counts:
+        # --- PoEm: parallel client stamping -------------------------------
+        poem = InProcessEmulator(seed=seed)
+        hosts = [
+            poem.add_node(
+                Vec2(float(10 * i), 0.0), RadioConfig.single(1, 10_000.0)
+            )
+            for i in range(n)
+        ]
+        _simultaneous_burst(poem, hosts, burst)
+        poem.run_for(5.0)
+        poem_err = stamp_errors(poem.recorder.packets())
+
+        # --- JEmu: serial server stamping ----------------------------------
+        jemu = JEmuEmulator(seed=seed, service_time=service_time)
+        jhosts = [
+            jemu.add_node(
+                Vec2(float(10 * i), 0.0), RadioConfig.single(1, 10_000.0)
+            )
+            for i in range(n)
+        ]
+        _simultaneous_burst(jemu, jhosts, burst)
+        jemu.run_for(5.0)
+        jemu_err = stamp_errors(jemu.recorder.packets())
+
+        rows.append(
+            Fig2Row(
+                n_clients=n,
+                burst=burst,
+                poem_max_error=float(np.max(np.abs(poem_err)))
+                if poem_err.size else 0.0,
+                poem_mean_error=float(np.mean(np.abs(poem_err)))
+                if poem_err.size else 0.0,
+                jemu_max_error=float(np.max(np.abs(jemu_err)))
+                if jemu_err.size else 0.0,
+                jemu_mean_error=float(np.mean(np.abs(jemu_err)))
+                if jemu_err.size else 0.0,
+            )
+        )
+    return rows
+
+
+def format_rows(rows: list[Fig2Row]) -> str:
+    lines = [
+        f"{'clients':>8} {'PoEm max err':>13} {'PoEm mean':>10} "
+        f"{'JEmu max err':>13} {'JEmu mean':>10}",
+        "-" * 60,
+    ]
+    for r in rows:
+        lines.append(
+            f"{r.n_clients:>8} {r.poem_max_error:13.6f} "
+            f"{r.poem_mean_error:10.6f} {r.jemu_max_error:13.6f} "
+            f"{r.jemu_mean_error:10.6f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,175 @@
+"""Scalability — node-count scaling and the future-work cluster (§3, §7).
+
+Two claims are measured:
+
+1. "Scalable in the number of emulated nodes": the per-packet pipeline
+   cost and wall-clock throughput of the in-process emulator as the node
+   count grows (broadcast beacons make offered load grow superlinearly —
+   the honest stress).
+2. The future-work cluster: the same offered load against
+   :class:`~repro.cluster.parallel.ParallelEmulator` with 1..K workers of
+   fixed per-worker service rate.  The metric is the worst queueing lag a
+   packet experienced before its pipeline ran — the bottleneck §2.1
+   describes — which should fall roughly as 1/K until shard imbalance
+   bites.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cluster.parallel import ParallelEmulator
+from ..core.geometry import Vec2
+from ..core.ids import BROADCAST_NODE
+from ..core.server import InProcessEmulator
+from ..models.radio import RadioConfig
+
+__all__ = ["NodeScaleRow", "ClusterScaleRow", "run_node_scaling", "run_cluster_scaling"]
+
+
+@dataclass(frozen=True)
+class NodeScaleRow:
+    """Emulator throughput at one node count."""
+
+    n_nodes: int
+    frames_ingested: int
+    frames_forwarded: int
+    emu_seconds: float
+    wall_seconds: float
+
+    @property
+    def frames_per_wall_second(self) -> float:
+        return self.frames_ingested / max(self.wall_seconds, 1e-12)
+
+
+@dataclass(frozen=True)
+class ClusterScaleRow:
+    """Cluster queueing behaviour at one worker count."""
+
+    n_workers: int
+    n_nodes: int
+    offered_pps: float
+    processed: int
+    max_queue_lag: float
+    imbalance: float
+
+
+def _grid_nodes(emu, n: int, spacing: float = 60.0, radio_range: float = 150.0):
+    """Place n nodes on a square grid with local connectivity."""
+    side = int(np.ceil(np.sqrt(n)))
+    hosts = []
+    for i in range(n):
+        hosts.append(
+            emu.add_node(
+                Vec2(spacing * (i % side), spacing * (i // side)),
+                RadioConfig.single(1, radio_range),
+            )
+        )
+    return hosts
+
+
+def _broadcast_load(emu, hosts, duration: float, interval: float) -> None:
+    """Every node broadcasts a beacon-sized frame every ``interval``."""
+
+    def beat(host, t: float = 0.0) -> None:
+        if t >= duration:
+            return
+        host.transmit(BROADCAST_NODE, b"scale-beacon", channel=1,
+                      size_bits=512)
+        emu.clock.call_after(interval, lambda: beat(host, t + interval))
+
+    for host in hosts:
+        beat(host)
+
+
+def run_node_scaling(
+    node_counts: tuple[int, ...] = (10, 25, 50, 100),
+    *,
+    duration: float = 5.0,
+    interval: float = 0.5,
+    seed: int = 4,
+) -> list[NodeScaleRow]:
+    """Measure ingest throughput vs emulated-node count."""
+    rows = []
+    for n in node_counts:
+        emu = InProcessEmulator(seed=seed)
+        hosts = _grid_nodes(emu, n)
+        _broadcast_load(emu, hosts, duration, interval)
+        t0 = time.perf_counter()
+        emu.run_until(duration + 1.0)
+        wall = time.perf_counter() - t0
+        rows.append(
+            NodeScaleRow(
+                n_nodes=n,
+                frames_ingested=emu.engine.ingested,
+                frames_forwarded=emu.engine.forwarded,
+                emu_seconds=duration,
+                wall_seconds=wall,
+            )
+        )
+    return rows
+
+
+def run_cluster_scaling(
+    worker_counts: tuple[int, ...] = (1, 2, 4, 8),
+    *,
+    n_nodes: int = 32,
+    duration: float = 5.0,
+    interval: float = 0.05,
+    worker_service_rate: float = 2_000.0,
+    seed: int = 4,
+) -> list[ClusterScaleRow]:
+    """Measure queueing lag vs cluster size under fixed offered load."""
+    rows = []
+    for k in worker_counts:
+        emu = ParallelEmulator(
+            n_workers=k,
+            worker_service_rate=worker_service_rate,
+            seed=seed,
+        )
+        hosts = _grid_nodes(emu, n_nodes)
+        _broadcast_load(emu, hosts, duration, interval)
+        emu.run_until(duration + 2.0)
+        report = emu.load_report()
+        rows.append(
+            ClusterScaleRow(
+                n_workers=k,
+                n_nodes=n_nodes,
+                offered_pps=n_nodes / interval,
+                processed=report["processed_total"],
+                max_queue_lag=report["max_queue_lag"],
+                imbalance=report["imbalance"],
+            )
+        )
+    return rows
+
+
+def format_node_rows(rows: list[NodeScaleRow]) -> str:
+    lines = [
+        f"{'nodes':>6} {'ingested':>9} {'forwarded':>10} {'wall (s)':>9} "
+        f"{'frames/s':>10}",
+        "-" * 50,
+    ]
+    for r in rows:
+        lines.append(
+            f"{r.n_nodes:>6} {r.frames_ingested:>9} {r.frames_forwarded:>10} "
+            f"{r.wall_seconds:>9.3f} {r.frames_per_wall_second:>10.0f}"
+        )
+    return "\n".join(lines)
+
+
+def format_cluster_rows(rows: list[ClusterScaleRow]) -> str:
+    lines = [
+        f"{'workers':>8} {'offered pps':>12} {'processed':>10} "
+        f"{'max lag (ms)':>13} {'imbalance':>10}",
+        "-" * 60,
+    ]
+    for r in rows:
+        lines.append(
+            f"{r.n_workers:>8} {r.offered_pps:>12.0f} {r.processed:>10} "
+            f"{r.max_queue_lag * 1e3:>13.2f} {r.imbalance:>10.2f}"
+        )
+    return "\n".join(lines)

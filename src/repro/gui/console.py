@@ -1,0 +1,222 @@
+"""Interactive operator console — the paper's GUI loop, as a REPL.
+
+"Users can do those operations on the GUI in real time to set an
+arbitrary scene for tests, e.g. dragging and dropping VMNs anywhere,
+double-clicking the VMN to activate configuration dialogue-boxes anytime"
+(§3.2).  Each of those operations is one console command here, driving a
+live :class:`~repro.core.server.InProcessEmulator`:
+
+=============================  =============================================
+command                         effect
+=============================  =============================================
+``show``                        render the scene (ASCII)
+``nodes``                       list VMNs with positions/radios
+``move <id> <x> <y>``           drag-and-drop a VMN
+``range <id> <radio> <r>``      change a radio's range
+``channel <id> <radio> <ch>``   retune a radio
+``remove <id>``                 remove a VMN
+``routes <id>``                 inspect a VMN's routing table (Table 2!)
+``neighbors <id> <channel>``    inspect NT(id, channel)
+``run <seconds>``               advance emulation time
+``stats``                       pipeline counters
+``quit``                        leave the console
+=============================  =============================================
+
+Built on :mod:`cmd`, so it is scriptable in tests via ``onecmd`` and
+usable interactively via ``PoEmConsole(emulator).cmdloop()``.
+"""
+
+from __future__ import annotations
+
+import cmd
+from typing import Optional
+
+from ..core.geometry import Vec2
+from ..core.ids import ChannelId, NodeId, RadioIndex
+from ..core.server import InProcessEmulator
+from ..errors import PoEmError
+from .ascii_view import render_scene
+
+__all__ = ["PoEmConsole"]
+
+
+class PoEmConsole(cmd.Cmd):
+    """Line-oriented operator console over a live emulator."""
+
+    intro = "PoEm operator console. Type help or ? for commands.\n"
+    prompt = "poem> "
+
+    def __init__(self, emulator: InProcessEmulator, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.emulator = emulator
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _say(self, text: str) -> None:
+        self.stdout.write(text + "\n")
+
+    def _fail(self, message: str) -> None:
+        self._say(f"error: {message}")
+
+    def _parse(self, arg: str, types: tuple, usage: str) -> Optional[tuple]:
+        parts = arg.split()
+        if len(parts) != len(types):
+            self._fail(f"usage: {usage}")
+            return None
+        try:
+            return tuple(t(p) for t, p in zip(types, parts))
+        except ValueError:
+            self._fail(f"usage: {usage}")
+            return None
+
+    # -- inspection ---------------------------------------------------------------
+
+    def do_show(self, arg: str) -> None:
+        """show — render the current scene as ASCII art."""
+        if len(self.emulator.scene) == 0:
+            self._say("(empty scene)")
+            return
+        self._say(render_scene(self.emulator.scene, width=70, height=18))
+
+    def do_nodes(self, arg: str) -> None:
+        """nodes — list every VMN with position and radios."""
+        scene = self.emulator.scene
+        if len(scene) == 0:
+            self._say("(no nodes)")
+            return
+        for node_id in sorted(scene.node_ids()):
+            pos = scene.position(node_id)
+            radios = ", ".join(
+                f"radio{i}: ch{int(r.channel)} R={r.range:g}"
+                for i, r in enumerate(scene.radios(node_id))
+            )
+            self._say(
+                f"  {int(node_id):3d} {scene.label(node_id):<8} "
+                f"({pos.x:8.1f}, {pos.y:8.1f})  {radios}"
+            )
+
+    def do_routes(self, arg: str) -> None:
+        """routes <id> — inspect a VMN's routing table in real time."""
+        parsed = self._parse(arg, (int,), "routes <id>")
+        if parsed is None:
+            return
+        (node,) = parsed
+        try:
+            host = self.emulator.host(NodeId(node))
+        except PoEmError as exc:
+            self._fail(str(exc))
+            return
+        if host.protocol is None:
+            self._say("(no protocol embedded)")
+            return
+        entries = host.protocol.route_summary()
+        self._say(f"# of Routing Entries: {len(entries)}")
+        for entry in entries:
+            self._say(f"  {entry}")
+
+    def do_neighbors(self, arg: str) -> None:
+        """neighbors <id> <channel> — show NT(id, channel)."""
+        parsed = self._parse(arg, (int, int), "neighbors <id> <channel>")
+        if parsed is None:
+            return
+        node, channel = parsed
+        table = self.emulator.neighbors.neighbors(
+            NodeId(node), ChannelId(channel)
+        )
+        self._say(
+            f"NT({node}, {channel}) = "
+            + (", ".join(str(int(n)) for n in sorted(table)) or "(empty)")
+        )
+
+    def do_stats(self, arg: str) -> None:
+        """stats — server pipeline counters."""
+        engine = self.emulator.engine
+        self._say(
+            f"t={self.emulator.clock.now():.3f}s  "
+            f"ingested={engine.ingested}  forwarded={engine.forwarded}  "
+            f"dropped={engine.dropped}  scheduled={len(engine.schedule)}"
+        )
+
+    # -- scene operations ---------------------------------------------------------------
+
+    def do_move(self, arg: str) -> None:
+        """move <id> <x> <y> — drag-and-drop a VMN to a new position."""
+        parsed = self._parse(arg, (int, float, float), "move <id> <x> <y>")
+        if parsed is None:
+            return
+        node, x, y = parsed
+        try:
+            self.emulator.scene.move_node(NodeId(node), Vec2(x, y))
+            self._say(f"moved {node} to ({x:g}, {y:g})")
+        except PoEmError as exc:
+            self._fail(str(exc))
+
+    def do_range(self, arg: str) -> None:
+        """range <id> <radio> <r> — change a radio's range."""
+        parsed = self._parse(arg, (int, int, float), "range <id> <radio> <r>")
+        if parsed is None:
+            return
+        node, radio, r = parsed
+        try:
+            self.emulator.scene.set_radio_range(
+                NodeId(node), RadioIndex(radio), r
+            )
+            self._say(f"node {node} radio {radio} range -> {r:g}")
+        except PoEmError as exc:
+            self._fail(str(exc))
+
+    def do_channel(self, arg: str) -> None:
+        """channel <id> <radio> <ch> — retune a radio."""
+        parsed = self._parse(arg, (int, int, int),
+                             "channel <id> <radio> <ch>")
+        if parsed is None:
+            return
+        node, radio, ch = parsed
+        try:
+            self.emulator.scene.set_radio_channel(
+                NodeId(node), RadioIndex(radio), ChannelId(ch)
+            )
+            self._say(f"node {node} radio {radio} channel -> {ch}")
+        except PoEmError as exc:
+            self._fail(str(exc))
+
+    def do_remove(self, arg: str) -> None:
+        """remove <id> — take a VMN out of the scene."""
+        parsed = self._parse(arg, (int,), "remove <id>")
+        if parsed is None:
+            return
+        (node,) = parsed
+        try:
+            self.emulator.remove_node(NodeId(node))
+            self._say(f"removed node {node}")
+        except PoEmError as exc:
+            self._fail(str(exc))
+
+    # -- time -------------------------------------------------------------------------------
+
+    def do_run(self, arg: str) -> None:
+        """run <seconds> — advance emulation time."""
+        parsed = self._parse(arg, (float,), "run <seconds>")
+        if parsed is None:
+            return
+        (seconds,) = parsed
+        if seconds <= 0:
+            self._fail("duration must be positive")
+            return
+        self.emulator.run_for(seconds)
+        self._say(f"emulation clock now {self.emulator.clock.now():.3f}s")
+
+    # -- exit -----------------------------------------------------------------------------------
+
+    def do_quit(self, arg: str) -> bool:
+        """quit — leave the console."""
+        return True
+
+    do_exit = do_quit
+    do_EOF = do_quit
+
+    def emptyline(self) -> None:  # don't repeat the last command on Enter
+        pass
+
+    def default(self, line: str) -> None:
+        self._fail(f"unknown command: {line.split()[0]!r} (try 'help')")

@@ -1,0 +1,93 @@
+"""Terminal line plots — Fig 10 and friends without a plotting stack.
+
+A tiny multi-series scatter/line plotter for monospaced output: one
+character column per sample, configurable marks per series, y-axis
+labels, NaN-safe.  Used by the examples and the CLI to draw the
+packet-loss-rate curves the paper plots in Fig 10.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = ["ascii_plot", "DEFAULT_MARKS"]
+
+DEFAULT_MARKS = "#o.x+*%@"
+"""Series marks, assigned in insertion order when not specified."""
+
+
+def ascii_plot(
+    t: Sequence[float] | np.ndarray,
+    series: Mapping[str, Sequence[float] | np.ndarray],
+    *,
+    height: int = 16,
+    y_min: Optional[float] = None,
+    y_max: Optional[float] = None,
+    marks: Optional[Mapping[str, str]] = None,
+    title: str = "",
+) -> str:
+    """Render one or more y(t) series as monospaced text.
+
+    The first-listed series wins contested cells, so put the most
+    important one (e.g. the measurement) first.
+    """
+    t = np.asarray(t, dtype=float)
+    if t.ndim != 1 or t.size == 0:
+        raise ConfigurationError("t must be a non-empty 1-D sequence")
+    if height < 4:
+        raise ConfigurationError(f"height too small: {height}")
+    if not series:
+        raise ConfigurationError("need at least one series")
+
+    arrays: dict[str, np.ndarray] = {}
+    for name, values in series.items():
+        arr = np.asarray(values, dtype=float)
+        if arr.shape != t.shape:
+            raise ConfigurationError(
+                f"series {name!r} has shape {arr.shape}, t has {t.shape}"
+            )
+        arrays[name] = arr
+
+    finite = np.concatenate([a[np.isfinite(a)] for a in arrays.values()])
+    if finite.size == 0:
+        raise ConfigurationError("all series values are NaN")
+    lo = float(finite.min()) if y_min is None else y_min
+    hi = float(finite.max()) if y_max is None else y_max
+    if hi <= lo:
+        hi = lo + 1.0
+
+    width = t.size
+    grid = [[" "] * width for _ in range(height)]
+    mark_of: dict[str, str] = {}
+    for i, name in enumerate(arrays):
+        default = DEFAULT_MARKS[i % len(DEFAULT_MARKS)]
+        mark_of[name] = (marks or {}).get(name, default)
+
+    # Later series must not overwrite earlier ones: draw in reverse.
+    for name in reversed(list(arrays)):
+        arr = arrays[name]
+        mark = mark_of[name]
+        for col, v in enumerate(arr):
+            if not np.isfinite(v):
+                continue
+            frac = (v - lo) / (hi - lo)
+            row = height - 1 - int(round(min(max(frac, 0.0), 1.0)
+                                         * (height - 1)))
+            grid[row][col] = mark
+
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(grid):
+        y_val = hi - (hi - lo) * i / (height - 1)
+        lines.append(f"{y_val:8.3f} |" + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(
+        " " * 10 + f"t = {t[0]:g} .. {t[-1]:g}   "
+        + "   ".join(f"{mark_of[n]} {n}" for n in arrays)
+    )
+    return "\n".join(lines)

@@ -1,0 +1,123 @@
+"""SVG frame exporter for post-emulation replay.
+
+Renders one :class:`~repro.core.replay.ReplayFrame` (or a live scene) as
+a standalone SVG document: nodes as labelled dots, radio ranges as
+channel-colored circles, in-flight packets as arrows from sender to
+receiver, recent drops as red crosses at the sender.  Writing a frame
+per replay step yields a flip-book of the run — the paper's replay
+feature without a windowing toolkit.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+from xml.sax.saxutils import escape
+
+from ..core.replay import ReplayFrame, ReplayNode
+from ..errors import ConfigurationError
+
+__all__ = ["frame_to_svg", "CHANNEL_COLORS"]
+
+CHANNEL_COLORS = (
+    "#4878d0", "#ee854a", "#6acc64", "#d65f5f",
+    "#956cb4", "#8c613c", "#dc7ec0", "#797979",
+)
+"""Per-channel outline colors (cycled)."""
+
+
+def _channel_color(channel: int) -> str:
+    return CHANNEL_COLORS[channel % len(CHANNEL_COLORS)]
+
+
+def frame_to_svg(
+    frame: ReplayFrame,
+    *,
+    width: int = 640,
+    height: int = 480,
+    bounds: Optional[tuple[float, float, float, float]] = None,
+    show_ranges: bool = True,
+) -> str:
+    """One replay frame → SVG text (y up, like the emulation plane)."""
+    nodes = frame.nodes
+    if bounds is None:
+        bounds = _fit_bounds(nodes)
+    x_min, y_min, x_max, y_max = bounds
+    if x_max <= x_min or y_max <= y_min:
+        raise ConfigurationError(f"degenerate bounds: {bounds}")
+    sx = width / (x_max - x_min)
+    sy = height / (y_max - y_min)
+
+    def px(x: float) -> float:
+        return (x - x_min) * sx
+
+    def py(y: float) -> float:
+        return height - (y - y_min) * sy  # flip: SVG y grows downward
+
+    parts: list[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="#fcfcf8"/>',
+        f'<text x="8" y="16" font-family="monospace" font-size="12">'
+        f"t = {frame.time:.3f}s</text>",
+    ]
+
+    if show_ranges:
+        for node in nodes.values():
+            for radio in node.radios:
+                parts.append(
+                    f'<circle cx="{px(node.x):.1f}" cy="{py(node.y):.1f}" '
+                    f'r="{radio["range"] * sx:.1f}" fill="none" '
+                    f'stroke="{_channel_color(int(radio["channel"]))}" '
+                    f'stroke-dasharray="4 3" stroke-width="1"/>'
+                )
+
+    for record in frame.in_flight:
+        src = nodes.get(record.sender)
+        dst = nodes.get(record.receiver) if record.receiver is not None else None
+        if src is None or dst is None:
+            continue
+        parts.append(
+            f'<line x1="{px(src.x):.1f}" y1="{py(src.y):.1f}" '
+            f'x2="{px(dst.x):.1f}" y2="{py(dst.y):.1f}" '
+            f'stroke="{_channel_color(record.channel)}" stroke-width="1.5"/>'
+        )
+
+    for record in frame.recent_drops:
+        src = nodes.get(record.sender)
+        if src is None:
+            continue
+        x, y = px(src.x), py(src.y)
+        parts.append(
+            f'<path d="M{x - 4:.1f},{y - 4:.1f} L{x + 4:.1f},{y + 4:.1f} '
+            f'M{x - 4:.1f},{y + 4:.1f} L{x + 4:.1f},{y - 4:.1f}" '
+            f'stroke="#cc2222" stroke-width="2"/>'
+        )
+
+    for node in nodes.values():
+        parts.append(
+            f'<circle cx="{px(node.x):.1f}" cy="{py(node.y):.1f}" r="5" '
+            f'fill="#333333"/>'
+        )
+        parts.append(
+            f'<text x="{px(node.x) + 7:.1f}" y="{py(node.y) - 7:.1f}" '
+            f'font-family="monospace" font-size="11">'
+            f"{escape(node.label)}</text>"
+        )
+
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def _fit_bounds(
+    nodes: Mapping[object, ReplayNode]
+) -> tuple[float, float, float, float]:
+    if not nodes:
+        return (0.0, 0.0, 100.0, 100.0)
+    xs = [n.x for n in nodes.values()]
+    ys = [n.y for n in nodes.values()]
+    reach = max(
+        (max((r["range"] for r in n.radios), default=0.0) for n in nodes.values()),
+        default=0.0,
+    )
+    pad = max(reach, 10.0) * 1.1
+    return (min(xs) - pad, min(ys) - pad, max(xs) + pad, max(ys) + pad)

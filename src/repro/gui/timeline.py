@@ -1,0 +1,129 @@
+"""Replay timeline: the textual 'scrubber' of the post-emulation GUI.
+
+Combines a :class:`~repro.core.replay.ReplayEngine` with the renderers to
+produce a frame-by-frame account of a finished run: for each step, the
+ASCII scene picture, the traffic in flight, drop markers, and a running
+statistics strip (offered/delivered/lost so far).  ``iter_frames`` yields
+the strings lazily so long runs can be paged; ``summary`` gives the final
+whole-run statistics block an operator would read first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from ..core.recording import Recorder
+from ..core.replay import ReplayEngine
+from ..errors import ReplayError
+from .ascii_view import render_nodes
+
+__all__ = ["ReplayTimeline", "TimelineFrame"]
+
+
+@dataclass(frozen=True)
+class TimelineFrame:
+    """One rendered step of the timeline."""
+
+    time: float
+    picture: str
+    in_flight: int
+    drops_so_far: int
+    delivered_so_far: int
+
+    def __str__(self) -> str:
+        return (
+            f"--- t={self.time:8.3f}s  in-flight={self.in_flight:3d}  "
+            f"delivered={self.delivered_so_far:5d}  "
+            f"dropped={self.drops_so_far:5d} ---\n{self.picture}"
+        )
+
+
+class ReplayTimeline:
+    """Frame iterator + final statistics over one recording."""
+
+    def __init__(
+        self,
+        recorder: Recorder,
+        *,
+        fps: float = 4.0,
+        width: int = 72,
+        height: int = 20,
+        show_ranges: bool = False,
+    ) -> None:
+        if fps <= 0:
+            raise ReplayError(f"fps must be positive: {fps}")
+        self._recorder = recorder
+        self._replay = ReplayEngine(recorder)
+        self.fps = fps
+        self.width = width
+        self.height = height
+        self.show_ranges = show_ranges
+
+    @property
+    def replay(self) -> ReplayEngine:
+        return self._replay
+
+    def iter_frames(
+        self, t_start: Optional[float] = None, t_end: Optional[float] = None
+    ) -> Iterator[TimelineFrame]:
+        """Yield rendered frames at the configured rate."""
+        t = self._replay.start_time if t_start is None else t_start
+        end = self._replay.end_time if t_end is None else t_end
+        step = 1.0 / self.fps
+        packets = self._recorder.packets()
+        times = []
+        while t <= end + 1e-12:
+            times.append(t)
+            t += step
+        # Always include a closing frame at the exact end so final-state
+        # counters (deliveries in the last fraction of a step) are shown.
+        if not times or times[-1] < end - 1e-12:
+            times.append(end)
+        for t in times:
+            frame = self._replay.frame_at(t)
+            delivered = sum(
+                1
+                for p in packets
+                if not p.dropped
+                and p.t_delivered is not None
+                and p.t_delivered <= t
+            )
+            dropped = sum(
+                1
+                for p in packets
+                if p.dropped and p.t_receipt is not None and p.t_receipt <= t
+            )
+            yield TimelineFrame(
+                time=t,
+                picture=render_nodes(
+                    frame.nodes,
+                    width=self.width,
+                    height=self.height,
+                    show_ranges=self.show_ranges,
+                ),
+                in_flight=len(frame.in_flight),
+                drops_so_far=dropped,
+                delivered_so_far=delivered,
+            )
+
+    def summary(self) -> str:
+        """Whole-run statistics block."""
+        packets = self._recorder.packets()
+        delivered = sum(1 for p in packets if not p.dropped)
+        dropped = len(packets) - delivered
+        events = len(self._recorder.scene_events())
+        span = self._replay.end_time - self._replay.start_time
+        lines = [
+            "Replay summary",
+            f"  duration        : {span:.3f}s "
+            f"({self._replay.start_time:.3f} .. {self._replay.end_time:.3f})",
+            f"  scene events    : {events}",
+            f"  packet records  : {len(packets)}",
+            f"  delivered       : {delivered}",
+            f"  dropped         : {dropped}",
+        ]
+        if packets:
+            rate = dropped / len(packets)
+            lines.append(f"  overall loss    : {rate:.1%}")
+        return "\n".join(lines)

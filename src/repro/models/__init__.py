@@ -1,0 +1,1 @@
+"""Configurable models: mobility (4-tuple), link (loss/bandwidth/delay), radios."""

@@ -1,0 +1,151 @@
+"""Power-consumption model — the paper's §7 future work, implemented.
+
+"Sophisticated underlying models such as power consumption ... also need
+be added into our system to provide more precise examinations."
+
+A classic first-order radio energy model: transmitting a frame costs a
+fixed electronics overhead plus an amount proportional to its bits, and
+receiving costs the same shape with different constants.  Idle draw can
+be charged explicitly per interval (``charge_idle``) by callers that
+model duty cycles; the emulator core charges tx/rx automatically.
+
+:class:`EnergyTracker` keeps per-node batteries.  When a node's battery
+empties, further transmissions and receptions fail — the engine records
+them as ``no-energy`` drops, and an optional ``on_death`` callback lets a
+scenario remove the node from the scene (a node dying of battery is a
+scene event worth replaying).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..core.ids import NodeId
+from ..errors import ConfigurationError
+
+__all__ = ["EnergyModel", "EnergyTracker"]
+
+
+@dataclass(frozen=True, slots=True)
+class EnergyModel:
+    """Joule costs of radio operations.
+
+    Defaults are in the ballpark of classic sensor-radio numbers
+    (50 nJ/bit electronics) — but the absolute scale only matters
+    relative to configured battery capacities.
+    """
+
+    tx_per_bit: float = 50e-9
+    rx_per_bit: float = 50e-9
+    tx_overhead: float = 0.0
+    rx_overhead: float = 0.0
+    idle_per_second: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("tx_per_bit", "rx_per_bit", "tx_overhead",
+                     "rx_overhead", "idle_per_second"):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be non-negative")
+
+    def tx_cost(self, bits: int) -> float:
+        return self.tx_overhead + self.tx_per_bit * bits
+
+    def rx_cost(self, bits: int) -> float:
+        return self.rx_overhead + self.rx_per_bit * bits
+
+
+class EnergyTracker:
+    """Per-node battery accounting.
+
+    Nodes default to an infinite battery (energy is observed but never
+    gates traffic) until :meth:`set_battery` assigns a finite capacity.
+    Thread-safe for the real-time stack.
+    """
+
+    def __init__(
+        self,
+        model: Optional[EnergyModel] = None,
+        on_death: Optional[Callable[[NodeId], None]] = None,
+    ) -> None:
+        self.model = model or EnergyModel()
+        self.on_death = on_death
+        self._capacity: dict[NodeId, float] = {}
+        self._spent: dict[NodeId, float] = {}
+        self._dead: set[NodeId] = set()
+        self._lock = threading.Lock()
+
+    # -- configuration -----------------------------------------------------------
+
+    def set_battery(self, node: NodeId, joules: float) -> None:
+        """Give ``node`` a finite battery (resets its spend)."""
+        if joules <= 0:
+            raise ConfigurationError(f"battery must be positive: {joules}")
+        with self._lock:
+            self._capacity[node] = joules
+            self._spent[node] = 0.0
+            self._dead.discard(node)
+
+    # -- charging ------------------------------------------------------------------
+
+    def _charge(self, node: NodeId, joules: float) -> bool:
+        died = False
+        with self._lock:
+            if node in self._dead:
+                return False
+            spent = self._spent.get(node, 0.0) + joules
+            self._spent[node] = spent
+            capacity = self._capacity.get(node, math.inf)
+            if spent >= capacity:
+                self._spent[node] = capacity
+                self._dead.add(node)
+                died = True
+        if died and self.on_death is not None:
+            self.on_death(node)
+        return not died
+
+    def charge_tx(self, node: NodeId, bits: int) -> bool:
+        """Charge a transmission; False if the battery just died (or was
+        already dead) — the frame does not make it onto the air."""
+        return self._charge(node, self.model.tx_cost(bits))
+
+    def charge_rx(self, node: NodeId, bits: int) -> bool:
+        """Charge a reception; False if the receiver is out of energy."""
+        return self._charge(node, self.model.rx_cost(bits))
+
+    def charge_idle(self, node: NodeId, seconds: float) -> bool:
+        """Charge idle draw over ``seconds`` (duty-cycle modeling)."""
+        if seconds < 0:
+            raise ConfigurationError(f"negative idle interval: {seconds}")
+        return self._charge(node, self.model.idle_per_second * seconds)
+
+    # -- inspection -----------------------------------------------------------------
+
+    def spent(self, node: NodeId) -> float:
+        with self._lock:
+            return self._spent.get(node, 0.0)
+
+    def remaining(self, node: NodeId) -> float:
+        with self._lock:
+            return self._capacity.get(node, math.inf) - self._spent.get(
+                node, 0.0
+            )
+
+    def is_alive(self, node: NodeId) -> bool:
+        with self._lock:
+            return node not in self._dead
+
+    def report(self) -> dict[NodeId, dict]:
+        """Per-node energy summary (for the stats pane / examples)."""
+        with self._lock:
+            nodes = set(self._spent) | set(self._capacity)
+            return {
+                n: {
+                    "spent": self._spent.get(n, 0.0),
+                    "capacity": self._capacity.get(n, math.inf),
+                    "alive": n not in self._dead,
+                }
+                for n in nodes
+            }

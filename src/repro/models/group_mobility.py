@@ -1,0 +1,252 @@
+"""Group mobility and richer entity models — §7 future work, implemented.
+
+"Sophisticated underlying models such as ... group mobility also need be
+added into our system."  The models here come from the same survey the
+paper cites for its mobility section (Camp, Boleng & Davies [11]):
+
+:class:`ReferencePointGroupModel` (RPGM)
+    A group's *reference point* follows any entity mobility model; each
+    member holds a logical offset from it plus a bounded random local
+    deviation.  The classic model for platoons/convoys — the military
+    scenario the paper's hybrid protocol targets.  Members are trajectory
+    objects (:meth:`ReferencePointGroupModel.member`) attached to nodes
+    via :meth:`Scene.set_trajectory`.
+
+:class:`GaussMarkovMobility`
+    Velocity with memory: speed and direction follow first-order
+    autoregressive processes (``x' = αx + (1−α)μ + σ√(1−α²)·N(0,1)``),
+    removing the sharp turns of the memoryless models.  ``α = 0``
+    degenerates to a random walk, ``α = 1`` to linear motion.
+
+:class:`RandomDirectionMobility`
+    Pick a uniform direction, travel until the area boundary, pause,
+    repeat — avoiding the Random Waypoint's well-known center-density
+    bias.
+
+Gauss-Markov and Random Direction are stateful per-node models (one
+instance per node); RPGM is shared per group by construction.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from ..core.geometry import Vec2
+from ..errors import ConfigurationError
+from .mobility import Bounds, MobilityLeg, MobilityModel, Trajectory
+
+__all__ = [
+    "ReferencePointGroupModel",
+    "GroupMemberTrajectory",
+    "GaussMarkovMobility",
+    "RandomDirectionMobility",
+]
+
+
+class ReferencePointGroupModel:
+    """RPGM: one reference trajectory, many offset members."""
+
+    def __init__(
+        self,
+        start: Vec2,
+        reference_model: MobilityModel,
+        *,
+        bounds: Optional[Bounds] = None,
+        deviation: float = 5.0,
+        deviation_period: float = 2.0,
+        seed: int = 0,
+        t0: float = 0.0,
+    ) -> None:
+        if deviation < 0 or deviation_period <= 0:
+            raise ConfigurationError(
+                "deviation must be >= 0 and deviation_period > 0"
+            )
+        self.bounds = bounds
+        self.deviation = deviation
+        self.deviation_period = deviation_period
+        self._rng = np.random.default_rng(seed)
+        self.reference = Trajectory(
+            start, reference_model, self._rng, bounds=bounds, t0=t0
+        )
+        self._members = 0
+
+    def member(self, offset: Vec2) -> "GroupMemberTrajectory":
+        """Create one member trajectory at logical ``offset`` from the
+        reference point."""
+        self._members += 1
+        return GroupMemberTrajectory(
+            self, offset, seed=int(self._rng.integers(2**31))
+        )
+
+    @property
+    def member_count(self) -> int:
+        return self._members
+
+
+class GroupMemberTrajectory:
+    """One RPGM member: reference + offset + smooth random deviation.
+
+    The deviation is a piecewise-linear wobble: every
+    ``deviation_period`` seconds a fresh uniform point in the deviation
+    disc is drawn, and the wobble interpolates between consecutive draws.
+    Deterministic: draws are memoized per period index, so
+    ``position_at`` is a pure function of ``t``.
+    """
+
+    def __init__(
+        self, group: ReferencePointGroupModel, offset: Vec2, seed: int
+    ) -> None:
+        self.group = group
+        self.offset = offset
+        self._rng = np.random.default_rng(seed)
+        self._anchors: list[Vec2] = []
+
+    def _anchor(self, index: int) -> Vec2:
+        while len(self._anchors) <= index:
+            if self.group.deviation == 0.0:
+                self._anchors.append(Vec2(0.0, 0.0))
+                continue
+            r = self.group.deviation * math.sqrt(self._rng.random())
+            theta = self._rng.random() * 2 * math.pi
+            self._anchors.append(Vec2(r * math.cos(theta),
+                                      r * math.sin(theta)))
+        return self._anchors[index]
+
+    def _deviation_at(self, t: float) -> Vec2:
+        period = self.group.deviation_period
+        k = int(t // period)
+        frac = (t - k * period) / period
+        a, b = self._anchor(k), self._anchor(k + 1)
+        return Vec2(a.x + (b.x - a.x) * frac, a.y + (b.y - a.y) * frac)
+
+    def position_at(self, t: float) -> Vec2:
+        ref = self.group.reference.position_at(t)
+        raw = ref + self.offset + self._deviation_at(max(t, 0.0))
+        if self.group.bounds is not None:
+            return self.group.bounds.apply(raw)
+        return raw
+
+
+class GaussMarkovMobility(MobilityModel):
+    """Gauss-Markov: temporally correlated speed and direction.
+
+    One instance per node (the model carries velocity state).
+    """
+
+    def __init__(
+        self,
+        mean_speed: float,
+        *,
+        alpha: float = 0.75,
+        speed_sigma: float = 1.0,
+        direction_sigma_deg: float = 30.0,
+        time_step: float = 1.0,
+        mean_direction_deg: Optional[float] = None,
+    ) -> None:
+        if not 0.0 <= alpha <= 1.0:
+            raise ConfigurationError(f"alpha must be in [0,1]: {alpha}")
+        if mean_speed < 0 or speed_sigma < 0 or direction_sigma_deg < 0:
+            raise ConfigurationError("speeds/sigmas must be non-negative")
+        if time_step <= 0:
+            raise ConfigurationError(f"time_step must be positive: {time_step}")
+        self.mean_speed = mean_speed
+        self.alpha = alpha
+        self.speed_sigma = speed_sigma
+        self.direction_sigma = math.radians(direction_sigma_deg)
+        self.time_step = time_step
+        self.mean_direction = (
+            None if mean_direction_deg is None
+            else math.radians(mean_direction_deg)
+        )
+        self._speed: Optional[float] = None
+        self._direction: Optional[float] = None
+
+    def next_leg(self, rng: np.random.Generator, position: Vec2) -> MobilityLeg:
+        if self._speed is None:
+            self._speed = self.mean_speed
+            self._direction = (
+                float(rng.uniform(0, 2 * math.pi))
+                if self.mean_direction is None
+                else self.mean_direction
+            )
+        a = self.alpha
+        noise_scale = math.sqrt(max(1.0 - a * a, 0.0))
+        self._speed = max(
+            a * self._speed
+            + (1 - a) * self.mean_speed
+            + noise_scale * self.speed_sigma * float(rng.standard_normal()),
+            0.0,
+        )
+        mean_dir = (
+            self._direction if self.mean_direction is None
+            else self.mean_direction
+        )
+        self._direction = (
+            a * self._direction
+            + (1 - a) * mean_dir
+            + noise_scale * self.direction_sigma * float(rng.standard_normal())
+        )
+        return MobilityLeg(
+            pause_time=0.0,
+            direction=math.degrees(self._direction) % 360.0,
+            speed=self._speed,
+            move_time=self.time_step,
+        )
+
+
+class RandomDirectionMobility(MobilityModel):
+    """Random Direction: travel boundary-to-boundary, pause, turn.
+
+    Requires the area up front (legs aim at its walls).  Avoids Random
+    Waypoint's density bias toward the center [11].
+    """
+
+    def __init__(
+        self,
+        area: Bounds,
+        min_speed: float,
+        max_speed: float,
+        pause_time: float = 1.0,
+    ) -> None:
+        if min_speed <= 0 or max_speed < min_speed:
+            raise ConfigurationError(
+                f"need 0 < min_speed <= max_speed: [{min_speed}, {max_speed}]"
+            )
+        if pause_time < 0:
+            raise ConfigurationError("pause_time must be non-negative")
+        self.area = area
+        self.min_speed = min_speed
+        self.max_speed = max_speed
+        self.pause_time = pause_time
+
+    def _distance_to_wall(self, position: Vec2, direction_rad: float) -> float:
+        """Ray-cast from ``position`` to the area boundary."""
+        dx, dy = math.cos(direction_rad), math.sin(direction_rad)
+        candidates = []
+        if dx > 1e-12:
+            candidates.append((self.area.x_max - position.x) / dx)
+        elif dx < -1e-12:
+            candidates.append((self.area.x_min - position.x) / dx)
+        if dy > 1e-12:
+            candidates.append((self.area.y_max - position.y) / dy)
+        elif dy < -1e-12:
+            candidates.append((self.area.y_min - position.y) / dy)
+        dists = [c for c in candidates if c > 1e-9]
+        return min(dists) if dists else 0.0
+
+    def next_leg(self, rng: np.random.Generator, position: Vec2) -> MobilityLeg:
+        direction = float(rng.uniform(0, 2 * math.pi))
+        distance = self._distance_to_wall(position, direction)
+        if distance <= 1e-9:
+            # On a wall pointing outward: just pause and redraw next leg.
+            return MobilityLeg(max(self.pause_time, 0.1), 0.0, 0.0, 0.0)
+        speed = float(rng.uniform(self.min_speed, self.max_speed))
+        return MobilityLeg(
+            pause_time=self.pause_time,
+            direction=math.degrees(direction) % 360.0,
+            speed=speed,
+            move_time=distance / speed,
+        )

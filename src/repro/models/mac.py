@@ -1,0 +1,310 @@
+"""MAC algorithm models — the paper's §7 future work, implemented.
+
+"Sophisticated underlying models such as ... MAC algorithms ... also need
+be added into our system to provide more precise examinations."
+
+The base emulator treats each (sender, receiver) pair independently: no
+contention, no collisions — that is :class:`IdealMac`, and it is exactly
+what the paper's §6.2 experiment relies on ("the two channels are
+assigned diverse channel IDs to avoid any collision").  To examine what
+happens *without* that careful channel assignment, two contention models
+are provided, each treating a channel as one shared collision domain
+(a reasonable model at emulation scale; spatial reuse would need a full
+SINR model, far beyond the paper's fidelity):
+
+:class:`AlohaMac`
+    Senders transmit immediately.  If two frames' airtimes overlap on the
+    same channel, **both** are corrupted (no capture effect) and dropped
+    with reason ``collision``.
+
+:class:`CsmaCaMac`
+    Carrier sense + random backoff: a frame arriving while the channel is
+    busy defers until the channel goes idle, plus a uniformly random
+    backoff.  Deferral delays ``t_forward``; collisions only occur when
+    two deferred senders pick overlapping slots (rare, controlled by
+    ``slot_time`` granularity).
+
+The engine consults the MAC once per transmission (not per receiver):
+``admit()`` returns when the frame may start and whether it collided.
+Per-channel state lives here so the engine stays MAC-agnostic.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..core.ids import ChannelId, NodeId
+from ..errors import ConfigurationError
+
+__all__ = ["MacDecision", "MacModel", "IdealMac", "AlohaMac",
+           "CsmaCaMac", "SpatialAlohaMac"]
+
+
+@dataclass(frozen=True, slots=True)
+class MacDecision:
+    """Outcome of one MAC admission.
+
+    ``start`` is when the frame actually begins occupying the medium
+    (>= the requested time under CSMA deferral); ``collided`` marks the
+    frame corrupted (ALOHA overlap); ``collided_with`` names the other
+    transmission's sender when known (for the packet log).
+    """
+
+    start: float
+    collided: bool = False
+    collided_with: Optional[NodeId] = None
+
+
+@dataclass
+class _Transmission:
+    sender: NodeId
+    start: float
+    end: float
+    collided: bool = False
+
+
+class MacModel(ABC):
+    """Per-channel medium-access arbitration."""
+
+    @abstractmethod
+    def admit(
+        self,
+        channel: ChannelId,
+        sender: NodeId,
+        t_request: float,
+        airtime: float,
+    ) -> MacDecision:
+        """Arbitrate one transmission of ``airtime`` seconds."""
+
+    def reset(self) -> None:
+        """Clear all channel state (new emulation run)."""
+
+    # Collision marking is cooperative: the engine asks after admit()
+    # whether a previously admitted frame ended up collided (ALOHA marks
+    # earlier frames retroactively when a later overlap arrives).
+    def was_collided(self, channel: ChannelId, sender: NodeId,
+                     start: float) -> bool:
+        """Did the transmission admitted at ``start`` get corrupted later?"""
+        return False
+
+    def receiver_corrupted(
+        self,
+        channel: ChannelId,
+        sender: NodeId,
+        start: float,
+        receiver: NodeId,
+        scene,
+    ) -> bool:
+        """Spatial hook: is the frame corrupted *at this receiver*?
+
+        Channel-wide models return False (their verdicts come from
+        ``admit``/``was_collided``); :class:`SpatialAlohaMac` overrides.
+        """
+        return False
+
+
+class IdealMac(MacModel):
+    """No contention: every transmission starts on request, none collide.
+
+    The default — matches the base paper's medium model.
+    """
+
+    def admit(self, channel, sender, t_request, airtime) -> MacDecision:
+        return MacDecision(start=t_request)
+
+
+class AlohaMac(MacModel):
+    """Pure ALOHA: transmit immediately; overlapping frames all die.
+
+    A frame is collided if its ``[start, end)`` interval intersects any
+    other frame's interval on the same channel.  Because a *later* frame
+    can corrupt an earlier one whose delivery was already scheduled, the
+    engine re-checks with :meth:`was_collided` at delivery time.
+    """
+
+    def __init__(self, history_horizon: float = 5.0) -> None:
+        if history_horizon <= 0:
+            raise ConfigurationError("history_horizon must be positive")
+        self.history_horizon = history_horizon
+        self._active: dict[ChannelId, list[_Transmission]] = {}
+        # A single radio serializes its own frames (it cannot transmit two
+        # at once) — ALOHA just doesn't listen to *other* senders.
+        self._own_busy: dict[tuple[ChannelId, NodeId], float] = {}
+
+    def reset(self) -> None:
+        self._active.clear()
+        self._own_busy.clear()
+
+    def admit(self, channel, sender, t_request, airtime) -> MacDecision:
+        start = max(t_request, self._own_busy.get((channel, sender), 0.0))
+        txs = self._active.setdefault(channel, [])
+        # Garbage-collect transmissions that can no longer interact.
+        horizon = start - self.history_horizon
+        if txs and txs[0].end < horizon:
+            self._active[channel] = txs = [
+                t for t in txs if t.end >= horizon
+            ]
+        me = _Transmission(sender, start, start + airtime)
+        self._own_busy[(channel, sender)] = me.end
+        collided_with: Optional[NodeId] = None
+        for other in txs:
+            if other.sender == sender:
+                continue  # own frames are serialized, never overlapping
+            if other.start < me.end and me.start < other.end:
+                me.collided = True
+                other.collided = True  # retroactive: both frames die
+                collided_with = other.sender
+        txs.append(me)
+        return MacDecision(
+            start=start, collided=me.collided,
+            collided_with=collided_with,
+        )
+
+    def was_collided(self, channel, sender, start) -> bool:
+        for tx in self._active.get(channel, ()):
+            if tx.sender == sender and tx.start == start:
+                return tx.collided
+        return False
+
+    def utilization(self, channel: ChannelId) -> int:
+        """Transmissions currently tracked on ``channel`` (diagnostics)."""
+        return len(self._active.get(channel, ()))
+
+
+class CsmaCaMac(MacModel):
+    """Carrier sense with random backoff.
+
+    A transmission requested while the channel is busy is deferred to the
+    channel-idle instant plus ``U[0, cw) · slot_time``.  Two deferred
+    senders can still pick the same landing window and collide (the
+    classic residual collision probability); the collision check uses the
+    post-backoff intervals.
+    """
+
+    def __init__(
+        self,
+        slot_time: float = 20e-6,
+        cw: int = 16,
+        seed: int = 0,
+        history_horizon: float = 5.0,
+    ) -> None:
+        if slot_time <= 0 or cw < 1:
+            raise ConfigurationError("slot_time must be > 0 and cw >= 1")
+        self.slot_time = slot_time
+        self.cw = cw
+        self.history_horizon = history_horizon
+        self._rng = np.random.default_rng(seed)
+        self._busy_until: dict[ChannelId, float] = {}
+        self._active: dict[ChannelId, list[_Transmission]] = {}
+
+    def reset(self) -> None:
+        self._busy_until.clear()
+        self._active.clear()
+
+    def admit(self, channel, sender, t_request, airtime) -> MacDecision:
+        idle_at = self._busy_until.get(channel, 0.0)
+        start = t_request
+        if start < idle_at:
+            # Defer to idle plus random backoff.
+            backoff = float(self._rng.integers(self.cw)) * self.slot_time
+            start = idle_at + backoff
+        end = start + airtime
+        txs = self._active.setdefault(channel, [])
+        horizon = t_request - self.history_horizon
+        if txs and txs[0].end < horizon:
+            self._active[channel] = txs = [t for t in txs if t.end >= horizon]
+        me = _Transmission(sender, start, end)
+        collided_with: Optional[NodeId] = None
+        for other in txs:
+            if other.start < me.end and me.start < other.end:
+                me.collided = True
+                other.collided = True
+                collided_with = other.sender
+        txs.append(me)
+        self._busy_until[channel] = max(idle_at, end)
+        return MacDecision(start=start, collided=me.collided,
+                           collided_with=collided_with)
+
+    def was_collided(self, channel, sender, start) -> bool:
+        for tx in self._active.get(channel, ()):
+            if tx.sender == sender and tx.start == start:
+                return tx.collided
+        return False
+
+
+class SpatialAlohaMac(MacModel):
+    """Interference-aware ALOHA: collisions are per-*receiver*.
+
+    The channel-wide models above treat a channel as one collision
+    domain.  Real radio is spatial: two concurrent transmissions only
+    destroy each other's frames at receivers that can hear **both** — the
+    hidden-terminal problem — while far-apart pairs reuse the channel
+    freely (spatial reuse).
+
+    ``admit`` never rejects (pure ALOHA: senders don't listen); instead
+    the engine asks :meth:`receiver_corrupted` at each delivery, and the
+    answer depends on the receiver's position: the frame is corrupted iff
+    some other transmission overlapped it in time on the same channel
+    *and* that interferer's signal reaches the receiver
+    (``distance <= interferer_range × interference_factor``).
+
+    Positions are evaluated at adjudication time — an approximation valid
+    while nodes move negligibly within one frame's airtime (µs–ms).
+    """
+
+    def __init__(
+        self,
+        interference_factor: float = 1.0,
+        history_horizon: float = 5.0,
+    ) -> None:
+        if interference_factor <= 0:
+            raise ConfigurationError("interference_factor must be positive")
+        if history_horizon <= 0:
+            raise ConfigurationError("history_horizon must be positive")
+        self.interference_factor = interference_factor
+        self.history_horizon = history_horizon
+        self._active: dict[ChannelId, list[_Transmission]] = {}
+        self._own_busy: dict[tuple[ChannelId, NodeId], float] = {}
+
+    def reset(self) -> None:
+        self._active.clear()
+        self._own_busy.clear()
+
+    def admit(self, channel, sender, t_request, airtime) -> MacDecision:
+        start = max(t_request, self._own_busy.get((channel, sender), 0.0))
+        txs = self._active.setdefault(channel, [])
+        horizon = start - self.history_horizon
+        if txs and txs[0].end < horizon:
+            self._active[channel] = txs = [t for t in txs if t.end >= horizon]
+        txs.append(_Transmission(sender, start, start + airtime))
+        self._own_busy[(channel, sender)] = start + airtime
+        return MacDecision(start=start)  # adjudicated per receiver later
+
+    def receiver_corrupted(self, channel, sender, start, receiver,
+                           scene) -> bool:
+        """Did interference destroy this frame *at this receiver*?"""
+        mine = None
+        for tx in self._active.get(channel, ()):
+            if tx.sender == sender and tx.start == start:
+                mine = tx
+                break
+        if mine is None:
+            return False
+        for other in self._active.get(channel, ()):
+            if other.sender == sender:
+                continue
+            if not (other.start < mine.end and mine.start < other.end):
+                continue
+            if other.sender not in scene or receiver not in scene:
+                continue
+            radio = scene.radio_on_channel(other.sender, channel)
+            if radio is None:
+                continue
+            reach = radio.range * self.interference_factor
+            if scene.distance_between(other.sender, receiver) <= reach:
+                return True
+        return False

@@ -1,0 +1,1 @@
+"""TCP/IP substrate: framing, wire messages, deterministic virtual links."""

@@ -1,0 +1,106 @@
+"""Length-prefixed message framing over stream sockets.
+
+PoEm connects clients and server "through TCP/IP connections independent
+of low layers" (§3.1).  TCP is a byte stream, so every message is framed
+with a 4-byte big-endian length prefix.  A maximum frame size guards the
+server against a misbehaving client streaming an absurd length (the frame
+would otherwise be buffered wholesale).
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+from typing import Optional
+
+from ..errors import FramingError, TransportError
+
+__all__ = ["MAX_FRAME", "send_frame", "recv_frame", "pack_frame", "FrameBuffer"]
+
+MAX_FRAME = 16 * 1024 * 1024
+"""Upper bound on one frame's payload (16 MiB)."""
+
+_HEADER = struct.Struct(">I")
+
+
+def pack_frame(payload: bytes) -> bytes:
+    """Prefix ``payload`` with its length."""
+    if len(payload) > MAX_FRAME:
+        raise FramingError(f"frame too large: {len(payload)} > {MAX_FRAME}")
+    return _HEADER.pack(len(payload)) + payload
+
+
+def send_frame(sock: socket.socket, payload: bytes) -> None:
+    """Send one framed message (blocking)."""
+    try:
+        sock.sendall(pack_frame(payload))
+    except OSError as exc:
+        raise TransportError(f"send failed: {exc}") from exc
+
+
+def _recv_exact(sock: socket.socket, n: int) -> Optional[bytes]:
+    """Read exactly ``n`` bytes; None on orderly EOF at a frame boundary."""
+    chunks: list[bytes] = []
+    got = 0
+    while got < n:
+        try:
+            chunk = sock.recv(min(n - got, 65536))
+        except OSError as exc:
+            raise TransportError(f"recv failed: {exc}") from exc
+        if not chunk:
+            if got == 0:
+                return None
+            raise FramingError(f"connection closed mid-frame ({got}/{n} bytes)")
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> Optional[bytes]:
+    """Receive one framed message; None on orderly peer close."""
+    header = _recv_exact(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME:
+        raise FramingError(f"peer announced oversized frame: {length}")
+    if length == 0:
+        return b""
+    body = _recv_exact(sock, length)
+    if body is None:
+        raise FramingError("connection closed between header and body")
+    return body
+
+
+class FrameBuffer:
+    """Incremental de-framer for non-blocking / chunked input.
+
+    Feed arbitrary byte chunks; complete frames pop out.  Used by tests to
+    validate framing without sockets and available for selector-based
+    servers.
+    """
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+
+    def feed(self, data: bytes) -> list[bytes]:
+        """Append ``data``; return every now-complete frame payload."""
+        self._buf.extend(data)
+        frames: list[bytes] = []
+        while True:
+            if len(self._buf) < _HEADER.size:
+                break
+            (length,) = _HEADER.unpack(self._buf[: _HEADER.size])
+            if length > MAX_FRAME:
+                raise FramingError(f"oversized frame announced: {length}")
+            if len(self._buf) < _HEADER.size + length:
+                break
+            start = _HEADER.size
+            frames.append(bytes(self._buf[start : start + length]))
+            del self._buf[: start + length]
+        return frames
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered but not yet forming a complete frame."""
+        return len(self._buf)

@@ -1,0 +1,97 @@
+"""Client↔server wire protocol of the real-time (TCP) deployment.
+
+JSON messages inside length-prefixed frames (:mod:`.framing`).  The
+operation set mirrors Fig 4's structure:
+
+==============  direction        purpose
+``register``    client → server  map this connection to a VMN (position,
+                                 radios, label)
+``registered``  server → client  confirms, returns the allocated node id
+``sync_req``    client → server  clock-sync step 1 (carries ``t_c1``)
+``sync_rep``    server → client  clock-sync step 3 (``t_s3`` + echo)
+``packet``      client → server  a transmitted frame (with ``t_origin``)
+``deliver``     server → client  a forwarded frame arriving at this VMN
+``scene_op``    client → server  a GUI-equivalent scene mutation (topology
+                                 control from an operator console)
+``bye``         either           orderly shutdown
+==============  ==============================================================
+
+Packets serialize all addressing and stamps; payload bytes ride latin-1.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Optional
+
+from ..core.ids import ChannelId, NodeId, RadioIndex, SequenceNumber
+from ..core.packet import Packet
+from ..errors import TransportError
+
+__all__ = [
+    "encode_message",
+    "decode_message",
+    "packet_to_wire",
+    "packet_from_wire",
+]
+
+
+def encode_message(message: dict[str, Any]) -> bytes:
+    """Serialize one protocol message."""
+    if "op" not in message:
+        raise TransportError(f"message missing op: {message}")
+    return json.dumps(message, separators=(",", ":")).encode("utf-8")
+
+
+def decode_message(data: bytes) -> dict[str, Any]:
+    """Parse one protocol message; raises TransportError on garbage."""
+    try:
+        message = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise TransportError(f"undecodable message: {exc}") from exc
+    if not isinstance(message, dict) or "op" not in message:
+        raise TransportError(f"malformed message: {message!r}")
+    return message
+
+
+def packet_to_wire(packet: Packet) -> dict[str, Any]:
+    """Packet → JSON-safe dict (used inside packet/deliver messages)."""
+    return {
+        "src": int(packet.source),
+        "dst": int(packet.destination),
+        "payload": packet.payload.decode("latin-1"),
+        "bits": packet.size_bits,
+        "seq": int(packet.seqno),
+        "ch": int(packet.channel),
+        "radio": int(packet.radio),
+        "kind": packet.kind,
+        "t_origin": packet.t_origin,
+        "t_receipt": packet.t_receipt,
+        "t_forward": packet.t_forward,
+        "t_delivered": packet.t_delivered,
+    }
+
+
+def packet_from_wire(raw: dict[str, Any]) -> Packet:
+    """Inverse of :func:`packet_to_wire`."""
+    try:
+        return Packet(
+            source=NodeId(int(raw["src"])),
+            destination=NodeId(int(raw["dst"])),
+            payload=str(raw["payload"]).encode("latin-1"),
+            size_bits=int(raw["bits"]),
+            seqno=SequenceNumber(int(raw["seq"])),
+            channel=ChannelId(int(raw["ch"])),
+            radio=RadioIndex(int(raw.get("radio", 0))),
+            kind=str(raw.get("kind", "data")),
+            t_origin=_opt_float(raw.get("t_origin")),
+            t_receipt=_opt_float(raw.get("t_receipt")),
+            t_forward=_opt_float(raw.get("t_forward")),
+            t_delivered=_opt_float(raw.get("t_delivered")),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise TransportError(f"malformed packet dict: {raw!r}") from exc
+
+
+def _opt_float(v: Any) -> Optional[float]:
+    return None if v is None else float(v)

@@ -1,0 +1,112 @@
+"""Deterministic in-process transport with configurable latency.
+
+The paper deploys over a "fast Ethernet LAN in a lab setting" (§5) whose
+transport delays are real but unrepeatable.  :class:`VirtualLink` gives
+the timing experiments a dial instead: fixed base latency, optional
+deterministic jitter, and — crucially for the clock-sync error analysis
+(Fig 5 bench) — *asymmetric* up/down delays, since delay asymmetry is
+exactly the residual error term of the §4.1 synchronization scheme.
+
+A :class:`VirtualLink` connects two endpoints over a
+:class:`~repro.core.clock.VirtualClock`: ``send(side, data)`` schedules
+the peer's receive callback ``latency`` seconds later.  Delivery order per
+direction is FIFO even when jitter would reorder (TCP semantics — this
+substitutes for a TCP connection, not a radio; radio behaviour lives in
+the link models).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..core.clock import VirtualClock
+from ..errors import ConfigurationError, TransportError
+
+__all__ = ["LatencySpec", "VirtualLink"]
+
+
+@dataclass(frozen=True)
+class LatencySpec:
+    """One direction's delay model: ``base + U[0, jitter)`` seconds."""
+
+    base: float = 0.001
+    jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.base < 0 or self.jitter < 0:
+            raise ConfigurationError("latency components must be non-negative")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        if self.jitter == 0.0:
+            return self.base
+        return self.base + float(rng.uniform(0.0, self.jitter))
+
+
+class VirtualLink:
+    """A bidirectional, ordered, lossless pipe between endpoints A and B."""
+
+    SIDES = ("a", "b")
+
+    def __init__(
+        self,
+        clock: VirtualClock,
+        a_to_b: LatencySpec = LatencySpec(),
+        b_to_a: Optional[LatencySpec] = None,
+        seed: int = 0,
+    ) -> None:
+        self.clock = clock
+        self._lat = {"a": a_to_b, "b": b_to_a if b_to_a is not None else a_to_b}
+        self._rng = np.random.default_rng(seed)
+        self._on_receive: dict[str, Optional[Callable[[bytes], None]]] = {
+            "a": None,
+            "b": None,
+        }
+        # Per-direction watermark enforcing FIFO delivery under jitter.
+        self._last_arrival = {"a": 0.0, "b": 0.0}
+        self._closed = False
+        self.sent = {"a": 0, "b": 0}
+        self.delivered = {"a": 0, "b": 0}
+
+    def on_receive(self, side: str, callback: Callable[[bytes], None]) -> None:
+        """Install ``side``'s receive handler (called at arrival time)."""
+        self._check_side(side)
+        self._on_receive[side] = callback
+
+    def send(self, side: str, data: bytes) -> float:
+        """Send from ``side`` to its peer; returns the arrival time."""
+        self._check_side(side)
+        if self._closed:
+            raise TransportError("link is closed")
+        peer = "b" if side == "a" else "a"
+        delay = self._lat[side].sample(self._rng)
+        arrival = max(
+            self.clock.now() + delay, self._last_arrival[peer]
+        )
+        self._last_arrival[peer] = arrival
+        self.sent[side] += 1
+
+        def deliver() -> None:
+            if self._closed:
+                return
+            handler = self._on_receive[peer]
+            if handler is None:
+                raise TransportError(
+                    f"side {peer!r} has no receive handler installed"
+                )
+            self.delivered[peer] += 1
+            handler(data)
+
+        self.clock.call_at(arrival, deliver)
+        return arrival
+
+    def close(self) -> None:
+        """Drop everything still in flight and refuse further sends."""
+        self._closed = True
+
+    @staticmethod
+    def _check_side(side: str) -> None:
+        if side not in VirtualLink.SIDES:
+            raise TransportError(f"unknown link side: {side!r}")

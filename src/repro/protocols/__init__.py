@@ -1,0 +1,23 @@
+"""Real routing-protocol implementations that run unmodified on any host."""
+
+from .aodv import AodvProtocol
+from .base import ProtocolHost, RoutingProtocol
+from .common import PathRoutedProtocol, ProtocolTuning
+from .dsdv import DsdvProtocol
+from .flooding import FloodingProtocol
+from .hybrid import HybridProtocol
+from .routing_table import RouteEntry, RoutingTable, format_path
+
+__all__ = [
+    "ProtocolHost",
+    "RoutingProtocol",
+    "PathRoutedProtocol",
+    "ProtocolTuning",
+    "HybridProtocol",
+    "AodvProtocol",
+    "DsdvProtocol",
+    "FloodingProtocol",
+    "RouteEntry",
+    "RoutingTable",
+    "format_path",
+]

@@ -1,0 +1,30 @@
+"""Proactive distance-vector routing (DSDV-style baseline).
+
+Every node periodically broadcasts its routing table with destination
+sequence numbers; receivers install routes via the advertising neighbor
+when fresher or shorter.  We keep full paths (path-vector) rather than
+bare next-hops so loop freedom is structural and inspection prints the
+paper's ``1 -> 3 -> 2`` notation — behaviourally equivalent to DSDV's
+sequence-numbered Bellman-Ford for the scenes the paper evaluates.
+
+No on-demand machinery: a destination the periodic exchange has not yet
+reached is simply unroutable (``send_data`` returns False) — the
+characteristic proactive trade-off the hybrid protocol exists to soften.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .common import PathRoutedProtocol, ProtocolTuning
+
+__all__ = ["DsdvProtocol"]
+
+
+class DsdvProtocol(PathRoutedProtocol):
+    """Pure proactive configuration of :class:`PathRoutedProtocol`."""
+
+    name = "dsdv"
+
+    def __init__(self, tuning: Optional[ProtocolTuning] = None) -> None:
+        super().__init__(proactive=True, ondemand=False, tuning=tuning)

@@ -1,0 +1,110 @@
+"""Controlled flooding — the simplest routing baseline.
+
+Every data packet is broadcast on every channel; receivers rebroadcast
+unseen packets until the TTL runs out.  No routing state at all, so its
+``route_summary`` is always empty — useful as a delivery-rate baseline
+(floods get through whenever *any* path exists) and as the simplest
+exercise of the host API.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import threading
+from typing import Optional
+
+from ..core.ids import NodeId
+from ..core.packet import Packet
+from . import wire
+from .base import RoutingProtocol
+
+__all__ = ["FloodingProtocol"]
+
+
+class FloodingProtocol(RoutingProtocol):
+    """TTL-bounded flooding with duplicate suppression."""
+
+    def __init__(self, ttl: int = 8, seen_limit: int = 65536) -> None:
+        super().__init__()
+        self.ttl = ttl
+        self.seen_limit = seen_limit
+        self._seen: dict[tuple[int, int], None] = {}  # insertion-ordered set
+        self._next_id = itertools.count(1)
+        self._lock = threading.Lock()
+        self.delivered = 0
+        self.relayed = 0
+        self.malformed_received = 0
+
+    def on_packet(self, packet: Packet) -> None:
+        host = self._require_host()
+        try:
+            msg = wire.decode(packet.payload)
+        except Exception:
+            return  # not ours; a well-behaved protocol ignores alien frames
+        if msg.get("t") != "flood":
+            return
+        try:
+            key = (int(msg["src"]), int(msg["id"]))
+            dst = int(msg["dst"])
+            ttl = int(msg["ttl"])
+            data = str(msg["data"])
+        except (KeyError, TypeError, ValueError):
+            self.malformed_received += 1
+            return
+        with self._lock:
+            if key in self._seen:
+                return
+            self._remember(key)
+        if dst == int(host.node_id):
+            self.delivered += 1
+            # Unwrap: the app sees its own payload and the flood's origin.
+            host.deliver_to_app(
+                dataclasses.replace(
+                    packet,
+                    payload=wire.decode_payload(data),
+                    source=NodeId(key[0]),
+                )
+            )
+            return
+        ttl -= 1
+        if ttl <= 0:
+            return
+        msg["ttl"] = ttl
+        self.relayed += 1
+        self._broadcast_everywhere(wire.encode(msg), packet.size_bits)
+
+    def send_data(
+        self, destination: NodeId, payload: bytes, size_bits: Optional[int] = None
+    ) -> bool:
+        host = self._require_host()
+        with self._lock:
+            flood_id = next(self._next_id)
+            self._remember((int(host.node_id), flood_id))
+        msg = {
+            "t": "flood",
+            "src": int(host.node_id),
+            "dst": int(destination),
+            "id": flood_id,
+            "ttl": self.ttl,
+            "data": wire.encode_payload(payload),
+        }
+        self._broadcast_everywhere(wire.encode(msg), size_bits)
+        return True
+
+    def _remember(self, key: tuple[int, int]) -> None:
+        """Record a flood id, evicting the oldest beyond the cache limit."""
+        self._seen[key] = None
+        while len(self._seen) > self.seen_limit:
+            self._seen.pop(next(iter(self._seen)))
+
+    def _broadcast_everywhere(
+        self, data: bytes, size_bits: Optional[int]
+    ) -> None:
+        host = self._require_host()
+        for channel in sorted(host.channels()):
+            host.broadcast(data, channel=channel, kind="data",
+                           size_bits=size_bits)
+
+    def route_summary(self) -> list[str]:
+        return []  # flooding keeps no routes

@@ -1,0 +1,168 @@
+"""Routing-table data structure shared by the bundled protocols.
+
+Entries carry a full path (source-routing style) so "inspecting the
+routing table" renders exactly the paper's Table 2 notation —
+``1 -> 2`` for a direct route, ``1 -> 3 -> 2`` for a relayed one — and
+carry the bookkeeping every protocol needs: sequence number (freshness),
+metric (hop count), expiry, and which mechanism installed the route
+(``proactive`` periodic broadcasting vs ``ondemand`` discovery — the two
+halves of the paper's hybrid protocol).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, replace
+from typing import Iterable, Optional
+
+from ..core.ids import NodeId
+from ..errors import ProtocolError
+
+__all__ = ["RouteEntry", "RoutingTable", "format_path"]
+
+
+def format_path(path: Iterable[NodeId]) -> str:
+    """Render a node path the way the paper prints it: ``1 -> 3 -> 2``."""
+    return " -> ".join(str(int(n)) for n in path)
+
+
+@dataclass(frozen=True, slots=True)
+class RouteEntry:
+    """One route: the full path from this node to ``destination``."""
+
+    destination: NodeId
+    path: tuple[NodeId, ...]
+    seqno: int
+    expires_at: float
+    origin: str = "proactive"  # or "ondemand"
+
+    def __post_init__(self) -> None:
+        if len(self.path) < 2:
+            raise ProtocolError(f"path too short: {self.path}")
+        if self.path[-1] != self.destination:
+            raise ProtocolError(
+                f"path {self.path} does not end at destination {self.destination}"
+            )
+        if len(set(self.path)) != len(self.path):
+            raise ProtocolError(f"path contains a loop: {self.path}")
+
+    @property
+    def next_hop(self) -> NodeId:
+        return self.path[1]
+
+    @property
+    def metric(self) -> int:
+        """Hop count."""
+        return len(self.path) - 1
+
+    def expired(self, now: float) -> bool:
+        return now >= self.expires_at
+
+    def __str__(self) -> str:
+        return format_path(self.path)
+
+
+class RoutingTable:
+    """Freshness-and-metric route store.
+
+    Update rule (DSDV-style, shared by all bundled protocols): a candidate
+    replaces the current entry iff it has a strictly newer sequence
+    number, or an equal sequence number with a strictly better (smaller)
+    metric.  Expired entries are treated as absent.  Thread-safe for the
+    real-time stack.
+    """
+
+    def __init__(self, owner: NodeId) -> None:
+        self.owner = owner
+        self._routes: dict[NodeId, RouteEntry] = {}
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._routes)
+
+    def consider(self, entry: RouteEntry) -> bool:
+        """Apply the update rule; returns True if the table changed."""
+        if entry.destination == self.owner:
+            return False  # never route to self
+        if entry.path[0] != self.owner:
+            raise ProtocolError(
+                f"route path {entry.path} does not start at owner {self.owner}"
+            )
+        with self._lock:
+            current = self._routes.get(entry.destination)
+            if current is None or self._better(entry, current):
+                self._routes[entry.destination] = entry
+                return True
+            return False
+
+    @staticmethod
+    def _better(candidate: RouteEntry, current: RouteEntry) -> bool:
+        if candidate.seqno != current.seqno:
+            return candidate.seqno > current.seqno
+        if candidate.metric != current.metric:
+            return candidate.metric < current.metric
+        # Same seqno, same metric: refresh expiry if candidate lives longer.
+        return candidate.expires_at > current.expires_at
+
+    def lookup(self, destination: NodeId, now: float) -> Optional[RouteEntry]:
+        """Current route to ``destination`` (None if absent or expired)."""
+        with self._lock:
+            entry = self._routes.get(destination)
+            if entry is None or entry.expired(now):
+                return None
+            return entry
+
+    def remove(self, destination: NodeId) -> bool:
+        with self._lock:
+            return self._routes.pop(destination, None) is not None
+
+    def invalidate_via(self, node: NodeId) -> list[NodeId]:
+        """Drop every route whose path traverses ``node``; returns them.
+
+        Used on link breakage: losing neighbor N kills all routes through
+        N — the mechanism behind Table 2's entry-count transitions.
+        """
+        with self._lock:
+            dead = [
+                dest
+                for dest, entry in self._routes.items()
+                if node in entry.path[1:]
+            ]
+            for dest in dead:
+                del self._routes[dest]
+            return dead
+
+    def purge_expired(self, now: float) -> list[NodeId]:
+        """Drop expired entries; returns the destinations removed."""
+        with self._lock:
+            dead = [d for d, e in self._routes.items() if e.expired(now)]
+            for d in dead:
+                del self._routes[d]
+            return dead
+
+    def refresh(self, destination: NodeId, expires_at: float) -> None:
+        """Extend a live route's lifetime (e.g. on traffic)."""
+        with self._lock:
+            entry = self._routes.get(destination)
+            if entry is not None and expires_at > entry.expires_at:
+                self._routes[destination] = replace(entry, expires_at=expires_at)
+
+    def entries(self, now: Optional[float] = None) -> list[RouteEntry]:
+        """Live entries sorted by destination (expired filtered if ``now``)."""
+        with self._lock:
+            items = sorted(self._routes.values(), key=lambda e: int(e.destination))
+        if now is None:
+            return items
+        return [e for e in items if not e.expired(now)]
+
+    def destinations(self, now: Optional[float] = None) -> set[NodeId]:
+        return {e.destination for e in self.entries(now)}
+
+    def summary(self, now: Optional[float] = None) -> list[str]:
+        """Table 2 rendering: one ``a -> b -> c`` line per live route."""
+        return [str(e) for e in self.entries(now)]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._routes.clear()

@@ -1,0 +1,5 @@
+"""Scenario scripting: timed, reproducible scene-operation drivers."""
+
+from .script import Scenario, ScenarioStep
+
+__all__ = ["Scenario", "ScenarioStep"]

@@ -1,0 +1,216 @@
+"""Scenario scripts: timed scene operations driving an emulation run.
+
+The paper's future work asks for "fine-granularity performance evaluations
+driven by scenario scripts" — this module implements it.  A
+:class:`Scenario` is an ordered list of :class:`ScenarioStep` (time +
+scene operation + arguments), built either programmatically with the
+fluent ``at()`` API or parsed from a small JSON format::
+
+    [
+      {"t": 0.0, "op": "move",        "node": 2, "x": 120, "y": -40},
+      {"t": 5.0, "op": "set_range",   "node": 1, "radio": 0, "range": 110},
+      {"t": 8.0, "op": "set_channel", "node": 1, "radio": 0, "channel": 3},
+      {"t": 9.0, "op": "remove",      "node": 4}
+    ]
+
+``bind()`` schedules every step on an emulator's clock, so the script
+replaces the human at the GUI with a reproducible driver — Table 2's
+three operator steps, for example, are a three-line scenario.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Union
+
+from ..core.geometry import Vec2
+from ..core.ids import ChannelId, NodeId, RadioIndex
+from ..core.scene import Scene
+from ..core.server import InProcessEmulator
+from ..errors import ScenarioError
+
+__all__ = ["ScenarioStep", "Scenario"]
+
+_VALID_OPS = ("move", "set_range", "set_channel", "remove", "call")
+
+
+@dataclass(frozen=True)
+class ScenarioStep:
+    """One timed operation."""
+
+    t: float
+    op: str
+    node: Optional[NodeId] = None
+    args: dict[str, Any] = field(default_factory=dict)
+    fn: Optional[Callable[[], None]] = None
+
+    def __post_init__(self) -> None:
+        if self.t < 0:
+            raise ScenarioError(f"negative step time: {self.t}")
+        if self.op not in _VALID_OPS:
+            raise ScenarioError(f"unknown scenario op: {self.op!r}")
+        if self.op == "call" and self.fn is None:
+            raise ScenarioError("'call' step needs a callable")
+        if self.op != "call" and self.node is None:
+            raise ScenarioError(f"{self.op!r} step needs a node")
+
+    def apply(self, scene: Scene) -> None:
+        """Execute this step against a scene."""
+        if self.op == "move":
+            scene.move_node(
+                self.node, Vec2(float(self.args["x"]), float(self.args["y"]))
+            )
+        elif self.op == "set_range":
+            scene.set_radio_range(
+                self.node,
+                RadioIndex(int(self.args.get("radio", 0))),
+                float(self.args["range"]),
+            )
+        elif self.op == "set_channel":
+            scene.set_radio_channel(
+                self.node,
+                RadioIndex(int(self.args.get("radio", 0))),
+                ChannelId(int(self.args["channel"])),
+            )
+        elif self.op == "remove":
+            scene.remove_node(self.node)
+        elif self.op == "call":
+            assert self.fn is not None
+            self.fn()
+
+
+class Scenario:
+    """An ordered, reproducible script of scene operations."""
+
+    def __init__(self, steps: Optional[list[ScenarioStep]] = None) -> None:
+        self.steps: list[ScenarioStep] = sorted(
+            steps or [], key=lambda s: s.t
+        )
+
+    # -- fluent construction ------------------------------------------------------
+
+    def at(
+        self,
+        t: float,
+        op: str,
+        node: Optional[Union[NodeId, int]] = None,
+        fn: Optional[Callable[[], None]] = None,
+        **args: Any,
+    ) -> "Scenario":
+        """Append a step; returns self for chaining."""
+        step = ScenarioStep(
+            t=t,
+            op=op,
+            node=None if node is None else NodeId(int(node)),
+            args=args,
+            fn=fn,
+        )
+        self.steps.append(step)
+        self.steps.sort(key=lambda s: s.t)
+        return self
+
+    # -- (de)serialization -----------------------------------------------------------
+
+    @staticmethod
+    def from_scene_events(events, *, skip_kinds=("node-added",
+                                                 "mobility-set")) -> "Scenario":
+        """Reconstruct a scenario from a recording's scene events.
+
+        Turns a finished run's mutation log back into a script, so a
+        recorded run's topology dynamics can be *re-executed* against a
+        fresh emulator (e.g. with a different protocol under test) — the
+        record → replay → re-run loop.  ``node-added`` events are skipped
+        by default (nodes are created by the caller, who decides which
+        protocol to embed); mobility-set events carry no replayable data.
+        """
+        steps: list[ScenarioStep] = []
+        for event in events:
+            if event.kind in skip_kinds:
+                continue
+            d = event.details
+            if event.kind == "node-moved":
+                steps.append(ScenarioStep(
+                    t=event.time, op="move", node=event.node,
+                    args={"x": d["x"], "y": d["y"]},
+                ))
+            elif event.kind == "range-set":
+                steps.append(ScenarioStep(
+                    t=event.time, op="set_range", node=event.node,
+                    args={"radio": d["radio"], "range": d["range"]},
+                ))
+            elif event.kind == "channel-set":
+                steps.append(ScenarioStep(
+                    t=event.time, op="set_channel", node=event.node,
+                    args={"radio": d["radio"], "channel": d["channel"]},
+                ))
+            elif event.kind == "node-removed":
+                steps.append(ScenarioStep(
+                    t=event.time, op="remove", node=event.node,
+                ))
+            # link-set has no scenario op (models are code-configured).
+        return Scenario(steps)
+
+    @staticmethod
+    def from_json(text: str) -> "Scenario":
+        """Parse the JSON scenario format ('call' steps are code-only)."""
+        try:
+            raw = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ScenarioError(f"bad scenario JSON: {exc}") from exc
+        if not isinstance(raw, list):
+            raise ScenarioError("scenario JSON must be a list of steps")
+        steps = []
+        for item in raw:
+            if not isinstance(item, dict) or "t" not in item or "op" not in item:
+                raise ScenarioError(f"malformed step: {item!r}")
+            args = {
+                k: v for k, v in item.items() if k not in ("t", "op", "node")
+            }
+            node = item.get("node")
+            steps.append(
+                ScenarioStep(
+                    t=float(item["t"]),
+                    op=str(item["op"]),
+                    node=None if node is None else NodeId(int(node)),
+                    args=args,
+                )
+            )
+        return Scenario(steps)
+
+    def to_json(self) -> str:
+        """Serialize ('call' steps cannot be serialized — they raise)."""
+        out = []
+        for s in self.steps:
+            if s.op == "call":
+                raise ScenarioError("'call' steps are not JSON-serializable")
+            item: dict[str, Any] = {"t": s.t, "op": s.op, "node": int(s.node)}
+            item.update(s.args)
+            out.append(item)
+        return json.dumps(out, indent=2)
+
+    # -- execution -----------------------------------------------------------------------
+
+    def bind(self, emulator: InProcessEmulator) -> None:
+        """Schedule every step on the emulator's virtual clock."""
+        now = emulator.clock.now()
+        for step in self.steps:
+            if step.t < now:
+                raise ScenarioError(
+                    f"step at t={step.t} is in the past (clock at {now})"
+                )
+            emulator.clock.call_at(
+                step.t, lambda s=step: s.apply(emulator.scene)
+            )
+
+    def run(self, emulator: InProcessEmulator, until: float) -> None:
+        """Bind and run the emulation to ``until``."""
+        self.bind(emulator)
+        emulator.run_until(until)
+
+    @property
+    def duration(self) -> float:
+        return self.steps[-1].t if self.steps else 0.0
+
+    def __len__(self) -> int:
+        return len(self.steps)

@@ -1,0 +1,101 @@
+"""Export packet/scene records for external analysis tools.
+
+The paper logs everything into SQL "for later statistics"; analysts often
+want the data in pandas/R/gnuplot instead.  Two formats:
+
+* **CSV** — one row per packet record, flat columns (``export_packets_csv``)
+  and one per scene event with JSON-encoded details
+  (``export_scene_csv``);
+* **JSON-lines** — both logs interleaved in time order, one self-tagged
+  object per line (``export_jsonl``), convenient for jq pipelines.
+
+All writers stream; nothing is buffered wholesale.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Union
+
+from ..core.recording import Recorder
+
+__all__ = ["export_packets_csv", "export_scene_csv", "export_jsonl"]
+
+PACKET_FIELDS = (
+    "record_id", "seqno", "source", "destination", "sender", "receiver",
+    "channel", "kind", "size_bits", "t_origin", "t_receipt", "t_forward",
+    "t_delivered", "drop_reason",
+)
+
+
+def export_packets_csv(recorder: Recorder, path: Union[str, Path]) -> int:
+    """Write the packet log as CSV; returns the row count."""
+    count = 0
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(PACKET_FIELDS)
+        for record in recorder.packets():
+            writer.writerow(
+                [getattr(record, field) for field in PACKET_FIELDS]
+            )
+            count += 1
+    return count
+
+
+def export_scene_csv(recorder: Recorder, path: Union[str, Path]) -> int:
+    """Write the scene-event log as CSV (details JSON-encoded)."""
+    count = 0
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(("time", "kind", "node", "details"))
+        for event in recorder.scene_events():
+            writer.writerow(
+                (event.time, event.kind, int(event.node),
+                 json.dumps(event.details))
+            )
+            count += 1
+    return count
+
+
+def export_jsonl(recorder: Recorder, path: Union[str, Path]) -> int:
+    """Write both logs as time-ordered JSON lines; returns line count.
+
+    Each line is ``{"type": "packet"|"scene", "t": <sort time>, ...}``.
+    Packets sort by origin stamp (falling back through receipt/forward);
+    scene events by their time.
+    """
+
+    def packet_time(record) -> float:
+        for stamp in (record.t_origin, record.t_receipt, record.t_forward):
+            if stamp is not None:
+                return stamp
+        return 0.0
+
+    entries: list[tuple[float, int, dict]] = []
+    for record in recorder.packets():
+        obj = {"type": "packet", "t": packet_time(record)}
+        obj.update(
+            {field: getattr(record, field) for field in PACKET_FIELDS}
+        )
+        entries.append((obj["t"], 0, obj))
+    for event in recorder.scene_events():
+        entries.append(
+            (
+                event.time,
+                1,
+                {
+                    "type": "scene",
+                    "t": event.time,
+                    "kind": event.kind,
+                    "node": int(event.node),
+                    "details": event.details,
+                },
+            )
+        )
+    entries.sort(key=lambda e: (e[0], e[1]))
+    with open(path, "w") as fh:
+        for _, _, obj in entries:
+            fh.write(json.dumps(obj) + "\n")
+    return len(entries)

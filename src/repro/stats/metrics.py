@@ -1,0 +1,266 @@
+"""Traffic statistics: the numbers PoEm's evaluation phase produces.
+
+The paper's Phase 2 (performance evaluation for optimization) rests on
+time-stamped packet records.  This module turns either the server-side
+packet log (:class:`~repro.core.packet.PacketRecord` rows) or end-to-end
+sender/receiver probe logs into the metrics the paper reports —
+principally the **packet loss rate over time** of Fig 10 — plus
+throughput and latency series for broader use.
+
+All series are computed over fixed windows aligned to the evaluation
+interval, returned as parallel numpy arrays (``t`` = window centers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from ..core.packet import PacketRecord
+from ..errors import ConfigurationError
+
+__all__ = [
+    "TimeSeries",
+    "loss_rate_series",
+    "loss_rate_from_logs",
+    "throughput_series",
+    "latency_stats",
+    "LatencyStats",
+    "stamp_errors",
+    "jitter_stats",
+    "sequence_gaps",
+]
+
+
+@dataclass(frozen=True)
+class TimeSeries:
+    """A windowed series: centers ``t`` and values ``v`` (same length)."""
+
+    t: np.ndarray
+    v: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.t.shape != self.v.shape:
+            raise ConfigurationError(
+                f"misaligned series: {self.t.shape} vs {self.v.shape}"
+            )
+
+    def __len__(self) -> int:
+        return len(self.t)
+
+
+def _windows(t0: float, t1: float, window: float) -> np.ndarray:
+    if window <= 0:
+        raise ConfigurationError(f"window must be positive: {window}")
+    if t1 <= t0:
+        raise ConfigurationError(f"empty interval [{t0}, {t1}]")
+    edges = np.arange(t0, t1 + window * 1e-9, window)
+    if edges[-1] < t1:
+        edges = np.append(edges, t1)
+    return edges
+
+
+def loss_rate_series(
+    records: Iterable[PacketRecord],
+    t0: float,
+    t1: float,
+    window: float,
+    *,
+    kind: Optional[str] = "data",
+    source: Optional[int] = None,
+    destination: Optional[int] = None,
+) -> TimeSeries:
+    """Per-window loss rate from the server's packet log.
+
+    A record counts as *offered* if it has an origin stamp in the window
+    (filtered by kind/source/destination when given) and as *lost* if it
+    additionally carries a drop reason.  This is exactly what PoEm's
+    recording thread enables: loss attributed to the instant the client
+    generated the packet — the "real-time traffic recording" of the title.
+    """
+    edges = _windows(t0, t1, window)
+    offered = np.zeros(len(edges) - 1)
+    lost = np.zeros(len(edges) - 1)
+    for r in records:
+        if r.t_origin is None or not (t0 <= r.t_origin < t1):
+            continue
+        if kind is not None and r.kind != kind:
+            continue
+        if source is not None and r.source != source:
+            continue
+        if destination is not None and r.destination != destination:
+            continue
+        i = min(int((r.t_origin - t0) / window), len(offered) - 1)
+        offered[i] += 1
+        if r.dropped:
+            lost[i] += 1
+    centers = 0.5 * (edges[:-1] + edges[1:])
+    with np.errstate(invalid="ignore", divide="ignore"):
+        rate = np.where(offered > 0, lost / np.maximum(offered, 1), np.nan)
+    return TimeSeries(centers, rate)
+
+
+def loss_rate_from_logs(
+    sent_log: Sequence[tuple[float, int]],
+    received_seqnos: set[int],
+    t0: float,
+    t1: float,
+    window: float,
+) -> TimeSeries:
+    """End-to-end loss from sender/receiver probe logs.
+
+    ``sent_log`` is the generator's ``(time, seqno)`` list; a probe is
+    lost if its seqno never reached the receiver.  This is the
+    measurement an experimenter without server access would make — the
+    Fig 10 "Experiment" curve.
+    """
+    edges = _windows(t0, t1, window)
+    offered = np.zeros(len(edges) - 1)
+    lost = np.zeros(len(edges) - 1)
+    for t, seqno in sent_log:
+        if not (t0 <= t < t1):
+            continue
+        i = min(int((t - t0) / window), len(offered) - 1)
+        offered[i] += 1
+        if seqno not in received_seqnos:
+            lost[i] += 1
+    centers = 0.5 * (edges[:-1] + edges[1:])
+    with np.errstate(invalid="ignore", divide="ignore"):
+        rate = np.where(offered > 0, lost / np.maximum(offered, 1), np.nan)
+    return TimeSeries(centers, rate)
+
+
+def throughput_series(
+    records: Iterable[PacketRecord],
+    t0: float,
+    t1: float,
+    window: float,
+    *,
+    destination: Optional[int] = None,
+) -> TimeSeries:
+    """Delivered bits/s per window (by delivery stamp)."""
+    edges = _windows(t0, t1, window)
+    bits = np.zeros(len(edges) - 1)
+    for r in records:
+        if r.dropped or r.t_delivered is None:
+            continue
+        if not (t0 <= r.t_delivered < t1):
+            continue
+        if destination is not None and r.receiver != destination:
+            continue
+        i = min(int((r.t_delivered - t0) / window), len(bits) - 1)
+        bits[i] += r.size_bits
+    centers = 0.5 * (edges[:-1] + edges[1:])
+    return TimeSeries(centers, bits / window)
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Summary of per-packet transit latency."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    maximum: float
+
+
+def latency_stats(records: Iterable[PacketRecord]) -> Optional[LatencyStats]:
+    """Origin→delivery latency summary over delivered records."""
+    lat = np.array(
+        [
+            r.t_delivered - r.t_origin
+            for r in records
+            if not r.dropped
+            and r.t_delivered is not None
+            and r.t_origin is not None
+        ]
+    )
+    if lat.size == 0:
+        return None
+    return LatencyStats(
+        count=int(lat.size),
+        mean=float(lat.mean()),
+        p50=float(np.percentile(lat, 50)),
+        p95=float(np.percentile(lat, 95)),
+        maximum=float(lat.max()),
+    )
+
+
+def jitter_stats(
+    records: Iterable[PacketRecord],
+    *,
+    source: Optional[int] = None,
+    destination: Optional[int] = None,
+) -> Optional[float]:
+    """Mean inter-arrival jitter (RFC-3550 style) of a delivered flow.
+
+    Computed as the mean absolute difference between consecutive packets'
+    one-way latencies, over delivered data records sorted by sequence
+    number.  None when fewer than two deliveries match.
+    """
+    flow = sorted(
+        (
+            r
+            for r in records
+            if not r.dropped
+            and r.t_delivered is not None
+            and r.t_origin is not None
+            and (source is None or r.source == source)
+            and (destination is None or r.receiver == destination)
+        ),
+        key=lambda r: r.seqno,
+    )
+    if len(flow) < 2:
+        return None
+    latencies = np.array([r.t_delivered - r.t_origin for r in flow])
+    return float(np.mean(np.abs(np.diff(latencies))))
+
+
+def sequence_gaps(
+    records: Iterable[PacketRecord],
+    *,
+    source: Optional[int] = None,
+    destination: Optional[int] = None,
+) -> list[tuple[int, int]]:
+    """Missing sequence-number runs of a delivered flow.
+
+    Returns ``[(first_missing, last_missing), ...]`` — what a receiver-side
+    analyzer reports as loss bursts.  Useful for distinguishing random
+    loss-model drops (many length-1 gaps) from a link outage (one long
+    gap).
+    """
+    seqnos = sorted(
+        {
+            r.seqno
+            for r in records
+            if not r.dropped
+            and (source is None or r.source == source)
+            and (destination is None or r.receiver == destination)
+        }
+    )
+    gaps: list[tuple[int, int]] = []
+    for prev, cur in zip(seqnos, seqnos[1:]):
+        if cur > prev + 1:
+            gaps.append((prev + 1, cur - 1))
+    return gaps
+
+
+def stamp_errors(
+    records: Iterable[PacketRecord],
+) -> np.ndarray:
+    """Per-record ``t_receipt - t_origin`` — the time-stamping error.
+
+    For PoEm (client-stamped receipt) this is ~0 by construction; for the
+    serialized JEmu-style baseline it grows with contention — the Fig 2
+    phenomenon, quantified.
+    """
+    return np.array(
+        [
+            r.t_receipt - r.t_origin
+            for r in records
+            if r.t_receipt is not None and r.t_origin is not None
+        ]
+    )

@@ -1,0 +1,194 @@
+"""Whole-run statistics report — PoEm's 'later statistics' pane (§3.2).
+
+The recording threads exist "for later statistics and replay"; replay
+lives in :mod:`repro.core.replay`, and this module is the statistics
+half: one call turns a recorder into the summary an experimenter reads
+first — totals, drop breakdown, per-flow delivery/latency/jitter, and a
+windowed loss series.
+
+``build_report`` returns structured data; ``format_report`` renders the
+text block (what the CLI and examples print).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.recording import Recorder
+from .metrics import LatencyStats, jitter_stats, latency_stats
+
+__all__ = ["FlowStats", "NodeActivity", "RunReport", "build_report",
+           "format_report"]
+
+
+@dataclass(frozen=True)
+class NodeActivity:
+    """One node's traffic footprint (as hop sender / receiver)."""
+
+    node: int
+    frames_sent: int
+    frames_received: int
+    bits_sent: int
+    bits_received: int
+    drops_as_sender: int
+
+
+@dataclass(frozen=True)
+class FlowStats:
+    """One (source, destination) data flow's end-to-end numbers."""
+
+    source: int
+    destination: int
+    offered: int
+    delivered: int
+    latency: Optional[LatencyStats]
+    jitter: Optional[float]
+
+    @property
+    def delivery_rate(self) -> float:
+        return self.delivered / self.offered if self.offered else 0.0
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """Aggregate statistics of one recorded run."""
+
+    duration: float
+    total_records: int
+    delivered: int
+    dropped: int
+    drop_reasons: dict[str, int]
+    control_records: int
+    data_records: int
+    flows: list[FlowStats] = field(default_factory=list)
+    nodes: list[NodeActivity] = field(default_factory=list)
+
+    @property
+    def overall_loss(self) -> float:
+        return self.dropped / self.total_records if self.total_records else 0.0
+
+
+def build_report(recorder: Recorder, *, top_flows: int = 10) -> RunReport:
+    """Compute the run report from a recorder's packet rows."""
+    packets = recorder.packets()
+    stamps = [
+        s
+        for p in packets
+        for s in (p.t_origin, p.t_delivered)
+        if s is not None
+    ]
+    duration = (max(stamps) - min(stamps)) if stamps else 0.0
+    dropped = [p for p in packets if p.dropped]
+    reasons = Counter(p.drop_reason for p in dropped)
+
+    # Per-flow stats over data records, keyed by (source, destination).
+    flow_keys = Counter(
+        (p.source, p.destination)
+        for p in packets
+        if p.kind == "data" and p.destination >= 0
+    )
+    flows = []
+    for (src, dst), _count in flow_keys.most_common(top_flows):
+        rows = [
+            p for p in packets
+            if p.kind == "data" and p.source == src and p.destination == dst
+        ]
+        # Offered = distinct frames (dedup fan-out rows by seqno).
+        offered = len({p.seqno for p in rows})
+        delivered_rows = [
+            p for p in rows if not p.dropped and p.receiver == dst
+        ]
+        delivered = len({p.seqno for p in delivered_rows})
+        flows.append(
+            FlowStats(
+                source=src,
+                destination=dst,
+                offered=offered,
+                delivered=delivered,
+                latency=latency_stats(delivered_rows),
+                jitter=jitter_stats(delivered_rows),
+            )
+        )
+
+    # Per-node activity (hop-level: sender/receiver of each record).
+    activity: dict[int, dict[str, int]] = {}
+
+    def slot(node: int) -> dict[str, int]:
+        return activity.setdefault(
+            node,
+            {"sent": 0, "recv": 0, "bits_out": 0, "bits_in": 0, "drops": 0},
+        )
+
+    for p in packets:
+        s = slot(p.sender)
+        s["sent"] += 1
+        s["bits_out"] += p.size_bits
+        if p.dropped:
+            s["drops"] += 1
+        elif p.receiver is not None:
+            r = slot(p.receiver)
+            r["recv"] += 1
+            r["bits_in"] += p.size_bits
+    nodes = [
+        NodeActivity(
+            node=n,
+            frames_sent=a["sent"],
+            frames_received=a["recv"],
+            bits_sent=a["bits_out"],
+            bits_received=a["bits_in"],
+            drops_as_sender=a["drops"],
+        )
+        for n, a in sorted(activity.items())
+    ]
+
+    return RunReport(
+        duration=duration,
+        total_records=len(packets),
+        delivered=len(packets) - len(dropped),
+        dropped=len(dropped),
+        drop_reasons=dict(reasons),
+        control_records=sum(1 for p in packets if p.kind != "data"),
+        data_records=sum(1 for p in packets if p.kind == "data"),
+        flows=flows,
+        nodes=nodes,
+    )
+
+
+def format_report(report: RunReport) -> str:
+    """Render the report as the text block the CLI prints."""
+    lines = [
+        "Run statistics",
+        f"  duration        : {report.duration:.3f}s",
+        f"  packet records  : {report.total_records} "
+        f"({report.data_records} data, {report.control_records} control)",
+        f"  delivered       : {report.delivered}",
+        f"  dropped         : {report.dropped} "
+        f"({report.overall_loss:.1%} of records)",
+    ]
+    for reason, count in sorted(report.drop_reasons.items()):
+        lines.append(f"    {reason:<16}: {count}")
+    if report.flows:
+        lines.append("  flows (by record volume):")
+        for f in report.flows:
+            lat = (
+                "-" if f.latency is None
+                else f"{f.latency.mean * 1e3:.2f}ms mean / "
+                     f"{f.latency.p95 * 1e3:.2f}ms p95"
+            )
+            jit = "-" if f.jitter is None else f"{f.jitter * 1e3:.2f}ms"
+            lines.append(
+                f"    {f.source} -> {f.destination}: "
+                f"{f.delivered}/{f.offered} ({f.delivery_rate:.1%})  "
+                f"latency {lat}  jitter {jit}"
+            )
+    if report.nodes:
+        lines.append("  node activity:")
+        for n in report.nodes:
+            lines.append(
+                f"    node {n.node:3d}: tx {n.frames_sent:5d} "
+                f"({n.bits_sent} b)  rx {n.frames_received:5d} "
+                f"({n.bits_received} b)  tx-drops {n.drops_as_sender}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,159 @@
+"""Closed-form expected curves for the Fig 10 comparison.
+
+"According to the theoretical models, we drew both the expected real-time
+and non-real-time performance curves in advance" (§6.2).  This module is
+those theoretical models, for the Fig 9 scenario:
+
+* VMN1 at the origin sends CBR to VMN3 two hop-distances away;
+* VMN2 starts midway and moves perpendicular ("downwards") at ``v``;
+* hop distance at time t: ``r(t) = sqrt(d² + (v·t)²)`` for both hops
+  (symmetric geometry);
+* per-hop loss from the piecewise model; the two hops are on different
+  channels ("to avoid any collision"), so losses are independent and the
+  end-to-end delivery probability is the product of the per-hop ones:
+
+  ``P_e2e(t) = 1 − (1 − P(r(t)))²``
+
+* once ``r(t) > R`` the relay is out of range of an endpoint and loss is
+  total (the link-layer drops every frame).
+
+The **real-time** expected curve evaluates this at the packet's true
+generation time.  The **non-real-time** curve models what a centralized
+serially-stamping recorder (§2.1 / Fig 2) would attribute: each packet's
+time-stamp lags its true generation time by the recording backlog, so the
+measured curve is the true curve *delayed* (and flattened) by the lag.
+We model the lag with a fluid single-server queue: packets arrive at the
+offered rate ``λ(t)`` and are stamped at a fixed service rate ``μ``; the
+backlog ``B(t)`` integrates ``λ − μ`` (clamped at 0) and a packet
+generated at ``t`` is stamped at ``t + B(t)/μ``.  With ``λ > μ`` (heavy
+4 Mbps load — the paper calls it heavy) the lag grows through the run and
+the non-real-time curve visibly trails the true one, which is exactly the
+divergence Fig 10 shows.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..models.link import PacketLossModel
+
+__all__ = [
+    "RelayScenario",
+    "fluid_stamp_lag",
+    "nonrealtime_curve",
+    "serialize_stamps",
+]
+
+
+@dataclass(frozen=True)
+class RelayScenario:
+    """The Fig 9 geometry + Table 3 parameters, as one object."""
+
+    hop_distance: float = 120.0
+    radio_range: float = 200.0
+    speed: float = 10.0
+    loss: PacketLossModel = PacketLossModel(
+        p0=0.1, p1=0.9, d0=50.0, radio_range=200.0
+    )
+
+    def __post_init__(self) -> None:
+        if self.hop_distance <= 0 or self.speed < 0:
+            raise ConfigurationError("bad scenario geometry")
+
+    def hop_length(self, t: np.ndarray | float) -> np.ndarray:
+        """Distance from either endpoint to the relay at time ``t``."""
+        t = np.asarray(t, dtype=float)
+        return np.sqrt(self.hop_distance**2 + (self.speed * t) ** 2)
+
+    def breakage_time(self) -> float:
+        """When the relay leaves radio range and loss saturates at 1."""
+        if self.speed == 0:
+            return math.inf
+        if self.radio_range <= self.hop_distance:
+            return 0.0
+        return (
+            math.sqrt(self.radio_range**2 - self.hop_distance**2) / self.speed
+        )
+
+    def per_hop_loss(self, t: np.ndarray | float) -> np.ndarray:
+        """Loss probability of one hop at time ``t`` (1 beyond range)."""
+        r = self.hop_length(t)
+        p = self.loss.loss_probability_array(r)
+        return np.where(r > self.radio_range, 1.0, p)
+
+    def end_to_end_loss(self, t: np.ndarray | float) -> np.ndarray:
+        """Fig 10's expected **real-time** curve: ``1 − (1 − P)²``."""
+        p = self.per_hop_loss(t)
+        return 1.0 - (1.0 - p) ** 2
+
+
+def fluid_stamp_lag(
+    t: np.ndarray, arrival_pps: float, service_pps: float
+) -> np.ndarray:
+    """Recording lag of a serial time-stamper under constant offered load.
+
+    Fluid queue: backlog grows at ``max(arrival − service, 0)`` packets/s;
+    a packet generated at ``t`` waits ``backlog(t)/service`` before being
+    stamped.  ``t`` must be sorted ascending.
+    """
+    if service_pps <= 0 or arrival_pps < 0:
+        raise ConfigurationError("rates must be positive")
+    t = np.asarray(t, dtype=float)
+    growth = max(arrival_pps - service_pps, 0.0)
+    backlog = growth * np.maximum(t - t[0], 0.0)
+    return backlog / service_pps
+
+
+def nonrealtime_curve(
+    scenario: RelayScenario,
+    t: np.ndarray,
+    arrival_pps: float,
+    service_pps: float,
+) -> np.ndarray:
+    """Fig 10's expected **non-real-time** curve.
+
+    The serially-stamped recorder attributes the loss that truly happened
+    at ``t`` to the later stamp time ``t + lag(t)``; equivalently, the
+    value *plotted at* time ``t`` is the true loss at the earlier
+    generation time ``g(t)`` with ``g + lag(g) = t``.  We invert the stamp
+    map by interpolation.
+    """
+    t = np.asarray(t, dtype=float)
+    lag = fluid_stamp_lag(t, arrival_pps, service_pps)
+    stamp_times = t + lag
+    true_loss = scenario.end_to_end_loss(t)
+    # Value shown at time x = true loss of the packet stamped at x.
+    return np.interp(t, stamp_times, true_loss)
+
+
+def serialize_stamps(
+    arrival_times: np.ndarray, service_pps: float
+) -> np.ndarray:
+    """Re-stamp arrivals through a serial single-server recorder.
+
+    Given true generation times (sorted), returns the times a JEmu-style
+    serial recorder would attribute to each packet: each takes
+    ``1/service_pps`` of server time and queues behind its predecessors
+    (Fig 2's serial reception, applied to a whole trace).  This is how a
+    *measured* non-real-time curve is produced from a real run's records:
+    re-stamp, re-bin, compare — same traffic, distorted attribution.
+    """
+    if service_pps <= 0:
+        raise ConfigurationError(f"service rate must be positive: {service_pps}")
+    arrival_times = np.asarray(arrival_times, dtype=float)
+    if arrival_times.size == 0:
+        return arrival_times.copy()
+    if np.any(np.diff(arrival_times) < 0):
+        raise ConfigurationError("arrival times must be sorted")
+    service = 1.0 / service_pps
+    stamps = np.empty_like(arrival_times)
+    free_at = -np.inf
+    for i, t in enumerate(arrival_times):
+        start = max(t, free_at)
+        free_at = start + service
+        stamps[i] = free_at  # stamped when reception completes
+    return stamps

@@ -1,0 +1,22 @@
+"""Workload generators: CBR (the paper's 4 Mbps flow), Poisson, On-Off."""
+
+from .trace import TraceSource, trace_from_records
+from .generators import (
+    CbrSource,
+    OnOffSource,
+    PoissonSource,
+    TrafficSource,
+    make_probe,
+    parse_probe,
+)
+
+__all__ = [
+    "TrafficSource",
+    "CbrSource",
+    "PoissonSource",
+    "OnOffSource",
+    "make_probe",
+    "parse_probe",
+    "TraceSource",
+    "trace_from_records",
+]

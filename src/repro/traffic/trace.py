@@ -1,0 +1,130 @@
+"""Trace-driven traffic: replay a recorded (or synthetic) arrival process.
+
+Where :mod:`.generators` produces parametric workloads, a
+:class:`TraceSource` plays back an explicit list of ``(time, size_bits)``
+arrivals — letting an experiment reuse the exact offered load of a prior
+run (extracted from its packet records via :func:`trace_from_records`) or
+a hand-crafted worst case.  Combined with
+:meth:`~repro.scenario.script.Scenario.from_scene_events`, a finished
+recording can be re-executed wholesale: same topology dynamics, same
+offered traffic, different protocol or models under test.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence
+
+from ..core.packet import PacketRecord
+from ..errors import ConfigurationError
+from ..protocols.base import TimerHandle, TimerService
+from .generators import SendFn, make_probe
+
+__all__ = ["TraceSource", "trace_from_records"]
+
+
+def trace_from_records(
+    records: Iterable[PacketRecord],
+    *,
+    source: Optional[int] = None,
+    kind: str = "data",
+) -> list[tuple[float, int]]:
+    """Extract a ``(t_origin, size_bits)`` arrival trace from packet records.
+
+    Deduplicates per (source, seqno) — the log has one row per receiver,
+    but the offered load is one arrival per transmitted frame.
+    """
+    seen: set[tuple[int, int]] = set()
+    trace: list[tuple[float, int]] = []
+    for r in records:
+        if r.t_origin is None or r.kind != kind:
+            continue
+        if source is not None and r.source != source:
+            continue
+        key = (r.source, r.seqno)
+        if key in seen:
+            continue
+        seen.add(key)
+        trace.append((r.t_origin, r.size_bits))
+    trace.sort()
+    return trace
+
+
+class TraceSource:
+    """Plays a fixed arrival trace through a send function.
+
+    Times are interpreted relative to :meth:`start` (the trace's first
+    arrival fires ``trace[0][0] - offset`` seconds after start, where
+    ``offset`` defaults to the trace's own origin so arrival spacing is
+    preserved exactly).
+    """
+
+    def __init__(
+        self,
+        timers: TimerService,
+        now: Callable[[], float],
+        send: SendFn,
+        trace: Sequence[tuple[float, int]],
+        *,
+        rebase: bool = True,
+    ) -> None:
+        if not trace:
+            raise ConfigurationError("trace must contain at least one arrival")
+        times = [t for t, _ in trace]
+        if times != sorted(times):
+            raise ConfigurationError("trace times must be non-decreasing")
+        if any(bits <= 0 for _, bits in trace):
+            raise ConfigurationError("trace sizes must be positive")
+        self._timers = timers
+        self._now = now
+        self._send = send
+        base = trace[0][0] if rebase else 0.0
+        self._trace = [(t - base, bits) for t, bits in trace]
+        if self._trace[0][0] < 0:
+            raise ConfigurationError(
+                "trace contains arrivals before t=0 (rebase disabled?)"
+            )
+        self._index = 0
+        self._timer: Optional[TimerHandle] = None
+        self._running = False
+        self._t_start = 0.0
+        self.sent = 0
+        self.sent_log: list[tuple[float, int]] = []
+
+    def __len__(self) -> int:
+        return len(self._trace)
+
+    @property
+    def remaining(self) -> int:
+        return len(self._trace) - self._index
+
+    def start(self) -> None:
+        if self._running:
+            raise ConfigurationError("trace source already running")
+        self._running = True
+        self._t_start = self._now()
+        self._arm()
+
+    def stop(self) -> None:
+        self._running = False
+        if self._timer is not None:
+            self._timers.cancel(self._timer)
+            self._timer = None
+
+    def _arm(self) -> None:
+        if self._index >= len(self._trace):
+            self._running = False
+            return
+        due = self._t_start + self._trace[self._index][0]
+        delay = max(due - self._now(), 0.0)
+        self._timer = self._timers.call_after(delay, self._fire)
+
+    def _fire(self) -> None:
+        if not self._running or self._index >= len(self._trace):
+            return
+        _, bits = self._trace[self._index]
+        self._index += 1
+        t = self._now()
+        self.sent += 1
+        self.sent_log.append((t, self.sent))
+        self._send(make_probe(self.sent, t), bits)
+        self._arm()

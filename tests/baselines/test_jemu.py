@@ -1,0 +1,85 @@
+"""Tests for the JEmu-style centralized baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.jemu import JEmuEmulator
+from repro.core.geometry import Vec2
+from repro.core.ids import BROADCAST_NODE
+from repro.core.replay import ReplayEngine
+from repro.errors import ConfigurationError, ReplayError
+from repro.models.radio import Radio, RadioConfig
+from repro.stats.metrics import stamp_errors
+
+
+def burst_emulator(n_clients=4, service_time=0.001):
+    emu = JEmuEmulator(seed=0, service_time=service_time)
+    hosts = [
+        emu.add_node(Vec2(float(10 * i), 0.0), RadioConfig.single(1, 1000.0))
+        for i in range(n_clients)
+    ]
+    return emu, hosts
+
+
+class TestSerialStamping:
+    def test_simultaneous_sends_stamped_serially(self):
+        """The Fig 2 phenomenon: same send instant, different receipts."""
+        emu, hosts = burst_emulator(4, service_time=0.01)
+        for h in hosts:
+            h.transmit(BROADCAST_NODE, b"burst", channel=1)
+        emu.run_for(2.0)
+        errs = np.sort(stamp_errors(emu.recorder.packets()))
+        # Receipts are origin + k*service_time for k = 1..4, each fanned
+        # out to 3 receivers.
+        assert errs.min() >= 0.01 - 1e-9
+        assert errs.max() == pytest.approx(0.04)
+
+    def test_error_grows_with_clients(self):
+        def max_err(n):
+            emu, hosts = burst_emulator(n, service_time=0.005)
+            for h in hosts:
+                h.transmit(BROADCAST_NODE, b"b", channel=1)
+            emu.run_for(5.0)
+            return stamp_errors(emu.recorder.packets()).max()
+
+        assert max_err(8) > max_err(2)
+
+    def test_forwarding_anchored_at_server_receipt(self):
+        """JEmu forwards from its own (late) receipt stamp."""
+        emu, hosts = burst_emulator(2, service_time=0.05)
+        hosts[0].transmit(hosts[1].node_id, b"x", channel=1, size_bits=8)
+        emu.run_for(2.0)
+        (rec,) = [r for r in emu.recorder.packets() if not r.dropped]
+        assert rec.t_receipt == pytest.approx(rec.t_origin + 0.05)
+        assert rec.t_forward >= rec.t_receipt
+
+    def test_delivery_still_works(self):
+        emu, hosts = burst_emulator(2)
+        hosts[0].transmit(hosts[1].node_id, b"payload", channel=1)
+        emu.run_for(1.0)
+        assert [p.payload for p in hosts[1].received] == [b"payload"]
+
+
+class TestFeatureLimits:
+    def test_multi_radio_rejected(self):
+        emu = JEmuEmulator(seed=0)
+        with pytest.raises(ConfigurationError):
+            emu.add_node(
+                Vec2(0, 0), RadioConfig.of([Radio(1, 100.0), Radio(2, 100.0)])
+            )
+
+    def test_no_scene_recording_no_replay(self):
+        emu, hosts = burst_emulator(2)
+        hosts[0].transmit(hosts[1].node_id, b"x", channel=1)
+        emu.run_for(1.0)
+        assert emu.recorder.scene_events() == []
+        replay = ReplayEngine(emu.recorder)  # packets exist...
+        assert replay.scene_at(1.0) == {}  # ...but no scene to show
+
+    def test_features_dict(self):
+        assert JEmuEmulator.FEATURES["realtime_traffic_recording"] is False
+        assert JEmuEmulator.FEATURES["multi_radio"] is False
+
+    def test_invalid_service_time(self):
+        with pytest.raises(ConfigurationError):
+            JEmuEmulator(service_time=0.0)

@@ -1,0 +1,102 @@
+"""Tests for the MobiEmu-style distributed baseline."""
+
+import pytest
+
+from repro.baselines.mobiemu import MobiEmuEmulator
+from repro.core.geometry import Vec2
+from repro.core.ids import BROADCAST_NODE
+from repro.errors import ConfigurationError
+from repro.models.radio import Radio, RadioConfig
+
+
+def pair(lag=0.0, spacing=50.0):
+    emu = MobiEmuEmulator(seed=0, default_apply_lag=lag)
+    a = emu.add_station(Vec2(0, 0), RadioConfig.single(1, 100.0))
+    b = emu.add_station(Vec2(spacing, 0), RadioConfig.single(1, 100.0))
+    emu.run_for(max(lag, 0.01) * 2 + 0.1)  # replicas settle
+    return emu, a, b
+
+
+class TestPeerToPeerForwarding:
+    def test_unicast(self):
+        emu, a, b = pair()
+        a.transmit(b.node_id, b"p2p", channel=1)
+        emu.run_for(1.0)
+        assert [p.payload for p in b.received] == [b"p2p"]
+
+    def test_broadcast(self):
+        emu = MobiEmuEmulator(seed=0)
+        stations = [
+            emu.add_station(Vec2(float(i * 30), 0), RadioConfig.single(1, 100.0))
+            for i in range(3)
+        ]
+        emu.run_for(0.1)
+        stations[1].transmit(BROADCAST_NODE, b"all", channel=1)
+        emu.run_for(1.0)
+        assert len(stations[0].received) == 1
+        assert len(stations[2].received) == 1
+
+    def test_distributed_stamping_is_exact(self):
+        """Table 1's ✓: stations stamp locally, receipt == origin."""
+        emu, a, b = pair()
+        a.transmit(b.node_id, b"x", channel=1)
+        emu.run_for(1.0)
+        recs = [r for r in emu.recorder.packets() if not r.dropped]
+        assert recs and all(r.t_receipt == r.t_origin for r in recs)
+
+
+class TestSceneBroadcast:
+    def test_messages_counted_per_station(self):
+        emu = MobiEmuEmulator(seed=0)
+        emu.add_station(Vec2(0, 0), RadioConfig.single(1, 100.0))
+        emu.add_station(Vec2(10, 0), RadioConfig.single(1, 100.0))
+        base = emu.scene_messages_sent
+        emu.scene.move_node(1, Vec2(5, 5))
+        assert emu.scene_messages_sent == base + 2  # one per station
+
+    def test_lagged_replica_is_stale(self):
+        """The Fig 3 phenomenon, directly observed."""
+        emu, a, b = pair(lag=1.0)
+        emu.scene.move_node(b.node_id, Vec2(5000, 0))  # b leaves
+        # Before the lag elapses, a's replica still shows b nearby.
+        assert b.node_id in a.replica_neighbors()
+        a.transmit(b.node_id, b"to-ghost", channel=1)
+        assert emu.misdirected == 1
+        assert b.received == []
+        # After the lag, the replica catches up.
+        emu.run_for(2.0)
+        assert b.node_id not in a.replica_neighbors()
+
+    def test_staleness_report(self):
+        emu, a, b = pair(lag=5.0)
+        emu.scene.move_node(b.node_id, Vec2(5000, 0))
+        report = emu.staleness_report()
+        assert report[a.node_id] >= 1  # a believes a dead link
+        emu.run_for(11.0)
+        assert emu.staleness_report()[a.node_id] == 0
+
+    def test_self_events_applied_immediately(self):
+        emu = MobiEmuEmulator(seed=0, default_apply_lag=10.0)
+        s = emu.add_station(Vec2(0, 0), RadioConfig.single(1, 100.0))
+        assert s.node_id in s.replica  # own node-added not delayed
+        assert s.channels() == {1}
+
+    def test_zero_lag_is_consistent(self):
+        emu, a, b = pair(lag=0.0)
+        emu.scene.move_node(b.node_id, Vec2(5000, 0))
+        assert b.node_id not in a.replica_neighbors()
+        a.transmit(b.node_id, b"x", channel=1)
+        assert emu.misdirected == 0  # replica agreed with reality
+
+
+class TestFeatureLimits:
+    def test_multi_radio_rejected(self):
+        emu = MobiEmuEmulator(seed=0)
+        with pytest.raises(ConfigurationError):
+            emu.add_station(
+                Vec2(0, 0), RadioConfig.of([Radio(1, 100.0), Radio(2, 100.0)])
+            )
+
+    def test_features_dict(self):
+        assert MobiEmuEmulator.FEATURES["realtime_scene_construction"] is False
+        assert MobiEmuEmulator.FEATURES["realtime_traffic_recording"] is True

@@ -1,0 +1,71 @@
+"""Shared fixtures and helpers for the PoEm test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    HybridProtocol,
+    InProcessEmulator,
+    Radio,
+    RadioConfig,
+    Vec2,
+)
+from repro.protocols.common import ProtocolTuning
+
+FAST_TUNING = ProtocolTuning(
+    hello_interval=0.5,
+    neighbor_timeout=1.6,
+    route_lifetime=3.0,
+    rreq_timeout=1.0,
+    rreq_retries=2,
+)
+"""Protocol timing sped up so convergence tests stay quick."""
+
+
+@pytest.fixture
+def fast_tuning() -> ProtocolTuning:
+    return FAST_TUNING
+
+
+def make_chain(
+    n: int,
+    *,
+    spacing: float = 120.0,
+    radio_range: float = 200.0,
+    channel: int = 1,
+    protocol_factory=None,
+    seed: int = 0,
+) -> tuple[InProcessEmulator, list]:
+    """A line of ``n`` nodes ``spacing`` apart (each hears its neighbors)."""
+    emu = InProcessEmulator(seed=seed)
+    hosts = []
+    for i in range(n):
+        protocol = protocol_factory() if protocol_factory else None
+        hosts.append(
+            emu.add_node(
+                Vec2(spacing * i, 0.0),
+                RadioConfig.single(channel, radio_range),
+                protocol=protocol,
+                label=f"VMN{i + 1}",
+            )
+        )
+    return emu, hosts
+
+
+def make_hybrid_chain(n: int, *, seed: int = 0, **kwargs):
+    """Chain with the paper's hybrid protocol on every node."""
+    return make_chain(
+        n,
+        protocol_factory=lambda: HybridProtocol(FAST_TUNING),
+        seed=seed,
+        **kwargs,
+    )
+
+
+@pytest.fixture
+def chain3():
+    """Converged 3-node hybrid chain (the Fig 8-ish smoke topology)."""
+    emu, hosts = make_hybrid_chain(3)
+    emu.run_until(4.0)
+    return emu, hosts

@@ -1,0 +1,106 @@
+"""Edge-case behaviours worth documenting as tests.
+
+Each test pins a deliberate behaviour of the emulator that a user might
+otherwise wonder about — the answers are design decisions, and these
+tests are their documentation.
+"""
+
+import pytest
+
+from repro import InProcessEmulator, Radio, RadioConfig, Vec2
+from repro.core.ids import BROADCAST_NODE, ChannelId, NodeId
+from repro.errors import PoEmError
+
+
+class TestBroadcastIntoTheVoid:
+    def test_unheard_broadcast_produces_no_records(self):
+        """A broadcast with zero neighbors vanishes silently: radio has no
+        addressee to charge the loss to.  (End-to-end offered-traffic
+        accounting therefore belongs in sender logs, as the Fig 10 driver
+        does — not in the server's per-receiver records.)"""
+        emu = InProcessEmulator(seed=0)
+        lone = emu.add_node(Vec2(0, 0), RadioConfig.single(1, 100.0))
+        lone.transmit(BROADCAST_NODE, b"anyone?", channel=ChannelId(1))
+        emu.run_until(1.0)
+        assert emu.recorder.packets() == []
+        assert emu.engine.ingested == 1
+        assert emu.engine.forwarded == 0 and emu.engine.dropped == 0
+
+    def test_unicast_into_the_void_is_recorded(self):
+        """A unicast to a non-neighbor IS recorded (not-neighbor drop) —
+        it has an addressee, so the outcome is attributable."""
+        emu = InProcessEmulator(seed=0)
+        a = emu.add_node(Vec2(0, 0), RadioConfig.single(1, 100.0))
+        emu.add_node(Vec2(5000, 0), RadioConfig.single(1, 100.0))
+        a.transmit(NodeId(2), b"you there?", channel=ChannelId(1))
+        emu.run_until(1.0)
+        (rec,) = emu.recorder.packets()
+        assert rec.drop_reason == "not-neighbor"
+
+
+class TestSelfAddressing:
+    def test_unicast_to_self_not_delivered(self):
+        """A node is never its own neighbor: self-addressed frames drop."""
+        emu = InProcessEmulator(seed=0)
+        a = emu.add_node(Vec2(0, 0), RadioConfig.single(1, 100.0))
+        a.transmit(a.node_id, b"echo?", channel=ChannelId(1))
+        emu.run_until(1.0)
+        assert a.received == []
+
+    def test_broadcast_excludes_sender(self):
+        emu = InProcessEmulator(seed=0)
+        a = emu.add_node(Vec2(0, 0), RadioConfig.single(1, 100.0))
+        b = emu.add_node(Vec2(10, 0), RadioConfig.single(1, 100.0))
+        a.transmit(BROADCAST_NODE, b"all", channel=ChannelId(1))
+        emu.run_until(1.0)
+        assert a.received == [] and len(b.received) == 1
+
+
+class TestDualRadioSameChannel:
+    def test_first_radio_wins(self):
+        """Two radios on one channel: R(A,k) is the first radio's range
+        (documented first-match semantics)."""
+        emu = InProcessEmulator(seed=0)
+        a = emu.add_node(
+            Vec2(0, 0),
+            RadioConfig.of([Radio(ChannelId(1), 50.0),
+                            Radio(ChannelId(1), 500.0)]),
+        )
+        b = emu.add_node(Vec2(100, 0), RadioConfig.single(1, 500.0))
+        # 100 > 50 (first radio) even though the second would reach.
+        assert not emu.scene.is_neighbor(a.node_id, b.node_id, ChannelId(1))
+        # B's range covers A, so the reverse direction exists.
+        assert emu.scene.is_neighbor(b.node_id, a.node_id, ChannelId(1))
+
+
+class TestZeroAndBoundaryDistances:
+    def test_colocated_nodes_are_neighbors(self):
+        emu = InProcessEmulator(seed=0)
+        a = emu.add_node(Vec2(7, 7), RadioConfig.single(1, 10.0))
+        b = emu.add_node(Vec2(7, 7), RadioConfig.single(1, 10.0))
+        a.transmit(b.node_id, b"on-top", channel=ChannelId(1))
+        emu.run_until(1.0)
+        assert len(b.received) == 1
+
+    def test_exactly_at_range_is_in(self):
+        """D(A,B) <= R is inclusive (the paper's predicate)."""
+        emu = InProcessEmulator(seed=0)
+        a = emu.add_node(Vec2(0, 0), RadioConfig.single(1, 100.0))
+        b = emu.add_node(Vec2(100, 0), RadioConfig.single(1, 100.0))
+        a.transmit(b.node_id, b"edge", channel=ChannelId(1))
+        emu.run_until(1.0)
+        assert len(b.received) == 1
+
+
+class TestErrorHierarchy:
+    def test_every_library_error_is_a_poem_error(self):
+        import repro.errors as errors
+
+        for name in errors.__all__:
+            cls = getattr(errors, name)
+            assert issubclass(cls, PoEmError)
+
+    def test_specific_errors_catchable_generically(self):
+        emu = InProcessEmulator(seed=0)
+        with pytest.raises(PoEmError):
+            emu.scene.position(NodeId(404))

@@ -1,0 +1,178 @@
+"""Tests for repro.core.engine — the Steps 1–7 pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.clock import VirtualClock
+from repro.core.engine import ForwardingEngine
+from repro.core.geometry import Vec2
+from repro.core.ids import BROADCAST_NODE, ChannelId, NodeId
+from repro.core.neighbor import ChannelIndexedNeighborTables
+from repro.core.packet import DropReason, Packet
+from repro.core.scene import Scene
+from repro.models.link import (
+    BandwidthModel,
+    DelayModel,
+    LinkModel,
+    PacketLossModel,
+)
+from repro.models.radio import Radio, RadioConfig
+
+
+def n(i):
+    return NodeId(i)
+
+
+def packet(src, dst, *, channel=1, bits=1000, t_origin=None, seq=1):
+    return Packet(
+        source=n(src), destination=n(dst) if dst >= 0 else BROADCAST_NODE,
+        payload=b"p", size_bits=bits, seqno=seq, channel=ChannelId(channel),
+        t_origin=t_origin,
+    )
+
+
+def build_engine(*, link=None, capacity=None, use_client_stamps=True, seed=0):
+    link = link or LinkModel(
+        bandwidth=BandwidthModel(peak=1e6), delay=DelayModel(base=0.01)
+    )
+    scene = Scene(seed=seed)
+    scene.add_node(n(1), Vec2(0, 0), RadioConfig.of([Radio(ChannelId(1), 100.0, link)]))
+    scene.add_node(n(2), Vec2(50, 0), RadioConfig.of([Radio(ChannelId(1), 100.0, link)]))
+    scene.add_node(n(3), Vec2(90, 0), RadioConfig.of([Radio(ChannelId(1), 100.0, link)]))
+    clock = VirtualClock()
+    engine = ForwardingEngine(
+        scene,
+        ChannelIndexedNeighborTables(scene),
+        clock,
+        rng=np.random.default_rng(seed),
+        schedule_capacity=capacity,
+        use_client_stamps=use_client_stamps,
+    )
+    return engine, scene, clock
+
+
+class TestIngest:
+    def test_unicast_to_neighbor_scheduled(self):
+        engine, _, _ = build_engine()
+        entries = engine.ingest(n(1), packet(1, 2, t_origin=0.0))
+        assert len(entries) == 1
+        assert entries[0].receiver == n(2)
+
+    def test_forward_time_formula(self):
+        """t_forward = t_receipt + delay + size/bandwidth (Step 3)."""
+        engine, _, _ = build_engine()
+        (e,) = engine.ingest(n(1), packet(1, 2, bits=1000, t_origin=2.0))
+        assert e.t_forward == pytest.approx(2.0 + 0.01 + 1000 / 1e6)
+
+    def test_client_stamp_anchors_receipt(self):
+        engine, _, clock = build_engine(use_client_stamps=True)
+        clock.call_at(5.0, lambda: None)
+        clock.run()  # server clock at 5.0
+        (e,) = engine.ingest(n(1), packet(1, 2, t_origin=1.0))
+        assert e.packet.t_receipt == 1.0
+
+    def test_server_stamp_mode(self):
+        engine, _, clock = build_engine(use_client_stamps=False)
+        clock.call_at(5.0, lambda: None)
+        clock.run()
+        (e,) = engine.ingest(n(1), packet(1, 2, t_origin=1.0))
+        assert e.packet.t_receipt == 5.0  # JEmu-style anchoring
+
+    def test_broadcast_reaches_all_neighbors(self):
+        engine, _, _ = build_engine()
+        entries = engine.ingest(n(2), packet(2, -1, t_origin=0.0))
+        assert {e.receiver for e in entries} == {n(1), n(3)}
+
+    def test_non_neighbor_dropped(self):
+        engine, scene, _ = build_engine()
+        scene.move_node(n(3), Vec2(500, 0))
+        entries = engine.ingest(n(1), packet(1, 3, t_origin=0.0))
+        assert entries == []
+        (rec,) = engine.recorder.packets()
+        assert rec.drop_reason == DropReason.NOT_NEIGHBOR
+
+    def test_no_radio_on_channel_dropped(self):
+        engine, _, _ = build_engine()
+        entries = engine.ingest(n(1), packet(1, 2, channel=9, t_origin=0.0))
+        assert entries == []
+        (rec,) = engine.recorder.packets()
+        assert rec.drop_reason == DropReason.NO_SUCH_CHANNEL
+
+    def test_unknown_sender_dropped(self):
+        engine, _, _ = build_engine()
+        assert engine.ingest(n(42), packet(42, 2, t_origin=0.0)) == []
+
+    def test_loss_model_drops_recorded(self):
+        lossy = LinkModel(
+            loss=PacketLossModel(p0=1.0, p1=1.0, radio_range=100.0)
+        )
+        engine, _, _ = build_engine(link=lossy)
+        entries = engine.ingest(n(1), packet(1, 2, t_origin=0.0))
+        assert entries == []
+        (rec,) = engine.recorder.packets()
+        assert rec.drop_reason == DropReason.LOSS_MODEL
+
+    def test_queue_overflow_recorded(self):
+        engine, _, _ = build_engine(capacity=1)
+        engine.ingest(n(2), packet(2, -1, t_origin=0.0))  # 2 targets, cap 1
+        drops = engine.recorder.dropped_packets()
+        assert len(drops) == 1
+        assert drops[0].drop_reason == DropReason.QUEUE_OVERFLOW
+
+    def test_causality_floor(self):
+        """t_forward never precedes t_receipt."""
+        fast = LinkModel(bandwidth=BandwidthModel(peak=1e12))
+        engine, _, _ = build_engine(link=fast)
+        (e,) = engine.ingest(n(1), packet(1, 2, t_origin=3.0))
+        assert e.t_forward >= 3.0
+
+
+class TestDeliver:
+    def test_flush_due_delivers_and_records(self):
+        engine, _, clock = build_engine()
+        delivered = []
+        engine.deliver = lambda rcv, p: delivered.append((rcv, p))
+        (e,) = engine.ingest(n(1), packet(1, 2, t_origin=0.0))
+        clock.call_at(e.t_forward, lambda: None)
+        clock.run()
+        assert engine.flush_due() == 1
+        assert delivered[0][0] == n(2)
+        (rec,) = engine.recorder.packets()
+        assert not rec.dropped
+        assert rec.t_delivered == pytest.approx(e.t_forward)
+
+    def test_flush_due_respects_time(self):
+        engine, _, _ = build_engine()
+        engine.ingest(n(1), packet(1, 2, t_origin=0.0))
+        assert engine.flush_due(now=0.0) == 0  # not yet due
+        assert engine.flush_due(now=100.0) == 1
+
+    def test_receiver_removed_mid_flight(self):
+        engine, scene, _ = build_engine()
+        engine.ingest(n(1), packet(1, 2, t_origin=0.0))
+        scene.remove_node(n(2))
+        assert engine.flush_due(now=100.0) == 0
+        drops = engine.recorder.dropped_packets()
+        assert drops and drops[0].drop_reason == DropReason.NODE_REMOVED
+
+    def test_flush_all(self):
+        engine, _, _ = build_engine()
+        engine.ingest(n(2), packet(2, -1, t_origin=0.0))
+        assert engine.flush_all() == 2
+        assert engine.next_forward_time() is None
+
+    def test_counters(self):
+        engine, _, _ = build_engine()
+        engine.ingest(n(1), packet(1, 2, t_origin=0.0))
+        engine.ingest(n(1), packet(1, 3, channel=9, t_origin=0.0))
+        engine.flush_due(now=100.0)
+        assert engine.ingested == 2
+        assert engine.forwarded == 1
+        assert engine.dropped == 1
+
+    def test_record_has_hop_sender(self):
+        engine, _, _ = build_engine()
+        engine.ingest(n(2), packet(1, 3, t_origin=0.0))  # node 2 relays 1's packet
+        engine.flush_due(now=100.0)
+        (rec,) = engine.recorder.packets()
+        assert rec.sender == 2 and rec.source == 1

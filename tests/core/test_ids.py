@@ -1,0 +1,38 @@
+"""Tests for repro.core.ids."""
+
+import threading
+
+from repro.core.ids import BROADCAST_NODE, IdAllocator, NodeId
+
+
+class TestIdAllocator:
+    def test_monotonic_from_start(self):
+        alloc = IdAllocator(start=5)
+        assert [alloc.allocate() for _ in range(3)] == [5, 6, 7]
+
+    def test_default_starts_at_one(self):
+        assert IdAllocator().allocate() == 1
+
+    def test_thread_safety_no_duplicates(self):
+        alloc = IdAllocator()
+        out: list[int] = []
+        lock = threading.Lock()
+
+        def grab():
+            mine = [alloc.allocate() for _ in range(200)]
+            with lock:
+                out.extend(mine)
+
+        threads = [threading.Thread(target=grab) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(out) == 1600
+        assert len(set(out)) == 1600
+
+
+class TestBroadcastSentinel:
+    def test_negative_and_distinct(self):
+        assert BROADCAST_NODE == NodeId(-1)
+        assert BROADCAST_NODE != NodeId(0)

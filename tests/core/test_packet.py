@@ -1,0 +1,100 @@
+"""Tests for repro.core.packet."""
+
+import pytest
+
+from repro.core.ids import BROADCAST_NODE, ChannelId, NodeId
+from repro.core.packet import DropReason, Packet, PacketRecord, PacketStamper
+from repro.errors import ConfigurationError
+
+
+def mk(dest=2, **kw) -> Packet:
+    defaults = dict(
+        source=NodeId(1),
+        destination=NodeId(dest),
+        payload=b"x",
+        size_bits=8,
+        seqno=1,
+        channel=ChannelId(1),
+    )
+    defaults.update(kw)
+    return Packet(**defaults)
+
+
+class TestPacket:
+    def test_broadcast_flag(self):
+        assert mk(dest=BROADCAST_NODE).is_broadcast
+        assert not mk(dest=2).is_broadcast
+
+    def test_positive_size_required(self):
+        with pytest.raises(ConfigurationError):
+            mk(size_bits=0)
+        with pytest.raises(ConfigurationError):
+            mk(size_bits=-8)
+
+    def test_stamped_copies(self):
+        p = mk()
+        q = p.stamped(t_origin=1.0, t_receipt=2.0)
+        assert p.t_origin is None  # original untouched
+        assert q.t_origin == 1.0 and q.t_receipt == 2.0
+        assert q.payload == p.payload
+
+    def test_stamped_rejects_non_timestamp_fields(self):
+        with pytest.raises(ConfigurationError):
+            mk().stamped(destination=5)  # type: ignore[arg-type]
+
+    def test_transit_latency(self):
+        assert mk().transit_latency() is None
+        p = mk().stamped(t_origin=1.0, t_delivered=1.25)
+        assert p.transit_latency() == pytest.approx(0.25)
+
+    def test_immutability(self):
+        with pytest.raises(Exception):
+            mk().payload = b"y"  # type: ignore[misc]
+
+
+class TestDropReason:
+    def test_all_reasons_distinct(self):
+        assert len(set(DropReason.ALL)) == len(DropReason.ALL)
+
+
+class TestPacketRecord:
+    def test_dropped_property(self):
+        base = dict(
+            record_id=1, seqno=1, source=1, destination=2, sender=1,
+            receiver=2, channel=1, kind="data", size_bits=8,
+            t_origin=0.0, t_receipt=0.0, t_forward=0.1, t_delivered=0.1,
+        )
+        assert not PacketRecord(**base).dropped
+        assert PacketRecord(**{**base, "drop_reason": "loss-model"}).dropped
+
+
+class TestPacketStamper:
+    def test_seqnos_monotonic(self):
+        stamper = PacketStamper(NodeId(3))
+        seqs = [stamper.next_seqno() for _ in range(10)]
+        assert seqs == sorted(seqs) and len(set(seqs)) == 10
+
+    def test_make_packet_defaults(self):
+        stamper = PacketStamper(NodeId(3))
+        p = stamper.make_packet(NodeId(4), b"abcd", channel=ChannelId(2))
+        assert p.source == 3 and p.destination == 4
+        assert p.size_bits == 32  # payload bytes * 8
+        assert p.channel == 2 and p.kind == "data"
+        assert p.t_origin is None
+
+    def test_make_packet_explicit_size_and_stamp(self):
+        stamper = PacketStamper(NodeId(3))
+        p = stamper.make_packet(
+            NodeId(4), b"", channel=ChannelId(1), size_bits=8192, t_origin=9.0
+        )
+        assert p.size_bits == 8192 and p.t_origin == 9.0
+
+    def test_empty_payload_gets_minimum_size(self):
+        stamper = PacketStamper(NodeId(1))
+        p = stamper.make_packet(NodeId(2), b"", channel=ChannelId(1))
+        assert p.size_bits == 1
+
+    def test_independent_stampers(self):
+        s1, s2 = PacketStamper(NodeId(1)), PacketStamper(NodeId(2))
+        assert s1.next_seqno() == 1
+        assert s2.next_seqno() == 1

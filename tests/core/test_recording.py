@@ -1,0 +1,119 @@
+"""Tests for repro.core.recording — both recorder backends."""
+
+import threading
+
+import pytest
+
+from repro.core.ids import NodeId
+from repro.core.packet import PacketRecord
+from repro.core.recording import MemoryRecorder, SqliteRecorder
+from repro.core.scene import Scene, SceneEvent
+from repro.core.geometry import Vec2
+from repro.models.radio import RadioConfig
+
+
+def record(i, *, t_origin=0.0, drop=None):
+    return PacketRecord(
+        record_id=i, seqno=i, source=1, destination=2, sender=1, receiver=2,
+        channel=1, kind="data", size_bits=100, t_origin=t_origin,
+        t_receipt=t_origin, t_forward=t_origin + 0.1,
+        t_delivered=None if drop else t_origin + 0.1, drop_reason=drop,
+    )
+
+
+@pytest.fixture(params=["memory", "sqlite-mem", "sqlite-file"])
+def recorder(request, tmp_path):
+    if request.param == "memory":
+        r = MemoryRecorder()
+    elif request.param == "sqlite-mem":
+        r = SqliteRecorder(":memory:")
+    else:
+        r = SqliteRecorder(str(tmp_path / "rec.sqlite"))
+    yield r
+    r.close()
+
+
+class TestBothBackends:
+    def test_roundtrip_packet(self, recorder):
+        rec = record(1, t_origin=2.5)
+        recorder.record_packet(rec)
+        (got,) = recorder.packets()
+        assert got == rec
+
+    def test_roundtrip_drop(self, recorder):
+        recorder.record_packet(record(1, drop="loss-model"))
+        (got,) = recorder.packets()
+        assert got.dropped and got.drop_reason == "loss-model"
+        assert got.t_delivered is None
+
+    def test_roundtrip_scene_event(self, recorder):
+        event = SceneEvent(1.5, "node-moved", NodeId(3), {"x": 1.0, "y": 2.0})
+        recorder.record_scene(event)
+        (got,) = recorder.scene_events()
+        assert got.time == 1.5 and got.kind == "node-moved"
+        assert got.node == 3 and got.details == {"x": 1.0, "y": 2.0}
+
+    def test_order_preserved(self, recorder):
+        for i in range(5):
+            recorder.record_packet(record(i + 1, t_origin=float(5 - i)))
+        assert [p.record_id for p in recorder.packets()] == [1, 2, 3, 4, 5]
+
+    def test_record_ids_unique(self, recorder):
+        ids = [recorder.next_record_id() for _ in range(100)]
+        assert len(set(ids)) == 100
+
+    def test_packets_between(self, recorder):
+        for i, t in enumerate((0.0, 1.0, 2.0, 3.0)):
+            recorder.record_packet(record(i + 1, t_origin=t))
+        sel = recorder.packets_between(1.0, 3.0)
+        assert [p.t_origin for p in sel] == [1.0, 2.0]
+
+    def test_delivered_vs_dropped(self, recorder):
+        recorder.record_packet(record(1))
+        recorder.record_packet(record(2, drop="not-neighbor"))
+        assert len(recorder.delivered_packets()) == 1
+        assert len(recorder.dropped_packets()) == 1
+
+    def test_attach_to_scene(self, recorder):
+        scene = Scene()
+        recorder.attach_to_scene(scene)
+        scene.add_node(NodeId(1), Vec2(0, 0), RadioConfig.single(1, 10))
+        scene.move_node(NodeId(1), Vec2(1, 1))
+        kinds = [e.kind for e in recorder.scene_events()]
+        assert kinds == ["node-added", "node-moved"]
+
+    def test_thread_safety(self, recorder):
+        def writer(base):
+            for i in range(50):
+                recorder.record_packet(record(recorder.next_record_id(),
+                                              t_origin=float(base + i)))
+
+        threads = [threading.Thread(target=writer, args=(k * 100,))
+                   for k in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(recorder.packets()) == 200
+
+
+class TestSqliteSpecific:
+    def test_persistence_across_connections(self, tmp_path):
+        path = str(tmp_path / "persist.sqlite")
+        r1 = SqliteRecorder(path)
+        r1.record_packet(record(1))
+        r1.record_scene(SceneEvent(0.0, "node-added", NodeId(1),
+                                   {"x": 0, "y": 0, "radios": []}))
+        r1.close()
+        r2 = SqliteRecorder(path)
+        assert len(r2.packets()) == 1
+        assert len(r2.scene_events()) == 1
+        # Fresh ids continue after the persisted maximum.
+        assert r2.next_record_id() == 2
+        r2.close()
+
+    def test_bad_path_raises(self):
+        from repro.errors import RecordingError
+
+        with pytest.raises(RecordingError):
+            SqliteRecorder("/nonexistent-dir-xyz/db.sqlite")

@@ -1,0 +1,125 @@
+"""Tests for repro.core.scheduler — the forward schedule (§3.2 Steps 4–6)."""
+
+import threading
+import time
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.ids import ChannelId, NodeId
+from repro.core.packet import Packet
+from repro.core.scheduler import ForwardSchedule, ScheduledPacket
+from repro.errors import SchedulerError
+
+
+def entry(t: float, seq: int = 1) -> ScheduledPacket:
+    packet = Packet(
+        source=NodeId(1), destination=NodeId(2), payload=b"x",
+        size_bits=8, seqno=seq, channel=ChannelId(1),
+    )
+    return ScheduledPacket(t_forward=t, packet=packet, receiver=NodeId(2),
+                           sender=NodeId(1))
+
+
+class TestPushPop:
+    def test_empty(self):
+        s = ForwardSchedule()
+        assert len(s) == 0
+        assert s.peek_time() is None
+        assert s.pop_due(100.0) == []
+
+    def test_pop_due_ordering(self):
+        s = ForwardSchedule()
+        for t in (3.0, 1.0, 2.0):
+            assert s.push(entry(t))
+        due = s.pop_due(2.5)
+        assert [e.t_forward for e in due] == [1.0, 2.0]
+        assert len(s) == 1
+
+    def test_fifo_ties(self):
+        s = ForwardSchedule()
+        for i in range(5):
+            s.push(entry(1.0, seq=i))
+        due = s.pop_due(1.0)
+        assert [e.packet.seqno for e in due] == [0, 1, 2, 3, 4]
+
+    def test_boundary_inclusive(self):
+        s = ForwardSchedule()
+        s.push(entry(1.0))
+        assert len(s.pop_due(1.0)) == 1
+
+    def test_peek(self):
+        s = ForwardSchedule()
+        s.push(entry(5.0))
+        s.push(entry(2.0))
+        assert s.peek_time() == 2.0
+
+    @given(st.lists(st.floats(0, 1000, allow_nan=False), min_size=1,
+                    max_size=50))
+    def test_drain_sorted(self, times):
+        s = ForwardSchedule()
+        for t in times:
+            s.push(entry(t))
+        out = [e.t_forward for e in s.drain()]
+        assert out == sorted(times)
+        assert len(s) == 0
+
+
+class TestCapacity:
+    def test_overflow_rejected(self):
+        s = ForwardSchedule(capacity=2)
+        assert s.push(entry(1.0))
+        assert s.push(entry(2.0))
+        assert not s.push(entry(3.0))
+        assert len(s) == 2
+
+    def test_capacity_frees_on_pop(self):
+        s = ForwardSchedule(capacity=1)
+        s.push(entry(1.0))
+        s.pop_due(1.0)
+        assert s.push(entry(2.0))
+
+    def test_invalid_capacity(self):
+        with pytest.raises(SchedulerError):
+            ForwardSchedule(capacity=0)
+
+
+class TestClose:
+    def test_push_after_close_raises(self):
+        s = ForwardSchedule()
+        s.close()
+        with pytest.raises(SchedulerError):
+            s.push(entry(1.0))
+
+    def test_wait_due_returns_after_close(self):
+        s = ForwardSchedule()
+        s.close()
+        assert s.wait_due(0.0, max_wait=1.0) == []
+
+
+class TestWaitDue:
+    def test_immediate_when_due(self):
+        s = ForwardSchedule()
+        s.push(entry(1.0))
+        assert len(s.wait_due(now=2.0, max_wait=0.0)) == 1
+
+    def test_waits_for_push(self):
+        s = ForwardSchedule()
+        got = []
+
+        def waiter():
+            got.extend(s.wait_due(now=0.0, max_wait=1.0))
+
+        t = threading.Thread(target=waiter)
+        t.start()
+        time.sleep(0.05)
+        s.push(entry(0.0))
+        t.join(timeout=2.0)
+        assert len(got) == 1
+
+    def test_timeout_returns_empty(self):
+        s = ForwardSchedule()
+        start = time.monotonic()
+        assert s.wait_due(now=0.0, max_wait=0.05) == []
+        assert time.monotonic() - start < 1.0

@@ -1,0 +1,191 @@
+"""Tests for repro.core.server — the in-process emulator stack."""
+
+import pytest
+
+from repro.core.geometry import Vec2
+from repro.core.ids import BROADCAST_NODE, ChannelId, NodeId
+from repro.core.server import InProcessEmulator
+from repro.errors import ProtocolError, SceneError
+from repro.models.link import BandwidthModel, DelayModel, LinkModel
+from repro.models.mobility import ConstantVelocity
+from repro.models.radio import Radio, RadioConfig
+from repro.net.virtual import LatencySpec
+from repro.protocols.flooding import FloodingProtocol
+
+
+class TestTopology:
+    def test_add_node_allocates_ids(self):
+        emu = InProcessEmulator()
+        a = emu.add_node(Vec2(0, 0), RadioConfig.single(1, 100))
+        b = emu.add_node(Vec2(10, 0), RadioConfig.single(1, 100))
+        assert a.node_id != b.node_id
+        assert a.node_id in emu.scene and b.node_id in emu.scene
+
+    def test_explicit_node_id(self):
+        emu = InProcessEmulator()
+        host = emu.add_node(
+            Vec2(0, 0), RadioConfig.single(1, 100), node_id=NodeId(42)
+        )
+        assert host.node_id == 42
+
+    def test_remove_node_stops_protocol(self):
+        emu = InProcessEmulator()
+        proto = FloodingProtocol()
+        host = emu.add_node(Vec2(0, 0), RadioConfig.single(1, 100),
+                            protocol=proto)
+        emu.remove_node(host.node_id)
+        assert proto.host is None
+        assert host.node_id not in emu.scene
+
+    def test_host_lookup(self):
+        emu = InProcessEmulator()
+        host = emu.add_node(Vec2(0, 0), RadioConfig.single(1, 100))
+        assert emu.host(host.node_id) is host
+        with pytest.raises(SceneError):
+            emu.host(NodeId(99))
+
+    def test_hosts_list(self):
+        emu = InProcessEmulator()
+        emu.add_node(Vec2(0, 0), RadioConfig.single(1, 100))
+        emu.add_node(Vec2(10, 0), RadioConfig.single(1, 100))
+        assert len(emu.hosts()) == 2
+
+
+class TestTransmission:
+    def test_unicast_delivery(self):
+        emu = InProcessEmulator(seed=0)
+        a = emu.add_node(Vec2(0, 0), RadioConfig.single(1, 100))
+        b = emu.add_node(Vec2(50, 0), RadioConfig.single(1, 100))
+        a.transmit(b.node_id, b"ping", channel=ChannelId(1))
+        emu.run_until(1.0)
+        assert len(b.received) == 1
+        assert b.received[0].payload == b"ping"
+
+    def test_broadcast_delivery(self):
+        emu = InProcessEmulator(seed=0)
+        a = emu.add_node(Vec2(0, 0), RadioConfig.single(1, 100))
+        b = emu.add_node(Vec2(50, 0), RadioConfig.single(1, 100))
+        c = emu.add_node(Vec2(0, 50), RadioConfig.single(1, 100))
+        a.transmit(BROADCAST_NODE, b"all", channel=ChannelId(1))
+        emu.run_until(1.0)
+        assert len(b.received) == 1 and len(c.received) == 1
+        assert a.received == []  # no self-delivery
+
+    def test_channel_isolation(self):
+        emu = InProcessEmulator(seed=0)
+        a = emu.add_node(
+            Vec2(0, 0), RadioConfig.of([Radio(1, 100.0), Radio(2, 100.0)])
+        )
+        b = emu.add_node(Vec2(50, 0), RadioConfig.single(1, 100))
+        c = emu.add_node(Vec2(0, 50), RadioConfig.single(2, 100))
+        a.transmit(BROADCAST_NODE, b"ch1", channel=ChannelId(1))
+        a.transmit(BROADCAST_NODE, b"ch2", channel=ChannelId(2))
+        emu.run_until(1.0)
+        assert [p.payload for p in b.received] == [b"ch1"]
+        assert [p.payload for p in c.received] == [b"ch2"]
+
+    def test_transmit_without_radio_rejected(self):
+        emu = InProcessEmulator()
+        a = emu.add_node(Vec2(0, 0), RadioConfig.single(1, 100))
+        with pytest.raises(ProtocolError):
+            a.transmit(NodeId(2), b"x", channel=ChannelId(9))
+
+    def test_origin_stamp_uses_client_clock(self):
+        emu = InProcessEmulator(seed=0)
+        a = emu.add_node(
+            Vec2(0, 0), RadioConfig.single(1, 100), clock_offset=0.25
+        )
+        emu.add_node(Vec2(50, 0), RadioConfig.single(1, 100))
+        packet = a.transmit(NodeId(2), b"x", channel=ChannelId(1))
+        assert packet.t_origin == pytest.approx(0.25)
+
+    def test_uplink_latency_delays_ingest(self):
+        emu = InProcessEmulator(seed=0)
+        link = LinkModel(bandwidth=BandwidthModel(peak=1e9),
+                         delay=DelayModel(base=0.0))
+        a = emu.add_node(
+            Vec2(0, 0),
+            RadioConfig.of([Radio(1, 100.0, link)]),
+            uplink=LatencySpec(base=0.5),
+        )
+        b = emu.add_node(Vec2(50, 0), RadioConfig.of([Radio(1, 100.0, link)]))
+        a.transmit(b.node_id, b"x", channel=ChannelId(1))
+        emu.run_until(0.4)
+        assert b.received == []  # still in the uplink
+        emu.run_until(1.0)
+        assert len(b.received) == 1
+
+    def test_delivery_time_matches_link_model(self):
+        emu = InProcessEmulator(seed=0)
+        link = LinkModel(
+            bandwidth=BandwidthModel(peak=1e4), delay=DelayModel(base=0.1)
+        )
+        a = emu.add_node(Vec2(0, 0), RadioConfig.of([Radio(1, 100.0, link)]))
+        b = emu.add_node(Vec2(50, 0), RadioConfig.of([Radio(1, 100.0, link)]))
+        a.transmit(b.node_id, b"x", channel=ChannelId(1), size_bits=1000)
+        emu.run_until(5.0)
+        (p,) = b.received
+        assert p.t_delivered == pytest.approx(0.1 + 1000 / 1e4)
+
+
+class TestMobilityIntegration:
+    def test_moving_out_of_range_breaks_link(self):
+        emu = InProcessEmulator(seed=0)
+        a = emu.add_node(Vec2(0, 0), RadioConfig.single(1, 100))
+        b = emu.add_node(Vec2(50, 0), RadioConfig.single(1, 100))
+        emu.scene.set_mobility(b.node_id, ConstantVelocity(100.0, 0.0))
+        emu.run_until(2.0)  # b now at x=250, out of range
+        a.transmit(b.node_id, b"late", channel=ChannelId(1))
+        emu.run_until(3.0)
+        assert b.received == []
+        assert emu.engine.dropped == 1
+
+    def test_mobility_evaluated_at_transmit_time(self):
+        """Positions are advanced lazily but exactly."""
+        emu = InProcessEmulator(seed=0)
+        a = emu.add_node(Vec2(0, 0), RadioConfig.single(1, 100))
+        b = emu.add_node(Vec2(90, 0), RadioConfig.single(1, 100))
+        emu.scene.set_mobility(b.node_id, ConstantVelocity(10.0, 0.0))
+        # At t=2, b is at x=110 > range 100: unicast fails.
+        emu.clock.call_at(
+            2.0, lambda: a.transmit(b.node_id, b"x", channel=ChannelId(1))
+        )
+        emu.run_until(3.0)
+        assert b.received == []
+
+    def test_enable_mobility_tick_records_positions(self):
+        emu = InProcessEmulator(seed=0)
+        host = emu.add_node(Vec2(0, 0), RadioConfig.single(1, 100))
+        emu.scene.set_mobility(host.node_id, ConstantVelocity(10.0, 0.0))
+        emu.enable_mobility_tick(0.5)
+        emu.run_until(2.0)
+        moves = [
+            e for e in emu.recorder.scene_events() if e.kind == "node-moved"
+        ]
+        assert len(moves) >= 3
+
+
+class TestRunControl:
+    def test_run_until_and_for(self):
+        emu = InProcessEmulator()
+        emu.run_until(1.0)
+        assert emu.clock.now() == 1.0
+        emu.run_for(0.5)
+        assert emu.clock.now() == 1.5
+
+    def test_deterministic_given_seed(self):
+        def run():
+            emu = InProcessEmulator(seed=123)
+            link = LinkModel(
+                loss=__import__("repro.models.link", fromlist=["PacketLossModel"]
+                                ).PacketLossModel(p0=0.5, p1=0.5,
+                                                  radio_range=100.0)
+            )
+            a = emu.add_node(Vec2(0, 0), RadioConfig.of([Radio(1, 100.0, link)]))
+            b = emu.add_node(Vec2(50, 0), RadioConfig.of([Radio(1, 100.0, link)]))
+            for _ in range(50):
+                a.transmit(b.node_id, b"x", channel=ChannelId(1))
+            emu.run_until(2.0)
+            return [p.seqno for p in b.received]
+
+        assert run() == run()

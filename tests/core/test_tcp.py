@@ -1,0 +1,230 @@
+"""Integration tests for the real-time TCP server/client stack.
+
+These exercise the paper-faithful deployment: real sockets on localhost,
+real threads, wall-clock time.  Kept short (fractions of a second of
+traffic) so the suite stays fast; the deterministic behaviour is covered
+by the virtual-time tests.
+"""
+
+import time
+
+import pytest
+
+from repro.core.client import PoEmClient
+from repro.core.geometry import Vec2
+from repro.core.ids import BROADCAST_NODE
+from repro.core.tcpserver import PoEmServer
+from repro.models.radio import Radio, RadioConfig
+from repro.protocols.common import ProtocolTuning
+from repro.protocols.hybrid import HybridProtocol
+
+FAST = ProtocolTuning(hello_interval=0.15, neighbor_timeout=0.5,
+                      route_lifetime=1.5)
+
+
+@pytest.fixture
+def server():
+    srv = PoEmServer(seed=0, mobility_tick=0.02)
+    srv.start()
+    yield srv
+    srv.stop()
+
+
+def wait_for(predicate, timeout=5.0, poll=0.02):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(poll)
+    return False
+
+
+class TestHandshake:
+    def test_register_allocates_node(self, server):
+        with PoEmClient(server.address, Vec2(0, 0),
+                        RadioConfig.single(1, 100.0)) as client:
+            assert client.node_id in server.scene
+
+    def test_disconnect_removes_node(self, server):
+        client = PoEmClient(server.address, Vec2(0, 0),
+                            RadioConfig.single(1, 100.0))
+        node = client.connect()
+        client.close()
+        assert wait_for(lambda: node not in server.scene)
+
+    def test_clock_sync_small_offset(self, server):
+        """Localhost delays are tiny: the synchronized clocks agree."""
+        with PoEmClient(server.address, Vec2(0, 0),
+                        RadioConfig.single(1, 100.0)) as client:
+            assert client.last_sync is not None
+            assert client.last_sync.round_trip_delay < 0.1
+            # Client emulation clock tracks the server clock closely.
+            assert abs(client.now() - server.clock.now()) < 0.05
+
+    def test_resynchronize(self, server):
+        with PoEmClient(server.address, Vec2(0, 0),
+                        RadioConfig.single(1, 100.0)) as client:
+            result = client.synchronize(rounds=3)
+            assert result.round_trip_delay >= 0.0
+
+
+class TestTraffic:
+    def test_unicast_between_clients(self, server):
+        with PoEmClient(server.address, Vec2(0, 0),
+                        RadioConfig.single(1, 100.0)) as a, \
+             PoEmClient(server.address, Vec2(50, 0),
+                        RadioConfig.single(1, 100.0)) as b:
+            a.transmit(b.node_id, b"over-tcp", channel=1)
+            assert wait_for(lambda: len(b.received) == 1)
+            assert b.received[0].payload == b"over-tcp"
+            assert b.received[0].t_origin is not None
+
+    def test_broadcast(self, server):
+        with PoEmClient(server.address, Vec2(0, 0),
+                        RadioConfig.single(1, 100.0)) as a, \
+             PoEmClient(server.address, Vec2(30, 0),
+                        RadioConfig.single(1, 100.0)) as b, \
+             PoEmClient(server.address, Vec2(0, 30),
+                        RadioConfig.single(1, 100.0)) as c:
+            a.transmit(BROADCAST_NODE, b"hello-all", channel=1)
+            assert wait_for(lambda: b.received and c.received)
+
+    def test_out_of_range_not_delivered(self, server):
+        with PoEmClient(server.address, Vec2(0, 0),
+                        RadioConfig.single(1, 100.0)) as a, \
+             PoEmClient(server.address, Vec2(5000, 0),
+                        RadioConfig.single(1, 100.0)) as b:
+            a.transmit(b.node_id, b"void", channel=1)
+            time.sleep(0.3)
+            assert b.received == []
+            assert server.engine.dropped >= 1
+
+    def test_traffic_recorded_with_client_stamps(self, server):
+        with PoEmClient(server.address, Vec2(0, 0),
+                        RadioConfig.single(1, 100.0)) as a, \
+             PoEmClient(server.address, Vec2(50, 0),
+                        RadioConfig.single(1, 100.0)) as b:
+            a.transmit(b.node_id, b"x", channel=1)
+            assert wait_for(lambda: len(server.recorder.packets()) >= 1)
+            rec = server.recorder.packets()[0]
+            # Parallel time-stamping: receipt anchored at the client stamp.
+            assert rec.t_receipt == rec.t_origin
+
+
+class TestSceneOps:
+    def test_remote_scene_op(self, server):
+        with PoEmClient(server.address, Vec2(0, 0),
+                        RadioConfig.single(1, 100.0)) as a, \
+             PoEmClient(server.address, Vec2(50, 0),
+                        RadioConfig.single(1, 100.0)) as b:
+            a.scene_op(scene="move", node=int(b.node_id), x=4000.0, y=0.0)
+            assert wait_for(
+                lambda: server.scene.position(b.node_id).x == 4000.0
+            )
+            a.transmit(b.node_id, b"gone", channel=1)
+            time.sleep(0.3)
+            assert b.received == []
+
+    def test_remote_set_channel_and_range(self, server):
+        with PoEmClient(server.address, Vec2(0, 0),
+                        RadioConfig.single(1, 100.0)) as a:
+            a.scene_op(scene="set_channel", node=int(a.node_id), radio=0,
+                       channel=5)
+            assert wait_for(
+                lambda: 5 in server.scene.channels_of(a.node_id)
+            )
+            a.scene_op(scene="set_range", node=int(a.node_id), radio=0,
+                       range=33.0)
+            assert wait_for(
+                lambda: server.scene.radios(a.node_id)[0].range == 33.0
+            )
+
+
+class TestProtocolOverTcp:
+    def test_hybrid_converges_and_delivers(self, server):
+        """The same HybridProtocol class, unmodified, over real sockets."""
+        clients = []
+        try:
+            for x in (0.0, 80.0, 160.0):
+                c = PoEmClient(server.address, Vec2(x, 0),
+                               RadioConfig.single(1, 100.0))
+                c.connect()
+                c.attach_protocol(HybridProtocol(FAST))
+                clients.append(c)
+            a, _, c = clients
+            assert wait_for(
+                lambda: len(a.protocol.route_summary()) >= 2, timeout=8.0
+            ), f"routes: {a.protocol.route_summary()}"
+            a.protocol.send_data(c.node_id, b"tcp-multihop")
+            assert wait_for(lambda: len(c.app_received) == 1, timeout=8.0)
+            assert c.app_received[0].payload == b"tcp-multihop"
+        finally:
+            for c in clients:
+                c.close()
+
+    def test_server_context_manager(self):
+        with PoEmServer(seed=1) as srv:
+            host, port = srv.address
+            assert port > 0
+
+
+class TestServerRobustness:
+    def test_garbage_client_does_not_kill_server(self, server):
+        """A raw socket spewing garbage gets dropped; other clients are
+        unaffected."""
+        import socket as socket_mod
+
+        from repro.net import framing
+
+        with PoEmClient(server.address, Vec2(0, 0),
+                        RadioConfig.single(1, 100.0)) as good_a, \
+             PoEmClient(server.address, Vec2(50, 0),
+                        RadioConfig.single(1, 100.0)) as good_b:
+            evil = socket_mod.create_connection(server.address, timeout=2.0)
+            try:
+                # A framed message that isn't JSON at all.
+                framing.send_frame(evil, b"\xff\x00garbage")
+                time.sleep(0.2)
+                # And raw unframed noise on a second connection.
+                evil2 = socket_mod.create_connection(server.address,
+                                                     timeout=2.0)
+                evil2.sendall(b"\x00\x00\x00")  # truncated header
+                evil2.close()
+                time.sleep(0.2)
+            finally:
+                evil.close()
+            # The well-behaved pair still works end to end.
+            good_a.transmit(good_b.node_id, b"after-garbage", channel=1)
+            assert wait_for(lambda: len(good_b.received) == 1)
+
+    def test_unknown_op_drops_only_that_client(self, server):
+        import socket as socket_mod
+
+        from repro.net import framing, messages
+
+        sock = socket_mod.create_connection(server.address, timeout=2.0)
+        try:
+            framing.send_frame(
+                sock, messages.encode_message({"op": "frobnicate"})
+            )
+            # Server closes our connection (recv returns None/EOF).
+            sock.settimeout(2.0)
+            assert framing.recv_frame(sock) is None
+        finally:
+            sock.close()
+        # Server still accepts new clients afterwards.
+        with PoEmClient(server.address, Vec2(0, 0),
+                        RadioConfig.single(1, 100.0)) as late:
+            assert late.node_id in server.scene
+
+    def test_double_start_rejected(self, server):
+        from repro.errors import TransportError
+
+        with pytest.raises(TransportError):
+            server.start()
+
+    def test_stop_idempotent(self):
+        srv = PoEmServer(seed=0)
+        srv.start()
+        srv.stop()
+        srv.stop()  # second stop is a no-op

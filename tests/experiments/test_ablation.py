@@ -1,0 +1,41 @@
+"""Tests for the channel/MAC ablation driver."""
+
+import pytest
+
+from repro.experiments import ablation
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return ablation.run_channel_mac_ablation(duration=3.0)
+
+
+class TestChannelMacAblation:
+    def test_three_configurations(self, rows):
+        assert [r.name for r in rows] == [
+            "dual-channel (paper)",
+            "single-channel ALOHA",
+            "single-channel CSMA/CA",
+        ]
+
+    def test_same_offered_load(self, rows):
+        assert len({r.sent for r in rows}) == 1
+
+    def test_dual_channel_avoids_collisions(self, rows):
+        dual = rows[0]
+        assert dual.collisions == 0
+        assert dual.delivery_rate > 0.99
+
+    def test_single_channel_aloha_collides(self, rows):
+        aloha = rows[1]
+        assert aloha.collisions > 0
+        assert aloha.delivery_rate < rows[0].delivery_rate
+
+    def test_csma_trades_latency_for_delivery(self, rows):
+        dual, aloha, csma = rows
+        assert csma.delivery_rate > aloha.delivery_rate
+        assert csma.mean_latency > dual.mean_latency
+
+    def test_format(self, rows):
+        text = ablation.format_rows(rows)
+        assert "dual-channel (paper)" in text and "%" in text

@@ -1,0 +1,81 @@
+"""Tests for repro.gui.ascii_view."""
+
+import pytest
+
+from repro.core.geometry import Vec2
+from repro.core.ids import NodeId
+from repro.core.replay import ReplayNode
+from repro.core.scene import Scene
+from repro.errors import ConfigurationError
+from repro.gui.ascii_view import render_nodes, render_scene
+from repro.models.radio import RadioConfig
+
+
+def node(i, x, y, label=None, rng=100.0, ch=1):
+    return ReplayNode(
+        node_id=NodeId(i), label=label or f"N{i}", x=x, y=y,
+        radios=[{"channel": ch, "range": rng}],
+    )
+
+
+class TestRenderNodes:
+    def test_empty(self):
+        assert render_nodes({}) == "(empty scene)\n"
+
+    def test_labels_present(self):
+        out = render_nodes({1: node(1, 0, 0), 2: node(2, 100, 50)})
+        assert "N1" in out and "N2" in out
+
+    def test_legend_contains_positions_and_channels(self):
+        out = render_nodes({1: node(1, 3, 4, ch=7)})
+        assert "N1@(3,4) ch7" in out
+
+    def test_canvas_dimensions(self):
+        out = render_nodes({1: node(1, 0, 0)}, width=40, height=10)
+        lines = out.splitlines()
+        assert len(lines) == 11  # grid + legend
+        assert all(len(line) == 40 for line in lines[:10])
+
+    def test_vertical_orientation(self):
+        """Y increases upward: the higher node appears on an earlier row."""
+        out = render_nodes(
+            {1: node(1, 0, 0, label="LO"), 2: node(2, 0, 100, label="HI")},
+            width=30, height=10,
+        )
+        lines = out.splitlines()
+        hi_row = next(i for i, l in enumerate(lines) if "HI" in l)
+        lo_row = next(i for i, l in enumerate(lines) if "LO" in l)
+        assert hi_row < lo_row
+
+    def test_ranges_drawn(self):
+        with_r = render_nodes({1: node(1, 0, 0)}, show_ranges=True)
+        without = render_nodes({1: node(1, 0, 0)}, show_ranges=False)
+        assert with_r.count(".") > without.count(".")
+
+    def test_explicit_bounds(self):
+        out = render_nodes(
+            {1: node(1, 5, 5)}, bounds=(0.0, 0.0, 10.0, 10.0),
+            width=21, height=11,
+        )
+        lines = out.splitlines()
+        assert "N1" in lines[5]
+
+    def test_degenerate_bounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            render_nodes({1: node(1, 0, 0)}, bounds=(0, 0, 0, 10))
+
+    def test_tiny_canvas_rejected(self):
+        with pytest.raises(ConfigurationError):
+            render_nodes({1: node(1, 0, 0)}, width=2, height=2)
+
+
+class TestRenderScene:
+    def test_live_scene(self):
+        scene = Scene()
+        scene.add_node(NodeId(1), Vec2(0, 0), RadioConfig.single(1, 50.0),
+                       label="VMN1")
+        scene.add_node(NodeId(2), Vec2(100, 0), RadioConfig.single(2, 50.0),
+                       label="VMN2")
+        out = render_scene(scene)
+        assert "VMN1" in out and "VMN2" in out
+        assert "ch1" in out and "ch2" in out

@@ -1,0 +1,124 @@
+"""Tests for the operator console (scripted via onecmd)."""
+
+import io
+
+import pytest
+
+from repro.core.geometry import Vec2
+from repro.core.server import InProcessEmulator
+from repro.gui.console import PoEmConsole
+from repro.models.radio import RadioConfig
+from repro.protocols.hybrid import HybridProtocol
+
+from ..conftest import FAST_TUNING
+
+
+@pytest.fixture
+def console():
+    emu = InProcessEmulator(seed=0)
+    emu.add_node(Vec2(0, 0), RadioConfig.single(1, 200.0),
+                 protocol=HybridProtocol(FAST_TUNING), label="VMN1")
+    emu.add_node(Vec2(100, 0), RadioConfig.single(1, 200.0),
+                 protocol=HybridProtocol(FAST_TUNING), label="VMN2")
+    out = io.StringIO()
+    con = PoEmConsole(emu, stdout=out)
+    return con, emu, out
+
+
+def run(con, out, command):
+    out.truncate(0)
+    out.seek(0)
+    con.onecmd(command)
+    return out.getvalue()
+
+
+class TestInspection:
+    def test_nodes(self, console):
+        con, _, out = console
+        text = run(con, out, "nodes")
+        assert "VMN1" in text and "VMN2" in text and "ch1" in text
+
+    def test_show(self, console):
+        con, _, out = console
+        assert "VMN1" in run(con, out, "show")
+
+    def test_routes_after_convergence(self, console):
+        con, emu, out = console
+        run(con, out, "run 4")
+        text = run(con, out, "routes 1")
+        assert "# of Routing Entries: 1" in text
+        assert "1 -> 2" in text
+
+    def test_routes_unknown_node(self, console):
+        con, _, out = console
+        assert "error" in run(con, out, "routes 99")
+
+    def test_neighbors(self, console):
+        con, _, out = console
+        assert "NT(1, 1) = 2" in run(con, out, "neighbors 1 1")
+
+    def test_stats(self, console):
+        con, _, out = console
+        run(con, out, "run 2")
+        assert "ingested=" in run(con, out, "stats")
+
+
+class TestSceneOps:
+    def test_move(self, console):
+        con, emu, out = console
+        assert "moved" in run(con, out, "move 2 500 0")
+        assert emu.scene.position(2).x == 500.0
+
+    def test_move_bad_args(self, console):
+        con, _, out = console
+        assert "usage" in run(con, out, "move 2")
+
+    def test_range_and_channel(self, console):
+        con, emu, out = console
+        run(con, out, "range 1 0 42")
+        assert emu.scene.radios(1)[0].range == 42.0
+        run(con, out, "channel 1 0 7")
+        assert emu.scene.channels_of(1) == {7}
+
+    def test_remove(self, console):
+        con, emu, out = console
+        run(con, out, "remove 2")
+        assert 2 not in emu.scene
+
+    def test_table2_session(self, console):
+        """The paper's whole §6.1 test, as a console session."""
+        con, emu, out = console
+        emu.add_node(Vec2(160, 0), RadioConfig.single(1, 200.0),
+                     protocol=HybridProtocol(FAST_TUNING), label="VMN3")
+        run(con, out, "run 5")
+        assert "# of Routing Entries: 2" in run(con, out, "routes 1")
+        run(con, out, "range 1 0 120")
+        run(con, out, "run 6")
+        text = run(con, out, "routes 1")
+        assert "1 -> 2 -> 3" in text
+        run(con, out, "channel 1 0 2")
+        run(con, out, "run 6")
+        assert "# of Routing Entries: 0" in run(con, out, "routes 1")
+
+
+class TestTimeAndErrors:
+    def test_run_advances_clock(self, console):
+        con, emu, out = console
+        run(con, out, "run 2.5")
+        assert emu.clock.now() == pytest.approx(2.5)
+
+    def test_run_rejects_nonpositive(self, console):
+        con, _, out = console
+        assert "error" in run(con, out, "run -1")
+
+    def test_unknown_command(self, console):
+        con, _, out = console
+        assert "unknown command" in run(con, out, "teleport 1")
+
+    def test_quit(self, console):
+        con, _, _ = console
+        assert con.onecmd("quit") is True
+
+    def test_empty_line_noop(self, console):
+        con, _, out = console
+        assert run(con, out, "") == ""

@@ -1,0 +1,67 @@
+"""Tests for repro.gui.plot — the terminal line plotter."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gui.plot import ascii_plot
+
+
+class TestAsciiPlot:
+    @staticmethod
+    def grid_of(out):
+        """The plot body, without the legend line (which repeats marks)."""
+        return "\n".join(out.splitlines()[:-1])
+
+    def test_renders_series_marks(self):
+        t = np.linspace(0, 10, 20)
+        out = ascii_plot(t, {"a": t / 10, "b": 1 - t / 10})
+        assert "# a" in out and "o b" in out
+        assert self.grid_of(out).count("#") > 10
+
+    def test_title(self):
+        t = np.array([0.0, 1.0])
+        out = ascii_plot(t, {"x": t}, title="Figure 10")
+        assert out.splitlines()[0] == "Figure 10"
+
+    def test_y_axis_labels(self):
+        t = np.array([0.0, 1.0])
+        out = ascii_plot(t, {"x": np.array([0.0, 1.0])}, height=5)
+        assert "1.000" in out and "0.000" in out
+
+    def test_nan_skipped(self):
+        t = np.array([0.0, 1.0, 2.0])
+        out = ascii_plot(t, {"x": np.array([0.0, np.nan, 1.0])})
+        assert self.grid_of(out).count("#") == 2
+
+    def test_first_series_wins_contested_cells(self):
+        t = np.array([0.0, 1.0])
+        same = np.array([0.5, 0.5])
+        out = ascii_plot(t, {"first": same, "second": same})
+        grid = self.grid_of(out)
+        assert grid.count("#") == 2 and grid.count("o") == 0
+
+    def test_custom_marks_and_range(self):
+        t = np.array([0.0, 1.0])
+        out = ascii_plot(
+            t, {"x": np.array([0.2, 0.8])}, marks={"x": "@"},
+            y_min=0.0, y_max=1.0,
+        )
+        assert "@" in out and "@ x" in out
+
+    def test_flat_series_ok(self):
+        t = np.array([0.0, 1.0])
+        ascii_plot(t, {"x": np.array([3.0, 3.0])})  # hi==lo handled
+
+    def test_validation(self):
+        t = np.array([0.0, 1.0])
+        with pytest.raises(ConfigurationError):
+            ascii_plot(np.array([]), {"x": np.array([])})
+        with pytest.raises(ConfigurationError):
+            ascii_plot(t, {})
+        with pytest.raises(ConfigurationError):
+            ascii_plot(t, {"x": np.array([1.0])})  # shape mismatch
+        with pytest.raises(ConfigurationError):
+            ascii_plot(t, {"x": t}, height=2)
+        with pytest.raises(ConfigurationError):
+            ascii_plot(t, {"x": np.array([np.nan, np.nan])})

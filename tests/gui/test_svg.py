@@ -1,0 +1,101 @@
+"""Tests for repro.gui.svg."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.core.ids import NodeId
+from repro.core.packet import PacketRecord
+from repro.core.replay import ReplayFrame, ReplayNode
+from repro.errors import ConfigurationError
+from repro.gui.svg import CHANNEL_COLORS, frame_to_svg
+
+
+def node(i, x, y, ch=1, rng=50.0):
+    return ReplayNode(NodeId(i), f"N{i}", x, y,
+                      [{"channel": ch, "range": rng}])
+
+
+def record(sender, receiver, *, drop=None, channel=1):
+    return PacketRecord(
+        record_id=1, seqno=1, source=sender, destination=receiver,
+        sender=sender, receiver=receiver, channel=channel, kind="data",
+        size_bits=100, t_origin=0.0, t_receipt=0.0, t_forward=0.5,
+        t_delivered=None, drop_reason=drop,
+    )
+
+
+def parse(svg: str) -> ET.Element:
+    return ET.fromstring(svg)
+
+
+class TestFrameToSvg:
+    def test_valid_xml(self):
+        frame = ReplayFrame(time=1.0, nodes={1: node(1, 0, 0)})
+        root = parse(frame_to_svg(frame))
+        assert root.tag.endswith("svg")
+
+    def test_nodes_and_labels(self):
+        frame = ReplayFrame(time=0.0,
+                            nodes={1: node(1, 0, 0), 2: node(2, 10, 10)})
+        svg = frame_to_svg(frame)
+        assert svg.count("<circle") >= 4  # 2 range rings + 2 node dots
+        assert ">N1<" in svg and ">N2<" in svg
+
+    def test_time_caption(self):
+        frame = ReplayFrame(time=3.25, nodes={1: node(1, 0, 0)})
+        assert "t = 3.250s" in frame_to_svg(frame)
+
+    def test_in_flight_lines(self):
+        frame = ReplayFrame(
+            time=0.0,
+            nodes={1: node(1, 0, 0), 2: node(2, 10, 0)},
+            in_flight=[record(1, 2)],
+        )
+        assert "<line" in frame_to_svg(frame)
+
+    def test_drop_crosses(self):
+        frame = ReplayFrame(
+            time=0.0,
+            nodes={1: node(1, 0, 0)},
+            recent_drops=[record(1, 2, drop="loss-model")],
+        )
+        assert 'stroke="#cc2222"' in frame_to_svg(frame)
+
+    def test_channel_colors_cycle(self):
+        frame = ReplayFrame(
+            time=0.0,
+            nodes={1: node(1, 0, 0, ch=0), 2: node(2, 10, 0, ch=1)},
+        )
+        svg = frame_to_svg(frame)
+        assert CHANNEL_COLORS[0] in svg and CHANNEL_COLORS[1] in svg
+
+    def test_ranges_toggle(self):
+        frame = ReplayFrame(time=0.0, nodes={1: node(1, 0, 0)})
+        with_r = frame_to_svg(frame, show_ranges=True)
+        without = frame_to_svg(frame, show_ranges=False)
+        assert with_r.count("<circle") > without.count("<circle")
+
+    def test_label_escaping(self):
+        n = node(1, 0, 0)
+        n.label = "<evil&label>"
+        frame = ReplayFrame(time=0.0, nodes={1: n})
+        svg = frame_to_svg(frame)
+        assert "<evil" not in svg and "&lt;evil&amp;label&gt;" in svg
+        parse(svg)  # still valid XML
+
+    def test_empty_frame(self):
+        frame = ReplayFrame(time=0.0)
+        parse(frame_to_svg(frame))
+
+    def test_degenerate_bounds_rejected(self):
+        frame = ReplayFrame(time=0.0, nodes={1: node(1, 0, 0)})
+        with pytest.raises(ConfigurationError):
+            frame_to_svg(frame, bounds=(0, 0, 0, 1))
+
+    def test_missing_endpoint_skipped(self):
+        """In-flight record whose receiver left the scene: no line, no crash."""
+        frame = ReplayFrame(
+            time=0.0, nodes={1: node(1, 0, 0)}, in_flight=[record(1, 9)]
+        )
+        assert "<line" not in frame_to_svg(frame)

@@ -1,0 +1,62 @@
+"""Tests for repro.gui.timeline."""
+
+import pytest
+
+from repro.core.geometry import Vec2
+from repro.core.server import InProcessEmulator
+from repro.errors import ReplayError
+from repro.gui.timeline import ReplayTimeline
+from repro.models.radio import RadioConfig
+
+
+def recorded_run():
+    emu = InProcessEmulator(seed=0)
+    a = emu.add_node(Vec2(0, 0), RadioConfig.single(1, 100.0), label="A")
+    b = emu.add_node(Vec2(50, 0), RadioConfig.single(1, 100.0), label="B")
+    for i in range(3):
+        emu.clock.call_at(
+            float(i), lambda: a.transmit(b.node_id, b"tick", channel=1)
+        )
+    emu.run_until(4.0)
+    return emu
+
+
+class TestReplayTimeline:
+    def test_frames_cover_run(self):
+        emu = recorded_run()
+        timeline = ReplayTimeline(emu.recorder, fps=1.0)
+        frames = list(timeline.iter_frames())
+        assert len(frames) >= 3
+        assert frames[0].time == timeline.replay.start_time
+
+    def test_frame_str_renders(self):
+        emu = recorded_run()
+        timeline = ReplayTimeline(emu.recorder, fps=1.0)
+        frame = next(iter(timeline.iter_frames()))
+        text = str(frame)
+        assert "t=" in text and "A" in text and "B" in text
+
+    def test_counters_monotone(self):
+        emu = recorded_run()
+        timeline = ReplayTimeline(emu.recorder, fps=2.0)
+        delivered = [f.delivered_so_far for f in timeline.iter_frames()]
+        assert delivered == sorted(delivered)
+        assert delivered[-1] == 3
+
+    def test_time_window(self):
+        emu = recorded_run()
+        timeline = ReplayTimeline(emu.recorder, fps=1.0)
+        frames = list(timeline.iter_frames(t_start=1.0, t_end=2.0))
+        assert frames[0].time == 1.0 and frames[-1].time == 2.0
+
+    def test_summary_totals(self):
+        emu = recorded_run()
+        summary = ReplayTimeline(emu.recorder).summary()
+        assert "packet records  : 3" in summary
+        assert "delivered       : 3" in summary
+        assert "scene events    : 2" in summary
+
+    def test_bad_fps(self):
+        emu = recorded_run()
+        with pytest.raises(ReplayError):
+            ReplayTimeline(emu.recorder, fps=0.0)

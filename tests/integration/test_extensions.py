@@ -1,0 +1,102 @@
+"""Integration tests for the §7 extensions under full protocol stacks."""
+
+import pytest
+
+from repro import (
+    AlohaMac,
+    CsmaCaMac,
+    EnergyModel,
+    EnergyTracker,
+    HybridProtocol,
+    InProcessEmulator,
+    RadioConfig,
+    Vec2,
+)
+from repro.core.packet import DropReason
+
+from ..conftest import FAST_TUNING
+
+
+class TestEnergyWithRouting:
+    def test_relay_battery_death_forces_reroute(self):
+        """The relay of the preferred path runs out of energy; the hybrid
+        protocol heals around it through the backup relay."""
+        tracker = EnergyTracker(EnergyModel(tx_per_bit=1e-3, rx_per_bit=1e-3))
+        emu = InProcessEmulator(seed=1, energy=tracker)
+        mk = lambda: HybridProtocol(FAST_TUNING)  # noqa: E731
+        src = emu.add_node(Vec2(0, 0), RadioConfig.single(1, 130.0), protocol=mk())
+        r1 = emu.add_node(Vec2(100, 40), RadioConfig.single(1, 130.0), protocol=mk())
+        r2 = emu.add_node(Vec2(100, -40), RadioConfig.single(1, 130.0), protocol=mk())
+        dst = emu.add_node(Vec2(200, 0), RadioConfig.single(1, 130.0), protocol=mk())
+        emu.run_until(5.0)
+        used = src.protocol.table.lookup(dst.node_id, src.now()).next_hop
+        # Kill the active relay's battery (beacons alone will drain it).
+        tracker.set_battery(used, 1.5)
+        emu.run_until(12.0)
+        assert not tracker.is_alive(used)
+        # After the neighbor timeout, the other relay carries the traffic.
+        assert src.protocol.send_data(dst.node_id, b"rerouted")
+        emu.run_until(20.0)
+        assert b"rerouted" in [p.payload for p in dst.app_received]
+        entry = src.protocol.table.lookup(dst.node_id, src.now())
+        assert entry is not None and entry.next_hop != used
+
+    def test_death_callback_can_remove_from_scene(self):
+        """on_death wired to scene removal makes battery death a recorded,
+        replayable scene event."""
+        emu_holder = {}
+        tracker = EnergyTracker(
+            EnergyModel(tx_per_bit=1.0),
+            on_death=lambda node: emu_holder["emu"].remove_node(node),
+        )
+        emu = InProcessEmulator(seed=0, energy=tracker)
+        emu_holder["emu"] = emu
+        a = emu.add_node(Vec2(0, 0), RadioConfig.single(1, 100.0))
+        b = emu.add_node(Vec2(50, 0), RadioConfig.single(1, 100.0))
+        tracker.set_battery(a.node_id, 500.0)
+        a.transmit(b.node_id, b"x", channel=1, size_bits=600)  # kills it
+        emu.run_until(1.0)
+        assert a.node_id not in emu.scene
+        kinds = [e.kind for e in emu.recorder.scene_events()]
+        assert "node-removed" in kinds
+
+
+class TestMacWithRouting:
+    def test_hybrid_survives_collisions(self):
+        """Under ALOHA contention, beacons collide sometimes but the
+        periodic re-broadcast makes routing converge anyway — the
+        robustness the hybrid design claims."""
+        emu = InProcessEmulator(seed=2, mac=AlohaMac())
+        hosts = [
+            emu.add_node(Vec2(120.0 * i, 0.0), RadioConfig.single(1, 200.0),
+                         protocol=HybridProtocol(FAST_TUNING))
+            for i in range(3)
+        ]
+        emu.run_until(10.0)
+        collisions = sum(
+            1 for r in emu.recorder.dropped_packets()
+            if r.drop_reason == DropReason.COLLISION
+        )
+        assert collisions > 0  # contention actually happened
+        assert "1 -> 2 -> 3" in hosts[0].protocol.route_summary()
+        assert hosts[0].protocol.send_data(hosts[2].node_id, b"through-noise")
+        emu.run_until(14.0)
+        assert b"through-noise" in [p.payload for p in hosts[2].app_received]
+
+    def test_csma_keeps_beacons_colliding_less(self):
+        def collisions(mac):
+            emu = InProcessEmulator(seed=3, mac=mac)
+            for i in range(6):
+                emu.add_node(
+                    Vec2(60.0 * i, 0.0), RadioConfig.single(1, 400.0),
+                    protocol=HybridProtocol(FAST_TUNING),
+                )
+            emu.run_until(8.0)
+            return sum(
+                1 for r in emu.recorder.dropped_packets()
+                if r.drop_reason == DropReason.COLLISION
+            )
+
+        aloha = collisions(AlohaMac())
+        csma = collisions(CsmaCaMac(slot_time=1e-4, cw=32, seed=3))
+        assert csma < aloha

@@ -1,0 +1,152 @@
+"""Cross-module property tests (hypothesis) on whole-stack invariants."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import InProcessEmulator, Radio, RadioConfig, Vec2
+from repro.core.ids import BROADCAST_NODE, ChannelId, NodeId
+from repro.models.link import (
+    BandwidthModel,
+    DelayModel,
+    LinkModel,
+    PacketLossModel,
+)
+
+slow = settings(max_examples=15, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+
+def build_emulator(node_specs, seed, link=None):
+    """node_specs: list of (x, y, channel, range)."""
+    emu = InProcessEmulator(seed=seed)
+    hosts = []
+    for x, y, ch, rng_ in node_specs:
+        radios = RadioConfig.of([Radio(ChannelId(ch), rng_, link or LinkModel())])
+        hosts.append(emu.add_node(Vec2(x, y), radios))
+    return emu, hosts
+
+
+coords = st.floats(-500, 500, allow_nan=False, allow_infinity=False)
+node_spec = st.tuples(coords, coords, st.integers(1, 3),
+                      st.floats(10, 300, allow_nan=False))
+
+
+class TestMediumInvariants:
+    @slow
+    @given(st.lists(node_spec, min_size=2, max_size=8), st.integers(0, 999))
+    def test_lossless_broadcast_reaches_exactly_the_neighborhood(
+        self, specs, seed
+    ):
+        """With a lossless link, a broadcast is delivered to exactly
+        NT(sender, channel) — nothing more, nothing less."""
+        emu, hosts = build_emulator(specs, seed)
+        sender = hosts[0]
+        channel = next(iter(sender.channels()))
+        expected = {
+            h.node_id
+            for h in hosts[1:]
+            if emu.scene.is_neighbor(sender.node_id, h.node_id, channel)
+        }
+        sender.transmit(BROADCAST_NODE, b"p", channel=channel)
+        emu.run_until(10.0)
+        reached = {h.node_id for h in hosts[1:] if h.received}
+        assert reached == expected
+
+    @slow
+    @given(st.lists(node_spec, min_size=2, max_size=6), st.integers(0, 999))
+    def test_conservation_every_frame_accounted(self, specs, seed):
+        """ingested targets == forwarded + dropped, and every recorded row
+        is either delivered or carries a drop reason."""
+        emu, hosts = build_emulator(specs, seed)
+        for h in hosts:
+            ch = next(iter(h.channels()))
+            h.transmit(BROADCAST_NODE, b"x", channel=ch)
+        emu.run_until(10.0)
+        records = emu.recorder.packets()
+        for r in records:
+            assert (r.drop_reason is None) == (r.t_delivered is not None)
+
+    @slow
+    @given(st.integers(0, 999), st.floats(0.0, 1.0))
+    def test_delivery_rate_tracks_loss_probability(self, seed, p):
+        """Constant loss model p ⇒ empirical delivery ≈ 1−p."""
+        link = LinkModel(
+            loss=PacketLossModel(p0=p, p1=p, radio_range=100.0)
+        )
+        emu, hosts = build_emulator(
+            [(0, 0, 1, 100.0), (50, 0, 1, 100.0)], seed, link=link
+        )
+        n = 300
+        for _ in range(n):
+            hosts[0].transmit(hosts[1].node_id, b"x", channel=ChannelId(1))
+        emu.run_until(30.0)
+        rate = len(hosts[1].received) / n
+        assert abs(rate - (1.0 - p)) < 0.12
+
+    @slow
+    @given(st.integers(0, 999))
+    def test_delivery_order_matches_forward_times(self, seed):
+        """Frames reach a receiver in non-decreasing t_forward order."""
+        rng = np.random.default_rng(seed)
+        link = LinkModel(
+            bandwidth=BandwidthModel(peak=1e5),  # slow: spread out forwards
+            delay=DelayModel(base=0.01),
+        )
+        emu, hosts = build_emulator(
+            [(0, 0, 1, 100.0), (50, 0, 1, 100.0)], seed, link=link
+        )
+        for _ in range(20):
+            size = int(rng.integers(100, 5000))
+            hosts[0].transmit(
+                hosts[1].node_id, b"z", channel=ChannelId(1), size_bits=size
+            )
+        emu.run_until(30.0)
+        stamps = [p.t_forward for p in hosts[1].received]
+        assert stamps == sorted(stamps)
+
+    @slow
+    @given(st.lists(node_spec, min_size=2, max_size=6), st.integers(0, 99))
+    def test_identical_seeds_identical_runs(self, specs, seed):
+        def run():
+            link = LinkModel(
+                loss=PacketLossModel(p0=0.3, p1=0.3, radio_range=1000.0)
+            )
+            emu, hosts = build_emulator(specs, seed, link=link)
+            for h in hosts:
+                ch = next(iter(h.channels()))
+                for _ in range(5):
+                    h.transmit(BROADCAST_NODE, b"d", channel=ch)
+            emu.run_until(5.0)
+            return [
+                (r.seqno, r.sender, r.receiver, r.drop_reason)
+                for r in emu.recorder.packets()
+            ]
+
+        assert run() == run()
+
+
+class TestRecorderReplayInvariant:
+    @slow
+    @given(st.lists(node_spec, min_size=1, max_size=5), st.integers(0, 99))
+    def test_replay_scene_matches_live_scene(self, specs, seed):
+        """Fold(recorded events) == live scene state, at any probe time."""
+        from repro.core.replay import ReplayEngine
+
+        emu, hosts = build_emulator(specs, seed)
+        rng = np.random.default_rng(seed)
+        for t in (1.0, 2.0, 3.0):
+            emu.run_until(t)
+            target = hosts[int(rng.integers(len(hosts)))]
+            if target.node_id in emu.scene:
+                emu.scene.move_node(
+                    target.node_id,
+                    Vec2(float(rng.uniform(-100, 100)),
+                         float(rng.uniform(-100, 100))),
+                )
+        replay = ReplayEngine(emu.recorder)
+        reconstructed = replay.scene_at(3.0)
+        assert set(reconstructed) == set(emu.scene.node_ids())
+        for node_id, node in reconstructed.items():
+            live = emu.scene.position(node_id)
+            assert (node.x, node.y) == (live.x, live.y)

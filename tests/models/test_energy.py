@@ -1,0 +1,134 @@
+"""Tests for repro.models.energy — the §7 power-consumption extension."""
+
+import math
+
+import pytest
+
+from repro.core.ids import NodeId
+from repro.errors import ConfigurationError
+from repro.models.energy import EnergyModel, EnergyTracker
+
+
+def n(i):
+    return NodeId(i)
+
+
+class TestEnergyModel:
+    def test_costs(self):
+        m = EnergyModel(tx_per_bit=2.0, rx_per_bit=1.0, tx_overhead=10.0,
+                        rx_overhead=5.0)
+        assert m.tx_cost(3) == 16.0
+        assert m.rx_cost(3) == 8.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            EnergyModel(tx_per_bit=-1.0)
+
+
+class TestEnergyTracker:
+    def test_infinite_by_default(self):
+        tracker = EnergyTracker(EnergyModel(tx_per_bit=1.0))
+        for _ in range(1000):
+            assert tracker.charge_tx(n(1), 10**6)
+        assert tracker.is_alive(n(1))
+        assert tracker.remaining(n(1)) == math.inf
+
+    def test_spend_accounting(self):
+        tracker = EnergyTracker(EnergyModel(tx_per_bit=2.0, rx_per_bit=1.0))
+        tracker.charge_tx(n(1), 10)
+        tracker.charge_rx(n(1), 10)
+        assert tracker.spent(n(1)) == pytest.approx(30.0)
+
+    def test_battery_depletion_gates_traffic(self):
+        tracker = EnergyTracker(EnergyModel(tx_per_bit=1.0))
+        tracker.set_battery(n(1), 25.0)
+        assert tracker.charge_tx(n(1), 10)   # 10 J
+        assert tracker.charge_tx(n(1), 10)   # 20 J
+        assert not tracker.charge_tx(n(1), 10)  # would exceed 25 J: dead
+        assert not tracker.is_alive(n(1))
+        assert not tracker.charge_tx(n(1), 1)   # stays dead
+        assert tracker.remaining(n(1)) == 0.0
+
+    def test_death_callback_fires_once(self):
+        deaths = []
+        tracker = EnergyTracker(
+            EnergyModel(tx_per_bit=1.0), on_death=deaths.append
+        )
+        tracker.set_battery(n(1), 5.0)
+        tracker.charge_tx(n(1), 10)
+        tracker.charge_tx(n(1), 10)
+        assert deaths == [n(1)]
+
+    def test_recharge_revives(self):
+        tracker = EnergyTracker(EnergyModel(tx_per_bit=1.0))
+        tracker.set_battery(n(1), 5.0)
+        tracker.charge_tx(n(1), 10)
+        assert not tracker.is_alive(n(1))
+        tracker.set_battery(n(1), 100.0)
+        assert tracker.is_alive(n(1))
+        assert tracker.charge_tx(n(1), 10)
+
+    def test_idle_draw(self):
+        tracker = EnergyTracker(EnergyModel(idle_per_second=2.0))
+        tracker.charge_idle(n(1), 3.0)
+        assert tracker.spent(n(1)) == pytest.approx(6.0)
+        with pytest.raises(ConfigurationError):
+            tracker.charge_idle(n(1), -1.0)
+
+    def test_report(self):
+        tracker = EnergyTracker(EnergyModel(tx_per_bit=1.0))
+        tracker.set_battery(n(1), 100.0)
+        tracker.charge_tx(n(1), 30)
+        report = tracker.report()
+        assert report[n(1)] == {"spent": 30.0, "capacity": 100.0,
+                                "alive": True}
+
+    def test_validation(self):
+        tracker = EnergyTracker()
+        with pytest.raises(ConfigurationError):
+            tracker.set_battery(n(1), 0.0)
+
+
+class TestEngineIntegration:
+    def _emulator(self, battery_bits_worth):
+        from repro.core.geometry import Vec2
+        from repro.core.server import InProcessEmulator
+        from repro.models.radio import RadioConfig
+
+        tracker = EnergyTracker(EnergyModel(tx_per_bit=1.0, rx_per_bit=0.5))
+        emu = InProcessEmulator(seed=0, energy=tracker)
+        a = emu.add_node(Vec2(0, 0), RadioConfig.single(1, 100.0))
+        b = emu.add_node(Vec2(50, 0), RadioConfig.single(1, 100.0))
+        tracker.set_battery(a.node_id, float(battery_bits_worth))
+        return emu, tracker, a, b
+
+    def test_transmissions_drain_the_battery(self):
+        emu, tracker, a, b = self._emulator(2500)
+        for _ in range(3):
+            a.transmit(b.node_id, b"x", channel=1, size_bits=1000)
+        emu.run_until(1.0)
+        from repro.core.packet import DropReason
+
+        # Third frame crossed the 2500 J budget: dead mid-burst.
+        assert len(b.received) == 2
+        drops = emu.recorder.dropped_packets()
+        assert drops[-1].drop_reason == DropReason.NO_ENERGY
+        assert not tracker.is_alive(a.node_id)
+
+    def test_receiver_drain(self):
+        from repro.core.geometry import Vec2
+        from repro.core.packet import DropReason
+        from repro.core.server import InProcessEmulator
+        from repro.models.radio import RadioConfig
+
+        tracker = EnergyTracker(EnergyModel(tx_per_bit=0.0, rx_per_bit=1.0))
+        emu = InProcessEmulator(seed=0, energy=tracker)
+        a = emu.add_node(Vec2(0, 0), RadioConfig.single(1, 100.0))
+        b = emu.add_node(Vec2(50, 0), RadioConfig.single(1, 100.0))
+        tracker.set_battery(b.node_id, 1500.0)
+        for _ in range(3):
+            a.transmit(b.node_id, b"x", channel=1, size_bits=1000)
+        emu.run_until(1.0)
+        assert len(b.received) == 1  # second reception killed the battery
+        drops = emu.recorder.dropped_packets()
+        assert all(d.drop_reason == DropReason.NO_ENERGY for d in drops)

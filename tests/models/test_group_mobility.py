@@ -1,0 +1,177 @@
+"""Tests for repro.models.group_mobility — RPGM, Gauss-Markov, Random Direction."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.geometry import Vec2
+from repro.errors import ConfigurationError
+from repro.models.group_mobility import (
+    GaussMarkovMobility,
+    RandomDirectionMobility,
+    ReferencePointGroupModel,
+)
+from repro.models.mobility import Bounds, ConstantVelocity, Trajectory
+
+
+class TestRPGM:
+    def _group(self, deviation=5.0, bounds=None):
+        return ReferencePointGroupModel(
+            Vec2(100, 100),
+            ConstantVelocity(10.0, 0.0),
+            deviation=deviation,
+            seed=3,
+            bounds=bounds,
+        )
+
+    def test_members_follow_the_reference(self):
+        group = self._group()
+        members = [group.member(Vec2(0, 10 * i)) for i in range(4)]
+        for t in (0.0, 5.0, 10.0):
+            ref = group.reference.position_at(t)
+            for i, m in enumerate(members):
+                p = m.position_at(t)
+                # Within offset + deviation of the reference.
+                expected = ref + Vec2(0, 10 * i)
+                assert p.distance_to(expected) <= 5.0 + 1e-9
+
+    def test_group_coherence(self):
+        """Members stay within (offsets + 2·deviation) of each other."""
+        group = self._group(deviation=3.0)
+        a = group.member(Vec2(0, 0))
+        b = group.member(Vec2(5, 0))
+        for t in np.linspace(0, 30, 61):
+            d = a.position_at(float(t)).distance_to(b.position_at(float(t)))
+            assert d <= 5.0 + 2 * 3.0 + 1e-9
+
+    def test_deterministic(self):
+        group = self._group()
+        m = group.member(Vec2(1, 2))
+        assert m.position_at(7.3) == m.position_at(7.3)
+
+    def test_zero_deviation_is_rigid(self):
+        group = self._group(deviation=0.0)
+        m = group.member(Vec2(3, 4))
+        for t in (0.0, 2.0, 9.0):
+            ref = group.reference.position_at(t)
+            assert m.position_at(t) == ref + Vec2(3, 4)
+
+    def test_bounds_applied(self):
+        bounds = Bounds(0, 0, 150, 150, policy="clamp")
+        group = ReferencePointGroupModel(
+            Vec2(140, 75), ConstantVelocity(10.0, 0.0),
+            deviation=0.0, bounds=bounds, seed=0,
+        )
+        m = group.member(Vec2(5, 0))
+        assert bounds.contains(m.position_at(50.0))
+
+    def test_member_count(self):
+        group = self._group()
+        group.member(Vec2(0, 0))
+        group.member(Vec2(1, 1))
+        assert group.member_count == 2
+
+    def test_scene_integration(self):
+        from repro.core.ids import NodeId
+        from repro.core.scene import Scene
+        from repro.models.radio import RadioConfig
+
+        scene = Scene()
+        group = self._group(deviation=0.0)
+        for i in range(3):
+            scene.add_node(NodeId(i + 1), Vec2(100, 100 + 10 * i),
+                           RadioConfig.single(1, 100.0))
+            scene.set_trajectory(NodeId(i + 1), group.member(Vec2(0, 10 * i)))
+        scene.advance_time(5.0)
+        # Everyone advanced 50 units in x, preserving formation.
+        for i in range(3):
+            p = scene.position(NodeId(i + 1))
+            assert p.x == pytest.approx(150.0)
+            assert p.y == pytest.approx(100.0 + 10 * i)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ReferencePointGroupModel(
+                Vec2(0, 0), ConstantVelocity(1, 0), deviation=-1.0
+            )
+
+
+class TestGaussMarkov:
+    def test_speed_hovers_around_mean(self):
+        model = GaussMarkovMobility(mean_speed=10.0, alpha=0.8,
+                                    speed_sigma=1.0, time_step=1.0)
+        rng = np.random.default_rng(0)
+        speeds = [model.next_leg(rng, Vec2(0, 0)).speed for _ in range(500)]
+        assert 8.0 < np.mean(speeds) < 12.0
+
+    def test_direction_correlated(self):
+        """Consecutive headings differ far less than random-walk headings."""
+        model = GaussMarkovMobility(mean_speed=5.0, alpha=0.9,
+                                    direction_sigma_deg=20.0)
+        rng = np.random.default_rng(1)
+        dirs = [model.next_leg(rng, Vec2(0, 0)).direction for _ in range(200)]
+        diffs = [abs((b - a + 180) % 360 - 180) for a, b in zip(dirs, dirs[1:])]
+        assert np.mean(diffs) < 30.0  # random walk would average ~90
+
+    def test_alpha_one_is_linear_motion(self):
+        model = GaussMarkovMobility(mean_speed=7.0, alpha=1.0,
+                                    mean_direction_deg=45.0)
+        rng = np.random.default_rng(2)
+        legs = [model.next_leg(rng, Vec2(0, 0)) for _ in range(10)]
+        assert all(leg.speed == pytest.approx(7.0) for leg in legs)
+        assert all(leg.direction == pytest.approx(45.0) for leg in legs)
+
+    def test_speed_never_negative(self):
+        model = GaussMarkovMobility(mean_speed=0.5, alpha=0.1,
+                                    speed_sigma=5.0)
+        rng = np.random.default_rng(3)
+        assert all(
+            model.next_leg(rng, Vec2(0, 0)).speed >= 0.0 for _ in range(300)
+        )
+
+    def test_per_node_state(self):
+        """Two instances evolve independently."""
+        m1 = GaussMarkovMobility(mean_speed=5.0)
+        m2 = GaussMarkovMobility(mean_speed=5.0)
+        r1, r2 = np.random.default_rng(4), np.random.default_rng(5)
+        m1.next_leg(r1, Vec2(0, 0))
+        assert m2._speed is None  # untouched
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            GaussMarkovMobility(mean_speed=5.0, alpha=1.5)
+        with pytest.raises(ConfigurationError):
+            GaussMarkovMobility(mean_speed=-1.0)
+
+
+class TestRandomDirection:
+    AREA = Bounds(0, 0, 100, 100)
+
+    def test_legs_end_on_boundary(self):
+        model = RandomDirectionMobility(self.AREA, 5.0, 5.0, pause_time=0.0)
+        rng = np.random.default_rng(0)
+        pos = Vec2(50, 50)
+        for _ in range(20):
+            leg = model.next_leg(rng, pos)
+            end = leg.position_at(pos, leg.duration)
+            # End lies on (or within float noise of) a wall.
+            on_wall = (
+                min(abs(end.x - 0), abs(end.x - 100),
+                    abs(end.y - 0), abs(end.y - 100)) < 1e-6
+            )
+            assert on_wall
+            pos = end
+
+    def test_trajectory_stays_inside(self):
+        model = RandomDirectionMobility(self.AREA, 2.0, 8.0)
+        traj = Trajectory(Vec2(50, 50), model, np.random.default_rng(1),
+                          bounds=self.AREA)
+        for t in np.linspace(0, 100, 201):
+            assert self.AREA.contains(traj.position_at(float(t)))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RandomDirectionMobility(self.AREA, 0.0, 5.0)
+        with pytest.raises(ConfigurationError):
+            RandomDirectionMobility(self.AREA, 5.0, 5.0, pause_time=-1.0)

@@ -1,0 +1,266 @@
+"""Tests for repro.models.mac — the §7 MAC-algorithm extension."""
+
+import pytest
+
+from repro.core.ids import ChannelId, NodeId
+from repro.errors import ConfigurationError
+from repro.models.mac import AlohaMac, CsmaCaMac, IdealMac
+
+
+def ch(k):
+    return ChannelId(k)
+
+
+def n(i):
+    return NodeId(i)
+
+
+class TestIdealMac:
+    def test_never_defers_never_collides(self):
+        mac = IdealMac()
+        for t in (0.0, 0.0, 0.1):
+            d = mac.admit(ch(1), n(1), t, 1.0)
+            assert d.start == t and not d.collided
+
+
+class TestAlohaMac:
+    def test_non_overlapping_ok(self):
+        mac = AlohaMac()
+        a = mac.admit(ch(1), n(1), 0.0, 0.5)
+        b = mac.admit(ch(1), n(2), 1.0, 0.5)
+        assert not a.collided and not b.collided
+
+    def test_overlap_kills_both(self):
+        mac = AlohaMac()
+        a = mac.admit(ch(1), n(1), 0.0, 1.0)
+        b = mac.admit(ch(1), n(2), 0.5, 1.0)
+        assert not a.collided  # admitted first, corrupted later...
+        assert b.collided and b.collided_with == n(1)
+        # ...which the retroactive check reveals:
+        assert mac.was_collided(ch(1), n(1), 0.0)
+
+    def test_channels_are_separate_domains(self):
+        """The paper's §6.2 setup: diverse channel IDs avoid collision."""
+        mac = AlohaMac()
+        a = mac.admit(ch(1), n(1), 0.0, 1.0)
+        b = mac.admit(ch(2), n(2), 0.0, 1.0)
+        assert not a.collided and not b.collided
+        assert not mac.was_collided(ch(1), n(1), 0.0)
+
+    def test_back_to_back_no_collision(self):
+        mac = AlohaMac()
+        mac.admit(ch(1), n(1), 0.0, 1.0)
+        b = mac.admit(ch(1), n(2), 1.0, 1.0)  # starts exactly at the end
+        assert not b.collided
+
+    def test_three_way_overlap(self):
+        mac = AlohaMac()
+        mac.admit(ch(1), n(1), 0.0, 2.0)
+        mac.admit(ch(1), n(2), 0.5, 2.0)
+        c = mac.admit(ch(1), n(3), 1.0, 2.0)
+        assert c.collided
+        assert mac.was_collided(ch(1), n(1), 0.0)
+        assert mac.was_collided(ch(1), n(2), 0.5)
+
+    def test_history_garbage_collected(self):
+        mac = AlohaMac(history_horizon=1.0)
+        mac.admit(ch(1), n(1), 0.0, 0.1)
+        mac.admit(ch(1), n(2), 100.0, 0.1)
+        assert mac.utilization(ch(1)) == 1  # old transmission evicted
+
+    def test_reset(self):
+        mac = AlohaMac()
+        mac.admit(ch(1), n(1), 0.0, 10.0)
+        mac.reset()
+        assert not mac.admit(ch(1), n(2), 1.0, 1.0).collided
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AlohaMac(history_horizon=0.0)
+
+
+class TestCsmaCaMac:
+    def test_idle_channel_immediate(self):
+        mac = CsmaCaMac(seed=0)
+        d = mac.admit(ch(1), n(1), 5.0, 0.01)
+        assert d.start == 5.0 and not d.collided
+
+    def test_busy_channel_defers(self):
+        mac = CsmaCaMac(slot_time=0.001, cw=4, seed=0)
+        mac.admit(ch(1), n(1), 0.0, 1.0)
+        d = mac.admit(ch(1), n(2), 0.5, 1.0)
+        assert d.start >= 1.0  # waited for the channel to go idle
+        assert not d.collided
+
+    def test_deferral_avoids_most_collisions(self):
+        """Heavy contention: CSMA collides far less than ALOHA."""
+        def collisions(mac):
+            hits = 0
+            for i in range(50):
+                d = mac.admit(ch(1), n(i), 0.0, 0.01)
+                hits += d.collided
+            return hits
+
+        aloha = collisions(AlohaMac())
+        csma = collisions(CsmaCaMac(slot_time=0.001, cw=64, seed=1))
+        assert aloha == 49  # everyone after the first collides
+        assert csma < aloha / 2
+
+    def test_backoff_within_window(self):
+        mac = CsmaCaMac(slot_time=0.001, cw=8, seed=2)
+        mac.admit(ch(1), n(1), 0.0, 1.0)
+        d = mac.admit(ch(1), n(2), 0.1, 0.1)
+        assert 1.0 <= d.start <= 1.0 + 7 * 0.001
+
+    def test_channels_independent(self):
+        mac = CsmaCaMac(seed=0)
+        mac.admit(ch(1), n(1), 0.0, 10.0)
+        d = mac.admit(ch(2), n(2), 0.0, 0.1)
+        assert d.start == 0.0  # other channel is idle
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CsmaCaMac(slot_time=0.0)
+        with pytest.raises(ConfigurationError):
+            CsmaCaMac(cw=0)
+
+
+class TestEngineIntegration:
+    def test_same_channel_collisions_dropped_by_engine(self):
+        from repro.core.geometry import Vec2
+        from repro.core.ids import BROADCAST_NODE
+        from repro.core.packet import DropReason
+        from repro.core.server import InProcessEmulator
+        from repro.models.radio import RadioConfig
+
+        emu = InProcessEmulator(seed=0, mac=AlohaMac())
+        a = emu.add_node(Vec2(0, 0), RadioConfig.single(1, 100.0))
+        b = emu.add_node(Vec2(30, 0), RadioConfig.single(1, 100.0))
+        c = emu.add_node(Vec2(60, 0), RadioConfig.single(1, 100.0))
+        # Two large frames at the same instant on the same channel.
+        a.transmit(BROADCAST_NODE, b"x" * 1000, channel=1)
+        c.transmit(BROADCAST_NODE, b"y" * 1000, channel=1)
+        emu.run_until(1.0)
+        drops = emu.recorder.dropped_packets()
+        assert any(d.drop_reason == DropReason.COLLISION for d in drops)
+        assert b.received == []  # b was in range of both: heard neither
+
+    def test_different_channels_never_collide(self):
+        from repro.core.geometry import Vec2
+        from repro.core.server import InProcessEmulator
+        from repro.models.radio import Radio, RadioConfig
+
+        emu = InProcessEmulator(seed=0, mac=AlohaMac())
+        a = emu.add_node(Vec2(0, 0), RadioConfig.single(1, 100.0))
+        b = emu.add_node(Vec2(30, 0), RadioConfig.single(1, 100.0))
+        c = emu.add_node(Vec2(0, 30), RadioConfig.single(2, 100.0))
+        d = emu.add_node(Vec2(30, 30), RadioConfig.single(2, 100.0))
+        a.transmit(b.node_id, b"x" * 1000, channel=1)
+        c.transmit(d.node_id, b"y" * 1000, channel=2)
+        emu.run_until(1.0)
+        assert len(b.received) == 1 and len(d.received) == 1
+
+    def test_csma_deferral_delays_delivery(self):
+        from repro.core.geometry import Vec2
+        from repro.core.server import InProcessEmulator
+        from repro.models.link import BandwidthModel, LinkModel
+        from repro.models.radio import Radio, RadioConfig
+
+        link = LinkModel(bandwidth=BandwidthModel(peak=1e4))  # slow: long airtime
+        emu = InProcessEmulator(
+            seed=0, mac=CsmaCaMac(slot_time=0.001, cw=4, seed=0)
+        )
+        a = emu.add_node(Vec2(0, 0), RadioConfig.of([Radio(1, 100.0, link)]))
+        b = emu.add_node(Vec2(30, 0), RadioConfig.of([Radio(1, 100.0, link)]))
+        c = emu.add_node(Vec2(60, 0), RadioConfig.of([Radio(1, 100.0, link)]))
+        a.transmit(b.node_id, b"first", channel=1, size_bits=10_000)  # 1 s airtime
+        c.transmit(b.node_id, b"second", channel=1, size_bits=1000)
+        emu.run_until(5.0)
+        payloads = {p.payload: p.t_delivered for p in b.received}
+        assert set(payloads) == {b"first", b"second"}
+        assert payloads[b"second"] > 1.0  # deferred behind the 1 s frame
+
+
+class TestSpatialAlohaMac:
+    def _emulator(self):
+        from repro.core.geometry import Vec2
+        from repro.core.server import InProcessEmulator
+        from repro.models.mac import SpatialAlohaMac
+        from repro.models.radio import RadioConfig
+
+        emu = InProcessEmulator(seed=0, mac=SpatialAlohaMac())
+        return emu
+
+    def test_hidden_terminal_collides_at_middle_receiver(self):
+        """A and B can't hear each other; both reach R: R hears neither."""
+        from repro.core.geometry import Vec2
+        from repro.core.packet import DropReason
+        from repro.models.radio import RadioConfig
+
+        emu = self._emulator()
+        a = emu.add_node(Vec2(0, 0), RadioConfig.single(1, 120.0))
+        r = emu.add_node(Vec2(100, 0), RadioConfig.single(1, 120.0))
+        b = emu.add_node(Vec2(200, 0), RadioConfig.single(1, 120.0))
+        a.transmit(r.node_id, b"x" * 1000, channel=1)
+        b.transmit(r.node_id, b"y" * 1000, channel=1)
+        emu.run_until(1.0)
+        assert r.received == []
+        drops = emu.recorder.dropped_packets()
+        assert len(drops) == 2
+        assert all(d.drop_reason == DropReason.COLLISION for d in drops)
+
+    def test_spatial_reuse_far_pairs_unaffected(self):
+        """Two concurrent same-channel transfers far apart both succeed —
+        what the channel-wide ALOHA model cannot express."""
+        from repro.core.geometry import Vec2
+        from repro.models.radio import RadioConfig
+
+        emu = self._emulator()
+        a = emu.add_node(Vec2(0, 0), RadioConfig.single(1, 100.0))
+        b = emu.add_node(Vec2(50, 0), RadioConfig.single(1, 100.0))
+        c = emu.add_node(Vec2(10_000, 0), RadioConfig.single(1, 100.0))
+        d = emu.add_node(Vec2(10_050, 0), RadioConfig.single(1, 100.0))
+        a.transmit(b.node_id, b"near" * 250, channel=1)
+        c.transmit(d.node_id, b"far!" * 250, channel=1)
+        emu.run_until(1.0)
+        assert len(b.received) == 1 and len(d.received) == 1
+
+    def test_interference_factor_extends_reach(self):
+        """With factor 2, an interferer corrupts receivers beyond its
+        communication range."""
+        from repro.core.geometry import Vec2
+        from repro.models.mac import SpatialAlohaMac
+        from repro.models.radio import RadioConfig
+        from repro.core.server import InProcessEmulator
+
+        def run(factor):
+            emu = InProcessEmulator(
+                seed=0, mac=SpatialAlohaMac(interference_factor=factor)
+            )
+            a = emu.add_node(Vec2(0, 0), RadioConfig.single(1, 100.0))
+            b = emu.add_node(Vec2(50, 0), RadioConfig.single(1, 100.0))
+            # Interferer 150 from b: outside range 100, inside 2x100.
+            i = emu.add_node(Vec2(200, 0), RadioConfig.single(1, 100.0))
+            j = emu.add_node(Vec2(260, 0), RadioConfig.single(1, 100.0))
+            a.transmit(b.node_id, b"v" * 1000, channel=1)
+            i.transmit(j.node_id, b"w" * 1000, channel=1)
+            emu.run_until(1.0)
+            return len(b.received)
+
+        assert run(1.0) == 1   # interference doesn't reach b
+        assert run(2.0) == 0   # extended interference corrupts b
+
+    def test_own_frames_serialized(self):
+        from repro.core.ids import ChannelId, NodeId
+        from repro.models.mac import SpatialAlohaMac
+
+        mac = SpatialAlohaMac()
+        d1 = mac.admit(ChannelId(1), NodeId(1), 0.0, 1.0)
+        d2 = mac.admit(ChannelId(1), NodeId(1), 0.5, 1.0)
+        assert d1.start == 0.0 and d2.start == 1.0
+
+    def test_validation(self):
+        from repro.models.mac import SpatialAlohaMac
+
+        with pytest.raises(ConfigurationError):
+            SpatialAlohaMac(interference_factor=0.0)

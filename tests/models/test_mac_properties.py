@@ -1,0 +1,147 @@
+"""Property tests on MAC-model invariants (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ids import ChannelId, NodeId
+from repro.models.mac import AlohaMac, CsmaCaMac, IdealMac, SpatialAlohaMac
+
+# Strategy: a batch of transmission requests (sender, time, airtime).
+requests = st.lists(
+    st.tuples(
+        st.integers(1, 6),                     # sender id
+        st.floats(0.0, 10.0, allow_nan=False),  # request time
+        st.floats(0.001, 2.0, allow_nan=False),  # airtime
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+def sorted_requests(reqs):
+    return sorted(reqs, key=lambda r: r[1])
+
+
+class TestAlohaProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(requests)
+    def test_disjoint_frames_never_collide(self, reqs):
+        """If no two admitted intervals of different senders overlap, no
+        frame is ever marked collided."""
+        mac = AlohaMac(history_horizon=100.0)
+        admitted = []
+        for sender, t, air in sorted_requests(reqs):
+            d = mac.admit(ChannelId(1), NodeId(sender), t, air)
+            admitted.append((NodeId(sender), d.start, d.start + air,
+                             d.collided))
+        overlapping = any(
+            a_s != b_s and a0 < b1 and b0 < a1
+            for i, (a_s, a0, a1, _) in enumerate(admitted)
+            for (b_s, b0, b1, _) in admitted[i + 1:]
+        )
+        any_collision = any(c for *_, c in admitted) or any(
+            mac.was_collided(ChannelId(1), s, start)
+            for s, start, _, _ in admitted
+        )
+        if not overlapping:
+            assert not any_collision
+        else:
+            assert any_collision  # overlap between senders always detected
+
+    @settings(max_examples=50, deadline=None)
+    @given(requests)
+    def test_own_frames_never_overlap(self, reqs):
+        """A single radio's admitted intervals are pairwise disjoint."""
+        mac = AlohaMac(history_horizon=100.0)
+        per_sender: dict[int, list[tuple[float, float]]] = {}
+        for sender, t, air in sorted_requests(reqs):
+            d = mac.admit(ChannelId(1), NodeId(sender), t, air)
+            per_sender.setdefault(sender, []).append((d.start, d.start + air))
+        for intervals in per_sender.values():
+            intervals.sort()
+            for (a0, a1), (b0, b1) in zip(intervals, intervals[1:]):
+                assert b0 >= a1 - 1e-12
+
+    @settings(max_examples=50, deadline=None)
+    @given(requests)
+    def test_collision_symmetric(self, reqs):
+        """If A collided with B's frame, B's frame is collided too."""
+        mac = AlohaMac(history_horizon=100.0)
+        admitted = []
+        for sender, t, air in sorted_requests(reqs):
+            d = mac.admit(ChannelId(1), NodeId(sender), t, air)
+            admitted.append((NodeId(sender), d.start))
+        flags = {
+            (s, start): mac.was_collided(ChannelId(1), s, start)
+            for s, start in admitted
+        }
+        # Recompute overlap graph; every frame in an overlapping pair of
+        # distinct senders must be flagged.
+        txs = mac._active[ChannelId(1)]
+        for i, a in enumerate(txs):
+            for b in txs[i + 1:]:
+                if a.sender != b.sender and a.start < b.end and b.start < a.end:
+                    assert flags[(a.sender, a.start)]
+                    assert flags[(b.sender, b.start)]
+
+
+class TestCsmaProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(requests, st.integers(0, 1000))
+    def test_start_never_before_request(self, reqs, seed):
+        mac = CsmaCaMac(slot_time=0.001, cw=8, seed=seed)
+        for sender, t, air in sorted_requests(reqs):
+            d = mac.admit(ChannelId(1), NodeId(sender), t, air)
+            assert d.start >= t - 1e-12
+
+    @settings(max_examples=50, deadline=None)
+    @given(requests, st.integers(0, 1000))
+    def test_deterministic_given_seed(self, reqs, seed):
+        def run():
+            mac = CsmaCaMac(slot_time=0.001, cw=8, seed=seed)
+            return [
+                mac.admit(ChannelId(1), NodeId(s), t, a).start
+                for s, t, a in sorted_requests(reqs)
+            ]
+
+        assert run() == run()
+
+
+class TestSpatialProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(requests)
+    def test_corruption_requires_an_overlapping_interferer(self, reqs):
+        """receiver_corrupted ⇒ some other sender's interval overlaps."""
+        from repro.core.geometry import Vec2
+        from repro.core.scene import Scene
+        from repro.models.radio import RadioConfig
+
+        scene = Scene()
+        receiver = NodeId(100)
+        scene.add_node(receiver, Vec2(0, 0), RadioConfig.single(1, 50.0))
+        for s in {r[0] for r in reqs}:
+            scene.add_node(NodeId(s), Vec2(10.0 * s, 0),
+                           RadioConfig.single(1, 500.0))
+        mac = SpatialAlohaMac(history_horizon=100.0)
+        admitted = []
+        for sender, t, air in sorted_requests(reqs):
+            d = mac.admit(ChannelId(1), NodeId(sender), t, air)
+            admitted.append((NodeId(sender), d.start, d.start + air))
+        for sender, start, end in admitted:
+            corrupted = mac.receiver_corrupted(
+                ChannelId(1), sender, start, receiver, scene
+            )
+            overlaps = any(
+                o_s != sender and o0 < end and start < o1
+                for o_s, o0, o1 in admitted
+            )
+            assert corrupted == overlaps  # all interferers in reach here
+
+    def test_ideal_mac_never_corrupts(self):
+        from repro.core.scene import Scene
+
+        mac = IdealMac()
+        assert not mac.receiver_corrupted(
+            ChannelId(1), NodeId(1), 0.0, NodeId(2), Scene()
+        )

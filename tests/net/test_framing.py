@@ -1,0 +1,127 @@
+"""Tests for repro.net.framing — length-prefixed stream framing."""
+
+import socket
+import threading
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import FramingError
+from repro.net.framing import (
+    MAX_FRAME,
+    FrameBuffer,
+    pack_frame,
+    recv_frame,
+    send_frame,
+)
+
+
+class TestPackFrame:
+    def test_header_is_length(self):
+        frame = pack_frame(b"abc")
+        assert frame == b"\x00\x00\x00\x03abc"
+
+    def test_empty_payload(self):
+        assert pack_frame(b"") == b"\x00\x00\x00\x00"
+
+    def test_oversized_rejected(self):
+        with pytest.raises(FramingError):
+            pack_frame(b"x" * (MAX_FRAME + 1))
+
+
+class TestFrameBuffer:
+    def test_whole_frame(self):
+        buf = FrameBuffer()
+        assert buf.feed(pack_frame(b"hello")) == [b"hello"]
+
+    def test_byte_at_a_time(self):
+        buf = FrameBuffer()
+        frames = []
+        for byte in pack_frame(b"chunked"):
+            frames.extend(buf.feed(bytes([byte])))
+        assert frames == [b"chunked"]
+
+    def test_multiple_frames_one_feed(self):
+        buf = FrameBuffer()
+        data = pack_frame(b"a") + pack_frame(b"bb") + pack_frame(b"")
+        assert buf.feed(data) == [b"a", b"bb", b""]
+
+    def test_partial_then_complete(self):
+        buf = FrameBuffer()
+        frame = pack_frame(b"split")
+        assert buf.feed(frame[:3]) == []
+        assert buf.pending_bytes == 3
+        assert buf.feed(frame[3:]) == [b"split"]
+        assert buf.pending_bytes == 0
+
+    def test_oversized_announcement_rejected(self):
+        buf = FrameBuffer()
+        with pytest.raises(FramingError):
+            buf.feed((MAX_FRAME + 1).to_bytes(4, "big"))
+
+    @given(st.lists(st.binary(max_size=200), max_size=20),
+           st.integers(1, 7))
+    def test_roundtrip_any_chunking(self, payloads, chunk):
+        stream = b"".join(pack_frame(p) for p in payloads)
+        buf = FrameBuffer()
+        out = []
+        for i in range(0, len(stream), chunk):
+            out.extend(buf.feed(stream[i : i + chunk]))
+        assert out == payloads
+
+
+class TestSocketFraming:
+    def _pair(self):
+        a, b = socket.socketpair()
+        return a, b
+
+    def test_roundtrip(self):
+        a, b = self._pair()
+        try:
+            send_frame(a, b"over the wire")
+            assert recv_frame(b) == b"over the wire"
+        finally:
+            a.close()
+            b.close()
+
+    def test_multiple_messages_in_order(self):
+        a, b = self._pair()
+        try:
+            for i in range(10):
+                send_frame(a, f"msg{i}".encode())
+            for i in range(10):
+                assert recv_frame(b) == f"msg{i}".encode()
+        finally:
+            a.close()
+            b.close()
+
+    def test_orderly_close_returns_none(self):
+        a, b = self._pair()
+        a.close()
+        try:
+            assert recv_frame(b) is None
+        finally:
+            b.close()
+
+    def test_midframe_close_raises(self):
+        a, b = self._pair()
+        try:
+            a.sendall(b"\x00\x00\x00\x10partial")
+            a.close()
+            with pytest.raises(FramingError):
+                recv_frame(b)
+        finally:
+            b.close()
+
+    def test_large_frame(self):
+        a, b = self._pair()
+        payload = bytes(range(256)) * 1000  # 256 KB
+        try:
+            t = threading.Thread(target=send_frame, args=(a, payload))
+            t.start()
+            assert recv_frame(b) == payload
+            t.join()
+        finally:
+            a.close()
+            b.close()

@@ -1,0 +1,77 @@
+"""Tests for repro.net.messages — the client↔server wire protocol."""
+
+import pytest
+
+from repro.core.ids import BROADCAST_NODE, ChannelId, NodeId
+from repro.core.packet import Packet
+from repro.errors import TransportError
+from repro.net.messages import (
+    decode_message,
+    encode_message,
+    packet_from_wire,
+    packet_to_wire,
+)
+
+
+class TestMessages:
+    def test_roundtrip(self):
+        msg = {"op": "register", "x": 1.5, "radios": [{"channel": 1}]}
+        assert decode_message(encode_message(msg)) == msg
+
+    def test_missing_op_rejected_on_encode(self):
+        with pytest.raises(TransportError):
+            encode_message({"x": 1})
+
+    def test_garbage_rejected_on_decode(self):
+        with pytest.raises(TransportError):
+            decode_message(b"\xff\xfe not json")
+        with pytest.raises(TransportError):
+            decode_message(b"[1,2,3]")
+        with pytest.raises(TransportError):
+            decode_message(b'{"no_op": 1}')
+
+
+class TestPacketWire:
+    def _packet(self, **kw):
+        defaults = dict(
+            source=NodeId(1),
+            destination=NodeId(2),
+            payload=b"\x00\x01binary\xff",
+            size_bits=8192,
+            seqno=17,
+            channel=ChannelId(3),
+            kind="control",
+            t_origin=1.25,
+            t_receipt=None,
+            t_forward=2.5,
+        )
+        defaults.update(kw)
+        return Packet(**defaults)
+
+    def test_roundtrip_preserves_everything(self):
+        p = self._packet()
+        q = packet_from_wire(packet_to_wire(p))
+        assert q == p
+
+    def test_binary_payload_survives(self):
+        p = self._packet(payload=bytes(range(256)))
+        assert packet_from_wire(packet_to_wire(p)).payload == bytes(range(256))
+
+    def test_broadcast_destination(self):
+        p = self._packet(destination=BROADCAST_NODE)
+        assert packet_from_wire(packet_to_wire(p)).is_broadcast
+
+    def test_none_stamps_preserved(self):
+        p = self._packet(t_origin=None, t_forward=None)
+        q = packet_from_wire(packet_to_wire(p))
+        assert q.t_origin is None and q.t_forward is None
+
+    def test_json_roundtrip_through_message(self):
+        p = self._packet()
+        msg = {"op": "packet", "packet": packet_to_wire(p)}
+        decoded = decode_message(encode_message(msg))
+        assert packet_from_wire(decoded["packet"]) == p
+
+    def test_malformed_dict_rejected(self):
+        with pytest.raises(TransportError):
+            packet_from_wire({"src": 1})  # missing fields

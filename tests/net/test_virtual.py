@@ -1,0 +1,120 @@
+"""Tests for repro.net.virtual — the deterministic virtual link."""
+
+import pytest
+
+from repro.core.clock import VirtualClock
+from repro.errors import ConfigurationError, TransportError
+from repro.net.virtual import LatencySpec, VirtualLink
+
+
+def make_link(clock=None, **kw):
+    clock = clock or VirtualClock()
+    return clock, VirtualLink(clock, **kw)
+
+
+class TestLatencySpec:
+    def test_fixed(self):
+        import numpy as np
+
+        spec = LatencySpec(base=0.01)
+        assert spec.sample(np.random.default_rng(0)) == 0.01
+
+    def test_jitter_range(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        spec = LatencySpec(base=0.01, jitter=0.005)
+        for _ in range(100):
+            d = spec.sample(rng)
+            assert 0.01 <= d < 0.015
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LatencySpec(base=-1.0)
+
+
+class TestVirtualLink:
+    def test_delivery_after_latency(self):
+        clock, link = make_link(a_to_b=LatencySpec(base=0.5))
+        got = []
+        link.on_receive("b", got.append)
+        arrival = link.send("a", b"hi")
+        assert arrival == pytest.approx(0.5)
+        clock.run_until(0.4)
+        assert got == []
+        clock.run_until(0.6)
+        assert got == [b"hi"]
+
+    def test_bidirectional(self):
+        clock, link = make_link()
+        got_a, got_b = [], []
+        link.on_receive("a", got_a.append)
+        link.on_receive("b", got_b.append)
+        link.send("a", b"to-b")
+        link.send("b", b"to-a")
+        clock.run()
+        assert got_b == [b"to-b"] and got_a == [b"to-a"]
+
+    def test_asymmetric_latency(self):
+        clock, link = make_link(
+            a_to_b=LatencySpec(base=0.1), b_to_a=LatencySpec(base=0.9)
+        )
+        assert link.send("a", b"x") == pytest.approx(0.1)
+        assert link.send("b", b"y") == pytest.approx(0.9)
+
+    def test_fifo_under_jitter(self):
+        """TCP semantics: per-direction order preserved despite jitter."""
+        clock, link = make_link(
+            a_to_b=LatencySpec(base=0.01, jitter=0.05), seed=42
+        )
+        got = []
+        link.on_receive("b", got.append)
+        for i in range(50):
+            link.send("a", str(i).encode())
+        clock.run()
+        assert got == [str(i).encode() for i in range(50)]
+
+    def test_deterministic_given_seed(self):
+        def run(seed):
+            clock, link = make_link(
+                a_to_b=LatencySpec(base=0.01, jitter=0.02), seed=seed
+            )
+            arrivals = [link.send("a", b"x") for _ in range(10)]
+            return arrivals
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+    def test_closed_link_rejects_send(self):
+        _, link = make_link()
+        link.close()
+        with pytest.raises(TransportError):
+            link.send("a", b"x")
+
+    def test_close_drops_in_flight(self):
+        clock, link = make_link(a_to_b=LatencySpec(base=1.0))
+        got = []
+        link.on_receive("b", got.append)
+        link.send("a", b"doomed")
+        link.close()
+        clock.run()
+        assert got == []
+
+    def test_missing_handler_raises_at_delivery(self):
+        clock, link = make_link()
+        link.send("a", b"x")
+        with pytest.raises(TransportError):
+            clock.run()
+
+    def test_bad_side(self):
+        _, link = make_link()
+        with pytest.raises(TransportError):
+            link.send("c", b"x")
+
+    def test_counters(self):
+        clock, link = make_link()
+        link.on_receive("b", lambda d: None)
+        link.send("a", b"1")
+        link.send("a", b"2")
+        clock.run()
+        assert link.sent["a"] == 2 and link.delivered["b"] == 2

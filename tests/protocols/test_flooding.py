@@ -1,0 +1,86 @@
+"""Tests for repro.protocols.flooding."""
+
+from repro.core.geometry import Vec2
+from repro.core.server import InProcessEmulator
+from repro.models.radio import Radio, RadioConfig
+from repro.protocols.flooding import FloodingProtocol
+
+from ..conftest import make_chain
+
+
+def flood_chain(n, **kw):
+    return make_chain(n, protocol_factory=lambda: FloodingProtocol(), **kw)
+
+
+class TestFlooding:
+    def test_direct_delivery(self):
+        emu, hosts = flood_chain(2)
+        hosts[0].protocol.send_data(hosts[1].node_id, b"flood-me")
+        emu.run_until(1.0)
+        assert [p.payload for p in hosts[1].app_received] == [b"flood-me"]
+        assert hosts[1].protocol.delivered == 1
+
+    def test_multihop_delivery(self):
+        emu, hosts = flood_chain(5)
+        hosts[0].protocol.send_data(hosts[4].node_id, b"far")
+        emu.run_until(3.0)
+        assert hosts[4].protocol.delivered == 1
+
+    def test_duplicate_suppression(self):
+        """Dense topology: every node still processes each flood once."""
+        emu = InProcessEmulator(seed=0)
+        hosts = [
+            emu.add_node(Vec2(float(i * 10), 0), RadioConfig.single(1, 1000),
+                         protocol=FloodingProtocol())
+            for i in range(6)
+        ]
+        hosts[0].protocol.send_data(hosts[5].node_id, b"dense")
+        emu.run_until(3.0)
+        assert hosts[5].protocol.delivered == 1
+        # Intermediates relay at most once each.
+        for h in hosts[1:5]:
+            assert h.protocol.relayed <= 1
+
+    def test_ttl_limits_reach(self):
+        emu, hosts = flood_chain(6)
+        hosts[0].protocol = None  # replace with short-TTL protocol
+        short = FloodingProtocol(ttl=2)
+        hosts[0].protocol = short
+        short.host = hosts[0]
+        short.on_start()
+        short.send_data(hosts[5].node_id, b"short-leash")
+        emu.run_until(3.0)
+        assert hosts[5].protocol.delivered == 0  # 5 hops > ttl 2
+        assert hosts[1].protocol.relayed >= 1
+
+    def test_floods_all_channels(self):
+        emu = InProcessEmulator(seed=0)
+        a = emu.add_node(
+            Vec2(0, 0), RadioConfig.of([Radio(1, 100.0), Radio(2, 100.0)]),
+            protocol=FloodingProtocol(),
+        )
+        b = emu.add_node(Vec2(50, 0), RadioConfig.single(2, 100),
+                         protocol=FloodingProtocol())
+        a.protocol.send_data(b.node_id, b"cross-channel")
+        emu.run_until(1.0)
+        assert b.protocol.delivered == 1
+
+    def test_ignores_alien_frames(self):
+        emu, hosts = flood_chain(2)
+        hosts[0].transmit(hosts[1].node_id, b"not json at all \xff",
+                          channel=1)
+        emu.run_until(1.0)  # must not raise
+        assert hosts[1].protocol.delivered == 0
+
+    def test_route_summary_empty(self):
+        _, hosts = flood_chain(2)
+        assert hosts[0].protocol.route_summary() == []
+
+    def test_seen_cache_bounded(self):
+        emu, hosts = flood_chain(2)
+        proto = hosts[0].protocol
+        proto.seen_limit = 10
+        for i in range(50):
+            proto.send_data(hosts[1].node_id, f"m{i}".encode())
+        emu.run_until(5.0)
+        assert len(proto._seen) <= 11

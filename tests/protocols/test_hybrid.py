@@ -1,0 +1,134 @@
+"""Tests for the paper's hybrid protocol (§6.1)."""
+
+import pytest
+
+from repro.core.geometry import Vec2
+from repro.core.ids import NodeId, RadioIndex, ChannelId
+from repro.errors import ProtocolError
+from repro.models.radio import Radio, RadioConfig
+from repro.protocols.common import ProtocolTuning
+from repro.protocols.hybrid import HybridProtocol
+
+from ..conftest import FAST_TUNING, make_hybrid_chain
+
+
+class TestHybridBehaviour:
+    def test_proactive_and_ondemand_both_enabled(self):
+        proto = HybridProtocol()
+        assert proto.proactive and proto.ondemand
+
+    def test_misconfiguration_rejected(self):
+        from repro.protocols.common import PathRoutedProtocol
+
+        with pytest.raises(ProtocolError):
+            PathRoutedProtocol(proactive=False, ondemand=False)
+
+    def test_proactive_routes_without_traffic(self):
+        emu, hosts = make_hybrid_chain(4)
+        emu.run_until(6.0)
+        assert hosts[0].protocol.route_summary() == [
+            "1 -> 2", "1 -> 2 -> 3", "1 -> 2 -> 3 -> 4",
+        ]
+
+    def test_first_packet_to_unknown_destination_buffered(self):
+        """The on-demand half serves destinations the broadcast hasn't
+        propagated yet (fresh scene, no convergence time given)."""
+        emu, hosts = make_hybrid_chain(3)
+        emu.run_until(0.6)  # barely one beacon: no 2-hop routes yet
+        proto = hosts[0].protocol
+        assert proto.send_data(hosts[2].node_id, b"eager") is True
+        emu.run_until(4.0)
+        assert [p.payload for p in hosts[2].app_received] == [b"eager"]
+
+    def test_send_to_self_rejected(self):
+        emu, hosts = make_hybrid_chain(2)
+        emu.run_until(2.0)
+        with pytest.raises(ProtocolError):
+            hosts[0].protocol.send_data(hosts[0].node_id, b"me")
+
+    def test_multi_radio_gateway_routing(self):
+        """Routes cross channels through a dual-radio node."""
+        from repro.core.server import InProcessEmulator
+
+        emu = InProcessEmulator(seed=0)
+        a = emu.add_node(Vec2(0, 0), RadioConfig.single(1, 150.0),
+                         protocol=HybridProtocol(FAST_TUNING))
+        gw = emu.add_node(
+            Vec2(100, 0),
+            RadioConfig.of([Radio(ChannelId(1), 150.0),
+                            Radio(ChannelId(2), 150.0)]),
+            protocol=HybridProtocol(FAST_TUNING),
+        )
+        b = emu.add_node(Vec2(200, 0), RadioConfig.single(2, 150.0),
+                         protocol=HybridProtocol(FAST_TUNING))
+        emu.run_until(5.0)
+        assert f"{a.node_id} -> {gw.node_id} -> {b.node_id}" in [
+            s.replace(" ", " ") for s in a.protocol.route_summary()
+        ] or a.protocol.table.lookup(b.node_id, a.now()) is not None
+        a.protocol.send_data(b.node_id, b"across-channels")
+        emu.run_until(7.0)
+        assert [p.payload for p in b.app_received] == [b"across-channels"]
+
+    def test_robustness_breakage_then_reroute(self):
+        """The §6.1 'high robustness' claim: after the relay dies, traffic
+        falls over to an alternate path."""
+        from repro.core.server import InProcessEmulator
+
+        emu = InProcessEmulator(seed=0)
+        mk = lambda: HybridProtocol(FAST_TUNING)  # noqa: E731
+        src = emu.add_node(Vec2(0, 0), RadioConfig.single(1, 130.0), protocol=mk())
+        r1 = emu.add_node(Vec2(100, 50), RadioConfig.single(1, 130.0), protocol=mk())
+        r2 = emu.add_node(Vec2(100, -50), RadioConfig.single(1, 130.0), protocol=mk())
+        dst = emu.add_node(Vec2(200, 0), RadioConfig.single(1, 130.0), protocol=mk())
+        emu.run_until(6.0)
+        assert src.protocol.send_data(dst.node_id, b"one")
+        emu.run_until(8.0)
+        assert [p.payload for p in dst.app_received] == [b"one"]
+        # Kill whichever relay the current route uses.
+        used = src.protocol.table.lookup(dst.node_id, src.now()).next_hop
+        emu.remove_node(used)
+        emu.run_until(16.0)  # periodic broadcasting heals the table
+        assert src.protocol.send_data(dst.node_id, b"two")
+        emu.run_until(20.0)
+        assert [p.payload for p in dst.app_received] == [b"one", b"two"]
+
+    def test_counters_track_activity(self):
+        emu, hosts = make_hybrid_chain(3)
+        emu.run_until(4.0)
+        hosts[0].protocol.send_data(hosts[2].node_id, b"x")
+        emu.run_until(6.0)
+        assert hosts[1].protocol.data_forwarded >= 1
+        assert hosts[2].protocol.data_delivered == 1
+
+    def test_neighbors_view(self):
+        emu, hosts = make_hybrid_chain(3)
+        emu.run_until(4.0)
+        neigh = hosts[1].protocol.neighbors()
+        assert set(neigh) == {hosts[0].node_id, hosts[2].node_id}
+        assert all(chs == {1} for chs in neigh.values())
+
+
+class TestHybridTable2Transitions:
+    """The routing-table dynamics behind the paper's Table 2."""
+
+    def test_shrink_range_reroutes_via_relay(self):
+        emu, hosts = make_hybrid_chain(3, spacing=80.0)
+        emu.run_until(5.0)
+        assert hosts[0].protocol.route_summary() == [
+            "1 -> 2", "1 -> 3",
+        ]
+        emu.scene.set_radio_range(hosts[0].node_id, RadioIndex(0), 100.0)
+        emu.run_until(11.0)
+        assert hosts[0].protocol.route_summary() == [
+            "1 -> 2", "1 -> 2 -> 3",
+        ]
+
+    def test_channel_split_isolates(self):
+        emu, hosts = make_hybrid_chain(2)
+        emu.run_until(4.0)
+        assert hosts[0].protocol.route_summary() == ["1 -> 2"]
+        emu.scene.set_radio_channel(hosts[0].node_id, RadioIndex(0),
+                                    ChannelId(9))
+        emu.run_until(10.0)
+        assert hosts[0].protocol.route_summary() == []
+        assert hosts[1].protocol.route_summary() == []

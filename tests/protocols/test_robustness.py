@@ -1,0 +1,130 @@
+"""Robustness: protocols and transports vs hostile/garbage input.
+
+An emulator's whole point is testing *other people's* implementations —
+it must not fall over when a protocol under test emits garbage, and a
+protocol must not fall over when the medium hands it another protocol's
+(or an attacker's) frames.  Hypothesis drives byte-level fuzz here.
+"""
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.geometry import Vec2
+from repro.core.ids import ChannelId, NodeId
+from repro.core.packet import Packet
+from repro.core.server import InProcessEmulator
+from repro.errors import TransportError
+from repro.models.radio import RadioConfig
+from repro.net import messages
+from repro.net.framing import FrameBuffer, pack_frame
+from repro.protocols.aodv import AodvProtocol
+from repro.protocols.dsdv import DsdvProtocol
+from repro.protocols.flooding import FloodingProtocol
+from repro.protocols.hybrid import HybridProtocol
+
+from ..conftest import FAST_TUNING
+
+fuzz_settings = settings(
+    max_examples=30, deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+
+def mk_packet(payload: bytes) -> Packet:
+    return Packet(
+        source=NodeId(99), destination=NodeId(1), payload=payload,
+        size_bits=max(len(payload) * 8, 1), seqno=1, channel=ChannelId(1),
+        t_origin=0.0, t_receipt=0.0, t_forward=0.1, t_delivered=0.1,
+    )
+
+
+@pytest.fixture(params=[HybridProtocol, AodvProtocol, DsdvProtocol,
+                        FloodingProtocol])
+def running_protocol(request):
+    emu = InProcessEmulator(seed=0)
+    cls = request.param
+    proto = cls(FAST_TUNING) if cls is not FloodingProtocol else cls()
+    emu.add_node(Vec2(0, 0), RadioConfig.single(1, 100.0), protocol=proto)
+    emu.run_until(1.0)
+    return proto
+
+
+class TestProtocolFuzz:
+    @fuzz_settings
+    @given(st.binary(max_size=300))
+    def test_arbitrary_bytes_never_crash(self, running_protocol, payload):
+        running_protocol.on_packet(mk_packet(payload))
+
+    @fuzz_settings
+    @given(st.dictionaries(st.text(max_size=8),
+                           st.one_of(st.integers(), st.text(max_size=8),
+                                     st.lists(st.integers(), max_size=4)),
+                           max_size=6))
+    def test_arbitrary_json_never_crashes(self, running_protocol, obj):
+        payload = json.dumps(obj).encode()
+        running_protocol.on_packet(mk_packet(payload))
+
+    @fuzz_settings
+    @given(st.sampled_from(["adv", "data", "rreq", "rrep", "rerr", "flood"]),
+           st.dictionaries(st.sampled_from(
+               ["s", "o", "d", "id", "ttl", "path", "i", "data", "routes",
+                "heard", "seq", "dest", "broken", "src", "dst"]),
+               st.one_of(st.integers(-5, 5), st.text(max_size=4),
+                         st.lists(st.integers(-5, 5), max_size=4)),
+               max_size=8))
+    def test_malformed_protocol_messages_never_crash(
+        self, running_protocol, msg_type, fields
+    ):
+        """Messages with the right type tag but wrong/missing fields."""
+        payload = json.dumps({"t": msg_type, **fields}).encode()
+        try:
+            running_protocol.on_packet(mk_packet(payload))
+        except (KeyError, TypeError, ValueError, IndexError,
+                AttributeError):
+            pytest.fail(
+                f"protocol crashed on malformed {msg_type!r}: {fields}"
+            )
+
+
+class TestWireFuzz:
+    @given(st.binary(max_size=64))
+    @settings(max_examples=50, deadline=None)
+    def test_decode_message_never_crashes_uncontrolled(self, data):
+        try:
+            messages.decode_message(data)
+        except TransportError:
+            pass  # the one allowed failure mode
+
+    @given(st.lists(st.binary(max_size=100), max_size=10),
+           st.integers(1, 13))
+    @settings(max_examples=30, deadline=None)
+    def test_framebuffer_reassembles_any_chunking(self, frames, chunk):
+        stream = b"".join(pack_frame(f) for f in frames)
+        buf = FrameBuffer()
+        out = []
+        for i in range(0, len(stream), chunk):
+            out.extend(buf.feed(stream[i:i + chunk]))
+        assert out == frames
+
+
+class TestEngineHostileInput:
+    def test_engine_survives_protocol_emitting_garbage(self):
+        """A protocol that transmits random bytes doesn't break forwarding
+        for everyone else."""
+        emu = InProcessEmulator(seed=0)
+        evil = emu.add_node(Vec2(0, 0), RadioConfig.single(1, 100.0))
+        good_a = emu.add_node(Vec2(30, 0), RadioConfig.single(1, 100.0),
+                              protocol=HybridProtocol(FAST_TUNING))
+        good_b = emu.add_node(Vec2(60, 0), RadioConfig.single(1, 100.0),
+                              protocol=HybridProtocol(FAST_TUNING))
+        for junk in (b"\xff\x00\x01", b"{not json", b"", b"A" * 500):
+            if junk:
+                evil.transmit(good_a.node_id, junk, channel=ChannelId(1))
+        emu.run_until(5.0)
+        # The well-behaved pair still converged and can exchange data.
+        assert good_a.protocol.send_data(good_b.node_id, b"still-works")
+        emu.run_until(7.0)
+        assert [p.payload for p in good_b.app_received] == [b"still-works"]

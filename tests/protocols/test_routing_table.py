@@ -1,0 +1,139 @@
+"""Tests for repro.protocols.routing_table."""
+
+import pytest
+
+from repro.core.ids import NodeId
+from repro.errors import ProtocolError
+from repro.protocols.routing_table import RouteEntry, RoutingTable, format_path
+
+
+def n(i):
+    return NodeId(i)
+
+
+def entry(dest, path, *, seq=1, expires=100.0, origin="proactive"):
+    return RouteEntry(
+        destination=n(dest),
+        path=tuple(n(p) for p in path),
+        seqno=seq,
+        expires_at=expires,
+        origin=origin,
+    )
+
+
+class TestFormatPath:
+    def test_paper_notation(self):
+        assert format_path((n(1), n(3), n(2))) == "1 -> 3 -> 2"
+
+
+class TestRouteEntry:
+    def test_properties(self):
+        e = entry(3, [1, 2, 3])
+        assert e.next_hop == 2
+        assert e.metric == 2
+        assert str(e) == "1 -> 2 -> 3"
+
+    def test_expiry(self):
+        e = entry(2, [1, 2], expires=5.0)
+        assert not e.expired(4.9)
+        assert e.expired(5.0)
+
+    def test_path_must_end_at_destination(self):
+        with pytest.raises(ProtocolError):
+            entry(9, [1, 2, 3])
+
+    def test_path_too_short(self):
+        with pytest.raises(ProtocolError):
+            entry(1, [1])
+
+    def test_loops_rejected(self):
+        with pytest.raises(ProtocolError):
+            entry(2, [1, 3, 1, 2])
+
+
+class TestRoutingTable:
+    def test_consider_installs(self):
+        t = RoutingTable(n(1))
+        assert t.consider(entry(2, [1, 2]))
+        assert len(t) == 1
+        assert t.lookup(n(2), now=0.0).path == (1, 2)
+
+    def test_owner_mismatch_rejected(self):
+        t = RoutingTable(n(1))
+        with pytest.raises(ProtocolError):
+            t.consider(entry(3, [2, 3]))
+
+    def test_route_to_self_ignored(self):
+        t = RoutingTable(n(1))
+        assert not t.consider(entry(1, [2, 1]))
+
+    def test_newer_seqno_wins(self):
+        t = RoutingTable(n(1))
+        t.consider(entry(3, [1, 2, 3], seq=1))
+        assert t.consider(entry(3, [1, 4, 3], seq=2))
+        assert t.lookup(n(3), 0.0).path == (1, 4, 3)
+        # Older seqno never replaces, even if shorter.
+        assert not t.consider(entry(3, [1, 3], seq=1))
+
+    def test_same_seqno_better_metric_wins(self):
+        t = RoutingTable(n(1))
+        t.consider(entry(3, [1, 2, 4, 3], seq=1))
+        assert t.consider(entry(3, [1, 3], seq=1))
+        assert t.lookup(n(3), 0.0).metric == 1
+        assert not t.consider(entry(3, [1, 5, 3], seq=1))
+
+    def test_same_seqno_same_metric_longer_life_refreshes(self):
+        t = RoutingTable(n(1))
+        t.consider(entry(2, [1, 2], seq=1, expires=10.0))
+        assert t.consider(entry(2, [1, 2], seq=1, expires=20.0))
+        assert t.lookup(n(2), 0.0).expires_at == 20.0
+
+    def test_expired_lookup_is_none(self):
+        t = RoutingTable(n(1))
+        t.consider(entry(2, [1, 2], expires=5.0))
+        assert t.lookup(n(2), 4.0) is not None
+        assert t.lookup(n(2), 5.0) is None
+
+    def test_invalidate_via(self):
+        t = RoutingTable(n(1))
+        t.consider(entry(2, [1, 2]))
+        t.consider(entry(3, [1, 2, 3]))
+        t.consider(entry(4, [1, 5, 4]))
+        dead = t.invalidate_via(n(2))
+        assert set(dead) == {n(2), n(3)}
+        assert t.destinations() == {n(4)}
+
+    def test_purge_expired(self):
+        t = RoutingTable(n(1))
+        t.consider(entry(2, [1, 2], expires=1.0))
+        t.consider(entry(3, [1, 3], expires=10.0))
+        assert t.purge_expired(5.0) == [n(2)]
+        assert len(t) == 1
+
+    def test_refresh_extends(self):
+        t = RoutingTable(n(1))
+        t.consider(entry(2, [1, 2], expires=5.0))
+        t.refresh(n(2), 50.0)
+        assert t.lookup(n(2), 10.0) is not None
+        # Refresh never shortens.
+        t.refresh(n(2), 1.0)
+        assert t.lookup(n(2), 10.0) is not None
+
+    def test_summary_sorted_by_destination(self):
+        t = RoutingTable(n(1))
+        t.consider(entry(5, [1, 5]))
+        t.consider(entry(2, [1, 2]))
+        assert t.summary() == ["1 -> 2", "1 -> 5"]
+
+    def test_summary_filters_expired(self):
+        t = RoutingTable(n(1))
+        t.consider(entry(2, [1, 2], expires=1.0))
+        assert t.summary(now=2.0) == []
+
+    def test_remove_and_clear(self):
+        t = RoutingTable(n(1))
+        t.consider(entry(2, [1, 2]))
+        assert t.remove(n(2)) and not t.remove(n(2))
+        t.consider(entry(3, [1, 3]))
+        t.clear()
+        assert len(t) == 0

@@ -1,0 +1,46 @@
+"""Tests for repro.protocols.wire — control-message encoding."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.ids import NodeId
+from repro.errors import ProtocolError
+from repro.protocols import wire
+
+
+class TestEncodeDecode:
+    def test_roundtrip(self):
+        msg = {"t": "adv", "s": 1, "routes": [[2, 5, [1, 2]]]}
+        assert wire.decode(wire.encode(msg)) == msg
+
+    def test_missing_type_rejected(self):
+        with pytest.raises(ProtocolError):
+            wire.encode({"s": 1})
+
+    def test_garbage_rejected(self):
+        for bad in (b"\xff\x00", b"42", b"[1]", b"{}"):
+            with pytest.raises(ProtocolError):
+                wire.decode(bad)
+
+
+class TestPayloadCodec:
+    @given(st.binary(max_size=500))
+    def test_latin1_roundtrip(self, payload):
+        assert wire.decode_payload(wire.encode_payload(payload)) == payload
+
+    def test_payload_embeds_in_json(self):
+        payload = bytes(range(256))
+        msg = {"t": "data", "data": wire.encode_payload(payload)}
+        out = wire.decode(wire.encode(msg))
+        assert wire.decode_payload(out["data"]) == payload
+
+
+class TestPathCodec:
+    def test_roundtrip(self):
+        path = (NodeId(1), NodeId(3), NodeId(2))
+        assert wire.path_from_wire(wire.path_to_wire(path)) == path
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ProtocolError):
+            wire.path_from_wire(["x", None])

@@ -1,0 +1,160 @@
+"""Tests for repro.scenario.script."""
+
+import pytest
+
+from repro.core.geometry import Vec2
+from repro.core.ids import NodeId
+from repro.core.server import InProcessEmulator
+from repro.errors import ScenarioError
+from repro.models.radio import RadioConfig
+from repro.scenario import Scenario, ScenarioStep
+
+
+def emulator_with_node():
+    emu = InProcessEmulator(seed=0)
+    host = emu.add_node(Vec2(0, 0), RadioConfig.single(1, 100.0))
+    return emu, host
+
+
+class TestScenarioStep:
+    def test_validation(self):
+        with pytest.raises(ScenarioError):
+            ScenarioStep(t=-1.0, op="move", node=NodeId(1))
+        with pytest.raises(ScenarioError):
+            ScenarioStep(t=0.0, op="teleport", node=NodeId(1))
+        with pytest.raises(ScenarioError):
+            ScenarioStep(t=0.0, op="move")  # missing node
+        with pytest.raises(ScenarioError):
+            ScenarioStep(t=0.0, op="call")  # missing fn
+
+
+class TestScenarioExecution:
+    def test_steps_fire_at_their_times(self):
+        emu, host = emulator_with_node()
+        script = (
+            Scenario()
+            .at(1.0, "move", node=host.node_id, x=10.0, y=0.0)
+            .at(2.0, "set_range", node=host.node_id, range=42.0)
+            .at(3.0, "set_channel", node=host.node_id, channel=5)
+        )
+        script.bind(emu)
+        emu.run_until(0.5)
+        assert emu.scene.position(host.node_id) == Vec2(0, 0)
+        emu.run_until(1.5)
+        assert emu.scene.position(host.node_id) == Vec2(10, 0)
+        emu.run_until(3.5)
+        assert emu.scene.radios(host.node_id)[0].range == 42.0
+        assert emu.scene.channels_of(host.node_id) == {5}
+
+    def test_remove_step(self):
+        emu, host = emulator_with_node()
+        Scenario().at(1.0, "remove", node=host.node_id).run(emu, until=2.0)
+        assert host.node_id not in emu.scene
+
+    def test_call_step(self):
+        emu, host = emulator_with_node()
+        calls = []
+        Scenario().at(1.5, "call", fn=lambda: calls.append(emu.clock.now())
+                      ).run(emu, until=2.0)
+        assert calls == [1.5]
+
+    def test_steps_sorted_regardless_of_insertion(self):
+        script = Scenario().at(5.0, "remove", node=1).at(1.0, "remove", node=2)
+        assert [s.t for s in script.steps] == [1.0, 5.0]
+        assert script.duration == 5.0
+
+    def test_binding_past_step_rejected(self):
+        emu, host = emulator_with_node()
+        emu.run_until(2.0)
+        with pytest.raises(ScenarioError):
+            Scenario().at(1.0, "remove", node=host.node_id).bind(emu)
+
+
+class TestScenarioJson:
+    JSON = """
+    [
+      {"t": 0.5, "op": "move", "node": 1, "x": 7.0, "y": 8.0},
+      {"t": 1.5, "op": "set_range", "node": 1, "radio": 0, "range": 9.0}
+    ]
+    """
+
+    def test_from_json(self):
+        script = Scenario.from_json(self.JSON)
+        assert len(script) == 2
+        assert script.steps[0].op == "move"
+        assert script.steps[0].args == {"x": 7.0, "y": 8.0}
+
+    def test_from_json_executes(self):
+        emu, host = emulator_with_node()
+        Scenario.from_json(self.JSON).run(emu, until=2.0)
+        assert emu.scene.position(host.node_id) == Vec2(7, 8)
+        assert emu.scene.radios(host.node_id)[0].range == 9.0
+
+    def test_roundtrip(self):
+        script = Scenario.from_json(self.JSON)
+        again = Scenario.from_json(script.to_json())
+        assert [(s.t, s.op, s.node, s.args) for s in again.steps] == [
+            (s.t, s.op, s.node, s.args) for s in script.steps
+        ]
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(ScenarioError):
+            Scenario.from_json("not json")
+        with pytest.raises(ScenarioError):
+            Scenario.from_json('{"t": 1}')
+        with pytest.raises(ScenarioError):
+            Scenario.from_json('[{"op": "move"}]')
+
+    def test_call_steps_not_serializable(self):
+        script = Scenario().at(1.0, "call", fn=lambda: None)
+        with pytest.raises(ScenarioError):
+            script.to_json()
+
+
+class TestScenarioFromRecording:
+    def _recorded_run(self):
+        from repro.core.server import InProcessEmulator
+        from repro.models.radio import RadioConfig
+
+        emu = InProcessEmulator(seed=0)
+        a = emu.add_node(Vec2(0, 0), RadioConfig.single(1, 100.0))
+        b = emu.add_node(Vec2(50, 0), RadioConfig.single(1, 100.0))
+        script = (
+            Scenario()
+            .at(1.0, "move", node=b.node_id, x=75.0, y=10.0)
+            .at(2.0, "set_range", node=a.node_id, radio=0, range=80.0)
+            .at(3.0, "set_channel", node=b.node_id, radio=0, channel=4)
+            .at(4.0, "remove", node=b.node_id)
+        )
+        script.run(emu, until=5.0)
+        return emu
+
+    def test_reconstructed_script_matches(self):
+        emu = self._recorded_run()
+        script = Scenario.from_scene_events(emu.recorder.scene_events())
+        assert [(s.t, s.op) for s in script.steps] == [
+            (1.0, "move"),
+            (2.0, "set_range"),
+            (3.0, "set_channel"),
+            (4.0, "remove"),
+        ]
+
+    def test_rerun_reproduces_final_scene(self):
+        """record → extract scenario → re-run: identical scene evolution."""
+        from repro.core.server import InProcessEmulator
+        from repro.models.radio import RadioConfig
+
+        emu1 = self._recorded_run()
+        script = Scenario.from_scene_events(emu1.recorder.scene_events())
+
+        emu2 = InProcessEmulator(seed=0)
+        emu2.add_node(Vec2(0, 0), RadioConfig.single(1, 100.0))
+        emu2.add_node(Vec2(50, 0), RadioConfig.single(1, 100.0))
+        script.run(emu2, until=5.0)
+        assert emu2.scene.snapshot() == emu1.scene.snapshot()
+
+    def test_roundtrips_to_json(self):
+        emu = self._recorded_run()
+        script = Scenario.from_scene_events(emu.recorder.scene_events())
+        again = Scenario.from_json(script.to_json())
+        assert len(again) == len(script)

@@ -1,0 +1,106 @@
+"""Tests for repro.stats.export."""
+
+import csv
+import json
+
+import pytest
+
+from repro.core.geometry import Vec2
+from repro.core.server import InProcessEmulator
+from repro.models.radio import RadioConfig
+from repro.stats.export import (
+    export_jsonl,
+    export_packets_csv,
+    export_scene_csv,
+)
+
+
+@pytest.fixture
+def recorded(tmp_path):
+    emu = InProcessEmulator(seed=0)
+    a = emu.add_node(Vec2(0, 0), RadioConfig.single(1, 100.0))
+    b = emu.add_node(Vec2(50, 0), RadioConfig.single(1, 100.0))
+    for i in range(3):
+        a.transmit(b.node_id, f"m{i}".encode(), channel=1)
+    emu.scene.move_node(b.node_id, Vec2(60, 0))
+    emu.run_until(2.0)
+    return emu, tmp_path
+
+
+class TestCsvExport:
+    def test_packets_roundtrip(self, recorded):
+        emu, tmp = recorded
+        path = tmp / "packets.csv"
+        count = export_packets_csv(emu.recorder, path)
+        rows = list(csv.DictReader(path.open()))
+        assert count == len(rows) == len(emu.recorder.packets())
+        assert rows[0]["source"] == "1" and rows[0]["destination"] == "2"
+        assert rows[0]["kind"] == "data"
+
+    def test_scene_roundtrip(self, recorded):
+        emu, tmp = recorded
+        path = tmp / "scene.csv"
+        count = export_scene_csv(emu.recorder, path)
+        rows = list(csv.DictReader(path.open()))
+        assert count == len(rows) == len(emu.recorder.scene_events())
+        kinds = [r["kind"] for r in rows]
+        assert kinds.count("node-added") == 2 and "node-moved" in kinds
+        # details column is valid JSON
+        assert json.loads(rows[0]["details"])["label"] == "VMN1"
+
+
+class TestJsonlExport:
+    def test_time_ordered_and_tagged(self, recorded):
+        emu, tmp = recorded
+        path = tmp / "run.jsonl"
+        lines = export_jsonl(emu.recorder, path)
+        objs = [json.loads(line) for line in path.read_text().splitlines()]
+        assert lines == len(objs)
+        assert {o["type"] for o in objs} == {"packet", "scene"}
+        times = [o["t"] for o in objs]
+        assert times == sorted(times)
+
+    def test_counts_match_recorder(self, recorded):
+        emu, tmp = recorded
+        path = tmp / "run.jsonl"
+        lines = export_jsonl(emu.recorder, path)
+        expected = len(emu.recorder.packets()) + len(
+            emu.recorder.scene_events()
+        )
+        assert lines == expected
+
+
+class TestCliExport:
+    def test_csv_command(self, recorded):
+        from repro.cli import main
+
+        emu, tmp = recorded
+        from repro.core.recording import SqliteRecorder
+
+        db = tmp / "rec.sqlite"
+        sq = SqliteRecorder(str(db))
+        for p in emu.recorder.packets():
+            sq.record_packet(p)
+        for e in emu.recorder.scene_events():
+            sq.record_scene(e)
+        sq.close()
+        out = tmp / "out.csv"
+        rc = main(["export", str(db), "--out", str(out)])
+        assert rc == 0
+        assert out.exists()
+        assert (tmp / "out_scene.csv").exists()
+
+    def test_jsonl_command(self, recorded, tmp_path):
+        from repro.cli import main
+        from repro.core.recording import SqliteRecorder
+
+        emu, tmp = recorded
+        db = tmp / "rec2.sqlite"
+        sq = SqliteRecorder(str(db))
+        for p in emu.recorder.packets():
+            sq.record_packet(p)
+        sq.close()
+        out = tmp / "out.jsonl"
+        assert main(["export", str(db), "--format", "jsonl",
+                     "--out", str(out)]) == 0
+        assert out.read_text().count("\n") >= 3

@@ -1,0 +1,131 @@
+"""Tests for repro.stats.theory — the Fig 10 closed-form curves."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.models.link import PacketLossModel
+from repro.stats.theory import RelayScenario, fluid_stamp_lag, nonrealtime_curve
+
+PAPER = RelayScenario()  # Table 3 defaults
+
+
+class TestRelayScenario:
+    def test_geometry(self):
+        """r(t) = sqrt(d² + (v t)²)."""
+        assert PAPER.hop_length(0.0) == pytest.approx(120.0)
+        assert PAPER.hop_length(16.0) == pytest.approx(
+            math.sqrt(120**2 + 160**2)
+        )
+
+    def test_breakage_time(self):
+        """sqrt(200² − 120²)/10 = 16 s: the relay leaves range."""
+        assert PAPER.breakage_time() == pytest.approx(16.0)
+
+    def test_stationary_never_breaks(self):
+        s = RelayScenario(speed=0.0)
+        assert s.breakage_time() == math.inf
+
+    def test_initial_loss(self):
+        """At t=0, r=120: P = 0.1 + (0.8/150)·70; e2e = 1−(1−P)²."""
+        p_hop = 0.1 + 0.8 / 150 * 70
+        expected = 1 - (1 - p_hop) ** 2
+        assert PAPER.end_to_end_loss(0.0) == pytest.approx(expected)
+
+    def test_total_loss_after_breakage(self):
+        assert PAPER.end_to_end_loss(17.0) == pytest.approx(1.0)
+        assert PAPER.per_hop_loss(17.0) == pytest.approx(1.0)
+
+    def test_monotone_nondecreasing(self):
+        t = np.linspace(0, 25, 200)
+        loss = PAPER.end_to_end_loss(t)
+        assert np.all(np.diff(loss) >= -1e-12)
+
+    def test_e2e_worse_than_per_hop(self):
+        t = np.linspace(0, 15, 50)
+        assert np.all(PAPER.end_to_end_loss(t) >= PAPER.per_hop_loss(t) - 1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RelayScenario(hop_distance=0.0)
+
+
+class TestFluidLag:
+    def test_no_lag_when_underloaded(self):
+        t = np.linspace(0, 10, 11)
+        lag = fluid_stamp_lag(t, arrival_pps=100, service_pps=200)
+        assert np.allclose(lag, 0.0)
+
+    def test_lag_grows_when_overloaded(self):
+        t = np.linspace(0, 10, 11)
+        lag = fluid_stamp_lag(t, arrival_pps=300, service_pps=100)
+        assert lag[0] == 0.0
+        assert np.all(np.diff(lag) > 0)
+        # backlog after 10 s = 2000 packets; at 100 pps → 20 s lag.
+        assert lag[-1] == pytest.approx(20.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            fluid_stamp_lag(np.array([0.0]), 100, 0)
+
+
+class TestNonRealtimeCurve:
+    def test_equals_truth_when_underloaded(self):
+        t = np.linspace(0, 20, 50)
+        curve = nonrealtime_curve(PAPER, t, arrival_pps=10, service_pps=100)
+        assert np.allclose(curve, PAPER.end_to_end_loss(t))
+
+    def test_trails_truth_when_overloaded(self):
+        """The serialized recorder reports the past: its curve lags below
+        the rising true curve."""
+        t = np.linspace(0.0, 20.0, 80)
+        truth = PAPER.end_to_end_loss(t)
+        curve = nonrealtime_curve(PAPER, t, arrival_pps=500, service_pps=300)
+        assert np.all(curve <= truth + 1e-9)
+        assert curve[-1] < truth[-1]  # visibly diverged by the end
+
+
+class TestSerializeStamps:
+    def test_idle_server_stamps_after_service(self):
+        from repro.stats.theory import serialize_stamps
+
+        stamps = serialize_stamps(np.array([0.0, 10.0]), service_pps=10.0)
+        assert stamps.tolist() == [0.1, 10.1]
+
+    def test_burst_serialized(self):
+        from repro.stats.theory import serialize_stamps
+
+        stamps = serialize_stamps(np.zeros(4), service_pps=10.0)
+        assert stamps.tolist() == pytest.approx([0.1, 0.2, 0.3, 0.4])
+
+    def test_overload_lag_grows(self):
+        from repro.stats.theory import serialize_stamps
+
+        t = np.arange(0.0, 10.0, 0.05)  # 20 pps offered
+        stamps = serialize_stamps(t, service_pps=10.0)  # half the rate
+        lags = stamps - t
+        assert np.all(np.diff(lags) > -1e-12)
+        assert lags[-1] > 4.0  # ~half the run length of backlog
+
+    def test_empty_and_validation(self):
+        from repro.stats.theory import serialize_stamps
+
+        assert serialize_stamps(np.array([]), 10.0).size == 0
+        with pytest.raises(ConfigurationError):
+            serialize_stamps(np.array([0.0]), 0.0)
+        with pytest.raises(ConfigurationError):
+            serialize_stamps(np.array([1.0, 0.5]), 10.0)
+
+    def test_matches_fluid_model_asymptotically(self):
+        """Per-packet serialization ≈ the fluid-queue lag under overload."""
+        from repro.stats.theory import fluid_stamp_lag, serialize_stamps
+
+        rate = 100.0
+        t = np.arange(0.0, 20.0, 1.0 / rate)
+        service = 60.0
+        per_packet = serialize_stamps(t, service) - t
+        fluid = fluid_stamp_lag(t, rate, service)
+        # Agreement within a few service times over the whole run.
+        assert np.max(np.abs(per_packet - fluid)) < 5.0 / service

@@ -1,0 +1,164 @@
+"""Tests for the command-line interface."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser, main
+
+NODES = [
+    {"x": 0, "y": 0, "label": "A", "protocol": "hybrid",
+     "radios": [{"channel": 1, "range": 200}]},
+    {"x": 100, "y": 0, "label": "B", "protocol": "hybrid",
+     "radios": [{"channel": 1, "range": 200}]},
+]
+
+SCENARIO = [
+    {"t": 2.0, "op": "move", "node": 2, "x": 120.0, "y": 0.0},
+]
+
+
+@pytest.fixture
+def workspace(tmp_path):
+    nodes = tmp_path / "nodes.json"
+    nodes.write_text(json.dumps(NODES))
+    scenario = tmp_path / "scenario.json"
+    scenario.write_text(json.dumps(SCENARIO))
+    return tmp_path, nodes, scenario
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_experiment_choices(self):
+        args = build_parser().parse_args(["experiment", "fig5"])
+        assert args.name == "fig5"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+
+class TestRunScenario:
+    def test_records_a_run(self, workspace, capsys):
+        tmp, nodes, scenario = workspace
+        record = tmp / "out.sqlite"
+        rc = main([
+            "run-scenario", str(scenario), "--nodes", str(nodes),
+            "--record", str(record), "--until", "5.0", "--seed", "1",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "recorded" in out and "2 nodes" in out
+        assert record.exists()
+
+    def test_missing_nodes_file(self, workspace, capsys):
+        tmp, _, scenario = workspace
+        rc = main([
+            "run-scenario", str(scenario), "--nodes", str(tmp / "nope.json"),
+            "--record", str(tmp / "o.sqlite"), "--until", "1.0",
+        ])
+        assert rc == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_unknown_protocol_rejected(self, workspace, capsys):
+        tmp, _, scenario = workspace
+        bad = tmp / "bad.json"
+        bad.write_text(json.dumps([
+            {"x": 0, "y": 0, "protocol": "ospf",
+             "radios": [{"channel": 1, "range": 10}]}
+        ]))
+        rc = main([
+            "run-scenario", str(scenario), "--nodes", str(bad),
+            "--record", str(tmp / "o.sqlite"), "--until", "1.0",
+        ])
+        assert rc == 1
+        assert "unknown protocol" in capsys.readouterr().err
+
+
+class TestReplay:
+    def _record(self, workspace):
+        tmp, nodes, scenario = workspace
+        record = tmp / "out.sqlite"
+        main([
+            "run-scenario", str(scenario), "--nodes", str(nodes),
+            "--record", str(record), "--until", "5.0",
+        ])
+        return tmp, record
+
+    def test_summary_only(self, workspace, capsys):
+        tmp, record = self._record(workspace)
+        capsys.readouterr()
+        rc = main(["replay", str(record), "--summary-only"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Replay summary" in out
+        assert "t=" not in out  # frames suppressed
+
+    def test_timeline_frames(self, workspace, capsys):
+        tmp, record = self._record(workspace)
+        capsys.readouterr()
+        rc = main(["replay", str(record), "--fps", "0.5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.count("--- t=") >= 3
+        assert "A" in out and "B" in out
+
+    def test_svg_export(self, workspace, capsys):
+        tmp, record = self._record(workspace)
+        svg_dir = tmp / "frames"
+        rc = main([
+            "replay", str(record), "--summary-only", "--fps", "1.0",
+            "--svg", str(svg_dir),
+        ])
+        assert rc == 0
+        frames = sorted(svg_dir.glob("frame_*.svg"))
+        assert len(frames) >= 5
+        assert frames[0].read_text().startswith("<svg")
+
+
+class TestExperimentCommand:
+    def test_fig5_prints_rows(self, capsys):
+        rc = main(["experiment", "fig5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "err 1-shot" in out
+
+    def test_table1_prints_matrix(self, capsys):
+        rc = main(["experiment", "table1"])
+        assert rc == 0
+        assert "PoEm" in capsys.readouterr().out
+
+
+class TestStatsCommand:
+    def test_stats_report(self, workspace, capsys):
+        tmp, nodes, scenario = workspace
+        record = tmp / "out.sqlite"
+        main([
+            "run-scenario", str(scenario), "--nodes", str(nodes),
+            "--record", str(record), "--until", "5.0",
+        ])
+        capsys.readouterr()
+        rc = main(["stats", str(record)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Run statistics" in out
+        assert "packet records" in out
+
+
+class TestConsoleCommand:
+    def test_scripted_console_session(self, workspace, monkeypatch, capsys):
+        """Drive the console through stdin like a user would."""
+        import io
+        import sys
+
+        tmp, nodes, _ = workspace
+        monkeypatch.setattr(
+            sys, "stdin", io.StringIO("nodes\nrun 3\nroutes 1\nquit\n")
+        )
+        rc = main(["console", "--nodes", str(nodes)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "A" in out and "B" in out
+        assert "# of Routing Entries: 1" in out

@@ -1,0 +1,151 @@
+"""Tests for repro.traffic.generators."""
+
+import numpy as np
+import pytest
+
+from repro.core.clock import VirtualClock
+from repro.errors import ConfigurationError
+from repro.protocols.base import VirtualTimerService
+from repro.traffic.generators import (
+    CbrSource,
+    OnOffSource,
+    PoissonSource,
+    make_probe,
+    parse_probe,
+)
+
+
+def harness():
+    clock = VirtualClock()
+    timers = VirtualTimerService(clock)
+    sent = []
+
+    def send(payload, bits):
+        sent.append((clock.now(), payload, bits))
+
+    return clock, timers, sent, send
+
+
+class TestProbeCodec:
+    def test_roundtrip(self):
+        payload = make_probe(42, 1.25)
+        assert parse_probe(payload) == (42, 1.25)
+
+    def test_non_probe_returns_none(self):
+        assert parse_probe(b"just bytes") is None
+        assert parse_probe(b"") is None
+
+    def test_probe_with_trailing_padding(self):
+        payload = make_probe(7, 0.5) + b"\x00" * 100
+        assert parse_probe(payload) == (7, 0.5)
+
+
+class TestCbrSource:
+    def test_rate_and_spacing(self):
+        """4 Mbps at 8192-bit packets → one every 2.048 ms."""
+        clock, timers, sent, send = harness()
+        src = CbrSource(timers, clock.now, send, rate_bps=4_000_000,
+                        packet_size_bits=8192)
+        src.start()
+        clock.run_until(1.0)
+        src.stop()
+        expected = int(1.0 / (8192 / 4e6))
+        assert abs(len(sent) - expected) <= 1
+        gaps = np.diff([t for t, _, _ in sent])
+        assert np.allclose(gaps, 8192 / 4e6)
+
+    def test_payloads_are_sequenced_probes(self):
+        clock, timers, sent, send = harness()
+        src = CbrSource(timers, clock.now, send, rate_bps=1e6,
+                        packet_size_bits=10_000)
+        src.start()
+        clock.run_until(0.1)
+        src.stop()
+        seqnos = [parse_probe(p)[0] for _, p, _ in sent]
+        assert seqnos == list(range(1, len(sent) + 1))
+        assert all(bits == 10_000 for _, _, bits in sent)
+
+    def test_sent_log_matches(self):
+        clock, timers, sent, send = harness()
+        src = CbrSource(timers, clock.now, send, rate_bps=1e6)
+        src.start()
+        clock.run_until(0.05)
+        src.stop()
+        assert len(src.sent_log) == src.sent == len(sent)
+
+    def test_stop_halts(self):
+        clock, timers, sent, send = harness()
+        src = CbrSource(timers, clock.now, send, rate_bps=1e6)
+        src.start()
+        clock.run_until(0.01)
+        src.stop()
+        n = len(sent)
+        clock.run_until(1.0)
+        assert len(sent) == n
+
+    def test_double_start_rejected(self):
+        clock, timers, _, send = harness()
+        src = CbrSource(timers, clock.now, send, rate_bps=1e6)
+        src.start()
+        with pytest.raises(ConfigurationError):
+            src.start()
+
+    def test_validation(self):
+        clock, timers, _, send = harness()
+        with pytest.raises(ConfigurationError):
+            CbrSource(timers, clock.now, send, rate_bps=0)
+        with pytest.raises(ConfigurationError):
+            CbrSource(timers, clock.now, send, rate_bps=1e6,
+                      packet_size_bits=0)
+
+
+class TestPoissonSource:
+    def test_mean_rate(self):
+        clock, timers, sent, send = harness()
+        src = PoissonSource(timers, clock.now, send, rate_pps=100.0, seed=1)
+        src.start()
+        clock.run_until(20.0)
+        src.stop()
+        assert 1800 <= len(sent) <= 2200  # ~2000 expected
+
+    def test_intervals_vary(self):
+        clock, timers, sent, send = harness()
+        src = PoissonSource(timers, clock.now, send, rate_pps=50.0, seed=2)
+        src.start()
+        clock.run_until(5.0)
+        src.stop()
+        gaps = np.diff([t for t, _, _ in sent])
+        assert gaps.std() > 0.001  # genuinely random, unlike CBR
+
+    def test_deterministic_given_seed(self):
+        def run(seed):
+            clock, timers, sent, send = harness()
+            src = PoissonSource(timers, clock.now, send, rate_pps=50.0,
+                                seed=seed)
+            src.start()
+            clock.run_until(2.0)
+            return [t for t, _, _ in sent]
+
+        assert run(3) == run(3)
+
+
+class TestOnOffSource:
+    def test_produces_bursts_and_gaps(self):
+        clock, timers, sent, send = harness()
+        src = OnOffSource(
+            timers, clock.now, send, rate_bps=1e6, mean_on=0.5,
+            mean_off=0.5, packet_size_bits=10_000, seed=4,
+        )
+        src.start()
+        clock.run_until(30.0)
+        src.stop()
+        gaps = np.diff([t for t, _, _ in sent])
+        period = 10_000 / 1e6
+        # Some gaps are the CBR period (in-burst), some much larger (off).
+        assert (np.isclose(gaps, period)).any()
+        assert (gaps > 5 * period).any()
+
+    def test_validation(self):
+        clock, timers, _, send = harness()
+        with pytest.raises(ConfigurationError):
+            OnOffSource(timers, clock.now, send, rate_bps=1e6, mean_on=0)

@@ -1,0 +1,147 @@
+"""Tests for repro.traffic.trace — trace-driven workloads."""
+
+import pytest
+
+from repro.core.clock import VirtualClock
+from repro.core.packet import PacketRecord
+from repro.errors import ConfigurationError
+from repro.protocols.base import VirtualTimerService
+from repro.traffic.generators import parse_probe
+from repro.traffic.trace import TraceSource, trace_from_records
+
+
+def harness():
+    clock = VirtualClock()
+    timers = VirtualTimerService(clock)
+    sent = []
+    return clock, timers, sent, lambda p, b: sent.append((clock.now(), p, b))
+
+
+def record(seq, t, bits=1000, *, src=1, receiver=2, drop=None, kind="data"):
+    return PacketRecord(
+        record_id=seq, seqno=seq, source=src, destination=2, sender=src,
+        receiver=receiver, channel=1, kind=kind, size_bits=bits,
+        t_origin=t, t_receipt=t, t_forward=t + 0.1,
+        t_delivered=None if drop else t + 0.1, drop_reason=drop,
+    )
+
+
+class TestTraceFromRecords:
+    def test_extracts_arrivals(self):
+        records = [record(1, 0.5), record(2, 1.5, bits=2000)]
+        assert trace_from_records(records) == [(0.5, 1000), (1.5, 2000)]
+
+    def test_deduplicates_fanout_rows(self):
+        """One broadcast frame → many receiver rows → one arrival."""
+        records = [
+            record(1, 0.5, receiver=2),
+            record(1, 0.5, receiver=3),
+            record(1, 0.5, receiver=4),
+        ]
+        assert len(trace_from_records(records)) == 1
+
+    def test_filters_source_and_kind(self):
+        records = [
+            record(1, 0.5, src=1),
+            record(2, 0.6, src=9),
+            record(3, 0.7, kind="control"),
+        ]
+        assert trace_from_records(records, source=1) == [(0.5, 1000)]
+
+    def test_sorted_output(self):
+        records = [record(2, 5.0), record(1, 1.0)]
+        trace = trace_from_records(records)
+        assert [t for t, _ in trace] == [1.0, 5.0]
+
+
+class TestTraceSource:
+    def test_preserves_spacing(self):
+        clock, timers, sent, send = harness()
+        source = TraceSource(
+            timers, clock.now, send, [(10.0, 100), (10.5, 200), (12.0, 300)]
+        )
+        source.start()
+        clock.run()
+        times = [t for t, _, _ in sent]
+        assert times == pytest.approx([0.0, 0.5, 2.0])  # rebased
+        assert [b for _, _, b in sent] == [100, 200, 300]
+
+    def test_no_rebase(self):
+        clock, timers, sent, send = harness()
+        source = TraceSource(
+            timers, clock.now, send, [(1.0, 100)], rebase=False
+        )
+        source.start()
+        clock.run()
+        assert sent[0][0] == pytest.approx(1.0)
+
+    def test_payloads_are_probes(self):
+        clock, timers, sent, send = harness()
+        TraceSource(timers, clock.now, send, [(0.0, 1), (1.0, 1)]).start()
+        clock.run()
+        assert parse_probe(sent[0][1])[0] == 1
+        assert parse_probe(sent[1][1])[0] == 2
+
+    def test_stop_midway(self):
+        clock, timers, sent, send = harness()
+        source = TraceSource(
+            timers, clock.now, send, [(0.0, 1), (5.0, 1), (10.0, 1)]
+        )
+        source.start()
+        clock.run_until(6.0)
+        source.stop()
+        clock.run_until(20.0)
+        assert len(sent) == 2
+        assert source.remaining == 1
+
+    def test_roundtrip_through_emulator(self):
+        """Record a run, extract its trace, replay it: same arrival times."""
+        from repro.core.geometry import Vec2
+        from repro.core.server import InProcessEmulator
+        from repro.models.radio import RadioConfig
+        from repro.traffic.generators import PoissonSource
+
+        emu = InProcessEmulator(seed=0)
+        a = emu.add_node(Vec2(0, 0), RadioConfig.single(1, 100.0))
+        b = emu.add_node(Vec2(50, 0), RadioConfig.single(1, 100.0))
+        original = PoissonSource(
+            a.timers(), a.now,
+            lambda p, bits: a.transmit(b.node_id, p, channel=1,
+                                       size_bits=bits),
+            rate_pps=20.0, seed=3,
+        )
+        original.start()
+        emu.run_until(2.0)
+        original.stop()
+        trace = trace_from_records(emu.recorder.packets(),
+                                   source=int(a.node_id))
+        assert len(trace) == original.sent
+
+        emu2 = InProcessEmulator(seed=0)
+        a2 = emu2.add_node(Vec2(0, 0), RadioConfig.single(1, 100.0))
+        b2 = emu2.add_node(Vec2(50, 0), RadioConfig.single(1, 100.0))
+        replayed = TraceSource(
+            a2.timers(), a2.now,
+            lambda p, bits: a2.transmit(b2.node_id, p, channel=1,
+                                        size_bits=bits),
+            trace,
+        )
+        replayed.start()
+        emu2.run_until(2.0)
+        spacing = [t for t, _ in trace]
+        got = [r.t_origin for r in emu2.recorder.packets()]
+        expected = [t - spacing[0] for t in spacing]
+        assert got == pytest.approx(expected)
+
+    def test_validation(self):
+        clock, timers, _, send = harness()
+        with pytest.raises(ConfigurationError):
+            TraceSource(timers, clock.now, send, [])
+        with pytest.raises(ConfigurationError):
+            TraceSource(timers, clock.now, send, [(1.0, 1), (0.5, 1)])
+        with pytest.raises(ConfigurationError):
+            TraceSource(timers, clock.now, send, [(0.0, 0)])
+        source = TraceSource(timers, clock.now, send, [(0.0, 1)])
+        source.start()
+        with pytest.raises(ConfigurationError):
+            source.start()
