@@ -30,7 +30,9 @@ from .core.replay import ReplayEngine
 from .core.scene import Scene, SceneEvent
 from .core.server import InProcessEmulator, VirtualNodeHost
 from .core.client import PoEmClient
+from .core.supervision import HealthRegistry, RestartPolicy, SupervisedThread
 from .core.tcpserver import PoEmServer
+from .net.faults import FaultSpec, FaultyTransport, LinkFaultInjector
 from .models.energy import EnergyModel, EnergyTracker
 from .models.group_mobility import (
     GaussMarkovMobility,
@@ -80,6 +82,13 @@ __all__ = [
     "ChannelId",
     "RadioIndex",
     "BROADCAST_NODE",
+    # fault tolerance
+    "SupervisedThread",
+    "HealthRegistry",
+    "RestartPolicy",
+    "FaultSpec",
+    "FaultyTransport",
+    "LinkFaultInjector",
     # models
     "LinkModel",
     "PacketLossModel",

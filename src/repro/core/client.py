@@ -10,11 +10,22 @@ emulation clock with the server (§4.1 — several rounds, keeping the
 minimum-delay sample, Cristian-style), stamps every outgoing packet with
 the synchronized clock (*parallel time-stamping*), and dispatches
 delivered frames to the embedded protocol on a receiver thread.
+
+Fault tolerance: the client answers the server's ``ping`` heartbeats, and
+with ``auto_reconnect=True`` it survives a dropped connection — the
+receiver thread retries the connection with exponential backoff plus
+jitter, re-registers under its prior label (reclaiming its quarantined
+VMN within the server's grace period), re-runs the §4.1 clock sync, and
+resumes the embedded protocol.  Frames transmitted during the outage are
+counted in :attr:`outage_drops` (radio silence, not an error).  The
+``transport_wrapper`` hook lets tests interpose a
+:class:`~repro.net.faults.FaultyTransport` on the socket.
 """
 
 from __future__ import annotations
 
 import queue
+import random
 import socket
 import threading
 from typing import Callable, Optional
@@ -49,6 +60,13 @@ class PoEmClient(ProtocolHost):
         label: str = "",
         sync_rounds: int = 5,
         connect_timeout: float = 5.0,
+        auto_reconnect: bool = False,
+        reconnect_base: float = 0.05,
+        reconnect_cap: float = 2.0,
+        reconnect_jitter: float = 0.25,
+        max_reconnect_attempts: int = 8,
+        reconnect_seed: Optional[int] = None,
+        transport_wrapper: Optional[Callable[[socket.socket], object]] = None,
     ) -> None:
         self._address = address
         self._position = position
@@ -56,8 +74,17 @@ class PoEmClient(ProtocolHost):
         self._label = label
         self._sync_rounds = sync_rounds
         self._connect_timeout = connect_timeout
+        self._auto_reconnect = auto_reconnect
+        self._reconnect_base = reconnect_base
+        self._reconnect_cap = reconnect_cap
+        self._reconnect_jitter = reconnect_jitter
+        self._max_reconnect_attempts = max_reconnect_attempts
+        self._reconnect_rng = random.Random(
+            reconnect_seed if reconnect_seed is not None else label or None
+        )
+        self._transport_wrapper = transport_wrapper
 
-        self._sock: Optional[socket.socket] = None
+        self._sock = None  # socket.socket or a transport wrapper around one
         self._send_lock = threading.Lock()
         self._node_id: Optional[NodeId] = None
         self._local_clock = RealTimeClock()
@@ -67,6 +94,8 @@ class PoEmClient(ProtocolHost):
         self._timers = ThreadTimerService()
         self._receiver: Optional[threading.Thread] = None
         self._running = False
+        self._outage = threading.Event()  # set while the link is down
+        self._stop_evt = threading.Event()  # aborts reconnect backoff
         self._early_deliveries: list[dict] = []
         self._sync_replies: "queue.Queue[dict]" = queue.Queue()
         self.protocol: Optional[RoutingProtocol] = None
@@ -74,6 +103,9 @@ class PoEmClient(ProtocolHost):
         self.app_received: list[Packet] = []
         self.on_app_packet: Optional[Callable[[Packet], None]] = None
         self._recv_lock = threading.Lock()
+        self.reconnects = 0
+        self.reclaimed = False  # last registration reclaimed the prior VMN
+        self.outage_drops = 0  # frames the protocol sent while disconnected
 
     # -- connection lifecycle -------------------------------------------------------
 
@@ -81,11 +113,36 @@ class PoEmClient(ProtocolHost):
         """Register with the server and synchronize the emulation clock."""
         if self._sock is not None:
             raise TransportError("client already connected")
-        sock = socket.create_connection(
-            self._address, timeout=self._connect_timeout
+        self._install_socket(
+            socket.create_connection(self._address, timeout=self._connect_timeout)
         )
+        self._handshake()
+        self._running = True
+        self._stop_evt.clear()
+        self._receiver = threading.Thread(
+            target=self._receive_loop, name=f"poem-client-{self._node_id}",
+            daemon=True,
+        )
+        self._receiver.start()
+        # Replay any frames that raced the handshake.
+        for raw in self._early_deliveries:
+            self._dispatch_delivery(raw)
+        self._early_deliveries.clear()
+        return self._node_id
+
+    def _install_socket(self, sock: socket.socket) -> None:
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        self._sock = sock
+        if self._transport_wrapper is not None:
+            self._sock = self._transport_wrapper(sock)
+        else:
+            self._sock = sock
+
+    def _handshake(self) -> None:
+        """Register (or re-register) this VMN and run the clock sync.
+
+        Runs on whichever thread owns the socket exclusively: the caller
+        of :meth:`connect`, or the receiver thread during a reconnect.
+        """
         self._send(
             {
                 "op": "register",
@@ -100,20 +157,10 @@ class PoEmClient(ProtocolHost):
         )
         msg = self._recv_expect("registered")
         self._node_id = NodeId(int(msg["node"]))
+        self.reclaimed = bool(msg.get("reclaimed", False))
         self._stamper = PacketStamper(self._node_id)
         self.synchronize()
-        sock.settimeout(None)
-        self._running = True
-        self._receiver = threading.Thread(
-            target=self._receive_loop, name=f"poem-client-{self._node_id}",
-            daemon=True,
-        )
-        self._receiver.start()
-        # Replay any frames that raced the handshake.
-        for raw in self._early_deliveries:
-            self._dispatch_delivery(raw)
-        self._early_deliveries.clear()
-        return self._node_id
+        self._sock.settimeout(None)
 
     def synchronize(self, rounds: Optional[int] = None) -> SyncResult:
         """Run the §4.1 exchange ``rounds`` times; keep the min-delay sample.
@@ -124,14 +171,21 @@ class PoEmClient(ProtocolHost):
         frequency is determined by the user" (§4.1).
         """
         rounds = rounds if rounds is not None else self._sync_rounds
+        # When a live receiver thread owns the socket, sync replies are
+        # routed to us through the queue so there is exactly one reader.
+        # During the initial handshake — and during a *reconnect*
+        # handshake, which runs on the receiver thread itself — we read
+        # the socket directly.
+        receiver_owns_socket = (
+            self._receiver is not None
+            and self._receiver.is_alive()
+            and threading.current_thread() is not self._receiver
+        )
         best: Optional[SyncResult] = None
         for _ in range(max(rounds, 1)):
             t_c1 = self._local_clock.now()
             self._send({"op": "sync_req", "t_c1": t_c1})
-            # Before the receiver thread exists (handshake) we read the
-            # socket directly; afterwards the reply is routed to us via
-            # the sync queue so there is exactly one socket reader.
-            if self._running:
+            if receiver_owns_socket:
                 try:
                     msg = self._sync_replies.get(timeout=self._connect_timeout)
                 except queue.Empty:
@@ -151,12 +205,18 @@ class PoEmClient(ProtocolHost):
         return best
 
     def close(self) -> None:
-        """Orderly shutdown: stop the protocol, say bye, drop the socket."""
+        """Orderly shutdown: stop the protocol, say bye, drop the socket.
+
+        Safe to call from the receiver thread itself (e.g. a protocol
+        callback deciding to shut down): the self-join is skipped instead
+        of deadlocking on the join timeout.
+        """
         if self.protocol is not None:
             self.protocol.stop()
             self.protocol = None
         self._timers.cancel_all()
         self._running = False
+        self._stop_evt.set()  # abort any reconnect backoff sleep
         if self._sock is not None:
             try:
                 self._send({"op": "bye"})
@@ -168,8 +228,10 @@ class PoEmClient(ProtocolHost):
                 pass
             self._sock.close()
             self._sock = None
-        if self._receiver is not None:
-            self._receiver.join(timeout=2.0)
+        receiver = self._receiver
+        if receiver is not None:
+            if threading.current_thread() is not receiver:
+                receiver.join(timeout=2.0)
             self._receiver = None
 
     def __enter__(self) -> "PoEmClient":
@@ -213,7 +275,19 @@ class PoEmClient(ProtocolHost):
             size_bits=size_bits,
             t_origin=self.now(),  # the parallel time-stamp
         )
-        self._send({"op": "packet", "packet": messages.packet_to_wire(packet)})
+        if self._outage.is_set():
+            # Link down, reconnect in progress: the frame is lost exactly
+            # as a radio frame in a dead spot would be.  The protocol
+            # keeps running; its retransmission logic is what's under test.
+            self.outage_drops += 1
+            return packet
+        try:
+            self._send({"op": "packet", "packet": messages.packet_to_wire(packet)})
+        except TransportError:
+            if self._auto_reconnect and self._running:
+                self.outage_drops += 1
+                return packet
+            raise
         return packet
 
     def timers(self) -> TimerService:
@@ -246,7 +320,8 @@ class PoEmClient(ProtocolHost):
             framing.send_frame(self._sock, messages.encode_message(message))
 
     def _recv_expect(self, op: str) -> dict:
-        """Handshake-time receive: buffer deliveries that race us."""
+        """Handshake-time receive: buffer deliveries that race us, answer
+        heartbeats, and hand back the awaited message."""
         assert self._sock is not None
         while True:
             frame = framing.recv_frame(self._sock)
@@ -258,22 +333,93 @@ class PoEmClient(ProtocolHost):
             if msg["op"] == "deliver":
                 self._early_deliveries.append(msg)
                 continue
+            if msg["op"] == "ping":
+                try:
+                    self._send(messages.make_pong(msg))
+                except TransportError:
+                    pass
+                continue
+            if msg["op"] in ("pong", "sync_rep"):
+                continue  # stale heartbeat answer / sync from before a drop
             raise TransportError(f"expected {op!r}, got {msg['op']!r}")
 
     def _receive_loop(self) -> None:
-        assert self._sock is not None
-        try:
-            while self._running:
+        while self._running:
+            try:
                 frame = framing.recv_frame(self._sock)
-                if frame is None:
+            except (TransportError, OSError, AttributeError):
+                frame = None
+            if frame is None:
+                if not self._running or not self._auto_reconnect:
                     return
+                if not self._reconnect():
+                    return
+                continue
+            try:
                 msg = messages.decode_message(frame)
-                if msg["op"] == "deliver":
-                    self._dispatch_delivery(msg)
-                elif msg["op"] == "sync_rep":
-                    self._sync_replies.put(msg)
-        except TransportError:
-            return
+            except TransportError:
+                continue  # corrupted frame payload: skip it
+            op = msg.get("op")
+            if op == "deliver":
+                self._dispatch_delivery(msg)
+            elif op == "sync_rep":
+                self._sync_replies.put(msg)
+            elif op == "ping":
+                try:
+                    self._send(messages.make_pong(msg))
+                except TransportError:
+                    pass  # the dead socket surfaces on the next recv
+
+    # -- reconnect ------------------------------------------------------------------
+
+    def _reconnect(self) -> bool:
+        """Re-dial with exponential backoff + jitter; runs on the
+        receiver thread.  Returns True when a fresh, synchronized,
+        re-registered connection is live again."""
+        self._outage.set()
+        old = self._sock
+        self._sock = None
+        if old is not None:
+            try:
+                old.close()
+            except OSError:
+                pass
+        delay = self._reconnect_base
+        for _attempt in range(max(self._max_reconnect_attempts, 1)):
+            sleep_for = delay * (
+                1.0 + self._reconnect_jitter * self._reconnect_rng.random()
+            )
+            if self._stop_evt.wait(min(sleep_for, self._reconnect_cap)):
+                return False
+            if not self._running:
+                return False
+            delay = min(delay * 2.0, self._reconnect_cap)
+            try:
+                sock = socket.create_connection(
+                    self._address, timeout=self._connect_timeout
+                )
+            except OSError:
+                continue
+            try:
+                self._install_socket(sock)
+                self._handshake()  # re-register + fresh §4.1 clock sync
+            except (TransportError, OSError):
+                self._sock = None
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+                continue
+            self.reconnects += 1
+            self._outage.clear()
+            for raw in self._early_deliveries:
+                self._dispatch_delivery(raw)
+            self._early_deliveries.clear()
+            return True
+        # Budget exhausted: give up like a powered-off node.
+        self._outage.clear()
+        self._running = False
+        return False
 
     def _dispatch_delivery(self, msg: dict) -> None:
         packet = messages.packet_from_wire(msg["packet"])

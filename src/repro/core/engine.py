@@ -105,6 +105,11 @@ class ForwardingEngine:
             t_receipt = now
         packet = packet.stamped(t_receipt=t_receipt)
 
+        # Quarantined sender (liveness layer): topology kept, traffic cut.
+        if self.scene.is_quarantined(sender):
+            self._record_drop(packet, sender, None, DropReason.NODE_STALE)
+            return []
+
         channel = packet.channel
         try:
             radio = self.scene.radio_on_channel(sender, channel)
@@ -147,6 +152,9 @@ class ForwardingEngine:
 
         scheduled: list[ScheduledPacket] = []
         for target in targets:
+            if self.scene.is_quarantined(target):
+                self._record_drop(packet, sender, target, DropReason.NODE_STALE)
+                continue
             try:
                 r = self.scene.distance_between(sender, target)
             except (UnknownNodeError, SceneError):
@@ -211,6 +219,13 @@ class ForwardingEngine:
                 DropReason.NODE_REMOVED,
             )
             return False
+        # A receiver quarantined after scheduling hears nothing either.
+        if self.scene.is_quarantined(entry.receiver):
+            self._record_drop(
+                entry.packet, entry.sender, entry.receiver,
+                DropReason.NODE_STALE,
+            )
+            return False
         # ALOHA-style retroactive collision: a later overlapping frame may
         # have corrupted this one after it was scheduled.
         if entry.packet.t_receipt is not None and self.mac.was_collided(
@@ -249,6 +264,20 @@ class ForwardingEngine:
         if self.deliver is not None:
             self.deliver(entry.receiver, delivered)
         return True
+
+    def record_transport_drop(
+        self,
+        packet: Packet,
+        receiver: Optional[NodeId],
+        reason: str = DropReason.TRANSPORT_OVERFLOW,
+    ) -> None:
+        """Record a frame lost at the *transport* layer (client outbox
+        overflow, stale peer) so replay/stats see the loss.
+
+        By the time a frame sits in a client's outbox the hop sender is
+        no longer attached, so the record carries ``packet.source``.
+        """
+        self._record_drop(packet, packet.source, receiver, reason)
 
     # -- recording helpers -------------------------------------------------------
 

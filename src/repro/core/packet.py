@@ -98,9 +98,16 @@ class DropReason:
     NODE_REMOVED = "node-removed"
     COLLISION = "collision"
     NO_ENERGY = "no-energy"
+    NODE_STALE = "node-stale"
+    TRANSPORT_OVERFLOW = "transport-overflow"
 
     ALL = (NOT_NEIGHBOR, LOSS_MODEL, NO_SUCH_CHANNEL, QUEUE_OVERFLOW,
-           NODE_REMOVED, COLLISION, NO_ENERGY)
+           NODE_REMOVED, COLLISION, NO_ENERGY, NODE_STALE,
+           TRANSPORT_OVERFLOW)
+
+    TRANSPORT = (NODE_STALE, TRANSPORT_OVERFLOW)
+    """Drops caused by the *transport/fault-tolerance* layer (a stalled or
+    overflowing client), as opposed to the emulated radio medium."""
 
 
 @dataclass(frozen=True, slots=True)

@@ -37,6 +37,7 @@ class ReplayNode:
     x: float
     y: float
     radios: list[dict]  # [{"channel": int, "range": float}, ...]
+    quarantined: bool = False  # stale client at this instant (liveness layer)
 
 
 @dataclass
@@ -129,6 +130,10 @@ class ReplayEngine:
             nodes[node].radios[int(d["radio"])]["channel"] = int(d["channel"])
         elif kind == "range-set":
             nodes[node].radios[int(d["radio"])]["range"] = float(d["range"])
+        elif kind == "node-quarantined":
+            nodes[node].quarantined = True
+        elif kind == "node-restored":
+            nodes[node].quarantined = False
         # link-set / mobility-set don't change what replay draws.
 
     def in_flight_at(self, t: float) -> list[PacketRecord]:

@@ -54,7 +54,8 @@ class SceneEvent:
     """One scene mutation, as recorded and replayed.
 
     ``kind`` is one of ``node-added``, ``node-removed``, ``node-moved``,
-    ``channel-set``, ``range-set``, ``link-set``, ``mobility-set``.
+    ``channel-set``, ``range-set``, ``link-set``, ``mobility-set``,
+    ``node-quarantined``, ``node-restored``.
     ``details`` carries kind-specific fields (all JSON-serializable so the
     sqlite recorder can persist them verbatim).
     """
@@ -88,6 +89,7 @@ class NodeState:
         self.label = label or f"VMN{int(node_id)}"
         self.mobility: Optional[Trajectory] = None
         self.mobility_model: Optional[MobilityModel] = None
+        self.quarantined = False  # stale client: topology kept, traffic dropped
 
 
 class Scene:
@@ -190,6 +192,44 @@ class Scene:
             self._require(node_id)
             del self._nodes[node_id]
             self._emit(SceneEvent(self._time, "node-removed", node_id))
+
+    # -- quarantine (fault-tolerance layer) -----------------------------------
+
+    def quarantine_node(self, node_id: NodeId) -> None:
+        """Mark a VMN stale: its topology entry survives, but the engine
+        drops all traffic to/from it (``DropReason.NODE_STALE``).
+
+        Used by the server's liveness layer for clients that stop
+        answering heartbeats — a *transient* stall must not tear the
+        node's routes out of every other client's table (§2.2's scene
+        consistency argument applies to failures too).  Idempotent.
+        """
+        with self._lock:
+            self._sync_time()
+            state = self._require(node_id)
+            if state.quarantined:
+                return
+            state.quarantined = True
+            self._emit(SceneEvent(self._time, "node-quarantined", node_id))
+
+    def restore_node(self, node_id: NodeId) -> None:
+        """Lift a quarantine (the client came back). Idempotent."""
+        with self._lock:
+            self._sync_time()
+            state = self._require(node_id)
+            if not state.quarantined:
+                return
+            state.quarantined = False
+            self._emit(SceneEvent(self._time, "node-restored", node_id))
+
+    def is_quarantined(self, node_id: NodeId) -> bool:
+        with self._lock:
+            state = self._nodes.get(node_id)
+            return state is not None and state.quarantined
+
+    def quarantined_nodes(self) -> set[NodeId]:
+        with self._lock:
+            return {n for n, st in self._nodes.items() if st.quarantined}
 
     # -- GUI-equivalent mutations --------------------------------------------
 

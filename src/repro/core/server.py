@@ -277,6 +277,41 @@ class InProcessEmulator:
         if host is not None:
             host._receive_from_server(packet)
 
+    # -- health (same shape as PoEmServer.health, minus real threads) -------------
+
+    def health(self) -> dict:
+        """Liveness snapshot of the in-process deployment.
+
+        The virtual stack has no OS threads to supervise, but exposing
+        the same shape as :meth:`repro.core.tcpserver.PoEmServer.health`
+        lets the console/stats panes render either deployment.
+        """
+        return {
+            "running": True,
+            "time": self.clock.now(),
+            "threads": {},
+            "recent_failures": [],
+            "clients": {
+                int(nid): {
+                    "label": self.scene.label(nid),
+                    "last_seen": self.clock.now(),
+                    "stale": self.scene.is_quarantined(nid),
+                    "overflow": 0,
+                    "outbox_depth": 0,
+                }
+                for nid in self._hosts
+                if nid in self.scene
+            },
+            "quarantined": {
+                int(n): None for n in self.scene.quarantined_nodes()
+            },
+            "engine": {
+                "ingested": self.engine.ingested,
+                "forwarded": self.engine.forwarded,
+                "dropped": self.engine.dropped,
+            },
+        }
+
     # -- running -------------------------------------------------------------------
 
     def run_until(self, t: float) -> None:

@@ -17,18 +17,42 @@ server's thread structure mirrors the paper's Step 1–7 description:
 
 Scene mutations arrive either from local code (scenario scripts, the GUI
 module) or from a connected operator console via ``scene_op`` messages.
+
+Fault tolerance (the layer §3.2 implies but the paper never implements —
+"overload of server computation" is its only nod to degraded operation):
+
+* every server thread runs under a :class:`~repro.core.supervision.
+  SupervisedThread`; crashes are recorded and restartable loops
+  (scan/mobility/accept/heartbeat) restart with capped exponential
+  backoff.  :meth:`PoEmServer.health` exposes the whole picture.
+* a **heartbeat thread** pings every client each ``heartbeat_interval``;
+  a client silent for ``heartbeat_misses`` intervals is *quarantined*:
+  its VMN stays in the scene (routes through it survive a transient
+  stall) but traffic to/from it drops as ``node-stale``.  After
+  ``stale_grace`` seconds without recovery the node is removed.
+* an **unexpectedly disconnected** client's VMN is likewise quarantined
+  for the grace period; a client re-registering under the same label
+  within it *reclaims* its node (id, position, routes) — the reconnect
+  path of :class:`~repro.core.client.PoEmClient`.  An orderly ``bye``
+  still removes the node immediately.
+* each client's outbox is **bounded** (``outbox_limit``) with a
+  drop-oldest policy; overflow is counted per client and recorded via
+  the :class:`~repro.core.recording.Recorder` as ``transport-overflow``
+  drops, so replay and statistics see transport-level loss.
 """
 
 from __future__ import annotations
 
+import itertools
 import queue
 import socket
 import threading
+from functools import partial
 from typing import Optional, Type
 
 import numpy as np
 
-from ..errors import TransportError
+from ..errors import PoEmError, SceneError, TransportError
 from ..models.link import BandwidthModel, DelayModel, LinkModel, PacketLossModel
 from ..models.mobility import Bounds
 from ..models.radio import Radio, RadioConfig
@@ -38,40 +62,94 @@ from .engine import ForwardingEngine
 from .geometry import Vec2
 from .ids import ChannelId, IdAllocator, NodeId, RadioIndex
 from .neighbor import ChannelIndexedNeighborTables, NeighborScheme
-from .packet import Packet
+from .packet import DropReason, Packet
 from .recording import MemoryRecorder, Recorder
 from .scene import Scene
+from .supervision import HealthRegistry
 
 __all__ = ["PoEmServer"]
+
+_conn_ids = itertools.count(1)
 
 
 class _ClientConnection:
     """Server-side state for one connected emulation client."""
 
-    def __init__(self, sock: socket.socket, server: "PoEmServer") -> None:
+    def __init__(
+        self,
+        sock: socket.socket,
+        server: "PoEmServer",
+        *,
+        outbox_limit: int = 1024,
+    ) -> None:
         self.sock = sock
         self.server = server
         self.node_id: Optional[NodeId] = None
-        self.outbox: "queue.Queue[Optional[bytes]]" = queue.Queue()
-        self.sender = threading.Thread(target=self._send_loop, daemon=True)
-        self.sender.start()
-        self._send_lock = threading.Lock()
+        self.label = ""
+        self.conn_id = next(_conn_ids)
+        self.recv_name = f"poem-recv-{self.conn_id}"
+        self.send_name = f"poem-send-{self.conn_id}"
+        self.last_seen = server.clock.now()
+        self.reclaimed = False
+        self.overflow = 0  # frames dropped by the bounded outbox
+        self._closed = False
+        # Bounded outbox: entries are (frame, packet|None); None = stop.
+        self.outbox: "queue.Queue" = queue.Queue(max(int(outbox_limit), 1))
+        self.sender = server.supervisor.spawn(
+            self.send_name, self._send_loop, restartable=False
+        )
 
-    def enqueue(self, frame: bytes) -> None:
-        self.outbox.put(frame)
+    # -- backpressure ------------------------------------------------------------
+
+    def enqueue(self, frame: bytes, packet: Optional[Packet] = None) -> None:
+        """Queue a frame for the sender thread; drop-oldest on overflow."""
+        if self._closed:
+            return
+        entry = (frame, packet)
+        while True:
+            try:
+                self.outbox.put_nowait(entry)
+                return
+            except queue.Full:
+                try:
+                    old = self.outbox.get_nowait()
+                except queue.Empty:
+                    continue
+                if old is None:
+                    # Never displace the shutdown sentinel.
+                    try:
+                        self.outbox.put_nowait(None)
+                    except queue.Full:
+                        pass
+                    return
+                self.overflow += 1
+                self.server._on_outbox_overflow(self, old[1])
 
     def _send_loop(self) -> None:
         while True:
-            frame = self.outbox.get()
-            if frame is None:
+            entry = self.outbox.get()
+            if entry is None:
                 return
+            frame, _packet = entry
             try:
                 framing.send_frame(self.sock, frame)
             except TransportError:
                 return  # receiver thread notices the dead socket and cleans up
 
     def close(self) -> None:
-        self.outbox.put(None)
+        if self._closed:
+            return
+        self._closed = True
+        # Guarantee room for the sentinel even under a full outbox.
+        while True:
+            try:
+                self.outbox.put_nowait(None)
+                break
+            except queue.Full:
+                try:
+                    self.outbox.get_nowait()
+                except queue.Empty:
+                    pass
         try:
             self.sock.shutdown(socket.SHUT_RDWR)
         except OSError:
@@ -95,6 +173,10 @@ class PoEmServer:
         use_client_stamps: bool = True,
         mobility_tick: float = 0.05,
         scan_poll: float = 0.002,
+        heartbeat_interval: float = 0.5,
+        heartbeat_misses: int = 3,
+        stale_grace: float = 2.0,
+        outbox_limit: int = 1024,
     ) -> None:
         self._host = host
         self._port = port
@@ -117,16 +199,25 @@ class PoEmServer:
         self._ids = IdAllocator()
         self._mobility_tick = mobility_tick
         self._scan_poll = scan_poll
+        self._heartbeat_interval = heartbeat_interval
+        self._heartbeat_misses = max(int(heartbeat_misses), 1)
+        self._stale_grace = stale_grace
+        self._outbox_limit = outbox_limit
         self._sock: Optional[socket.socket] = None
         self._running = False
-        self._threads: list[threading.Thread] = []
+        self._stop_evt = threading.Event()
+        self.supervisor = HealthRegistry()
         self._clients: dict[NodeId, _ClientConnection] = {}
+        # Quarantined nodes -> removal deadline (server clock seconds).
+        self._stale: dict[NodeId, float] = {}
+        # Disconnected-but-graced nodes by registration label (reclaim map).
+        self._orphans: dict[str, NodeId] = {}
         self._clients_lock = threading.Lock()
 
     # -- lifecycle ---------------------------------------------------------------
 
     def start(self) -> tuple[str, int]:
-        """Bind, listen, and spin up the thread complement.
+        """Bind, listen, and spin up the supervised thread complement.
 
         Returns the bound (host, port) — port 0 lets the OS pick one.
         """
@@ -136,15 +227,24 @@ class PoEmServer:
         self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._sock.bind((self._host, self._port))
         self._sock.listen(64)
+        self._stop_evt.clear()
         self._running = True
+        should_run = lambda: self._running  # noqa: E731
         for target, name in (
             (self._accept_loop, "poem-accept"),
             (self._scan_loop, "poem-scan"),
             (self._mobility_loop, "poem-mobility"),
         ):
-            t = threading.Thread(target=target, name=name, daemon=True)
-            t.start()
-            self._threads.append(t)
+            self.supervisor.spawn(
+                name, target, restartable=True, should_run=should_run
+            )
+        if self._heartbeat_interval > 0:
+            self.supervisor.spawn(
+                "poem-heartbeat",
+                self._heartbeat_loop,
+                restartable=True,
+                should_run=should_run,
+            )
         return self.address
 
     @property
@@ -158,7 +258,13 @@ class PoEmServer:
         if not self._running:
             return
         self._running = False
+        self._stop_evt.set()
         if self._sock is not None:
+            try:
+                # Wake a thread blocked in accept(); close alone does not.
+                self._sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
             try:
                 self._sock.close()
             except OSError:
@@ -166,12 +272,12 @@ class PoEmServer:
         with self._clients_lock:
             clients = list(self._clients.values())
             self._clients.clear()
+            self._stale.clear()
+            self._orphans.clear()
         for c in clients:
             c.close()
         self.engine.schedule.close()
-        for t in self._threads:
-            t.join(timeout=2.0)
-        self._threads.clear()
+        self.supervisor.stop_all(timeout=2.0)
 
     def __enter__(self) -> "PoEmServer":
         self.start()
@@ -179,6 +285,40 @@ class PoEmServer:
 
     def __exit__(self, *exc) -> None:
         self.stop()
+
+    # -- health (supervision snapshot, consumed by stats/GUI panes) ---------------
+
+    def health(self) -> dict:
+        """Liveness snapshot: thread supervision, per-client state, engine
+        counters.  JSON-friendly; rendered by
+        :func:`repro.stats.report.format_health` and the console's
+        ``health`` command."""
+        sup = self.supervisor.health()
+        with self._clients_lock:
+            clients = {
+                int(nid): {
+                    "label": conn.label,
+                    "last_seen": conn.last_seen,
+                    "stale": nid in self._stale,
+                    "overflow": conn.overflow,
+                    "outbox_depth": conn.outbox.qsize(),
+                }
+                for nid, conn in self._clients.items()
+            }
+            quarantined = {int(n): dl for n, dl in self._stale.items()}
+        return {
+            "running": self._running,
+            "time": self.clock.now(),
+            "threads": sup["threads"],
+            "recent_failures": sup["recent_failures"],
+            "clients": clients,
+            "quarantined": quarantined,
+            "engine": {
+                "ingested": self.engine.ingested,
+                "forwarded": self.engine.forwarded,
+                "dropped": self.engine.dropped,
+            },
+        }
 
     # -- accept / per-client receive ------------------------------------------------
 
@@ -190,26 +330,57 @@ class PoEmServer:
             except OSError:
                 return  # listening socket closed
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            conn = _ClientConnection(sock, self)
-            t = threading.Thread(
-                target=self._client_loop, args=(conn,), daemon=True
+            conn = _ClientConnection(
+                sock, self, outbox_limit=self._outbox_limit
             )
-            t.start()
+            self.supervisor.spawn(
+                conn.recv_name,
+                partial(self._client_loop, conn),
+                restartable=False,
+            )
 
     def _client_loop(self, conn: _ClientConnection) -> None:
-        """Step 1: receive frames from one emulation client."""
+        """Step 1: receive frames from one emulation client.
+
+        Failure policy (fault-tolerance layer): transport violations and
+        malformed messages are *recorded* in the supervisor's failure log
+        and close only this connection; recoverable scene races (an op on
+        an already-removed node) log and continue.
+        """
+        orderly = False
         try:
             while self._running:
                 frame = framing.recv_frame(conn.sock)
                 if frame is None:
                     break
-                self._handle_message(conn, messages.decode_message(frame))
-        except TransportError:
-            pass
+                self._touch(conn)
+                try:
+                    msg = messages.decode_message(frame)
+                    if self._handle_message(conn, msg):
+                        orderly = True
+                        break
+                except TransportError:
+                    raise  # protocol violation: unwind to cleanup
+                except SceneError as exc:
+                    # e.g. scene_op for a node removed a moment earlier:
+                    # the op is stale, the connection is healthy.
+                    self.supervisor.note_failure(
+                        f"{conn.recv_name}:recoverable", exc
+                    )
+                    continue
+                except (PoEmError, KeyError, ValueError) as exc:
+                    # Malformed message (missing keys, bad field types):
+                    # record the failure, close this connection cleanly.
+                    self.supervisor.note_failure(conn.recv_name, exc)
+                    break
+        except TransportError as exc:
+            if self._running:
+                self.supervisor.note_failure(conn.recv_name, exc)
         finally:
-            self._drop_client(conn)
+            self._drop_client(conn, orderly=orderly)
 
-    def _handle_message(self, conn: _ClientConnection, msg: dict) -> None:
+    def _handle_message(self, conn: _ClientConnection, msg: dict) -> bool:
+        """Dispatch one message; returns True on an orderly ``bye``."""
         op = msg["op"]
         if op == "register":
             self._register(conn, msg)
@@ -231,37 +402,205 @@ class PoEmServer:
             self.engine.ingest(conn.node_id, packet)
         elif op == "scene_op":
             self._scene_op(msg)
+        elif op == "ping":
+            conn.enqueue(messages.encode_message(messages.make_pong(msg)))
+        elif op == "pong":
+            pass  # _touch already refreshed this client's liveness
         elif op == "bye":
-            raise TransportError("client said bye")  # unwinds to cleanup
+            return True
         else:
             raise TransportError(f"unknown op: {op!r}")
+        return False
 
     def _register(self, conn: _ClientConnection, msg: dict) -> None:
-        node_id = NodeId(self._ids.allocate())
+        label = str(msg.get("label", ""))
         radios = RadioConfig(
             tuple(_radio_from_wire(r) for r in msg["radios"])
         )
-        self.scene.add_node(
-            node_id,
-            Vec2(float(msg["x"]), float(msg["y"])),
-            radios,
-            label=str(msg.get("label", "")),
-        )
+        node_id: Optional[NodeId] = None
+        if label:
+            # Reconnect path: a client re-registering under its prior
+            # label within the grace period reclaims its quarantined VMN
+            # (same id, same position — routes through it survive).
+            with self._clients_lock:
+                candidate = self._orphans.pop(label, None)
+                if candidate is not None:
+                    self._stale.pop(candidate, None)
+                    self._clients[candidate] = conn
+                    node_id = candidate
+        if node_id is not None and node_id in self.scene:
+            try:
+                self.scene.restore_node(node_id)
+            except SceneError:
+                pass
+            conn.reclaimed = True
+        else:
+            if node_id is not None:
+                # Orphan expired in the race window — fall through to a
+                # fresh registration.
+                with self._clients_lock:
+                    if self._clients.get(node_id) is conn:
+                        del self._clients[node_id]
+                node_id = None
+            node_id = NodeId(self._ids.allocate())
+            self.scene.add_node(
+                node_id,
+                Vec2(float(msg["x"]), float(msg["y"])),
+                radios,
+                label=label,
+            )
+            with self._clients_lock:
+                self._clients[node_id] = conn
         conn.node_id = node_id
-        with self._clients_lock:
-            self._clients[node_id] = conn
+        conn.label = label
         conn.enqueue(
-            messages.encode_message({"op": "registered", "node": int(node_id)})
+            messages.encode_message(
+                {
+                    "op": "registered",
+                    "node": int(node_id),
+                    "reclaimed": conn.reclaimed,
+                }
+            )
         )
 
-    def _drop_client(self, conn: _ClientConnection) -> None:
-        node_id = conn.node_id
-        if node_id is not None:
+    # -- liveness / quarantine ---------------------------------------------------
+
+    def _touch(self, conn: _ClientConnection) -> None:
+        """Any inbound message proves the client alive; lift quarantine."""
+        conn.last_seen = self.clock.now()
+        nid = conn.node_id
+        if nid is None:
+            return
+        with self._clients_lock:
+            was_stale = (
+                self._clients.get(nid) is conn and nid in self._stale
+            )
+            if was_stale:
+                del self._stale[nid]
+                if conn.label:
+                    self._orphans.pop(conn.label, None)
+        if was_stale:
+            try:
+                self.scene.restore_node(nid)
+            except SceneError:
+                pass
+
+    def _heartbeat_loop(self) -> None:
+        """Ping every client; quarantine the silent, expire the stale."""
+        while self._running:
+            if self._stop_evt.wait(self._heartbeat_interval):
+                return
+            if not self._running:
+                return
+            now = self.clock.now()
             with self._clients_lock:
-                self._clients.pop(node_id, None)
-            if node_id in self.scene:
-                self.scene.remove_node(node_id)
+                clients = list(self._clients.items())
+                stale_snapshot = dict(self._stale)
+            ping = messages.encode_message(messages.make_ping(now))
+            silence_limit = self._heartbeat_interval * self._heartbeat_misses
+            for nid, conn in clients:
+                conn.enqueue(ping)
+                if nid in stale_snapshot:
+                    continue
+                if now - conn.last_seen > silence_limit:
+                    self._quarantine(nid, conn, now)
+            for nid, deadline in stale_snapshot.items():
+                if now >= deadline:
+                    self._expire(nid)
+
+    def _quarantine(
+        self, nid: NodeId, conn: _ClientConnection, now: float
+    ) -> None:
+        with self._clients_lock:
+            if self._clients.get(nid) is not conn or nid in self._stale:
+                return
+            self._stale[nid] = now + self._stale_grace
+        try:
+            self.scene.quarantine_node(nid)
+        except SceneError:
+            pass
+
+    def _expire(self, nid: NodeId) -> None:
+        """Grace period over: remove the VMN and drop its connection."""
+        with self._clients_lock:
+            if nid not in self._stale:
+                return  # reclaimed or restored in the race window
+            del self._stale[nid]
+            conn = self._clients.pop(nid, None)
+            for lbl in [l for l, n in self._orphans.items() if n == nid]:
+                del self._orphans[lbl]
+        if nid in self.scene:
+            try:
+                self.scene.remove_node(nid)
+            except SceneError:
+                pass
+        if conn is not None:
+            conn.close()
+
+    def _drop_client(
+        self, conn: _ClientConnection, *, orderly: bool = False
+    ) -> None:
+        """Connection teardown.
+
+        An *orderly* departure (``bye``) removes the VMN immediately; an
+        unexpected one quarantines it for ``stale_grace`` seconds so a
+        reconnecting client can reclaim it (by label) with its topology
+        intact.
+        """
+        nid = conn.node_id
+        keep = False
+        if nid is not None:
+            with self._clients_lock:
+                if self._clients.get(nid) is conn:
+                    del self._clients[nid]
+                    if (
+                        not orderly
+                        and self._running
+                        and self._stale_grace > 0
+                    ):
+                        keep = True
+                        self._stale[nid] = (
+                            self.clock.now() + self._stale_grace
+                        )
+                        if conn.label:
+                            self._orphans[conn.label] = nid
+                    else:
+                        self._stale.pop(nid, None)
+                        if conn.label:
+                            self._orphans.pop(conn.label, None)
+                else:
+                    nid = None  # a newer connection owns this node now
+        if nid is not None:
+            if keep:
+                try:
+                    self.scene.quarantine_node(nid)
+                except SceneError:
+                    # Node vanished (e.g. console removed it): undo grace.
+                    keep = False
+                    with self._clients_lock:
+                        self._stale.pop(nid, None)
+                        if conn.label:
+                            self._orphans.pop(conn.label, None)
+            if not keep and nid in self.scene:
+                try:
+                    self.scene.remove_node(nid)
+                except SceneError:
+                    pass
         conn.close()
+        self.supervisor.deregister(conn.recv_name)
+        self.supervisor.deregister(conn.send_name)
+
+    # -- backpressure ------------------------------------------------------------
+
+    def _on_outbox_overflow(
+        self, conn: _ClientConnection, packet: Optional[Packet]
+    ) -> None:
+        """A slow client's outbox displaced its oldest entry (Step 6
+        backpressure).  Data frames are recorded as transport drops."""
+        if packet is not None:
+            self.engine.record_transport_drop(
+                packet, conn.node_id, DropReason.TRANSPORT_OVERFLOW
+            )
 
     def _scene_op(self, msg: dict) -> None:
         """Topology control from a connected console (GUI substitute)."""
@@ -308,19 +647,21 @@ class PoEmServer:
             conn.enqueue(
                 messages.encode_message(
                     {"op": "deliver", "packet": messages.packet_to_wire(packet)}
-                )
+                ),
+                packet,
             )
 
     def _mobility_loop(self) -> None:
+        """Tick scene time forward.  Crashes surface in :meth:`health`
+        and the supervision layer restarts the loop with backoff (the
+        seed's bare re-raise died silently in a daemon thread)."""
         import time as _time
 
         while self._running:
             _time.sleep(self._mobility_tick)
-            try:
-                self.scene.advance_time(self.clock.now())
-            except Exception:
-                if self._running:
-                    raise
+            if not self._running:
+                return
+            self.scene.advance_time(self.clock.now())
 
 
 def _radio_from_wire(raw: dict) -> Radio:

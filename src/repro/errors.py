@@ -16,6 +16,8 @@ __all__ = [
     "ChannelError",
     "TransportError",
     "FramingError",
+    "SupervisionError",
+    "FaultInjectionError",
     "ProtocolError",
     "ClockError",
     "RecordingError",
@@ -65,6 +67,14 @@ class TransportError(PoEmError):
 
 class FramingError(TransportError):
     """A stream contained a malformed or oversized frame."""
+
+
+class SupervisionError(PoEmError):
+    """The thread-supervision layer was misused (double start/register)."""
+
+
+class FaultInjectionError(PoEmError):
+    """A fault-injection schedule was misconfigured."""
 
 
 class ProtocolError(PoEmError):

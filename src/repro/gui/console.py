@@ -19,6 +19,7 @@ command                         effect
 ``neighbors <id> <channel>``    inspect NT(id, channel)
 ``run <seconds>``               advance emulation time
 ``stats``                       pipeline counters
+``health``                      supervision/liveness snapshot
 ``quit``                        leave the console
 =============================  =============================================
 
@@ -136,6 +137,16 @@ class PoEmConsole(cmd.Cmd):
             f"ingested={engine.ingested}  forwarded={engine.forwarded}  "
             f"dropped={engine.dropped}  scheduled={len(engine.schedule)}"
         )
+
+    def do_health(self, arg: str) -> None:
+        """health — supervision/liveness snapshot (fault-tolerance pane)."""
+        health_fn = getattr(self.emulator, "health", None)
+        if health_fn is None:
+            self._fail("this emulator does not expose health()")
+            return
+        from ..stats.report import format_health
+
+        self._say(format_health(health_fn()))
 
     # -- scene operations ---------------------------------------------------------------
 

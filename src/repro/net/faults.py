@@ -1,0 +1,260 @@
+"""Deterministic, seeded fault injection for both PoEm transports.
+
+"When Should I Use Network Emulation?" (Lochin et al., PAPERS.md) argues
+an emulator is only trustworthy if its failure behaviour is *controlled
+and reproducible* — you cannot claim the server survives misbehaving
+clients without a harness that misbehaves on demand, identically on
+every run.  This module is that harness:
+
+:class:`FaultyTransport`
+    wraps a real TCP socket (client- or test-side) and injects faults on
+    the **send path**: dropped frames, extra delay, duplicated frames,
+    truncated frames (partial write then forced close → the peer sees a
+    :class:`~repro.errors.FramingError` mid-frame), silent blackholing
+    (the stalled-client scenario the heartbeat layer must catch), and
+    mid-stream disconnects.  All decisions come from one seeded
+    ``random.Random``, so a given (seed, spec, call sequence) produces
+    the same fault schedule every time.
+
+:class:`LinkFaultInjector`
+    the same decision engine shaped as the
+    :attr:`~repro.net.virtual.VirtualLink.fault_injector` hook of the
+    in-process virtual transport, so deterministic virtual-time tests can
+    exercise identical fault schedules.
+
+Both keep per-category counters in :attr:`injected` so tests can assert
+the schedule actually fired.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import time
+from collections import Counter
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import FaultInjectionError
+
+__all__ = [
+    "FaultSpec",
+    "FaultDecision",
+    "FaultyTransport",
+    "LinkFaultInjector",
+]
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Probabilities and trigger points of one fault schedule.
+
+    ``drop``/``duplicate``/``truncate`` are per-send probabilities in
+    ``[0, 1]``; ``delay`` is the *maximum* uniform extra delay per send
+    (seconds).  ``disconnect_after``/``blackhole_after`` are send counts
+    after which the transport force-closes, respectively silently
+    swallows everything (a hung client: the socket stays open but
+    nothing flows — the case only heartbeats can detect).
+    """
+
+    drop: float = 0.0
+    duplicate: float = 0.0
+    truncate: float = 0.0
+    delay: float = 0.0
+    disconnect_after: Optional[int] = None
+    blackhole_after: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for name in ("drop", "duplicate", "truncate"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise FaultInjectionError(
+                    f"{name} must be a probability in [0,1], got {p}"
+                )
+        if self.delay < 0.0:
+            raise FaultInjectionError(f"delay must be >= 0, got {self.delay}")
+        for name in ("disconnect_after", "blackhole_after"):
+            v = getattr(self, name)
+            if v is not None and v < 0:
+                raise FaultInjectionError(f"{name} must be >= 0, got {v}")
+
+
+@dataclass(frozen=True)
+class FaultDecision:
+    """What the injector decided for one message."""
+
+    drop: bool = False
+    extra_delay: float = 0.0
+    copies: int = 1
+
+
+class _DecisionEngine:
+    """Seeded decision core shared by both transport shapes."""
+
+    def __init__(self, spec: FaultSpec, seed: int = 0) -> None:
+        self.spec = spec
+        self._rng = random.Random(seed)
+        self.sends = 0
+        self.injected: Counter = Counter()
+
+    def decide(self) -> FaultDecision:
+        self.sends += 1
+        s = self.spec
+        if s.drop and self._rng.random() < s.drop:
+            self.injected["drop"] += 1
+            return FaultDecision(drop=True)
+        extra = self._rng.uniform(0.0, s.delay) if s.delay else 0.0
+        if extra > 0.0:
+            self.injected["delay"] += 1
+        copies = 1
+        if s.duplicate and self._rng.random() < s.duplicate:
+            self.injected["duplicate"] += 1
+            copies = 2
+        return FaultDecision(extra_delay=extra, copies=copies)
+
+
+class FaultyTransport:
+    """A socket wrapper injecting the :class:`FaultSpec` on every send.
+
+    Duck-types the subset of the socket API the framing layer and
+    :class:`~repro.core.client.PoEmClient` use (``sendall``, ``recv``,
+    ``close``, ``shutdown``, ``settimeout`` …); everything else is
+    delegated to the wrapped socket.  Install via the client's
+    ``transport_wrapper`` hook::
+
+        client = PoEmClient(addr, pos, radios,
+                            transport_wrapper=lambda s: FaultyTransport(
+                                s, FaultSpec(blackhole_after=10), seed=7))
+    """
+
+    def __init__(
+        self, sock: socket.socket, spec: FaultSpec, seed: int = 0
+    ) -> None:
+        self._sock = sock
+        self._engine = _DecisionEngine(spec, seed)
+        self._blackholed = False
+        self._disconnected = False
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def spec(self) -> FaultSpec:
+        return self._engine.spec
+
+    @property
+    def sends(self) -> int:
+        return self._engine.sends
+
+    @property
+    def injected(self) -> Counter:
+        return self._engine.injected
+
+    # -- the faulted send path ----------------------------------------------
+
+    def sendall(self, data: bytes) -> None:
+        s = self._engine.spec
+        n = self._engine.sends  # sends completed before this one
+        if self._disconnected:
+            raise OSError("fault injection: transport disconnected")
+        if (
+            s.blackhole_after is not None
+            and n >= s.blackhole_after
+        ):
+            self._engine.sends += 1
+            self._engine.injected["blackhole"] += 1
+            self._blackholed = True
+            return  # swallowed: the peer sees a silent stall
+        if (
+            s.disconnect_after is not None
+            and n >= s.disconnect_after
+        ):
+            self._engine.sends += 1
+            self._engine.injected["disconnect"] += 1
+            self._disconnected = True
+            self._force_close()
+            raise OSError("fault injection: mid-stream disconnect")
+        if s.truncate and self._engine._rng.random() < s.truncate:
+            self._engine.sends += 1
+            self._engine.injected["truncate"] += 1
+            self._disconnected = True
+            cut = max(1, len(data) // 2)
+            try:
+                self._sock.sendall(data[:cut])
+            except OSError:
+                pass
+            self._force_close()
+            raise OSError("fault injection: truncated frame")
+        decision = self._engine.decide()
+        if decision.drop:
+            return
+        if decision.extra_delay > 0.0:
+            time.sleep(decision.extra_delay)
+        for _ in range(decision.copies):
+            self._sock.sendall(data)
+
+    # -- receive path: blackhole also silences inbound traffic ---------------
+
+    def recv(self, bufsize: int) -> bytes:
+        if self._blackholed:
+            # A hung process neither sends nor reads: block until the
+            # peer (or our owner) closes the socket, then report EOF.
+            try:
+                while True:
+                    chunk = self._sock.recv(bufsize)
+                    if not chunk:
+                        return b""
+                    self._engine.injected["blackhole-recv"] += 1
+            except OSError:
+                return b""
+        return self._sock.recv(bufsize)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def _force_close(self) -> None:
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def close(self) -> None:
+        self._sock.close()
+
+    def shutdown(self, how: int) -> None:
+        self._sock.shutdown(how)
+
+    def settimeout(self, value: Optional[float]) -> None:
+        self._sock.settimeout(value)
+
+    def __getattr__(self, name: str):
+        # setsockopt / getsockname / fileno / … pass straight through.
+        return getattr(self._sock, name)
+
+
+class LinkFaultInjector:
+    """The same seeded schedule as a :class:`VirtualLink` hook.
+
+    Install with::
+
+        link.fault_injector = LinkFaultInjector(FaultSpec(drop=0.2), seed=3)
+
+    Truncation/disconnect do not apply to the message-based virtual
+    transport (it has no byte stream to cut); drop/delay/duplicate do.
+    """
+
+    def __init__(self, spec: FaultSpec, seed: int = 0) -> None:
+        self._engine = _DecisionEngine(spec, seed)
+
+    @property
+    def sends(self) -> int:
+        return self._engine.sends
+
+    @property
+    def injected(self) -> Counter:
+        return self._engine.injected
+
+    def __call__(self, side: str, data: bytes) -> FaultDecision:
+        return self._engine.decide()

@@ -13,8 +13,17 @@ operation set mirrors Fig 4's structure:
 ``deliver``     server → client  a forwarded frame arriving at this VMN
 ``scene_op``    client → server  a GUI-equivalent scene mutation (topology
                                  control from an operator console)
+``ping``        either           liveness heartbeat (carries sender time
+                                 ``t``); answered with ``pong``
+``pong``        either           heartbeat answer (echoes the ping's ``t``)
 ``bye``         either           orderly shutdown
 ==============  ==============================================================
+
+The heartbeat pair is the liveness layer of the fault-tolerance
+subsystem: the server pings every client on a fixed interval and marks a
+client *stale* after ``heartbeat_misses`` silent intervals — its VMN is
+quarantined (traffic drops as ``node-stale``) for a grace period before
+removal, so a transient stall does not tear routes out of the topology.
 
 Packets serialize all addressing and stamps; payload bytes ride latin-1.
 """
@@ -33,6 +42,8 @@ __all__ = [
     "decode_message",
     "packet_to_wire",
     "packet_from_wire",
+    "make_ping",
+    "make_pong",
 ]
 
 
@@ -52,6 +63,17 @@ def decode_message(data: bytes) -> dict[str, Any]:
     if not isinstance(message, dict) or "op" not in message:
         raise TransportError(f"malformed message: {message!r}")
     return message
+
+
+def make_ping(t: float) -> dict[str, Any]:
+    """Build a liveness heartbeat stamped with the sender's clock."""
+    return {"op": "ping", "t": float(t)}
+
+
+def make_pong(ping: dict[str, Any]) -> dict[str, Any]:
+    """Answer a ``ping``, echoing its time-stamp so the sender can
+    estimate heartbeat round-trip if it cares to."""
+    return {"op": "pong", "t": _opt_float(ping.get("t"))}
 
 
 def packet_to_wire(packet: Packet) -> dict[str, Any]:

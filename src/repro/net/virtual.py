@@ -69,6 +69,13 @@ class VirtualLink:
         self._closed = False
         self.sent = {"a": 0, "b": 0}
         self.delivered = {"a": 0, "b": 0}
+        # Optional fault-injection hook (see repro.net.faults): called per
+        # send with (side, data); returns a decision that may drop the
+        # message, delay it further, or duplicate it.  None = lossless.
+        self.fault_injector: Optional[
+            Callable[[str, bytes], "FaultDecision"]
+        ] = None
+        self.faulted = {"a": 0, "b": 0}  # messages dropped by injection
 
     def on_receive(self, side: str, callback: Callable[[bytes], None]) -> None:
         """Install ``side``'s receive handler (called at arrival time)."""
@@ -82,6 +89,15 @@ class VirtualLink:
             raise TransportError("link is closed")
         peer = "b" if side == "a" else "a"
         delay = self._lat[side].sample(self._rng)
+        copies = 1
+        if self.fault_injector is not None:
+            decision = self.fault_injector(side, data)
+            if decision.drop:
+                self.sent[side] += 1
+                self.faulted[side] += 1
+                return self.clock.now() + delay  # would-have-been arrival
+            delay += max(decision.extra_delay, 0.0)
+            copies = max(int(decision.copies), 1)
         arrival = max(
             self.clock.now() + delay, self._last_arrival[peer]
         )
@@ -99,7 +115,8 @@ class VirtualLink:
             self.delivered[peer] += 1
             handler(data)
 
-        self.clock.call_at(arrival, deliver)
+        for _ in range(copies):
+            self.clock.call_at(arrival, deliver)
         return arrival
 
     def close(self) -> None:

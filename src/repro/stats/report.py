@@ -16,11 +16,12 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..core.packet import DropReason
 from ..core.recording import Recorder
 from .metrics import LatencyStats, jitter_stats, latency_stats
 
 __all__ = ["FlowStats", "NodeActivity", "RunReport", "build_report",
-           "format_report"]
+           "format_report", "format_health"]
 
 
 @dataclass(frozen=True)
@@ -68,6 +69,21 @@ class RunReport:
     @property
     def overall_loss(self) -> float:
         return self.dropped / self.total_records if self.total_records else 0.0
+
+    @property
+    def transport_dropped(self) -> int:
+        """Drops caused by the fault-tolerance/transport layer (stale
+        peers, outbox overflow) rather than the emulated medium."""
+        return sum(
+            count
+            for reason, count in self.drop_reasons.items()
+            if reason in DropReason.TRANSPORT
+        )
+
+    @property
+    def medium_dropped(self) -> int:
+        """Drops attributable to the emulated radio medium/models."""
+        return self.dropped - self.transport_dropped
 
 
 def build_report(recorder: Recorder, *, top_flows: int = 10) -> RunReport:
@@ -168,7 +184,13 @@ def format_report(report: RunReport) -> str:
         f"({report.overall_loss:.1%} of records)",
     ]
     for reason, count in sorted(report.drop_reasons.items()):
-        lines.append(f"    {reason:<16}: {count}")
+        tag = " [transport]" if reason in DropReason.TRANSPORT else ""
+        lines.append(f"    {reason:<18}: {count}{tag}")
+    if report.transport_dropped:
+        lines.append(
+            f"  transport drops : {report.transport_dropped} "
+            "(stale peers / outbox overflow — not the radio medium)"
+        )
     if report.flows:
         lines.append("  flows (by record volume):")
         for f in report.flows:
@@ -191,4 +213,60 @@ def format_report(report: RunReport) -> str:
                 f"({n.bits_sent} b)  rx {n.frames_received:5d} "
                 f"({n.bits_received} b)  tx-drops {n.drops_as_sender}"
             )
+    return "\n".join(lines)
+
+
+def format_health(health: dict) -> str:
+    """Render a server/emulator ``health()`` snapshot as a text pane.
+
+    Accepts the dict shape produced by
+    :meth:`repro.core.tcpserver.PoEmServer.health` and
+    :meth:`repro.core.server.InProcessEmulator.health`.
+    """
+    lines = [
+        "Server health",
+        f"  running         : {health.get('running', '?')}",
+        f"  emulation time  : {float(health.get('time', 0.0)):.3f}s",
+    ]
+    threads = health.get("threads", {})
+    if threads:
+        lines.append("  threads:")
+        for name, t in sorted(threads.items()):
+            status = "alive" if t.get("alive") else "DEAD"
+            extra = ""
+            if t.get("restarts"):
+                extra += f"  restarts {t['restarts']}"
+            if t.get("failures"):
+                extra += f"  failures {t['failures']}"
+            if t.get("last_error"):
+                extra += f"  last: {t['last_error']}"
+            lines.append(f"    {name:<20}: {status}{extra}")
+    clients = health.get("clients", {})
+    if clients:
+        lines.append("  clients:")
+        for nid, c in sorted(clients.items()):
+            mark = " STALE" if c.get("stale") else ""
+            lines.append(
+                f"    node {nid:3d} ({c.get('label') or '-'}): "
+                f"outbox {c.get('outbox_depth', 0)}  "
+                f"overflow {c.get('overflow', 0)}{mark}"
+            )
+    quarantined = health.get("quarantined", {})
+    if quarantined:
+        lines.append(
+            "  quarantined     : "
+            + ", ".join(str(n) for n in sorted(quarantined))
+        )
+    engine = health.get("engine", {})
+    if engine:
+        lines.append(
+            f"  engine          : ingested {engine.get('ingested', 0)}  "
+            f"forwarded {engine.get('forwarded', 0)}  "
+            f"dropped {engine.get('dropped', 0)}"
+        )
+    failures = health.get("recent_failures", [])
+    if failures:
+        lines.append("  recent failures:")
+        for f in failures[-8:]:
+            lines.append(f"    [{f.get('thread')}] {f.get('error')}")
     return "\n".join(lines)

@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import threading
+import time
+
 import pytest
 
 from repro import (
@@ -26,6 +29,45 @@ FAST_TUNING = ProtocolTuning(
 @pytest.fixture
 def fast_tuning() -> ProtocolTuning:
     return FAST_TUNING
+
+
+def _leaky(thread: threading.Thread) -> bool:
+    """A thread we refuse to leave behind after a test.
+
+    PoEm names every server/client thread ``poem-*``; any such thread —
+    or any non-daemon thread — still alive after a test means a
+    ``stop()``/``close()`` path regressed.
+    """
+    if not thread.is_alive():
+        return False
+    name = thread.name or ""
+    return name.startswith("poem-") or not thread.daemon
+
+
+@pytest.fixture(autouse=True)
+def no_thread_leaks():
+    """Fail any test that leaves PoEm worker threads running.
+
+    Snapshot the live threads before the test; afterwards, give
+    shutdown paths a short grace window, then assert nothing new and
+    leaky survived (fault-tolerance satellite: framing errors and
+    chaos tests must not leak receiver/sender threads).
+    """
+    before = set(threading.enumerate())
+    yield
+    deadline = time.monotonic() + 2.0
+    while time.monotonic() < deadline:
+        leaked = [t for t in threading.enumerate()
+                  if t not in before and _leaky(t)]
+        if not leaked:
+            return
+        time.sleep(0.05)
+    leaked = [t for t in threading.enumerate()
+              if t not in before and _leaky(t)]
+    assert not leaked, (
+        "test leaked threads: "
+        + ", ".join(f"{t.name} (daemon={t.daemon})" for t in leaked)
+    )
 
 
 def make_chain(
