@@ -1,0 +1,184 @@
+#!/usr/bin/env python
+"""Micro-benchmark regression gate (see docs/performance.md).
+
+Compares a fresh ``pytest-benchmark --benchmark-json`` run against the
+newest baseline entry in ``BENCH_micro.json`` at the repo root and exits
+non-zero when any benchmark's **min** time regressed beyond the
+tolerance.  Min is used rather than mean: on shared CI runners the mean
+is dominated by scheduling noise while the min approximates the true
+cost of the code path.
+
+Cross-machine comparisons are inherently apples-to-oranges, so the
+checker can *normalize* both sides by a calibration benchmark
+(``--normalize test_framing_roundtrip``): each time is divided by the
+calibrator's time from the same run, and the resulting unitless shapes
+are compared.  CI uses this mode.
+
+Usage::
+
+    # gate (exit 1 on regression)
+    python benchmarks/check_regression.py fresh.json [--tolerance 0.30]
+        [--normalize NAME]
+
+    # refresh the committed baseline after a deliberate perf change
+    python benchmarks/check_regression.py fresh.json --update "label"
+
+The baseline file keeps a *history* of labelled entries; the gate
+always compares against the newest one, and ``--update`` appends.
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime as _dt
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE_PATH = REPO_ROOT / "BENCH_micro.json"
+DEFAULT_TOLERANCE = 0.30
+
+
+def load_fresh(path: Path) -> dict[str, dict[str, float]]:
+    """Extract {name: {mean_us, min_us}} from a pytest-benchmark JSON."""
+    raw = json.loads(path.read_text())
+    out: dict[str, dict[str, float]] = {}
+    for bench in raw.get("benchmarks", []):
+        stats = bench["stats"]
+        out[bench["name"]] = {
+            "mean_us": stats["mean"] * 1e6,
+            "min_us": stats["min"] * 1e6,
+        }
+    if not out:
+        raise SystemExit(f"no benchmarks found in {path}")
+    return out
+
+
+def load_baseline() -> dict:
+    if not BASELINE_PATH.exists():
+        raise SystemExit(
+            f"baseline {BASELINE_PATH} missing; create it with --update"
+        )
+    return json.loads(BASELINE_PATH.read_text())
+
+
+def newest_entry(baseline: dict) -> dict:
+    history = baseline.get("history", [])
+    if not history:
+        raise SystemExit("baseline has no history entries")
+    return history[-1]
+
+
+def normalize(
+    benchmarks: dict[str, dict[str, float]], calibrator: str
+) -> dict[str, dict[str, float]]:
+    cal = benchmarks.get(calibrator)
+    if cal is None or cal["min_us"] <= 0:
+        raise SystemExit(
+            f"calibration benchmark {calibrator!r} missing from results"
+        )
+    scale = cal["min_us"]
+    return {
+        name: {k: v / scale for k, v in stats.items()}
+        for name, stats in benchmarks.items()
+    }
+
+
+def check(args: argparse.Namespace) -> int:
+    fresh = load_fresh(Path(args.results))
+    baseline = load_baseline()
+    entry = newest_entry(baseline)
+    tolerance = (
+        args.tolerance
+        if args.tolerance is not None
+        else float(baseline.get("tolerance", DEFAULT_TOLERANCE))
+    )
+    base_benchmarks = entry["benchmarks"]
+    fresh_cmp, base_cmp = fresh, base_benchmarks
+    if args.normalize:
+        fresh_cmp = normalize(fresh, args.normalize)
+        base_cmp = normalize(base_benchmarks, args.normalize)
+
+    failures: list[str] = []
+    print(
+        f"regression gate vs baseline {entry['label']!r} "
+        f"({entry['date']}), tolerance {tolerance:.0%}"
+        + (f", normalized by {args.normalize}" if args.normalize else "")
+    )
+    for name, base in sorted(base_cmp.items()):
+        got = fresh_cmp.get(name)
+        if got is None:
+            failures.append(f"{name}: missing from fresh results")
+            continue
+        limit = base["min_us"] * (1.0 + tolerance)
+        ratio = got["min_us"] / base["min_us"] if base["min_us"] else 1.0
+        verdict = "ok" if got["min_us"] <= limit else "REGRESSED"
+        print(
+            f"  {name:36s} min {got['min_us']:10.4f} vs {base['min_us']:10.4f}"
+            f"  ({ratio:5.2f}x)  {verdict}"
+        )
+        if got["min_us"] > limit:
+            failures.append(
+                f"{name}: min {got['min_us']:.4f} exceeds "
+                f"{limit:.4f} ({ratio:.2f}x baseline)"
+            )
+    for name in sorted(set(fresh_cmp) - set(base_cmp)):
+        print(f"  {name:36s} (new benchmark, no baseline yet)")
+    if failures:
+        print("\nFAIL:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print("\nall benchmarks within tolerance")
+    return 0
+
+
+def update(args: argparse.Namespace) -> int:
+    fresh = load_fresh(Path(args.results))
+    if BASELINE_PATH.exists():
+        baseline = json.loads(BASELINE_PATH.read_text())
+    else:
+        baseline = {"schema": 1, "tolerance": DEFAULT_TOLERANCE, "history": []}
+    baseline["history"].append(
+        {
+            "label": args.update,
+            "date": _dt.date.today().isoformat(),
+            "benchmarks": {
+                name: {k: round(v, 4) for k, v in stats.items()}
+                for name, stats in sorted(fresh.items())
+            },
+        }
+    )
+    BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
+    print(f"appended baseline entry {args.update!r} to {BASELINE_PATH}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("results", help="pytest-benchmark --benchmark-json output")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="allowed min-time regression fraction (default: baseline file's)",
+    )
+    parser.add_argument(
+        "--normalize",
+        metavar="NAME",
+        default=None,
+        help="divide all times by this benchmark's min (cross-machine mode)",
+    )
+    parser.add_argument(
+        "--update",
+        metavar="LABEL",
+        default=None,
+        help="append these results to the baseline instead of gating",
+    )
+    args = parser.parse_args(argv)
+    return update(args) if args.update else check(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

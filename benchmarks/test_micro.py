@@ -124,3 +124,18 @@ def test_packet_wire_codec(benchmark):
         messages.packet_from_wire(messages.packet_to_wire(packet))
 
     benchmark(codec)
+
+
+def test_packet_wire_codec_binary(benchmark):
+    """Struct-packed codec for the same packet shape as the JSON bench."""
+    packet = Packet(
+        source=NodeId(1), destination=NodeId(2), payload=b"p" * 256,
+        size_bits=2048, seqno=7, channel=ChannelId(1), t_origin=1.0,
+    )
+
+    def codec():
+        messages.decode_packet_binary(
+            messages.encode_packet_binary("packet", packet)
+        )
+
+    benchmark(codec)

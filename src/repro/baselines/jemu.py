@@ -58,8 +58,14 @@ class _DropSceneEvents(Recorder):
     def next_record_id(self) -> int:
         return self._inner.next_record_id()
 
+    def reserve_record_ids(self, n: int) -> int:
+        return self._inner.reserve_record_ids(n)
+
     def record_packet(self, record) -> None:
         self._inner.record_packet(record)
+
+    def record_many(self, records) -> None:
+        self._inner.record_many(records)
 
     def record_scene(self, event: SceneEvent) -> None:
         pass  # not recorded — no replay support

@@ -58,6 +58,7 @@ class PoEmClient(ProtocolHost):
         radios: RadioConfig,
         *,
         label: str = "",
+        binary: bool = True,
         sync_rounds: int = 5,
         connect_timeout: float = 5.0,
         auto_reconnect: bool = False,
@@ -72,6 +73,8 @@ class PoEmClient(ProtocolHost):
         self._position = position
         self._radios = radios
         self._label = label
+        self._request_binary = binary
+        self._binary = False  # set by the registered reply (negotiated)
         self._sync_rounds = sync_rounds
         self._connect_timeout = connect_timeout
         self._auto_reconnect = auto_reconnect
@@ -96,7 +99,7 @@ class PoEmClient(ProtocolHost):
         self._running = False
         self._outage = threading.Event()  # set while the link is down
         self._stop_evt = threading.Event()  # aborts reconnect backoff
-        self._early_deliveries: list[dict] = []
+        self._early_deliveries: list[Packet] = []
         self._sync_replies: "queue.Queue[dict]" = queue.Queue()
         self.protocol: Optional[RoutingProtocol] = None
         self.received: list[Packet] = []
@@ -125,8 +128,8 @@ class PoEmClient(ProtocolHost):
         )
         self._receiver.start()
         # Replay any frames that raced the handshake.
-        for raw in self._early_deliveries:
-            self._dispatch_delivery(raw)
+        for early in self._early_deliveries:
+            self._dispatch_packet(early)
         self._early_deliveries.clear()
         return self._node_id
 
@@ -143,12 +146,14 @@ class PoEmClient(ProtocolHost):
         Runs on whichever thread owns the socket exclusively: the caller
         of :meth:`connect`, or the receiver thread during a reconnect.
         """
+        self._binary = False  # renegotiated on every (re)connect
         self._send(
             {
                 "op": "register",
                 "x": self._position.x,
                 "y": self._position.y,
                 "label": self._label,
+                "binary": self._request_binary,
                 "radios": [
                     {"channel": int(r.channel), "range": r.range}
                     for r in self._radios.radios
@@ -158,6 +163,9 @@ class PoEmClient(ProtocolHost):
         msg = self._recv_expect("registered")
         self._node_id = NodeId(int(msg["node"]))
         self.reclaimed = bool(msg.get("reclaimed", False))
+        # An old server ignores the flag and omits it from the reply;
+        # we then keep speaking JSON in both directions.
+        self._binary = bool(msg.get("binary", False))
         self._stamper = PacketStamper(self._node_id)
         self.synchronize()
         self._sock.settimeout(None)
@@ -282,7 +290,12 @@ class PoEmClient(ProtocolHost):
             self.outage_drops += 1
             return packet
         try:
-            self._send({"op": "packet", "packet": messages.packet_to_wire(packet)})
+            if self._binary:
+                self._send_raw(messages.encode_packet_binary("packet", packet))
+            else:
+                self._send(
+                    {"op": "packet", "packet": messages.packet_to_wire(packet)}
+                )
         except TransportError:
             if self._auto_reconnect and self._running:
                 self.outage_drops += 1
@@ -314,10 +327,13 @@ class PoEmClient(ProtocolHost):
     # -- internals -------------------------------------------------------------------------
 
     def _send(self, message: dict) -> None:
+        self._send_raw(messages.encode_message(message))
+
+    def _send_raw(self, payload: bytes) -> None:
         if self._sock is None:
             raise TransportError("client not connected")
         with self._send_lock:
-            framing.send_frame(self._sock, messages.encode_message(message))
+            framing.send_frame(self._sock, payload)
 
     def _recv_expect(self, op: str) -> dict:
         """Handshake-time receive: buffer deliveries that race us, answer
@@ -327,11 +343,21 @@ class PoEmClient(ProtocolHost):
             frame = framing.recv_frame(self._sock)
             if frame is None:
                 raise TransportError("server closed during handshake")
+            if messages.is_binary_frame(frame):
+                bin_op, packet = messages.decode_packet_binary(frame)
+                if bin_op == "deliver":
+                    self._early_deliveries.append(packet)
+                    continue
+                raise TransportError(
+                    f"expected {op!r}, got binary {bin_op!r}"
+                )
             msg = messages.decode_message(frame)
             if msg["op"] == op:
                 return msg
             if msg["op"] == "deliver":
-                self._early_deliveries.append(msg)
+                self._early_deliveries.append(
+                    messages.packet_from_wire(msg["packet"])
+                )
                 continue
             if msg["op"] == "ping":
                 try:
@@ -356,12 +382,21 @@ class PoEmClient(ProtocolHost):
                     return
                 continue
             try:
+                if messages.is_binary_frame(frame):
+                    bin_op, packet = messages.decode_packet_binary(frame)
+                    if bin_op == "deliver":
+                        self._dispatch_packet(packet)
+                    continue
                 msg = messages.decode_message(frame)
             except TransportError:
                 continue  # corrupted frame payload: skip it
             op = msg.get("op")
             if op == "deliver":
-                self._dispatch_delivery(msg)
+                try:
+                    packet = messages.packet_from_wire(msg["packet"])
+                except (TransportError, KeyError):
+                    continue
+                self._dispatch_packet(packet)
             elif op == "sync_rep":
                 self._sync_replies.put(msg)
             elif op == "ping":
@@ -412,8 +447,8 @@ class PoEmClient(ProtocolHost):
                 continue
             self.reconnects += 1
             self._outage.clear()
-            for raw in self._early_deliveries:
-                self._dispatch_delivery(raw)
+            for early in self._early_deliveries:
+                self._dispatch_packet(early)
             self._early_deliveries.clear()
             return True
         # Budget exhausted: give up like a powered-off node.
@@ -421,8 +456,7 @@ class PoEmClient(ProtocolHost):
         self._running = False
         return False
 
-    def _dispatch_delivery(self, msg: dict) -> None:
-        packet = messages.packet_from_wire(msg["packet"])
+    def _dispatch_packet(self, packet: Packet) -> None:
         with self._recv_lock:
             self.received.append(packet)
         if self.protocol is not None:

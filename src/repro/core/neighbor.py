@@ -27,18 +27,52 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
+from typing import Optional
+
 import numpy as np
 
+from ..errors import UnknownNodeError
+from ..models.radio import Radio
 from .geometry import points_within
 from .ids import ChannelId, NodeId
 from .scene import Scene, SceneEvent
 
 __all__ = [
     "UpdateStats",
+    "Fanout",
     "NeighborScheme",
     "ChannelIndexedNeighborTables",
     "SingleTableNeighbors",
 ]
+
+_EMPTY_DISTS = np.empty(0, dtype=float)
+_EMPTY_FROZEN: frozenset[NodeId] = frozenset()
+
+
+@dataclass(frozen=True, slots=True)
+class Fanout:
+    """Precomputed broadcast fan-out of one (sender, channel) pair.
+
+    Cached against the scene's per-channel version, so in steady state
+    (no mutations between packets) the forwarding engine reads this once
+    per ingest and performs **zero** table or distance reconstruction:
+
+    ``radio``
+        the sender's radio on the channel (None: no such radio);
+    ``targets``
+        ``NT(sender, channel)`` sorted ascending (deterministic order,
+        matching the engine's historical ``sorted(neighborhood)``);
+    ``distances``
+        ``D(sender, target)`` per target, same order, precomputed so the
+        loss/forward-time math vectorizes over the whole neighborhood;
+    ``index``
+        target → position in ``targets`` (the unicast fast path).
+    """
+
+    radio: Optional[Radio]
+    targets: tuple[NodeId, ...]
+    distances: np.ndarray
+    index: dict[NodeId, int]
 
 
 @dataclass
@@ -64,12 +98,58 @@ class NeighborScheme(ABC):
     def __init__(self, scene: Scene) -> None:
         self.scene = scene
         self.stats = UpdateStats()
+        # (node, channel) -> (channel_version, Fanout): the engine's
+        # steady-state read cache (see Fanout).
+        self._fanout_cache: dict[
+            tuple[NodeId, ChannelId], tuple[int, Fanout]
+        ] = {}
         scene.add_listener(self._on_event)
         self.rebuild()
 
     def detach(self) -> None:
         """Stop observing the scene (tests swap schemes on one scene)."""
         self.scene.remove_listener(self._on_event)
+
+    def fanout(self, node: NodeId, channel: ChannelId) -> Fanout:
+        """Cached (radio, targets, distances) for ``node`` on ``channel``.
+
+        Valid while ``scene.channel_version(channel)`` is unchanged; a
+        stale entry is rebuilt on the next read (never eagerly), so scene
+        mutation cost stays proportional to what actually changed.
+        """
+        version = self.scene.channel_version(channel)
+        key = (node, channel)
+        hit = self._fanout_cache.get(key)
+        if hit is not None and hit[0] == version:
+            return hit[1]
+        fan = self._build_fanout(node, channel)
+        self._fanout_cache[key] = (version, fan)
+        return fan
+
+    def _build_fanout(self, node: NodeId, channel: ChannelId) -> Fanout:
+        scene = self.scene
+        try:
+            radio = scene.radio_on_channel(node, channel)
+        except UnknownNodeError:
+            radio = None
+        if radio is None:
+            return Fanout(None, (), _EMPTY_DISTS, {})
+        targets = tuple(sorted(self.neighbors(node, channel)))
+        if not targets:
+            return Fanout(radio, (), _EMPTY_DISTS, {})
+        pts = scene.positions_array(list(targets))
+        pos = scene.position(node)
+        dx = pts[:, 0] - pos.x
+        dy = pts[:, 1] - pos.y
+        distances = np.sqrt(dx * dx + dy * dy)
+        index = {t: i for i, t in enumerate(targets)}
+        return Fanout(radio, targets, distances, index)
+
+    def _prune_node(self, node: NodeId) -> None:
+        """Drop a removed node's cache entries (memory hygiene)."""
+        stale = [k for k in self._fanout_cache if k[0] == node]
+        for k in stale:
+            del self._fanout_cache[k]
 
     @abstractmethod
     def neighbors(self, node: NodeId, channel: ChannelId) -> frozenset[NodeId]:
@@ -112,15 +192,29 @@ class ChannelIndexedNeighborTables(NeighborScheme):
 
     def __init__(self, scene: Scene) -> None:
         self._tables: dict[ChannelId, dict[NodeId, set[NodeId]]] = {}
+        # (node, channel) -> (channel_version, frozenset): steady-state
+        # reads return the cached immutable row with no per-read copy.
+        self._frozen: dict[
+            tuple[NodeId, ChannelId], tuple[int, frozenset[NodeId]]
+        ] = {}
         super().__init__(scene)
 
     # -- reads ---------------------------------------------------------------
 
     def neighbors(self, node: NodeId, channel: ChannelId) -> frozenset[NodeId]:
+        version = self.scene.channel_version(channel)
+        key = (node, channel)
+        hit = self._frozen.get(key)
+        if hit is not None and hit[0] == version:
+            return hit[1]
         table = self._tables.get(channel)
         if table is None:
-            return frozenset()
-        return frozenset(table.get(node, ()))
+            row = _EMPTY_FROZEN
+        else:
+            raw = table.get(node)
+            row = frozenset(raw) if raw else _EMPTY_FROZEN
+        self._frozen[key] = (version, row)
+        return row
 
     def table_for_channel(
         self, channel: ChannelId
@@ -133,10 +227,17 @@ class ChannelIndexedNeighborTables(NeighborScheme):
     def channels(self) -> set[ChannelId]:
         return set(self._tables)
 
+    def _prune_node(self, node: NodeId) -> None:
+        super()._prune_node(node)
+        for k in [k for k in self._frozen if k[0] == node]:
+            del self._frozen[k]
+
     # -- full rebuild ----------------------------------------------------------
 
     def rebuild(self) -> None:
         self._tables = {}
+        self._frozen.clear()
+        self._fanout_cache.clear()
         for channel in self.scene.all_channels():
             self._rebuild_channel(channel)
 
@@ -177,6 +278,7 @@ class ChannelIndexedNeighborTables(NeighborScheme):
                 self._insert(node, channel)
         elif kind == "node-removed":
             self._remove_everywhere(node)
+            self._prune_node(node)
         elif kind == "node-moved":
             # Only the channels the moved node is on can change.
             for channel in self.scene.channels_of(node):
@@ -285,20 +387,40 @@ class SingleTableNeighbors(NeighborScheme):
 
     def __init__(self, scene: Scene) -> None:
         self._units: dict[NodeId, set[tuple[NodeId, ChannelId]]] = {}
+        self._cache: dict[
+            tuple[NodeId, ChannelId], tuple[int, frozenset[NodeId]]
+        ] = {}
         super().__init__(scene)
 
     # -- reads ---------------------------------------------------------------
 
     def neighbors(self, node: NodeId, channel: ChannelId) -> frozenset[NodeId]:
+        # Flat-table reads must filter by channel tag; cache the filtered
+        # frozenset against the *global* scene version (no per-channel
+        # index exists here — that asymmetry is the point of the scheme).
+        version = self.scene.version
+        key = (node, channel)
+        hit = self._cache.get(key)
+        if hit is not None and hit[0] == version:
+            return hit[1]
         row = self._units.get(node)
         if not row:
-            return frozenset()
-        return frozenset(b for b, k in row if k == channel)
+            result = _EMPTY_FROZEN
+        else:
+            result = frozenset(b for b, k in row if k == channel)
+        self._cache[key] = (version, result)
+        return result
 
     def rebuild(self) -> None:
         self._units = {}
+        self._cache.clear()
         for node in self.scene.node_ids():
             self._units[node] = self._full_row(node)
+
+    def _prune_node(self, node: NodeId) -> None:
+        super()._prune_node(node)
+        for k in [k for k in self._cache if k[0] == node]:
+            del self._cache[k]
 
     def _full_row(self, node: NodeId) -> set[tuple[NodeId, ChannelId]]:
         units: set[tuple[NodeId, ChannelId]] = set()
@@ -316,6 +438,7 @@ class SingleTableNeighbors(NeighborScheme):
         if kind == "node-removed":
             self._units.pop(node, None)
             self._purge_and_refresh(node, removed=True)
+            self._prune_node(node)
         elif kind in ("node-added", "node-moved", "range-set", "channel-set"):
             if node in self.scene:
                 self._units[node] = self._full_row(node)

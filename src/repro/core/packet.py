@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import itertools
 import threading
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Optional
 
 from ..errors import ConfigurationError
@@ -74,18 +74,58 @@ class Packet:
         Only the four ``t_*`` fields may be stamped; anything else would
         let pipeline code mutate addressing, which must stay exactly what
         the protocol implementation emitted.
+
+        Implemented as a hand-rolled slot copy rather than
+        ``dataclasses.replace`` — ``replace`` re-introspects the field
+        list and re-runs ``__init__``/``__post_init__`` on every call,
+        which dominated the ingest profile (one copy per scheduled
+        receiver).
         """
-        allowed = {"t_origin", "t_receipt", "t_forward", "t_delivered"}
-        bad = set(stamps) - allowed
+        bad = stamps.keys() - _STAMP_FIELDS
         if bad:
             raise ConfigurationError(f"cannot stamp non-timestamp fields: {bad}")
-        return replace(self, **stamps)
+        new = self._copy()
+        _set = object.__setattr__
+        for name, value in stamps.items():
+            _set(new, name, value)
+        return new
+
+    def _copy(self) -> "Packet":
+        """Raw field-for-field copy, skipping ``__init__`` validation
+        (the source instance already passed it)."""
+        new = object.__new__(Packet)
+        _set = object.__setattr__
+        _set(new, "source", self.source)
+        _set(new, "destination", self.destination)
+        _set(new, "payload", self.payload)
+        _set(new, "size_bits", self.size_bits)
+        _set(new, "seqno", self.seqno)
+        _set(new, "channel", self.channel)
+        _set(new, "radio", self.radio)
+        _set(new, "kind", self.kind)
+        _set(new, "t_origin", self.t_origin)
+        _set(new, "t_receipt", self.t_receipt)
+        _set(new, "t_forward", self.t_forward)
+        _set(new, "t_delivered", self.t_delivered)
+        return new
+
+    def with_forward(self, t_forward: float) -> "Packet":
+        """Hot-loop special case of :meth:`stamped`: copy with only
+        ``t_forward`` replaced, no kwargs dict or field-name check."""
+        new = self._copy()
+        object.__setattr__(new, "t_forward", t_forward)
+        return new
 
     def transit_latency(self) -> Optional[float]:
         """End-to-end latency ``t_delivered - t_origin`` if both known."""
         if self.t_delivered is None or self.t_origin is None:
             return None
         return self.t_delivered - self.t_origin
+
+
+_STAMP_FIELDS = frozenset(
+    ("t_origin", "t_receipt", "t_forward", "t_delivered")
+)
 
 
 class DropReason:

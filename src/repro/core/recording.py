@@ -26,6 +26,7 @@ import json
 import sqlite3
 import threading
 from abc import ABC, abstractmethod
+from typing import Optional, Sequence
 
 from ..errors import RecordingError
 from .ids import NodeId
@@ -86,6 +87,34 @@ class Recorder(ABC):
     def close(self) -> None:
         """Flush and release resources."""
 
+    # -- batched hot path -----------------------------------------------------
+
+    def record_many(self, records: Sequence[PacketRecord]) -> None:
+        """Append a batch of packet rows.
+
+        Backends override this with a single-acquisition implementation;
+        the default loops for third-party recorders that only implement
+        :meth:`record_packet`.
+        """
+        for record in records:
+            self.record_packet(record)
+
+    def reserve_record_ids(self, n: int) -> int:
+        """Allocate ``n`` consecutive record ids; returns the first.
+
+        One lock acquisition covers a whole broadcast fan-out's worth of
+        rows (vs one :meth:`next_record_id` call per row).  The default
+        draws ``n`` ids through :meth:`next_record_id` — consecutive only
+        when no other thread allocates concurrently; both built-in
+        backends override it with a single atomic bump.
+        """
+        if n <= 0:
+            raise RecordingError(f"must reserve a positive count, got {n}")
+        first = self.next_record_id()
+        for _ in range(n - 1):
+            self.next_record_id()
+        return first
+
     # -- shared conveniences --------------------------------------------------
 
     def next_record_id(self) -> int:
@@ -112,10 +141,31 @@ class Recorder(ABC):
 
 
 class MemoryRecorder(Recorder):
-    """In-memory recorder: lists behind a lock."""
+    """In-memory recorder: an append-only chain of fixed-size segments.
 
-    def __init__(self) -> None:
-        self._packets: list[PacketRecord] = []
+    The packet log is stored as a list of *segments* (bounded-length
+    lists).  Appends only ever touch the tail segment, so:
+
+    * :meth:`record_many` appends a whole broadcast fan-out under a
+      single lock acquisition;
+    * a segment, once full, is never mutated again — cheap to hand to
+      exporters/readers;
+    * with ``capacity`` set, the segment chain becomes a **ring**: the
+      oldest full segment is discarded when the total exceeds the cap
+      (bounded memory for long soak runs; :attr:`evicted` counts what
+      the ring overwrote).  Default is unbounded, preserving the paper's
+      complete-record semantics.
+    """
+
+    SEGMENT_SIZE = 4096
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity <= 0:
+            raise RecordingError(f"capacity must be positive, got {capacity}")
+        self._capacity = capacity
+        self._segments: list[list[PacketRecord]] = [[]]
+        self._count = 0
+        self.evicted = 0  # records discarded by the ring bound
         self._events: list[SceneEvent] = []
         self._lock = threading.Lock()
         self._next_id = 1
@@ -126,17 +176,53 @@ class MemoryRecorder(Recorder):
             self._next_id += 1
             return rid
 
+    def reserve_record_ids(self, n: int) -> int:
+        with self._lock:
+            rid = self._next_id
+            self._next_id += n
+            return rid
+
+    # -- appends (lock held) ---------------------------------------------------
+
+    def _append(self, record: PacketRecord) -> None:
+        tail = self._segments[-1]
+        if len(tail) >= self.SEGMENT_SIZE:
+            tail = []
+            self._segments.append(tail)
+        tail.append(record)
+        self._count += 1
+        if (
+            self._capacity is not None
+            and self._count > self._capacity
+            and len(self._segments) > 1
+        ):
+            oldest = self._segments.pop(0)
+            self._count -= len(oldest)
+            self.evicted += len(oldest)
+
     def record_packet(self, record: PacketRecord) -> None:
         with self._lock:
-            self._packets.append(record)
+            self._append(record)
+
+    def record_many(self, records: Sequence[PacketRecord]) -> None:
+        with self._lock:
+            for record in records:
+                self._append(record)
 
     def record_scene(self, event: SceneEvent) -> None:
         with self._lock:
             self._events.append(event)
 
+    def __len__(self) -> int:
+        with self._lock:
+            return self._count
+
     def packets(self) -> list[PacketRecord]:
         with self._lock:
-            return list(self._packets)
+            out: list[PacketRecord] = []
+            for segment in self._segments:
+                out.extend(segment)
+            return out
 
     def scene_events(self) -> list[SceneEvent]:
         with self._lock:
@@ -174,6 +260,37 @@ class SqliteRecorder(Recorder):
             rid = self._next_id
             self._next_id += 1
             return rid
+
+    def reserve_record_ids(self, n: int) -> int:
+        with self._lock:
+            rid = self._next_id
+            self._next_id += n
+            return rid
+
+    def record_many(self, records: Sequence[PacketRecord]) -> None:
+        """One ``executemany`` + one commit for a whole batch."""
+        if not records:
+            return
+        with self._lock:
+            try:
+                self._conn.executemany(
+                    "INSERT INTO packets (record_id, seqno, source, destination,"
+                    " sender, receiver, channel, kind, size_bits, t_origin,"
+                    " t_receipt, t_forward, t_delivered, drop_reason)"
+                    " VALUES (?,?,?,?,?,?,?,?,?,?,?,?,?,?)",
+                    [
+                        (
+                            r.record_id, r.seqno, r.source, r.destination,
+                            r.sender, r.receiver, r.channel, r.kind,
+                            r.size_bits, r.t_origin, r.t_receipt,
+                            r.t_forward, r.t_delivered, r.drop_reason,
+                        )
+                        for r in records
+                    ],
+                )
+                self._conn.commit()
+            except sqlite3.Error as exc:
+                raise RecordingError(f"batch packet insert failed: {exc}") from exc
 
     def record_packet(self, record: PacketRecord) -> None:
         with self._lock:

@@ -24,6 +24,25 @@ configure mobility in dialog box          :meth:`Scene.set_mobility`
 Each mutation emits a :class:`SceneEvent` to registered listeners —
 neighbor tables update incrementally, the scene recorder logs the event
 for post-emulation replay, and the GUI renderer refreshes.
+
+Version counters (hot-path caching contract)
+--------------------------------------------
+The scene maintains a **global version** plus a **per-channel version**,
+each bumped *after* a mutation (and its listeners) completes:
+
+* :attr:`Scene.version` changes whenever anything that can affect any
+  neighborhood relation changes (add/remove/move/range/retune/link);
+* :meth:`Scene.channel_version` changes only when the mutation can affect
+  that channel's geometry or membership (a retune bumps both the channel
+  left and the channel joined — the §4.2 channel-indexing argument,
+  carried over to cache invalidation).
+
+Readers (neighbor schemes, the forwarding engine) key caches on these
+counters so steady-state ingest performs **zero** table reconstruction:
+a cached read is valid exactly while its version matches.  Version reads
+are lock-free — a reader racing a mutation sees either the old or the
+new counter; both outcomes are safe (at worst one extra recompute, or a
+consistent-but-stale row that the next read refreshes).
 """
 
 from __future__ import annotations
@@ -114,6 +133,36 @@ class Scene:
         self._rng = np.random.default_rng(seed)
         self._time = 0.0
         self._time_source: Optional[Callable[[], float]] = None
+        # Monotone cache-invalidation counters (see module docstring).
+        self._version = 0
+        self._channel_versions: dict[ChannelId, int] = {}
+        # Immutable snapshot of quarantined node ids, swapped wholesale on
+        # quarantine/restore/remove so the engine's hot path can test
+        # membership without taking the scene lock.
+        self._quarantined: frozenset[NodeId] = frozenset()
+
+    # -- versions (lock-free monotone reads) ---------------------------------
+
+    @property
+    def version(self) -> int:
+        """Global mutation counter: bumps on any topology-affecting change."""
+        return self._version
+
+    def channel_version(self, channel: ChannelId) -> int:
+        """Per-channel mutation counter (0 for never-touched channels)."""
+        return self._channel_versions.get(channel, 0)
+
+    def _bump(self, channels) -> None:
+        """Advance the global and the given channels' version counters.
+
+        Called with the scene lock held, *after* listeners ran, so a
+        version match always implies the neighbor tables already absorbed
+        every mutation up to that version.
+        """
+        self._version += 1
+        versions = self._channel_versions
+        for ch in channels:
+            versions[ch] = versions.get(ch, 0) + 1
 
     def bind_time_source(self, now_fn: Callable[[], float]) -> None:
         """Slave scene time to an emulation clock.
@@ -183,15 +232,19 @@ class Scene:
                     },
                 )
             )
+            self._bump(state.radios.channels)
             return state
 
     def remove_node(self, node_id: NodeId) -> None:
         """'Moving out' a node (paper's military-attack example, §2.2)."""
         with self._lock:
             self._sync_time()
-            self._require(node_id)
+            channels = self._require(node_id).radios.channels
             del self._nodes[node_id]
+            if node_id in self._quarantined:
+                self._quarantined = self._quarantined - {node_id}
             self._emit(SceneEvent(self._time, "node-removed", node_id))
+            self._bump(channels)
 
     # -- quarantine (fault-tolerance layer) -----------------------------------
 
@@ -210,6 +263,7 @@ class Scene:
             if state.quarantined:
                 return
             state.quarantined = True
+            self._quarantined = self._quarantined | {node_id}
             self._emit(SceneEvent(self._time, "node-quarantined", node_id))
 
     def restore_node(self, node_id: NodeId) -> None:
@@ -220,6 +274,7 @@ class Scene:
             if not state.quarantined:
                 return
             state.quarantined = False
+            self._quarantined = self._quarantined - {node_id}
             self._emit(SceneEvent(self._time, "node-restored", node_id))
 
     def is_quarantined(self, node_id: NodeId) -> bool:
@@ -230,6 +285,16 @@ class Scene:
     def quarantined_nodes(self) -> set[NodeId]:
         with self._lock:
             return {n for n, st in self._nodes.items() if st.quarantined}
+
+    def quarantined_snapshot(self) -> frozenset[NodeId]:
+        """Lock-free immutable view of the quarantined set (hot path).
+
+        The returned frozenset is swapped wholesale on every quarantine /
+        restore / removal, so holding a reference never observes a
+        partially updated set.  Usually empty — the engine skips all
+        per-target quarantine checks when it is.
+        """
+        return self._quarantined
 
     # -- GUI-equivalent mutations --------------------------------------------
 
@@ -249,6 +314,7 @@ class Scene:
                     {"x": position.x, "y": position.y},
                 )
             )
+            self._bump(state.radios.channels)
 
     def set_radio_channel(
         self, node_id: NodeId, radio: RadioIndex, channel: ChannelId
@@ -258,8 +324,9 @@ class Scene:
             self._sync_time()
             state = self._require(node_id)
             try:
+                old_channel = state.radios[radio].channel
                 state.radios.set_channel(radio, channel)
-            except ConfigurationError as exc:
+            except (ConfigurationError, IndexError) as exc:
                 raise UnknownRadioError(node_id, radio) from exc
             self._emit(
                 SceneEvent(
@@ -269,6 +336,10 @@ class Scene:
                     {"radio": int(radio), "channel": int(channel)},
                 )
             )
+            # A retune invalidates the channel left, the channel joined,
+            # and any other channel the node stays on (the retuned radio
+            # may have provided R(node, k) there).
+            self._bump({old_channel, channel} | state.radios.channels)
 
     def set_radio_range(
         self, node_id: NodeId, radio: RadioIndex, range_: float
@@ -291,6 +362,7 @@ class Scene:
                     {"radio": int(radio), "range": range_},
                 )
             )
+            self._bump({state.radios[radio].channel})
 
     def set_link_model(
         self, node_id: NodeId, radio: RadioIndex, link: LinkModel
@@ -320,6 +392,9 @@ class Scene:
                     },
                 )
             )
+            # Link parameters don't change membership, but the engine's
+            # fan-out cache holds the radio (and its link) per channel.
+            self._bump({state.radios[radio].channel})
 
     def set_mobility(
         self, node_id: NodeId, model: Optional[MobilityModel]
@@ -397,6 +472,7 @@ class Scene:
                 )
             self._time = t
             moved: list[NodeId] = []
+            touched: set[ChannelId] = set()
             for node_id, state in self._nodes.items():
                 if state.mobility is None:
                     continue
@@ -404,6 +480,7 @@ class Scene:
                 if new_pos != state.position:
                     state.position = new_pos
                     moved.append(node_id)
+                    touched |= state.radios.channels
                     self._emit(
                         SceneEvent(
                             t,
@@ -412,6 +489,8 @@ class Scene:
                             {"x": new_pos.x, "y": new_pos.y},
                         )
                     )
+            if moved:
+                self._bump(touched)
             return moved
 
     # -- queries (the neighborhood model's primitives, §4.2) -------------------

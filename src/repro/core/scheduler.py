@@ -24,8 +24,9 @@ from __future__ import annotations
 import heapq
 import itertools
 import threading
+import time
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
 from ..errors import SchedulerError
 from .ids import NodeId
@@ -82,6 +83,33 @@ class ForwardSchedule:
             self._nonempty.notify_all()
             return True
 
+    def push_many(self, entries: Sequence[ScheduledPacket]) -> int:
+        """Enqueue a batch under **one** lock acquisition (hot path).
+
+        Accepts a prefix of ``entries`` up to remaining capacity and
+        returns how many were accepted — callers record
+        ``entries[accepted:]`` as queue-overflow drops.  One
+        ``notify_all`` wakes the scanning thread for the whole batch
+        instead of once per entry.
+        """
+        if not entries:
+            return 0
+        with self._nonempty:
+            if self._closed:
+                raise SchedulerError("schedule is closed")
+            if self._capacity is None:
+                accepted = len(entries)
+            else:
+                accepted = min(
+                    max(self._capacity - len(self._heap), 0), len(entries)
+                )
+            heap, seq = self._heap, self._seq
+            for entry in entries[:accepted]:
+                heapq.heappush(heap, (entry.t_forward, next(seq), entry))
+            if accepted:
+                self._nonempty.notify_all()
+            return accepted
+
     def peek_time(self) -> Optional[float]:
         """Forward time of the head entry (None when empty)."""
         with self._lock:
@@ -100,9 +128,14 @@ class ForwardSchedule:
 
         Returns due entries immediately if any; otherwise blocks up to
         ``max_wait`` seconds (or until the head's due time, whichever is
-        sooner) waiting for new entries, then returns whatever is due.
-        ``now`` is re-evaluated by the caller between calls; this method
-        treats it as the instant of the call.
+        sooner) waiting for new entries, then returns whatever became due
+        during the *actual* time spent waiting.
+
+        ``now`` is the emulation clock at the instant of the call; the
+        post-wait cutoff is ``now`` plus the measured wall time the wait
+        really took.  (An earlier revision used ``now + timeout`` — on an
+        early wakeup, e.g. a push notifying the condition, that delivered
+        frames up to ``max_wait`` seconds *before* they were due.)
         """
         with self._nonempty:
             due: list[ScheduledPacket] = []
@@ -113,12 +146,15 @@ class ForwardSchedule:
             timeout = max_wait
             if self._heap:
                 timeout = min(max_wait, max(self._heap[0][0] - now, 0.0))
+            waited = 0.0
             if timeout > 0:
+                t0 = time.monotonic()
                 self._nonempty.wait(timeout)
-            while self._heap and self._heap[0][0] <= now + timeout:
-                # Entries that became due while we waited.
-                if self._heap[0][0] <= now + timeout:
-                    due.append(heapq.heappop(self._heap)[2])
+                waited = time.monotonic() - t0
+            cutoff = now + waited
+            while self._heap and self._heap[0][0] <= cutoff:
+                # Entries that became due while we actually waited.
+                due.append(heapq.heappop(self._heap)[2])
             return due
 
     def drain(self) -> list[ScheduledPacket]:

@@ -91,6 +91,7 @@ class _ClientConnection:
         self.send_name = f"poem-send-{self.conn_id}"
         self.last_seen = server.clock.now()
         self.reclaimed = False
+        self.binary = False  # negotiated binary packet/deliver encoding
         self.overflow = 0  # frames dropped by the bounded outbox
         self._closed = False
         # Bounded outbox: entries are (frame, packet|None); None = stop.
@@ -125,16 +126,34 @@ class _ClientConnection:
                 self.overflow += 1
                 self.server._on_outbox_overflow(self, old[1])
 
+    #: Upper bound on frames coalesced into one ``sendall`` by the
+    #: sender thread (keeps per-burst latency bounded).
+    SEND_BATCH = 64
+
     def _send_loop(self) -> None:
         while True:
             entry = self.outbox.get()
             if entry is None:
                 return
-            frame, _packet = entry
+            # Opportunistic batching: drain whatever else is already
+            # queued (up to SEND_BATCH) and ship it in one syscall.
+            frames = [entry[0]]
+            stop = False
+            while len(frames) < self.SEND_BATCH:
+                try:
+                    nxt = self.outbox.get_nowait()
+                except queue.Empty:
+                    break
+                if nxt is None:
+                    stop = True
+                    break
+                frames.append(nxt[0])
             try:
-                framing.send_frame(self.sock, frame)
+                framing.send_frames(self.sock, frames)
             except TransportError:
                 return  # receiver thread notices the dead socket and cleans up
+            if stop:
+                return
 
     def close(self) -> None:
         if self._closed:
@@ -355,8 +374,7 @@ class PoEmServer:
                     break
                 self._touch(conn)
                 try:
-                    msg = messages.decode_message(frame)
-                    if self._handle_message(conn, msg):
+                    if self._handle_frame(conn, frame):
                         orderly = True
                         break
                 except TransportError:
@@ -378,6 +396,25 @@ class PoEmServer:
                 self.supervisor.note_failure(conn.recv_name, exc)
         finally:
             self._drop_client(conn, orderly=orderly)
+
+    def _handle_frame(self, conn: _ClientConnection, frame: bytes) -> bool:
+        """Dispatch one raw frame — binary fast path or JSON control path.
+
+        Returns True on an orderly ``bye``.  The magic-byte sniff is safe
+        because a JSON message's first byte is always ``{`` (0x7B), never
+        the binary magic 0xB1.
+        """
+        if messages.is_binary_frame(frame):
+            op, packet = messages.decode_packet_binary(frame)
+            if op != "packet":
+                raise TransportError(
+                    f"client sent server-only binary op {op!r}"
+                )
+            if conn.node_id is None:
+                raise TransportError("packet before register")
+            self.engine.ingest(conn.node_id, packet)
+            return False
+        return self._handle_message(conn, messages.decode_message(frame))
 
     def _handle_message(self, conn: _ClientConnection, msg: dict) -> bool:
         """Dispatch one message; returns True on an orderly ``bye``."""
@@ -453,12 +490,17 @@ class PoEmServer:
                 self._clients[node_id] = conn
         conn.node_id = node_id
         conn.label = label
+        # Capability negotiation: a client asking for the binary
+        # packet/deliver encoding gets it confirmed here; old clients
+        # never set the flag and keep the JSON encoding.
+        conn.binary = bool(msg.get("binary", False))
         conn.enqueue(
             messages.encode_message(
                 {
                     "op": "registered",
                     "node": int(node_id),
                     "reclaimed": conn.reclaimed,
+                    "binary": conn.binary,
                 }
             )
         )
@@ -644,12 +686,13 @@ class PoEmServer:
         with self._clients_lock:
             conn = self._clients.get(receiver)
         if conn is not None:
-            conn.enqueue(
-                messages.encode_message(
+            if conn.binary:
+                frame = messages.encode_packet_binary("deliver", packet)
+            else:
+                frame = messages.encode_message(
                     {"op": "deliver", "packet": messages.packet_to_wire(packet)}
-                ),
-                packet,
-            )
+                )
+            conn.enqueue(frame, packet)
 
     def _mobility_loop(self) -> None:
         """Tick scene time forward.  Crashes surface in :meth:`health`

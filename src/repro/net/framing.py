@@ -15,7 +15,14 @@ from typing import Optional
 
 from ..errors import FramingError, TransportError
 
-__all__ = ["MAX_FRAME", "send_frame", "recv_frame", "pack_frame", "FrameBuffer"]
+__all__ = [
+    "MAX_FRAME",
+    "send_frame",
+    "send_frames",
+    "recv_frame",
+    "pack_frame",
+    "FrameBuffer",
+]
 
 MAX_FRAME = 16 * 1024 * 1024
 """Upper bound on one frame's payload (16 MiB)."""
@@ -34,6 +41,21 @@ def send_frame(sock: socket.socket, payload: bytes) -> None:
     """Send one framed message (blocking)."""
     try:
         sock.sendall(pack_frame(payload))
+    except OSError as exc:
+        raise TransportError(f"send failed: {exc}") from exc
+
+
+def send_frames(sock: socket.socket, payloads: list[bytes]) -> None:
+    """Send several framed messages with **one** ``sendall``.
+
+    The sender-loop hot path: a burst of deliveries leaving for the same
+    client coalesces into a single syscall (and usually one TCP segment)
+    instead of one write per frame.
+    """
+    if not payloads:
+        return
+    try:
+        sock.sendall(b"".join(pack_frame(p) for p in payloads))
     except OSError as exc:
         raise TransportError(f"send failed: {exc}") from exc
 

@@ -26,16 +26,50 @@ quarantined (traffic drops as ``node-stale``) for a grace period before
 removal, so a transient stall does not tear routes out of the topology.
 
 Packets serialize all addressing and stamps; payload bytes ride latin-1.
+
+Binary fast path
+----------------
+
+JSON is fine for control traffic (a handful of messages per client per
+session) but wasteful for the two high-rate operations, ``packet`` and
+``deliver``: every frame re-encodes field names and floats as text, and
+payload bytes pay a latin-1 round trip.  Those two ops therefore also
+have a struct-packed **binary encoding**, negotiated at registration: a
+client that sends ``"binary": true`` in its ``register`` message and
+sees ``"binary": true`` echoed in ``registered`` may send and will
+receive binary packet frames.  Old clients never set the flag and the
+server keeps talking JSON to them — the two encodings coexist on one
+port because a binary frame's first byte is the magic ``0xB1`` while a
+JSON message always starts with ``{`` (``0x7B``).
+
+Binary frame layout (inside the usual length prefix)::
+
+    offset  size  field
+    0       1     magic 0xB1
+    1       1     op (1 = packet, 2 = deliver)
+    2       8     source        (int64, -1 = broadcast sentinel)
+    10      8     destination   (int64)
+    18      8     seqno         (int64)
+    26      8     size_bits     (int64)
+    34      4     channel       (int32)
+    38      2     radio         (uint16)
+    40      8×4   t_origin, t_receipt, t_forward, t_delivered
+                  (float64; NaN encodes None — stamps are never NaN)
+    72      1     kind length K
+    73      K     kind (utf-8)
+    73+K    rest  payload (raw bytes, no text round trip)
 """
 
 from __future__ import annotations
 
 import json
+import math
+import struct
 from typing import Any, Optional
 
 from ..core.ids import ChannelId, NodeId, RadioIndex, SequenceNumber
 from ..core.packet import Packet
-from ..errors import TransportError
+from ..errors import ConfigurationError, TransportError
 
 __all__ = [
     "encode_message",
@@ -44,6 +78,12 @@ __all__ = [
     "packet_from_wire",
     "make_ping",
     "make_pong",
+    "BINARY_MAGIC",
+    "BINARY_OP_PACKET",
+    "BINARY_OP_DELIVER",
+    "is_binary_frame",
+    "encode_packet_binary",
+    "decode_packet_binary",
 ]
 
 
@@ -117,3 +157,95 @@ def packet_from_wire(raw: dict[str, Any]) -> Packet:
 
 def _opt_float(v: Any) -> Optional[float]:
     return None if v is None else float(v)
+
+
+# -- binary fast path ---------------------------------------------------------
+
+BINARY_MAGIC = 0xB1
+"""First byte of every binary frame (a JSON message starts with 0x7B)."""
+
+BINARY_OP_PACKET = 1
+BINARY_OP_DELIVER = 2
+
+_BINARY_OPS = {BINARY_OP_PACKET: "packet", BINARY_OP_DELIVER: "deliver"}
+_BINARY_CODES = {name: code for code, name in _BINARY_OPS.items()}
+
+_BIN_HEADER = struct.Struct(">BBqqqqiHddddB")
+"""magic, op, source, destination, seqno, size_bits, channel, radio,
+four stamps, kind length — everything before the kind/payload tail."""
+
+_NAN = float("nan")
+_isnan = math.isnan
+
+
+def is_binary_frame(data: bytes) -> bool:
+    """True when ``data`` is a binary packet frame (magic-byte sniff)."""
+    return bool(data) and data[0] == BINARY_MAGIC
+
+
+def encode_packet_binary(op: str, packet: Packet) -> bytes:
+    """Encode a ``packet`` or ``deliver`` message as one binary frame."""
+    code = _BINARY_CODES.get(op)
+    if code is None:
+        raise TransportError(f"op {op!r} has no binary encoding")
+    kind = packet.kind.encode("utf-8")
+    if len(kind) > 255:
+        raise TransportError(f"packet kind too long for binary wire: {packet.kind!r}")
+    t = packet.t_origin
+    header = _BIN_HEADER.pack(
+        BINARY_MAGIC,
+        code,
+        int(packet.source),
+        int(packet.destination),
+        int(packet.seqno),
+        packet.size_bits,
+        int(packet.channel),
+        int(packet.radio),
+        _NAN if packet.t_origin is None else packet.t_origin,
+        _NAN if packet.t_receipt is None else packet.t_receipt,
+        _NAN if packet.t_forward is None else packet.t_forward,
+        _NAN if packet.t_delivered is None else packet.t_delivered,
+        len(kind),
+    )
+    return b"".join((header, kind, packet.payload))
+
+
+def decode_packet_binary(data: bytes) -> tuple[str, Packet]:
+    """Decode one binary frame; returns ``(op_name, packet)``.
+
+    Raises :class:`TransportError` on truncation, a bad magic/op byte, or
+    field values the :class:`Packet` constructor rejects.
+    """
+    try:
+        (
+            magic, code, src, dst, seq, bits, ch, radio,
+            t_origin, t_receipt, t_forward, t_delivered, kind_len,
+        ) = _BIN_HEADER.unpack_from(data)
+    except struct.error as exc:
+        raise TransportError(f"truncated binary frame: {exc}") from exc
+    if magic != BINARY_MAGIC:
+        raise TransportError(f"bad binary magic: {magic:#x}")
+    op = _BINARY_OPS.get(code)
+    if op is None:
+        raise TransportError(f"unknown binary op code: {code}")
+    kind_end = _BIN_HEADER.size + kind_len
+    if len(data) < kind_end:
+        raise TransportError("binary frame truncated inside kind field")
+    try:
+        packet = Packet(
+            source=NodeId(src),
+            destination=NodeId(dst),
+            payload=data[kind_end:],
+            size_bits=bits,
+            seqno=SequenceNumber(seq),
+            channel=ChannelId(ch),
+            radio=RadioIndex(radio),
+            kind=data[_BIN_HEADER.size : kind_end].decode("utf-8"),
+            t_origin=None if _isnan(t_origin) else t_origin,
+            t_receipt=None if _isnan(t_receipt) else t_receipt,
+            t_forward=None if _isnan(t_forward) else t_forward,
+            t_delivered=None if _isnan(t_delivered) else t_delivered,
+        )
+    except (ValueError, UnicodeDecodeError, ConfigurationError) as exc:
+        raise TransportError(f"malformed binary packet frame: {exc}") from exc
+    return op, packet

@@ -1,0 +1,159 @@
+"""Property tests for the version-keyed neighbor/fanout caches.
+
+The perf overhaul (see docs/performance.md) made ``neighbors()`` return a
+cached immutable frozenset and added a cached per-(node, channel)
+:class:`~repro.core.neighbor.Fanout`, both invalidated by the scene's
+monotone version counters.  A stale cache would silently corrupt
+forwarding, so these tests drive randomized mutation sequences through
+both schemes and assert, after every mutation, that the cached reads
+still agree with the ground-truth predicate recomputed from scratch.
+"""
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.geometry import Vec2
+from repro.core.ids import ChannelId, NodeId, RadioIndex
+from repro.core.neighbor import (
+    ChannelIndexedNeighborTables,
+    SingleTableNeighbors,
+)
+from repro.core.scene import Scene
+from repro.models.radio import Radio, RadioConfig
+
+CHANNELS = [ChannelId(1), ChannelId(2), ChannelId(3)]
+NODE_POOL = [NodeId(i) for i in range(1, 7)]
+
+# One randomized mutation: (kind, node_index, x, y, channel_index, range)
+_op = st.tuples(
+    st.sampled_from(["add", "remove", "move", "retune", "range"]),
+    st.integers(min_value=0, max_value=len(NODE_POOL) - 1),
+    st.floats(min_value=0.0, max_value=300.0, allow_nan=False),
+    st.floats(min_value=0.0, max_value=300.0, allow_nan=False),
+    st.integers(min_value=0, max_value=len(CHANNELS) - 1),
+    st.floats(min_value=1.0, max_value=250.0, allow_nan=False),
+)
+
+
+def _apply(scene: Scene, op) -> None:
+    kind, ni, x, y, ci, rng_ = op
+    node = NODE_POOL[ni]
+    channel = CHANNELS[ci]
+    present = node in scene
+    if kind == "add" and not present:
+        # Two radios half the time (multi-radio retune coverage).
+        if ni % 2:
+            radios = RadioConfig.of(
+                [Radio(channel, rng_), Radio(CHANNELS[(ci + 1) % 3], rng_)]
+            )
+        else:
+            radios = RadioConfig.single(int(channel), rng_)
+        scene.add_node(node, Vec2(x, y), radios)
+    elif kind == "remove" and present:
+        scene.remove_node(node)
+    elif kind == "move" and present:
+        scene.move_node(node, Vec2(x, y))
+    elif kind == "retune" and present:
+        scene.set_radio_channel(node, RadioIndex(0), channel)
+    elif kind == "range" and present:
+        scene.set_radio_range(node, RadioIndex(0), rng_)
+    # Ops targeting absent/present nodes in the wrong state are no-ops:
+    # the generator explores sequences, not precondition violations.
+
+
+def _assert_consistent(scene: Scene, schemes) -> None:
+    for scheme in schemes:
+        for node in scene.node_ids():
+            for channel in CHANNELS:
+                truth = (
+                    frozenset(scheme._row(node, channel))
+                    if scene.radio_on_channel(node, channel) is not None
+                    else frozenset()
+                )
+                cached = scheme.neighbors(node, channel)
+                assert cached == truth, (
+                    f"{type(scheme).__name__}: stale neighbors for "
+                    f"node={node} channel={channel}: {cached} != {truth}"
+                )
+                _assert_fanout_matches(scene, scheme, node, channel, truth)
+
+
+def _assert_fanout_matches(scene, scheme, node, channel, truth) -> None:
+    fan = scheme.fanout(node, channel)
+    radio = scene.radio_on_channel(node, channel)
+    if radio is None:
+        assert fan.radio is None and fan.targets == ()
+        return
+    assert fan.radio == radio
+    assert frozenset(fan.targets) == truth
+    assert fan.targets == tuple(sorted(truth))
+    assert len(fan.distances) == len(fan.targets)
+    pos = scene.position(node)
+    for i, target in enumerate(fan.targets):
+        assert fan.index[target] == i
+        expected = pos.distance_to(scene.position(target))
+        assert math.isclose(fan.distances[i], expected, rel_tol=1e-12, abs_tol=1e-9)
+
+
+@settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(ops=st.lists(_op, min_size=1, max_size=25))
+def test_cached_reads_track_mutations(ops):
+    """After every mutation both schemes' cached neighbors() and fanout()
+    agree with the from-scratch predicate."""
+    scene = Scene(seed=7)
+    scene.add_node(NODE_POOL[0], Vec2(10, 10), RadioConfig.single(1, 120.0))
+    scene.add_node(NODE_POOL[1], Vec2(80, 10), RadioConfig.single(1, 120.0))
+    schemes = [ChannelIndexedNeighborTables(scene), SingleTableNeighbors(scene)]
+    try:
+        _assert_consistent(scene, schemes)
+        for op in ops:
+            _apply(scene, op)
+            _assert_consistent(scene, schemes)
+    finally:
+        for scheme in schemes:
+            scheme.detach()
+
+
+def test_version_bumps_are_scoped():
+    """A mutation bumps only the touched channels' versions (the paper's
+    §4.2 point, observable through the new version counters)."""
+    scene = Scene(seed=0)
+    scene.add_node(NodeId(1), Vec2(0, 0), RadioConfig.single(1, 50.0))
+    scene.add_node(NodeId(2), Vec2(10, 0), RadioConfig.single(2, 50.0))
+    v1 = scene.channel_version(ChannelId(1))
+    v2 = scene.channel_version(ChannelId(2))
+    g = scene.version
+    scene.move_node(NodeId(1), Vec2(5, 0))
+    assert scene.channel_version(ChannelId(1)) == v1 + 1
+    assert scene.channel_version(ChannelId(2)) == v2  # untouched channel
+    assert scene.version == g + 1
+
+
+def test_neighbors_returns_cached_identical_object():
+    """Steady state: repeated reads return the same frozenset object (no
+    per-read copy — the whole point of the cache)."""
+    scene = Scene(seed=0)
+    scene.add_node(NodeId(1), Vec2(0, 0), RadioConfig.single(1, 50.0))
+    scene.add_node(NodeId(2), Vec2(10, 0), RadioConfig.single(1, 50.0))
+    for cls in (ChannelIndexedNeighborTables, SingleTableNeighbors):
+        scheme = cls(scene)
+        try:
+            first = scheme.neighbors(NodeId(1), ChannelId(1))
+            assert first == frozenset({NodeId(2)})
+            assert scheme.neighbors(NodeId(1), ChannelId(1)) is first
+            fan = scheme.fanout(NodeId(1), ChannelId(1))
+            assert scheme.fanout(NodeId(1), ChannelId(1)) is fan
+            # A mutation invalidates; the rebuilt row is correct.
+            scene.move_node(NodeId(2), Vec2(100, 0))
+            assert scheme.neighbors(NodeId(1), ChannelId(1)) == frozenset()
+            assert scheme.fanout(NodeId(1), ChannelId(1)).targets == ()
+            scene.move_node(NodeId(2), Vec2(10, 0))  # restore for next cls
+        finally:
+            scheme.detach()

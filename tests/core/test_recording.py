@@ -117,3 +117,79 @@ class TestSqliteSpecific:
 
         with pytest.raises(RecordingError):
             SqliteRecorder("/nonexistent-dir-xyz/db.sqlite")
+
+
+class TestBatchedHotPath:
+    """record_many / reserve_record_ids — the engine's batched interface."""
+
+    def test_record_many_matches_singles(self, recorder):
+        start = recorder.reserve_record_ids(3)
+        recorder.record_many([record(start + i) for i in range(3)])
+        assert [p.record_id for p in recorder.packets()] == [
+            start, start + 1, start + 2
+        ]
+
+    def test_reserve_is_consecutive_and_disjoint(self, recorder):
+        a = recorder.reserve_record_ids(5)
+        b = recorder.reserve_record_ids(2)
+        c = recorder.next_record_id()
+        assert b == a + 5
+        assert c == b + 2
+
+    def test_record_many_empty(self, recorder):
+        recorder.record_many([])
+        assert recorder.packets() == []
+
+    def test_concurrent_reserve_disjoint(self, recorder):
+        """Reserved ranges never overlap across threads."""
+        starts = []
+        lock = threading.Lock()
+
+        def worker():
+            for _ in range(50):
+                s = recorder.reserve_record_ids(4)
+                with lock:
+                    starts.append(s)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        ranges = sorted(starts)
+        for prev, nxt in zip(ranges, ranges[1:]):
+            assert nxt >= prev + 4
+
+
+class TestMemorySegments:
+    def test_segment_rollover_preserves_order(self):
+        r = MemoryRecorder()
+        n = MemoryRecorder.SEGMENT_SIZE + 10
+        r.record_many([record(i + 1) for i in range(n)])
+        assert len(r) == n
+        assert [p.record_id for p in r.packets()] == list(range(1, n + 1))
+
+    def test_ring_capacity_bounds_memory(self):
+        """With a capacity, the segment chain becomes a ring: old full
+        segments are discarded and counted in ``evicted``."""
+        r = MemoryRecorder(capacity=MemoryRecorder.SEGMENT_SIZE)
+        n = MemoryRecorder.SEGMENT_SIZE * 3
+        for i in range(n):
+            r.record_packet(record(i + 1))
+        assert len(r) <= MemoryRecorder.SEGMENT_SIZE * 2
+        assert r.evicted == n - len(r)
+        # The survivors are the *newest* records, still in order.
+        ids = [p.record_id for p in r.packets()]
+        assert ids == list(range(n - len(r) + 1, n + 1))
+
+    def test_unbounded_by_default(self):
+        r = MemoryRecorder()
+        for i in range(10):
+            r.record_packet(record(i + 1))
+        assert r.evicted == 0
+        assert len(r) == 10
+
+    def test_invalid_capacity(self):
+        from repro.errors import RecordingError
+        with pytest.raises(RecordingError):
+            MemoryRecorder(capacity=0)

@@ -123,3 +123,86 @@ class TestWaitDue:
         start = time.monotonic()
         assert s.wait_due(now=0.0, max_wait=0.05) == []
         assert time.monotonic() - start < 1.0
+
+    def test_early_wakeup_does_not_deliver_future_entries(self):
+        """Regression: an early wakeup (a push notifying the condition)
+        must not deliver entries due up to ``max_wait`` in the future.
+
+        The waiter starts at now=0 with max_wait=10; after ~50 ms a frame
+        due at t=5.0 is pushed.  The old cutoff ``now + timeout`` handed
+        it over immediately — 5 seconds early.  The fixed cutoff is the
+        *measured* wait, so the frame stays queued.
+        """
+        s = ForwardSchedule()
+        got = []
+
+        def waiter():
+            got.extend(s.wait_due(now=0.0, max_wait=10.0))
+
+        t = threading.Thread(target=waiter)
+        start = time.monotonic()
+        t.start()
+        time.sleep(0.05)
+        s.push(entry(5.0))  # due far beyond any plausible wait
+        t.join(timeout=2.0)
+        assert not t.is_alive()
+        assert time.monotonic() - start < 2.0  # woke on the push, not the timeout
+        assert got == []  # nothing was due yet
+        assert len(s) == 1  # the future entry is still scheduled
+
+    def test_early_wakeup_delivers_what_became_due(self):
+        """Complement: an entry that *does* fall due during the measured
+        wait is delivered on the early wakeup."""
+        s = ForwardSchedule()
+        got = []
+
+        def waiter():
+            got.extend(s.wait_due(now=0.0, max_wait=10.0))
+
+        t = threading.Thread(target=waiter)
+        t.start()
+        time.sleep(0.05)
+        s.push(entry(0.01))  # already due by the time of the push
+        t.join(timeout=2.0)
+        assert len(got) == 1
+
+
+class TestPushMany:
+    def test_batch_roundtrip_ordered(self):
+        s = ForwardSchedule()
+        entries = [entry(t, seq=i) for i, t in enumerate([3.0, 1.0, 2.0])]
+        assert s.push_many(entries) == 3
+        assert [e.t_forward for e in s.pop_due(10.0)] == [1.0, 2.0, 3.0]
+
+    def test_empty_batch(self):
+        s = ForwardSchedule()
+        assert s.push_many([]) == 0
+
+    def test_capacity_prefix_accepted(self):
+        """At capacity, push_many accepts a prefix and reports the count
+        so the caller can record the rest as queue-overflow drops."""
+        s = ForwardSchedule(capacity=2)
+        entries = [entry(float(i), seq=i) for i in range(5)]
+        assert s.push_many(entries) == 2
+        assert len(s) == 2
+        assert s.push_many(entries) == 0  # full: nothing accepted
+
+    def test_push_many_after_close_raises(self):
+        s = ForwardSchedule()
+        s.close()
+        with pytest.raises(SchedulerError):
+            s.push_many([entry(1.0)])
+
+    def test_push_many_wakes_waiter(self):
+        s = ForwardSchedule()
+        got = []
+
+        def waiter():
+            got.extend(s.wait_due(now=0.0, max_wait=5.0))
+
+        t = threading.Thread(target=waiter)
+        t.start()
+        time.sleep(0.05)
+        s.push_many([entry(0.0), entry(0.0, seq=2)])
+        t.join(timeout=2.0)
+        assert len(got) == 2

@@ -228,3 +228,57 @@ class TestServerRobustness:
         srv.start()
         srv.stop()
         srv.stop()  # second stop is a no-op
+
+
+class TestBinaryNegotiation:
+    """The struct-packed wire fast path and its JSON fallback coexist."""
+
+    def test_default_client_negotiates_binary(self, server):
+        with PoEmClient(server.address, Vec2(0, 0),
+                        RadioConfig.single(1, 100.0)) as client:
+            assert client._binary is True
+
+    def test_legacy_client_keeps_json(self, server):
+        """A client that never asks for binary talks JSON end to end."""
+        with PoEmClient(server.address, Vec2(0, 0),
+                        RadioConfig.single(1, 100.0), binary=False) as a, \
+             PoEmClient(server.address, Vec2(40, 0),
+                        RadioConfig.single(1, 100.0), binary=False) as b:
+            assert a._binary is False and b._binary is False
+            a.transmit(b.node_id, b"json-era", channel=1)
+            assert wait_for(lambda: len(b.received) == 1)
+            assert b.received[0].payload == b"json-era"
+
+    def test_mixed_encodings_interoperate(self, server):
+        """A binary client and a JSON client exchange frames both ways —
+        the server re-encodes per receiver at delivery."""
+        with PoEmClient(server.address, Vec2(0, 0),
+                        RadioConfig.single(1, 100.0), binary=True) as new, \
+             PoEmClient(server.address, Vec2(40, 0),
+                        RadioConfig.single(1, 100.0), binary=False) as old:
+            new.transmit(old.node_id, b"\x00new->old\xff", channel=1)
+            assert wait_for(lambda: len(old.received) == 1)
+            assert old.received[0].payload == b"\x00new->old\xff"
+            old.transmit(new.node_id, b"old->new", channel=1)
+            assert wait_for(lambda: len(new.received) == 1)
+            assert new.received[0].payload == b"old->new"
+            # Stamps survive the binary hop like the JSON one.
+            assert new.received[0].t_forward is not None
+            assert new.received[0].t_delivered is not None
+
+    def test_binary_broadcast(self, server):
+        clients = [
+            PoEmClient(server.address, Vec2(10.0 * i, 0),
+                       RadioConfig.single(1, 100.0))
+            for i in range(3)
+        ]
+        try:
+            for c in clients:
+                c.connect()
+            clients[0].transmit(BROADCAST_NODE, b"bcast", channel=1)
+            assert wait_for(
+                lambda: all(len(c.received) == 1 for c in clients[1:])
+            )
+        finally:
+            for c in clients:
+                c.close()

@@ -6,8 +6,12 @@ from repro.core.ids import BROADCAST_NODE, ChannelId, NodeId
 from repro.core.packet import Packet
 from repro.errors import TransportError
 from repro.net.messages import (
+    BINARY_MAGIC,
     decode_message,
+    decode_packet_binary,
     encode_message,
+    encode_packet_binary,
+    is_binary_frame,
     packet_from_wire,
     packet_to_wire,
 )
@@ -75,3 +79,107 @@ class TestPacketWire:
     def test_malformed_dict_rejected(self):
         with pytest.raises(TransportError):
             packet_from_wire({"src": 1})  # missing fields
+
+
+class TestBinaryCodec:
+    """The struct-packed fast path must be a drop-in for the JSON codec."""
+
+    def _packet(self, **kw):
+        defaults = dict(
+            source=NodeId(1),
+            destination=NodeId(2),
+            payload=b"\x00\x01binary\xff",
+            size_bits=8192,
+            seqno=17,
+            channel=ChannelId(3),
+            kind="control",
+            t_origin=1.25,
+            t_receipt=None,
+            t_forward=2.5,
+        )
+        defaults.update(kw)
+        return Packet(**defaults)
+
+    def test_magic_disjoint_from_json(self):
+        """A binary frame is detected by its first byte; a JSON message
+        can never be mistaken for one (JSON starts with '{' = 0x7B)."""
+        p = self._packet()
+        frame = encode_packet_binary("packet", p)
+        assert is_binary_frame(frame)
+        assert frame[0] == BINARY_MAGIC
+        assert not is_binary_frame(encode_message({"op": "ping", "t": 1.0}))
+        assert not is_binary_frame(b"")
+
+    def test_roundtrip_all_fields(self):
+        p = self._packet(
+            radio=1,
+            t_receipt=3.125,
+            t_delivered=4.0625,
+        )
+        op, q = decode_packet_binary(encode_packet_binary("deliver", p))
+        assert op == "deliver"
+        assert q == p
+
+    def test_roundtrip_none_stamps(self):
+        """NaN-encoded optional stamps decode back to None, each field
+        independently."""
+        for field in ("t_origin", "t_receipt", "t_forward", "t_delivered"):
+            p = self._packet(**{field: None})
+            op, q = decode_packet_binary(encode_packet_binary("packet", p))
+            assert op == "packet"
+            assert getattr(q, field) is None
+            assert q == p
+
+    def test_roundtrip_broadcast_and_binary_payload(self):
+        p = self._packet(
+            destination=BROADCAST_NODE, payload=bytes(range(256))
+        )
+        _, q = decode_packet_binary(encode_packet_binary("packet", p))
+        assert q.is_broadcast
+        assert q.payload == bytes(range(256))
+
+    def test_matches_json_codec_field_for_field(self):
+        """Both codecs decode to the identical Packet, for every field
+        combination including absent stamps and utf-8 kinds."""
+        variants = [
+            self._packet(),
+            self._packet(t_origin=None, t_receipt=None, t_forward=None,
+                         t_delivered=None),
+            self._packet(destination=BROADCAST_NODE, kind="hello"),
+            self._packet(payload=b"", size_bits=1, seqno=2**40),
+            self._packet(kind="ké", t_delivered=1e-9),
+        ]
+        for p in variants:
+            via_json = packet_from_wire(packet_to_wire(p))
+            _, via_binary = decode_packet_binary(
+                encode_packet_binary("packet", p)
+            )
+            assert via_binary == via_json == p
+
+    def test_empty_payload(self):
+        p = self._packet(payload=b"", size_bits=64)
+        _, q = decode_packet_binary(encode_packet_binary("packet", p))
+        assert q.payload == b""
+
+    def test_unknown_op_rejected_on_encode(self):
+        with pytest.raises(TransportError):
+            encode_packet_binary("scene_op", self._packet())
+
+    def test_truncated_frame_rejected(self):
+        frame = encode_packet_binary("packet", self._packet())
+        with pytest.raises(TransportError):
+            decode_packet_binary(frame[:20])
+
+    def test_bad_op_code_rejected(self):
+        frame = bytearray(encode_packet_binary("packet", self._packet()))
+        frame[1] = 99
+        with pytest.raises(TransportError):
+            decode_packet_binary(bytes(frame))
+
+    def test_bad_size_bits_rejected(self):
+        """Field validation still runs: a non-positive size is refused."""
+        frame = bytearray(encode_packet_binary("packet", self._packet()))
+        # size_bits is the int64 at offset 26 (see messages module doc).
+        frame[26:34] = (0).to_bytes(8, "big")
+        with pytest.raises(TransportError):
+            decode_packet_binary(bytes(frame))
