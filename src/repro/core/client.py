@@ -24,6 +24,7 @@ counted in :attr:`outage_drops` (radio silence, not an error).  The
 
 from __future__ import annotations
 
+import logging
 import queue
 import random
 import socket
@@ -33,6 +34,7 @@ from typing import Callable, Optional
 from ..errors import TransportError
 from ..models.radio import RadioConfig
 from ..net import framing, messages
+from ..obs.logging import get_logger, log_event
 from ..protocols.base import ProtocolHost, RoutingProtocol, ThreadTimerService, TimerService
 from .clock import (
     RealTimeClock,
@@ -46,6 +48,8 @@ from .ids import ChannelId, NodeId
 from .packet import Packet, PacketStamper
 
 __all__ = ["PoEmClient"]
+
+_log = get_logger("client")
 
 
 class PoEmClient(ProtocolHost):
@@ -68,6 +72,7 @@ class PoEmClient(ProtocolHost):
         max_reconnect_attempts: int = 8,
         reconnect_seed: Optional[int] = None,
         transport_wrapper: Optional[Callable[[socket.socket], object]] = None,
+        telemetry=None,
     ) -> None:
         self._address = address
         self._position = position
@@ -109,6 +114,29 @@ class PoEmClient(ProtocolHost):
         self.reconnects = 0
         self.reclaimed = False  # last registration reclaimed the prior VMN
         self.outage_drops = 0  # frames the protocol sent while disconnected
+        # Optional observability plane: pass a repro.obs.Telemetry to get
+        # tx/rx frame counters and link-outage mirrors on its registry.
+        self._m_tx = self._m_rx = None
+        if telemetry is not None and getattr(telemetry, "enabled", False):
+            reg = telemetry.registry
+            self._m_tx = reg.counter(
+                "poem_client_frames_sent_total",
+                "Data frames this client transmitted to the server",
+            )
+            self._m_rx = reg.counter(
+                "poem_client_frames_received_total",
+                "Deliver frames this client received from the server",
+            )
+            reg.counter_fn(
+                "poem_client_reconnects_total",
+                "Successful reconnect handshakes",
+                lambda: self.reconnects,
+            )
+            reg.counter_fn(
+                "poem_client_outage_drops_total",
+                "Frames dropped while the link was down",
+                lambda: self.outage_drops,
+            )
 
     # -- connection lifecycle -------------------------------------------------------
 
@@ -301,6 +329,8 @@ class PoEmClient(ProtocolHost):
                 self.outage_drops += 1
                 return packet
             raise
+        if self._m_tx is not None:
+            self._m_tx.inc()
         return packet
 
     def timers(self) -> TimerService:
@@ -412,6 +442,11 @@ class PoEmClient(ProtocolHost):
         receiver thread.  Returns True when a fresh, synchronized,
         re-registered connection is live again."""
         self._outage.set()
+        log_event(
+            _log, "client-link-down",
+            node=int(self._node_id) if self._node_id is not None else None,
+            label=self._label,
+        )
         old = self._sock
         self._sock = None
         if old is not None:
@@ -447,16 +482,30 @@ class PoEmClient(ProtocolHost):
                 continue
             self.reconnects += 1
             self._outage.clear()
+            log_event(
+                _log, "client-reconnected", level=logging.INFO,
+                node=int(self._node_id) if self._node_id is not None else None,
+                label=self._label, reclaimed=self.reclaimed,
+                attempt=_attempt + 1,
+            )
             for early in self._early_deliveries:
                 self._dispatch_packet(early)
             self._early_deliveries.clear()
             return True
         # Budget exhausted: give up like a powered-off node.
+        log_event(
+            _log, "client-gave-up",
+            node=int(self._node_id) if self._node_id is not None else None,
+            label=self._label, attempts=self._max_reconnect_attempts,
+            outage_drops=self.outage_drops,
+        )
         self._outage.clear()
         self._running = False
         return False
 
     def _dispatch_packet(self, packet: Packet) -> None:
+        if self._m_rx is not None:
+            self._m_rx.inc()
         with self._recv_lock:
             self.received.append(packet)
         if self.protocol is not None:

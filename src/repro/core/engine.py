@@ -33,12 +33,15 @@ scene operations cut routes.
 from __future__ import annotations
 
 import threading
+import time
 from typing import Callable, Optional
 
 import numpy as np
 
 from ..models.energy import EnergyTracker
 from ..models.mac import IdealMac, MacModel
+from ..obs.telemetry import Telemetry
+from ..obs.tracing import Trace
 from .clock import EmulationClock
 from .ids import NodeId
 from .neighbor import NeighborScheme
@@ -48,6 +51,8 @@ from .scene import Scene
 from .scheduler import ForwardSchedule, ScheduledPacket
 
 __all__ = ["ForwardingEngine", "DeliverFn"]
+
+_perf = time.perf_counter
 
 DeliverFn = Callable[[NodeId, Packet], None]
 """Callback delivering a packet to a destination VMN's client."""
@@ -68,6 +73,7 @@ class ForwardingEngine:
         use_client_stamps: bool = True,
         mac: Optional[MacModel] = None,
         energy: Optional[EnergyTracker] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.scene = scene
         self.neighbors = neighbors
@@ -84,10 +90,77 @@ class ForwardingEngine:
         self.ingested = 0
         self.forwarded = 0
         self.dropped = 0
+        self.transport_dropped = 0  # subset of dropped: transport-layer loss
+        # -- telemetry wiring (None = disabled, all guards short-circuit) ------
+        self.telemetry = telemetry
+        self._tracer = None
+        self._m_drop_family = None
+        self._m_lag = None
+        if telemetry is not None and telemetry.enabled:
+            self._wire_telemetry(telemetry)
+
+    def _wire_telemetry(self, telemetry: Telemetry) -> None:
+        """Register the engine's metric catalog on the bundle's registry.
+
+        Totals already folded under the engine lock are mirrored through
+        *callback* counters (scrape-time reads, zero hot-path cost); only
+        genuinely new dimensions — per-reason drops, scheduler lag — pay
+        an increment/observe on the pipeline itself.
+        """
+        reg = telemetry.registry
+        reg.counter_fn(
+            "poem_engine_ingested_total",
+            "Frames ingested by the forwarding engine (Step 1-4 entries)",
+            lambda: self.ingested,
+        )
+        reg.counter_fn(
+            "poem_engine_forwarded_total",
+            "Frames delivered to receiving clients (Step 6 completions)",
+            lambda: self.forwarded,
+        )
+        reg.counter_fn(
+            "poem_engine_dropped_total",
+            "(packet, receiver) pairs dropped anywhere in the pipeline",
+            lambda: self.dropped,
+        )
+        reg.counter_fn(
+            "poem_engine_transport_dropped_total",
+            "Drops caused by the transport/fault-tolerance layer "
+            "(stale peers, outbox overflow), not the emulated medium",
+            lambda: self.transport_dropped,
+        )
+        reg.counter_fn(
+            "poem_records_evicted_total",
+            "Packet records discarded by the MemoryRecorder ring bound",
+            lambda: getattr(self.recorder, "evicted", 0),
+        )
+        self._m_drop_family = reg.counter(
+            "poem_engine_drop_reason_total",
+            "Drops by reason (the DropReason taxonomy)",
+            labels=("reason",),
+        )
+        self._m_lag = reg.histogram(
+            "poem_scheduler_lag_seconds",
+            "Scheduler lag actual_fire - t_forward: the real-time "
+            "deadline slack of Step 5",
+        )
+        self.schedule.bind_telemetry(reg)
+        tracer = telemetry.tracer
+        self._tracer = tracer
+        if tracer is not None and tracer.sink is None:
+            # Persist completed spans through the recorder so replay can
+            # reconstruct pipeline timing (Step 7 for telemetry).
+            tracer.sink = self.recorder.record_span
 
     # -- Step 1–4 -------------------------------------------------------------
 
-    def ingest(self, sender: NodeId, packet: Packet) -> list[ScheduledPacket]:
+    def ingest(
+        self,
+        sender: NodeId,
+        packet: Packet,
+        *,
+        trace: Optional[Trace] = None,
+    ) -> list[ScheduledPacket]:
         """Process one frame transmitted by ``sender``; returns what was scheduled.
 
         ``packet.t_origin`` must have been stamped by the sending client;
@@ -102,7 +175,19 @@ class ForwardingEngine:
         fan-out, one :meth:`ForwardSchedule.push_many` lock acquisition,
         one counter-lock acquisition, and at most one batched recorder
         call per ingest.
+
+        ``trace`` is a sampled pipeline trace started by the transport
+        layer (its ``receive`` stage already recorded); when the engine
+        runs standalone — no transport owning the sampling decision —
+        it samples here instead.  The unsampled path pays one countdown
+        decrement and a handful of ``is None`` branches.
         """
+        tracer = self._tracer
+        tr = trace
+        if tracer is not None and tr is None and not tracer.delegated:
+            tr = tracer.maybe_start()
+            if tr is not None:
+                tr.bind(sender, packet)
         now = self.clock.now()
         if self.use_client_stamps and packet.t_origin is not None:
             t_receipt = packet.t_origin
@@ -115,21 +200,26 @@ class ForwardingEngine:
         quarantined = self.scene.quarantined_snapshot()
         if quarantined and sender in quarantined:
             drops.append((None, DropReason.NODE_STALE))
-            return self._commit_ingest(packet, sender, [], drops)
+            return self._commit_ingest(packet, sender, [], drops, tr)
 
         channel = packet.channel
-        fan = self.neighbors.fanout(sender, channel)
+        if tr is None:
+            fan = self.neighbors.fanout(sender, channel)
+        else:
+            _t0 = _perf()
+            fan = self.neighbors.fanout(sender, channel)
+            tr.stage("neighbor_lookup", _perf() - _t0)
         radio = fan.radio
         if radio is None:
             drops.append((None, DropReason.NO_SUCH_CHANNEL))
-            return self._commit_ingest(packet, sender, [], drops)
+            return self._commit_ingest(packet, sender, [], drops, tr)
 
         # Power consumption (§7 extension): a dead battery cannot transmit.
         if self.energy is not None and not self.energy.charge_tx(
             sender, packet.size_bits
         ):
             drops.append((None, DropReason.NO_ENERGY))
-            return self._commit_ingest(packet, sender, [], drops)
+            return self._commit_ingest(packet, sender, [], drops, tr)
 
         # Medium access (§7 extension): one airtime reservation per
         # transmission.  The medium is occupied for the frame's nominal
@@ -138,11 +228,12 @@ class ForwardingEngine:
         decision = self.mac.admit(channel, sender, t_receipt, airtime)
         if decision.collided:
             drops.append((None, DropReason.COLLISION))
-            return self._commit_ingest(packet, sender, [], drops)
+            return self._commit_ingest(packet, sender, [], drops, tr)
         if decision.start != t_receipt:
             t_receipt = decision.start  # CSMA deferral shifts the frame
             packet = packet.stamped(t_receipt=t_receipt)
 
+        _t_drop = _perf() if tr is not None else 0.0  # Step 3 stage timer
         if packet.is_broadcast:
             targets: tuple[NodeId, ...] = fan.targets
             dists = fan.distances
@@ -150,7 +241,7 @@ class ForwardingEngine:
             idx = fan.index.get(packet.destination)
             if idx is None:
                 drops.append((packet.destination, DropReason.NOT_NEIGHBOR))
-                return self._commit_ingest(packet, sender, [], drops)
+                return self._commit_ingest(packet, sender, [], drops, tr)
             targets = (packet.destination,)
             dists = fan.distances[idx : idx + 1]
 
@@ -227,15 +318,22 @@ class ForwardingEngine:
                             sender=sender,
                         )
                     )
+        if tr is not None:
+            tr.stage("drop_decision", _perf() - _t_drop)
         if scheduled:
-            accepted = self.schedule.push_many(scheduled)
+            if tr is None:
+                accepted = self.schedule.push_many(scheduled)
+            else:
+                _t0 = _perf()
+                accepted = self.schedule.push_many(scheduled)
+                tr.stage("schedule_push", _perf() - _t0)
             if accepted != len(scheduled):
                 drops.extend(
                     (e.receiver, DropReason.QUEUE_OVERFLOW)
                     for e in scheduled[accepted:]
                 )
                 scheduled = scheduled[:accepted]
-        return self._commit_ingest(packet, sender, scheduled, drops)
+        return self._commit_ingest(packet, sender, scheduled, drops, tr)
 
     def _commit_ingest(
         self,
@@ -243,14 +341,28 @@ class ForwardingEngine:
         sender: NodeId,
         scheduled: list[ScheduledPacket],
         drops: list[tuple[Optional[NodeId], str]],
+        trace: Optional[Trace] = None,
     ) -> list[ScheduledPacket]:
         """Fold one ingest's counter updates and drop records into a
         single lock acquisition and at most one recorder call."""
         n_drops = len(drops)
-        with self._lock:
-            self.ingested += 1
-            if n_drops:
+        if n_drops:
+            n_transport = sum(
+                1 for _, r in drops if r in DropReason.TRANSPORT
+            )
+            with self._lock:
+                self.ingested += 1
                 self.dropped += n_drops
+                self.transport_dropped += n_transport
+            fam = self._m_drop_family
+            if fam is not None:
+                for _, reason in drops:
+                    fam.labels(reason).inc()
+        else:
+            with self._lock:
+                self.ingested += 1
+        if trace is not None and self._tracer is not None:
+            self._tracer.commit(trace, scheduled, drops)
         if n_drops:
             if n_drops == 1:
                 receiver, reason = drops[0]
@@ -293,27 +405,72 @@ class ForwardingEngine:
         self, due: list[ScheduledPacket], now: Optional[float]
     ) -> int:
         """Deliver a batch of due entries with batched recording: one
-        counter-lock acquisition and one ``record_many`` per flush."""
+        counter-lock acquisition and one ``record_many`` per flush.
+
+        Telemetry: every entry feeds the scheduler-lag histogram
+        (``actual_fire − t_forward``, the deadline-slack metric); entries
+        belonging to a sampled trace additionally record their
+        ``scan_wakeup`` / ``send`` / ``record`` stage durations.
+        """
         if not due:
             return 0
+        tracer = self._tracer
+        m_lag = self._m_lag
         delivered: list[tuple[Packet, NodeId, NodeId]] = []
+        finished_traces: list[Trace] = []
         for entry in due:
-            packet = self._deliver(
-                entry, entry.t_forward if now is None else now
-            )
+            tr = None
+            if tracer is not None and tracer.active:
+                tr = tracer.inflight_pop(
+                    (int(entry.packet.source), int(entry.packet.seqno))
+                )
+            lag = 0.0
+            if now is not None:
+                lag = now - entry.t_forward
+                if lag < 0.0:
+                    lag = 0.0
+                if m_lag is not None:
+                    m_lag.observe(lag)
+            if tr is None:
+                packet = self._deliver(
+                    entry, entry.t_forward if now is None else now
+                )
+            else:
+                tr.lag = lag
+                tr.receiver = int(entry.receiver)
+                tr.stage("scan_wakeup", lag)
+                _t0 = _perf()
+                packet = self._deliver(
+                    entry, entry.t_forward if now is None else now
+                )
+                tr.stage("send", _perf() - _t0)
+                if packet is None:
+                    # Dropped at delivery time (node removed/quarantined,
+                    # retro-collision, drained receiver); the drop row
+                    # was already written by _deliver.
+                    tracer.finalize(tr, "dropped-at-delivery")
+                    tr = None
             if packet is not None:
                 delivered.append((packet, entry.sender, entry.receiver))
+                if tr is not None:
+                    finished_traces.append(tr)
         count = len(delivered)
         if count:
             with self._lock:
                 self.forwarded += count
             start = self.recorder.reserve_record_ids(count)
+            _t0 = _perf() if finished_traces else 0.0
             self.recorder.record_many(
                 [
                     self._make_record(p, s, r, record_id=start + i)
                     for i, (p, s, r) in enumerate(delivered)
                 ]
             )
+            if finished_traces:
+                record_dur = _perf() - _t0
+                for tr in finished_traces:
+                    tr.stage("record", record_dur)
+                    tracer.finalize(tr, "delivered")
         return count
 
     def next_forward_time(self) -> Optional[float]:
@@ -425,6 +582,11 @@ class ForwardingEngine:
     ) -> None:
         with self._lock:
             self.dropped += 1
+            if reason in DropReason.TRANSPORT:
+                self.transport_dropped += 1
+        fam = self._m_drop_family
+        if fam is not None:
+            fam.labels(reason).inc()
         self.recorder.record_packet(
             self._make_record(packet, sender, receiver, reason)
         )

@@ -26,6 +26,7 @@ import json
 import sqlite3
 import threading
 from abc import ABC, abstractmethod
+from collections import deque
 from typing import Optional, Sequence
 
 from ..errors import RecordingError
@@ -61,6 +62,21 @@ CREATE TABLE IF NOT EXISTS scene_events (
     details  TEXT NOT NULL
 );
 CREATE INDEX IF NOT EXISTS idx_scene_time ON scene_events (time);
+CREATE TABLE IF NOT EXISTS trace_spans (
+    span_id   INTEGER PRIMARY KEY,
+    trace_id  INTEGER NOT NULL,
+    source    INTEGER NOT NULL,
+    seqno     INTEGER NOT NULL,
+    channel   INTEGER NOT NULL,
+    sender    INTEGER NOT NULL,
+    receiver  INTEGER,
+    t_start   REAL NOT NULL,
+    t_forward REAL,
+    lag       REAL,
+    outcome   TEXT NOT NULL,
+    stages    TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_spans_trace ON trace_spans (trace_id);
 """
 
 
@@ -115,6 +131,21 @@ class Recorder(ABC):
             self.next_record_id()
         return first
 
+    # -- pipeline trace spans (observability plane) ---------------------------
+
+    def record_span(self, span) -> None:
+        """Persist one sampled pipeline span (see :mod:`repro.obs.tracing`).
+
+        Default is a no-op so third-party recorders stay source-compatible;
+        both built-in backends override it.  This is the paper's "complete
+        information ... for later statistics" extended to the sampled
+        per-stage timing of the §3.2 Steps 1–7 pipeline.
+        """
+
+    def spans(self) -> list:
+        """All persisted trace spans, in record order (default: none)."""
+        return []
+
     # -- shared conveniences --------------------------------------------------
 
     def next_record_id(self) -> int:
@@ -159,6 +190,10 @@ class MemoryRecorder(Recorder):
 
     SEGMENT_SIZE = 4096
 
+    #: Bound on retained trace spans (they are *sampled*, so a small ring
+    #: covers hours of traffic at default 1-in-128 sampling).
+    SPAN_CAPACITY = 4096
+
     def __init__(self, capacity: Optional[int] = None) -> None:
         if capacity is not None and capacity <= 0:
             raise RecordingError(f"capacity must be positive, got {capacity}")
@@ -167,6 +202,7 @@ class MemoryRecorder(Recorder):
         self._count = 0
         self.evicted = 0  # records discarded by the ring bound
         self._events: list[SceneEvent] = []
+        self._spans: deque = deque(maxlen=self.SPAN_CAPACITY)
         self._lock = threading.Lock()
         self._next_id = 1
 
@@ -227,6 +263,13 @@ class MemoryRecorder(Recorder):
     def scene_events(self) -> list[SceneEvent]:
         with self._lock:
             return list(self._events)
+
+    def record_span(self, span) -> None:
+        # deque.append with maxlen is atomic; no lock needed.
+        self._spans.append(span)
+
+    def spans(self) -> list:
+        return list(self._spans)
 
     def close(self) -> None:  # nothing to release
         pass
@@ -360,6 +403,43 @@ class SqliteRecorder(Recorder):
         return [
             SceneEvent(time=r[0], kind=r[1], node=NodeId(r[2]),
                        details=json.loads(r[3]))
+            for r in rows
+        ]
+
+    def record_span(self, span) -> None:
+        with self._lock:
+            try:
+                self._conn.execute(
+                    "INSERT INTO trace_spans (trace_id, source, seqno,"
+                    " channel, sender, receiver, t_start, t_forward, lag,"
+                    " outcome, stages) VALUES (?,?,?,?,?,?,?,?,?,?,?)",
+                    (
+                        span.trace_id, span.source, span.seqno, span.channel,
+                        span.sender, span.receiver, span.t_start,
+                        span.t_forward, span.lag, span.outcome,
+                        json.dumps(list(span.stages)),
+                    ),
+                )
+                self._conn.commit()
+            except sqlite3.Error as exc:
+                raise RecordingError(f"span insert failed: {exc}") from exc
+
+    def spans(self) -> list:
+        from ..obs.tracing import TraceSpan
+
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT trace_id, source, seqno, channel, sender, receiver,"
+                " t_start, t_forward, lag, outcome, stages FROM trace_spans"
+                " ORDER BY span_id"
+            ).fetchall()
+        return [
+            TraceSpan(
+                trace_id=r[0], source=r[1], seqno=r[2], channel=r[3],
+                sender=r[4], receiver=r[5], t_start=r[6], t_forward=r[7],
+                lag=r[8], outcome=r[9],
+                stages=tuple((s[0], s[1]) for s in json.loads(r[10])),
+            )
             for r in rows
         ]
 

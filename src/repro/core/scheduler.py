@@ -61,6 +61,32 @@ class ForwardSchedule:
         self._lock = threading.Lock()
         self._nonempty = threading.Condition(self._lock)
         self._closed = False
+        # Optional telemetry hooks (see bind_telemetry); None keeps the
+        # hot path at two attribute loads + an `is not None` check.
+        self._m_accepted = None
+        self._m_rejected = None
+
+    def bind_telemetry(self, registry) -> None:
+        """Register schedule metrics on an obs registry.
+
+        * ``poem_schedule_accepted_total`` / ``poem_schedule_rejected_total``
+          — push outcomes (rejected == queue-overflow drops upstream);
+        * ``poem_schedule_depth`` — a callback gauge over ``len(self)``,
+          sampled only when scraped (zero hot-path cost).
+        """
+        self._m_accepted = registry.counter(
+            "poem_schedule_accepted_total",
+            "Entries accepted into the forwarding schedule",
+        )
+        self._m_rejected = registry.counter(
+            "poem_schedule_rejected_total",
+            "Entries rejected by the schedule capacity bound",
+        )
+        registry.gauge_fn(
+            "poem_schedule_depth",
+            "Current number of entries awaiting their forward time",
+            lambda: len(self),
+        )
 
     def __len__(self) -> int:
         with self._lock:
@@ -76,12 +102,16 @@ class ForwardSchedule:
             if self._closed:
                 raise SchedulerError("schedule is closed")
             if self._capacity is not None and len(self._heap) >= self._capacity:
+                if self._m_rejected is not None:
+                    self._m_rejected.inc()
                 return False
             heapq.heappush(
                 self._heap, (entry.t_forward, next(self._seq), entry)
             )
             self._nonempty.notify_all()
-            return True
+        if self._m_accepted is not None:
+            self._m_accepted.inc()
+        return True
 
     def push_many(self, entries: Sequence[ScheduledPacket]) -> int:
         """Enqueue a batch under **one** lock acquisition (hot path).
@@ -108,7 +138,12 @@ class ForwardSchedule:
                 heapq.heappush(heap, (entry.t_forward, next(seq), entry))
             if accepted:
                 self._nonempty.notify_all()
-            return accepted
+        if self._m_accepted is not None:
+            if accepted:
+                self._m_accepted.inc(accepted)
+            if accepted < len(entries):
+                self._m_rejected.inc(len(entries) - accepted)
+        return accepted
 
     def peek_time(self) -> Optional[float]:
         """Forward time of the head entry (None when empty)."""

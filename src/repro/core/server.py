@@ -25,10 +25,13 @@ from typing import Callable, Optional, Type
 
 import numpy as np
 
+import time as _time_mod
+
 from ..errors import ProtocolError, SceneError
 from ..models.mobility import Bounds
 from ..models.radio import RadioConfig
 from ..net.virtual import LatencySpec
+from ..obs.telemetry import Telemetry
 from ..protocols.base import (
     ProtocolHost,
     RoutingProtocol,
@@ -169,6 +172,7 @@ class InProcessEmulator:
         use_client_stamps: bool = True,
         mac=None,
         energy=None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.clock = VirtualClock()
         self.scene = Scene(bounds=bounds, seed=seed)
@@ -176,6 +180,14 @@ class InProcessEmulator:
         self.recorder = recorder if recorder is not None else MemoryRecorder()
         self.recorder.attach_to_scene(self.scene)
         self.neighbors = neighbor_scheme(self.scene)
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self._tracer = (
+            self.telemetry.tracer if self.telemetry.enabled else None
+        )
+        if self._tracer is not None:
+            # The virtual transport owns Step 1 sampling (uplink arrival);
+            # stop the engine from double-sampling.
+            self._tracer.delegated = True
         self.engine = ForwardingEngine(
             self.scene,
             self.neighbors,
@@ -186,6 +198,7 @@ class InProcessEmulator:
             use_client_stamps=use_client_stamps,
             mac=mac,
             energy=energy,
+            telemetry=self.telemetry,
         )
         self.engine.deliver = self._deliver_to_host
         self._hosts: dict[NodeId, VirtualNodeHost] = {}
@@ -257,7 +270,16 @@ class InProcessEmulator:
             # Scene positions must reflect mobility up to 'now' before
             # neighbor lookup / loss draws (the server's view is current).
             self.scene.advance_time(self.clock.now())
-            entries = self.engine.ingest(host.node_id, packet)
+            tracer, tr = self._tracer, None
+            if tracer is not None:
+                t0 = _time_mod.perf_counter()
+                tr = tracer.maybe_start()
+                if tr is not None:
+                    tr.bind(host.node_id, packet)
+                    tr.stage(
+                        "receive", _time_mod.perf_counter() - t0
+                    )
+            entries = self.engine.ingest(host.node_id, packet, trace=tr)
             now = self.clock.now()
             for entry in entries:
                 self.clock.call_at(
@@ -309,7 +331,10 @@ class InProcessEmulator:
                 "ingested": self.engine.ingested,
                 "forwarded": self.engine.forwarded,
                 "dropped": self.engine.dropped,
+                "transport_dropped": self.engine.transport_dropped,
             },
+            "schedule_depth": len(self.engine.schedule),
+            "records_evicted": getattr(self.recorder, "evicted", 0),
         }
 
     # -- running -------------------------------------------------------------------

@@ -35,6 +35,9 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from ..errors import SupervisionError
+from ..obs.logging import get_logger, log_event
+
+_log = get_logger("supervision")
 
 __all__ = [
     "RestartPolicy",
@@ -180,6 +183,12 @@ class SupervisedThread:
                 attempt += 1
                 with self._lock:
                     self.restarts += 1
+                log_event(
+                    _log, "thread-restart",
+                    thread=self.name, attempt=attempt,
+                    delay=round(delay, 4),
+                    error=f"{type(exc).__name__}: {exc}",
+                )
                 if self._stop.wait(delay):
                     return
 
@@ -215,6 +224,9 @@ class HealthRegistry:
         self._threads: dict[str, SupervisedThread] = {}
         self._events: deque[FailureEvent] = deque(maxlen=max_events)
         self._lock = threading.Lock()
+        #: Monotonic crash count across all components (never trimmed —
+        #: mirrors into ``poem_thread_failures_total``).
+        self.failures_total = 0
 
     # -- registration ------------------------------------------------------------
 
@@ -258,6 +270,11 @@ class HealthRegistry:
                     error=f"{type(exc).__name__}: {exc}",
                 )
             )
+            self.failures_total += 1
+        log_event(
+            _log, "component-failure",
+            component=source, error=f"{type(exc).__name__}: {exc}",
+        )
 
     def failures(self) -> list[FailureEvent]:
         with self._lock:

@@ -44,9 +44,11 @@ Fault tolerance (the layer §3.2 implies but the paper never implements —
 from __future__ import annotations
 
 import itertools
+import logging
 import queue
 import socket
 import threading
+import time as _time_mod
 from functools import partial
 from typing import Optional, Type
 
@@ -57,6 +59,9 @@ from ..models.link import BandwidthModel, DelayModel, LinkModel, PacketLossModel
 from ..models.mobility import Bounds
 from ..models.radio import Radio, RadioConfig
 from ..net import framing, messages
+from ..obs.httpd import TelemetryHTTPServer
+from ..obs.logging import get_logger, log_event
+from ..obs.telemetry import Telemetry
 from .clock import RealTimeClock, make_sync_reply, SyncRequest
 from .engine import ForwardingEngine
 from .geometry import Vec2
@@ -70,6 +75,8 @@ from .supervision import HealthRegistry
 __all__ = ["PoEmServer"]
 
 _conn_ids = itertools.count(1)
+_perf = _time_mod.perf_counter
+_log = get_logger("tcpserver")
 
 
 class _ClientConnection:
@@ -196,6 +203,9 @@ class PoEmServer:
         heartbeat_misses: int = 3,
         stale_grace: float = 2.0,
         outbox_limit: int = 1024,
+        telemetry: Optional[Telemetry] = None,
+        metrics_port: Optional[int] = None,
+        metrics_host: str = "127.0.0.1",
     ) -> None:
         self._host = host
         self._port = port
@@ -205,6 +215,7 @@ class PoEmServer:
         self.recorder = recorder if recorder is not None else MemoryRecorder()
         self.recorder.attach_to_scene(self.scene)
         self.neighbors = neighbor_scheme(self.scene)
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
         self.engine = ForwardingEngine(
             self.scene,
             self.neighbors,
@@ -213,6 +224,7 @@ class PoEmServer:
             rng=np.random.default_rng(seed),
             schedule_capacity=schedule_capacity,
             use_client_stamps=use_client_stamps,
+            telemetry=self.telemetry,
         )
         self.engine.deliver = self._deliver
         self._ids = IdAllocator()
@@ -232,6 +244,56 @@ class PoEmServer:
         # Disconnected-but-graced nodes by registration label (reclaim map).
         self._orphans: dict[str, NodeId] = {}
         self._clients_lock = threading.Lock()
+        # -- observability plane -------------------------------------------
+        self._metrics_host = metrics_host
+        self._metrics_port = metrics_port
+        self._metrics_httpd: Optional[TelemetryHTTPServer] = None
+        self.metrics_address: Optional[tuple[str, int]] = None
+        self._tracer = None
+        self._m_rx_binary = self._m_rx_json = None
+        self._m_tx = self._m_overflow = self._m_quarantines = None
+        if self.telemetry.enabled:
+            tracer = self.telemetry.tracer
+            if tracer is not None:
+                # The transport owns the sampling decision (its spans
+                # include Step 1); stop the engine from double-sampling.
+                tracer.delegated = True
+                self._tracer = tracer
+            reg = self.telemetry.registry
+            rx = reg.counter(
+                "poem_server_frames_received_total",
+                "Data frames received from clients, by wire encoding",
+                labels=("encoding",),
+            )
+            self._m_rx_binary = rx.labels("binary")
+            self._m_rx_json = rx.labels("json")
+            self._m_tx = reg.counter(
+                "poem_server_frames_sent_total",
+                "Deliver frames queued onto client outboxes",
+            )
+            self._m_overflow = reg.counter(
+                "poem_server_outbox_overflow_total",
+                "Frames displaced from bounded client outboxes",
+            )
+            self._m_quarantines = reg.counter(
+                "poem_server_quarantines_total",
+                "Clients quarantined for heartbeat silence or disconnect",
+            )
+            reg.gauge_fn(
+                "poem_server_clients",
+                "Currently connected emulation clients",
+                lambda: len(self._clients),
+            )
+            reg.gauge_fn(
+                "poem_server_quarantined",
+                "Nodes currently quarantined awaiting reclaim or expiry",
+                lambda: len(self._stale),
+            )
+            reg.counter_fn(
+                "poem_thread_failures_total",
+                "Crashes recorded by the supervision layer",
+                lambda: self.supervisor.failures_total,
+            )
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -264,6 +326,15 @@ class PoEmServer:
                 restartable=True,
                 should_run=should_run,
             )
+        if self._metrics_port is not None and self.telemetry.enabled:
+            self._metrics_httpd = TelemetryHTTPServer(
+                self.telemetry.registry,
+                health_fn=self.health,
+                tracer=self.telemetry.tracer,
+                host=self._metrics_host,
+                port=self._metrics_port,
+            )
+            self.metrics_address = self._metrics_httpd.start()
         return self.address
 
     @property
@@ -278,6 +349,10 @@ class PoEmServer:
             return
         self._running = False
         self._stop_evt.set()
+        if self._metrics_httpd is not None:
+            self._metrics_httpd.stop()
+            self._metrics_httpd = None
+            self.metrics_address = None
         if self._sock is not None:
             try:
                 # Wake a thread blocked in accept(); close alone does not.
@@ -325,7 +400,7 @@ class PoEmServer:
                 for nid, conn in self._clients.items()
             }
             quarantined = {int(n): dl for n, dl in self._stale.items()}
-        return {
+        out = {
             "running": self._running,
             "time": self.clock.now(),
             "threads": sup["threads"],
@@ -336,8 +411,14 @@ class PoEmServer:
                 "ingested": self.engine.ingested,
                 "forwarded": self.engine.forwarded,
                 "dropped": self.engine.dropped,
+                "transport_dropped": self.engine.transport_dropped,
             },
+            "schedule_depth": len(self.engine.schedule),
+            "records_evicted": getattr(self.recorder, "evicted", 0),
         }
+        if self.metrics_address is not None:
+            out["metrics_address"] = list(self.metrics_address)
+        return out
 
     # -- accept / per-client receive ------------------------------------------------
 
@@ -404,6 +485,8 @@ class PoEmServer:
         because a JSON message's first byte is always ``{`` (0x7B), never
         the binary magic 0xB1.
         """
+        tracer = self._tracer
+        t0 = _perf() if tracer is not None else 0.0
         if messages.is_binary_frame(frame):
             op, packet = messages.decode_packet_binary(frame)
             if op != "packet":
@@ -412,11 +495,22 @@ class PoEmServer:
                 )
             if conn.node_id is None:
                 raise TransportError("packet before register")
-            self.engine.ingest(conn.node_id, packet)
+            tr = None
+            if tracer is not None:
+                self._m_rx_binary.inc()
+                tr = tracer.maybe_start()
+                if tr is not None:
+                    tr.bind(conn.node_id, packet)
+                    tr.stage("receive", _perf() - t0)
+            self.engine.ingest(conn.node_id, packet, trace=tr)
             return False
-        return self._handle_message(conn, messages.decode_message(frame))
+        return self._handle_message(
+            conn, messages.decode_message(frame), t0=t0
+        )
 
-    def _handle_message(self, conn: _ClientConnection, msg: dict) -> bool:
+    def _handle_message(
+        self, conn: _ClientConnection, msg: dict, *, t0: float = 0.0
+    ) -> bool:
         """Dispatch one message; returns True on an orderly ``bye``."""
         op = msg["op"]
         if op == "register":
@@ -436,7 +530,16 @@ class PoEmServer:
             if conn.node_id is None:
                 raise TransportError("packet before register")
             packet = messages.packet_from_wire(msg["packet"])
-            self.engine.ingest(conn.node_id, packet)
+            tracer, tr = self._tracer, None
+            if tracer is not None:
+                self._m_rx_json.inc()
+                tr = tracer.maybe_start()
+                if tr is not None:
+                    tr.bind(conn.node_id, packet)
+                    tr.stage(
+                        "receive", (_perf() - t0) if t0 else 0.0
+                    )
+            self.engine.ingest(conn.node_id, packet, trace=tr)
         elif op == "scene_op":
             self._scene_op(msg)
         elif op == "ping":
@@ -471,6 +574,10 @@ class PoEmServer:
             except SceneError:
                 pass
             conn.reclaimed = True
+            log_event(
+                _log, "client-reclaimed", level=logging.INFO,
+                node=int(node_id), label=label,
+            )
         else:
             if node_id is not None:
                 # Orphan expired in the race window — fall through to a
@@ -557,6 +664,13 @@ class PoEmServer:
             if self._clients.get(nid) is not conn or nid in self._stale:
                 return
             self._stale[nid] = now + self._stale_grace
+        if self._m_quarantines is not None:
+            self._m_quarantines.inc()
+        log_event(
+            _log, "client-quarantined",
+            node=int(nid), label=conn.label,
+            deadline=round(now + self._stale_grace, 3), cause="heartbeat",
+        )
         try:
             self.scene.quarantine_node(nid)
         except SceneError:
@@ -571,6 +685,7 @@ class PoEmServer:
             conn = self._clients.pop(nid, None)
             for lbl in [l for l, n in self._orphans.items() if n == nid]:
                 del self._orphans[lbl]
+        log_event(_log, "client-expired", node=int(nid))
         if nid in self.scene:
             try:
                 self.scene.remove_node(nid)
@@ -614,6 +729,12 @@ class PoEmServer:
                     nid = None  # a newer connection owns this node now
         if nid is not None:
             if keep:
+                if self._m_quarantines is not None:
+                    self._m_quarantines.inc()
+                log_event(
+                    _log, "client-quarantined",
+                    node=int(nid), label=conn.label, cause="disconnect",
+                )
                 try:
                     self.scene.quarantine_node(nid)
                 except SceneError:
@@ -639,6 +760,16 @@ class PoEmServer:
     ) -> None:
         """A slow client's outbox displaced its oldest entry (Step 6
         backpressure).  Data frames are recorded as transport drops."""
+        if self._m_overflow is not None:
+            self._m_overflow.inc()
+        # Log the first overflow per connection, then every 256th — a
+        # persistently slow client must not flood the log plane.
+        if conn.overflow == 1 or conn.overflow % 256 == 0:
+            log_event(
+                _log, "outbox-overflow",
+                node=int(conn.node_id) if conn.node_id is not None else None,
+                label=conn.label, total=conn.overflow,
+            )
         if packet is not None:
             self.engine.record_transport_drop(
                 packet, conn.node_id, DropReason.TRANSPORT_OVERFLOW
@@ -693,6 +824,8 @@ class PoEmServer:
                     {"op": "deliver", "packet": messages.packet_to_wire(packet)}
                 )
             conn.enqueue(frame, packet)
+            if self._m_tx is not None:
+                self._m_tx.inc()
 
     def _mobility_loop(self) -> None:
         """Tick scene time forward.  Crashes surface in :meth:`health`

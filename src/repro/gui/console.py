@@ -20,6 +20,8 @@ command                         effect
 ``run <seconds>``               advance emulation time
 ``stats``                       pipeline counters
 ``health``                      supervision/liveness snapshot
+``metrics [filter]``            Prometheus-text telemetry snapshot
+``trace [n]``                   recent sampled pipeline spans
 ``quit``                        leave the console
 =============================  =============================================
 
@@ -146,7 +148,60 @@ class PoEmConsole(cmd.Cmd):
             return
         from ..stats.report import format_health
 
-        self._say(format_health(health_fn()))
+        # Degrade gracefully: a half-torn-down deployment (or a broken
+        # health source) must yield an error line, not a traceback that
+        # kills the operator's console.
+        try:
+            snapshot = health_fn()
+            rendered = format_health(snapshot)
+        except Exception as exc:  # noqa: BLE001 — operator surface
+            self._fail(f"health unavailable: {type(exc).__name__}: {exc}")
+            return
+        self._say(rendered)
+
+    def do_metrics(self, arg: str) -> None:
+        """metrics [name-substring] — Prometheus-text telemetry snapshot."""
+        telemetry = getattr(self.emulator, "telemetry", None)
+        if telemetry is None or not getattr(telemetry, "enabled", False):
+            self._fail("telemetry is not enabled on this emulator")
+            return
+        try:
+            text = telemetry.render()
+        except Exception as exc:  # noqa: BLE001 — operator surface
+            self._fail(f"metrics unavailable: {type(exc).__name__}: {exc}")
+            return
+        needle = arg.strip()
+        if needle:
+            text = "\n".join(
+                line for line in text.splitlines() if needle in line
+            )
+            if not text:
+                self._say(f"(no metrics matching {needle!r})")
+                return
+        self._say(text.rstrip("\n"))
+
+    def do_trace(self, arg: str) -> None:
+        """trace [n] — show the n most recent sampled pipeline spans."""
+        telemetry = getattr(self.emulator, "telemetry", None)
+        tracer = getattr(telemetry, "tracer", None)
+        if tracer is None:
+            self._fail("pipeline tracing is not enabled on this emulator")
+            return
+        n = 5
+        if arg.strip():
+            try:
+                n = max(int(arg.strip()), 1)
+            except ValueError:
+                self._fail("usage: trace [n]")
+                return
+        from ..obs.tracing import format_span
+
+        spans = tracer.recent(n)
+        if not spans:
+            self._say("(no sampled spans yet)")
+            return
+        for span in spans:
+            self._say(format_span(span))
 
     # -- scene operations ---------------------------------------------------------------
 

@@ -1,0 +1,54 @@
+"""Runtime telemetry for the PoEm stack (metrics, tracing, logs, HTTP).
+
+A dependency-free observability plane for the real-time emulator:
+
+* :mod:`repro.obs.metrics` — thread-safe :class:`Counter` /
+  :class:`Gauge` / :class:`Histogram` primitives with per-thread shards
+  folded on read, collected in a :class:`MetricsRegistry` that renders
+  Prometheus text;
+* :mod:`repro.obs.tracing` — 1-in-N sampled packet traces through the
+  paper's §3.2 Steps 1–7, including the scheduler-lag deadline metric;
+* :mod:`repro.obs.logging` — structured JSON logs for the stack's
+  failure/lifecycle events;
+* :mod:`repro.obs.httpd` — the localhost ``/metrics`` + ``/health`` +
+  ``/trace`` endpoint;
+* :mod:`repro.obs.telemetry` — the per-deployment bundle wiring it all
+  together.
+
+See docs/observability.md for the metric catalog, trace schema, and a
+scrape example.
+"""
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+    default_latency_buckets,
+)
+from .tracing import PIPELINE_STAGES, PipelineTracer, Trace, TraceSpan, format_span
+from .telemetry import Telemetry
+from .httpd import TelemetryHTTPServer
+from .logging import JsonFormatter, configure, get_logger, log_event, set_level
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "default_latency_buckets",
+    "PIPELINE_STAGES",
+    "PipelineTracer",
+    "Trace",
+    "TraceSpan",
+    "format_span",
+    "Telemetry",
+    "TelemetryHTTPServer",
+    "JsonFormatter",
+    "configure",
+    "get_logger",
+    "log_event",
+    "set_level",
+]

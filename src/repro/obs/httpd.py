@@ -1,0 +1,156 @@
+"""Localhost HTTP exposition endpoint: ``/metrics``, ``/health``, ``/trace``.
+
+A tiny stdlib :mod:`http.server` wrapper that a deployment can hang off
+its telemetry bundle:
+
+* ``GET /metrics`` — Prometheus text format
+  (:meth:`repro.obs.metrics.MetricsRegistry.render`), scrapable by any
+  collector;
+* ``GET /health`` — the deployment's ``health()`` snapshot as JSON (the
+  same dict the console's ``health`` command renders);
+* ``GET /trace`` — recent sampled pipeline spans as JSON
+  (``?n=10`` limits the count).
+
+Bound to localhost by default — this is an *operator* surface, not a
+public one; anything wider belongs behind a real reverse proxy.  The
+server runs on one daemon thread (``poem-metrics-http``) and per-request
+handler threads, all torn down by :meth:`TelemetryHTTPServer.stop`.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Optional
+from urllib.parse import parse_qs, urlparse
+
+from .metrics import MetricsRegistry
+from .tracing import PipelineTracer
+
+__all__ = ["TelemetryHTTPServer"]
+
+
+class _Handler(BaseHTTPRequestHandler):
+    # Injected by TelemetryHTTPServer.start() via a subclass attribute.
+    registry: MetricsRegistry
+    health_fn: Optional[Callable[[], dict]]
+    tracer: Optional[PipelineTracer]
+
+    protocol_version = "HTTP/1.1"
+
+    def do_GET(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
+        parsed = urlparse(self.path)
+        try:
+            if parsed.path == "/metrics":
+                body = self.registry.render().encode()
+                ctype = "text/plain; version=0.0.4; charset=utf-8"
+            elif parsed.path == "/health":
+                if self.health_fn is None:
+                    self._send(404, b'{"error": "no health source"}',
+                               "application/json")
+                    return
+                body = json.dumps(self.health_fn(), default=str).encode()
+                ctype = "application/json"
+            elif parsed.path == "/trace":
+                if self.tracer is None:
+                    self._send(404, b'{"error": "tracing disabled"}',
+                               "application/json")
+                    return
+                qs = parse_qs(parsed.query)
+                n = None
+                if "n" in qs:
+                    try:
+                        n = max(int(qs["n"][0]), 0)
+                    except ValueError:
+                        n = None
+                spans = [s.as_dict() for s in self.tracer.recent(n)]
+                body = json.dumps({"spans": spans}, default=str).encode()
+                ctype = "application/json"
+            else:
+                self._send(404, b"not found\n", "text/plain")
+                return
+        except Exception as exc:  # noqa: BLE001 — exposition must not crash
+            self._send(
+                500,
+                json.dumps({"error": str(exc)}).encode(),
+                "application/json",
+            )
+            return
+        self._send(200, body, ctype)
+
+    def _send(self, code: int, body: bytes, ctype: str) -> None:
+        self.send_response(code)
+        self.send_header("Content-Type", ctype)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, fmt: str, *args) -> None:  # silence stderr chatter
+        pass
+
+
+class TelemetryHTTPServer:
+    """Lifecycle wrapper around the exposition endpoint."""
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        *,
+        health_fn: Optional[Callable[[], dict]] = None,
+        tracer: Optional[PipelineTracer] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._registry = registry
+        self._health_fn = health_fn
+        self._tracer = tracer
+        self._host = host
+        self._port = port
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> tuple[str, int]:
+        """Bind and serve; returns the bound (host, port)."""
+        if self._httpd is not None:
+            return self.address
+        # health_fn must be wrapped in staticmethod: a plain function
+        # stored as a class attribute turns into a bound method, which
+        # would pass the handler instance to a zero-arg callback.
+        handler = type(
+            "_BoundHandler",
+            (_Handler,),
+            {
+                "registry": self._registry,
+                "health_fn": (
+                    staticmethod(self._health_fn)
+                    if self._health_fn is not None
+                    else None
+                ),
+                "tracer": self._tracer,
+            },
+        )
+        self._httpd = ThreadingHTTPServer((self._host, self._port), handler)
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="poem-metrics-http",
+            daemon=True,
+        )
+        self._thread.start()
+        return self.address
+
+    @property
+    def address(self) -> tuple[str, int]:
+        if self._httpd is None:
+            raise RuntimeError("telemetry HTTP server not started")
+        return self._httpd.server_address[:2]
+
+    def stop(self) -> None:
+        httpd, thread = self._httpd, self._thread
+        self._httpd = self._thread = None
+        if httpd is not None:
+            httpd.shutdown()
+            httpd.server_close()
+        if thread is not None and thread.is_alive():
+            thread.join(timeout=2.0)

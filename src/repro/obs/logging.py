@@ -1,0 +1,139 @@
+"""Structured JSON logging for the PoEm stack.
+
+The fault-tolerance layer (PR 1) turned silent thread deaths into
+counters — but supervision restarts, client quarantines and outbox
+overflows still *vanished* into those counters: nothing told the
+operator **when** and **why** as it happened.  This module is the
+missing log plane: one JSON object per line on stderr, machine-grepable
+(``jq 'select(.event=="client-quarantined")'``) and human-skimmable.
+
+Usage::
+
+    from repro.obs.logging import get_logger, log_event
+    log = get_logger("tcpserver")
+    log_event(log, "client-quarantined", node=3, label="VMN3",
+              deadline=12.5)
+
+Every line carries ``ts`` (epoch seconds), ``level``, ``logger``
+(``poem.<component>``), ``event`` (a stable kebab-case tag — the thing
+you grep for), and the event's own fields.  The default level is
+WARNING so routine traffic stays quiet; ``set_level(logging.INFO)``
+opens up lifecycle events (reconnects, reclaims).
+
+Everything rides on stdlib :mod:`logging`, so embedders can silence or
+re-route the ``poem`` logger tree with the normal logging API;
+:func:`configure` is a convenience for tests that want to capture the
+stream.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+import threading
+from typing import Optional, TextIO
+
+__all__ = [
+    "JsonFormatter",
+    "get_logger",
+    "log_event",
+    "set_level",
+    "configure",
+]
+
+ROOT_NAME = "poem"
+
+_setup_lock = threading.Lock()
+_handler: Optional[logging.Handler] = None
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per record; unserializable values become strings."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        obj: dict = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "event": getattr(record, "event", None) or record.getMessage(),
+        }
+        fields = getattr(record, "fields", None)
+        if fields:
+            for key, value in fields.items():
+                if key not in obj:
+                    obj[key] = value
+        if record.exc_info and record.exc_info[1] is not None:
+            obj["error"] = (
+                f"{type(record.exc_info[1]).__name__}: {record.exc_info[1]}"
+            )
+        try:
+            return json.dumps(obj, default=str)
+        except (TypeError, ValueError):
+            return json.dumps({k: str(v) for k, v in obj.items()})
+
+
+def _ensure_configured() -> logging.Logger:
+    """Attach the JSON handler to the ``poem`` root logger exactly once."""
+    global _handler
+    root = logging.getLogger(ROOT_NAME)
+    with _setup_lock:
+        if _handler is None:
+            handler = logging.StreamHandler()
+            handler.setFormatter(JsonFormatter())
+            root.addHandler(handler)
+            root.setLevel(logging.WARNING)
+            root.propagate = False
+            _handler = handler
+    return root
+
+
+def get_logger(component: str) -> logging.Logger:
+    """Logger for one stack component (``poem.<component>``)."""
+    _ensure_configured()
+    return logging.getLogger(f"{ROOT_NAME}.{component}")
+
+
+def log_event(
+    logger: logging.Logger,
+    event: str,
+    *,
+    level: int = logging.WARNING,
+    **fields,
+) -> None:
+    """Emit one structured event if the logger's level admits it.
+
+    ``event`` is the stable machine tag; ``fields`` are the payload.
+    The level check happens first, so disabled events cost one
+    comparison.
+    """
+    if logger.isEnabledFor(level):
+        logger.log(level, event, extra={"event": event, "fields": fields})
+
+
+def set_level(level: int) -> None:
+    """Set the whole ``poem`` logger tree's threshold."""
+    _ensure_configured().setLevel(level)
+
+
+def configure(
+    stream: Optional[TextIO] = None, level: Optional[int] = None
+) -> TextIO:
+    """(Re)route the JSON stream — used by tests to capture output.
+
+    Returns the active stream (a fresh :class:`io.StringIO` when none is
+    given).
+    """
+    global _handler
+    root = _ensure_configured()
+    target: TextIO = stream if stream is not None else io.StringIO()
+    with _setup_lock:
+        assert _handler is not None
+        root.removeHandler(_handler)
+        handler = logging.StreamHandler(target)
+        handler.setFormatter(JsonFormatter())
+        root.addHandler(handler)
+        _handler = handler
+    if level is not None:
+        root.setLevel(level)
+    return target

@@ -11,8 +11,20 @@ from .metrics import (
     stamp_errors,
     throughput_series,
 )
-from .export import export_jsonl, export_packets_csv, export_scene_csv
-from .report import FlowStats, NodeActivity, RunReport, build_report, format_report
+from .export import (
+    export_jsonl,
+    export_metrics_json,
+    export_packets_csv,
+    export_scene_csv,
+)
+from .report import (
+    FlowStats,
+    NodeActivity,
+    RunReport,
+    build_report,
+    format_health,
+    format_report,
+)
 from .theory import RelayScenario, fluid_stamp_lag, nonrealtime_curve
 
 __all__ = [
@@ -36,4 +48,6 @@ __all__ = [
     "export_packets_csv",
     "export_scene_csv",
     "export_jsonl",
+    "export_metrics_json",
+    "format_health",
 ]

@@ -7,7 +7,10 @@ want the data in pandas/R/gnuplot instead.  Two formats:
   and one per scene event with JSON-encoded details
   (``export_scene_csv``);
 * **JSON-lines** — both logs interleaved in time order, one self-tagged
-  object per line (``export_jsonl``), convenient for jq pipelines.
+  object per line (``export_jsonl``), convenient for jq pipelines;
+* **metrics JSON** — a point-in-time snapshot of a telemetry registry
+  (``export_metrics_json``), the same data ``/metrics`` exposes in
+  Prometheus text, for runs without a scraper attached.
 
 All writers stream; nothing is buffered wholesale.
 """
@@ -21,7 +24,12 @@ from typing import Union
 
 from ..core.recording import Recorder
 
-__all__ = ["export_packets_csv", "export_scene_csv", "export_jsonl"]
+__all__ = [
+    "export_packets_csv",
+    "export_scene_csv",
+    "export_jsonl",
+    "export_metrics_json",
+]
 
 PACKET_FIELDS = (
     "record_id", "seqno", "source", "destination", "sender", "receiver",
@@ -99,3 +107,21 @@ def export_jsonl(recorder: Recorder, path: Union[str, Path]) -> int:
         for _, _, obj in entries:
             fh.write(json.dumps(obj) + "\n")
     return len(entries)
+
+
+def export_metrics_json(source, path: Union[str, Path]) -> int:
+    """Write a telemetry snapshot as one pretty-printed JSON document.
+
+    ``source`` is a :class:`repro.obs.Telemetry` bundle, a
+    :class:`repro.obs.MetricsRegistry`, or anything exposing a
+    ``snapshot() -> dict``.  Returns the number of metric families
+    written.  Histograms carry their bucket layout, counts, sum and
+    p50/p95/p99 estimates — enough to re-plot latency distributions
+    without the live registry.
+    """
+    registry = getattr(source, "registry", source)
+    snap = registry.snapshot()
+    with open(path, "w") as fh:
+        json.dump(snap, fh, indent=2, default=str)
+        fh.write("\n")
+    return len(snap.get("metrics", {}))

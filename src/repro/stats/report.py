@@ -65,6 +65,9 @@ class RunReport:
     data_records: int
     flows: list[FlowStats] = field(default_factory=list)
     nodes: list[NodeActivity] = field(default_factory=list)
+    records_evicted: int = 0
+    """Records the recorder's ring bound discarded before this report —
+    when non-zero, the totals above describe a *suffix* of the run."""
 
     @property
     def overall_loss(self) -> float:
@@ -169,6 +172,7 @@ def build_report(recorder: Recorder, *, top_flows: int = 10) -> RunReport:
         data_records=sum(1 for p in packets if p.kind == "data"),
         flows=flows,
         nodes=nodes,
+        records_evicted=int(getattr(recorder, "evicted", 0)),
     )
 
 
@@ -190,6 +194,11 @@ def format_report(report: RunReport) -> str:
         lines.append(
             f"  transport drops : {report.transport_dropped} "
             "(stale peers / outbox overflow — not the radio medium)"
+        )
+    if report.records_evicted:
+        lines.append(
+            f"  evicted records : {report.records_evicted} "
+            "(ring bound — stats cover a suffix of the run)"
         )
     if report.flows:
         lines.append("  flows (by record volume):")
@@ -259,11 +268,25 @@ def format_health(health: dict) -> str:
         )
     engine = health.get("engine", {})
     if engine:
-        lines.append(
+        line = (
             f"  engine          : ingested {engine.get('ingested', 0)}  "
             f"forwarded {engine.get('forwarded', 0)}  "
             f"dropped {engine.get('dropped', 0)}"
         )
+        if engine.get("transport_dropped"):
+            line += f"  (transport {engine['transport_dropped']})"
+        lines.append(line)
+    if "schedule_depth" in health:
+        lines.append(
+            f"  schedule depth  : {health['schedule_depth']}"
+        )
+    if health.get("records_evicted"):
+        lines.append(
+            f"  evicted records : {health['records_evicted']} (ring bound)"
+        )
+    if health.get("metrics_address"):
+        host_, port_ = health["metrics_address"][:2]
+        lines.append(f"  metrics         : http://{host_}:{port_}/metrics")
     failures = health.get("recent_failures", [])
     if failures:
         lines.append("  recent failures:")

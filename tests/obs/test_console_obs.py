@@ -1,0 +1,93 @@
+"""Console telemetry commands (metrics, trace) + health degradation."""
+
+import io
+
+import pytest
+
+from repro.core.geometry import Vec2
+from repro.core.ids import BROADCAST_NODE, ChannelId
+from repro.core.server import InProcessEmulator
+from repro.gui.console import PoEmConsole
+from repro.models.radio import RadioConfig
+from repro.obs.telemetry import Telemetry
+
+
+@pytest.fixture
+def console():
+    emu = InProcessEmulator(seed=0, telemetry=Telemetry(sample_every=1))
+    a = emu.add_node(Vec2(0, 0), RadioConfig.single(1, 200.0), label="VMN1")
+    emu.add_node(Vec2(100, 0), RadioConfig.single(1, 200.0), label="VMN2")
+    a.transmit(BROADCAST_NODE, b"x", channel=ChannelId(1))
+    emu.run_until(0.5)
+    out = io.StringIO()
+    return PoEmConsole(emu, stdout=out), emu, out
+
+
+def run(con, out, command):
+    out.truncate(0)
+    out.seek(0)
+    con.onecmd(command)
+    return out.getvalue()
+
+
+class TestMetricsCommand:
+    def test_metrics_renders_prometheus_text(self, console):
+        con, _, out = console
+        text = run(con, out, "metrics")
+        assert "# TYPE poem_engine_ingested_total counter" in text
+        assert "poem_engine_ingested_total 1" in text
+        assert "poem_scheduler_lag_seconds_count" in text
+
+    def test_metrics_filter(self, console):
+        con, _, out = console
+        text = run(con, out, "metrics poem_engine_forwarded_total")
+        assert "poem_engine_forwarded_total" in text
+        assert "poem_scheduler_lag_seconds" not in text
+
+    def test_metrics_filter_no_match(self, console):
+        con, _, out = console
+        assert "no metrics matching" in run(con, out, "metrics zzz-nothing")
+
+    def test_metrics_disabled(self):
+        emu = InProcessEmulator(seed=0, telemetry=Telemetry.disabled())
+        out = io.StringIO()
+        con = PoEmConsole(emu, stdout=out)
+        assert "not enabled" in run(con, out, "metrics")
+
+
+class TestTraceCommand:
+    def test_trace_shows_recent_spans(self, console):
+        con, _, out = console
+        text = run(con, out, "trace")
+        assert "trace #" in text
+        assert "neighbor_lookup" in text
+        assert "outcome=delivered" in text
+
+    def test_trace_limit_argument(self, console):
+        con, _, out = console
+        assert "trace #" in run(con, out, "trace 1")
+
+    def test_trace_bad_argument(self, console):
+        con, _, out = console
+        assert "usage: trace" in run(con, out, "trace nope")
+
+    def test_trace_disabled(self):
+        emu = InProcessEmulator(seed=0, telemetry=Telemetry.disabled())
+        out = io.StringIO()
+        con = PoEmConsole(emu, stdout=out)
+        assert "not enabled" in run(con, out, "trace")
+
+
+class TestHealthDegradation:
+    def test_health_survives_broken_source(self, console):
+        con, emu, out = console
+        emu.health = lambda: (_ for _ in ()).throw(RuntimeError("torn down"))
+        text = run(con, out, "health")
+        assert "error: health unavailable" in text
+        assert "torn down" in text
+        assert "Traceback" not in text
+
+    def test_health_renders_schedule_depth(self, console):
+        con, _, out = console
+        text = run(con, out, "health")
+        assert "schedule depth" in text

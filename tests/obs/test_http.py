@@ -1,0 +1,129 @@
+"""Exposition endpoint smoke tests: /metrics, /health, /trace."""
+
+import json
+import urllib.request
+
+from repro.obs.httpd import TelemetryHTTPServer
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import PipelineTracer
+
+
+def _get(addr, path):
+    host, port = addr
+    with urllib.request.urlopen(
+        f"http://{host}:{port}{path}", timeout=5.0
+    ) as resp:
+        return resp.status, resp.headers.get("Content-Type"), resp.read()
+
+
+class TestTelemetryHTTPServer:
+    def test_metrics_health_trace_roundtrip(self):
+        reg = MetricsRegistry()
+        reg.counter("poem_x_total", "things").inc(3)
+        tracer = PipelineTracer(sample_every=1)
+        tr = tracer.maybe_start()
+        tr.stage("receive", 1e-6)
+        tracer.commit(tr, [], [])
+        srv = TelemetryHTTPServer(
+            reg, health_fn=lambda: {"running": True}, tracer=tracer
+        )
+        addr = srv.start()
+        try:
+            status, ctype, body = _get(addr, "/metrics")
+            assert status == 200
+            assert ctype.startswith("text/plain")
+            assert b"poem_x_total 3" in body
+
+            status, ctype, body = _get(addr, "/health")
+            assert status == 200
+            assert json.loads(body) == {"running": True}
+
+            status, _, body = _get(addr, "/trace?n=5")
+            assert status == 200
+            spans = json.loads(body)["spans"]
+            assert len(spans) == 1
+            assert spans[0]["outcome"] == "no-neighbors"
+        finally:
+            srv.stop()
+
+    def test_unknown_path_404(self):
+        srv = TelemetryHTTPServer(MetricsRegistry())
+        addr = srv.start()
+        try:
+            import urllib.error
+
+            try:
+                _get(addr, "/nope")
+                raise AssertionError("expected 404")
+            except urllib.error.HTTPError as exc:
+                assert exc.code == 404
+        finally:
+            srv.stop()
+
+    def test_health_absent_404(self):
+        srv = TelemetryHTTPServer(MetricsRegistry())
+        addr = srv.start()
+        try:
+            import urllib.error
+
+            try:
+                _get(addr, "/health")
+                raise AssertionError("expected 404")
+            except urllib.error.HTTPError as exc:
+                assert exc.code == 404
+        finally:
+            srv.stop()
+
+    def test_stop_is_idempotent(self):
+        srv = TelemetryHTTPServer(MetricsRegistry())
+        srv.start()
+        srv.stop()
+        srv.stop()
+
+
+class TestServerEndpoint:
+    def test_poem_server_exposes_metrics(self):
+        from repro.core.tcpserver import PoEmServer
+
+        srv = PoEmServer(seed=0, metrics_port=0)
+        srv.start()
+        try:
+            assert srv.metrics_address is not None
+            status, _, body = _get(srv.metrics_address, "/metrics")
+            assert status == 200
+            text = body.decode()
+            # The full catalog is registered up front.
+            for name in (
+                "poem_engine_ingested_total",
+                "poem_engine_drop_reason_total",
+                "poem_scheduler_lag_seconds",
+                "poem_pipeline_stage_seconds",
+                "poem_schedule_depth",
+                "poem_server_clients",
+                "poem_thread_failures_total",
+            ):
+                assert name in text, f"{name} missing from /metrics"
+
+            status, _, body = _get(srv.metrics_address, "/health")
+            health = json.loads(body)
+            assert health["running"] is True
+            assert "engine" in health
+            assert "schedule_depth" in health
+        finally:
+            srv.stop()
+
+    def test_endpoint_lifecycle_with_stop(self):
+        from repro.core.tcpserver import PoEmServer
+
+        srv = PoEmServer(seed=0, metrics_port=0)
+        srv.start()
+        addr = srv.metrics_address
+        srv.stop()
+        assert srv.metrics_address is None
+        import urllib.error
+
+        try:
+            _get(addr, "/metrics")
+            raise AssertionError("endpoint should be down after stop()")
+        except (urllib.error.URLError, ConnectionError, OSError):
+            pass

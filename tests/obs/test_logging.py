@@ -1,0 +1,76 @@
+"""Structured JSON logging tests."""
+
+import json
+import logging
+
+from repro.obs.logging import configure, get_logger, log_event, set_level
+
+
+def _lines(stream):
+    return [
+        json.loads(line)
+        for line in stream.getvalue().splitlines()
+        if line.strip()
+    ]
+
+
+class TestStructuredLogging:
+    def test_event_is_one_json_line(self):
+        stream = configure(level=logging.WARNING)
+        log = get_logger("test-a")
+        log_event(log, "client-quarantined", node=3, label="VMN3")
+        (obj,) = _lines(stream)
+        assert obj["event"] == "client-quarantined"
+        assert obj["logger"] == "poem.test-a"
+        assert obj["level"] == "warning"
+        assert obj["node"] == 3
+        assert obj["label"] == "VMN3"
+        assert isinstance(obj["ts"], float)
+
+    def test_level_gating(self):
+        stream = configure(level=logging.WARNING)
+        log = get_logger("test-b")
+        log_event(log, "lifecycle-info", level=logging.INFO, x=1)
+        assert _lines(stream) == []
+        set_level(logging.INFO)
+        try:
+            log_event(log, "lifecycle-info", level=logging.INFO, x=1)
+            assert _lines(stream)[0]["event"] == "lifecycle-info"
+        finally:
+            set_level(logging.WARNING)
+
+    def test_unserializable_field_degrades_to_string(self):
+        stream = configure(level=logging.WARNING)
+        log = get_logger("test-c")
+        log_event(log, "weird", payload=object())
+        (obj,) = _lines(stream)
+        assert obj["event"] == "weird"
+        assert "payload" in obj
+
+    def test_supervision_restart_emits_event(self):
+        import threading
+
+        from repro.core.supervision import HealthRegistry, RestartPolicy
+
+        stream = configure(level=logging.WARNING)
+        reg = HealthRegistry()
+        ran = threading.Event()
+        calls = {"n": 0}
+
+        def crashes_once():
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("boom")
+            ran.set()
+
+        st = reg.spawn(
+            "poem-test-crash",
+            crashes_once,
+            policy=RestartPolicy(base=0.01, max_restarts=2),
+        )
+        assert ran.wait(5.0)
+        st.stop()
+        events = {obj["event"] for obj in _lines(stream)}
+        assert "component-failure" in events
+        assert "thread-restart" in events
+        assert reg.failures_total == 1

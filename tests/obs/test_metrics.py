@@ -1,0 +1,211 @@
+"""Unit tests for the metrics primitives (Counter/Gauge/Histogram/Registry)."""
+
+import math
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_latency_buckets,
+)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        c = Counter("c")
+        c.inc()
+        c.inc(4)
+        assert c.value() == 5
+
+    def test_concurrent_shard_folding(self):
+        """N threads x M increments fold to exactly N*M — no lost updates."""
+        c = Counter("c")
+        threads_n, incs = 8, 5000
+
+        def worker():
+            for _ in range(incs):
+                c.inc()
+
+        workers = [threading.Thread(target=worker) for _ in range(threads_n)]
+        for t in workers:
+            t.start()
+        for t in workers:
+            t.join()
+        assert c.value() == threads_n * incs
+
+    def test_dead_thread_contribution_survives(self):
+        c = Counter("c")
+        t = threading.Thread(target=lambda: c.inc(7))
+        t.start()
+        t.join()
+        assert c.value() == 7
+
+    def test_callback_counter_adds_to_shards(self):
+        total = {"n": 10}
+        c = Counter("c", fn=lambda: total["n"])
+        c.inc(5)
+        assert c.value() == 15
+        total["n"] = 20
+        assert c.value() == 25
+
+    def test_broken_callback_does_not_crash(self):
+        c = Counter("c", fn=lambda: 1 / 0)
+        c.inc(3)
+        assert c.value() == 3
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("g")
+        g.set(10.0)
+        g.inc(2.5)
+        g.dec(0.5)
+        assert g.value() == 12.0
+
+    def test_callback_gauge(self):
+        box = [3]
+        g = Gauge("g", fn=lambda: box[0])
+        assert g.value() == 3
+        box[0] = 9
+        assert g.value() == 9
+
+    def test_broken_callback_is_nan(self):
+        g = Gauge("g", fn=lambda: 1 / 0)
+        assert math.isnan(g.value())
+
+
+class TestHistogram:
+    def test_default_buckets_are_log_scale(self):
+        b = default_latency_buckets()
+        assert len(b) == 29
+        assert b[0] == pytest.approx(1e-6)
+        assert b[-1] == pytest.approx(10.0)
+        ratios = [b[i + 1] / b[i] for i in range(len(b) - 1)]
+        for r in ratios:
+            assert r == pytest.approx(10 ** 0.25)
+
+    def test_bucket_assignment_le_semantics(self):
+        h = Histogram("h", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.0, 1.5, 2.0, 3.0, 100.0):
+            h.observe(v)
+        counts, total, n = h.folded()
+        # le semantics: 0.5,1.0 <= 1.0 | 1.5,2.0 <= 2.0 | 3.0 <= 4.0 | 100 -> +Inf
+        assert counts == [2, 2, 1, 1]
+        assert n == 6
+        assert total == pytest.approx(108.0)
+
+    def test_mean_and_percentiles(self):
+        h = Histogram("h", buckets=(1.0, 2.0, 4.0, 8.0))
+        for v in [0.5] * 50 + [3.0] * 50:
+            h.observe(v)
+        assert h.value() == pytest.approx(1.75)
+        assert h.count() == 100
+        # p25 falls in the first bucket, p75 in the (2, 4] bucket.
+        assert 0.0 < h.percentile(0.25) <= 1.0
+        assert 2.0 <= h.percentile(0.75) <= 4.0
+
+    def test_percentile_empty_is_nan(self):
+        h = Histogram("h")
+        assert math.isnan(h.percentile(0.5))
+
+    def test_percentile_validates_q(self):
+        h = Histogram("h")
+        with pytest.raises(ValueError):
+            h.percentile(1.5)
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(2.0, 1.0))
+
+    def test_concurrent_observes_fold_exactly(self):
+        h = Histogram("h", buckets=(0.5, 1.5))
+        threads_n, obs = 6, 4000
+
+        def worker():
+            for i in range(obs):
+                h.observe(1.0 if i % 2 else 2.0)
+
+        workers = [threading.Thread(target=worker) for _ in range(threads_n)]
+        for t in workers:
+            t.start()
+        for t in workers:
+            t.join()
+        counts, total, n = h.folded()
+        assert n == threads_n * obs
+        assert counts[0] == 0
+        assert counts[1] == threads_n * obs // 2  # the 1.0s
+        assert counts[2] == threads_n * obs // 2  # the 2.0s (+Inf)
+
+
+class TestRegistry:
+    def test_get_or_create_idempotent(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x_total", "help")
+        b = reg.counter("x_total")
+        assert a is b
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("m")
+        with pytest.raises(ValueError):
+            reg.gauge("m")
+
+    def test_label_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("m", labels=("reason",))
+        with pytest.raises(ValueError):
+            reg.counter("m", labels=("other",))
+        with pytest.raises(ValueError):
+            reg.counter("m")  # unlabelled vs family
+
+    def test_family_children_cached(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("drops_total", "d", labels=("reason",))
+        a = fam.labels("loss")
+        b = fam.labels("loss")
+        assert a is b
+        a.inc(3)
+        fam.labels("stale").inc(1)
+        assert {tuple(c.label_values) for c in fam.children()} == {
+            (("reason", "loss"),),
+            (("reason", "stale"),),
+        }
+
+    def test_render_prometheus_text(self):
+        reg = MetricsRegistry()
+        reg.counter("poem_x_total", "things").inc(2)
+        reg.gauge("poem_depth", "depth").set(5)
+        h = reg.histogram("poem_lat_seconds", "lat", buckets=(1.0, 2.0))
+        h.observe(0.5)
+        h.observe(1.5)
+        text = reg.render()
+        assert "# HELP poem_x_total things" in text
+        assert "# TYPE poem_x_total counter" in text
+        assert "poem_x_total 2" in text
+        assert "poem_depth 5" in text
+        assert 'poem_lat_seconds_bucket{le="1"} 1' in text
+        assert 'poem_lat_seconds_bucket{le="2"} 2' in text
+        assert 'poem_lat_seconds_bucket{le="+Inf"} 2' in text
+        assert "poem_lat_seconds_sum 2" in text
+        assert "poem_lat_seconds_count 2" in text
+
+    def test_render_labelled_family(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("poem_drop_total", "drops", labels=("reason",))
+        fam.labels("channel-loss").inc(4)
+        assert 'poem_drop_total{reason="channel-loss"} 4' in reg.render()
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total").inc()
+        reg.histogram("h_seconds", buckets=(1.0,)).observe(0.5)
+        snap = reg.snapshot()
+        assert "time" in snap
+        assert snap["metrics"]["c_total"]["kind"] == "counter"
+        hist = snap["metrics"]["h_seconds"]["samples"][0]
+        assert hist["count"] == 1
+        assert "p95" in hist

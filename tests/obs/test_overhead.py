@@ -1,0 +1,93 @@
+"""Guard the hot-path cost of the telemetry plane.
+
+The strict ≤5 % ingest-regression budget is enforced by the benchmarks
+job (``benchmarks/test_micro.py`` + ``check_regression.py``); this test
+is the fast in-suite guard with deliberately generous thresholds so it
+never flakes on shared CI hardware while still catching an accidental
+lock or allocation on the unsampled path.
+"""
+
+import time
+
+import numpy as np
+
+from repro.core.clock import VirtualClock
+from repro.core.engine import ForwardingEngine
+from repro.core.geometry import Vec2
+from repro.core.ids import BROADCAST_NODE, ChannelId, NodeId
+from repro.core.neighbor import ChannelIndexedNeighborTables
+from repro.core.packet import Packet
+from repro.core.recording import MemoryRecorder
+from repro.core.scene import Scene
+from repro.models.radio import RadioConfig
+from repro.obs.telemetry import Telemetry
+
+
+def _build(telemetry):
+    scene = Scene(seed=0)
+    rng = np.random.default_rng(0)
+    for i in range(1, 31):
+        scene.add_node(
+            NodeId(i),
+            Vec2(float(rng.uniform(0, 400)), float(rng.uniform(0, 400))),
+            RadioConfig.single(1, 150.0),
+        )
+    engine = ForwardingEngine(
+        scene, ChannelIndexedNeighborTables(scene), VirtualClock(),
+        MemoryRecorder(), rng=np.random.default_rng(0),
+        telemetry=telemetry,
+    )
+    return engine
+
+
+def _time_ingest(engine, iters=300, repeats=5):
+    """Best-of-N timing of the broadcast-ingest loop (seconds/iter)."""
+    packet = Packet(
+        source=NodeId(1), destination=BROADCAST_NODE, payload=b"x",
+        size_bits=512, seqno=1, channel=ChannelId(1), t_origin=0.0,
+    )
+    ingest, drain = engine.ingest, engine.schedule.drain
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for _ in range(iters):
+            ingest(NodeId(1), packet)
+            drain()
+        best = min(best, (time.perf_counter() - t0) / iters)
+    return best
+
+
+class TestTelemetryOverhead:
+    def test_disabled_bundle_is_effectively_free(self):
+        """telemetry=None vs Telemetry.disabled(): same code path."""
+        base = _time_ingest(_build(None))
+        disabled = _time_ingest(_build(Telemetry.disabled()))
+        # Identical guards on both paths; allow broad scheduling noise.
+        assert disabled < base * 1.5 + 5e-6, (
+            f"disabled telemetry costs too much: "
+            f"{base * 1e6:.2f}us -> {disabled * 1e6:.2f}us"
+        )
+
+    def test_enabled_default_sampling_within_budget(self):
+        """Enabled at default 1-in-128 sampling: loose in-suite bound.
+
+        The precise ≤5 % gate runs in the benchmarks job; here we only
+        refuse order-of-magnitude regressions (an accidental lock,
+        per-ingest allocation, or always-on sampling).
+        """
+        base = _time_ingest(_build(None))
+        enabled = _time_ingest(_build(Telemetry()))
+        assert enabled < base * 2.0 + 1e-5, (
+            f"enabled telemetry too expensive: "
+            f"{base * 1e6:.2f}us -> {enabled * 1e6:.2f}us"
+        )
+
+    def test_enabled_engine_produces_spans_and_metrics(self):
+        """The budget above must not be met by simply doing nothing."""
+        telemetry = Telemetry(sample_every=64)
+        engine = _build(telemetry)
+        _time_ingest(engine, iters=128, repeats=1)
+        assert telemetry.tracer.sampled >= 2
+        snap = telemetry.snapshot()
+        ingested = snap["metrics"]["poem_engine_ingested_total"]
+        assert ingested["samples"][0]["value"] >= 128

@@ -10,6 +10,7 @@ from repro.core.server import InProcessEmulator
 from repro.models.radio import RadioConfig
 from repro.stats.export import (
     export_jsonl,
+    export_metrics_json,
     export_packets_csv,
     export_scene_csv,
 )
@@ -68,6 +69,37 @@ class TestJsonlExport:
             emu.recorder.scene_events()
         )
         assert lines == expected
+
+
+class TestMetricsJsonExport:
+    def test_from_telemetry_bundle(self, tmp_path):
+        from repro.obs.telemetry import Telemetry
+
+        emu = InProcessEmulator(seed=0, telemetry=Telemetry(sample_every=1))
+        a = emu.add_node(Vec2(0, 0), RadioConfig.single(1, 200.0))
+        b = emu.add_node(Vec2(100, 0), RadioConfig.single(1, 200.0))
+        a.transmit(b.node_id, b"x", channel=1)
+        emu.run_until(1.0)
+        path = tmp_path / "metrics.json"
+        count = export_metrics_json(emu.telemetry, path)
+        obj = json.loads(path.read_text())
+        assert count == len(obj["metrics"]) > 0
+        ingested = obj["metrics"]["poem_engine_ingested_total"]
+        assert ingested["kind"] == "counter"
+        assert ingested["samples"][0]["value"] >= 1
+        lag = obj["metrics"]["poem_scheduler_lag_seconds"]
+        assert lag["kind"] == "histogram"
+        assert lag["samples"][0]["count"] >= 1
+
+    def test_from_bare_registry(self, tmp_path):
+        from repro.obs.metrics import MetricsRegistry
+
+        reg = MetricsRegistry()
+        reg.counter("poem_x_total", "things").inc(2)
+        path = tmp_path / "metrics.json"
+        assert export_metrics_json(reg, path) == 1
+        obj = json.loads(path.read_text())
+        assert obj["metrics"]["poem_x_total"]["samples"][0]["value"] == 2
 
 
 class TestCliExport:
