@@ -1,0 +1,191 @@
+"""One recorded run, loaded and indexed for forensic joins.
+
+A :class:`RunDataset` snapshots the recorder's four tables and builds
+the indexes every other analysis layer needs: packets by record id,
+trace spans by ``(source, seqno)``, sync samples by node, and the
+terminal ``run-summary`` scene event (PR 4) when the run shut down
+cleanly.  It is deliberately a *snapshot* — analysis never races a live
+emulation; point it at a finished run.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..core.packet import DropReason, PacketRecord
+from ..core.recording import Recorder, SqliteRecorder
+from ..core.scene import SceneEvent
+from ..errors import AnalysisError
+
+__all__ = ["RunDataset", "load_dataset"]
+
+
+class RunDataset:
+    """Joined, indexed snapshot of one recording."""
+
+    def __init__(
+        self,
+        packets: list[PacketRecord],
+        scene_events: list[SceneEvent],
+        spans: list,
+        sync_samples: list,
+    ) -> None:
+        self.packets = packets
+        self.scene_events = scene_events
+        self.spans = spans
+        self.sync_samples = sync_samples
+        # -- indexes --------------------------------------------------------
+        self._by_record_id = {p.record_id: p for p in packets}
+        self._spans_by_key: dict[tuple[int, int], list] = {}
+        for span in spans:
+            self._spans_by_key.setdefault(
+                (span.source, span.seqno), []
+            ).append(span)
+        self._syncs_by_node: dict[int, list] = {}
+        for s in sync_samples:
+            self._syncs_by_node.setdefault(s.node, []).append(s)
+        for lst in self._syncs_by_node.values():
+            lst.sort(key=lambda s: s.t_server)
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_recorder(cls, recorder: Recorder) -> "RunDataset":
+        return cls(
+            recorder.packets(),
+            recorder.scene_events(),
+            recorder.spans(),
+            recorder.sync_samples(),
+        )
+
+    # -- basic partitions ----------------------------------------------------
+
+    @property
+    def delivered(self) -> list[PacketRecord]:
+        return [p for p in self.packets if not p.dropped]
+
+    @property
+    def drops(self) -> list[PacketRecord]:
+        return [p for p in self.packets if p.dropped]
+
+    @property
+    def medium_drops(self) -> list[PacketRecord]:
+        """Drops caused by the emulated radio medium."""
+        return [
+            p for p in self.drops
+            if p.drop_reason not in DropReason.TRANSPORT
+        ]
+
+    @property
+    def transport_drops(self) -> list[PacketRecord]:
+        """Drops caused by the transport/fault-tolerance layer."""
+        return [
+            p for p in self.drops
+            if p.drop_reason in DropReason.TRANSPORT
+        ]
+
+    # -- lookups -------------------------------------------------------------
+
+    def packet(self, record_id: int) -> PacketRecord:
+        try:
+            return self._by_record_id[record_id]
+        except KeyError:
+            raise AnalysisError(
+                f"no packet record with id {record_id}"
+            ) from None
+
+    def spans_for(self, record: PacketRecord):
+        """Trace spans sampled for this packet, best match first.
+
+        Spans are keyed by ``(source, seqno)``; a broadcast fans out to
+        one span per receiver, so prefer the span whose receiver matches
+        the record's.
+        """
+        candidates = self._spans_by_key.get(
+            (record.source, record.seqno), []
+        )
+        if not candidates:
+            return []
+        return sorted(
+            candidates,
+            key=lambda sp: (
+                0 if sp.receiver == record.receiver else 1,
+                sp.trace_id,
+            ),
+        )
+
+    def syncs_for(self, node: int) -> list:
+        """§4.1 sync samples of one client, ordered by server time."""
+        return list(self._syncs_by_node.get(node, []))
+
+    def synced_nodes(self) -> list[int]:
+        return sorted(self._syncs_by_node)
+
+    # -- run framing ---------------------------------------------------------
+
+    @property
+    def run_summary(self) -> Optional[dict]:
+        """Details of the terminal ``run-summary`` event, if recorded."""
+        for event in reversed(self.scene_events):
+            if event.kind == "run-summary":
+                return dict(event.details)
+        return None
+
+    def time_range(self) -> tuple[float, float]:
+        """``(start, end)`` of the run on the server clock.
+
+        Start is the earliest receipt/scene time; end prefers the
+        ``run-summary`` stop stamp, falling back to the last observed
+        packet/scene time.
+        """
+        times: list[float] = []
+        for p in self.packets:
+            for t in (p.t_receipt, p.t_forward, p.t_delivered):
+                if t is not None:
+                    times.append(t)
+        times.extend(e.time for e in self.scene_events)
+        if not times:
+            return (0.0, 0.0)
+        start = min(times)
+        end = max(times)
+        for event in reversed(self.scene_events):
+            if event.kind == "run-summary":
+                end = max(end, event.time)
+                break
+        return (start, end)
+
+    # -- introspection -------------------------------------------------------
+
+    def nodes(self) -> list[int]:
+        seen: set[int] = set()
+        for p in self.packets:
+            seen.add(p.sender)
+            if p.receiver is not None:
+                seen.add(p.receiver)
+        return sorted(seen)
+
+    def channels(self) -> list[int]:
+        return sorted({p.channel for p in self.packets})
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RunDataset(packets={len(self.packets)},"
+            f" events={len(self.scene_events)}, spans={len(self.spans)},"
+            f" syncs={len(self.sync_samples)})"
+        )
+
+
+def load_dataset(source: Union[str, Recorder]) -> RunDataset:
+    """Load a run from a live :class:`Recorder` or a SQLite file path.
+
+    A path is opened read-style via :class:`SqliteRecorder` (sqlite is
+    append-only here; opening an existing db never mutates recorded
+    rows) and closed again once the snapshot is taken.
+    """
+    if isinstance(source, Recorder):
+        return RunDataset.from_recorder(source)
+    recorder = SqliteRecorder(str(source))
+    try:
+        return RunDataset.from_recorder(recorder)
+    finally:
+        recorder.close()

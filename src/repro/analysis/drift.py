@@ -1,0 +1,184 @@
+"""Per-client clock-drift auditing over the §4.1 sync-sample history.
+
+The paper's sync scheme corrects a client's clock *at the moment of the
+exchange*; between exchanges, oscillator drift re-accumulates silently
+and every ``t_origin`` stamp the client produces carries the
+re-accumulated error.  §4.1 leaves the resync frequency to the user —
+which means the recording may contain arbitrarily stale stamps and
+nobody would know.  This module closes that hole offline:
+
+* :func:`estimate_drift` fits a least-squares line to one client's
+  ``offset`` samples over server time.  The measured offset is
+  ``server − client_local``; for the crystal-oscillator model
+  ``local = true·(1+d)`` the slope of that line is ``−d``, so the
+  fitted ``rate`` *is* (minus) the oscillator drift rate.
+* :class:`DriftEstimate.correction_at` evaluates the fitted model at
+  any server time, anchored at the **nearest sync sample** — the stamp
+  correction used by :mod:`repro.analysis.lineage`.  On the virtual
+  stack the recorded ``residual`` is the exact stamp error and the
+  correction is exact; on the TCP stack the residual is ~0 at each
+  sync and only the re-accumulated drift term applies.
+* :func:`audit_clocks` runs the fit for every synced client and
+  projects the worst-case stamp error over the largest gap between
+  corrections — the number the drift-budget anomaly detector compares
+  against its threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["DriftEstimate", "ClockAudit", "audit_clocks", "estimate_drift"]
+
+
+@dataclass(frozen=True)
+class DriftEstimate:
+    """Fitted clock model of one client."""
+
+    node: int
+    label: str
+    samples: int
+    """Number of §4.1 exchanges the fit used."""
+
+    rate: float
+    """``d(offset)/d(t_server)`` — seconds of clock error gained per
+    server second.  ``−rate`` estimates the oscillator drift ``d``."""
+
+    mean_offset: float
+    """Mean measured ``server − client_local`` offset."""
+
+    mean_delay: float
+    """Mean one-way exchange delay (the per-sample error bound)."""
+
+    span: float
+    """Server-time distance between first and last sample."""
+
+    max_gap: float
+    """Largest server-time gap between consecutive corrections (from
+    run start through run end) — drift re-accumulates over gaps."""
+
+    projected_error: float
+    """|rate| · max_gap (+ mean residual magnitude): the worst stamp
+    error the run could contain under the fitted model."""
+
+    anchors: tuple = field(default_factory=tuple, repr=False)
+    """The ``(t_server, residual)`` anchor points, by server time."""
+
+    def correction_at(self, t_server: float) -> float:
+        """Estimated stamp error ``server − stamp`` at ``t_server``.
+
+        Anchored at the nearest sync sample: the residual recorded there
+        plus drift re-accumulated since (or before, when the nearest
+        anchor is later).  Add the returned value to a client stamp to
+        express it on the server clock.
+        """
+        if not self.anchors:
+            return 0.0
+        nearest = min(self.anchors, key=lambda a: abs(t_server - a[0]))
+        t_anchor, residual = nearest
+        return residual + self.rate * (t_server - t_anchor)
+
+
+@dataclass(frozen=True)
+class ClockAudit:
+    """Every client's drift estimate, keyed by node id."""
+
+    estimates: dict[int, DriftEstimate]
+
+    def get(self, node: int) -> Optional[DriftEstimate]:
+        return self.estimates.get(node)
+
+    def correction_at(self, node: int, t_server: float) -> float:
+        est = self.estimates.get(node)
+        return est.correction_at(t_server) if est is not None else 0.0
+
+    def worst(self) -> Optional[DriftEstimate]:
+        if not self.estimates:
+            return None
+        return max(
+            self.estimates.values(), key=lambda e: e.projected_error
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            str(node): {
+                "label": e.label,
+                "samples": e.samples,
+                "rate": e.rate,
+                "mean_offset": e.mean_offset,
+                "mean_delay": e.mean_delay,
+                "span": e.span,
+                "max_gap": e.max_gap,
+                "projected_error": e.projected_error,
+            }
+            for node, e in sorted(self.estimates.items())
+        }
+
+
+def _least_squares_slope(xs: list[float], ys: list[float]) -> float:
+    """Plain least-squares slope; 0.0 when degenerate (constant x)."""
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    if sxx <= 0.0:
+        return 0.0
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    return sxy / sxx
+
+
+def estimate_drift(
+    samples: list,
+    *,
+    run_range: Optional[tuple[float, float]] = None,
+) -> Optional[DriftEstimate]:
+    """Fit one client's drift model from its sync samples (time order).
+
+    Returns ``None`` for an empty history.  With a single sample the
+    rate is 0 (no drift observable) but the anchor still corrects the
+    constant residual.  ``run_range`` extends gap computation to the
+    whole run, so a client that synced only once at t=0 of a long run
+    shows the honest (large) re-accumulation window.
+    """
+    if not samples:
+        return None
+    ordered = sorted(samples, key=lambda s: s.t_server)
+    ts = [s.t_server for s in ordered]
+    offsets = [s.offset for s in ordered]
+    rate = _least_squares_slope(ts, offsets) if len(ordered) >= 2 else 0.0
+    # Gap structure: corrections happen at each sample; drift
+    # re-accumulates across the longest stretch without one.
+    edges = list(ts)
+    if run_range is not None:
+        start, end = run_range
+        edges = [min(start, ts[0])] + edges + [max(end, ts[-1])]
+    max_gap = max(
+        (b - a for a, b in zip(edges, edges[1:])), default=0.0
+    )
+    mean_residual = sum(abs(s.residual) for s in ordered) / len(ordered)
+    return DriftEstimate(
+        node=ordered[0].node,
+        label=ordered[-1].label,
+        samples=len(ordered),
+        rate=rate,
+        mean_offset=sum(offsets) / len(offsets),
+        mean_delay=sum(s.delay for s in ordered) / len(ordered),
+        span=ts[-1] - ts[0],
+        max_gap=max_gap,
+        projected_error=abs(rate) * max_gap + mean_residual,
+        anchors=tuple((s.t_server, s.residual) for s in ordered),
+    )
+
+
+def audit_clocks(dataset) -> ClockAudit:
+    """Run :func:`estimate_drift` for every client in the dataset."""
+    run_range = dataset.time_range()
+    estimates: dict[int, DriftEstimate] = {}
+    for node in dataset.synced_nodes():
+        est = estimate_drift(
+            dataset.syncs_for(node), run_range=run_range
+        )
+        if est is not None:
+            estimates[node] = est
+    return ClockAudit(estimates=estimates)

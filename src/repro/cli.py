@@ -14,6 +14,9 @@ The commands cover the operator workflows the paper's GUI served:
     Whole-run statistics report from a recording.
 ``export``
     Dump a recording as CSV or JSON-lines for external analysis.
+``analyze``
+    Post-emulation forensics report: per-packet lineage, clock-drift
+    audit, anomaly detection — text, JSON, or a single-file HTML page.
 ``console``
     Interactive operator console on a fresh emulator.
 ``serve``
@@ -104,6 +107,27 @@ def build_parser() -> argparse.ArgumentParser:
                         help="output file (csv: packets; a *_scene.csv "
                              "sibling is written too)")
 
+    analyze = sub.add_parser(
+        "analyze", help="post-emulation forensics report from a recording"
+    )
+    analyze.add_argument("recording", help="SQLite recording path")
+    analyze.add_argument("--format", choices=("text", "json", "html"),
+                         default="text")
+    analyze.add_argument("--out", help="write the report to a file "
+                                       "instead of stdout")
+    analyze.add_argument("--window", type=float, default=1.0,
+                         help="aggregate/anomaly window width (seconds)")
+    analyze.add_argument("--lag-budget", type=float, default=0.010,
+                         help="scheduler-lag spike threshold (seconds)")
+    analyze.add_argument("--drift-budget", type=float, default=0.010,
+                         help="projected clock-stamp error budget (seconds)")
+    analyze.add_argument("--lineage", type=int, default=1, metavar="N",
+                         help="number of sample packet lineages to resolve")
+    analyze.add_argument("--record-id", type=int, action="append",
+                         dest="record_ids", metavar="ID",
+                         help="resolve the lineage of this specific packet "
+                              "record (repeatable; overrides --lineage)")
+
     console = sub.add_parser(
         "console", help="interactive operator console on a fresh emulator"
     )
@@ -151,6 +175,9 @@ def _cmd_run_scenario(args: argparse.Namespace) -> int:
         _load_nodes(emu, args.nodes)
         script = Scenario.from_json(Path(args.scenario).read_text())
         script.run(emu, until=args.until)
+        # Clean-shutdown marker: lets `poem analyze` frame the run
+        # without inferring its end from the last packet.
+        emu.record_run_summary()
         packets = len(recorder.packets())
         events = len(recorder.scene_events())
         print(
@@ -257,6 +284,35 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from .analysis import Thresholds, analyze
+    from .analysis.report import render_html, render_json, render_text
+
+    thresholds = Thresholds(
+        lag_budget=args.lag_budget,
+        drift_budget=args.drift_budget,
+        window=args.window,
+    )
+    report = analyze(
+        args.recording,
+        thresholds=thresholds,
+        lineage_samples=max(args.lineage, 0),
+        lineage_records=args.record_ids,
+    )
+    if args.format == "json":
+        rendered = render_json(report)
+    elif args.format == "html":
+        rendered = render_html(report)
+    else:
+        rendered = render_text(report)
+    if args.out:
+        Path(args.out).write_text(rendered)
+        print(f"wrote {args.format} report to {args.out}")
+    else:
+        print(rendered, end="" if rendered.endswith("\n") else "\n")
+    return 0
+
+
 def _cmd_console(args: argparse.Namespace) -> int:
     from .gui.console import PoEmConsole
 
@@ -301,6 +357,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "experiment": _cmd_experiment,
         "stats": _cmd_stats,
         "export": _cmd_export,
+        "analyze": _cmd_analyze,
         "console": _cmd_console,
         "serve": _cmd_serve,
     }

@@ -19,7 +19,10 @@ VMN within the server's grace period), re-runs the §4.1 clock sync, and
 resumes the embedded protocol.  Frames transmitted during the outage are
 counted in :attr:`outage_drops` (radio silence, not an error).  The
 ``transport_wrapper`` hook lets tests interpose a
-:class:`~repro.net.faults.FaultyTransport` on the socket.
+:class:`~repro.net.faults.FaultyTransport` on the socket, and the
+``local_clock`` hook substitutes the workstation clock — e.g. a
+:class:`~repro.net.faults.SkewedClock` emulating a drifting oscillator
+for the forensics plane's clock audit to catch.
 """
 
 from __future__ import annotations
@@ -37,6 +40,7 @@ from ..net import framing, messages
 from ..obs.logging import get_logger, log_event
 from ..protocols.base import ProtocolHost, RoutingProtocol, ThreadTimerService, TimerService
 from .clock import (
+    EmulationClock,
     RealTimeClock,
     SynchronizedClock,
     SyncReply,
@@ -72,6 +76,7 @@ class PoEmClient(ProtocolHost):
         max_reconnect_attempts: int = 8,
         reconnect_seed: Optional[int] = None,
         transport_wrapper: Optional[Callable[[socket.socket], object]] = None,
+        local_clock: Optional[EmulationClock] = None,
         telemetry=None,
     ) -> None:
         self._address = address
@@ -95,8 +100,11 @@ class PoEmClient(ProtocolHost):
         self._sock = None  # socket.socket or a transport wrapper around one
         self._send_lock = threading.Lock()
         self._node_id: Optional[NodeId] = None
-        self._local_clock = RealTimeClock()
+        self._local_clock: EmulationClock = (
+            local_clock if local_clock is not None else RealTimeClock()
+        )
         self.clock = SynchronizedClock(self._local_clock)
+        self._sync_report_ok = False  # server advertises forensics capture
         self.last_sync: Optional[SyncResult] = None
         self._stamper: Optional[PacketStamper] = None
         self._timers = ThreadTimerService()
@@ -147,7 +155,7 @@ class PoEmClient(ProtocolHost):
         self._install_socket(
             socket.create_connection(self._address, timeout=self._connect_timeout)
         )
-        self._handshake()
+        self._handshake(cause="register")
         self._running = True
         self._stop_evt.clear()
         self._receiver = threading.Thread(
@@ -168,11 +176,13 @@ class PoEmClient(ProtocolHost):
         else:
             self._sock = sock
 
-    def _handshake(self) -> None:
+    def _handshake(self, cause: str = "register") -> None:
         """Register (or re-register) this VMN and run the clock sync.
 
         Runs on whichever thread owns the socket exclusively: the caller
         of :meth:`connect`, or the receiver thread during a reconnect.
+        ``cause`` labels the §4.1 sync samples this handshake produces
+        (``register`` or ``reconnect``) in the forensics log.
         """
         self._binary = False  # renegotiated on every (re)connect
         self._send(
@@ -194,17 +204,32 @@ class PoEmClient(ProtocolHost):
         # An old server ignores the flag and omits it from the reply;
         # we then keep speaking JSON in both directions.
         self._binary = bool(msg.get("binary", False))
+        # A forensics-capable server (PR 4+) records every §4.1 exchange
+        # in its sync_samples table; it advertises that so we know the
+        # sync_report op exists.  Old servers close the connection on an
+        # unknown op, so the report is strictly capability-gated.
+        self._sync_report_ok = bool(msg.get("forensics", False))
         self._stamper = PacketStamper(self._node_id)
-        self.synchronize()
+        self.synchronize(cause=cause)
         self._sock.settimeout(None)
 
-    def synchronize(self, rounds: Optional[int] = None) -> SyncResult:
+    def synchronize(
+        self, rounds: Optional[int] = None, *, cause: str = "resync"
+    ) -> SyncResult:
         """Run the §4.1 exchange ``rounds`` times; keep the min-delay sample.
 
         The scheme's error is bounded by delay asymmetry; taking the
         exchange with the smallest estimated delay minimizes the bound.
         Callable again at any time — "how to set the synchronization
         frequency is determined by the user" (§4.1).
+
+        When the server advertised forensics capture, every round's
+        result is reported back (``sync_report``) so the recorder's
+        ``sync_samples`` table sees the full exchange history — the
+        input of the offline clock-drift audit
+        (:mod:`repro.analysis.drift`).  ``cause`` labels the samples:
+        ``register``/``reconnect`` from the handshake, ``resync`` when
+        called explicitly.
         """
         rounds = rounds if rounds is not None else self._sync_rounds
         # When a live receiver thread owns the socket, sync replies are
@@ -218,6 +243,7 @@ class PoEmClient(ProtocolHost):
             and threading.current_thread() is not self._receiver
         )
         best: Optional[SyncResult] = None
+        collected: list[tuple[SyncResult, float]] = []
         for _ in range(max(rounds, 1)):
             t_c1 = self._local_clock.now()
             self._send({"op": "sync_req", "t_c1": t_c1})
@@ -233,11 +259,31 @@ class PoEmClient(ProtocolHost):
                 SyncReply(t_s3=float(msg["t_s3"]), echo=float(msg["echo"])),
                 t_c4,
             )
+            collected.append((result, t_c4))
             if best is None or result.round_trip_delay < best.round_trip_delay:
                 best = result
         assert best is not None
         self.clock.set_offset(best.offset)
         self.last_sync = best
+        if self._sync_report_ok:
+            try:
+                self._send(
+                    {
+                        "op": "sync_report",
+                        "cause": cause,
+                        "samples": [
+                            {
+                                "offset": r.offset,
+                                "delay": r.round_trip_delay,
+                                "t_server": r.t_s4,
+                                "t_client": c4,
+                            }
+                            for r, c4 in collected
+                        ],
+                    }
+                )
+            except TransportError:
+                pass  # best-effort forensics: the sync itself succeeded
         return best
 
     def close(self) -> None:
@@ -472,7 +518,8 @@ class PoEmClient(ProtocolHost):
                 continue
             try:
                 self._install_socket(sock)
-                self._handshake()  # re-register + fresh §4.1 clock sync
+                # Re-register + fresh §4.1 clock sync, logged as such.
+                self._handshake(cause="reconnect")
             except (TransportError, OSError):
                 self._sock = None
                 try:

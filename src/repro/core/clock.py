@@ -46,6 +46,7 @@ __all__ = [
     "make_sync_reply",
     "estimate_offset",
     "SyncResult",
+    "SyncSample",
 ]
 
 
@@ -246,6 +247,67 @@ class SyncResult:
 
     t_s4: float
     """Estimated current server time at the instant the reply arrived."""
+
+
+@dataclass(frozen=True, slots=True)
+class SyncSample:
+    """One recorded §4.1 exchange, as logged by the recorder's
+    ``sync_samples`` table (the forensics plane's clock-audit input).
+
+    The paper leaves resynchronization frequency to the user but says
+    nothing about *auditing* the sync afterwards; recording every
+    exchange lets post-emulation analysis estimate per-client clock
+    drift and skew-correct client stamps (see
+    :mod:`repro.analysis.drift`).
+    """
+
+    node: int
+    """The VMN this client registered as (``-1`` before registration)."""
+
+    label: str
+    """The client's registration label (empty when unlabelled)."""
+
+    offset: float
+    """Estimated ``server_clock − client_local_clock`` (§4.1 output).
+
+    Successive samples from the same client reveal local-clock drift:
+    ``d(offset)/d(t_server)`` is the drift rate of the client's stamp
+    clock relative to the server."""
+
+    delay: float
+    """Estimated one-way transport delay of the exchange (the error
+    bound: offset error ≤ half the delay asymmetry)."""
+
+    t_server: float
+    """Server-clock time of the exchange (the client's ``t_s4``
+    estimate on the TCP stack; the emulator clock on the virtual one)."""
+
+    t_client: float
+    """Client-local time when the exchange completed (``t_c4``)."""
+
+    cause: str = "register"
+    """``register``, ``reconnect`` or ``resync`` — which lifecycle step
+    ran the exchange."""
+
+    residual: float = 0.0
+    """Known stamp-clock error ``server − stamp`` at sample time.
+
+    Zero on the TCP stack (the sync just corrected it; only drift can
+    be estimated).  On the virtual stack the modelled ``clock_offset``
+    is the residual by construction, so it is recorded exactly and
+    lineage correction is exact."""
+
+    def as_dict(self) -> dict:
+        return {
+            "node": self.node,
+            "label": self.label,
+            "offset": self.offset,
+            "delay": self.delay,
+            "t_server": self.t_server,
+            "t_client": self.t_client,
+            "cause": self.cause,
+            "residual": self.residual,
+        }
 
 
 def make_sync_request(client_clock: EmulationClock) -> SyncRequest:

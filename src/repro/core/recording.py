@@ -10,7 +10,11 @@ The paper logs into a SQL database over ODBC; we substitute stdlib
 
 * ``packets`` — one row per (packet, receiver) outcome, all time-stamps,
   and the drop reason if the server dropped it;
-* ``scene_events`` — every scene mutation with a JSON details column.
+* ``scene_events`` — every scene mutation with a JSON details column;
+* ``trace_spans`` — sampled §3.2 Steps 1–7 pipeline spans (PR 3);
+* ``sync_samples`` — every §4.1 clock-sync exchange (offset, delay,
+  client label, local time), captured at register/reconnect/resync —
+  the input of the offline clock-drift audit in :mod:`repro.analysis`.
 
 Two backends share one interface: :class:`MemoryRecorder` (zero-overhead,
 used by tests and the virtual-time emulator by default) and
@@ -30,6 +34,7 @@ from collections import deque
 from typing import Optional, Sequence
 
 from ..errors import RecordingError
+from .clock import SyncSample
 from .ids import NodeId
 from .packet import PacketRecord
 from .scene import SceneEvent
@@ -77,6 +82,18 @@ CREATE TABLE IF NOT EXISTS trace_spans (
     stages    TEXT NOT NULL
 );
 CREATE INDEX IF NOT EXISTS idx_spans_trace ON trace_spans (trace_id);
+CREATE TABLE IF NOT EXISTS sync_samples (
+    sample_id    INTEGER PRIMARY KEY,
+    node         INTEGER NOT NULL,
+    label        TEXT NOT NULL,
+    clock_offset REAL NOT NULL,
+    delay        REAL NOT NULL,
+    t_server     REAL NOT NULL,
+    t_client     REAL NOT NULL,
+    cause        TEXT NOT NULL,
+    residual     REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_sync_node_time ON sync_samples (node, t_server);
 """
 
 
@@ -146,6 +163,23 @@ class Recorder(ABC):
         """All persisted trace spans, in record order (default: none)."""
         return []
 
+    # -- clock-sync audit log (§4.1 exchanges, forensics plane) ---------------
+
+    def record_sync(self, sample: SyncSample) -> None:
+        """Persist one §4.1 exchange outcome (see
+        :class:`repro.core.clock.SyncSample`).
+
+        Default is a no-op so third-party recorders stay
+        source-compatible; both built-in backends override it.  Captured
+        automatically at client register, reconnect, and every explicit
+        resynchronization — the input of the offline clock-drift audit
+        (:mod:`repro.analysis.drift`).
+        """
+
+    def sync_samples(self) -> list[SyncSample]:
+        """All recorded sync exchanges, in record order (default: none)."""
+        return []
+
     # -- shared conveniences --------------------------------------------------
 
     def next_record_id(self) -> int:
@@ -202,6 +236,7 @@ class MemoryRecorder(Recorder):
         self._count = 0
         self.evicted = 0  # records discarded by the ring bound
         self._events: list[SceneEvent] = []
+        self._syncs: list[SyncSample] = []
         self._spans: deque = deque(maxlen=self.SPAN_CAPACITY)
         self._lock = threading.Lock()
         self._next_id = 1
@@ -270,6 +305,14 @@ class MemoryRecorder(Recorder):
 
     def spans(self) -> list:
         return list(self._spans)
+
+    def record_sync(self, sample: SyncSample) -> None:
+        with self._lock:
+            self._syncs.append(sample)
+
+    def sync_samples(self) -> list[SyncSample]:
+        with self._lock:
+            return list(self._syncs)
 
     def close(self) -> None:  # nothing to release
         pass
@@ -377,22 +420,46 @@ class SqliteRecorder(Recorder):
             except sqlite3.Error as exc:
                 raise RecordingError(f"scene insert failed: {exc}") from exc
 
+    _PACKET_COLUMNS = (
+        "record_id, seqno, source, destination, sender, receiver,"
+        " channel, kind, size_bits, t_origin, t_receipt, t_forward,"
+        " t_delivered, drop_reason"
+    )
+
+    @staticmethod
+    def _row_to_record(r) -> PacketRecord:
+        return PacketRecord(
+            record_id=r[0], seqno=r[1], source=r[2], destination=r[3],
+            sender=r[4], receiver=r[5], channel=r[6], kind=r[7],
+            size_bits=r[8], t_origin=r[9], t_receipt=r[10],
+            t_forward=r[11], t_delivered=r[12], drop_reason=r[13],
+        )
+
     def packets(self) -> list[PacketRecord]:
         with self._lock:
             rows = self._conn.execute(
-                "SELECT record_id, seqno, source, destination, sender, receiver,"
-                " channel, kind, size_bits, t_origin, t_receipt, t_forward,"
-                " t_delivered, drop_reason FROM packets ORDER BY record_id"
+                f"SELECT {self._PACKET_COLUMNS} FROM packets"
+                " ORDER BY record_id"
             ).fetchall()
-        return [
-            PacketRecord(
-                record_id=r[0], seqno=r[1], source=r[2], destination=r[3],
-                sender=r[4], receiver=r[5], channel=r[6], kind=r[7],
-                size_bits=r[8], t_origin=r[9], t_receipt=r[10],
-                t_forward=r[11], t_delivered=r[12], drop_reason=r[13],
-            )
-            for r in rows
-        ]
+        return [self._row_to_record(r) for r in rows]
+
+    def packets_between(self, t0: float, t1: float) -> list[PacketRecord]:
+        """SQL-side time-window query over ``idx_packets_origin``.
+
+        The base class scans the full Python list; here the ``t_origin``
+        index answers the range predicate directly, so windowed analysis
+        over a large recording never materializes the whole log.
+        Row order (``record_id``) matches the Python path exactly
+        (property-tested equivalence in ``tests/core/test_recording.py``).
+        """
+        with self._lock:
+            rows = self._conn.execute(
+                f"SELECT {self._PACKET_COLUMNS} FROM packets"
+                " WHERE t_origin IS NOT NULL AND t_origin >= ?"
+                " AND t_origin < ? ORDER BY record_id",
+                (t0, t1),
+            ).fetchall()
+        return [self._row_to_record(r) for r in rows]
 
     def scene_events(self) -> list[SceneEvent]:
         with self._lock:
@@ -439,6 +506,38 @@ class SqliteRecorder(Recorder):
                 sender=r[4], receiver=r[5], t_start=r[6], t_forward=r[7],
                 lag=r[8], outcome=r[9],
                 stages=tuple((s[0], s[1]) for s in json.loads(r[10])),
+            )
+            for r in rows
+        ]
+
+    def record_sync(self, sample: SyncSample) -> None:
+        with self._lock:
+            try:
+                self._conn.execute(
+                    "INSERT INTO sync_samples (node, label, clock_offset,"
+                    " delay, t_server, t_client, cause, residual)"
+                    " VALUES (?,?,?,?,?,?,?,?)",
+                    (
+                        sample.node, sample.label, sample.offset,
+                        sample.delay, sample.t_server, sample.t_client,
+                        sample.cause, sample.residual,
+                    ),
+                )
+                self._conn.commit()
+            except sqlite3.Error as exc:
+                raise RecordingError(f"sync insert failed: {exc}") from exc
+
+    def sync_samples(self) -> list[SyncSample]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT node, label, clock_offset, delay, t_server,"
+                " t_client, cause, residual FROM sync_samples"
+                " ORDER BY sample_id"
+            ).fetchall()
+        return [
+            SyncSample(
+                node=r[0], label=r[1], offset=r[2], delay=r[3],
+                t_server=r[4], t_client=r[5], cause=r[6], residual=r[7],
             )
             for r in rows
         ]

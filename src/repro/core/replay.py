@@ -19,6 +19,8 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass, field
+from typing import Optional
+
 from ..errors import ReplayError
 from .ids import NodeId
 from .packet import PacketRecord
@@ -48,10 +50,23 @@ class ReplayFrame:
     nodes: dict[NodeId, ReplayNode] = field(default_factory=dict)
     in_flight: list[PacketRecord] = field(default_factory=list)
     recent_drops: list[PacketRecord] = field(default_factory=list)
+    truncated_before: Optional[float] = None
+    """When the recorder's ring bound evicted early packet records, the
+    earliest *surviving* packet time: traffic before this instant
+    existed but is gone from the recording, so the frame must not be
+    read as "the run was quiet back then"."""
 
 
 class ReplayEngine:
-    """Scrubber over a finished recording."""
+    """Scrubber over a finished recording.
+
+    Ring-evicted recordings (a :class:`~repro.core.recording.
+    MemoryRecorder` with ``max_records``) replay honestly: the engine
+    starts at the earliest *surviving* packet time and stamps every
+    frame with :attr:`truncated_before` instead of silently presenting
+    the evicted stretch as an idle run start.  Scene events are never
+    evicted, so the scene fold stays exact.
+    """
 
     def __init__(self, recorder: Recorder) -> None:
         self._events = recorder.scene_events()
@@ -68,6 +83,16 @@ class ReplayEngine:
             (p for p in self._packets if p.dropped and p.t_receipt is not None),
             key=lambda p: p.t_receipt,
         )
+        self.truncated_before: Optional[float] = None
+        if getattr(recorder, "evicted", 0):
+            surviving = [
+                t
+                for p in self._packets
+                for t in (p.t_origin, p.t_receipt, p.t_forward)
+                if t is not None
+            ]
+            if surviving:
+                self.truncated_before = min(surviving)
 
     # -- extent --------------------------------------------------------------
 
@@ -80,7 +105,11 @@ class ReplayEngine:
             stamps = [p.t_origin for p in self._packets if p.t_origin is not None]
             if stamps:
                 times.append(min(stamps))
-        return min(times) if times else 0.0
+        start = min(times) if times else 0.0
+        if self.truncated_before is not None:
+            # Evicted stretch: replaying it would misrepresent the run.
+            return max(start, self.truncated_before)
+        return start
 
     @property
     def end_time(self) -> float:
@@ -117,6 +146,8 @@ class ReplayEngine:
             )
         elif kind == "node-removed":
             nodes.pop(node, None)
+        elif kind == "run-summary":
+            pass  # run-level marker (node is the -1 sentinel), not drawable
         elif node not in nodes:
             # Event for a node we never saw added: recording truncated.
             raise ReplayError(
@@ -166,6 +197,7 @@ class ReplayEngine:
             nodes=self.scene_at(t),
             in_flight=self.in_flight_at(t),
             recent_drops=self.drops_between(t - drop_window, t),
+            truncated_before=self.truncated_before,
         )
 
     def frames(self, fps: float = 10.0) -> list[ReplayFrame]:

@@ -38,14 +38,14 @@ from ..protocols.base import (
     TimerService,
     VirtualTimerService,
 )
-from .clock import VirtualClock
+from .clock import SyncSample, VirtualClock
 from .engine import ForwardingEngine
 from .geometry import Vec2
 from .ids import ChannelId, IdAllocator, NodeId
 from .neighbor import ChannelIndexedNeighborTables, NeighborScheme
 from .packet import Packet, PacketStamper
 from .recording import MemoryRecorder, Recorder
-from .scene import Scene
+from .scene import Scene, SceneEvent
 
 __all__ = ["VirtualNodeHost", "InProcessEmulator"]
 
@@ -239,6 +239,24 @@ class InProcessEmulator:
             downlink=downlink,
         )
         self._hosts[node_id] = host
+        # Forensics: the virtual stack's equivalent of the §4.1 exchange
+        # at registration.  The modelled ``clock_offset`` *is* the stamp
+        # clock's error, known exactly (no transport asymmetry), so the
+        # sample records offset = server − client = −clock_offset with a
+        # matching residual — lineage skew-correction is then exact.
+        now = self.clock.now()
+        self.recorder.record_sync(
+            SyncSample(
+                node=int(node_id),
+                label=label,
+                offset=-clock_offset,
+                delay=0.0,
+                t_server=now,
+                t_client=now + clock_offset,
+                cause="register",
+                residual=-clock_offset,
+            )
+        )
         if protocol is not None:
             host.attach_protocol(protocol)
         return host
@@ -336,6 +354,26 @@ class InProcessEmulator:
             "schedule_depth": len(self.engine.schedule),
             "records_evicted": getattr(self.recorder, "evicted", 0),
         }
+
+    def record_run_summary(self) -> None:
+        """Terminal ``run-summary`` scene event (same shape as the TCP
+        server's clean-shutdown record) so a recording from the virtual
+        stack also carries its own end-of-run marker."""
+        self.recorder.record_scene(
+            SceneEvent(
+                time=self.clock.now(),
+                kind="run-summary",
+                node=NodeId(-1),
+                details={
+                    "ingested": self.engine.ingested,
+                    "forwarded": self.engine.forwarded,
+                    "dropped": self.engine.dropped,
+                    "transport_dropped": self.engine.transport_dropped,
+                    "records_evicted": getattr(self.recorder, "evicted", 0),
+                    "sync_samples": len(self.recorder.sync_samples()),
+                },
+            )
+        )
 
     # -- running -------------------------------------------------------------------
 

@@ -62,14 +62,14 @@ from ..net import framing, messages
 from ..obs.httpd import TelemetryHTTPServer
 from ..obs.logging import get_logger, log_event
 from ..obs.telemetry import Telemetry
-from .clock import RealTimeClock, make_sync_reply, SyncRequest
+from .clock import RealTimeClock, SyncRequest, SyncSample, make_sync_reply
 from .engine import ForwardingEngine
 from .geometry import Vec2
 from .ids import ChannelId, IdAllocator, NodeId, RadioIndex
 from .neighbor import ChannelIndexedNeighborTables, NeighborScheme
 from .packet import DropReason, Packet
 from .recording import MemoryRecorder, Recorder
-from .scene import Scene
+from .scene import Scene, SceneEvent
 from .supervision import HealthRegistry
 
 __all__ = ["PoEmServer"]
@@ -331,6 +331,7 @@ class PoEmServer:
                 self.telemetry.registry,
                 health_fn=self.health,
                 tracer=self.telemetry.tracer,
+                recorder=self.recorder,
                 host=self._metrics_host,
                 port=self._metrics_port,
             )
@@ -372,6 +373,35 @@ class PoEmServer:
             c.close()
         self.engine.schedule.close()
         self.supervisor.stop_all(timeout=2.0)
+        self._record_run_summary()
+
+    def _record_run_summary(self) -> None:
+        """Terminal ``run-summary`` scene event on clean shutdown.
+
+        Offline analysis of a recording should not have to infer the run
+        end from the last packet: the summary pins stop time, pipeline
+        totals and the ring-eviction count.  Recorded directly (the event
+        is about the *run*, not any one node — ``node`` is the sentinel
+        ``-1``) so scene listeners/replay are not involved.
+        """
+        try:
+            self.recorder.record_scene(
+                SceneEvent(
+                    time=self.clock.now(),
+                    kind="run-summary",
+                    node=NodeId(-1),
+                    details={
+                        "ingested": self.engine.ingested,
+                        "forwarded": self.engine.forwarded,
+                        "dropped": self.engine.dropped,
+                        "transport_dropped": self.engine.transport_dropped,
+                        "records_evicted": getattr(self.recorder, "evicted", 0),
+                        "sync_samples": len(self.recorder.sync_samples()),
+                    },
+                )
+            )
+        except PoEmError as exc:  # a closed sqlite recorder must not
+            self.supervisor.note_failure("run-summary", exc)  # mask stop()
 
     def __enter__(self) -> "PoEmServer":
         self.start()
@@ -540,6 +570,26 @@ class PoEmServer:
                         "receive", (_perf() - t0) if t0 else 0.0
                     )
             self.engine.ingest(conn.node_id, packet, trace=tr)
+        elif op == "sync_report":
+            # Forensics capture: the client reports every §4.1 round it
+            # just ran (offset, delay, its t_s4 server-time estimate and
+            # t_c4 local time) so the recorder's sync_samples table holds
+            # the raw material of the offline clock-drift audit.
+            if conn.node_id is None:
+                raise TransportError("sync_report before register")
+            cause = str(msg.get("cause", "resync"))
+            for raw in msg["samples"]:
+                self.recorder.record_sync(
+                    SyncSample(
+                        node=int(conn.node_id),
+                        label=conn.label,
+                        offset=float(raw["offset"]),
+                        delay=float(raw["delay"]),
+                        t_server=float(raw["t_server"]),
+                        t_client=float(raw["t_client"]),
+                        cause=cause,
+                    )
+                )
         elif op == "scene_op":
             self._scene_op(msg)
         elif op == "ping":
@@ -608,6 +658,10 @@ class PoEmServer:
                     "node": int(node_id),
                     "reclaimed": conn.reclaimed,
                     "binary": conn.binary,
+                    # Capability flag: this server understands the
+                    # ``sync_report`` op and records sync_samples for
+                    # the forensics plane (repro.analysis).
+                    "forensics": True,
                 }
             )
         )

@@ -22,6 +22,7 @@ __all__ = [
     "ClockError",
     "RecordingError",
     "ReplayError",
+    "AnalysisError",
     "SchedulerError",
     "ClusterError",
     "ScenarioError",
@@ -91,6 +92,11 @@ class RecordingError(PoEmError):
 
 class ReplayError(PoEmError):
     """A replay source was missing, truncated, or inconsistent."""
+
+
+class AnalysisError(PoEmError):
+    """The offline forensics plane was asked something a recording
+    cannot answer (unknown record id, empty dataset, bad window)."""
 
 
 class SchedulerError(PoEmError):

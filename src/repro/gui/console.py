@@ -22,6 +22,7 @@ command                         effect
 ``health``                      supervision/liveness snapshot
 ``metrics [filter]``            Prometheus-text telemetry snapshot
 ``trace [n]``                   recent sampled pipeline spans
+``analyze [record-id]``         offline forensics report / packet lineage
 ``quit``                        leave the console
 =============================  =============================================
 
@@ -179,6 +180,33 @@ class PoEmConsole(cmd.Cmd):
                 self._say(f"(no metrics matching {needle!r})")
                 return
         self._say(text.rstrip("\n"))
+
+    def do_analyze(self, arg: str) -> None:
+        """analyze [record-id] — offline forensics over the live recorder.
+
+        With no argument: the full text report (clock audit, anomalies,
+        windowed aggregates, one sample lineage).  With a packet record
+        id: that packet's skew-corrected lineage only.
+        """
+        recorder = getattr(self.emulator, "recorder", None)
+        if recorder is None:
+            self._fail("this emulator does not expose a recorder")
+            return
+        try:
+            from ..analysis import analyze, load_dataset
+            from ..analysis.lineage import format_lineage, lineage
+            from ..analysis.report import render_text
+
+            needle = arg.strip()
+            if needle:
+                dataset = load_dataset(recorder)
+                self._say(format_lineage(lineage(dataset, int(needle))))
+            else:
+                self._say(render_text(analyze(recorder)).rstrip("\n"))
+        except ValueError:
+            self._fail("usage: analyze [record-id]")
+        except Exception as exc:  # noqa: BLE001 — operator surface
+            self._fail(f"analysis failed: {type(exc).__name__}: {exc}")
 
     def do_trace(self, arg: str) -> None:
         """trace [n] — show the n most recent sampled pipeline spans."""

@@ -22,6 +22,16 @@ every run.  This module is that harness:
     in-process virtual transport, so deterministic virtual-time tests can
     exercise identical fault schedules.
 
+:class:`SkewedClock`
+    a deterministic clock fault: wraps any
+    :class:`~repro.core.clock.EmulationClock` with a fixed offset and a
+    linear drift rate (:class:`ClockSkew`).  Installed as a
+    :class:`~repro.core.client.PoEmClient`'s ``local_clock``, it models a
+    workstation whose oscillator runs fast/slow — the §4.1 sync corrects
+    the offset at each exchange but the drift re-accumulates between
+    exchanges, which is exactly what the forensics plane's clock-drift
+    audit (:mod:`repro.analysis.drift`) must detect.
+
 Both keep per-category counters in :attr:`injected` so tests can assert
 the schedule actually fired.
 """
@@ -35,6 +45,7 @@ from collections import Counter
 from dataclasses import dataclass
 from typing import Optional
 
+from ..core.clock import EmulationClock
 from ..errors import FaultInjectionError
 
 __all__ = [
@@ -42,6 +53,8 @@ __all__ = [
     "FaultDecision",
     "FaultyTransport",
     "LinkFaultInjector",
+    "ClockSkew",
+    "SkewedClock",
 ]
 
 
@@ -232,6 +245,47 @@ class FaultyTransport:
     def __getattr__(self, name: str):
         # setsockopt / getsockname / fileno / … pass straight through.
         return getattr(self._sock, name)
+
+
+@dataclass(frozen=True)
+class ClockSkew:
+    """A deterministic clock fault: constant offset + linear drift.
+
+    ``offset`` is added outright; ``drift`` is seconds of accumulated
+    error per second of true time (``0.01`` = the clock gains 10 ms
+    every second).  Both zero ⇒ a faithful clock.
+    """
+
+    offset: float = 0.0
+    drift: float = 0.0
+
+
+class SkewedClock(EmulationClock):
+    """An :class:`EmulationClock` whose reading is skewed on purpose.
+
+    ``now() = base.now() * (1 + drift) + offset`` — the classic
+    crystal-oscillator error model.  Install as a client's
+    ``local_clock`` to emulate a workstation with a bad clock::
+
+        client = PoEmClient(addr, pos, radios,
+                            local_clock=SkewedClock(RealTimeClock(),
+                                                    ClockSkew(drift=0.05)))
+
+    The §4.1 exchange then measures a *different* offset every time it
+    runs, and the recorded ``sync_samples`` expose the drift rate to the
+    offline audit.
+    """
+
+    def __init__(self, base: EmulationClock, skew: ClockSkew) -> None:
+        self._base = base
+        self.skew = skew
+
+    @property
+    def base(self) -> EmulationClock:
+        return self._base
+
+    def now(self) -> float:
+        return self._base.now() * (1.0 + self.skew.drift) + self.skew.offset
 
 
 class LinkFaultInjector:

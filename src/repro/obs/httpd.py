@@ -1,4 +1,5 @@
-"""Localhost HTTP exposition endpoint: ``/metrics``, ``/health``, ``/trace``.
+"""Localhost HTTP exposition: ``/metrics``, ``/health``, ``/trace``,
+``/report``.
 
 A tiny stdlib :mod:`http.server` wrapper that a deployment can hang off
 its telemetry bundle:
@@ -9,7 +10,11 @@ its telemetry bundle:
 * ``GET /health`` — the deployment's ``health()`` snapshot as JSON (the
   same dict the console's ``health`` command renders);
 * ``GET /trace`` — recent sampled pipeline spans as JSON
-  (``?n=10`` limits the count).
+  (``?n=10`` limits the count);
+* ``GET /report`` — the forensics plane's analysis of the deployment's
+  recorder-so-far (:func:`repro.analysis.analyze`) as a self-contained
+  HTML page; ``?format=json`` or ``?format=text`` for the other
+  renderers.  404 when the deployment exposes no recorder.
 
 Bound to localhost by default — this is an *operator* surface, not a
 public one; anything wider belongs behind a real reverse proxy.  The
@@ -36,6 +41,7 @@ class _Handler(BaseHTTPRequestHandler):
     registry: MetricsRegistry
     health_fn: Optional[Callable[[], dict]]
     tracer: Optional[PipelineTracer]
+    recorder = None  # Optional[repro.core.recording.Recorder]
 
     protocol_version = "HTTP/1.1"
 
@@ -67,6 +73,30 @@ class _Handler(BaseHTTPRequestHandler):
                 spans = [s.as_dict() for s in self.tracer.recent(n)]
                 body = json.dumps({"spans": spans}, default=str).encode()
                 ctype = "application/json"
+            elif parsed.path == "/report":
+                if self.recorder is None:
+                    self._send(404, b'{"error": "no recorder attached"}',
+                               "application/json")
+                    return
+                # Lazy import: obs must stay importable without the
+                # analysis plane (and analysis imports core, which
+                # imports obs — the cycle only resolves lazily).
+                from ..analysis.report import (
+                    analyze, render_html, render_json, render_text,
+                )
+
+                qs = parse_qs(parsed.query)
+                fmt = qs.get("format", ["html"])[0]
+                report = analyze(self.recorder)
+                if fmt == "json":
+                    body = render_json(report).encode()
+                    ctype = "application/json"
+                elif fmt == "text":
+                    body = render_text(report).encode()
+                    ctype = "text/plain; charset=utf-8"
+                else:
+                    body = render_html(report).encode()
+                    ctype = "text/html; charset=utf-8"
             else:
                 self._send(404, b"not found\n", "text/plain")
                 return
@@ -99,12 +129,14 @@ class TelemetryHTTPServer:
         *,
         health_fn: Optional[Callable[[], dict]] = None,
         tracer: Optional[PipelineTracer] = None,
+        recorder=None,
         host: str = "127.0.0.1",
         port: int = 0,
     ) -> None:
         self._registry = registry
         self._health_fn = health_fn
         self._tracer = tracer
+        self._recorder = recorder
         self._host = host
         self._port = port
         self._httpd: Optional[ThreadingHTTPServer] = None
@@ -128,6 +160,7 @@ class TelemetryHTTPServer:
                     else None
                 ),
                 "tracer": self._tracer,
+                "recorder": self._recorder,
             },
         )
         self._httpd = ThreadingHTTPServer((self._host, self._port), handler)

@@ -1,0 +1,143 @@
+"""Dataset joins and per-packet lineage over a deterministic virtual run."""
+
+import pytest
+
+from repro.analysis import load_dataset
+from repro.analysis.drift import audit_clocks, estimate_drift
+from repro.analysis.lineage import (
+    LINEAGE_STAGES,
+    format_lineage,
+    lineage,
+)
+from repro.core.clock import SyncSample
+from repro.core.geometry import Vec2
+from repro.core.ids import ChannelId
+from repro.core.server import InProcessEmulator
+from repro.errors import AnalysisError
+from repro.models.radio import Radio, RadioConfig
+from repro.obs.telemetry import Telemetry
+
+CH = ChannelId(1)
+RADIOS = RadioConfig((Radio(channel=CH, range=100.0),))
+
+
+@pytest.fixture
+def run():
+    """20 frames a→b on a virtual clock; b's stamp clock is 50 ms off."""
+    emu = InProcessEmulator(
+        seed=3, telemetry=Telemetry(sample_every=1)
+    )
+    a = emu.add_node(Vec2(0, 0), RADIOS, label="a")
+    b = emu.add_node(Vec2(10, 0), RADIOS, label="b", clock_offset=0.05)
+    for i in range(10):
+        emu.clock.call_at(
+            0.01 + i * 0.01,
+            lambda: a.transmit(b.node_id, b"x" * 8, channel=CH),
+        )
+        emu.clock.call_at(
+            0.015 + i * 0.01,
+            lambda: b.transmit(a.node_id, b"y" * 8, channel=CH),
+        )
+    emu.run_until(0.5)
+    emu.record_run_summary()
+    return emu
+
+
+def test_dataset_counts_and_summary(run):
+    ds = load_dataset(run.recorder)
+    assert len(ds.packets) == 20
+    assert len(ds.delivered) == 20
+    assert ds.run_summary is not None
+    assert ds.run_summary["forwarded"] == 20
+    assert ds.run_summary["dropped"] == 0
+    start, end = ds.time_range()
+    assert start <= 0.01 and end >= 0.5
+
+
+def test_dataset_indexes(run):
+    ds = load_dataset(run.recorder)
+    record = ds.delivered[0]
+    assert ds.packet(record.record_id) is record
+    assert ds.spans_for(record)  # sample_every=1: everything traced
+    assert ds.synced_nodes() == [1, 2]
+    with pytest.raises(AnalysisError):
+        ds.packet(999999)
+
+
+def test_full_seven_stage_lineage(run):
+    ds = load_dataset(run.recorder)
+    record = ds.delivered[0]
+    lin = lineage(ds, record.record_id)
+    assert [s.name for s in lin.stages] == list(LINEAGE_STAGES)
+    assert lin.complete
+    assert lin.span is not None
+    # Stage times are causally ordered once resolved.
+    times = [s.t for s in lin.stages if s.t is not None]
+    # origin may legitimately precede receipt by a hair after
+    # correction; everything from receipt onward must be monotone.
+    post = times[1:]
+    assert post == sorted(post)
+    text = format_lineage(lin)
+    assert "origin" in text and "delivery" in text
+
+
+def test_lineage_skew_correction_is_exact_on_virtual_stack(run):
+    """The recorded residual equals −clock_offset, so a corrected b-stamp
+    lands exactly back on the server clock.
+
+    Note the engine trusts the parallel stamp (§3.2 Step 1), so
+    ``t_receipt`` *also* carries b's skew — the corrected origin must
+    equal the true server-clock emission instant, not the receipt stamp.
+    """
+    ds = load_dataset(run.recorder)
+    audit = audit_clocks(ds)
+    from_b = [p for p in ds.delivered if p.source == 2]
+    assert from_b
+    lin = lineage(ds, from_b[0].record_id, audit=audit)
+    assert lin.stamp_correction == pytest.approx(-0.05)
+    # b's first frame was scheduled at server time 0.015 and stamped
+    # t_origin = 0.015 + 0.05; the correction undoes the offset exactly.
+    assert from_b[0].t_origin == pytest.approx(0.065, abs=1e-9)
+    assert lin.corrected_t_origin == pytest.approx(0.015, abs=1e-9)
+
+
+def test_dropped_packet_lineage_ends_at_decision():
+    emu = InProcessEmulator(seed=0)
+    a = emu.add_node(Vec2(0, 0), RADIOS, label="a")
+    b = emu.add_node(Vec2(500, 0), RADIOS, label="far")  # out of range
+    emu.clock.call_at(
+        0.01, lambda: a.transmit(b.node_id, b"x", channel=CH)
+    )
+    emu.run_until(0.1)
+    ds = load_dataset(emu.recorder)
+    assert len(ds.drops) == 1
+    lin = lineage(ds, ds.drops[0].record_id)
+    assert [s.name for s in lin.stages] == ["origin", "receipt", "decision"]
+    assert "not-neighbor" in lin.stages[-1].detail
+    assert not lin.complete
+
+
+def test_drift_estimate_recovers_slope():
+    samples = [
+        SyncSample(node=5, label="c", offset=0.001 - 0.02 * t,
+                   delay=0.0001, t_server=t, t_client=t,
+                   cause="resync", residual=0.0)
+        for t in (0.0, 1.0, 2.0, 3.0, 4.0)
+    ]
+    est = estimate_drift(samples)
+    assert est.rate == pytest.approx(-0.02, rel=1e-6)
+    assert est.samples == 5
+    assert est.max_gap == pytest.approx(1.0)
+    # run_range extends the worst uncorrected stretch to the run end.
+    est2 = estimate_drift(samples, run_range=(0.0, 10.0))
+    assert est2.max_gap == pytest.approx(6.0)
+    assert est2.projected_error == pytest.approx(0.02 * 6.0, rel=1e-6)
+
+
+def test_drift_single_sample_keeps_residual_anchor():
+    s = SyncSample(node=1, label="", offset=-0.05, delay=0.0,
+                   t_server=1.0, t_client=1.05, cause="register",
+                   residual=-0.05)
+    est = estimate_drift([s])
+    assert est.rate == 0.0
+    assert est.correction_at(5.0) == pytest.approx(-0.05)

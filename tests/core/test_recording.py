@@ -193,3 +193,115 @@ class TestMemorySegments:
         from repro.errors import RecordingError
         with pytest.raises(RecordingError):
             MemoryRecorder(capacity=0)
+
+
+# ---------------------------------------------------------------------------
+# Trace spans + sync samples (forensics plane inputs) — PR 4
+# ---------------------------------------------------------------------------
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.clock import SyncSample
+from repro.obs.tracing import TraceSpan
+
+
+def span(trace_id=7, receiver=4):
+    return TraceSpan(
+        trace_id=trace_id, source=1, seqno=3, channel=2, sender=1,
+        receiver=receiver, t_start=12.5, outcome="delivered",
+        stages=(("receive", 1.5e-5), ("send", 2.5e-5)),
+        t_forward=0.42, lag=0.0015,
+    )
+
+
+def sync(node=3, offset=0.01, t_server=1.0, cause="register"):
+    return SyncSample(
+        node=node, label="vmn", offset=offset, delay=0.0002,
+        t_server=t_server, t_client=t_server - offset, cause=cause,
+        residual=0.0,
+    )
+
+
+class TestSpanRoundTrip:
+    """The lineage query consumes recorded spans verbatim."""
+
+    def test_span_roundtrip(self, recorder):
+        recorder.record_span(span())
+        (got,) = recorder.spans()
+        assert got == span()
+        assert got.stages == (("receive", 1.5e-5), ("send", 2.5e-5))
+
+    def test_span_order_and_none_fields(self, recorder):
+        dropped = TraceSpan(
+            trace_id=1, source=2, seqno=9, channel=1, sender=2,
+            receiver=None, t_start=1.0, outcome="not-neighbor",
+            stages=(("receive", 1e-6),), t_forward=None, lag=None,
+        )
+        recorder.record_span(dropped)
+        recorder.record_span(span(trace_id=2))
+        got = recorder.spans()
+        assert [s.trace_id for s in got] == [1, 2]
+        assert got[0].receiver is None
+        assert got[0].t_forward is None and got[0].lag is None
+
+
+class TestSyncSampleRoundTrip:
+    def test_sync_roundtrip(self, recorder):
+        recorder.record_sync(sync())
+        (got,) = recorder.sync_samples()
+        assert got == sync()
+
+    def test_sync_order_and_causes(self, recorder):
+        recorder.record_sync(sync(node=1, t_server=0.0, cause="register"))
+        recorder.record_sync(sync(node=1, t_server=1.0, cause="reconnect"))
+        recorder.record_sync(sync(node=2, t_server=0.5, cause="resync"))
+        got = recorder.sync_samples()
+        assert [s.cause for s in got] == ["register", "reconnect", "resync"]
+        assert [s.node for s in got] == [1, 1, 2]
+
+    def test_sync_residual_persists(self, recorder):
+        s = SyncSample(node=9, label="", offset=-0.05, delay=0.0,
+                       t_server=2.0, t_client=2.05, cause="register",
+                       residual=-0.05)
+        recorder.record_sync(s)
+        assert recorder.sync_samples()[0].residual == -0.05
+
+
+class TestPacketsBetweenEquivalence:
+    """The SQL pushdown must agree with the Python full-scan default."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        origins=st.lists(
+            st.one_of(
+                st.none(),
+                st.floats(min_value=0.0, max_value=10.0,
+                          allow_nan=False, allow_infinity=False),
+            ),
+            min_size=0, max_size=25,
+        ),
+        t0=st.floats(min_value=-1.0, max_value=11.0,
+                     allow_nan=False, allow_infinity=False),
+        width=st.floats(min_value=0.0, max_value=12.0,
+                        allow_nan=False, allow_infinity=False),
+    )
+    def test_sql_matches_python(self, origins, t0, width):
+        t1 = t0 + width
+        mem = MemoryRecorder()
+        sql = SqliteRecorder(":memory:")
+        try:
+            for i, t in enumerate(origins):
+                r = PacketRecord(
+                    record_id=i + 1, seqno=i + 1, source=1, destination=2,
+                    sender=1, receiver=2, channel=1, kind="data",
+                    size_bits=100, t_origin=t, t_receipt=t,
+                    t_forward=None, t_delivered=None,
+                )
+                mem.record_packet(r)
+                sql.record_packet(r)
+            assert [p.record_id for p in sql.packets_between(t0, t1)] == [
+                p.record_id for p in mem.packets_between(t0, t1)
+            ]
+        finally:
+            sql.close()
