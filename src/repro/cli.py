@@ -140,6 +140,26 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--record", help="optional SQLite recording path")
     serve.add_argument("--seed", type=int, default=0)
 
+    lint = sub.add_parser(
+        "lint",
+        help="concurrency-correctness checks (POEM rules + lock-order "
+             "runtime detector)",
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=None,
+        help="files/directories to lint (default: the installed "
+             "repro package source)",
+    )
+    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument(
+        "--runtime", action="store_true",
+        help="also run a short instrumented virtual-transport emulation "
+             "and report the lock-order graph (cycles = potential "
+             "deadlocks)",
+    )
+    lint.add_argument("--out", help="write the report to a file "
+                                    "instead of stdout")
+
     return parser
 
 
@@ -348,6 +368,30 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Exit 0 on a clean tree (and clean runtime), 1 on any finding."""
+    from .lint import lint_paths, render_json, render_text, run_runtime_check
+
+    paths = list(args.paths) if args.paths else [
+        str(Path(__file__).resolve().parent)
+    ]
+    findings, checked = lint_paths(paths)
+    runtime = None
+    if args.runtime:
+        runtime = run_runtime_check().as_dict()
+    if args.format == "json":
+        rendered = render_json(findings, checked, runtime)
+    else:
+        rendered = render_text(findings, checked, runtime)
+    if args.out:
+        Path(args.out).write_text(rendered)
+        print(f"wrote {args.format} lint report to {args.out}")
+    else:
+        print(rendered, end="" if rendered.endswith("\n") else "\n")
+    clean = not findings and (runtime is None or runtime.get("clean", False))
+    return 0 if clean else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -360,6 +404,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "analyze": _cmd_analyze,
         "console": _cmd_console,
         "serve": _cmd_serve,
+        "lint": _cmd_lint,
     }
     try:
         return handlers[args.command](args)

@@ -50,6 +50,7 @@ from .clock import (
 from .geometry import Vec2
 from .ids import ChannelId, NodeId
 from .packet import Packet, PacketStamper
+from .supervision import SupervisedThread
 
 __all__ = ["PoEmClient"]
 
@@ -108,7 +109,7 @@ class PoEmClient(ProtocolHost):
         self.last_sync: Optional[SyncResult] = None
         self._stamper: Optional[PacketStamper] = None
         self._timers = ThreadTimerService()
-        self._receiver: Optional[threading.Thread] = None
+        self._receiver: Optional[SupervisedThread] = None
         self._running = False
         self._outage = threading.Event()  # set while the link is down
         self._stop_evt = threading.Event()  # aborts reconnect backoff
@@ -158,11 +159,14 @@ class PoEmClient(ProtocolHost):
         self._handshake(cause="register")
         self._running = True
         self._stop_evt.clear()
-        self._receiver = threading.Thread(
-            target=self._receive_loop, name=f"poem-client-{self._node_id}",
-            daemon=True,
-        )
-        self._receiver.start()
+        # Supervised, non-restartable: _receive_loop owns its own
+        # reconnect logic; a crash *escaping* the loop is a real bug and
+        # must land in the thread's health record, not vanish.
+        self._receiver = SupervisedThread(
+            f"poem-client-{self._node_id}",
+            self._receive_loop,
+            restartable=False,
+        ).start()
         # Replay any frames that raced the handshake.
         for early in self._early_deliveries:
             self._dispatch_packet(early)
@@ -240,7 +244,7 @@ class PoEmClient(ProtocolHost):
         receiver_owns_socket = (
             self._receiver is not None
             and self._receiver.is_alive()
-            and threading.current_thread() is not self._receiver
+            and not self._receiver.is_current()
         )
         best: Optional[SyncResult] = None
         collected: list[tuple[SyncResult, float]] = []
@@ -312,8 +316,7 @@ class PoEmClient(ProtocolHost):
             self._sock = None
         receiver = self._receiver
         if receiver is not None:
-            if threading.current_thread() is not receiver:
-                receiver.join(timeout=2.0)
+            receiver.join(timeout=2.0)  # no-op from the receiver itself
             self._receiver = None
 
     def __enter__(self) -> "PoEmClient":
@@ -408,7 +411,10 @@ class PoEmClient(ProtocolHost):
     def _send_raw(self, payload: bytes) -> None:
         if self._sock is None:
             raise TransportError("client not connected")
-        with self._send_lock:
+        # The lock exists precisely to serialize this write: protocol
+        # timers and the receiver thread share one socket, and a frame
+        # must hit the wire atomically.  Nothing else contends on it.
+        with self._send_lock:  # poem: ignore[POEM002]
             framing.send_frame(self._sock, payload)
 
     def _recv_expect(self, op: str) -> dict:

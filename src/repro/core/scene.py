@@ -248,7 +248,10 @@ class Scene:
 
     # -- quarantine (fault-tolerance layer) -----------------------------------
 
-    def quarantine_node(self, node_id: NodeId) -> None:
+    # No _bump: quarantine filtering reads the lock-free
+    # quarantined_snapshot(), not the version-keyed neighbor caches —
+    # the topology (positions/channels) is deliberately unchanged.
+    def quarantine_node(self, node_id: NodeId) -> None:  # poem: ignore[POEM003]
         """Mark a VMN stale: its topology entry survives, but the engine
         drops all traffic to/from it (``DropReason.NODE_STALE``).
 
@@ -266,7 +269,8 @@ class Scene:
             self._quarantined = self._quarantined | {node_id}
             self._emit(SceneEvent(self._time, "node-quarantined", node_id))
 
-    def restore_node(self, node_id: NodeId) -> None:
+    # No _bump for the same reason as quarantine_node above.
+    def restore_node(self, node_id: NodeId) -> None:  # poem: ignore[POEM003]
         """Lift a quarantine (the client came back). Idempotent."""
         with self._lock:
             self._sync_time()
@@ -396,7 +400,9 @@ class Scene:
             # fan-out cache holds the radio (and its link) per channel.
             self._bump({state.radios[radio].channel})
 
-    def set_mobility(
+    # No _bump: attaching a model does not move the node yet — the
+    # first mobility tick that changes the position bumps (move_node).
+    def set_mobility(  # poem: ignore[POEM003]
         self, node_id: NodeId, model: Optional[MobilityModel]
     ) -> None:
         """Attach (or clear) a mobility model; trajectory starts 'now'."""
@@ -423,7 +429,8 @@ class Scene:
                 )
             )
 
-    def set_trajectory(self, node_id: NodeId, trajectory) -> None:
+    # No _bump for the same reason as set_mobility above.
+    def set_trajectory(self, node_id: NodeId, trajectory) -> None:  # poem: ignore[POEM003]
         """Attach a precomputed trajectory (anything with ``position_at(t)``).
 
         Used by coordinated models like RPGM group members

@@ -153,6 +153,19 @@ class SupervisedThread:
     def is_alive(self) -> bool:
         return self._thread.is_alive()
 
+    def is_current(self) -> bool:
+        """True when called *from* the supervised thread itself.
+
+        Shutdown paths use this to avoid self-joins (e.g. a receiver
+        thread tearing down its own client on EOF).
+        """
+        return threading.current_thread() is self._thread
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        """Join the underlying thread (no-op from within itself)."""
+        if not self.is_current():
+            self._thread.join(timeout=timeout)
+
     # -- the supervision loop --------------------------------------------------
 
     def _run(self) -> None:
@@ -171,7 +184,10 @@ class SupervisedThread:
                 if self._on_crash is not None:
                     try:
                         self._on_crash(exc)
-                    except Exception:  # a broken crash hook must not kill us
+                    # The hook runs at the supervision boundary: the
+                    # original crash is already recorded above, and a
+                    # broken crash hook must not kill the supervisor.
+                    except Exception:  # poem: ignore[POEM005]
                         pass
                 if not self.restartable:
                     return

@@ -23,6 +23,7 @@ command                         effect
 ``metrics [filter]``            Prometheus-text telemetry snapshot
 ``trace [n]``                   recent sampled pipeline spans
 ``analyze [record-id]``         offline forensics report / packet lineage
+``lint [runtime]``              POEM rule check (+ lock-order graph)
 ``quit``                        leave the console
 =============================  =============================================
 
@@ -207,6 +208,29 @@ class PoEmConsole(cmd.Cmd):
             self._fail("usage: analyze [record-id]")
         except Exception as exc:  # noqa: BLE001 — operator surface
             self._fail(f"analysis failed: {type(exc).__name__}: {exc}")
+
+    def do_lint(self, arg: str) -> None:
+        """lint [runtime] — concurrency-correctness check of the installed
+        package source (POEM rules); ``lint runtime`` also runs a short
+        instrumented emulation and reports the lock-order graph.
+        """
+        mode = arg.strip().lower()
+        if mode not in ("", "runtime"):
+            self._fail("usage: lint [runtime]")
+            return
+        try:
+            from pathlib import Path
+
+            from ..lint import lint_paths, render_text, run_runtime_check
+
+            pkg_root = str(Path(__file__).resolve().parent.parent)
+            findings, checked = lint_paths([pkg_root])
+            runtime = None
+            if mode == "runtime":
+                runtime = run_runtime_check().as_dict()
+            self._say(render_text(findings, checked, runtime).rstrip("\n"))
+        except Exception as exc:  # noqa: BLE001 — operator surface
+            self._fail(f"lint failed: {type(exc).__name__}: {exc}")
 
     def do_trace(self, arg: str) -> None:
         """trace [n] — show the n most recent sampled pipeline spans."""

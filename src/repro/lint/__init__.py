@@ -1,0 +1,69 @@
+"""Concurrency-correctness toolkit for the PoEm codebase.
+
+PoEm's real-time guarantees (§3.2 Steps 1-7, §4.1 clock sync) rest on a
+hundred-plus lock-guarded critical sections spread across the engine,
+scheduler, TCP server, recorder, supervision and obs layers.  Nothing in
+the runtime *proves* those layers keep obeying the invariants the
+fault-tolerance / hot-path / observability PRs introduced — an emulator's
+fidelity dies silently from scheduler stalls and lock inversions long
+before anything crashes.  This package is the correctness backstop:
+
+Two planes
+----------
+
+:mod:`repro.lint.analyzer` — ``poem lint``
+    A dependency-free :mod:`ast` pass over ``src/`` enforcing the
+    project-specific rules POEM001-POEM006 (raw threads, blocking calls
+    under locks, Scene version-bump contract, per-packet recording on
+    the hot path, swallowed exceptions, non-monotonic clocks).  Each
+    finding carries a fix hint; ``# poem: ignore[RULE]`` suppresses a
+    deliberate violation (always pair it with a justification comment).
+
+:mod:`repro.lint.lockgraph` — the runtime lock-order detector
+    :class:`InstrumentedLock` wraps real locks and records per-thread
+    acquisition order into a global :class:`LockGraph`; cycles in that
+    graph are *potential deadlocks* even if no run has hung yet, and
+    contended acquires while already holding a lock are flagged as
+    held-lock blocking waits.  :func:`instrument_module_locks` patches
+    ``threading.Lock``/``RLock`` so a whole deployment built inside the
+    context manager is instrumented transparently;
+    :func:`repro.lint.runtime.run_runtime_check` runs a short
+    virtual-transport emulation under it (``poem lint --runtime``).
+
+Both are wired into CI (the ``lint`` job) and the operator console
+(``lint`` command).  See ``docs/static-analysis.md`` for the rule
+catalog and the runtime-detector guide.
+"""
+
+from __future__ import annotations
+
+from .analyzer import lint_file, lint_paths, lint_source
+from .lockgraph import (
+    ContentionEvent,
+    InstrumentedLock,
+    LockCycle,
+    LockGraph,
+    instrument_module_locks,
+)
+from .report import render_json, render_text, summarize
+from .rules import RULES, Finding, Rule
+from .runtime import RuntimeReport, run_runtime_check
+
+__all__ = [
+    "RULES",
+    "Rule",
+    "Finding",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "render_text",
+    "render_json",
+    "summarize",
+    "LockGraph",
+    "LockCycle",
+    "ContentionEvent",
+    "InstrumentedLock",
+    "instrument_module_locks",
+    "RuntimeReport",
+    "run_runtime_check",
+]

@@ -1,0 +1,103 @@
+"""Rendering for ``poem lint`` output — text for humans, JSON for CI.
+
+The JSON document is the artifact the CI ``lint`` job uploads; its
+shape is stable: ``findings`` (list of :meth:`Finding.as_dict` rows),
+``summary`` (per-rule counts), ``checked_files``, ``clean``, and —
+when ``--runtime`` ran — a ``runtime`` object produced by
+:meth:`repro.lint.runtime.RuntimeReport.as_dict`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Mapping, Optional, Sequence
+
+from .rules import RULES, Finding
+
+__all__ = ["summarize", "render_text", "render_json"]
+
+
+def summarize(findings: Sequence[Finding]) -> dict[str, int]:
+    """Per-rule finding counts, keyed by rule code, sorted by code."""
+    counts: dict[str, int] = {}
+    for f in findings:
+        counts[f.rule] = counts.get(f.rule, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def render_text(
+    findings: Sequence[Finding],
+    checked_files: int,
+    runtime: Optional[Mapping[str, object]] = None,
+) -> str:
+    """Human-readable report: one line per finding plus a hint line."""
+    out: list[str] = []
+    for f in findings:
+        rule = RULES[f.rule]
+        out.append(
+            f"{f.path}:{f.line}:{f.col + 1}: {f.rule} "
+            f"[{rule.name}] {f.message}"
+        )
+        out.append(f"    hint: {rule.hint}")
+    if runtime is not None:
+        out.extend(_render_runtime_text(runtime))
+    if findings:
+        parts = ", ".join(
+            f"{code}×{n}" for code, n in summarize(findings).items()
+        )
+        out.append(
+            f"{len(findings)} finding(s) in {checked_files} file(s): "
+            f"{parts}"
+        )
+    else:
+        out.append(f"clean: {checked_files} file(s), 0 findings")
+    return "\n".join(out)
+
+
+def _render_runtime_text(runtime: Mapping[str, object]) -> list[str]:
+    out = ["", "runtime lock-order check:"]
+    out.append(
+        "  locks={locks} edges={edges} acquisitions={acquisitions}".format(
+            locks=runtime.get("locks", 0),
+            edges=runtime.get("edges", 0),
+            acquisitions=runtime.get("acquisitions", 0),
+        )
+    )
+    cycles = runtime.get("cycles") or []
+    if isinstance(cycles, Sequence):
+        for cyc in cycles:
+            if isinstance(cyc, Mapping):
+                chain = " -> ".join(str(n) for n in cyc.get("locks", []))
+                out.append(f"  CYCLE (potential deadlock): {chain}")
+    contentions = runtime.get("contentions") or []
+    if isinstance(contentions, Sequence):
+        for ev in contentions:
+            if isinstance(ev, Mapping):
+                out.append(
+                    "  diagnostic: contended acquire of {want!r} while "
+                    "holding {held}".format(
+                        want=ev.get("wanted"),
+                        held=ev.get("held"),
+                    )
+                )
+    if not cycles:
+        out.append("  clean: no lock-order cycles")
+    return out
+
+
+def render_json(
+    findings: Sequence[Finding],
+    checked_files: int,
+    runtime: Optional[Mapping[str, object]] = None,
+) -> str:
+    """Machine-readable report (the CI artifact)."""
+    doc: dict[str, object] = {
+        "findings": [f.as_dict() for f in findings],
+        "summary": summarize(findings),
+        "checked_files": checked_files,
+        "clean": not findings
+        and (runtime is None or bool(runtime.get("clean", True))),
+    }
+    if runtime is not None:
+        doc["runtime"] = dict(runtime)
+    return json.dumps(doc, indent=2, sort_keys=True)

@@ -25,11 +25,11 @@ handler threads, all torn down by :meth:`TelemetryHTTPServer.stop`.
 from __future__ import annotations
 
 import json
-import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable, Optional
 from urllib.parse import parse_qs, urlparse
 
+from ..core.supervision import SupervisedThread
 from .metrics import MetricsRegistry
 from .tracing import PipelineTracer
 
@@ -140,7 +140,7 @@ class TelemetryHTTPServer:
         self._host = host
         self._port = port
         self._httpd: Optional[ThreadingHTTPServer] = None
-        self._thread: Optional[threading.Thread] = None
+        self._thread: Optional[SupervisedThread] = None
 
     def start(self) -> tuple[str, int]:
         """Bind and serve; returns the bound (host, port)."""
@@ -165,12 +165,14 @@ class TelemetryHTTPServer:
         )
         self._httpd = ThreadingHTTPServer((self._host, self._port), handler)
         self._httpd.daemon_threads = True
-        self._thread = threading.Thread(
-            target=self._httpd.serve_forever,
-            name="poem-metrics-http",
-            daemon=True,
-        )
-        self._thread.start()
+        # Supervised: a crash in serve_forever() restarts the accept
+        # loop with backoff; shutdown() still returns it cleanly.
+        self._thread = SupervisedThread(
+            "poem-metrics-http",
+            self._httpd.serve_forever,
+            restartable=True,
+            should_run=lambda: self._httpd is not None,
+        ).start()
         return self.address
 
     @property
@@ -186,4 +188,4 @@ class TelemetryHTTPServer:
             httpd.shutdown()
             httpd.server_close()
         if thread is not None and thread.is_alive():
-            thread.join(timeout=2.0)
+            thread.stop(timeout=2.0)

@@ -238,14 +238,17 @@ class PipelineTracer:
             try:
                 for name, dur in span.stages:
                     hist.labels(name).observe(dur)
-            except Exception:
-                pass  # metrics must never break the pipeline
+            # Telemetry boundary: metrics must never break the pipeline.
+            except Exception:  # poem: ignore[POEM005]
+                pass
         sink = self.sink
         if sink is not None:
             try:
                 sink(span)
-            except Exception:
-                pass  # a broken recorder must not break the pipeline
+            # Telemetry boundary: a broken recorder sink must never
+            # break the pipeline it observes.
+            except Exception:  # poem: ignore[POEM005]
+                pass
 
     # -- introspection ----------------------------------------------------------
 

@@ -150,10 +150,18 @@ class PathRoutedProtocol(RoutingProtocol):
         self._tick()  # first beacon immediately; reschedules itself
 
     def on_stop(self) -> None:
-        with self._lock:
-            if self._tick_timer is not None:
-                self._require_host().timers().cancel(self._tick_timer)
-                self._tick_timer = None
+        # Deliberately lock-free.  ``stop()`` can arrive from a scene
+        # event listener that still holds the Scene lock (removing a
+        # node live detaches its protocol), while every transmit path
+        # takes the protocol lock before descending into the scene —
+        # taking our lock here would close a scene -> protocol ordering
+        # cycle (a potential deadlock; the runtime lock-order detector
+        # convicts it).  The swap is atomic under the GIL, and
+        # ``stop()`` follows up with ``timers().cancel_all()``, which
+        # sweeps any timer a racing ``_tick`` re-armed in between.
+        timer, self._tick_timer = self._tick_timer, None
+        if timer is not None:
+            self._require_host().timers().cancel(timer)
 
     # ------------------------------------------------------------- the beacon
 
@@ -169,11 +177,21 @@ class PathRoutedProtocol(RoutingProtocol):
             self._seqno += 1
             beacon = self._build_beacon(now)
             data = wire.encode(beacon)
-            for channel in sorted(host.channels()):
-                host.broadcast(
-                    data, channel=channel, kind="control",
-                    size_bits=self.tuning.control_size_bits,
-                )
+            channels = sorted(host.channels())
+        # Transmit outside the critical section: ``broadcast`` descends
+        # into the scene/engine locks, and holding ours across that wait
+        # is the held-lock blocking pattern ``poem lint --runtime``
+        # exists to surface (it surfaced this one).
+        for channel in channels:
+            host.broadcast(
+                data, channel=channel, kind="control",
+                size_bits=self.tuning.control_size_bits,
+            )
+        with self._lock:
+            if self.host is None:
+                # ``stop()`` interleaved while we were transmitting; a
+                # re-armed timer here would outlive the protocol.
+                return
             jitter = self.tuning.hello_jitter
             period = self.tuning.hello_interval
             if jitter > 0:

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 
@@ -67,6 +68,31 @@ def no_thread_leaks():
     assert not leaked, (
         "test leaked threads: "
         + ", ".join(f"{t.name} (daemon={t.daemon})" for t in leaked)
+    )
+
+
+@pytest.fixture(autouse=True)
+def poem_lockcheck():
+    """Opt-in runtime lock-order check under every test.
+
+    Set ``POEM_LOCKCHECK=1`` to replace ``threading.Lock``/``RLock``
+    with instrumented drop-ins for the duration of each test and fail
+    any test whose lock usage creates an order cycle (a potential
+    deadlock that may never have hung a run yet).  Off by default: the
+    instrumentation costs a probe acquire per acquisition and the
+    timing-sensitive benchmarks must not pay it.
+    """
+    if os.environ.get("POEM_LOCKCHECK", "") not in ("1", "true", "yes"):
+        yield
+        return
+    from repro.lint.lockgraph import instrument_module_locks
+
+    with instrument_module_locks() as graph:
+        yield
+    cycles = graph.cycles()
+    assert not cycles, (
+        "lock-order cycles observed during test: "
+        + "; ".join(" -> ".join(c.locks) for c in cycles)
     )
 
 

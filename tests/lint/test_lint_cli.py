@@ -1,0 +1,89 @@
+"""CLI surface + the HEAD-cleanliness acceptance criterion."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import repro
+from repro.cli import main
+
+PKG_ROOT = str(Path(repro.__file__).resolve().parent)
+
+BAD_SNIPPET = (
+    "import threading\n"
+    "\n"
+    "def boot():\n"
+    "    t = threading.Thread(target=loop, daemon=True)\n"
+    "    t.start()\n"
+)
+
+
+def test_lint_head_is_clean(capsys):
+    """The repo's own source must lint clean — the CI gate."""
+    assert main(["lint", PKG_ROOT]) == 0
+    out = capsys.readouterr().out
+    assert "0 findings" in out
+
+
+def test_lint_defaults_to_package_source(capsys):
+    assert main(["lint"]) == 0
+    assert "0 findings" in capsys.readouterr().out
+
+
+def test_lint_bad_fixture_exits_nonzero(tmp_path, capsys):
+    bad = tmp_path / "tcpserver.py"  # hot-path basename: rules apply
+    bad.write_text(BAD_SNIPPET)
+    assert main(["lint", str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert "POEM001" in out and "hint:" in out
+
+
+def test_lint_json_format_and_out_file(tmp_path, capsys):
+    bad = tmp_path / "tcpserver.py"
+    bad.write_text(BAD_SNIPPET)
+    report = tmp_path / "findings.json"
+    assert main(
+        ["lint", str(bad), "--format", "json", "--out", str(report)]
+    ) == 1
+    doc = json.loads(report.read_text())
+    assert doc["clean"] is False
+    assert doc["summary"] == {"POEM001": 1}
+    assert doc["findings"][0]["path"] == str(bad)
+
+
+def test_lint_json_clean_doc(tmp_path, capsys):
+    good = tmp_path / "fine.py"
+    good.write_text("x = 1\n")
+    assert main(["lint", str(good), "--format", "json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["clean"] is True and doc["findings"] == []
+
+
+def test_lint_runtime_flag(tmp_path, capsys):
+    good = tmp_path / "fine.py"
+    good.write_text("x = 1\n")
+    assert main(["lint", str(good), "--runtime", "--format", "json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["runtime"]["cycles"] == []
+    assert doc["runtime"]["edges"] > 0
+    assert doc["clean"] is True
+
+
+def test_lint_rejects_non_python_path(tmp_path, capsys):
+    other = tmp_path / "notes.txt"
+    other.write_text("hello")
+    assert main(["lint", str(other)]) == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_console_lint_command(capsys):
+    from repro.core.server import InProcessEmulator
+    from repro.gui.console import PoEmConsole
+
+    console = PoEmConsole(InProcessEmulator(seed=0))
+    console.onecmd("lint")
+    out = capsys.readouterr().out
+    assert "0 findings" in out
+    console.onecmd("lint bogus-arg")
+    assert "usage: lint" in capsys.readouterr().out

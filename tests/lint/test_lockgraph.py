@@ -1,0 +1,233 @@
+"""Runtime lock-order detector unit tests.
+
+The AB/BA test builds the classic deadlock *potential* without the
+deadlock: two threads take the same pair of locks in opposite orders,
+but strictly sequentially (event-fenced), so the run always finishes —
+and the graph still convicts the ordering.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.lint.lockgraph import (
+    InstrumentedLock,
+    LockGraph,
+    instrument_module_locks,
+)
+
+
+def test_single_order_is_clean():
+    g = LockGraph()
+    a, b = InstrumentedLock("A", g), InstrumentedLock("B", g)
+    for _ in range(3):
+        with a:
+            with b:
+                pass
+    assert g.edge_count() == 1
+    assert g.cycles() == []
+    assert g.contentions() == []
+    assert g.acquisitions == 6
+
+
+def test_ab_ba_cycle_detected():
+    g = LockGraph()
+    a, b = InstrumentedLock("A", g), InstrumentedLock("B", g)
+    done_ab = threading.Event()
+
+    def t_ab():
+        with a:
+            with b:
+                pass
+        done_ab.set()
+
+    def t_ba():
+        done_ab.wait(5)  # strictly after — no real deadlock possible
+        with b:
+            with a:
+                pass
+
+    th1 = threading.Thread(target=t_ab)
+    th2 = threading.Thread(target=t_ba)
+    th1.start(); th2.start()
+    th1.join(5); th2.join(5)
+
+    cycles = g.cycles()
+    assert len(cycles) == 1
+    assert set(cycles[0].locks) == {"A", "B"}
+    # Witness stacks name both convicting edges.
+    assert set(cycles[0].witnesses) == {"A -> B", "B -> A"}
+    for witness in cycles[0].witnesses.values():
+        assert witness["stack"], "each edge carries a witness stack"
+
+
+def test_three_lock_cycle_detected():
+    g = LockGraph()
+    locks = {n: InstrumentedLock(n, g) for n in "ABC"}
+    order = [("A", "B"), ("B", "C"), ("C", "A")]
+    for first, second in order:
+        with locks[first]:
+            with locks[second]:
+                pass
+    cycles = g.cycles()
+    assert len(cycles) == 1
+    assert set(cycles[0].locks) == {"A", "B", "C"}
+
+
+def test_rlock_reentrancy_no_self_edge():
+    g = LockGraph()
+    r = InstrumentedLock("R", g, reentrant=True)
+    with r:
+        with r:
+            with r:
+                pass
+    assert g.edge_count() == 0
+    assert g.cycles() == []
+
+
+def test_contention_while_holding_reported():
+    g = LockGraph()
+    a, b = InstrumentedLock("A", g), InstrumentedLock("B", g)
+    b_held = threading.Event()
+    release_b = threading.Event()
+
+    def holder():
+        with b:
+            b_held.set()
+            release_b.wait(5)
+
+    th = threading.Thread(target=holder)
+    th.start()
+    b_held.wait(5)
+    with a:  # now contend on B while holding A
+        got = b.acquire(timeout=0.05)
+        if got:
+            b.release()
+        release_b.set()
+    th.join(5)
+
+    events = g.contentions()
+    assert len(events) == 1
+    assert events[0].wanted == "B"
+    assert events[0].held == ("A",)
+
+
+def test_contention_without_held_locks_not_reported():
+    g = LockGraph()
+    a = InstrumentedLock("A", g)
+    a_held = threading.Event()
+    release = threading.Event()
+
+    def holder():
+        with a:
+            a_held.set()
+            release.wait(5)
+
+    th = threading.Thread(target=holder)
+    th.start()
+    a_held.wait(5)
+    got = a.acquire(timeout=0.05)  # blocked, but we hold nothing
+    if got:
+        a.release()
+    release.set()
+    th.join(5)
+    assert g.contentions() == []
+
+
+def test_condition_over_instrumented_rlock():
+    """Condition.wait() must release/restore an instrumented RLock."""
+    g = LockGraph()
+    lk = InstrumentedLock("C", g, reentrant=True)
+    cond = threading.Condition(lk)
+    woke = []
+
+    def waiter():
+        with cond:
+            cond.wait(timeout=5)
+            woke.append(True)
+
+    th = threading.Thread(target=waiter)
+    th.start()
+    # Wait until the waiter dropped the lock inside wait().
+    for _ in range(100):
+        if lk.acquire(timeout=0.05):
+            lk.release()
+            break
+    with cond:
+        cond.notify_all()
+    th.join(5)
+    assert woke == [True]
+    assert g.cycles() == []
+
+
+def test_non_blocking_acquire_contract():
+    g = LockGraph()
+    a = InstrumentedLock("A", g)
+    assert a.acquire(blocking=False)
+    try:
+        # Same thread, non-reentrant: a second non-blocking acquire fails.
+        t_result = []
+        th = threading.Thread(
+            target=lambda: t_result.append(a.acquire(blocking=False))
+        )
+        th.start(); th.join(5)
+        assert t_result == [False]
+    finally:
+        a.release()
+
+
+def test_instrument_module_locks_patches_and_restores():
+    orig_lock, orig_rlock = threading.Lock, threading.RLock
+    with instrument_module_locks() as g:
+        lk = threading.Lock()
+        rlk = threading.RLock()
+        assert isinstance(lk, InstrumentedLock)
+        assert isinstance(rlk, InstrumentedLock)
+        with lk:
+            with rlk:
+                pass
+    # Restored afterwards...
+    assert threading.Lock is orig_lock
+    assert threading.RLock is orig_rlock
+    # ...and the graph saw the construction sites as names.
+    assert g.edge_count() == 1
+    (edge,) = g.edges()
+    assert all("test_lockgraph.py" in name for name in edge)
+
+
+def test_instrumented_locks_keep_reporting_after_patch_lifted():
+    with instrument_module_locks() as g:
+        a = threading.Lock()
+        b = threading.Lock()
+    with a:
+        with b:
+            pass
+    assert g.edge_count() == 1
+
+
+def test_as_dict_shape():
+    g = LockGraph()
+    a, b = InstrumentedLock("A", g), InstrumentedLock("B", g)
+    with a:
+        with b:
+            pass
+    doc = g.as_dict()
+    assert doc["locks"] == 2
+    assert doc["edges"] == 1
+    assert doc["clean"] is True
+    assert doc["cycles"] == [] and doc["contentions"] == []
+
+
+def test_bind_telemetry_gauges():
+    from repro.obs.metrics import MetricsRegistry
+
+    g = LockGraph()
+    reg = MetricsRegistry("poem")
+    g.bind_telemetry(reg)
+    a, b = InstrumentedLock("A", g), InstrumentedLock("B", g)
+    with a:
+        with b:
+            pass
+    rendered = reg.render()
+    assert "poem_lockgraph_edges 1" in rendered
+    assert "poem_lockgraph_cycles 0" in rendered

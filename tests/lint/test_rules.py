@@ -1,0 +1,396 @@
+"""Golden-file tests for every POEM rule: bad snippet → expected
+finding; suppressed snippet → clean.  Each case lints an in-memory
+source string under a ``path_label`` chosen so module-scoped rules
+(POEM001/004/006) fire — the label's basename is part of the input.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.errors import PoEmError
+from repro.lint import RULES, lint_source
+from repro.lint.report import render_json, render_text, summarize
+
+
+def _lint(src: str, label: str = "sample.py"):
+    return lint_source(textwrap.dedent(src), label)
+
+
+def _codes(findings) -> list[str]:
+    return [f.rule for f in findings]
+
+
+# ---------------------------------------------------------------------------
+# POEM001 — raw threads
+# ---------------------------------------------------------------------------
+
+BAD_THREAD = """
+    import threading
+
+    def boot():
+        t = threading.Thread(target=loop, daemon=True)
+        t.start()
+"""
+
+
+def test_poem001_raw_thread_flagged():
+    findings = _lint(BAD_THREAD, "src/repro/core/tcpserver.py")
+    assert _codes(findings) == ["POEM001"]
+    assert "supervision" in findings[0].message
+
+
+def test_poem001_allowed_in_nursery():
+    assert _lint(BAD_THREAD, "src/repro/core/supervision.py") == []
+
+
+def test_poem001_suppressed():
+    src = """
+        import threading
+
+        def boot():
+            t = threading.Thread(  # poem: ignore[POEM001]
+                target=loop, daemon=True)
+            t.start()
+    """
+    assert _lint(src, "src/repro/core/tcpserver.py") == []
+
+
+def test_poem001_suppressed_line_above():
+    src = """
+        import threading
+
+        def boot():
+            # poem: ignore[POEM001]
+            t = threading.Thread(target=loop, daemon=True)
+    """
+    assert _lint(src, "src/repro/core/tcpserver.py") == []
+
+
+# ---------------------------------------------------------------------------
+# POEM002 — blocking under lock
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize(
+    "call, needle",
+    [
+        ("time.sleep(0.1)", "time.sleep()"),
+        ("sock.recv(4096)", "socket call"),
+        ("sock.sendall(data)", "socket call"),
+        ("sock.accept()", "socket call"),
+        ("q.get()", "Queue.get()"),
+        ("q.put(item)", "Queue.put()"),
+        ("open('f.txt')", "file I/O"),
+        ("path.read_text()", "file I/O"),
+        ("conn.execute('SELECT 1')", "database call"),
+        ("conn.commit()", "database call"),
+        ("framing.send_frame(sock, b'x')", "framing"),
+        ("worker.join()", ".join()"),
+    ],
+)
+def test_poem002_blocking_calls_under_lock(call, needle):
+    src = f"""
+        def f(self):
+            with self._lock:
+                {call}
+    """
+    findings = _lint(src)
+    assert _codes(findings) == ["POEM002"]
+    assert needle in findings[0].message
+
+
+@pytest.mark.parametrize(
+    "call",
+    [
+        "q.get(timeout=1.0)",      # timeout-bearing variants are fine
+        "q.put(item, timeout=1.0)",
+        "worker.join(2.0)",
+        "d.get(key)",              # dict.get, not Queue.get
+        "counters.update(x)",
+        "cond.wait(1.0)",          # releases the lock it guards
+    ],
+)
+def test_poem002_non_blocking_variants_clean(call):
+    src = f"""
+        def f(self):
+            with self._lock:
+                {call}
+    """
+    assert _lint(src) == []
+
+
+def test_poem002_outside_lock_clean():
+    src = """
+        def f(self):
+            time.sleep(0.1)
+            with self._lock:
+                x = 1
+            time.sleep(0.1)
+    """
+    assert _lint(src) == []
+
+
+def test_poem002_suppressed_at_with_scope():
+    """One comment on the ``with`` line covers the whole block."""
+    src = """
+        def f(self):
+            with self._lock:  # poem: ignore[POEM002]
+                conn.execute("a")
+                conn.commit()
+    """
+    assert _lint(src) == []
+
+
+# ---------------------------------------------------------------------------
+# POEM003 — Scene version bump
+# ---------------------------------------------------------------------------
+
+def test_poem003_emit_without_bump():
+    src = """
+        class Scene:
+            def mutate(self, node):
+                self._emit(SceneEvent(0.0, "x", node))
+    """
+    findings = _lint(src)
+    assert _codes(findings) == ["POEM003"]
+    assert "mutate" in findings[0].message
+
+
+def test_poem003_emit_with_bump_clean():
+    src = """
+        class Scene:
+            def mutate(self, node):
+                self._emit(SceneEvent(0.0, "x", node))
+                self._bump(channels)
+    """
+    assert _lint(src) == []
+
+
+def test_poem003_outside_scene_class_clean():
+    src = """
+        class Recorder:
+            def mutate(self, node):
+                self._emit(node)
+    """
+    assert _lint(src) == []
+
+
+def test_poem003_suppressed_on_def_line():
+    src = """
+        class Scene:
+            def mutate(self, node):  # poem: ignore[POEM003]
+                self._emit(SceneEvent(0.0, "x", node))
+    """
+    assert _lint(src) == []
+
+
+# ---------------------------------------------------------------------------
+# POEM004 — per-packet recording on the hot path
+# ---------------------------------------------------------------------------
+
+BAD_RECORD_LOOP = """
+    def flush(self, batch):
+        for rec in batch:
+            self.recorder.record_packet(rec)
+"""
+
+
+def test_poem004_per_packet_record_in_hot_loop():
+    findings = _lint(BAD_RECORD_LOOP, "src/repro/core/engine.py")
+    assert _codes(findings) == ["POEM004"]
+
+
+def test_poem004_cold_module_clean():
+    assert _lint(BAD_RECORD_LOOP, "src/repro/analysis/report.py") == []
+
+
+def test_poem004_batch_call_clean():
+    src = """
+        def flush(self, batch):
+            self.recorder.record_many(batch)
+    """
+    assert _lint(src, "src/repro/core/engine.py") == []
+
+
+def test_poem004_suppressed():
+    src = """
+        def flush(self, batch):
+            for rec in batch:
+                self.recorder.record_packet(rec)  # poem: ignore[POEM004]
+    """
+    assert _lint(src, "src/repro/core/engine.py") == []
+
+
+# ---------------------------------------------------------------------------
+# POEM005 — swallowed exceptions
+# ---------------------------------------------------------------------------
+
+def test_poem005_bare_except():
+    src = """
+        def loop(self):
+            try:
+                step()
+            except:
+                pass
+    """
+    findings = _lint(src)
+    assert _codes(findings) == ["POEM005"]
+    assert "bare" in findings[0].message
+
+
+def test_poem005_broad_swallow():
+    src = """
+        def loop(self):
+            try:
+                step()
+            except Exception:
+                pass
+    """
+    assert _codes(_lint(src)) == ["POEM005"]
+
+
+def test_poem005_logged_handler_clean():
+    src = """
+        def loop(self):
+            try:
+                step()
+            except Exception as exc:
+                log_event(_log, "crash", error=str(exc))
+    """
+    assert _lint(src) == []
+
+
+def test_poem005_reraise_clean():
+    src = """
+        def loop(self):
+            try:
+                step()
+            except Exception:
+                raise
+    """
+    assert _lint(src) == []
+
+
+def test_poem005_narrow_handler_clean():
+    src = """
+        def loop(self):
+            try:
+                step()
+            except ValueError:
+                pass
+    """
+    assert _lint(src) == []
+
+
+def test_poem005_suppressed():
+    src = """
+        def loop(self):
+            try:
+                step()
+            except Exception:  # poem: ignore[POEM005]
+                pass
+    """
+    assert _lint(src) == []
+
+
+# ---------------------------------------------------------------------------
+# POEM006 — wall clock in scheduling code
+# ---------------------------------------------------------------------------
+
+def test_poem006_wall_clock_in_scheduler():
+    src = """
+        import time
+
+        def deadline():
+            return time.time() + 0.5
+    """
+    findings = _lint(src, "src/repro/core/scheduler.py")
+    assert _codes(findings) == ["POEM006"]
+    assert "monotonic" in findings[0].hint
+
+
+def test_poem006_monotonic_clean():
+    src = """
+        import time
+
+        def deadline():
+            return time.monotonic() + 0.5
+    """
+    assert _lint(src, "src/repro/core/scheduler.py") == []
+
+
+def test_poem006_cold_module_clean():
+    src = """
+        import time
+
+        def stamp():
+            return time.time()
+    """
+    assert _lint(src, "src/repro/analysis/report.py") == []
+
+
+def test_poem006_suppressed():
+    src = """
+        import time
+
+        def deadline():
+            return time.time() + 0.5  # poem: ignore[POEM006]
+    """
+    assert _lint(src, "src/repro/core/scheduler.py") == []
+
+
+# ---------------------------------------------------------------------------
+# Cross-cutting machinery
+# ---------------------------------------------------------------------------
+
+def test_bare_ignore_suppresses_every_rule():
+    src = """
+        import threading
+
+        def boot():
+            t = threading.Thread(target=loop)  # poem: ignore
+    """
+    assert _lint(src, "src/repro/core/tcpserver.py") == []
+
+
+def test_ignore_for_other_rule_does_not_suppress():
+    src = """
+        import threading
+
+        def boot():
+            t = threading.Thread(target=loop)  # poem: ignore[POEM006]
+    """
+    assert _codes(_lint(src, "src/repro/core/tcpserver.py")) == ["POEM001"]
+
+
+def test_syntax_error_raises_poemerror():
+    with pytest.raises(PoEmError, match="cannot lint"):
+        lint_source("def broken(:\n", "bad.py")
+
+
+def test_every_rule_has_catalog_entry_and_hint():
+    assert sorted(RULES) == [f"POEM00{i}" for i in range(1, 7)]
+    for rule in RULES.values():
+        assert rule.summary and rule.hint and rule.name
+
+
+def test_render_text_and_json_shape():
+    findings = _lint(BAD_THREAD, "src/repro/core/tcpserver.py")
+    text = render_text(findings, 1)
+    assert "POEM001" in text and "hint:" in text and "1 finding(s)" in text
+    import json
+
+    doc = json.loads(render_json(findings, 1))
+    assert doc["clean"] is False
+    assert doc["summary"] == {"POEM001": 1}
+    assert doc["checked_files"] == 1
+    assert doc["findings"][0]["rule"] == "POEM001"
+    assert doc["findings"][0]["hint"]
+    assert summarize(findings) == {"POEM001": 1}
+
+
+def test_render_clean():
+    text = render_text([], 12)
+    assert "clean" in text and "0 findings" in text

@@ -1,0 +1,36 @@
+"""Virtual-stack integration: the seed scenario must run lock-order-clean.
+
+This is the acceptance gate CI enforces with ``poem lint --runtime`` —
+kept as a test too, so a lock-order regression fails the suite locally
+before it ever reaches the CI job.
+"""
+
+from __future__ import annotations
+
+from repro.lint.runtime import run_runtime_check
+
+
+def test_seed_scenario_is_lock_order_clean():
+    report = run_runtime_check()
+    doc = report.as_dict()
+    # Real work happened (a converged chain forwards hellos + data).
+    assert report.deliveries > 0
+    assert doc["acquisitions"] > 100
+    assert doc["locks"] >= 5
+    # The actual gate: no lock-order cycles.  Contentions are reported
+    # (the poller thread exists to create the overlap opportunity) but
+    # are timing-dependent, so they must not gate cleanliness.
+    assert doc["cycles"] == [], f"lock-order cycles: {doc['cycles']}"
+    assert isinstance(doc["contentions"], list)
+    assert report.clean and doc["clean"]
+
+
+def test_runtime_report_dict_is_json_safe():
+    import json
+
+    doc = run_runtime_check(nodes=2, duration=2.0).as_dict()
+    json.dumps(doc)  # must not raise
+    assert set(doc) >= {
+        "locks", "edges", "acquisitions", "cycles", "contentions",
+        "clean", "deliveries", "drops",
+    }
