@@ -14,6 +14,14 @@ checker can *normalize* both sides by a calibration benchmark
 calibrator's time from the same run, and the resulting unitless shapes
 are compared.  CI uses this mode.
 
+Benchmarks may also export absolute envelope figures via
+``benchmark.extra_info`` keys starting with ``p99_`` (microseconds) —
+e.g. the scheduler's tail wakeup lag.  Those are real-time deadlines,
+not machine speeds, so they are gated **absolutely**: never normalized,
+and allowed ``tolerance`` slack plus a small additive floor
+(``P99_FLOOR_US``) so a near-zero baseline cannot demand the impossible
+from a noisy runner.
+
 Usage::
 
     # gate (exit 1 on regression)
@@ -39,6 +47,15 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 BASELINE_PATH = REPO_ROOT / "BENCH_micro.json"
 DEFAULT_TOLERANCE = 0.30
 
+#: Additive slack (µs) for absolute ``p99_*`` gates: OS scheduling noise
+#: near zero would otherwise make a tight baseline unmeetable.
+P99_FLOOR_US = 150.0
+
+
+def _is_absolute(key: str) -> bool:
+    """Keys gated as absolute real-time figures, exempt from normalize."""
+    return key.startswith("p99_")
+
 
 def load_fresh(path: Path) -> dict[str, dict[str, float]]:
     """Extract {name: {mean_us, min_us}} from a pytest-benchmark JSON."""
@@ -46,10 +63,14 @@ def load_fresh(path: Path) -> dict[str, dict[str, float]]:
     out: dict[str, dict[str, float]] = {}
     for bench in raw.get("benchmarks", []):
         stats = bench["stats"]
-        out[bench["name"]] = {
+        entry = {
             "mean_us": stats["mean"] * 1e6,
             "min_us": stats["min"] * 1e6,
         }
+        for key, value in (bench.get("extra_info") or {}).items():
+            if _is_absolute(key):
+                entry[key] = float(value)
+        out[bench["name"]] = entry
     if not out:
         raise SystemExit(f"no benchmarks found in {path}")
     return out
@@ -80,7 +101,10 @@ def normalize(
         )
     scale = cal["min_us"]
     return {
-        name: {k: v / scale for k, v in stats.items()}
+        name: {
+            k: (v if _is_absolute(k) else v / scale)
+            for k, v in stats.items()
+        }
         for name, stats in benchmarks.items()
     }
 
@@ -123,6 +147,21 @@ def check(args: argparse.Namespace) -> int:
                 f"{name}: min {got['min_us']:.4f} exceeds "
                 f"{limit:.4f} ({ratio:.2f}x baseline)"
             )
+        for key in sorted(k for k in base if _is_absolute(k)):
+            have = got.get(key)
+            if have is None:
+                failures.append(f"{name}: {key} missing from fresh results")
+                continue
+            p99_limit = base[key] * (1.0 + tolerance) + P99_FLOOR_US
+            p99_verdict = "ok" if have <= p99_limit else "REGRESSED"
+            print(
+                f"  {name:36s} {key} {have:8.2f} vs {base[key]:8.2f} us"
+                f"  (limit {p99_limit:8.2f})  {p99_verdict}"
+            )
+            if have > p99_limit:
+                failures.append(
+                    f"{name}: {key} {have:.2f} us exceeds {p99_limit:.2f} us"
+                )
     for name in sorted(set(fresh_cmp) - set(base_cmp)):
         print(f"  {name:36s} (new benchmark, no baseline yet)")
     if failures:

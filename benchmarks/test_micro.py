@@ -6,6 +6,9 @@ optimizing — the experiment benches are too coarse to localize a
 regression.
 """
 
+import inspect
+import time
+
 import numpy as np
 
 from repro.core.clock import VirtualClock
@@ -108,6 +111,56 @@ def test_schedule_push_pop(benchmark):
         schedule.pop_due(2.0)
 
     benchmark(push_pop)
+
+
+def test_scheduler_p99_lag_under_load(benchmark):
+    """Tail wakeup lag of the scanning primitive under a dense deadline
+    train: 200 entries 100 µs apart, harvested against the real clock.
+
+    The benchmark *time* is secondary; the gated figure is
+    ``extra_info["p99_lag_us"]`` — the 99th-percentile delay between an
+    entry's deadline and its actual harvest (early batched harvests
+    count as on time, matching the engine's fire-window semantics).
+    ``check_regression.py`` gates ``p99_*`` keys absolutely, never
+    normalized, so this is the soft-real-time envelope guard.
+
+    When the scheduler offers a ``fire_window`` (the overload plane's
+    batching lever) the bench uses a 1 ms window, the same order the
+    controller applies under pressure; on older schedulers it falls
+    back to exact semantics, which keeps baseline entries comparable.
+    """
+    supports_window = (
+        "fire_window"
+        in inspect.signature(ForwardSchedule.wait_due).parameters
+    )
+    kwargs = {"fire_window": 0.001} if supports_window else {}
+    packet = Packet(
+        source=NodeId(1), destination=NodeId(2), payload=b"x",
+        size_bits=8, seqno=1, channel=ChannelId(1),
+    )
+    lags: list[float] = []
+
+    def harvest_train():
+        s = ForwardSchedule()
+        t0 = time.monotonic() + 0.002
+        for i in range(200):
+            s.push(ScheduledPacket(
+                t_forward=t0 + i * 1e-4, packet=packet,
+                receiver=NodeId(2), sender=NodeId(1),
+            ))
+        harvested = 0
+        while harvested < 200:
+            due = s.wait_due(time.monotonic(), max_wait=0.05, **kwargs)
+            now = time.monotonic()
+            for e in due:
+                lags.append(max(now - e.t_forward, 0.0))
+            harvested += len(due)
+
+    benchmark.pedantic(harvest_train, rounds=5, iterations=1,
+                       warmup_rounds=1)
+    arr = np.sort(np.asarray(lags))
+    p99 = float(arr[min(int(len(arr) * 0.99), len(arr) - 1)])
+    benchmark.extra_info["p99_lag_us"] = round(p99 * 1e6, 2)
 
 
 def test_neighbor_full_rebuild_100(benchmark):

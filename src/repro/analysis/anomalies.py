@@ -28,6 +28,15 @@ Catalog (kind → what it means):
     a client's fitted drift projects more stamp error over its longest
     uncorrected stretch than the budget allows: its ``t_origin`` stamps
     (and every delay statistic built on them) are questionable.
+``overload-degraded``
+    the overload controller left NOMINAL for an interval (reconstructed
+    from recorded ``overload-state`` transitions): the run's real-time
+    validity envelope was violated between those stamps.
+``deadline-miss``
+    delivered frames fired later than 10× the lag budget (or frames
+    were shed outright as hopelessly late) at a rate above the
+    threshold — latency/jitter statistics from this run describe the
+    overloaded emulator, not the emulated network.
 """
 
 from __future__ import annotations
@@ -35,11 +44,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..core.packet import DropReason
 from .aggregates import windowed_aggregates
 from .dataset import RunDataset
 from .drift import ClockAudit, audit_clocks
 
-__all__ = ["Thresholds", "Anomaly", "detect_anomalies", "ANOMALY_KINDS"]
+__all__ = ["Thresholds", "Anomaly", "detect_anomalies", "ANOMALY_KINDS",
+           "degraded_intervals"]
 
 ANOMALY_KINDS = (
     "scheduler-lag",
@@ -47,6 +58,8 @@ ANOMALY_KINDS = (
     "drop-storm",
     "reordering",
     "clock-drift",
+    "overload-degraded",
+    "deadline-miss",
 )
 
 
@@ -72,6 +85,10 @@ class Thresholds:
 
     drift_budget: float = 0.010
     """Max tolerated projected stamp error (s) per client."""
+
+    deadline_miss_rate: float = 0.01
+    """Fraction of deliveries later than 10× the lag budget at/above
+    which the run's real-time claim is considered broken."""
 
     window: float = 1.0
     """Window width (s) for the windowed detectors."""
@@ -283,6 +300,108 @@ def detect_clock_drift(
     return out
 
 
+def degraded_intervals(
+    dataset: RunDataset,
+) -> list[tuple[float, float, str]]:
+    """``(start, end, worst_state)`` intervals the run spent degraded.
+
+    Reconstructed from the ``overload-state`` scene events the server
+    records on every controller transition.  An interval still open at
+    the last event is closed at the run's end stamp.
+    """
+    events = sorted(
+        (e for e in dataset.scene_events if e.kind == "overload-state"),
+        key=lambda e: e.time,
+    )
+    if not events:
+        return []
+    rank = {"nominal": 0, "pressured": 1, "saturated": 2}
+    out: list[tuple[float, float, str]] = []
+    start: Optional[float] = None
+    worst = "nominal"
+    for event in events:
+        to = str(event.details.get("to", "nominal"))
+        if rank.get(to, 0) > 0:
+            if start is None:
+                start = event.time
+                worst = to
+            elif rank.get(to, 0) > rank.get(worst, 0):
+                worst = to
+        elif start is not None:
+            out.append((start, event.time, worst))
+            start = None
+            worst = "nominal"
+    if start is not None:
+        out.append((start, max(dataset.time_range()[1], start), worst))
+    return out
+
+
+def detect_overload_degradation(dataset: RunDataset) -> list[Anomaly]:
+    out: list[Anomaly] = []
+    for start, end, worst in degraded_intervals(dataset):
+        out.append(
+            Anomaly(
+                kind="overload-degraded",
+                severity="critical" if worst == "saturated" else "warning",
+                subject="overload controller",
+                detail=(
+                    f"run left real-time territory for {end - start:.2f}s"
+                    f" ({start:.3f}s – {end:.3f}s, worst state {worst})"
+                ),
+                t=start,
+                data={"start": start, "end": end, "worst": worst,
+                      "duration": end - start},
+            )
+        )
+    return out
+
+
+def detect_deadline_misses(
+    dataset: RunDataset, thresholds: Thresholds
+) -> list[Anomaly]:
+    """Validity envelope over *every* delivered record (the lag detector
+    above only sees sampled trace spans)."""
+    missed = 0
+    total = 0
+    worst = 0.0
+    horizon = thresholds.lag_budget * 10.0
+    for p in dataset.delivered:
+        if p.t_delivered is None or p.t_forward is None:
+            continue
+        total += 1
+        lag = p.t_delivered - p.t_forward
+        if lag > horizon:
+            missed += 1
+            if lag > worst:
+                worst = lag
+    shed = sum(
+        1 for p in dataset.drops
+        if p.drop_reason == DropReason.DEADLINE_SHED
+    )
+    rate = missed / total if total else 0.0
+    if not shed and (not missed or rate < thresholds.deadline_miss_rate):
+        return []
+    parts = []
+    if missed:
+        parts.append(
+            f"{missed}/{total} deliveries ({rate:.1%}) fired more than"
+            f" {horizon * 1e3:.0f} ms late (worst {worst * 1e3:.1f} ms)"
+        )
+    if shed:
+        parts.append(f"{shed} frame(s) shed as hopelessly late")
+    return [
+        Anomaly(
+            kind="deadline-miss",
+            severity="critical",
+            subject="validity envelope",
+            detail="; ".join(parts),
+            data={"missed": missed, "delivered": total, "rate": rate,
+                  "worst_lag": worst, "shed": shed,
+                  "budget": thresholds.lag_budget},
+        )
+    ]
+
+
 def detect_anomalies(
     dataset: RunDataset,
     thresholds: Optional[Thresholds] = None,
@@ -299,6 +418,8 @@ def detect_anomalies(
     findings += detect_drop_storms(dataset, thresholds)
     findings += detect_reordering(dataset)
     findings += detect_clock_drift(dataset, thresholds, audit)
+    findings += detect_overload_degradation(dataset)
+    findings += detect_deadline_misses(dataset, thresholds)
     findings.sort(
         key=lambda a: (0 if a.severity == "critical" else 1, a.kind)
     )

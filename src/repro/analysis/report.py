@@ -15,9 +15,15 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Optional, Union
 
+from ..core.packet import DropReason
 from ..core.recording import Recorder
 from .aggregates import WindowStats, windowed_aggregates
-from .anomalies import Anomaly, Thresholds, detect_anomalies
+from .anomalies import (
+    Anomaly,
+    Thresholds,
+    degraded_intervals,
+    detect_anomalies,
+)
 from .dataset import RunDataset, load_dataset
 from .drift import ClockAudit, audit_clocks
 from .lineage import PacketLineage, format_lineage, lineage
@@ -53,6 +59,10 @@ class AnalysisReport:
     aggregates: list[WindowStats]
     anomalies: list[Anomaly]
     lineages: list[PacketLineage] = field(default_factory=list)
+    fidelity: dict = field(default_factory=dict)
+    """Validity envelope: ``verdict`` (``real-time``/``degraded``/
+    ``overloaded``), deadline buckets, shed count, and the degraded
+    intervals the overload controller recorded."""
 
     @property
     def duration(self) -> float:
@@ -80,6 +90,7 @@ class AnalysisReport:
                 "run_summary": self.run_summary,
                 "summary_consistent": self.summary_consistent,
             },
+            "fidelity": dict(self.fidelity),
             "clocks": self.audit.as_dict(),
             "aggregates": [w.as_dict() for w in self.aggregates],
             "anomalies": [a.as_dict() for a in self.anomalies],
@@ -146,6 +157,41 @@ def analyze(
     lineages = [
         lineage(dataset, rid, audit=audit) for rid in record_ids
     ]
+    # Validity envelope: did the emulator stay in real-time territory?
+    on_time = late = missed = 0
+    horizon = thresholds.lag_budget * 10.0
+    for p in dataset.delivered:
+        if p.t_delivered is None or p.t_forward is None:
+            continue
+        lag = p.t_delivered - p.t_forward
+        if lag <= thresholds.lag_budget:
+            on_time += 1
+        elif lag <= horizon:
+            late += 1
+        else:
+            missed += 1
+    shed = reasons.get(DropReason.DEADLINE_SHED, 0)
+    intervals = degraded_intervals(dataset)
+    degraded_s = sum(e - s for s, e, _ in intervals)
+    saturated = any(w == "saturated" for _, _, w in intervals)
+    if shed or missed or saturated:
+        verdict = "overloaded"
+    elif late or intervals:
+        verdict = "degraded"
+    else:
+        verdict = "real-time"
+    fidelity = {
+        "verdict": verdict,
+        "lag_budget": thresholds.lag_budget,
+        "on_time": on_time,
+        "late": late,
+        "missed": missed,
+        "shed": shed,
+        "degraded_seconds": degraded_s,
+        "intervals": [
+            {"start": s, "end": e, "worst": w} for s, e, w in intervals
+        ],
+    }
     return AnalysisReport(
         dataset=dataset,
         thresholds=thresholds,
@@ -164,6 +210,7 @@ def analyze(
         ),
         anomalies=detect_anomalies(dataset, thresholds, audit=audit),
         lineages=lineages,
+        fidelity=fidelity,
     )
 
 
@@ -206,6 +253,27 @@ def render_text(report: AnalysisReport) -> str:
         lines.append(
             "run summary  absent (no clean-shutdown marker in recording)"
         )
+    fid = report.fidelity
+    if fid:
+        line = (
+            f"fidelity     {fid['verdict'].upper()}"
+            f" — {fid['on_time']} on time, {fid['late']} late,"
+            f" {fid['missed']} missed"
+            f" (budget {fid['lag_budget'] * 1e3:.0f} ms)"
+        )
+        if fid.get("shed"):
+            line += f", {fid['shed']} shed"
+        lines.append(line)
+        if fid.get("degraded_seconds"):
+            lines.append(
+                f"             left real-time territory for"
+                f" {fid['degraded_seconds']:.2f} s:"
+            )
+            for iv in fid.get("intervals", []):
+                lines.append(
+                    f"               {iv['start']:.3f}s – {iv['end']:.3f}s"
+                    f"  (worst {iv['worst']})"
+                )
     lines.append("")
     lines.append(f"clock audit ({len(report.audit.estimates)} clients)")
     lines.append("-----------")
@@ -281,6 +349,18 @@ def render_html(report: AnalysisReport, *, title: str = "PoEm run forensics") ->
          else ("consistent" if report.summary_consistent
                else "INCONSISTENT")),
     ]
+    fid = report.fidelity
+    if fid:
+        run_rows.append(("fidelity", fid["verdict"]))
+        run_rows.append((
+            "deadlines",
+            f"{fid['on_time']} on time / {fid['late']} late /"
+            f" {fid['missed']} missed / {fid.get('shed', 0)} shed",
+        ))
+        if fid.get("degraded_seconds"):
+            run_rows.append(
+                ("degraded", f"{fid['degraded_seconds']:.2f} s")
+            )
     for k, v in run_rows:
         parts.append(
             f"<tr><td class='l'>{esc(str(k))}</td>"

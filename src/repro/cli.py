@@ -127,6 +127,10 @@ def build_parser() -> argparse.ArgumentParser:
                          dest="record_ids", metavar="ID",
                          help="resolve the lineage of this specific packet "
                               "record (repeatable; overrides --lineage)")
+    analyze.add_argument("--fail-degraded", action="store_true",
+                         help="exit 3 unless the fidelity verdict is "
+                              "'real-time' (CI gate on the validity "
+                              "envelope)")
 
     console = sub.add_parser(
         "console", help="interactive operator console on a fresh emulator"
@@ -330,6 +334,11 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         print(f"wrote {args.format} report to {args.out}")
     else:
         print(rendered, end="" if rendered.endswith("\n") else "\n")
+    if args.fail_degraded:
+        verdict = report.fidelity.get("verdict", "real-time")
+        if verdict != "real-time":
+            print(f"fidelity verdict: {verdict} — failing as requested")
+            return 3
     return 0
 
 

@@ -121,6 +121,9 @@ class PoEmClient(ProtocolHost):
         self.on_app_packet: Optional[Callable[[Packet], None]] = None
         self._recv_lock = threading.Lock()
         self.reconnects = 0
+        #: Last overload state piggybacked on a server heartbeat
+        #: (``"pressured"``/``"saturated"``), or None while nominal.
+        self.server_overload: Optional[str] = None
         self.reclaimed = False  # last registration reclaimed the prior VMN
         self.outage_drops = 0  # frames the protocol sent while disconnected
         # Optional observability plane: pass a repro.obs.Telemetry to get
@@ -442,6 +445,7 @@ class PoEmClient(ProtocolHost):
                 )
                 continue
             if msg["op"] == "ping":
+                self.server_overload = msg.get("overload")
                 try:
                     self._send(messages.make_pong(msg))
                 except TransportError:
@@ -482,6 +486,7 @@ class PoEmClient(ProtocolHost):
             elif op == "sync_rep":
                 self._sync_replies.put(msg)
             elif op == "ping":
+                self.server_overload = msg.get("overload")
                 try:
                     self._send(messages.make_pong(msg))
                 except TransportError:

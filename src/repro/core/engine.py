@@ -45,6 +45,7 @@ from ..obs.tracing import Trace
 from .clock import EmulationClock
 from .ids import NodeId
 from .neighbor import NeighborScheme
+from .overload import DeadlineAccounting, OverloadController
 from .packet import DropReason, Packet, PacketRecord
 from .recording import MemoryRecorder, Recorder
 from .scene import Scene
@@ -74,6 +75,8 @@ class ForwardingEngine:
         mac: Optional[MacModel] = None,
         energy: Optional[EnergyTracker] = None,
         telemetry: Optional[Telemetry] = None,
+        lag_budget: float = 0.010,
+        overload: Optional[OverloadController] = None,
     ) -> None:
         self.scene = scene
         self.neighbors = neighbors
@@ -84,6 +87,11 @@ class ForwardingEngine:
         self.use_client_stamps = use_client_stamps
         self.mac = mac if mac is not None else IdealMac()
         self.energy = energy
+        # Overload-resilience plane: deadline buckets always accounted;
+        # the controller (owned by the deployment) is optional — None
+        # keeps every degradation branch a single `is not None` check.
+        self.deadlines = DeadlineAccounting(lag_budget)
+        self.overload = overload
         self._rng = rng if rng is not None else np.random.default_rng()
         self._lock = threading.Lock()
         # Counters surfaced to the GUI/stats panes.
@@ -134,6 +142,25 @@ class ForwardingEngine:
             "Packet records discarded by the MemoryRecorder ring bound",
             lambda: getattr(self.recorder, "evicted", 0),
         )
+        reg.counter_fn(
+            "poem_deliveries_on_time_total",
+            "Deliveries within the scheduler lag budget",
+            lambda: self.deadlines.on_time,
+        )
+        reg.counter_fn(
+            "poem_deliveries_late_total",
+            "Deliveries beyond the lag budget but within the miss "
+            "threshold",
+            lambda: self.deadlines.late,
+        )
+        reg.counter_fn(
+            "poem_deliveries_missed_total",
+            "Deliveries beyond the deadline-miss threshold "
+            "(10x the lag budget)",
+            lambda: self.deadlines.missed,
+        )
+        if self.overload is not None:
+            self.overload.bind_telemetry(reg)
         self._m_drop_family = reg.counter(
             "poem_engine_drop_reason_total",
             "Drops by reason (the DropReason taxonomy)",
@@ -184,7 +211,13 @@ class ForwardingEngine:
         """
         tracer = self._tracer
         tr = trace
-        if tracer is not None and tr is None and not tracer.delegated:
+        ov = self.overload
+        if (
+            tracer is not None
+            and tr is None
+            and not tracer.delegated
+            and (ov is None or ov.allow_tracing)
+        ):
             tr = tracer.maybe_start()
             if tr is not None:
                 tr.bind(sender, packet)
@@ -194,12 +227,23 @@ class ForwardingEngine:
         else:
             t_receipt = now
         packet = packet.stamped(t_receipt=t_receipt)
-        drops: list[tuple[Optional[NodeId], str]] = []
+        drops: list[tuple[Optional[NodeId], str, Packet]] = []
+
+        # Admission control: while SATURATED, shed whole frames at the
+        # door once the schedule passes the admission depth — the drop
+        # carries the dedicated deadline-shed cause, *before* the
+        # capacity bound turns the loss into queue-overflow noise.
+        if ov is not None:
+            limit = ov.admission_limit  # None unless SATURATED
+            if limit is not None and len(self.schedule) >= limit:
+                ov.note_shed()
+                drops.append((None, DropReason.DEADLINE_SHED, packet))
+                return self._commit_ingest(packet, sender, [], drops, tr)
 
         # Quarantined sender (liveness layer): topology kept, traffic cut.
         quarantined = self.scene.quarantined_snapshot()
         if quarantined and sender in quarantined:
-            drops.append((None, DropReason.NODE_STALE))
+            drops.append((None, DropReason.NODE_STALE, packet))
             return self._commit_ingest(packet, sender, [], drops, tr)
 
         channel = packet.channel
@@ -211,14 +255,14 @@ class ForwardingEngine:
             tr.stage("neighbor_lookup", _perf() - _t0)
         radio = fan.radio
         if radio is None:
-            drops.append((None, DropReason.NO_SUCH_CHANNEL))
+            drops.append((None, DropReason.NO_SUCH_CHANNEL, packet))
             return self._commit_ingest(packet, sender, [], drops, tr)
 
         # Power consumption (§7 extension): a dead battery cannot transmit.
         if self.energy is not None and not self.energy.charge_tx(
             sender, packet.size_bits
         ):
-            drops.append((None, DropReason.NO_ENERGY))
+            drops.append((None, DropReason.NO_ENERGY, packet))
             return self._commit_ingest(packet, sender, [], drops, tr)
 
         # Medium access (§7 extension): one airtime reservation per
@@ -227,7 +271,7 @@ class ForwardingEngine:
         airtime = packet.size_bits / radio.link.bandwidth.peak
         decision = self.mac.admit(channel, sender, t_receipt, airtime)
         if decision.collided:
-            drops.append((None, DropReason.COLLISION))
+            drops.append((None, DropReason.COLLISION, packet))
             return self._commit_ingest(packet, sender, [], drops, tr)
         if decision.start != t_receipt:
             t_receipt = decision.start  # CSMA deferral shifts the frame
@@ -240,7 +284,7 @@ class ForwardingEngine:
         else:
             idx = fan.index.get(packet.destination)
             if idx is None:
-                drops.append((packet.destination, DropReason.NOT_NEIGHBOR))
+                drops.append((packet.destination, DropReason.NOT_NEIGHBOR, packet))
                 return self._commit_ingest(packet, sender, [], drops, tr)
             targets = (packet.destination,)
             dists = fan.distances[idx : idx + 1]
@@ -253,7 +297,7 @@ class ForwardingEngine:
             ]
             if len(keep) != len(targets):
                 drops.extend(
-                    (t, DropReason.NODE_STALE)
+                    (t, DropReason.NODE_STALE, packet)
                     for t in targets
                     if t in quarantined
                 )
@@ -267,7 +311,7 @@ class ForwardingEngine:
             # ndarray round trips and keep the historical RNG stream.
             r = float(dists[0])
             if radio.link.should_drop(self._rng, r):
-                drops.append((targets[0], DropReason.LOSS_MODEL))
+                drops.append((targets[0], DropReason.LOSS_MODEL, packet))
             else:
                 t_forward = radio.link.forward_time(
                     t_receipt, packet.size_bits, r
@@ -296,7 +340,7 @@ class ForwardingEngine:
                 mask_list = drop_mask.tolist()
                 for i, target in enumerate(targets):
                     if mask_list[i]:
-                        drops.append((target, DropReason.LOSS_MODEL))
+                        drops.append((target, DropReason.LOSS_MODEL, packet))
                     else:
                         tf = t_fwd_list[i]
                         scheduled.append(
@@ -328,8 +372,10 @@ class ForwardingEngine:
                 accepted = self.schedule.push_many(scheduled)
                 tr.stage("schedule_push", _perf() - _t0)
             if accepted != len(scheduled):
+                # The rejected suffix carries each entry's own forwarded
+                # packet, so the drop record keeps its t_forward stamp.
                 drops.extend(
-                    (e.receiver, DropReason.QUEUE_OVERFLOW)
+                    (e.receiver, DropReason.QUEUE_OVERFLOW, e.packet)
                     for e in scheduled[accepted:]
                 )
                 scheduled = scheduled[:accepted]
@@ -340,15 +386,20 @@ class ForwardingEngine:
         packet: Packet,
         sender: NodeId,
         scheduled: list[ScheduledPacket],
-        drops: list[tuple[Optional[NodeId], str]],
+        drops: list[tuple[Optional[NodeId], str, Packet]],
         trace: Optional[Trace] = None,
     ) -> list[ScheduledPacket]:
         """Fold one ingest's counter updates and drop records into a
-        single lock acquisition and at most one recorder call."""
+        single lock acquisition and at most one recorder call.
+
+        Each drop tuple carries the packet instance to record — for
+        pre-schedule drops that is the receipt-stamped base packet, but
+        a rejected schedule suffix carries its per-entry forwarded copy
+        so the record keeps the ``t_forward`` stamp."""
         n_drops = len(drops)
         if n_drops:
             n_transport = sum(
-                1 for _, r in drops if r in DropReason.TRANSPORT
+                1 for _, r, _p in drops if r in DropReason.TRANSPORT
             )
             with self._lock:
                 self.ingested += 1
@@ -356,7 +407,7 @@ class ForwardingEngine:
                 self.transport_dropped += n_transport
             fam = self._m_drop_family
             if fam is not None:
-                for _, reason in drops:
+                for _, reason, _p in drops:
                     fam.labels(reason).inc()
         else:
             with self._lock:
@@ -365,19 +416,19 @@ class ForwardingEngine:
             self._tracer.commit(trace, scheduled, drops)
         if n_drops:
             if n_drops == 1:
-                receiver, reason = drops[0]
+                receiver, reason, p = drops[0]
                 self.recorder.record_packet(
-                    self._make_record(packet, sender, receiver, reason)
+                    self._make_record(p, sender, receiver, reason)
                 )
             else:
                 start = self.recorder.reserve_record_ids(n_drops)
                 self.recorder.record_many(
                     [
                         self._make_record(
-                            packet, sender, receiver, reason,
+                            p, sender, receiver, reason,
                             record_id=start + i,
                         )
-                        for i, (receiver, reason) in enumerate(drops)
+                        for i, (receiver, reason, p) in enumerate(drops)
                     ]
                 )
         return scheduled
@@ -395,7 +446,30 @@ class ForwardingEngine:
         """
         if now is None:
             now = self.clock.now()
-        return self._deliver_batch(self.schedule.pop_due(now), now)
+        n = self._deliver_batch(self.schedule.pop_due(now), now)
+        if n == 0 and self.overload is not None:
+            # An idle pass is a quiet observation: it lets the overload
+            # controller's EWMA decay so degraded states can recover.
+            self.overload.observe(0.0, len(self.schedule))
+        return n
+
+    def flush_wait(self, now: float, max_wait: float = 0.05) -> int:
+        """Real-time scanning-thread step: block in the schedule's hybrid
+        wait for up to ``max_wait``, then deliver whatever fell due.
+
+        The overload controller's ``fire_window`` widens the harvest
+        under pressure (batched fire windows trade per-frame precision
+        for fewer wakeups); an empty harvest feeds a quiet observation
+        so degraded states decay.
+        """
+        ov = self.overload
+        window = ov.fire_window if ov is not None else 0.0
+        due = self.schedule.wait_due(now, max_wait, fire_window=window)
+        if not due:
+            if ov is not None:
+                ov.observe(0.0, len(self.schedule))
+            return 0
+        return self._deliver_batch(due, self.clock.now())
 
     def flush_all(self) -> int:
         """Deliver everything still scheduled (shutdown path)."""
@@ -408,14 +482,28 @@ class ForwardingEngine:
         counter-lock acquisition and one ``record_many`` per flush.
 
         Telemetry: every entry feeds the scheduler-lag histogram
-        (``actual_fire − t_forward``, the deadline-slack metric); entries
-        belonging to a sampled trace additionally record their
-        ``scan_wakeup`` / ``send`` / ``record`` stage durations.
+        (``actual_fire − t_forward``, the deadline-slack metric) and the
+        deadline-accounting buckets; entries belonging to a sampled trace
+        additionally record their ``scan_wakeup`` / ``send`` / ``record``
+        stage durations.
+
+        Under a SATURATED overload controller two load-shedding levers
+        engage: entries already later than the shed horizon are dropped
+        (``deadline-shed`` — delivering them would only push the backlog
+        further behind real time), and per-packet delivery rows are
+        coalesced into counters instead of ``record_many`` calls.
         """
         if not due:
             return 0
         tracer = self._tracer
         m_lag = self._m_lag
+        ov = self.overload
+        deadlines = self.deadlines
+        shed_horizon = (
+            ov.shed_horizon if ov is not None and now is not None else None
+        )
+        max_lag = 0.0
+        shed: list[ScheduledPacket] = []
         delivered: list[tuple[Packet, NodeId, NodeId]] = []
         finished_traces: list[Trace] = []
         for entry in due:
@@ -429,8 +517,16 @@ class ForwardingEngine:
                 lag = now - entry.t_forward
                 if lag < 0.0:
                     lag = 0.0
+                if lag > max_lag:
+                    max_lag = lag
                 if m_lag is not None:
                     m_lag.observe(lag)
+                deadlines.note(lag)
+                if shed_horizon is not None and lag > shed_horizon:
+                    shed.append(entry)
+                    if tr is not None:
+                        tracer.finalize(tr, "deadline-shed")
+                    continue
             if tr is None:
                 packet = self._deliver(
                     entry, entry.t_forward if now is None else now
@@ -458,19 +554,46 @@ class ForwardingEngine:
         if count:
             with self._lock:
                 self.forwarded += count
-            start = self.recorder.reserve_record_ids(count)
-            _t0 = _perf() if finished_traces else 0.0
+            if ov is not None and ov.coalesce_records:
+                # Saturated: shed the per-packet rows, keep the counters.
+                ov.note_coalesced(count)
+                for tr in finished_traces:
+                    tracer.finalize(tr, "delivered")
+            else:
+                start = self.recorder.reserve_record_ids(count)
+                _t0 = _perf() if finished_traces else 0.0
+                self.recorder.record_many(
+                    [
+                        self._make_record(p, s, r, record_id=start + i)
+                        for i, (p, s, r) in enumerate(delivered)
+                    ]
+                )
+                if finished_traces:
+                    record_dur = _perf() - _t0
+                    for tr in finished_traces:
+                        tr.stage("record", record_dur)
+                        tracer.finalize(tr, "delivered")
+        if shed:
+            n = len(shed)
+            with self._lock:
+                self.dropped += n
+                self.transport_dropped += n
+            fam = self._m_drop_family
+            if fam is not None:
+                fam.labels(DropReason.DEADLINE_SHED).inc(n)
+            ov.note_shed(n)
+            start = self.recorder.reserve_record_ids(n)
             self.recorder.record_many(
                 [
-                    self._make_record(p, s, r, record_id=start + i)
-                    for i, (p, s, r) in enumerate(delivered)
+                    self._make_record(
+                        e.packet, e.sender, e.receiver,
+                        DropReason.DEADLINE_SHED, record_id=start + i,
+                    )
+                    for i, e in enumerate(shed)
                 ]
             )
-            if finished_traces:
-                record_dur = _perf() - _t0
-                for tr in finished_traces:
-                    tr.stage("record", record_dur)
-                    tracer.finalize(tr, "delivered")
+        if ov is not None and now is not None:
+            ov.observe(max_lag, len(self.schedule))
         return count
 
     def next_forward_time(self) -> Optional[float]:

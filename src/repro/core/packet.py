@@ -140,14 +140,16 @@ class DropReason:
     NO_ENERGY = "no-energy"
     NODE_STALE = "node-stale"
     TRANSPORT_OVERFLOW = "transport-overflow"
+    DEADLINE_SHED = "deadline-shed"
 
     ALL = (NOT_NEIGHBOR, LOSS_MODEL, NO_SUCH_CHANNEL, QUEUE_OVERFLOW,
            NODE_REMOVED, COLLISION, NO_ENERGY, NODE_STALE,
-           TRANSPORT_OVERFLOW)
+           TRANSPORT_OVERFLOW, DEADLINE_SHED)
 
-    TRANSPORT = (NODE_STALE, TRANSPORT_OVERFLOW)
-    """Drops caused by the *transport/fault-tolerance* layer (a stalled or
-    overflowing client), as opposed to the emulated radio medium."""
+    TRANSPORT = (NODE_STALE, TRANSPORT_OVERFLOW, DEADLINE_SHED)
+    """Drops caused by the *emulator infrastructure* (a stalled or
+    overflowing client, overload load-shedding), as opposed to the
+    emulated radio medium."""
 
 
 @dataclass(frozen=True, slots=True)

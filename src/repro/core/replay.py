@@ -146,8 +146,8 @@ class ReplayEngine:
             )
         elif kind == "node-removed":
             nodes.pop(node, None)
-        elif kind == "run-summary":
-            pass  # run-level marker (node is the -1 sentinel), not drawable
+        elif kind in ("run-summary", "overload-state"):
+            pass  # run-level markers (node is the -1 sentinel), not drawable
         elif node not in nodes:
             # Event for a node we never saw added: recording truncated.
             raise ReplayError(

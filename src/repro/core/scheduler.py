@@ -158,39 +158,104 @@ class ForwardSchedule:
                 due.append(heapq.heappop(self._heap)[2])
         return due
 
-    def wait_due(self, now: float, max_wait: float = 0.1) -> list[ScheduledPacket]:
+    #: Distance (s) from the head deadline at which :meth:`wait_due`
+    #: switches from one coarse sleep to short precision waits — the
+    #: hybrid wakeup scheme (coarse until ~1 ms out, then spin quanta).
+    SPIN_THRESHOLD = 0.001
+
+    #: Condition-wait quantum (s) during the precision-spin phase.
+    SPIN_WAIT = 0.0002
+
+    #: Floor on any computed wait: a deadline an epsilon beyond ``now``
+    #: must not produce a sub-tick timeout, or the condition wait returns
+    #: with an unmeasurably small elapsed time and the caller busy-loops.
+    MIN_TIMEOUT = 5e-5
+
+    def wait_due(
+        self,
+        now: float,
+        max_wait: float = 0.1,
+        *,
+        fire_window: float = 0.0,
+    ) -> list[ScheduledPacket]:
         """Real-time scanning-thread primitive.
 
         Returns due entries immediately if any; otherwise blocks up to
-        ``max_wait`` seconds (or until the head's due time, whichever is
-        sooner) waiting for new entries, then returns whatever became due
-        during the *actual* time spent waiting.
+        ``max_wait`` seconds waiting for the head entry to fall due (or
+        for new entries), then returns whatever became due during the
+        *actual* time spent waiting.
+
+        The wait is **hybrid**: far from the head deadline it is one
+        coarse condition wait ending :data:`SPIN_THRESHOLD` before the
+        deadline; within that threshold it loops :data:`SPIN_WAIT`-sized
+        precision waits, so the wakeup error is bounded by the short
+        quantum instead of the OS timer slack of a long sleep.  Every
+        computed timeout is clamped to :data:`MIN_TIMEOUT` from below —
+        a deadline an epsilon away used to yield a zero-length wait and
+        a busy loop in the caller.
 
         ``now`` is the emulation clock at the instant of the call; the
         post-wait cutoff is ``now`` plus the measured wall time the wait
         really took.  (An earlier revision used ``now + timeout`` — on an
         early wakeup, e.g. a push notifying the condition, that delivered
         frames up to ``max_wait`` seconds *before* they were due.)
+
+        ``fire_window`` widens the cutoff: entries due within it are
+        harvested together even if slightly early — the overload
+        controller's batching lever (0 keeps exact-deadline semantics).
         """
         with self._nonempty:
             due: list[ScheduledPacket] = []
-            while self._heap and self._heap[0][0] <= now:
+            horizon = now + fire_window
+            while self._heap and self._heap[0][0] <= horizon:
                 due.append(heapq.heappop(self._heap)[2])
-            if due or self._closed:
+            if due or self._closed or max_wait <= 0:
                 return due
-            timeout = max_wait
-            if self._heap:
-                timeout = min(max_wait, max(self._heap[0][0] - now, 0.0))
-            waited = 0.0
-            if timeout > 0:
-                t0 = time.monotonic()
-                self._nonempty.wait(timeout)
-                waited = time.monotonic() - t0
-            cutoff = now + waited
+            cutoff = now + self._wait_segment(now, max_wait) + fire_window
             while self._heap and self._heap[0][0] <= cutoff:
                 # Entries that became due while we actually waited.
                 due.append(heapq.heappop(self._heap)[2])
             return due
+
+    def _wait_segment(self, now: float, max_wait: float) -> float:
+        """One hybrid coarse-sleep/precision-spin wait (lock held).
+
+        Returns the measured seconds elapsed.  A coarse or idle wait
+        does a single segment and returns (the caller re-harvests and,
+        on nothing due, hands control back so its ``now`` can refresh);
+        within spin distance of a known deadline it keeps lapping short
+        waits until the deadline is covered or ``max_wait`` is spent.
+        """
+        elapsed = 0.0
+        while not self._closed:
+            remaining = max_wait - elapsed
+            if remaining <= 0.0:
+                break
+            head = self._heap[0][0] if self._heap else None
+            spin = False
+            if head is None:
+                timeout = remaining  # idle: a push wakes the condition
+            else:
+                until_due = head - now - elapsed
+                if until_due <= 0.0:
+                    break  # head fell due during a previous lap
+                if until_due > self.SPIN_THRESHOLD:
+                    # Coarse phase: sleep until just before the deadline.
+                    timeout = min(remaining, until_due - self.SPIN_THRESHOLD)
+                else:
+                    spin = True
+                    timeout = min(remaining, self.SPIN_WAIT)
+            if timeout < self.MIN_TIMEOUT:
+                timeout = min(self.MIN_TIMEOUT, remaining)
+            t0 = time.monotonic()
+            self._nonempty.wait(timeout)
+            waited = time.monotonic() - t0
+            # A sub-tick wait can measure 0.0; credit the request so the
+            # cutoff still advances (the zero-timeout spin fix).
+            elapsed += waited if waited > 0.0 else timeout
+            if not spin:
+                break
+        return elapsed
 
     def drain(self) -> list[ScheduledPacket]:
         """Remove and return everything (shutdown path), in order."""

@@ -43,6 +43,7 @@ from .engine import ForwardingEngine
 from .geometry import Vec2
 from .ids import ChannelId, IdAllocator, NodeId
 from .neighbor import ChannelIndexedNeighborTables, NeighborScheme
+from .overload import OverloadConfig, OverloadController
 from .packet import Packet, PacketStamper
 from .recording import MemoryRecorder, Recorder
 from .scene import Scene, SceneEvent
@@ -173,6 +174,8 @@ class InProcessEmulator:
         mac=None,
         energy=None,
         telemetry: Optional[Telemetry] = None,
+        lag_budget: float = 0.010,
+        overload_config: Optional[OverloadConfig] = None,
     ) -> None:
         self.clock = VirtualClock()
         self.scene = Scene(bounds=bounds, seed=seed)
@@ -188,6 +191,16 @@ class InProcessEmulator:
             # The virtual transport owns Step 1 sampling (uplink arrival);
             # stop the engine from double-sampling.
             self._tracer.delegated = True
+        # Virtual-clock runs fire exactly at t_forward, so the controller
+        # stays NOMINAL — it exists for deployment parity (health shape,
+        # telemetry series) and for tests driving it directly.
+        if overload_config is None:
+            overload_config = OverloadConfig(lag_budget=lag_budget)
+        self.overload = OverloadController(
+            overload_config,
+            capacity=schedule_capacity,
+            time_fn=self.clock.now,
+        )
         self.engine = ForwardingEngine(
             self.scene,
             self.neighbors,
@@ -199,6 +212,8 @@ class InProcessEmulator:
             mac=mac,
             energy=energy,
             telemetry=self.telemetry,
+            lag_budget=overload_config.lag_budget,
+            overload=self.overload,
         )
         self.engine.deliver = self._deliver_to_host
         self._hosts: dict[NodeId, VirtualNodeHost] = {}
@@ -353,6 +368,8 @@ class InProcessEmulator:
             },
             "schedule_depth": len(self.engine.schedule),
             "records_evicted": getattr(self.recorder, "evicted", 0),
+            "overload": self.overload.snapshot(),
+            "deadline": self.engine.deadlines.as_dict(),
         }
 
     def record_run_summary(self) -> None:
@@ -371,6 +388,8 @@ class InProcessEmulator:
                     "transport_dropped": self.engine.transport_dropped,
                     "records_evicted": getattr(self.recorder, "evicted", 0),
                     "sync_samples": len(self.recorder.sync_samples()),
+                    "overload": self.overload.snapshot(),
+                    "deadline": self.engine.deadlines.as_dict(),
                 },
             )
         )

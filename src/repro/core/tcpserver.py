@@ -67,6 +67,7 @@ from .engine import ForwardingEngine
 from .geometry import Vec2
 from .ids import ChannelId, IdAllocator, NodeId, RadioIndex
 from .neighbor import ChannelIndexedNeighborTables, NeighborScheme
+from .overload import OverloadConfig, OverloadController, OverloadState
 from .packet import DropReason, Packet
 from .recording import MemoryRecorder, Recorder
 from .scene import Scene, SceneEvent
@@ -206,6 +207,8 @@ class PoEmServer:
         telemetry: Optional[Telemetry] = None,
         metrics_port: Optional[int] = None,
         metrics_host: str = "127.0.0.1",
+        lag_budget: float = 0.010,
+        overload_config: Optional[OverloadConfig] = None,
     ) -> None:
         self._host = host
         self._port = port
@@ -216,6 +219,14 @@ class PoEmServer:
         self.recorder.attach_to_scene(self.scene)
         self.neighbors = neighbor_scheme(self.scene)
         self.telemetry = telemetry if telemetry is not None else Telemetry()
+        if overload_config is None:
+            overload_config = OverloadConfig(lag_budget=lag_budget)
+        self.overload = OverloadController(
+            overload_config,
+            capacity=schedule_capacity,
+            time_fn=self.clock.now,
+            on_transition=self._on_overload_transition,
+        )
         self.engine = ForwardingEngine(
             self.scene,
             self.neighbors,
@@ -225,6 +236,8 @@ class PoEmServer:
             schedule_capacity=schedule_capacity,
             use_client_stamps=use_client_stamps,
             telemetry=self.telemetry,
+            lag_budget=overload_config.lag_budget,
+            overload=self.overload,
         )
         self.engine.deliver = self._deliver
         self._ids = IdAllocator()
@@ -397,11 +410,44 @@ class PoEmServer:
                         "transport_dropped": self.engine.transport_dropped,
                         "records_evicted": getattr(self.recorder, "evicted", 0),
                         "sync_samples": len(self.recorder.sync_samples()),
+                        "overload": self.overload.snapshot(),
+                        "deadline": self.engine.deadlines.as_dict(),
                     },
                 )
             )
         except PoEmError as exc:  # a closed sqlite recorder must not
             self.supervisor.note_failure("run-summary", exc)  # mask stop()
+
+    def _on_overload_transition(
+        self, old: str, new: str, info: dict
+    ) -> None:
+        """Controller state change: log it and pin it into the recording.
+
+        The ``overload-state`` scene event (sentinel node ``-1``, like
+        ``run-summary``) is what lets ``poem analyze`` reconstruct the
+        degraded intervals of a finished run.  Invoked by the controller
+        *outside* its lock, from whichever thread observed the change.
+        """
+        escalating = (
+            OverloadState.SEVERITY[new] > OverloadState.SEVERITY[old]
+        )
+        log_event(
+            _log, "overload-state",
+            level=logging.WARNING if escalating else logging.INFO,
+            old=old, new=new,
+            lag_ewma=info.get("lag_ewma"), depth=info.get("depth"),
+        )
+        try:
+            self.recorder.record_scene(
+                SceneEvent(
+                    time=info.get("t", self.clock.now()),
+                    kind="overload-state",
+                    node=NodeId(-1),
+                    details={"from": old, "to": new, **info},
+                )
+            )
+        except PoEmError as exc:  # never let recording kill the observer
+            self.supervisor.note_failure("overload-state", exc)
 
     def __enter__(self) -> "PoEmServer":
         self.start()
@@ -445,6 +491,8 @@ class PoEmServer:
             },
             "schedule_depth": len(self.engine.schedule),
             "records_evicted": getattr(self.recorder, "evicted", 0),
+            "overload": self.overload.snapshot(),
+            "deadline": self.engine.deadlines.as_dict(),
         }
         if self.metrics_address is not None:
             out["metrics_address"] = list(self.metrics_address)
@@ -533,10 +581,21 @@ class PoEmServer:
                     tr.bind(conn.node_id, packet)
                     tr.stage("receive", _perf() - t0)
             self.engine.ingest(conn.node_id, packet, trace=tr)
+            self._ingest_backpressure()
             return False
         return self._handle_message(
             conn, messages.decode_message(frame), t0=t0
         )
+
+    def _ingest_backpressure(self) -> None:
+        """Overload soft lever: once SATURATED, each receiver thread
+        pauses briefly after an ingest so the scanning thread can drain
+        the schedule before the capacity bound starts rejecting — the
+        backpressure reaches the ingest side *before* queue-overflow
+        does.  Waits on the stop event so shutdown is never delayed."""
+        pause = self.overload.ingest_pause
+        if pause > 0.0:
+            self._stop_evt.wait(pause)
 
     def _handle_message(
         self, conn: _ClientConnection, msg: dict, *, t0: float = 0.0
@@ -570,6 +629,7 @@ class PoEmServer:
                         "receive", (_perf() - t0) if t0 else 0.0
                     )
             self.engine.ingest(conn.node_id, packet, trace=tr)
+            self._ingest_backpressure()
         elif op == "sync_report":
             # Forensics capture: the client reports every §4.1 round it
             # just ran (offset, delay, its t_s4 server-time estimate and
@@ -699,7 +759,14 @@ class PoEmServer:
             with self._clients_lock:
                 clients = list(self._clients.items())
                 stale_snapshot = dict(self._stale)
-            ping = messages.encode_message(messages.make_ping(now))
+            ping = messages.encode_message(
+                messages.make_ping(
+                    now,
+                    overload=(
+                        self.overload.state if self.overload.severity else None
+                    ),
+                )
+            )
             silence_limit = self._heartbeat_interval * self._heartbeat_misses
             for nid, conn in clients:
                 conn.enqueue(ping)
@@ -851,20 +918,15 @@ class PoEmServer:
     # -- scan / deliver / mobility -----------------------------------------------------
 
     def _scan_loop(self) -> None:
-        """Step 5: fire deliveries as the wall clock meets forward times."""
-        import time as _time
+        """Step 5: fire deliveries as the wall clock meets forward times.
 
+        The hybrid schedule wait (coarse sleep until just before the head
+        deadline, then short precision waits) replaced the old
+        poll-and-sleep loop: wakeup error is bounded by the spin quantum,
+        and an early push wakes the wait instead of waiting out a sleep.
+        """
         while self._running:
-            now = self.clock.now()
-            delivered = self.engine.flush_due(now)
-            if delivered:
-                continue
-            nxt = self.engine.next_forward_time()
-            if nxt is None:
-                _time.sleep(self._scan_poll)
-            else:
-                _time.sleep(min(max(nxt - self.clock.now(), 0.0),
-                               self._scan_poll))
+            self.engine.flush_wait(self.clock.now(), max_wait=self._scan_poll * 25)
 
     def _deliver(self, receiver: NodeId, packet: Packet) -> None:
         """Step 6 hand-off: queue the frame on the receiver's sender thread."""
@@ -891,7 +953,14 @@ class PoEmServer:
             _time.sleep(self._mobility_tick)
             if not self._running:
                 return
-            self.scene.advance_time(self.clock.now())
+            try:
+                self.scene.advance_time(self.clock.now())
+            except SceneError:
+                # A concurrent mutation (register, overload-state
+                # transition, run-summary) synced scene time past our
+                # clock read between the read and the lock — benign;
+                # the next tick re-reads the clock.
+                continue
 
 
 def _radio_from_wire(raw: dict) -> Radio:

@@ -136,11 +136,15 @@ class PoEmConsole(cmd.Cmd):
     def do_stats(self, arg: str) -> None:
         """stats — server pipeline counters."""
         engine = self.emulator.engine
-        self._say(
+        line = (
             f"t={self.emulator.clock.now():.3f}s  "
             f"ingested={engine.ingested}  forwarded={engine.forwarded}  "
             f"dropped={engine.dropped}  scheduled={len(engine.schedule)}"
         )
+        overload = getattr(self.emulator, "overload", None)
+        if overload is not None:
+            line += f"  overload={overload.state}"
+        self._say(line)
 
     def do_health(self, arg: str) -> None:
         """health — supervision/liveness snapshot (fault-tolerance pane)."""

@@ -1,4 +1,4 @@
-"""``poem lint`` — the AST pass enforcing POEM001-POEM006.
+"""``poem lint`` — the AST pass enforcing POEM001-POEM007.
 
 The analyzer is deliberately *lexical*: it never imports the code under
 analysis, needs nothing outside the stdlib, and errs on the side of
@@ -14,11 +14,15 @@ blanket waivers).  Scope decisions worth knowing:
   method that emits a mutation event (``self._emit``) must also advance
   a version counter (``self._bump``) — the cache-invalidation contract
   of the hot-path overhaul.
-* **POEM004** and **POEM006** are scoped by module basename (the
-  hot-path trio ``engine.py``/``scheduler.py``/``tcpserver.py``; the
-  delay/scheduling set adds ``clock.py``/``server.py``/``virtual.py``/
-  ``faults.py``) so rules stay sharp instead of drowning the tree in
-  suppressions.
+* **POEM004**, **POEM006** and **POEM007** are scoped by module basename
+  (the hot-path trio ``engine.py``/``scheduler.py``/``tcpserver.py``;
+  the delay/scheduling set adds ``clock.py``/``server.py``/
+  ``virtual.py``/``faults.py``) so rules stay sharp instead of drowning
+  the tree in suppressions.
+* **POEM007** flags three unbounded-growth shapes on hot-path modules:
+  ``deque()`` without ``maxlen``, a ``queue.Queue``-family construction
+  with no size bound, and ``self.<attr>.append`` inside a loop.
+  Loop-local list appends stay legal — batch buffers are the idiom.
 """
 
 from __future__ import annotations
@@ -270,6 +274,50 @@ class _Analyzer(ast.NodeVisitor):
                 f"{leaf}() inside a loop on a hot-path module — one "
                 "recorder lock acquisition per packet",
             )
+
+        # POEM007: unbounded hot-path containers.  Three shapes: a
+        # deque without maxlen, a queue.Queue family construction with
+        # neither a positional maxsize nor the keyword, and an append
+        # onto an instance attribute from inside a loop (per-iteration
+        # growth that outlives the function).  Loop-local lists stay
+        # legal — batching buffers are the hot-path idiom.
+        if self.basename in _HOT_PATH_MODULES and name is not None:
+            kwargs = {kw.arg for kw in node.keywords if kw.arg}
+            if (
+                leaf == "deque"
+                and name.rsplit(".", 1)[0] in ("deque", "collections")
+                and "maxlen" not in kwargs
+            ):
+                self._add(
+                    "POEM007",
+                    node,
+                    "deque() without maxlen on a hot-path module — "
+                    "grows without bound under overload",
+                )
+            elif (
+                leaf in ("Queue", "LifoQueue", "PriorityQueue", "SimpleQueue")
+                and (name == leaf or name.rsplit(".", 1)[0] == "queue")
+                and not node.args
+                and "maxsize" not in kwargs
+            ):
+                self._add(
+                    "POEM007",
+                    node,
+                    f"{leaf}() without a maxsize bound on a hot-path "
+                    "module — backpressure never reaches the producer",
+                )
+            elif (
+                leaf == "append"
+                and self._loop_depth > 0
+                and name.startswith("self.")
+                and name.count(".") >= 2
+            ):
+                self._add(
+                    "POEM007",
+                    node,
+                    f"{name}() inside a loop — unbounded growth of an "
+                    "instance attribute on the hot path",
+                )
 
         # POEM002: blocking call inside a lock-guarded with-block.
         if self._with_locks:

@@ -88,6 +88,16 @@ RULES: dict[str, Rule] = {
             "time.time() jumps under NTP and corrupts forward-time "
             "arithmetic",
         ),
+        Rule(
+            "POEM007",
+            "unbounded-queue",
+            "unbounded deque/Queue construction or looped instance-"
+            "attribute append on a hot-path module",
+            "give the container an explicit bound (deque(maxlen=...), "
+            "Queue(maxsize)) or make the growth loop-local — an "
+            "unbounded hot-path buffer is how an overloaded server "
+            "exhausts memory instead of shedding load",
+        ),
     )
 }
 

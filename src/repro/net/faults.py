@@ -40,12 +40,14 @@ from __future__ import annotations
 
 import random
 import socket
+import threading
 import time
 from collections import Counter
 from dataclasses import dataclass
 from typing import Optional
 
 from ..core.clock import EmulationClock
+from ..core.supervision import SupervisedThread
 from ..errors import FaultInjectionError
 
 __all__ = [
@@ -55,6 +57,8 @@ __all__ = [
     "LinkFaultInjector",
     "ClockSkew",
     "SkewedClock",
+    "OverloadSpec",
+    "OverloadInjector",
 ]
 
 
@@ -312,3 +316,130 @@ class LinkFaultInjector:
 
     def __call__(self, side: str, data: bytes) -> FaultDecision:
         return self._engine.decide()
+
+
+@dataclass(frozen=True)
+class OverloadSpec:
+    """One seeded saturation scenario for the overload chaos harness.
+
+    ``bursts`` waves of ``burst_packets`` back-to-back sends, separated
+    by ``burst_gap`` seconds plus a seeded uniform jitter in
+    ``[0, jitter]`` — enough concentrated arrival to outrun the
+    scanning thread.  ``cpu_stealers`` spin-loop threads emulate the
+    paper's "overload of server computation" (a co-located workload
+    stealing the cores the scan loop needs) for ``steal_seconds``.
+    """
+
+    bursts: int = 5
+    burst_packets: int = 200
+    burst_gap: float = 0.001
+    jitter: float = 0.0
+    cpu_stealers: int = 0
+    steal_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("bursts", "burst_packets"):
+            v = getattr(self, name)
+            if v < 1:
+                raise FaultInjectionError(f"{name} must be >= 1, got {v}")
+        for name in ("burst_gap", "jitter", "steal_seconds"):
+            v = getattr(self, name)
+            if v < 0.0:
+                raise FaultInjectionError(f"{name} must be >= 0, got {v}")
+        if self.cpu_stealers < 0:
+            raise FaultInjectionError(
+                f"cpu_stealers must be >= 0, got {self.cpu_stealers}"
+            )
+
+
+class OverloadInjector:
+    """Drives a server into (and back out of) overload, reproducibly.
+
+    The injector owns the *pressure*, not the transport: the caller
+    supplies a ``send(burst, index)`` callable (ingest a packet, write a
+    frame — whatever the deployment under test uses) and the injector
+    fires it on the seeded burst schedule.  CPU stealers are supervised
+    spin threads; use the injector as a context manager so they always
+    stop::
+
+        inj = OverloadInjector(OverloadSpec(cpu_stealers=2,
+                                            steal_seconds=1.0), seed=7)
+        with inj:
+            inj.run_bursts(lambda b, i: engine.ingest(src, make(b, i)))
+
+    Per-category counts land in :attr:`injected` (``burst-send``,
+    ``steal-slice``) so tests can assert the schedule actually fired.
+    """
+
+    def __init__(self, spec: OverloadSpec, seed: int = 0) -> None:
+        self.spec = spec
+        self._rng = random.Random(seed)
+        self.injected: Counter = Counter()
+        self._stealers: list[SupervisedThread] = []
+        self._stop = threading.Event()
+        self._count_lock = threading.Lock()
+
+    # -- burst traffic ---------------------------------------------------------
+
+    def run_bursts(self, send, gate=None) -> int:
+        """Fire the full burst schedule on the calling thread.
+
+        ``send(burst, index)`` is invoked once per packet; ``gate()``
+        (optional) is polled between packets and aborts the schedule
+        when it returns False.  Returns the number of sends made.
+        """
+        sent = 0
+        for burst in range(self.spec.bursts):
+            if burst and self.spec.burst_gap + self.spec.jitter > 0.0:
+                gap = self.spec.burst_gap
+                if self.spec.jitter:
+                    gap += self._rng.uniform(0.0, self.spec.jitter)
+                time.sleep(gap)
+            for index in range(self.spec.burst_packets):
+                if gate is not None and not gate():
+                    self.injected["aborted"] += 1
+                    return sent
+                send(burst, index)
+                sent += 1
+        self.injected["burst-send"] += sent
+        return sent
+
+    # -- CPU stealers ----------------------------------------------------------
+
+    def start_stealers(self) -> None:
+        """Launch the spin threads (no-op when the spec asks for none)."""
+        if self._stealers:
+            raise FaultInjectionError("stealers already started")
+        self._stop.clear()
+        for k in range(self.spec.cpu_stealers):
+            t = SupervisedThread(
+                f"poem-cpu-stealer-{k}", self._steal_loop,
+                restartable=False,
+            )
+            self._stealers.append(t)
+            t.start()
+
+    def _steal_loop(self) -> None:
+        deadline = time.monotonic() + self.spec.steal_seconds
+        slices = 0
+        x = 1.0
+        while not self._stop.is_set() and time.monotonic() < deadline:
+            for _ in range(10_000):  # pure-CPU slice between deadline checks
+                x = (x * 1.0000001) % 1e9
+            slices += 1
+        with self._count_lock:
+            self.injected["steal-slice"] += slices
+
+    def stop(self) -> None:
+        """Stop the stealers and join them (idempotent)."""
+        self._stop.set()
+        for t in self._stealers:
+            t.stop(timeout=2.0)
+        self._stealers.clear()
+
+    def __enter__(self) -> "OverloadInjector":
+        self.start_stealers()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

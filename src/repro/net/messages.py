@@ -105,9 +105,17 @@ def decode_message(data: bytes) -> dict[str, Any]:
     return message
 
 
-def make_ping(t: float) -> dict[str, Any]:
-    """Build a liveness heartbeat stamped with the sender's clock."""
-    return {"op": "ping", "t": float(t)}
+def make_ping(t: float, overload: Optional[str] = None) -> dict[str, Any]:
+    """Build a liveness heartbeat stamped with the sender's clock.
+
+    ``overload`` optionally piggybacks the server's overload state
+    (``"pressured"``/``"saturated"``) so clients learn the emulator has
+    left real-time territory without an extra message type.
+    """
+    msg: dict[str, Any] = {"op": "ping", "t": float(t)}
+    if overload is not None:
+        msg["overload"] = str(overload)
+    return msg
 
 
 def make_pong(ping: dict[str, Any]) -> dict[str, Any]:

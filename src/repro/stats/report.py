@@ -69,9 +69,44 @@ class RunReport:
     """Records the recorder's ring bound discarded before this report —
     when non-zero, the totals above describe a *suffix* of the run."""
 
+    lag_budget: float = 0.010
+    deadline_on_time: int = 0
+    deadline_late: int = 0
+    deadline_missed: int = 0
+    """Validity envelope: delivered frames bucketed by scheduler lag
+    (``t_delivered − t_forward``) against the lag budget — on time
+    within it, late within 10×, missed beyond.  Virtual-clock runs are
+    always entirely on time."""
+
     @property
     def overall_loss(self) -> float:
         return self.dropped / self.total_records if self.total_records else 0.0
+
+    @property
+    def deadline_shed(self) -> int:
+        """Frames the overload controller dropped as hopelessly late."""
+        return self.drop_reasons.get(DropReason.DEADLINE_SHED, 0)
+
+    @property
+    def deadline_miss_rate(self) -> float:
+        """Fraction of delivered frames later than 10× the lag budget."""
+        total = self.deadline_on_time + self.deadline_late + self.deadline_missed
+        return self.deadline_missed / total if total else 0.0
+
+    @property
+    def fidelity(self) -> str:
+        """Did the run stay in real-time territory?
+
+        ``"real-time"`` — every delivery within the lag budget, nothing
+        shed; ``"degraded"`` — late deliveries but no outright misses;
+        ``"overloaded"`` — missed deadlines or load-shedding: the
+        numbers above describe an emulator that fell behind real time.
+        """
+        if self.deadline_shed or self.deadline_missed:
+            return "overloaded"
+        if self.deadline_late:
+            return "degraded"
+        return "real-time"
 
     @property
     def transport_dropped(self) -> int:
@@ -89,7 +124,9 @@ class RunReport:
         return self.dropped - self.transport_dropped
 
 
-def build_report(recorder: Recorder, *, top_flows: int = 10) -> RunReport:
+def build_report(
+    recorder: Recorder, *, top_flows: int = 10, lag_budget: float = 0.010
+) -> RunReport:
     """Compute the run report from a recorder's packet rows."""
     packets = recorder.packets()
     stamps = [
@@ -162,6 +199,20 @@ def build_report(recorder: Recorder, *, top_flows: int = 10) -> RunReport:
         for n, a in sorted(activity.items())
     ]
 
+    # Deadline buckets: scheduler lag of every delivered record.
+    on_time = late = missed = 0
+    miss_horizon = lag_budget * 10.0
+    for p in packets:
+        if p.dropped or p.t_delivered is None or p.t_forward is None:
+            continue
+        lag = p.t_delivered - p.t_forward
+        if lag <= lag_budget:
+            on_time += 1
+        elif lag <= miss_horizon:
+            late += 1
+        else:
+            missed += 1
+
     return RunReport(
         duration=duration,
         total_records=len(packets),
@@ -173,6 +224,10 @@ def build_report(recorder: Recorder, *, top_flows: int = 10) -> RunReport:
         flows=flows,
         nodes=nodes,
         records_evicted=int(getattr(recorder, "evicted", 0)),
+        lag_budget=lag_budget,
+        deadline_on_time=on_time,
+        deadline_late=late,
+        deadline_missed=missed,
     )
 
 
@@ -200,6 +255,15 @@ def format_report(report: RunReport) -> str:
             f"  evicted records : {report.records_evicted} "
             "(ring bound — stats cover a suffix of the run)"
         )
+    fid = (
+        f"  fidelity        : {report.fidelity} "
+        f"(budget {report.lag_budget * 1e3:.0f}ms: "
+        f"{report.deadline_on_time} on time, {report.deadline_late} late, "
+        f"{report.deadline_missed} missed"
+    )
+    if report.deadline_shed:
+        fid += f", {report.deadline_shed} shed"
+    lines.append(fid + ")")
     if report.flows:
         lines.append("  flows (by record volume):")
         for f in report.flows:
@@ -279,6 +343,27 @@ def format_health(health: dict) -> str:
     if "schedule_depth" in health:
         lines.append(
             f"  schedule depth  : {health['schedule_depth']}"
+        )
+    overload = health.get("overload")
+    if overload:
+        line = (
+            f"  overload        : {overload.get('state', '?')}  "
+            f"lag-ewma {float(overload.get('lag_ewma', 0.0)) * 1e3:.2f}ms"
+        )
+        if overload.get("shed"):
+            line += f"  shed {overload['shed']}"
+        if overload.get("coalesced"):
+            line += f"  coalesced {overload['coalesced']}"
+        if overload.get("degraded_seconds"):
+            line += f"  degraded {float(overload['degraded_seconds']):.2f}s"
+        lines.append(line)
+    deadline = health.get("deadline")
+    if deadline:
+        lines.append(
+            f"  deadlines       : {deadline.get('on_time', 0)} on time  "
+            f"{deadline.get('late', 0)} late  "
+            f"{deadline.get('missed', 0)} missed "
+            f"(budget {float(deadline.get('budget', 0.0)) * 1e3:.0f}ms)"
         )
     if health.get("records_evicted"):
         lines.append(

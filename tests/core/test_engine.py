@@ -176,3 +176,137 @@ class TestDeliver:
         engine.flush_due(now=100.0)
         (rec,) = engine.recorder.packets()
         assert rec.sender == 2 and rec.source == 1
+
+
+class TestOverloadPlane:
+    """Admission control, deadline shedding, coalescing, accounting."""
+
+    @staticmethod
+    def build(**kwargs):
+        from repro.core.overload import OverloadConfig, OverloadController
+        from repro.core.recording import MemoryRecorder
+
+        link = LinkModel(
+            bandwidth=BandwidthModel(peak=1e6), delay=DelayModel(base=0.01)
+        )
+        scene = Scene(seed=0)
+        for i, x in ((1, 0), (2, 50), (3, 90)):
+            scene.add_node(
+                n(i), Vec2(x, 0),
+                RadioConfig.of([Radio(ChannelId(1), 100.0, link)]),
+            )
+        clock = VirtualClock()
+        capacity = kwargs.pop("capacity", None)
+        overload = OverloadController(
+            OverloadConfig(lag_budget=0.010, ewma_alpha=1.0),
+            capacity=capacity,
+            time_fn=clock.now,
+        )
+        recorder = MemoryRecorder()
+        engine = ForwardingEngine(
+            scene,
+            ChannelIndexedNeighborTables(scene),
+            clock,
+            recorder,
+            rng=np.random.default_rng(0),
+            schedule_capacity=capacity,
+            overload=overload,
+            **kwargs,
+        )
+        return engine, overload, recorder, clock
+
+    def test_queue_overflow_suffix_records_carry_forward_stamp(self):
+        """The rejected push_many suffix is recorded from each entry's
+        own forwarded packet, so its drop rows keep t_forward (they used
+        to be stamped from the pre-schedule base packet: t_forward=None
+        and, on broadcast, the wrong per-receiver identity)."""
+        engine, _, recorder, _ = self.build(capacity=1)
+        scheduled = engine.ingest(n(1), packet(1, -1, t_origin=0.0))
+        assert len(scheduled) == 1  # second receiver rejected at capacity
+        drops = [r for r in recorder.packets() if r.dropped]
+        assert [r.drop_reason for r in drops] == [DropReason.QUEUE_OVERFLOW]
+        assert drops[0].t_forward is not None
+        assert engine.dropped == 1
+
+    def test_admission_control_sheds_at_the_door(self):
+        engine, ov, recorder, _ = self.build(capacity=10)
+        ov.observe(1.0, 0)  # force SATURATED
+        assert ov.admission_limit == 8
+        for seq in range(8):  # fill to the admission limit
+            p = packet(1, 2, t_origin=0.0, seq=seq + 1)
+            engine.ingest(n(1), p)
+        assert len(engine.schedule) == 8
+        before = engine.transport_dropped
+        scheduled = engine.ingest(n(1), packet(1, 2, t_origin=0.0, seq=99))
+        assert scheduled == []
+        assert engine.transport_dropped == before + 1
+        assert ov.shed_total >= 1
+        sheds = [
+            r for r in recorder.packets()
+            if r.drop_reason == DropReason.DEADLINE_SHED
+        ]
+        assert len(sheds) == 1
+
+    def test_saturated_flush_sheds_hopelessly_late_frames(self):
+        engine, ov, recorder, clock = self.build()
+        engine.ingest(n(1), packet(1, 2, t_origin=0.0, seq=1))
+        ov.observe(1.0, 0)  # SATURATED: shed horizon 0.1s engages
+        clock.call_at(1.0, lambda: None)
+        clock.run()  # t_forward ~0.011, now 1.0 -> lag ~0.99 > 0.1
+        delivered = engine.flush_due(1.0)
+        assert delivered == 0
+        sheds = [
+            r for r in recorder.packets()
+            if r.drop_reason == DropReason.DEADLINE_SHED
+        ]
+        assert len(sheds) == 1
+        assert sheds[0].t_forward is not None
+        assert engine.deadlines.missed == 1
+        assert ov.shed_total == 1
+        assert engine.transport_dropped == 1
+
+    def test_saturated_flush_coalesces_delivery_records(self):
+        engine, ov, recorder, clock = self.build()
+        engine.ingest(n(1), packet(1, 2, t_origin=0.0, seq=1))
+        ov.observe(1.0, 0)  # SATURATED
+        t = engine.next_forward_time()
+        clock.call_at(t, lambda: None)
+        clock.run()
+        # Deliver exactly at t_forward: lag 0, under the shed horizon.
+        assert engine.flush_due(t) == 1
+        assert ov.records_coalesced == 1
+        # The per-packet delivery row was folded into the counter.
+        assert all(r.dropped for r in recorder.packets() if r.t_delivered)
+        assert engine.forwarded == 1
+
+    def test_nominal_flush_buckets_deadlines(self):
+        engine, ov, _, clock = self.build()
+        engine.ingest(n(1), packet(1, 2, t_origin=0.0, seq=1))
+        t = engine.next_forward_time()
+        clock.call_at(t, lambda: None)
+        clock.run()
+        assert engine.flush_due(t) == 1
+        assert engine.deadlines.on_time == 1
+        assert engine.deadlines.missed == 0
+        assert ov.state == "nominal"
+
+    def test_idle_flush_feeds_quiet_observation(self):
+        engine, ov, _, _ = self.build()
+        ov.observe(1.0, 0)
+        assert ov.state == "saturated"
+        # Idle flushes decay the EWMA back toward NOMINAL.
+        for _ in range(200):
+            engine.flush_due(0.0)
+            if ov.state == "nominal":
+                break
+        assert ov.state == "nominal"
+
+    def test_flush_wait_returns_zero_when_idle(self):
+        engine, ov, _, _ = self.build()
+        assert engine.flush_wait(0.0, max_wait=0.01) == 0
+
+    def test_tracing_disabled_outside_nominal(self):
+        engine, ov, _, _ = self.build()
+        assert ov.allow_tracing
+        ov.observe(0.02, 0)
+        assert not ov.allow_tracing

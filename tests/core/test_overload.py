@@ -1,0 +1,246 @@
+"""Unit tests for the overload controller and deadline accounting."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.overload import (
+    DeadlineAccounting,
+    OverloadConfig,
+    OverloadController,
+    OverloadState,
+)
+from repro.errors import PoEmError
+
+
+def make_controller(**kwargs):
+    defaults = dict(
+        lag_budget=0.010,
+        ewma_alpha=1.0,  # no smoothing: one observation classifies
+        recovery_observations=2,
+    )
+    defaults.update(kwargs)
+    clock = {"t": 0.0}
+
+    def time_fn():
+        clock["t"] += 0.001
+        return clock["t"]
+
+    return OverloadController(OverloadConfig(**defaults), time_fn=time_fn)
+
+
+# -- config validation -------------------------------------------------------
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        {"lag_budget": 0.0},
+        {"lag_budget": -1.0},
+        {"ewma_alpha": 0.0},
+        {"ewma_alpha": 1.5},
+        {"recovery_observations": 0},
+        {"saturate_factor": 0.5, "pressure_factor": 1.0},
+        {"depth_pressured": 0.0},
+        {"admission_fraction": 1.5},
+        {"fire_window_pressured": -0.1},
+    ],
+)
+def test_config_validation(bad):
+    with pytest.raises(PoEmError):
+        OverloadConfig(**bad)
+
+
+# -- state machine -----------------------------------------------------------
+
+def test_starts_nominal_with_full_shedding_off():
+    c = make_controller()
+    assert c.state == OverloadState.NOMINAL
+    assert c.severity == 0
+    assert c.allow_tracing
+    assert not c.coalesce_records
+    assert c.fire_window == 0.0
+    assert c.shed_horizon is None
+    assert c.admission_limit is None
+    assert c.ingest_pause == 0.0
+
+
+def test_escalation_is_immediate():
+    c = make_controller()
+    assert c.observe(0.011, 0) == OverloadState.PRESSURED
+    assert c.observe(0.060, 0) == OverloadState.SATURATED
+    assert c.transitions == 2
+
+
+def test_pressured_sheds_tracing_and_batches():
+    c = make_controller()
+    c.observe(0.020, 0)
+    assert c.state == OverloadState.PRESSURED
+    assert not c.allow_tracing
+    assert c.fire_window == c.config.fire_window_pressured
+    # PRESSURED does not yet shed frames or coalesce records.
+    assert c.shed_horizon is None
+    assert not c.coalesce_records
+
+
+def test_saturated_engages_every_lever():
+    c = OverloadController(
+        OverloadConfig(lag_budget=0.010, ewma_alpha=1.0),
+        capacity=100,
+    )
+    c.observe(0.060, 0)
+    assert c.state == OverloadState.SATURATED
+    assert c.coalesce_records
+    assert c.fire_window == c.config.fire_window_saturated
+    assert c.shed_horizon == pytest.approx(0.10)
+    assert c.admission_limit == 80
+    assert c.ingest_pause == c.config.ingest_pause
+
+
+def test_depth_alone_can_saturate():
+    c = OverloadController(
+        OverloadConfig(lag_budget=0.010, ewma_alpha=1.0), capacity=100
+    )
+    assert c.observe(0.0, 95) == OverloadState.SATURATED
+
+
+def test_unbounded_schedule_ignores_depth():
+    c = make_controller()
+    assert c.observe(0.0, 10**9) == OverloadState.NOMINAL
+    assert c.admission_limit is None
+
+
+def test_recovery_requires_hysteresis_and_steps_one_level():
+    c = make_controller(recovery_observations=3)
+    c.observe(0.060, 0)
+    assert c.state == OverloadState.SATURATED
+    c.observe(0.0, 0)
+    c.observe(0.0, 0)
+    assert c.state == OverloadState.SATURATED  # not enough quiet obs
+    c.observe(0.0, 0)
+    assert c.state == OverloadState.PRESSURED  # one level, not two
+    for _ in range(3):
+        c.observe(0.0, 0)
+    assert c.state == OverloadState.NOMINAL
+
+
+def test_matching_observation_resets_quiet_streak():
+    c = make_controller(recovery_observations=2)
+    c.observe(0.020, 0)
+    c.observe(0.0, 0)  # quiet 1
+    c.observe(0.020, 0)  # still pressured: streak resets
+    c.observe(0.0, 0)  # quiet 1 again
+    assert c.state == OverloadState.PRESSURED
+    c.observe(0.0, 0)
+    assert c.state == OverloadState.NOMINAL
+
+
+def test_non_finite_lag_reads_as_overload():
+    c = make_controller()
+    assert c.observe(float("nan"), 0) == OverloadState.SATURATED
+    c2 = make_controller()
+    assert c2.observe(float("inf"), 0) == OverloadState.SATURATED
+    c3 = make_controller()
+    assert c3.observe(-5.0, 0) == OverloadState.NOMINAL
+
+
+def test_on_transition_called_outside_lock_with_info():
+    seen = []
+
+    def hook(old, new, info):
+        # Re-entering a controller method proves the lock is not held.
+        seen.append((old, new, info, c.snapshot()["state"]))
+
+    c = OverloadController(
+        OverloadConfig(lag_budget=0.010, ewma_alpha=1.0),
+        on_transition=hook,
+    )
+    c.observe(0.060, 7)
+    assert len(seen) == 1
+    old, new, info, snap_state = seen[0]
+    assert (old, new) == (OverloadState.NOMINAL, OverloadState.SATURATED)
+    assert info["depth"] == 7
+    assert info["lag_ewma"] == pytest.approx(0.060)
+    assert snap_state == OverloadState.SATURATED
+
+
+def test_time_accounting_and_snapshot():
+    c = make_controller()
+    c.observe(0.060, 0)
+    snap = c.snapshot()
+    assert snap["state"] == OverloadState.SATURATED
+    assert snap["saturated_seconds"] >= 0.0
+    assert snap["degraded_seconds"] >= snap["saturated_seconds"]
+    c.note_shed(3)
+    c.note_coalesced(10)
+    snap = c.snapshot()
+    assert snap["shed"] == 3
+    assert snap["coalesced"] == 10
+
+
+# -- property-style controller test (satellite) ------------------------------
+
+@pytest.mark.parametrize("seed", range(8))
+def test_any_sequence_recovers_once_quiet_and_counters_monotone(seed):
+    """Whatever lag/depth sequence the controller sees, a sufficiently
+    long quiet period always brings it back to NOMINAL, and the shed /
+    coalesce / degraded-time counters never decrease along the way."""
+    rng = random.Random(seed)
+    c = OverloadController(
+        OverloadConfig(lag_budget=0.010, recovery_observations=3),
+        capacity=rng.choice([None, 10, 1000]),
+    )
+    prev_shed = prev_coal = prev_degraded = 0.0
+    for _ in range(rng.randrange(20, 200)):
+        lag = rng.choice(
+            [0.0, rng.uniform(0.0, 0.005), rng.uniform(0.01, 0.2),
+             rng.uniform(1.0, 100.0), float("inf")]
+        )
+        depth = rng.randrange(0, 2000)
+        c.observe(lag, depth)
+        if rng.random() < 0.3:
+            c.note_shed(rng.randrange(1, 5))
+        if rng.random() < 0.3:
+            c.note_coalesced(rng.randrange(1, 5))
+        snap = c.snapshot()
+        assert snap["shed"] >= prev_shed
+        assert snap["coalesced"] >= prev_coal
+        assert snap["degraded_seconds"] >= prev_degraded - 1e-9
+        prev_shed = snap["shed"]
+        prev_coal = snap["coalesced"]
+        prev_degraded = snap["degraded_seconds"]
+    # The EWMA decays geometrically under quiet input, so a bounded
+    # number of idle observations always reaches NOMINAL.
+    for _ in range(2000):
+        if c.observe(0.0, 0) == OverloadState.NOMINAL:
+            break
+    assert c.state == OverloadState.NOMINAL
+    snap = c.snapshot()
+    assert snap["shed"] >= prev_shed
+    assert snap["coalesced"] >= prev_coal
+
+
+# -- deadline accounting -----------------------------------------------------
+
+def test_deadline_buckets():
+    d = DeadlineAccounting(budget=0.010)
+    d.note(0.0)
+    d.note(0.010)  # inclusive: on time
+    d.note(0.011)  # late
+    d.note(0.100)  # inclusive: late
+    d.note(0.101)  # missed
+    assert (d.on_time, d.late, d.missed) == (2, 2, 1)
+    assert d.total == 5
+    assert d.miss_rate == pytest.approx(0.2)
+    assert d.as_dict() == {
+        "budget": 0.010, "on_time": 2, "late": 2, "missed": 1,
+    }
+
+
+def test_deadline_accounting_validation():
+    with pytest.raises(PoEmError):
+        DeadlineAccounting(budget=0.0)
+    with pytest.raises(PoEmError):
+        DeadlineAccounting(miss_factor=0.5)
+    assert DeadlineAccounting().miss_rate == 0.0

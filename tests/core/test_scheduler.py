@@ -206,3 +206,60 @@ class TestPushMany:
         s.push_many([entry(0.0), entry(0.0, seq=2)])
         t.join(timeout=2.0)
         assert len(got) == 2
+
+
+class TestHybridWait:
+    def test_deadline_epsilon_away_does_not_spin(self):
+        """Regression (zero-timeout spin): a head deadline an epsilon
+        beyond ``now`` must still produce a real wait, not a zero-timeout
+        condition-wait loop.  The clamp floors every computed timeout at
+        MIN_TIMEOUT, so the call returns promptly with the entry."""
+        s = ForwardSchedule()
+        s.push(entry(1e-9))  # due essentially "now", but not <= now
+        start = time.monotonic()
+        got = s.wait_due(now=0.0, max_wait=1.0)
+        elapsed = time.monotonic() - start
+        assert len(got) == 1
+        assert elapsed < 0.5  # came back via short waits, not max_wait
+
+    def test_spin_phase_meets_near_deadline(self):
+        """A deadline just inside the spin threshold is met by lapping
+        SPIN_WAIT quanta (the coarse sleep is skipped)."""
+        s = ForwardSchedule()
+        s.push(entry(ForwardSchedule.SPIN_THRESHOLD / 2.0))
+        got = s.wait_due(now=0.0, max_wait=1.0)
+        assert len(got) == 1
+
+    def test_coarse_phase_ends_before_deadline_then_spin_meets_it(self):
+        """A deadline far beyond SPIN_THRESHOLD gets one coarse segment
+        ending ~SPIN_THRESHOLD early (the caller re-enters with a fresh
+        ``now`` — the scan-loop contract); the follow-up call's spin
+        phase then meets the deadline."""
+        s = ForwardSchedule()
+        s.push(entry(0.03))
+        start = time.monotonic()
+        first = s.wait_due(now=0.0, max_wait=1.0)
+        mid = time.monotonic() - start
+        assert mid < 0.5  # coarse segment, not the full max_wait
+        if not first:
+            # Re-enter as the scan loop would, with the refreshed clock.
+            first = s.wait_due(now=mid, max_wait=1.0)
+        elapsed = time.monotonic() - start
+        assert len(first) == 1
+        assert elapsed < 0.5
+
+    def test_fire_window_harvests_near_due_entries(self):
+        """A fire window widens the immediate harvest: entries due within
+        it return without any wait (the overload batching lever)."""
+        s = ForwardSchedule()
+        s.push(entry(1.0, seq=1))
+        s.push(entry(1.004, seq=2))
+        s.push(entry(2.0, seq=3))
+        got = s.wait_due(now=1.0, max_wait=0.0, fire_window=0.005)
+        assert [e.packet.seqno for e in got] == [1, 2]
+        assert len(s) == 1
+
+    def test_zero_fire_window_keeps_exact_semantics(self):
+        s = ForwardSchedule()
+        s.push(entry(1.004))
+        assert s.wait_due(now=1.0, max_wait=0.0) == []

@@ -1,0 +1,208 @@
+"""Chaos tests: the overload-resilience plane under seeded saturation.
+
+A live :class:`~repro.core.tcpserver.PoEmServer` is driven past its
+real-time envelope by the seeded :class:`~repro.net.faults.OverloadInjector`
+(burst traffic plus CPU-stealer threads).  The lag budget is set far
+below anything a real machine can meet, so the controller *must*
+saturate — the scenario is deterministic in outcome even though wall
+clocks differ between hosts.  The tests assert the full arc the ISSUE
+demands: the controller enters SATURATED, sheds hopelessly-late frames
+with the recorded ``deadline-shed`` cause, returns to NOMINAL once the
+storm passes, never deadlocks (thread leaks are caught by the autouse
+conftest fixture; run with ``POEM_LOCKCHECK=1`` for lock-order cycles),
+and ``poem analyze`` states the degraded interval afterwards.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis.report import analyze, render_text
+from repro.core.client import PoEmClient
+from repro.core.geometry import Vec2
+from repro.core.ids import ChannelId
+from repro.core.overload import OverloadConfig, OverloadState
+from repro.core.packet import DropReason
+from repro.core.tcpserver import PoEmServer
+from repro.models.radio import RadioConfig
+from repro.net.faults import OverloadInjector, OverloadSpec
+
+RADIOS = RadioConfig.single(1, 100.0)
+
+#: A budget no real scheduler can hold (1 µs): any delivery lag reads as
+#: saturation, making the chaos scenario's *outcome* machine-independent.
+IMPOSSIBLE_BUDGET = OverloadConfig(lag_budget=1e-6, recovery_observations=2)
+
+
+def wait_for(predicate, timeout=10.0, poll=0.02):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(poll)
+    return False
+
+
+def start_pair(srv):
+    """Two synced clients 10 m apart (well inside radio range)."""
+    a = PoEmClient(srv.address, Vec2(0.0, 0.0), RADIOS, sync_rounds=2)
+    b = PoEmClient(srv.address, Vec2(10.0, 0.0), RADIOS, sync_rounds=2)
+    a.connect()
+    b.connect()
+    return a, b
+
+
+class TestSaturationArc:
+    """One storm, observed end to end: escalate, shed, recover, report."""
+
+    def test_burst_saturates_sheds_and_recovers(self):
+        srv = PoEmServer(
+            seed=0,
+            scan_poll=0.001,
+            heartbeat_interval=0.1,
+            schedule_capacity=4096,
+            overload_config=IMPOSSIBLE_BUDGET,
+        )
+        srv.start()
+        a = b = None
+        try:
+            a, b = start_pair(srv)
+            spec = OverloadSpec(
+                bursts=4,
+                burst_packets=150,
+                burst_gap=0.001,
+                cpu_stealers=2,
+                steal_seconds=0.5,
+            )
+            with OverloadInjector(spec, seed=7) as inj:
+                sent = inj.run_bursts(
+                    lambda burst, i: a.transmit(
+                        b.node_id, b"storm", channel=ChannelId(1)
+                    )
+                )
+                assert sent == spec.bursts * spec.burst_packets
+
+                # Entry: the storm must drive the controller to SATURATED
+                # (the 1 µs budget makes any measured lag a violation).
+                assert wait_for(
+                    lambda: srv.overload.state == OverloadState.SATURATED
+                ), f"never saturated: {srv.overload.snapshot()}"
+
+                # Clients learn the state from the heartbeat piggyback.
+                assert wait_for(lambda: a.server_overload is not None)
+
+            # Shedding: frames already past the shed horizon were dropped
+            # with the dedicated cause, and the books agree.
+            assert wait_for(lambda: srv.overload.snapshot()["shed"] > 0)
+            snap = srv.overload.snapshot()
+            assert snap["transitions"] >= 1
+            assert snap["degraded_seconds"] > 0.0
+
+            # Exit: once the storm passes, the quiet scan loop decays the
+            # EWMA and hysteresis walks the controller back to NOMINAL.
+            assert wait_for(
+                lambda: srv.overload.state == OverloadState.NOMINAL
+            ), f"never recovered: {srv.overload.snapshot()}"
+        finally:
+            for c in (a, b):
+                if c is not None:
+                    c.close()
+            srv.stop()
+
+        # Post-mortem: the recording carries the whole story.  The run
+        # left real-time territory, so analyze must say so.
+        report = analyze(srv.recorder)
+        fidelity = report.fidelity
+        assert fidelity["verdict"] == "overloaded"
+        assert fidelity["shed"] > 0
+        assert fidelity["degraded_seconds"] > 0.0
+        assert fidelity["intervals"], "no degraded interval reported"
+        worst = {iv["worst"] for iv in fidelity["intervals"]}
+        assert "saturated" in worst
+        kinds = {a.kind for a in report.anomalies}
+        assert "overload-degraded" in kinds
+        # The rendered report states the envelope violation in prose.
+        text = render_text(report)
+        assert "OVERLOADED" in text
+        assert "left real-time territory" in text
+
+    def test_shed_drops_carry_the_dedicated_cause(self):
+        """Every shed is a recorded drop with reason ``deadline-shed`` —
+        the forensics trail distinguishes load-shedding from loss."""
+        srv = PoEmServer(
+            seed=0,
+            scan_poll=0.001,
+            schedule_capacity=4096,
+            overload_config=IMPOSSIBLE_BUDGET,
+        )
+        srv.start()
+        a = b = None
+        try:
+            a, b = start_pair(srv)
+            spec = OverloadSpec(bursts=3, burst_packets=100, burst_gap=0.0)
+            with OverloadInjector(spec, seed=11) as inj:
+                inj.run_bursts(
+                    lambda burst, i: a.transmit(
+                        b.node_id, b"x", channel=ChannelId(1)
+                    )
+                )
+            assert wait_for(lambda: srv.overload.snapshot()["shed"] > 0)
+            assert wait_for(
+                lambda: srv.overload.state == OverloadState.NOMINAL
+            )
+        finally:
+            for c in (a, b):
+                if c is not None:
+                    c.close()
+            srv.stop()
+
+        report = analyze(srv.recorder)
+        shed = report.drops_by_reason.get(DropReason.DEADLINE_SHED, 0)
+        assert shed > 0
+        assert shed == report.fidelity["shed"]
+        # Shed frames count as transport drops, never as medium physics.
+        assert srv.engine.transport_dropped >= shed
+
+
+class TestShutdownUnderStorm:
+    """Stopping a saturated server must not deadlock or leak threads
+    (the autouse ``no_thread_leaks`` fixture is the second assert)."""
+
+    def test_stop_while_saturated(self):
+        srv = PoEmServer(
+            seed=0,
+            scan_poll=0.001,
+            schedule_capacity=4096,
+            overload_config=IMPOSSIBLE_BUDGET,
+        )
+        srv.start()
+        a = b = None
+        try:
+            a, b = start_pair(srv)
+            spec = OverloadSpec(
+                bursts=2,
+                burst_packets=200,
+                burst_gap=0.0,
+                cpu_stealers=1,
+                steal_seconds=0.3,
+            )
+            with OverloadInjector(spec, seed=3) as inj:
+                inj.run_bursts(
+                    lambda burst, i: a.transmit(
+                        b.node_id, b"x", channel=ChannelId(1)
+                    )
+                )
+                wait_for(
+                    lambda: srv.overload.severity > 0, timeout=5.0
+                )
+                # Stop mid-storm: stealers still running, schedule full.
+                for c in (a, b):
+                    c.close()
+                a = b = None
+                srv.stop()
+        finally:
+            for c in (a, b):
+                if c is not None:
+                    c.close()
+            srv.stop()  # idempotent
+        assert not srv.health()["running"]

@@ -342,6 +342,97 @@ def test_poem006_suppressed():
 
 
 # ---------------------------------------------------------------------------
+# POEM007 — unbounded hot-path containers
+# ---------------------------------------------------------------------------
+
+def test_poem007_deque_without_maxlen():
+    src = """
+        from collections import deque
+
+        def boot(self):
+            self.backlog = deque()
+    """
+    findings = _lint(src, "src/repro/core/engine.py")
+    assert _codes(findings) == ["POEM007"]
+    assert "maxlen" in findings[0].message
+
+
+def test_poem007_bounded_deque_clean():
+    src = """
+        from collections import deque
+
+        def boot(self):
+            self.backlog = deque(maxlen=1024)
+    """
+    assert _lint(src, "src/repro/core/engine.py") == []
+
+
+def test_poem007_queue_without_maxsize():
+    src = """
+        import queue
+
+        def boot(self):
+            self.outbox = queue.Queue()
+    """
+    findings = _lint(src, "src/repro/core/tcpserver.py")
+    assert _codes(findings) == ["POEM007"]
+    assert "maxsize" in findings[0].message
+
+
+def test_poem007_bounded_queue_clean():
+    src = """
+        import queue
+
+        def boot(self):
+            self.outbox = queue.Queue(1024)
+            self.other = queue.Queue(maxsize=64)
+    """
+    assert _lint(src, "src/repro/core/tcpserver.py") == []
+
+
+def test_poem007_instance_append_in_loop():
+    src = """
+        def ingest(self, frames):
+            for frame in frames:
+                self.pending.append(frame)
+    """
+    findings = _lint(src, "src/repro/core/engine.py")
+    assert _codes(findings) == ["POEM007"]
+    assert "unbounded growth" in findings[0].message
+
+
+def test_poem007_local_append_in_loop_clean():
+    src = """
+        def ingest(self, frames):
+            batch = []
+            for frame in frames:
+                batch.append(frame)
+            return batch
+    """
+    assert _lint(src, "src/repro/core/engine.py") == []
+
+
+def test_poem007_cold_module_clean():
+    src = """
+        from collections import deque
+
+        def boot(self):
+            self.backlog = deque()
+    """
+    assert _lint(src, "src/repro/analysis/report.py") == []
+
+
+def test_poem007_suppressed():
+    src = """
+        import queue
+
+        def boot(self):
+            self.outbox = queue.Queue()  # poem: ignore[POEM007]
+    """
+    assert _lint(src, "src/repro/core/tcpserver.py") == []
+
+
+# ---------------------------------------------------------------------------
 # Cross-cutting machinery
 # ---------------------------------------------------------------------------
 
@@ -371,7 +462,7 @@ def test_syntax_error_raises_poemerror():
 
 
 def test_every_rule_has_catalog_entry_and_hint():
-    assert sorted(RULES) == [f"POEM00{i}" for i in range(1, 7)]
+    assert sorted(RULES) == [f"POEM00{i}" for i in range(1, 8)]
     for rule in RULES.values():
         assert rule.summary and rule.hint and rule.name
 
