@@ -22,6 +22,18 @@ and allowed ``tolerance`` slack plus a small additive floor
 (``P99_FLOOR_US``) so a near-zero baseline cannot demand the impossible
 from a noisy runner.
 
+Two more ``extra_info`` conventions:
+
+* ``speedup_*`` — parallel-scaling ratios (e.g. the sharded cluster's
+  4-worker wall-clock speedup).  Gated as **core-aware lower bounds**:
+  the fresh run must reach ``SPEEDUP_FLOOR_X`` whenever its exported
+  ``cpu_count`` is ≥ ``SPEEDUP_MIN_CORES``; on smaller boxes the gate
+  prints a skip note instead of demanding physically impossible
+  parallelism.  Never normalized (a ratio is already unitless).
+* ``no_time_gate`` — set truthy by whole-scenario benchmarks whose
+  wall-clock is load-shape-dependent noise: the min-time comparison is
+  skipped for them and only their exported figures are gated.
+
 Usage::
 
     # gate (exit 1 on regression)
@@ -51,10 +63,21 @@ DEFAULT_TOLERANCE = 0.30
 #: near zero would otherwise make a tight baseline unmeetable.
 P99_FLOOR_US = 150.0
 
+#: Minimum parallel speedup a ``speedup_*`` figure must reach on a box
+#: with at least SPEEDUP_MIN_CORES cores (the sharded-cluster acceptance
+#: floor; mirrored by the in-test assert in test_scalability.py).
+SPEEDUP_FLOOR_X = 2.0
+SPEEDUP_MIN_CORES = 4
+
 
 def _is_absolute(key: str) -> bool:
     """Keys gated as absolute real-time figures, exempt from normalize."""
     return key.startswith("p99_")
+
+
+def _is_speedup(key: str) -> bool:
+    """Keys gated as core-aware lower bounds (bigger is better)."""
+    return key.startswith("speedup_")
 
 
 def load_fresh(path: Path) -> dict[str, dict[str, float]]:
@@ -68,8 +91,10 @@ def load_fresh(path: Path) -> dict[str, dict[str, float]]:
             "min_us": stats["min"] * 1e6,
         }
         for key, value in (bench.get("extra_info") or {}).items():
-            if _is_absolute(key):
+            if _is_absolute(key) or _is_speedup(key) or key == "cpu_count":
                 entry[key] = float(value)
+            elif key == "no_time_gate":
+                entry[key] = 1.0 if value else 0.0
         out[bench["name"]] = entry
     if not out:
         raise SystemExit(f"no benchmarks found in {path}")
@@ -102,7 +127,9 @@ def normalize(
     scale = cal["min_us"]
     return {
         name: {
-            k: (v if _is_absolute(k) else v / scale)
+            # Only the raw timings are machine-scaled; p99 deadlines,
+            # speedup ratios and flags are already machine-independent.
+            k: (v / scale if k in ("mean_us", "min_us") else v)
             for k, v in stats.items()
         }
         for name, stats in benchmarks.items()
@@ -135,18 +162,47 @@ def check(args: argparse.Namespace) -> int:
         if got is None:
             failures.append(f"{name}: missing from fresh results")
             continue
-        limit = base["min_us"] * (1.0 + tolerance)
-        ratio = got["min_us"] / base["min_us"] if base["min_us"] else 1.0
-        verdict = "ok" if got["min_us"] <= limit else "REGRESSED"
-        print(
-            f"  {name:36s} min {got['min_us']:10.4f} vs {base['min_us']:10.4f}"
-            f"  ({ratio:5.2f}x)  {verdict}"
-        )
-        if got["min_us"] > limit:
-            failures.append(
-                f"{name}: min {got['min_us']:.4f} exceeds "
-                f"{limit:.4f} ({ratio:.2f}x baseline)"
+        if base.get("no_time_gate"):
+            print(
+                f"  {name:36s} min {got['min_us']:10.4f}"
+                "  (whole-scenario bench, time not gated)"
             )
+        else:
+            limit = base["min_us"] * (1.0 + tolerance)
+            ratio = got["min_us"] / base["min_us"] if base["min_us"] else 1.0
+            verdict = "ok" if got["min_us"] <= limit else "REGRESSED"
+            print(
+                f"  {name:36s} min {got['min_us']:10.4f} vs {base['min_us']:10.4f}"
+                f"  ({ratio:5.2f}x)  {verdict}"
+            )
+            if got["min_us"] > limit:
+                failures.append(
+                    f"{name}: min {got['min_us']:.4f} exceeds "
+                    f"{limit:.4f} ({ratio:.2f}x baseline)"
+                )
+        for key in sorted(k for k in base if _is_speedup(k)):
+            have = got.get(key)
+            if have is None:
+                failures.append(f"{name}: {key} missing from fresh results")
+                continue
+            cores = int(got.get("cpu_count", 0))
+            if cores < SPEEDUP_MIN_CORES:
+                print(
+                    f"  {name:36s} {key} {have:6.2f}x"
+                    f"  ({cores} core(s) — speedup gate skipped)"
+                )
+                continue
+            sp_verdict = "ok" if have >= SPEEDUP_FLOOR_X else "REGRESSED"
+            print(
+                f"  {name:36s} {key} {have:6.2f}x"
+                f"  (floor {SPEEDUP_FLOOR_X:.1f}x on {cores} cores)"
+                f"  {sp_verdict}"
+            )
+            if have < SPEEDUP_FLOOR_X:
+                failures.append(
+                    f"{name}: {key} {have:.2f}x below the "
+                    f"{SPEEDUP_FLOOR_X:.1f}x floor ({cores} cores)"
+                )
         for key in sorted(k for k in base if _is_absolute(k)):
             have = got.get(key)
             if have is None:

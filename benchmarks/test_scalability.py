@@ -1,14 +1,25 @@
 """Bench: scalability in emulated nodes + the future-work cluster (§3, §7).
 
-Two sweeps: emulator throughput vs node count (the 'scalable in the
-number of emulated nodes' claim) and worst queueing lag vs cluster size
-(the parallelized-server future work, implemented in
-:mod:`repro.cluster`).
+Three sweeps: emulator throughput vs node count (the 'scalable in the
+number of emulated nodes' claim), worst queueing lag vs *modeled*
+cluster size, and wall-clock speedup vs *real* multi-process cluster
+size (:class:`~repro.cluster.sharded.ShardedEmulator`).
+
+These are whole-scenario drivers, so their wall-clock is load-dependent
+and noisy; each exports ``no_time_gate`` so the regression gate skips
+min-time comparison and gates only the exported figures (the sharded
+bench's ``speedup_x4``, core-aware).
 """
+
+import multiprocessing
 
 from repro.experiments import scale
 
 from .conftest import run_once
+
+#: Speedup the 4-worker sharded cluster must reach on a ≥4-core box —
+#: the PR's acceptance floor, mirrored by check_regression.py.
+SPEEDUP_FLOOR_X4 = 2.0
 
 
 def test_node_count_scaling(benchmark):
@@ -16,6 +27,7 @@ def test_node_count_scaling(benchmark):
         benchmark, scale.run_node_scaling, (10, 25, 50, 100), duration=5.0,
     )
     print("\n" + scale.format_node_rows(rows))
+    benchmark.extra_info["no_time_gate"] = True
     benchmark.extra_info["rows"] = [
         {
             "n_nodes": r.n_nodes,
@@ -40,6 +52,7 @@ def test_cluster_scaling(benchmark):
         worker_service_rate=2_000.0,
     )
     print("\n" + scale.format_cluster_rows(rows))
+    benchmark.extra_info["no_time_gate"] = True
     benchmark.extra_info["rows"] = [
         {
             "n_workers": r.n_workers,
@@ -52,3 +65,42 @@ def test_cluster_scaling(benchmark):
     assert lags[8] < lags[1]  # the cluster conquers the bottleneck
     # Same offered load processed at every cluster size.
     assert len({r.processed for r in rows}) == 1
+
+
+def test_sharded_wall_clock_speedup(benchmark):
+    """Real OS parallelism: identical broadcast-ingest script against the
+    multi-process :class:`~repro.cluster.sharded.ShardedEmulator` at 1
+    and 4 workers; the 4-worker run must be ≥2× faster wherever there
+    are cores to run it on (the gate self-disarms below 4 cores — a
+    1-core box physically cannot demonstrate parallel speedup)."""
+    rows = run_once(
+        benchmark,
+        scale.run_sharded_scaling,
+        (1, 4),
+        n_nodes=24,
+        frames_per_node=48,
+    )
+    print("\n" + scale.format_sharded_rows(rows))
+    cores = multiprocessing.cpu_count()
+    speedup = rows[-1].speedup
+    benchmark.extra_info["no_time_gate"] = True
+    benchmark.extra_info["cpu_count"] = cores
+    benchmark.extra_info["speedup_x4"] = speedup
+    benchmark.extra_info["rows"] = [
+        {
+            "n_workers": r.n_workers,
+            "frames_offered": r.frames_offered,
+            "frames_forwarded": r.frames_forwarded,
+            "wall_seconds": r.wall_seconds,
+            "speedup": r.speedup,
+        }
+        for r in rows
+    ]
+    # Every cluster size forwarded the identical load (determinism).
+    assert len({r.frames_forwarded for r in rows}) == 1
+    assert all(r.frames_forwarded > 0 for r in rows)
+    if cores >= 4:
+        assert speedup >= SPEEDUP_FLOOR_X4, (
+            f"4-worker sharded cluster only {speedup:.2f}x faster than "
+            f"1 worker on {cores} cores (need {SPEEDUP_FLOOR_X4}x)"
+        )

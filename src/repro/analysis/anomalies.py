@@ -37,6 +37,13 @@ Catalog (kind → what it means):
     were shed outright as hopelessly late) at a rate above the
     threshold — latency/jitter statistics from this run describe the
     overloaded emulator, not the emulated network.
+``cross-shard-inversion``
+    (sharded runs only — gated on the ``cluster-run`` event) the
+    parent's event-time merge of the per-shard record streams is not
+    monotone: a record's terminal event precedes its merge
+    predecessor's by more than the tolerance, so the shards' virtual
+    clocks disagree about when things happened and cross-shard latency
+    comparisons from this recording are suspect.
 """
 
 from __future__ import annotations
@@ -60,6 +67,7 @@ ANOMALY_KINDS = (
     "clock-drift",
     "overload-degraded",
     "deadline-miss",
+    "cross-shard-inversion",
 )
 
 
@@ -402,6 +410,62 @@ def detect_deadline_misses(
     ]
 
 
+def detect_cluster_merge_inversions(
+    dataset: RunDataset, thresholds: Thresholds
+) -> list[Anomaly]:
+    """Cross-shard timestamp coherence of a sharded run's merged log.
+
+    The sharded cluster's per-worker virtual clocks advance
+    independently between barriers; at collect time the parent merges
+    the shard streams in event-time order and the merged record ids are
+    assigned in that order.  If the recording's packet log (walked in
+    record-id order) is *not* monotone in event time, either the merge
+    is broken or the recording was tampered with/truncated — flag it.
+    Single-process recordings (no ``cluster-run`` event) are exempt:
+    their log is in ingest order, not delivery order, by design.
+    """
+    cluster = dataset.cluster_run
+    if cluster is None:
+        return []
+    tolerance = thresholds.inversion_tolerance
+    inversions = 0
+    worst = 0.0
+    prev: Optional[float] = None
+    worst_at: Optional[int] = None
+    for record in sorted(dataset.packets, key=lambda r: r.record_id):
+        for stamp in (record.t_delivered, record.t_forward,
+                      record.t_receipt, record.t_origin):
+            if stamp is not None:
+                break
+        else:
+            continue
+        if prev is not None and stamp < prev - tolerance:
+            inversions += 1
+            if prev - stamp > worst:
+                worst = prev - stamp
+                worst_at = record.record_id
+        if prev is None or stamp > prev:
+            prev = stamp
+    if not inversions:
+        return []
+    return [
+        Anomaly(
+            kind="cross-shard-inversion",
+            severity="critical",
+            subject=f"{int(cluster.get('n_workers', 0))}-worker merge",
+            detail=(
+                f"{inversions} record(s) out of event-time order in the"
+                f" merged shard log (worst {worst * 1e3:.3f} ms, first at"
+                f" record {worst_at}) — per-shard clocks or the collect"
+                " merge are incoherent"
+            ),
+            data={"count": inversions, "worst": worst,
+                  "record_id": worst_at,
+                  "n_workers": int(cluster.get("n_workers", 0))},
+        )
+    ]
+
+
 def detect_anomalies(
     dataset: RunDataset,
     thresholds: Optional[Thresholds] = None,
@@ -420,6 +484,7 @@ def detect_anomalies(
     findings += detect_clock_drift(dataset, thresholds, audit)
     findings += detect_overload_degradation(dataset)
     findings += detect_deadline_misses(dataset, thresholds)
+    findings += detect_cluster_merge_inversions(dataset, thresholds)
     findings.sort(
         key=lambda a: (0 if a.severity == "critical" else 1, a.kind)
     )

@@ -131,6 +131,17 @@ class RunDataset:
                 return dict(event.details)
         return None
 
+    @property
+    def cluster_run(self) -> Optional[dict]:
+        """Details of the ``cluster-run`` event a sharded run records at
+        collect time (worker count, shard map, per-worker counters), or
+        ``None`` for single-process recordings.  Gates the cross-shard
+        coherence audit in :mod:`repro.analysis.anomalies`."""
+        for event in reversed(self.scene_events):
+            if event.kind == "cluster-run":
+                return dict(event.details)
+        return None
+
     def time_range(self) -> tuple[float, float]:
         """``(start, end)`` of the run on the server clock.
 

@@ -1,5 +1,27 @@
-"""Parallelized server cluster (the paper's future work, implemented)."""
+"""Parallelized server cluster (the paper's future work, implemented).
+
+Two deployments share the :class:`~repro.cluster.shard.ShardMap`
+placement policy:
+
+* :class:`ParallelEmulator` — the single-process *model* of a cluster
+  (service-rate queues inside one virtual clock), useful for what-if
+  capacity studies;
+* :class:`ShardedEmulator` — the real thing: ``n_workers`` OS processes,
+  each running a private forwarding engine over a replicated scene
+  snapshot, fed over binary-codec pipes.
+"""
 
 from .parallel import ParallelEmulator, WorkerStats
+from .shard import ShardMap
+from .sharded import ShardedEmulator, ShardedHost
+from .worker import WorkerConfig, worker_main
 
-__all__ = ["ParallelEmulator", "WorkerStats"]
+__all__ = [
+    "ParallelEmulator",
+    "WorkerStats",
+    "ShardMap",
+    "ShardedEmulator",
+    "ShardedHost",
+    "WorkerConfig",
+    "worker_main",
+]

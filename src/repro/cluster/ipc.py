@@ -1,0 +1,151 @@
+"""Parent↔worker transport of the sharded cluster.
+
+Each worker hangs off one ``multiprocessing`` pipe.  Two frame flavors
+share it, distinguished by the first byte exactly like the TCP stack's
+binary negotiation (:mod:`repro.net.messages`):
+
+* **control** — a JSON message (first byte ``{``), encoded/decoded by
+  the existing :func:`~repro.net.messages.encode_message` codec;
+* **packet batch** — magic ``0xB2``, then a count and a sequence of
+  length-prefixed PR 2 binary packet frames (magic ``0xB1`` inside).
+
+Batching is the point: ``Connection.send_bytes`` does one syscall pair
+per message, so shipping 32 frames per send amortizes IPC overhead the
+same way the TCP sender loop's ``send_frames`` batches writes.
+
+Packet *records* travel the other way (worker → parent) inside JSON
+``worker_report`` messages as flat rows — :func:`record_to_row` /
+:func:`record_from_row` keep that encoding in one place.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Optional, Sequence
+
+from ..core.packet import PacketRecord
+from ..errors import ClusterError
+
+__all__ = [
+    "BATCH_MAGIC",
+    "encode_packet_batch",
+    "decode_packet_batch",
+    "is_packet_batch",
+    "record_to_row",
+    "record_from_row",
+]
+
+BATCH_MAGIC = 0xB2
+"""First byte of a packet-batch frame (0xB1 = single binary packet,
+``{`` = JSON control)."""
+
+_BATCH_HEADER = struct.Struct(">BI")
+_LEN = struct.Struct(">I")
+
+
+def is_packet_batch(data: bytes) -> bool:
+    """Magic-byte sniff, mirroring ``is_binary_frame``."""
+    return bool(data) and data[0] == BATCH_MAGIC
+
+
+def encode_packet_batch(frames: Sequence[bytes]) -> bytes:
+    """Pack already-encoded binary packet frames into one batch."""
+    parts = [_BATCH_HEADER.pack(BATCH_MAGIC, len(frames))]
+    for frame in frames:
+        parts.append(_LEN.pack(len(frame)))
+        parts.append(frame)
+    return b"".join(parts)
+
+
+def decode_packet_batch(data: bytes) -> list[bytes]:
+    """Unpack a batch back into its binary packet frames."""
+    try:
+        magic, count = _BATCH_HEADER.unpack_from(data)
+    except struct.error as exc:
+        raise ClusterError(f"truncated packet batch: {exc}") from exc
+    if magic != BATCH_MAGIC:
+        raise ClusterError(f"bad batch magic: {magic:#x}")
+    frames: list[bytes] = []
+    offset = _BATCH_HEADER.size
+    for _ in range(count):
+        try:
+            (length,) = _LEN.unpack_from(data, offset)
+        except struct.error as exc:
+            raise ClusterError(f"truncated packet batch: {exc}") from exc
+        offset += _LEN.size
+        end = offset + length
+        if len(data) < end:
+            raise ClusterError("packet batch truncated inside a frame")
+        frames.append(data[offset:end])
+        offset = end
+    return frames
+
+
+# -- record rows (worker → parent, inside JSON worker_report) ------------------
+
+#: Column order of a record row; a schema, not a per-row dict.
+RECORD_ROW_FIELDS = (
+    "record_id",
+    "seqno",
+    "source",
+    "destination",
+    "sender",
+    "receiver",
+    "channel",
+    "kind",
+    "size_bits",
+    "t_origin",
+    "t_receipt",
+    "t_forward",
+    "t_delivered",
+    "drop_reason",
+)
+
+
+def record_to_row(record: PacketRecord) -> list[Any]:
+    """Flatten one packet record to a JSON-safe row."""
+    return [
+        record.record_id,
+        record.seqno,
+        record.source,
+        record.destination,
+        record.sender,
+        record.receiver,
+        record.channel,
+        record.kind,
+        record.size_bits,
+        record.t_origin,
+        record.t_receipt,
+        record.t_forward,
+        record.t_delivered,
+        record.drop_reason,
+    ]
+
+
+def record_from_row(row: Sequence[Any]) -> PacketRecord:
+    """Inverse of :func:`record_to_row`."""
+    if len(row) != len(RECORD_ROW_FIELDS):
+        raise ClusterError(
+            f"record row has {len(row)} fields, expected"
+            f" {len(RECORD_ROW_FIELDS)}"
+        )
+    return PacketRecord(
+        record_id=int(row[0]),
+        seqno=int(row[1]),
+        source=int(row[2]),
+        destination=int(row[3]),
+        sender=int(row[4]),
+        receiver=None if row[5] is None else int(row[5]),
+        channel=int(row[6]),
+        kind=str(row[7]),
+        size_bits=int(row[8]),
+        t_origin=_opt(row[9]),
+        t_receipt=_opt(row[10]),
+        t_forward=_opt(row[11]),
+        t_delivered=_opt(row[12]),
+        drop_reason=None if row[13] is None else str(row[13]),
+    )
+
+
+def _opt(v: Any) -> Optional[float]:
+    return None if v is None else float(v)

@@ -14,8 +14,9 @@ drop decision, schedule insertion.
 Because this is a discrete-event model (and CPython would serialize the
 compute anyway), each worker carries an explicit **service-rate capacity**
 (packets/second of pipeline work).  A packet transmitted by node ``v``
-queues at worker ``hash(v) mod n``; its pipeline runs when that worker is
-free.  With one worker this degenerates to the single-server bottleneck
+queues at ``v``'s shard worker (deterministic registration-order
+placement, :class:`~repro.cluster.shard.ShardMap`); its pipeline runs
+when that worker is free.  With one worker this degenerates to the single-server bottleneck
 (§2.1); with ``n`` workers the aggregate capacity scales ≈ linearly until
 a hot sender saturates its shard — exactly the scaling story the
 scalability bench (``benchmarks/test_scalability.py``) measures:
@@ -29,11 +30,15 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..core.geometry import Vec2
+from ..core.ids import NodeId
 from ..core.packet import Packet
 from ..core.recording import Recorder
 from ..core.server import InProcessEmulator, VirtualNodeHost
 from ..errors import ClusterError
 from ..models.mobility import Bounds
+from ..models.radio import RadioConfig
+from .shard import ShardMap
 
 __all__ = ["ParallelEmulator", "WorkerStats"]
 
@@ -78,15 +83,33 @@ class ParallelEmulator(InProcessEmulator):
         )
         self.n_workers = n_workers
         self.service_time = 1.0 / worker_service_rate
+        self.shards = ShardMap(n_workers)
         # Per-worker serial occupancy (fluid model of a busy CPU).
         self._busy_until = [0.0] * n_workers
         self.worker_stats = [WorkerStats() for _ in range(n_workers)]
         # Workers share the scene/neighbors/recorder through self.engine;
         # sharding only spreads *when* pipeline work runs.
 
+    def add_node(self, position: Vec2, radios: RadioConfig, **kwargs) -> VirtualNodeHost:
+        host = super().add_node(position, radios, **kwargs)
+        self.shards.place(host.node_id)
+        return host
+
+    def remove_node(self, node_id: NodeId) -> None:
+        self.shards.release(node_id)
+        super().remove_node(node_id)
+
     def worker_for(self, node_id: int) -> int:
-        """Stable shard assignment: sender id → worker index."""
-        return int(node_id) % self.n_workers
+        """Stable shard assignment: sender id → worker index.
+
+        Registration-order round-robin via the explicit
+        :class:`~repro.cluster.shard.ShardMap` — unlike the old
+        ``hash(v) mod n`` this is reproducible across interpreter runs
+        regardless of ``PYTHONHASHSEED``, and it is the *same* map the
+        multi-process :class:`~repro.cluster.sharded.ShardedEmulator`
+        uses, so the modeled and real clusters agree on placement.
+        """
+        return self.shards.shard_of(NodeId(int(node_id)))
 
     def _client_transmit(self, host: VirtualNodeHost, packet: Packet) -> None:
         """Queue the frame at its shard's worker, then run the pipeline."""

@@ -1,0 +1,88 @@
+"""Deterministic shard placement: which worker owns which sender.
+
+The cluster shards pipeline work **by sender id** — every frame a VMN
+transmits is processed by the same worker, so one sender's frames never
+race each other across processes and its per-sender RNG/schedule state
+lives in exactly one place.
+
+Placement must be *reproducible*: the same scenario script must land
+every node on the same shard across runs, interpreter restarts, and
+``PYTHONHASHSEED`` values, or seeded runs stop being comparable and the
+forensics plane cannot line two recordings up.  Python's built-in
+``hash()`` is salted per process, so ``hash(node_id) % n`` is exactly
+the wrong tool.  :class:`ShardMap` instead keeps an **explicit table**:
+nodes are placed on the least-loaded shard in registration order (ties
+broken by lowest shard index), which is both deterministic and balanced
+by construction — ``k`` registrations over ``n`` shards never differ in
+load by more than one.
+
+Nodes that were never registered (possible when traffic from an id
+arrives before/without an ``add_node``) are auto-placed on first sight
+with the same rule, so :meth:`shard_of` is total and still stable
+within a run.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from ..core.ids import NodeId
+from ..errors import ClusterError
+
+__all__ = ["ShardMap"]
+
+
+class ShardMap:
+    """Explicit, stable ``node id → shard index`` assignment."""
+
+    def __init__(self, n_shards: int) -> None:
+        if n_shards < 1:
+            raise ClusterError(f"need at least one shard, got {n_shards}")
+        self.n_shards = n_shards
+        self._assignment: dict[NodeId, int] = {}
+        self._loads = [0] * n_shards
+
+    def __len__(self) -> int:
+        return len(self._assignment)
+
+    def __contains__(self, node_id: NodeId) -> bool:
+        return node_id in self._assignment
+
+    def __iter__(self) -> Iterator[NodeId]:
+        return iter(self._assignment)
+
+    def place(self, node_id: NodeId) -> int:
+        """Assign ``node_id`` to the least-loaded shard (lowest index on
+        ties) and return the shard.  Idempotent for known nodes."""
+        shard = self._assignment.get(node_id)
+        if shard is not None:
+            return shard
+        shard = min(range(self.n_shards), key=lambda i: (self._loads[i], i))
+        self._assignment[node_id] = shard
+        self._loads[shard] += 1
+        return shard
+
+    def shard_of(self, node_id: NodeId) -> int:
+        """The shard owning ``node_id``; unseen ids are auto-placed."""
+        shard = self._assignment.get(node_id)
+        if shard is not None:
+            return shard
+        return self.place(node_id)
+
+    def peek(self, node_id: NodeId) -> Optional[int]:
+        """Like :meth:`shard_of` but without auto-placement."""
+        return self._assignment.get(node_id)
+
+    def release(self, node_id: NodeId) -> None:
+        """Forget a removed node (frees its load slot). Idempotent."""
+        shard = self._assignment.pop(node_id, None)
+        if shard is not None:
+            self._loads[shard] -= 1
+
+    def loads(self) -> list[int]:
+        """Current per-shard node counts."""
+        return list(self._loads)
+
+    def as_dict(self) -> dict[int, int]:
+        """JSON-friendly copy of the full assignment."""
+        return {int(n): s for n, s in self._assignment.items()}

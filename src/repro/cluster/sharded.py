@@ -1,0 +1,663 @@
+"""The real parallelized cluster: multi-process sharded forwarding plane.
+
+This is the paper's §7 future work implemented with actual OS
+parallelism (contrast :class:`~repro.cluster.parallel.ParallelEmulator`,
+which *models* the cluster's queueing inside one process).  The parent
+process owns the one consistent scene (§2.1's centralized-architecture
+argument), a deterministic :class:`~repro.cluster.shard.ShardMap`, and
+the recording plane; ``n_workers`` child processes each run a private
+:class:`~repro.core.engine.ForwardingEngine` + schedule + virtual clock
+over an immutable scene replica (:mod:`repro.cluster.snapshot`).
+
+Data flow per frame: the client stamps ``t_origin`` (parallel
+time-stamping), the parent encodes the frame with the PR 2 binary wire
+codec, batches it to the sender's shard (:mod:`repro.cluster.ipc`), and
+the worker's stamp-driven clock replays the §3.2 pipeline.  Scene
+mutations mark the replica dirty; the next submission ships a fresh
+version-stamped snapshot *before* any newer traffic, so workers never
+forward against a stale topology relative to the script's order.
+
+Synchronization points are explicit: :meth:`ShardedEmulator.flush` is a
+barrier (run every shard to time ``t``; their health/telemetry samples
+come back on the ack) and :meth:`ShardedEmulator.collect` drains every
+worker's packet log, merges the streams in event-time order, re-ids
+them through the parent recorder, and records the ``cluster-run`` scene
+event the forensics plane keys its cross-shard coherence audit on.
+
+With ``n_workers=1`` the merge is a passthrough and the worker replays
+the in-process emulator's exact clock discipline and RNG stream — the
+seeded-equivalence contract that makes cluster runs trustworthy.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+from typing import Any, Optional
+
+from ..core.clock import SyncSample
+from ..core.geometry import Vec2
+from ..core.ids import ChannelId, IdAllocator, NodeId
+from ..core.packet import Packet, PacketRecord, PacketStamper
+from ..core.recording import MemoryRecorder, Recorder
+from ..core.scene import Scene, SceneEvent
+from ..errors import ClusterError, ProtocolError
+from ..models.mobility import Bounds
+from ..models.radio import RadioConfig
+from ..net.messages import (
+    decode_message,
+    encode_message,
+    encode_packet_binary,
+    make_collect,
+    make_flush,
+    make_scene_snapshot,
+    make_shutdown,
+)
+from ..obs.telemetry import Telemetry
+from . import ipc
+from .shard import ShardMap
+from .snapshot import snapshot_to_dict
+from .worker import WorkerConfig, worker_main
+
+__all__ = ["ShardedEmulator", "ShardedHost"]
+
+#: How long (s) the parent waits on a worker ack before declaring it dead.
+_REPLY_TIMEOUT = 60.0
+
+
+class ShardedHost:
+    """Parent-side handle for one VMN of a sharded run.
+
+    Scripted-load counterpart of
+    :class:`~repro.core.server.VirtualNodeHost`: it stamps and submits
+    frames, but delivery happens inside the owning shard's process, so
+    there is no local ``received`` list — delivered traffic comes back
+    as records via :meth:`ShardedEmulator.collect`.
+    """
+
+    def __init__(self, emulator: "ShardedEmulator", node_id: NodeId) -> None:
+        self._emulator = emulator
+        self._node_id = node_id
+        self._stamper = PacketStamper(node_id)
+
+    @property
+    def node_id(self) -> NodeId:
+        return self._node_id
+
+    @property
+    def shard(self) -> int:
+        return self._emulator.shards.shard_of(self._node_id)
+
+    def now(self) -> float:
+        return self._emulator.time
+
+    def transmit(
+        self,
+        destination: NodeId,
+        payload: bytes,
+        *,
+        channel: ChannelId,
+        kind: str = "data",
+        size_bits: Optional[int] = None,
+        t: Optional[float] = None,
+    ) -> Packet:
+        """Stamp a frame at ``t`` (default: the cluster's current time)
+        and submit it to this node's shard."""
+        return self._emulator.transmit(
+            self._node_id,
+            destination,
+            payload,
+            channel=channel,
+            kind=kind,
+            size_bits=size_bits,
+            t=t,
+        )
+
+
+class ShardedEmulator:
+    """A multi-process cluster of shard workers behind one scene."""
+
+    def __init__(
+        self,
+        *,
+        n_workers: int = 4,
+        seed: Optional[int] = 0,
+        bounds: Optional[Bounds] = None,
+        recorder: Optional[Recorder] = None,
+        schedule_capacity: Optional[int] = None,
+        use_client_stamps: bool = True,
+        telemetry: Optional[Telemetry] = None,
+        batch_frames: int = 32,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if n_workers < 1:
+            raise ClusterError(f"need at least one worker, got {n_workers}")
+        if batch_frames < 1:
+            raise ClusterError(f"batch_frames must be positive: {batch_frames}")
+        self.n_workers = n_workers
+        self.seed = seed
+        self.batch_frames = batch_frames
+        self.schedule_capacity = schedule_capacity
+        self.use_client_stamps = use_client_stamps
+        self.scene = Scene(bounds=bounds, seed=seed)
+        self.recorder = recorder if recorder is not None else MemoryRecorder()
+        self.recorder.attach_to_scene(self.scene)
+        self.shards = ShardMap(n_workers)
+        self.telemetry = telemetry if telemetry is not None else Telemetry.disabled()
+        self._time = 0.0
+        self.scene.bind_time_source(lambda: self._time)
+        self._hosts: dict[NodeId, ShardedHost] = {}
+        self._ids = IdAllocator()
+        self._ctx = multiprocessing.get_context(
+            start_method
+            or (
+                "fork"
+                if "fork" in multiprocessing.get_all_start_methods()
+                else "spawn"
+            )
+        )
+        self._procs: list[Any] = []
+        self._conns: list[Any] = []
+        self._buffers: list[list[bytes]] = [[] for _ in range(n_workers)]
+        self._flush_ids = itertools.count(1)
+        self._scene_dirty = True  # nothing shipped yet
+        self.scene.add_listener(self._mark_dirty)
+        # Aggregate pipeline counters, refreshed on every barrier ack.
+        self.ingested = 0
+        self.forwarded = 0
+        self.dropped = 0
+        self.transport_dropped = 0
+        #: Last barrier's per-worker samples (telemetry + health + docs).
+        self.worker_stats: list[dict[str, Any]] = [
+            {
+                "worker": i,
+                "shard_ingested": 0,
+                "queue_depth": 0,
+                "busy_fraction": 0.0,
+                "counters": {},
+            }
+            for i in range(n_workers)
+        ]
+        self._m_depth = None
+        self._m_busy = None
+        self._m_shard_ingested = None
+        self._last_shard_ingested = [0] * n_workers
+        if self.telemetry.enabled:
+            reg = self.telemetry.registry
+            self._m_depth = reg.gauge(
+                "poem_shard_queue_depth",
+                "Forward-schedule depth of one shard worker at its last "
+                "barrier",
+                labels=("shard",),
+            )
+            self._m_busy = reg.gauge(
+                "poem_shard_busy_fraction",
+                "Fraction of wall-clock one shard worker spent processing",
+                labels=("shard",),
+            )
+            self._m_shard_ingested = reg.counter(
+                "poem_shard_ingested_total",
+                "Frames ingested per shard worker",
+                labels=("shard",),
+            )
+
+    # -- scene bookkeeping ------------------------------------------------------
+
+    def _mark_dirty(self, _event: SceneEvent) -> None:
+        # Any scene event invalidates the workers' replicas — including
+        # quarantine/restore, which deliberately do NOT bump
+        # Scene.version (they bypass the version-keyed caches), so a
+        # version compare alone would under-replicate.
+        self._scene_dirty = True
+
+    # -- topology construction --------------------------------------------------
+
+    def add_node(
+        self,
+        position: Vec2,
+        radios: RadioConfig,
+        *,
+        node_id: Optional[NodeId] = None,
+        label: str = "",
+    ) -> ShardedHost:
+        """Create a VMN, place it on a shard, return its host handle."""
+        if node_id is None:
+            node_id = NodeId(self._ids.allocate())
+        self.scene.add_node(node_id, position, radios, label=label)
+        self.shards.place(node_id)
+        host = ShardedHost(self, node_id)
+        self._hosts[node_id] = host
+        # Forensics parity with the in-process stack: the scripted-load
+        # cluster's clients stamp with the cluster clock itself, so the
+        # registration sync sample records an exact zero offset.
+        self.recorder.record_sync(
+            SyncSample(
+                node=int(node_id),
+                label=label,
+                offset=0.0,
+                delay=0.0,
+                t_server=self._time,
+                t_client=self._time,
+                cause="register",
+                residual=0.0,
+            )
+        )
+        return host
+
+    def remove_node(self, node_id: NodeId) -> None:
+        self._hosts.pop(node_id, None)
+        self.shards.release(node_id)
+        if node_id in self.scene:
+            self.scene.remove_node(node_id)
+
+    def host(self, node_id: NodeId) -> ShardedHost:
+        try:
+            return self._hosts[node_id]
+        except KeyError:
+            raise ClusterError(f"no host for node {node_id}") from None
+
+    def hosts(self) -> list[ShardedHost]:
+        return list(self._hosts.values())
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    @property
+    def started(self) -> bool:
+        return bool(self._procs)
+
+    def start(self) -> None:
+        """Spawn the shard workers and ship them the initial scene."""
+        if self._procs:
+            return
+        for i in range(self.n_workers):
+            parent_conn, child_conn = self._ctx.Pipe()
+            config = WorkerConfig(
+                worker_index=i,
+                n_workers=self.n_workers,
+                seed=self.seed,
+                use_client_stamps=self.use_client_stamps,
+                schedule_capacity=self.schedule_capacity,
+            )
+            proc = self._ctx.Process(
+                target=worker_main,
+                args=(child_conn, config),
+                name=f"poem-shard-{i}",
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self._procs.append(proc)
+            self._conns.append(parent_conn)
+        self._sync_scene()
+
+    def stop(self) -> None:
+        """Shut the workers down (graceful ``shutdown``/``bye``, then
+        join; stragglers are terminated).  Idempotent."""
+        if not self._procs:
+            return
+        bye = encode_message(make_shutdown())
+        for conn in self._conns:
+            try:
+                conn.send_bytes(bye)
+            except (OSError, ValueError, BrokenPipeError):
+                continue  # worker already gone; join below cleans up
+        for conn in self._conns:
+            try:
+                if conn.poll(2.0):
+                    conn.recv_bytes()  # the 'bye' ack
+            except (EOFError, OSError):
+                continue  # dying worker closed the pipe first — fine
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5.0)
+        for conn in self._conns:
+            conn.close()
+        self._procs = []
+        self._conns = []
+        self._buffers = [[] for _ in range(self.n_workers)]
+        self._scene_dirty = True
+
+    def __enter__(self) -> "ShardedEmulator":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    # -- the pipeline -------------------------------------------------------------
+
+    @property
+    def time(self) -> float:
+        return self._time
+
+    def transmit(
+        self,
+        node_id: NodeId,
+        destination: NodeId,
+        payload: bytes,
+        *,
+        channel: ChannelId,
+        kind: str = "data",
+        size_bits: Optional[int] = None,
+        t: Optional[float] = None,
+    ) -> Packet:
+        """Client leg: origin-stamp a frame and route it to its shard."""
+        host = self.host(node_id)
+        if channel not in self.scene.channels_of(node_id):
+            raise ProtocolError(
+                f"node {node_id} has no radio on channel {channel}"
+            )
+        packet = host._stamper.make_packet(
+            destination,
+            payload,
+            channel=channel,
+            kind=kind,
+            size_bits=size_bits,
+            t_origin=self._time if t is None else t,
+        )
+        self.submit(packet)
+        return packet
+
+    def submit(self, packet: Packet) -> None:
+        """Route one origin-stamped frame to its sender's shard worker."""
+        if not self._procs:
+            self.start()
+        if self._scene_dirty:
+            self._sync_scene()
+        shard = self.shards.shard_of(packet.source)
+        buffer = self._buffers[shard]
+        buffer.append(encode_packet_binary("packet", packet))
+        if len(buffer) >= self.batch_frames:
+            self._send_batch(shard)
+
+    def _send_batch(self, shard: int) -> None:
+        buffer = self._buffers[shard]
+        if not buffer:
+            return
+        self._conns[shard].send_bytes(ipc.encode_packet_batch(buffer))
+        buffer.clear()
+
+    def _flush_buffers(self) -> None:
+        for shard in range(self.n_workers):
+            self._send_batch(shard)
+
+    def _sync_scene(self) -> None:
+        """Replicate the current scene to every worker.
+
+        Buffered frames go first — they were transmitted before the
+        mutation that made the replica dirty, so they must be forwarded
+        against the older topology.
+        """
+        if not self._procs:
+            return
+        self._flush_buffers()
+        snap = self.scene.export_snapshot()
+        frame = encode_message(
+            make_scene_snapshot(snapshot_to_dict(snap), snap.version)
+        )
+        for conn in self._conns:
+            conn.send_bytes(frame)
+        self._scene_dirty = False
+
+    def _recv_control(self, worker: int) -> dict[str, Any]:
+        conn = self._conns[worker]
+        if not conn.poll(_REPLY_TIMEOUT):
+            raise ClusterError(
+                f"shard worker {worker} did not answer within "
+                f"{_REPLY_TIMEOUT:.0f}s"
+            )
+        try:
+            data = conn.recv_bytes()
+        except (EOFError, OSError) as exc:
+            raise ClusterError(f"shard worker {worker} died: {exc}") from exc
+        msg = decode_message(data)
+        if msg.get("op") == "worker_error":
+            raise ClusterError(
+                f"shard worker {worker} failed: {msg.get('error')}"
+            )
+        return msg
+
+    # -- barriers -----------------------------------------------------------------
+
+    def flush(self, t: float) -> dict[str, Any]:
+        """Barrier: run every shard to emulation time ``t``.
+
+        Ships any buffered frames, waits for every worker's ack, folds
+        the returned per-worker samples into telemetry/health, then
+        advances the parent scene (mobility) to ``t``.  Returns the
+        aggregate sample.
+        """
+        if not self._procs:
+            self.start()
+        if self._scene_dirty:
+            self._sync_scene()
+        self._flush_buffers()
+        flush_id = next(self._flush_ids)
+        frame = encode_message(make_flush(t, flush_id))
+        for conn in self._conns:
+            conn.send_bytes(frame)
+        for worker in range(self.n_workers):
+            msg = self._recv_control(worker)
+            if msg.get("op") != "flushed" or msg.get("id") != flush_id:
+                raise ClusterError(
+                    f"shard worker {worker}: unexpected barrier reply {msg!r}"
+                )
+            self._fold_worker_sample(worker, msg)
+        self._refresh_aggregates()
+        if t > self._time:
+            self._time = t
+        self.scene.advance_time(self._time)
+        return {
+            "time": self._time,
+            "ingested": self.ingested,
+            "forwarded": self.forwarded,
+            "dropped": self.dropped,
+            "transport_dropped": self.transport_dropped,
+            "per_worker": [dict(s) for s in self.worker_stats],
+        }
+
+    def _fold_worker_sample(self, worker: int, msg: dict[str, Any]) -> None:
+        stats = self.worker_stats[worker]
+        stats["shard_ingested"] = int(msg.get("shard_ingested", 0))
+        stats["queue_depth"] = int(msg.get("queue_depth", 0))
+        stats["busy_fraction"] = float(msg.get("busy_fraction", 0.0))
+        stats["counters"] = dict(msg.get("counters", {}))
+        if self._m_depth is not None:
+            label = str(worker)
+            self._m_depth.labels(label).set(stats["queue_depth"])
+            self._m_busy.labels(label).set(stats["busy_fraction"])
+            delta = stats["shard_ingested"] - self._last_shard_ingested[worker]
+            if delta > 0:
+                self._m_shard_ingested.labels(label).inc(delta)
+        self._last_shard_ingested[worker] = stats["shard_ingested"]
+
+    def _refresh_aggregates(self) -> None:
+        totals = {"ingested": 0, "forwarded": 0, "dropped": 0,
+                  "transport_dropped": 0}
+        for stats in self.worker_stats:
+            for key in totals:
+                totals[key] += int(stats["counters"].get(key, 0))
+        self.ingested = totals["ingested"]
+        self.forwarded = totals["forwarded"]
+        self.dropped = totals["dropped"]
+        self.transport_dropped = totals["transport_dropped"]
+
+    # -- collection ---------------------------------------------------------------
+
+    def collect(self) -> list[PacketRecord]:
+        """Drain every worker's packet log into the parent recorder.
+
+        Streams are merged in event-time order (delivery time, falling
+        back through the stamp chain), stably tie-broken by worker and
+        worker-local order, then re-identified through the parent
+        recorder so record ids are unique and monotone in merge order.
+        With one worker the merge is a passthrough — record ids come out
+        identical to an in-process run's.
+
+        Also records the ``cluster-run`` scene event carrying the shard
+        map and per-worker counters: the forensics plane keys its
+        cross-shard coherence audit on it, and replay ignores it like
+        any other run-level marker.
+        """
+        if not self._procs:
+            self.start()
+        self._flush_buffers()
+        frame = encode_message(make_collect())
+        for conn in self._conns:
+            conn.send_bytes(frame)
+        streams: list[list[PacketRecord]] = []
+        counters: list[dict[str, Any]] = []
+        for worker in range(self.n_workers):
+            msg = self._recv_control(worker)
+            if msg.get("op") != "worker_report":
+                raise ClusterError(
+                    f"shard worker {worker}: unexpected collect reply {msg!r}"
+                )
+            streams.append(
+                [ipc.record_from_row(row) for row in msg.get("records", [])]
+            )
+            counters.append(dict(msg.get("counters", {})))
+        if self.n_workers == 1:
+            ordered = streams[0]
+        else:
+            keyed = [
+                (_event_time(record), worker, position, record)
+                for worker, stream in enumerate(streams)
+                for position, record in enumerate(stream)
+            ]
+            keyed.sort(key=lambda item: item[:3])
+            ordered = [item[3] for item in keyed]
+        merged: list[PacketRecord] = []
+        if ordered:
+            start = self.recorder.reserve_record_ids(len(ordered))
+            merged = [
+                _with_record_id(record, start + i)
+                for i, record in enumerate(ordered)
+            ]
+            self.recorder.record_many(merged)
+        self.recorder.record_scene(
+            SceneEvent(
+                time=self._time,
+                kind="cluster-run",
+                node=NodeId(-1),
+                details={
+                    "n_workers": self.n_workers,
+                    "shard_map": {
+                        str(node): shard
+                        for node, shard in self.shards.as_dict().items()
+                    },
+                    "per_worker": [
+                        {
+                            "worker": i,
+                            "records": len(streams[i]),
+                            "counters": counters[i],
+                            "shard_ingested":
+                                self.worker_stats[i]["shard_ingested"],
+                            "busy_fraction":
+                                self.worker_stats[i]["busy_fraction"],
+                        }
+                        for i in range(self.n_workers)
+                    ],
+                },
+            )
+        )
+        return merged
+
+    def record_run_summary(self) -> None:
+        """Terminal ``run-summary`` event (same shape as the in-process
+        emulator's) so ``poem analyze`` cross-checks a cluster recording
+        against its own totals."""
+        self.recorder.record_scene(
+            SceneEvent(
+                time=self._time,
+                kind="run-summary",
+                node=NodeId(-1),
+                details={
+                    "ingested": self.ingested,
+                    "forwarded": self.forwarded,
+                    "dropped": self.dropped,
+                    "transport_dropped": self.transport_dropped,
+                    "records_evicted": getattr(self.recorder, "evicted", 0),
+                    "sync_samples": len(self.recorder.sync_samples()),
+                    "cluster": {"n_workers": self.n_workers},
+                },
+            )
+        )
+
+    # -- health -------------------------------------------------------------------
+
+    def health(self) -> dict[str, Any]:
+        """Same shape as the other deployments' ``health()``, plus the
+        ``cluster`` section ``format_health`` renders per-shard."""
+        return {
+            "running": self.started
+            and all(p.is_alive() for p in self._procs),
+            "time": self._time,
+            "threads": {},
+            "recent_failures": [],
+            "clients": {
+                int(nid): {
+                    "label": self.scene.label(nid),
+                    "last_seen": self._time,
+                    "stale": self.scene.is_quarantined(nid),
+                    "overflow": 0,
+                    "outbox_depth": 0,
+                }
+                for nid in self._hosts
+                if nid in self.scene
+            },
+            "quarantined": {
+                int(n): None for n in self.scene.quarantined_nodes()
+            },
+            "engine": {
+                "ingested": self.ingested,
+                "forwarded": self.forwarded,
+                "dropped": self.dropped,
+                "transport_dropped": self.transport_dropped,
+            },
+            "schedule_depth": sum(
+                s["queue_depth"] for s in self.worker_stats
+            ),
+            "records_evicted": getattr(self.recorder, "evicted", 0),
+            "cluster": {
+                "n_workers": self.n_workers,
+                "alive": sum(1 for p in self._procs if p.is_alive()),
+                "shard_loads": self.shards.loads(),
+                "per_worker": [dict(s) for s in self.worker_stats],
+            },
+        }
+
+
+def _event_time(record: PacketRecord) -> float:
+    """Merge key: when the record's terminal event happened."""
+    for stamp in (
+        record.t_delivered,
+        record.t_forward,
+        record.t_receipt,
+        record.t_origin,
+    ):
+        if stamp is not None:
+            return stamp
+    return 0.0
+
+
+def _with_record_id(record: PacketRecord, record_id: int) -> PacketRecord:
+    """Copy a (frozen) record with the parent-assigned id."""
+    return PacketRecord(
+        record_id=record_id,
+        seqno=record.seqno,
+        source=record.source,
+        destination=record.destination,
+        sender=record.sender,
+        receiver=record.receiver,
+        channel=record.channel,
+        kind=record.kind,
+        size_bits=record.size_bits,
+        t_origin=record.t_origin,
+        t_receipt=record.t_receipt,
+        t_forward=record.t_forward,
+        t_delivered=record.t_delivered,
+        drop_reason=record.drop_reason,
+    )

@@ -1,0 +1,241 @@
+"""The shard worker process of the sharded cluster.
+
+One worker = one OS process owning a private
+:class:`~repro.core.engine.ForwardingEngine` +
+:class:`~repro.core.scheduler.ForwardSchedule` +
+:class:`~repro.core.clock.VirtualClock` +
+:class:`~repro.core.recording.MemoryRecorder`, fed a shard of senders
+over a pipe (see :mod:`repro.cluster.ipc` for the frame flavors).  The
+worker's event loop is strictly reactive:
+
+* a **packet batch** runs each frame through
+  :meth:`~repro.core.engine.ForwardingEngine.worker_ingest` — the clock
+  advances to the frame's client stamp, fires any due flush callbacks,
+  then ingests;
+* ``scene_snapshot`` swaps in a freshly rebuilt scene replica (stale
+  versions are ignored, so replication is idempotent);
+* ``flush`` runs the clock to the barrier time and acks with pipeline
+  counters, schedule depth, and the process's busy fraction;
+* ``collect`` drains the worker's packet log into a ``worker_report``;
+* ``shutdown`` acks ``bye`` and exits the loop.
+
+Time discipline: the worker's virtual clock is driven **entirely by the
+client stamps on incoming frames** (the paper's parallel time-stamping,
+doing double duty as the cluster's logical clock).  The per-shard clocks
+therefore advance independently between barriers — cross-shard
+coherence is restored at merge time by the parent (and audited by the
+forensics plane's cross-shard detector).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Optional
+
+import numpy as np
+
+from ..core.clock import VirtualClock
+from ..core.engine import ForwardingEngine
+from ..core.neighbor import ChannelIndexedNeighborTables
+from ..core.recording import MemoryRecorder
+from ..net.messages import (
+    decode_message,
+    decode_packet_binary,
+    encode_message,
+    make_flushed,
+    make_worker_error,
+    make_worker_report,
+)
+from . import ipc
+
+__all__ = ["WorkerConfig", "worker_main"]
+
+
+@dataclass(frozen=True)
+class WorkerConfig:
+    """Everything a worker needs at birth (picklable for spawn starts)."""
+
+    worker_index: int
+    n_workers: int
+    seed: Optional[int] = 0
+    use_client_stamps: bool = True
+    schedule_capacity: Optional[int] = None
+
+    def make_rng(self) -> np.random.Generator:
+        """The worker engine's RNG.
+
+        A 1-worker cluster uses ``default_rng(seed)`` — bit-identical to
+        :class:`~repro.core.server.InProcessEmulator`'s engine stream,
+        which is what makes the seeded-equivalence test exact.  Multiple
+        workers draw from per-worker child streams
+        (``default_rng([seed, index])``) so shards are decorrelated but
+        still reproducible run-to-run.
+        """
+        if self.seed is None:
+            return np.random.default_rng()
+        if self.n_workers == 1:
+            return np.random.default_rng(self.seed)
+        return np.random.default_rng([self.seed, self.worker_index])
+
+
+class _WorkerState:
+    """The mutable half of a worker: engine, clock, recorder, counters."""
+
+    def __init__(self, config: WorkerConfig) -> None:
+        self.config = config
+        self.clock = VirtualClock()
+        self.recorder = MemoryRecorder()
+        self.engine: Optional[ForwardingEngine] = None
+        self.scene_version = -1
+        self.shard_ingested = 0
+        self.busy_seconds = 0.0
+        self.started_at = time.perf_counter()
+
+    # -- scene replication ----------------------------------------------------
+
+    def apply_snapshot(self, version: int, raw_scene: dict[str, Any]) -> None:
+        from .snapshot import build_scene  # local: keeps import cycle away
+
+        if version < self.scene_version:
+            return  # stale replica, a newer one already landed
+        scene = build_scene(raw_scene)
+        # The parent's scene time may be ahead of this shard's stamp-driven
+        # clock; catch the clock up so scene time never runs backwards.
+        if scene.time > self.clock.now():
+            self.clock.run_until(scene.time)
+        scene.bind_time_source(self.clock.now)
+        neighbors = ChannelIndexedNeighborTables(scene)
+        if self.engine is None:
+            self.engine = ForwardingEngine(
+                scene,
+                neighbors,
+                self.clock,
+                self.recorder,
+                rng=self.config.make_rng(),
+                schedule_capacity=self.config.schedule_capacity,
+                use_client_stamps=self.config.use_client_stamps,
+            )
+        else:
+            self.engine.scene = scene
+            self.engine.neighbors = neighbors
+        self.scene_version = version
+
+    # -- pipeline -------------------------------------------------------------
+
+    def ingest_batch(self, frames: list[bytes]) -> None:
+        engine = self.engine
+        if engine is None:
+            raise ClusterWorkerError(
+                "packet batch received before any scene snapshot"
+            )
+        for frame in frames:
+            _op, packet = decode_packet_binary(frame)
+            engine.worker_ingest(packet)
+        self.shard_ingested += len(frames)
+
+    def flush_to(self, t: float) -> None:
+        self.clock.run_until(max(t, self.clock.now()))
+        if self.engine is not None:
+            self.engine.flush_due(self.clock.now())
+
+    # -- reporting ------------------------------------------------------------
+
+    def counters(self) -> dict[str, int]:
+        e = self.engine
+        if e is None:
+            return {
+                "ingested": 0, "forwarded": 0,
+                "dropped": 0, "transport_dropped": 0,
+            }
+        return {
+            "ingested": e.ingested,
+            "forwarded": e.forwarded,
+            "dropped": e.dropped,
+            "transport_dropped": e.transport_dropped,
+        }
+
+    def busy_fraction(self) -> float:
+        wall = time.perf_counter() - self.started_at
+        return self.busy_seconds / wall if wall > 0 else 0.0
+
+    def drain_records(self) -> list[list[Any]]:
+        """Row-encode and clear the packet log (collect is a drain, so
+        a second collect never double-reports)."""
+        rows = [ipc.record_to_row(r) for r in self.recorder.packets()]
+        self.recorder = MemoryRecorder()
+        if self.engine is not None:
+            self.engine.recorder = self.recorder
+        return rows
+
+
+class ClusterWorkerError(Exception):
+    """Worker-side pipeline failure (reported to the parent, then raised)."""
+
+
+def worker_main(conn, config: WorkerConfig) -> None:
+    """Entry point of one shard worker process.
+
+    ``conn`` is the child end of the parent's pipe.  The loop exits on
+    ``shutdown``, on pipe EOF (parent died), or on a pipeline error —
+    which is first reported as a ``worker_error`` control frame so the
+    parent can raise it as :class:`~repro.errors.ClusterError` instead
+    of timing out.
+    """
+    state = _WorkerState(config)
+    try:
+        while True:
+            try:
+                data = conn.recv_bytes()
+            except (EOFError, OSError):
+                break
+            t0 = time.perf_counter()
+            if ipc.is_packet_batch(data):
+                state.ingest_batch(ipc.decode_packet_batch(data))
+                state.busy_seconds += time.perf_counter() - t0
+                continue
+            msg = decode_message(data)
+            op = msg["op"]
+            if op == "scene_snapshot":
+                state.apply_snapshot(int(msg["version"]), msg["scene"])
+            elif op == "flush":
+                state.flush_to(float(msg["t"]))
+                reply = make_flushed(
+                    int(msg["id"]),
+                    config.worker_index,
+                    counters=state.counters(),
+                    queue_depth=(
+                        len(state.engine.schedule)
+                        if state.engine is not None else 0
+                    ),
+                    busy_fraction=state.busy_fraction(),
+                    shard_ingested=state.shard_ingested,
+                )
+                conn.send_bytes(encode_message(reply))
+            elif op == "collect":
+                report = make_worker_report(
+                    config.worker_index,
+                    records=state.drain_records(),
+                    counters=state.counters(),
+                )
+                conn.send_bytes(encode_message(report))
+            elif op == "shutdown":
+                conn.send_bytes(encode_message({"op": "bye"}))
+                break
+            else:
+                raise ClusterWorkerError(f"unknown control op {op!r}")
+            state.busy_seconds += time.perf_counter() - t0
+    except Exception as exc:
+        # Surface the failure to the parent before dying; losing it would
+        # turn every worker bug into an opaque parent-side timeout.
+        try:
+            conn.send_bytes(
+                encode_message(
+                    make_worker_error(config.worker_index, repr(exc))
+                )
+            )
+        except (OSError, ValueError):
+            pass  # parent already gone; the re-raise below still records it
+        raise
+    finally:
+        conn.close()

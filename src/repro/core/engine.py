@@ -381,6 +381,38 @@ class ForwardingEngine:
                 scheduled = scheduled[:accepted]
         return self._commit_ingest(packet, sender, scheduled, drops, tr)
 
+    def worker_ingest(self, packet: Packet) -> list[ScheduledPacket]:
+        """Worker-mode entry (sharded cluster): one frame, clock included.
+
+        A shard worker owns a private :class:`~repro.core.clock.VirtualClock`
+        driven entirely by the client stamps on incoming frames.  This
+        entry reproduces the in-process emulator's clock discipline for
+        one frame — advance the virtual clock to the frame's origin
+        stamp (firing any flush callbacks that fell due), sync scene
+        mobility/time, ingest, then schedule a flush callback at each
+        entry's forward time — so a 1-worker cluster runs the *identical*
+        event sequence as :class:`~repro.core.server.InProcessEmulator`
+        (the seeded-equivalence contract).
+
+        Requires ``self.clock`` to be a :class:`VirtualClock` (the
+        worker always builds one); the real-time stack never calls this.
+        """
+        clock = self.clock
+        t = packet.t_origin
+        if self.use_client_stamps and t is not None and t > clock.now():
+            clock.run_until(t)  # type: ignore[attr-defined]
+        self.scene.advance_time(clock.now())
+        entries = self.ingest(packet.source, packet)
+        now = clock.now()
+        for entry in entries:
+            clock.call_at(  # type: ignore[attr-defined]
+                max(entry.t_forward, now), self._worker_flush
+            )
+        return entries
+
+    def _worker_flush(self) -> None:
+        self.flush_due(self.clock.now())
+
     def _commit_ingest(
         self,
         packet: Packet,

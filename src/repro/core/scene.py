@@ -65,7 +65,14 @@ from ..models.radio import Radio, RadioConfig, RadioState
 from .geometry import Vec2, distance
 from .ids import ChannelId, NodeId, RadioIndex
 
-__all__ = ["SceneEvent", "NodeState", "Scene", "SceneListener"]
+__all__ = [
+    "SceneEvent",
+    "NodeState",
+    "Scene",
+    "SceneListener",
+    "SceneSnapshot",
+    "SnapshotNode",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -86,6 +93,42 @@ class SceneEvent:
 
 
 SceneListener = Callable[[SceneEvent], None]
+
+
+@dataclass(frozen=True, slots=True)
+class SnapshotNode:
+    """One VMN inside a :class:`SceneSnapshot` (deep-immutable)."""
+
+    node_id: NodeId
+    label: str
+    x: float
+    y: float
+    radios: tuple[Radio, ...]
+    quarantined: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class SceneSnapshot:
+    """Immutable, version-stamped copy of a whole scene.
+
+    This is the replication unit of the sharded cluster: the parent
+    exports one snapshot per topology change (keyed by
+    :attr:`Scene.version`, the same counter the neighbor/fanout caches
+    invalidate on) and ships it to every worker, which rebuilds its
+    private :class:`Scene` from it and serves all neighbor reads
+    lock-free until the next version bump.  :class:`Radio` and its
+    :class:`~repro.models.link.LinkModel` are frozen dataclasses of
+    floats, so a snapshot shares them structurally — exporting is a
+    shallow walk, not a deep copy.
+
+    Mobility trajectories are deliberately *not* carried: the parent
+    owns mobility, advances it, and the resulting moves bump the scene
+    version — workers only ever see the already-moved positions.
+    """
+
+    version: int
+    time: float
+    nodes: tuple[SnapshotNode, ...]
 
 
 class NodeState:
@@ -610,3 +653,56 @@ class Scene:
                 }
                 for nid, st in self._nodes.items()
             }
+
+    # -- immutable replication snapshots (sharded cluster) ---------------------
+
+    def export_snapshot(self) -> SceneSnapshot:
+        """Export an immutable, version-stamped copy of the scene.
+
+        One lock acquisition, shallow walk: :class:`Radio`/link objects
+        are frozen and shared structurally.  The stamp is the *current*
+        :attr:`version`, so ``scene.version != last_shipped.version`` is
+        the cluster's replicate-needed test — with the caveat that
+        quarantine/restore deliberately do not bump the version (they
+        bypass the version-keyed caches), so replication triggers on
+        scene *events*, not on version compares alone.
+        """
+        with self._lock:
+            return SceneSnapshot(
+                version=self._version,
+                time=self._time,
+                nodes=tuple(
+                    SnapshotNode(
+                        node_id=nid,
+                        label=st.label,
+                        x=st.position.x,
+                        y=st.position.y,
+                        radios=tuple(st.radios),
+                        quarantined=st.quarantined,
+                    )
+                    for nid, st in self._nodes.items()
+                ),
+            )
+
+    @classmethod
+    def from_snapshot(
+        cls, snapshot: SceneSnapshot, *, seed: Optional[int] = None
+    ) -> "Scene":
+        """Rebuild a standalone scene from a replication snapshot.
+
+        The rebuilt scene is static (no mobility, no bounds): it is a
+        worker's read-mostly replica, replaced wholesale on the next
+        snapshot rather than mutated to match the parent.
+        """
+        scene = cls(seed=seed)
+        scene._time = snapshot.time
+        for node in snapshot.nodes:
+            scene.add_node(
+                node.node_id,
+                Vec2(node.x, node.y),
+                RadioConfig.of(node.radios),
+                label=node.label,
+            )
+            if node.quarantined:
+                scene.quarantine_node(node.node_id)
+        return scene

@@ -12,6 +12,12 @@ Two claims are measured:
    packet experienced before its pipeline ran — the bottleneck §2.1
    describes — which should fall roughly as 1/K until shard imbalance
    bites.
+3. The *real* cluster: the identical scripted broadcast load against
+   :class:`~repro.cluster.sharded.ShardedEmulator` at 1..K worker
+   **processes**.  Here the metric is plain wall-clock (transmit +
+   barrier + collect) — actual OS parallelism, so speedup vs the
+   1-worker row is the headline number (and meaningless on a 1-core
+   box, which is why the bench gate is core-aware).
 """
 
 from __future__ import annotations
@@ -22,12 +28,20 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..cluster.parallel import ParallelEmulator
+from ..cluster.sharded import ShardedEmulator
 from ..core.geometry import Vec2
 from ..core.ids import BROADCAST_NODE
 from ..core.server import InProcessEmulator
 from ..models.radio import RadioConfig
 
-__all__ = ["NodeScaleRow", "ClusterScaleRow", "run_node_scaling", "run_cluster_scaling"]
+__all__ = [
+    "NodeScaleRow",
+    "ClusterScaleRow",
+    "ShardedScaleRow",
+    "run_node_scaling",
+    "run_cluster_scaling",
+    "run_sharded_scaling",
+]
 
 
 @dataclass(frozen=True)
@@ -55,6 +69,20 @@ class ClusterScaleRow:
     processed: int
     max_queue_lag: float
     imbalance: float
+
+
+@dataclass(frozen=True)
+class ShardedScaleRow:
+    """Wall-clock of one sharded (multi-process) run at one worker count."""
+
+    n_workers: int
+    n_nodes: int
+    frames_offered: int
+    frames_forwarded: int
+    wall_seconds: float
+    speedup: float
+    """Wall-clock of the first (reference) row over this row's —
+    > 1 means this cluster size was faster."""
 
 
 def _grid_nodes(emu, n: int, spacing: float = 60.0, radio_range: float = 150.0):
@@ -147,6 +175,59 @@ def run_cluster_scaling(
     return rows
 
 
+def run_sharded_scaling(
+    worker_counts: tuple[int, ...] = (1, 4),
+    *,
+    n_nodes: int = 32,
+    frames_per_node: int = 64,
+    interval: float = 0.01,
+    seed: int = 4,
+    size_bits: int = 512,
+) -> list[ShardedScaleRow]:
+    """Broadcast-ingest wall-clock vs real (multi-process) cluster size.
+
+    Every worker count replays the *identical* scripted load: each of
+    ``n_nodes`` grid nodes broadcasts ``frames_per_node`` beacons at
+    origin stamps ``interval`` apart.  Timed region: transmit + barrier
+    flush + collect — worker spawn/teardown is excluded, since a
+    long-lived cluster pays it once, not per scenario.
+    """
+    rows: list[ShardedScaleRow] = []
+    base_wall: float | None = None
+    horizon = interval * (frames_per_node + 1) + 2.0
+    for k in worker_counts:
+        with ShardedEmulator(n_workers=k, seed=seed) as emu:
+            hosts = _grid_nodes(emu, n_nodes)
+            t0 = time.perf_counter()
+            for f in range(frames_per_node):
+                t = interval * (f + 1)
+                for host in hosts:
+                    host.transmit(
+                        BROADCAST_NODE,
+                        b"scale-beacon",
+                        channel=1,
+                        size_bits=size_bits,
+                        t=t,
+                    )
+            emu.flush(horizon)
+            emu.collect()
+            wall = time.perf_counter() - t0
+            forwarded = emu.forwarded
+        if base_wall is None:
+            base_wall = wall
+        rows.append(
+            ShardedScaleRow(
+                n_workers=k,
+                n_nodes=n_nodes,
+                frames_offered=n_nodes * frames_per_node,
+                frames_forwarded=forwarded,
+                wall_seconds=wall,
+                speedup=base_wall / max(wall, 1e-12),
+            )
+        )
+    return rows
+
+
 def format_node_rows(rows: list[NodeScaleRow]) -> str:
     lines = [
         f"{'nodes':>6} {'ingested':>9} {'forwarded':>10} {'wall (s)':>9} "
@@ -171,5 +252,19 @@ def format_cluster_rows(rows: list[ClusterScaleRow]) -> str:
         lines.append(
             f"{r.n_workers:>8} {r.offered_pps:>12.0f} {r.processed:>10} "
             f"{r.max_queue_lag * 1e3:>13.2f} {r.imbalance:>10.2f}"
+        )
+    return "\n".join(lines)
+
+
+def format_sharded_rows(rows: list[ShardedScaleRow]) -> str:
+    lines = [
+        f"{'workers':>8} {'offered':>8} {'forwarded':>10} {'wall (s)':>9} "
+        f"{'speedup':>8}",
+        "-" * 48,
+    ]
+    for r in rows:
+        lines.append(
+            f"{r.n_workers:>8} {r.frames_offered:>8} {r.frames_forwarded:>10} "
+            f"{r.wall_seconds:>9.3f} {r.speedup:>8.2f}"
         )
     return "\n".join(lines)

@@ -19,6 +19,24 @@ operation set mirrors Fig 4's structure:
 ``bye``         either           orderly shutdown
 ==============  ==============================================================
 
+The sharded cluster (:mod:`repro.cluster.sharded`) reuses this codec on
+its parent↔worker pipes for **control traffic** (packets ride the binary
+fast path, batched by :mod:`repro.cluster.ipc`):
+
+==================  direction        purpose
+``scene_snapshot``  parent → worker  replicate an immutable version-stamped
+                                     scene (:class:`~repro.core.scene.SceneSnapshot`)
+``flush``           parent → worker  barrier: run the worker's clock/engine
+                                     up to ``t`` and report back
+``flushed``         worker → parent  barrier ack: pipeline counters, queue
+                                     depth, busy fraction
+``collect``         parent → worker  drain the worker's packet log
+``worker_report``   worker → parent  the drained records + final counters
+``shutdown``        parent → worker  orderly worker exit (acked with ``bye``)
+``worker_error``    worker → parent  a worker pipeline failure (the parent
+                                     raises it as :class:`ClusterError`)
+==================  =========================================================
+
 The heartbeat pair is the liveness layer of the fault-tolerance
 subsystem: the server pings every client on a fixed interval and marks a
 client *stale* after ``heartbeat_misses`` silent intervals — its VMN is
@@ -78,6 +96,13 @@ __all__ = [
     "packet_from_wire",
     "make_ping",
     "make_pong",
+    "make_scene_snapshot",
+    "make_flush",
+    "make_flushed",
+    "make_collect",
+    "make_worker_report",
+    "make_shutdown",
+    "make_worker_error",
     "BINARY_MAGIC",
     "BINARY_OP_PACKET",
     "BINARY_OP_DELIVER",
@@ -122,6 +147,80 @@ def make_pong(ping: dict[str, Any]) -> dict[str, Any]:
     """Answer a ``ping``, echoing its time-stamp so the sender can
     estimate heartbeat round-trip if it cares to."""
     return {"op": "pong", "t": _opt_float(ping.get("t"))}
+
+
+# -- sharded-cluster control frames (parent ↔ worker pipes) --------------------
+
+
+def make_scene_snapshot(scene: dict[str, Any], version: int) -> dict[str, Any]:
+    """Replicate a scene snapshot to a worker.
+
+    ``scene`` is the JSON form produced by
+    :func:`repro.cluster.snapshot.snapshot_to_dict`; ``version`` is the
+    snapshot's :attr:`~repro.core.scene.Scene.version` stamp — workers
+    ignore snapshots at or below the version they already hold.
+    """
+    return {"op": "scene_snapshot", "version": int(version), "scene": scene}
+
+
+def make_flush(t: float, flush_id: int) -> dict[str, Any]:
+    """Barrier request: run the worker up to emulation time ``t``.
+
+    ``flush_id`` is echoed in the ``flushed`` reply so the parent can
+    match acks under strict request/response pipelining.
+    """
+    return {"op": "flush", "t": float(t), "id": int(flush_id)}
+
+
+def make_flushed(
+    flush_id: int,
+    worker: int,
+    *,
+    counters: dict[str, int],
+    queue_depth: int,
+    busy_fraction: float,
+    shard_ingested: int,
+) -> dict[str, Any]:
+    """Barrier ack carrying the worker's health/telemetry sample."""
+    return {
+        "op": "flushed",
+        "id": int(flush_id),
+        "worker": int(worker),
+        "counters": counters,
+        "queue_depth": int(queue_depth),
+        "busy_fraction": float(busy_fraction),
+        "shard_ingested": int(shard_ingested),
+    }
+
+
+def make_collect() -> dict[str, Any]:
+    """Drain request: the worker replies with a ``worker_report``."""
+    return {"op": "collect"}
+
+
+def make_worker_report(
+    worker: int,
+    *,
+    records: list[list[Any]],
+    counters: dict[str, int],
+) -> dict[str, Any]:
+    """The worker's drained packet log (row-encoded) + final counters."""
+    return {
+        "op": "worker_report",
+        "worker": int(worker),
+        "records": records,
+        "counters": counters,
+    }
+
+
+def make_shutdown() -> dict[str, Any]:
+    """Orderly worker shutdown; the worker acks with ``bye`` and exits."""
+    return {"op": "shutdown"}
+
+
+def make_worker_error(worker: int, error: str) -> dict[str, Any]:
+    """A worker-side pipeline failure, surfaced to the parent."""
+    return {"op": "worker_error", "worker": int(worker), "error": str(error)}
 
 
 def packet_to_wire(packet: Packet) -> dict[str, Any]:

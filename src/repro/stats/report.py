@@ -293,8 +293,10 @@ def format_health(health: dict) -> str:
     """Render a server/emulator ``health()`` snapshot as a text pane.
 
     Accepts the dict shape produced by
-    :meth:`repro.core.tcpserver.PoEmServer.health` and
-    :meth:`repro.core.server.InProcessEmulator.health`.
+    :meth:`repro.core.tcpserver.PoEmServer.health`,
+    :meth:`repro.core.server.InProcessEmulator.health` and
+    :meth:`repro.cluster.sharded.ShardedEmulator.health` (whose
+    ``cluster`` section renders one line per shard worker).
     """
     lines = [
         "Server health",
@@ -369,6 +371,19 @@ def format_health(health: dict) -> str:
         lines.append(
             f"  evicted records : {health['records_evicted']} (ring bound)"
         )
+    cluster = health.get("cluster")
+    if cluster:
+        lines.append(
+            f"  cluster         : {cluster.get('n_workers', 0)} workers"
+            f" ({cluster.get('alive', 0)} alive)"
+        )
+        for w in cluster.get("per_worker", []):
+            lines.append(
+                f"    shard {w.get('worker', '?')}: "
+                f"ingested {w.get('shard_ingested', 0)}  "
+                f"queue {w.get('queue_depth', 0)}  "
+                f"busy {float(w.get('busy_fraction', 0.0)):.1%}"
+            )
     if health.get("metrics_address"):
         host_, port_ = health["metrics_address"][:2]
         lines.append(f"  metrics         : http://{host_}:{port_}/metrics")

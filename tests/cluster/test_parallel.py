@@ -28,9 +28,23 @@ class TestConstruction:
             ParallelEmulator(worker_service_rate=0.0)
 
     def test_sharding_is_stable(self):
-        emu, _ = cluster(3)
+        emu, hosts = cluster(3)
         assert emu.worker_for(7) == emu.worker_for(7)
-        assert emu.worker_for(7) == 7 % 3
+        # Registration-order round-robin (ShardMap), not hash(v) mod n:
+        # reproducible no matter what PYTHONHASHSEED the interpreter got.
+        assert [emu.worker_for(h.node_id) for h in hosts] == [0, 1, 2, 0]
+
+    def test_sharding_survives_removal(self):
+        emu, hosts = cluster(3, n_nodes=5)
+        victim = hosts[1]
+        assert emu.worker_for(victim.node_id) == 1
+        emu.remove_node(victim.node_id)
+        # The freed slot is the least-loaded shard, so the next
+        # registration backfills it deterministically.
+        replacement = emu.add_node(
+            Vec2(99.0, 0.0), RadioConfig.single(1, 1000.0)
+        )
+        assert emu.worker_for(replacement.node_id) == 1
 
 
 class TestPipeline:
