@@ -30,6 +30,13 @@ Two more ``extra_info`` conventions:
   ``cpu_count`` is ≥ ``SPEEDUP_MIN_CORES``; on smaller boxes the gate
   prints a skip note instead of demanding physically impossible
   parallelism.  Never normalized (a ratio is already unitless).
+* ``overhead_*`` — instrumentation-cost ratios (instrumented run over
+  its bare variant; e.g. the sharded cluster with worker-telemetry
+  export + trace propagation vs stripped).  Gated as **core-aware upper
+  bounds**: at most ``OVERHEAD_BUDGET_X`` on a box with ≥
+  ``SPEEDUP_MIN_CORES`` cores; an oversubscribed smaller box measures
+  scheduler noise, not code, so the gate prints a skip note there.
+  Never normalized.
 * ``no_time_gate`` — set truthy by whole-scenario benchmarks whose
   wall-clock is load-shape-dependent noise: the min-time comparison is
   skipped for them and only their exported figures are gated.
@@ -69,6 +76,11 @@ P99_FLOOR_US = 150.0
 SPEEDUP_FLOOR_X = 2.0
 SPEEDUP_MIN_CORES = 4
 
+#: Maximum instrumentation-cost ratio an ``overhead_*`` figure may reach
+#: on a box with at least SPEEDUP_MIN_CORES cores (the cluster-telemetry
+#: budget; mirrored by the in-test assert in test_scalability.py).
+OVERHEAD_BUDGET_X = 1.05
+
 
 def _is_absolute(key: str) -> bool:
     """Keys gated as absolute real-time figures, exempt from normalize."""
@@ -78,6 +90,11 @@ def _is_absolute(key: str) -> bool:
 def _is_speedup(key: str) -> bool:
     """Keys gated as core-aware lower bounds (bigger is better)."""
     return key.startswith("speedup_")
+
+
+def _is_overhead(key: str) -> bool:
+    """Keys gated as core-aware upper bounds (smaller is better)."""
+    return key.startswith("overhead_")
 
 
 def load_fresh(path: Path) -> dict[str, dict[str, float]]:
@@ -91,7 +108,12 @@ def load_fresh(path: Path) -> dict[str, dict[str, float]]:
             "min_us": stats["min"] * 1e6,
         }
         for key, value in (bench.get("extra_info") or {}).items():
-            if _is_absolute(key) or _is_speedup(key) or key == "cpu_count":
+            if (
+                _is_absolute(key)
+                or _is_speedup(key)
+                or _is_overhead(key)
+                or key == "cpu_count"
+            ):
                 entry[key] = float(value)
             elif key == "no_time_gate":
                 entry[key] = 1.0 if value else 0.0
@@ -202,6 +224,29 @@ def check(args: argparse.Namespace) -> int:
                 failures.append(
                     f"{name}: {key} {have:.2f}x below the "
                     f"{SPEEDUP_FLOOR_X:.1f}x floor ({cores} cores)"
+                )
+        for key in sorted(k for k in base if _is_overhead(k)):
+            have = got.get(key)
+            if have is None:
+                failures.append(f"{name}: {key} missing from fresh results")
+                continue
+            cores = int(got.get("cpu_count", 0))
+            if cores < SPEEDUP_MIN_CORES:
+                print(
+                    f"  {name:36s} {key} {have:6.3f}x"
+                    f"  ({cores} core(s) — overhead gate skipped)"
+                )
+                continue
+            ov_verdict = "ok" if have <= OVERHEAD_BUDGET_X else "REGRESSED"
+            print(
+                f"  {name:36s} {key} {have:6.3f}x"
+                f"  (budget {OVERHEAD_BUDGET_X:.2f}x on {cores} cores)"
+                f"  {ov_verdict}"
+            )
+            if have > OVERHEAD_BUDGET_X:
+                failures.append(
+                    f"{name}: {key} {have:.3f}x over the "
+                    f"{OVERHEAD_BUDGET_X:.2f}x budget ({cores} cores)"
                 )
         for key in sorted(k for k in base if _is_absolute(k)):
             have = got.get(key)

@@ -14,11 +14,15 @@ hybrid routing, full tracing), then writes:
 * ``analysis.html`` — the self-contained HTML report from
   ``repro.analysis.analyze`` (clock audit, anomaly catalog, windowed
   aggregates, one sample lineage),
-* ``analysis.json`` — the same report machine-readable.
+* ``analysis.json`` — the same report machine-readable,
+* ``poem-flight-parent.json`` + ``flight.txt`` — a sample crash
+  flight-recorder artifact: a tiny sharded run whose worker is killed
+  mid-flight, dumped by the parent's recorder and rendered the way
+  ``poem analyze --flight`` would show it (docs/observability.md).
 
 CI uploads the directory with ``actions/upload-artifact`` so every
 build carries an inspectable record of what the benchmarked emulator
-actually did.
+actually did — including what a real worker crash looks like.
 """
 
 from __future__ import annotations
@@ -63,6 +67,51 @@ def build_run():
     return emu
 
 
+def build_flight_artifact(out: Path):
+    """Kill a shard worker mid-run; return the parent's flight dump path.
+
+    The ring-load-then-SIGKILL script mirrors the cluster acceptance
+    test, so the uploaded artifact is exactly what an operator would
+    find after a real worker death.
+    """
+    from repro.cluster import ShardedEmulator
+    from repro.core.geometry import Vec2
+    from repro.errors import ClusterError
+    from repro.models.radio import RadioConfig
+    from repro.obs.flightrec import format_flight, load_flight
+
+    radios = RadioConfig.single(1, 200.0)
+    emu = ShardedEmulator(n_workers=2, seed=0, flight_dir=str(out))
+    hosts = [
+        emu.add_node(Vec2(50.0 * i, 0.0), radios, label=f"n{i}")
+        for i in range(4)
+    ]
+    emu.start()
+    try:
+        for i in range(8):
+            hosts[i % 4].transmit(
+                hosts[(i + 1) % 4].node_id,
+                b"x" * 32,
+                channel=1,
+                t=0.01 * (i + 1),
+            )
+        emu._procs[0].kill()
+        try:
+            emu.flush(1.0)
+        except ClusterError:
+            pass
+    finally:
+        emu.stop()
+
+    path = out / "poem-flight-parent.json"
+    if not path.exists():
+        return None
+    (out / "flight.txt").write_text(
+        format_flight(load_flight(path)) + "\n"
+    )
+    return path
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out-dir", default="artifacts",
@@ -84,6 +133,7 @@ def main(argv=None) -> int:
         render_html(report, title="PoEm CI bench run forensics")
     )
     (out / "analysis.json").write_text(render_json(report))
+    flight_path = build_flight_artifact(out)
 
     print(
         f"wrote {n_families} metric families to {out / 'metrics.json'};"
@@ -92,6 +142,11 @@ def main(argv=None) -> int:
         f" {len(report.anomalies)} anomalies"
         f" -> {out / 'analysis.html'}"
     )
+    if flight_path is None:
+        print("worker-kill run produced no flight artifact",
+              file=sys.stderr)
+        return 1
+    print(f"sample crash flight artifact -> {flight_path}")
     if report.total == 0 or not report.summary_consistent:
         print("artifact run looks wrong (no traffic or inconsistent"
               " summary)", file=sys.stderr)

@@ -44,6 +44,12 @@ Catalog (kind → what it means):
     predecessor's by more than the tolerance, so the shards' virtual
     clocks disagree about when things happened and cross-shard latency
     comparisons from this recording are suspect.
+``last-crash``
+    the run recorded one or more ``worker-crash`` scene events: a shard
+    worker died (or its pipe broke) mid-run and the parent aborted.
+    The finding carries the flight-recorder artifact paths dumped at
+    crash time — feed them to ``poem analyze --flight`` for the last
+    seconds of events/spans before the death.
 """
 
 from __future__ import annotations
@@ -68,6 +74,7 @@ ANOMALY_KINDS = (
     "overload-degraded",
     "deadline-miss",
     "cross-shard-inversion",
+    "last-crash",
 )
 
 
@@ -466,6 +473,51 @@ def detect_cluster_merge_inversions(
     ]
 
 
+def detect_worker_crashes(dataset: RunDataset) -> list[Anomaly]:
+    """Surface recorded ``worker-crash`` scene events as findings.
+
+    The sharded parent records one such event (with the worker index,
+    the failure reason and the flight-recorder artifact paths it
+    managed to dump) before raising :class:`~repro.errors.ClusterError`.
+    Any packet statistics from such a recording describe a *truncated*
+    run — always critical.
+    """
+    out: list[Anomaly] = []
+    for event in dataset.scene_events:
+        if event.kind != "worker-crash":
+            continue
+        details = event.details or {}
+        worker = details.get("worker", "?")
+        reason = details.get("reason", "unknown failure")
+        artifacts = [
+            p for p in (details.get("flight"), details.get("worker_flight"))
+            if p
+        ]
+        detail = f"worker died mid-run: {reason}"
+        if artifacts:
+            detail += (
+                " — flight recorder dumped to "
+                + ", ".join(str(p) for p in artifacts)
+                + " (render with `poem analyze --flight PATH`)"
+            )
+        out.append(
+            Anomaly(
+                kind="last-crash",
+                severity="critical",
+                subject=f"shard worker {worker}",
+                detail=detail,
+                t=event.time,
+                data={
+                    "worker": worker,
+                    "reason": reason,
+                    "flight": details.get("flight"),
+                    "worker_flight": details.get("worker_flight"),
+                },
+            )
+        )
+    return out
+
+
 def detect_anomalies(
     dataset: RunDataset,
     thresholds: Optional[Thresholds] = None,
@@ -485,6 +537,7 @@ def detect_anomalies(
     findings += detect_overload_degradation(dataset)
     findings += detect_deadline_misses(dataset, thresholds)
     findings += detect_cluster_merge_inversions(dataset, thresholds)
+    findings += detect_worker_crashes(dataset)
     findings.sort(
         key=lambda a: (0 if a.severity == "critical" else 1, a.kind)
     )

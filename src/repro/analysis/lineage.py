@@ -22,6 +22,14 @@ delivery the recorded delivery stamp (Step 7)
 A dropped packet's lineage ends at its ``decision`` stage; a delivered
 packet without a sampled span omits ``fire``/``send`` (the recorder has
 no timing for them) and still resolves the other five.
+
+On a sharded recording a traced packet's merged span also carries the
+cross-process stages (:data:`~repro.obs.tracing.IPC_STAGES`); the
+lineage then gains an extra ``shard-hop`` stage between ``receipt`` and
+``decision`` showing the parent-side encode cost, the pipe dwell and
+the worker-side decode cost of the hop.  ``shard-hop`` is deliberately
+*not* in :data:`LINEAGE_STAGES` — single-process lineages stay seven
+stages and :attr:`PacketLineage.complete` is unaffected.
 """
 
 from __future__ import annotations
@@ -30,6 +38,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..core.packet import PacketRecord
+from ..obs.tracing import IPC_STAGES
 from .dataset import RunDataset
 from .drift import ClockAudit, audit_clocks
 
@@ -150,6 +159,24 @@ def lineage(
         )
     )
 
+    # -- shard-hop: cross-process stages on a sharded run's merged span ------
+    spans = dataset.spans_for(record)
+    span = spans[0] if spans else None
+    if span is not None:
+        ipc = {
+            name: dur for name, dur in span.stages if name in IPC_STAGES
+        }
+        if ipc:
+            stages.append(
+                LineageStage(
+                    "shard-hop", record.t_receipt,
+                    f"pipe to shard worker: encode"
+                    f" {ipc.get('ipc_encode', 0.0) * 1e6:.1f} us,"
+                    f" dwell {ipc.get('ipc_queue', 0.0) * 1e3:.3f} ms,"
+                    f" decode {ipc.get('ipc_decode', 0.0) * 1e6:.1f} us",
+                )
+            )
+
     # -- decision ------------------------------------------------------------
     if record.dropped:
         stages.append(
@@ -159,7 +186,7 @@ def lineage(
             )
         )
         return PacketLineage(
-            record, tuple(stages), corrected, correction, span=None
+            record, tuple(stages), corrected, correction, span=span
         )
     stages.append(
         LineageStage("decision", record.t_receipt, "forward (Steps 2-4)")
@@ -175,8 +202,6 @@ def lineage(
     )
 
     # -- fire / send: only the sampled tracer knows these --------------------
-    spans = dataset.spans_for(record)
-    span = spans[0] if spans else None
     if span is not None and record.t_forward is not None:
         lag = span.lag if span.lag is not None else 0.0
         t_fire = record.t_forward + max(lag, 0.0)

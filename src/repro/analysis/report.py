@@ -17,6 +17,7 @@ from typing import Optional, Union
 
 from ..core.packet import DropReason
 from ..core.recording import Recorder
+from ..obs import flightrec
 from .aggregates import WindowStats, windowed_aggregates
 from .anomalies import (
     Anomaly,
@@ -59,6 +60,11 @@ class AnalysisReport:
     aggregates: list[WindowStats]
     anomalies: list[Anomaly]
     lineages: list[PacketLineage] = field(default_factory=list)
+    crashes: list[dict] = field(default_factory=list)
+    """Recorded ``worker-crash`` scene events (sharded runs): worker
+    index, failure reason, and the flight-recorder artifact paths the
+    parent managed to dump before aborting."""
+
     fidelity: dict = field(default_factory=dict)
     """Validity envelope: ``verdict`` (``real-time``/``degraded``/
     ``overloaded``), deadline buckets, shed count, and the degraded
@@ -95,6 +101,7 @@ class AnalysisReport:
             "aggregates": [w.as_dict() for w in self.aggregates],
             "anomalies": [a.as_dict() for a in self.anomalies],
             "lineages": [l.as_dict() for l in self.lineages],
+            "crashes": list(self.crashes),
         }
 
 
@@ -157,6 +164,17 @@ def analyze(
     lineages = [
         lineage(dataset, rid, audit=audit) for rid in record_ids
     ]
+    crashes = [
+        {
+            "t": event.time,
+            "worker": (event.details or {}).get("worker"),
+            "reason": (event.details or {}).get("reason"),
+            "flight": (event.details or {}).get("flight"),
+            "worker_flight": (event.details or {}).get("worker_flight"),
+        }
+        for event in dataset.scene_events
+        if event.kind == "worker-crash"
+    ]
     # Validity envelope: did the emulator stay in real-time territory?
     on_time = late = missed = 0
     horizon = thresholds.lag_budget * 10.0
@@ -210,6 +228,7 @@ def analyze(
         ),
         anomalies=detect_anomalies(dataset, thresholds, audit=audit),
         lineages=lineages,
+        crashes=crashes,
         fidelity=fidelity,
     )
 
@@ -296,6 +315,35 @@ def render_text(report: AnalysisReport) -> str:
         lines.append(
             f"  [{a.severity:>8}] {a.kind:<20} {a.subject}: {a.detail}"
         )
+    if report.crashes:
+        lines.append("")
+        lines.append(f"worker crashes ({len(report.crashes)})")
+        lines.append("--------------")
+        for crash in report.crashes:
+            lines.append(
+                f"  worker {crash.get('worker', '?')}"
+                f" at t={float(crash.get('t') or 0.0):.3f}s:"
+                f" {crash.get('reason') or 'unknown failure'}"
+            )
+            for key in ("flight", "worker_flight"):
+                if crash.get(key):
+                    lines.append(f"    {key.replace('_', ' ')}: {crash[key]}")
+            # Inline the last seconds before the death when the artifact
+            # is still on disk (it lives in tmp — often gone by analysis
+            # time on another host, hence best-effort).
+            for key in ("worker_flight", "flight"):
+                path = crash.get(key)
+                if not path:
+                    continue
+                try:
+                    artifact = flightrec.load_flight(path)
+                except (OSError, ValueError):
+                    continue
+                for row in flightrec.format_flight(
+                    artifact, events=8
+                ).splitlines():
+                    lines.append(f"    {row}")
+                break
     if report.lineages:
         lines.append("")
         lines.append("sample lineage")
@@ -427,6 +475,26 @@ def render_html(report: AnalysisReport, *, title: str = "PoEm run forensics") ->
             f"<td>{delay}</td><td>{jitter}</td></tr>"
         )
     parts.append("</table>")
+
+    if report.crashes:
+        parts.append(
+            f"<h2>Worker crashes ({len(report.crashes)})</h2><table>"
+            "<tr><th>t (s)</th><th>worker</th><th class='l'>reason</th>"
+            "<th class='l'>flight artifacts</th></tr>"
+        )
+        for crash in report.crashes:
+            artifacts = ", ".join(
+                str(crash[k]) for k in ("flight", "worker_flight")
+                if crash.get(k)
+            ) or "-"
+            parts.append(
+                f"<tr><td>{float(crash.get('t') or 0.0):.3f}</td>"
+                f"<td>{esc(str(crash.get('worker', '?')))}</td>"
+                f"<td class='l critical'>"
+                f"{esc(str(crash.get('reason') or 'unknown'))}</td>"
+                f"<td class='l'>{esc(artifacts)}</td></tr>"
+            )
+        parts.append("</table>")
 
     if report.lineages:
         parts.append("<h2>Sample lineage</h2>")

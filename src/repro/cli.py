@@ -17,6 +17,8 @@ The commands cover the operator workflows the paper's GUI served:
 ``analyze``
     Post-emulation forensics report: per-packet lineage, clock-drift
     audit, anomaly detection — text, JSON, or a single-file HTML page.
+    ``--flight PATH`` renders a crash flight-recorder artifact (the
+    JSON a dying cluster dumps) instead of, or alongside, a recording.
 ``console``
     Interactive operator console on a fresh emulator.
 ``serve``
@@ -110,7 +112,14 @@ def build_parser() -> argparse.ArgumentParser:
     analyze = sub.add_parser(
         "analyze", help="post-emulation forensics report from a recording"
     )
-    analyze.add_argument("recording", help="SQLite recording path")
+    analyze.add_argument("recording", nargs="?",
+                         help="SQLite recording path (optional when only "
+                              "--flight is given)")
+    analyze.add_argument("--flight", metavar="PATH",
+                         help="render a crash flight-recorder JSON "
+                              "artifact (the path a worker-crash "
+                              "anomaly/ClusterError points at); combine "
+                              "with a recording for the full report")
     analyze.add_argument("--format", choices=("text", "json", "html"),
                          default="text")
     analyze.add_argument("--out", help="write the report to a file "
@@ -312,6 +321,20 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     from .analysis import Thresholds, analyze
     from .analysis.report import render_html, render_json, render_text
 
+    if args.recording is None and not args.flight:
+        raise PoEmError(
+            "analyze needs a recording path and/or --flight ARTIFACT"
+        )
+    if args.flight:
+        from .obs.flightrec import format_flight, load_flight
+
+        artifact = load_flight(args.flight)
+        if args.format == "json":
+            print(json.dumps(artifact, indent=2, sort_keys=True))
+        else:
+            print(format_flight(artifact))
+        if args.recording is None:
+            return 0
     thresholds = Thresholds(
         lag_budget=args.lag_budget,
         drift_budget=args.drift_budget,

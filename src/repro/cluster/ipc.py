@@ -13,9 +13,18 @@ Batching is the point: ``Connection.send_bytes`` does one syscall pair
 per message, so shipping 32 frames per send amortizes IPC overhead the
 same way the TCP sender loop's ``send_frames`` batches writes.
 
-Packet *records* travel the other way (worker → parent) inside JSON
-``worker_report`` messages as flat rows — :func:`record_to_row` /
-:func:`record_from_row` keep that encoding in one place.
+The batch header carries a wall-clock **send stamp** and each frame an
+8-byte **trace id** (0 = untraced): the Dapper-style cross-process
+propagation that lets a parent-sampled pipeline trace continue in the
+worker.  The stamp is ``time.time()`` — the one clock both sides of a
+pipe on the same machine share — so the worker's ``recv − t_sent``
+delta is the real pipe dwell (the ``ipc_queue`` stage).
+
+Packet *records* and completed *trace spans* travel the other way
+(worker → parent) inside JSON ``worker_report`` messages as flat rows —
+:func:`record_to_row` / :func:`record_from_row` /
+:func:`span_to_row` / :func:`span_from_row` keep those encodings in
+one place.
 """
 
 from __future__ import annotations
@@ -25,6 +34,7 @@ from typing import Any, Optional, Sequence
 
 from ..core.packet import PacketRecord
 from ..errors import ClusterError
+from ..obs.tracing import TraceSpan
 
 __all__ = [
     "BATCH_MAGIC",
@@ -33,14 +43,16 @@ __all__ = [
     "is_packet_batch",
     "record_to_row",
     "record_from_row",
+    "span_to_row",
+    "span_from_row",
 ]
 
 BATCH_MAGIC = 0xB2
 """First byte of a packet-batch frame (0xB1 = single binary packet,
 ``{`` = JSON control)."""
 
-_BATCH_HEADER = struct.Struct(">BI")
-_LEN = struct.Struct(">I")
+_BATCH_HEADER = struct.Struct(">BId")  # magic, count, t_sent (epoch s)
+_ENTRY = struct.Struct(">QI")  # per-frame trace id (0 = untraced), length
 
 
 def is_packet_batch(data: bytes) -> bool:
@@ -48,37 +60,41 @@ def is_packet_batch(data: bytes) -> bool:
     return bool(data) and data[0] == BATCH_MAGIC
 
 
-def encode_packet_batch(frames: Sequence[bytes]) -> bytes:
-    """Pack already-encoded binary packet frames into one batch."""
-    parts = [_BATCH_HEADER.pack(BATCH_MAGIC, len(frames))]
-    for frame in frames:
-        parts.append(_LEN.pack(len(frame)))
+def encode_packet_batch(
+    entries: Sequence[tuple[bytes, int]], t_sent: float
+) -> bytes:
+    """Pack ``(binary_frame, trace_id)`` pairs into one stamped batch."""
+    parts = [_BATCH_HEADER.pack(BATCH_MAGIC, len(entries), t_sent)]
+    for frame, trace_id in entries:
+        parts.append(_ENTRY.pack(trace_id, len(frame)))
         parts.append(frame)
     return b"".join(parts)
 
 
-def decode_packet_batch(data: bytes) -> list[bytes]:
-    """Unpack a batch back into its binary packet frames."""
+def decode_packet_batch(
+    data: bytes,
+) -> tuple[list[tuple[bytes, int]], float]:
+    """Unpack a batch into ``([(frame, trace_id), ...], t_sent)``."""
     try:
-        magic, count = _BATCH_HEADER.unpack_from(data)
+        magic, count, t_sent = _BATCH_HEADER.unpack_from(data)
     except struct.error as exc:
         raise ClusterError(f"truncated packet batch: {exc}") from exc
     if magic != BATCH_MAGIC:
         raise ClusterError(f"bad batch magic: {magic:#x}")
-    frames: list[bytes] = []
+    entries: list[tuple[bytes, int]] = []
     offset = _BATCH_HEADER.size
     for _ in range(count):
         try:
-            (length,) = _LEN.unpack_from(data, offset)
+            trace_id, length = _ENTRY.unpack_from(data, offset)
         except struct.error as exc:
             raise ClusterError(f"truncated packet batch: {exc}") from exc
-        offset += _LEN.size
+        offset += _ENTRY.size
         end = offset + length
         if len(data) < end:
             raise ClusterError("packet batch truncated inside a frame")
-        frames.append(data[offset:end])
+        entries.append((data[offset:end], trace_id))
         offset = end
-    return frames
+    return entries, t_sent
 
 
 # -- record rows (worker → parent, inside JSON worker_report) ------------------
@@ -149,3 +165,60 @@ def record_from_row(row: Sequence[Any]) -> PacketRecord:
 
 def _opt(v: Any) -> Optional[float]:
     return None if v is None else float(v)
+
+
+# -- span rows (worker → parent, inside JSON worker_report) --------------------
+
+#: Column order of a trace-span row (stages ride as ``[name, dur]`` pairs).
+SPAN_ROW_FIELDS = (
+    "trace_id",
+    "source",
+    "seqno",
+    "channel",
+    "sender",
+    "receiver",
+    "t_start",
+    "outcome",
+    "t_forward",
+    "lag",
+    "stages",
+)
+
+
+def span_to_row(span: TraceSpan) -> list[Any]:
+    """Flatten one completed trace span to a JSON-safe row."""
+    return [
+        span.trace_id,
+        span.source,
+        span.seqno,
+        span.channel,
+        span.sender,
+        span.receiver,
+        span.t_start,
+        span.outcome,
+        span.t_forward,
+        span.lag,
+        [[n, d] for n, d in span.stages],
+    ]
+
+
+def span_from_row(row: Sequence[Any]) -> TraceSpan:
+    """Inverse of :func:`span_to_row`."""
+    if len(row) != len(SPAN_ROW_FIELDS):
+        raise ClusterError(
+            f"span row has {len(row)} fields, expected"
+            f" {len(SPAN_ROW_FIELDS)}"
+        )
+    return TraceSpan(
+        trace_id=int(row[0]),
+        source=int(row[1]),
+        seqno=int(row[2]),
+        channel=int(row[3]),
+        sender=int(row[4]),
+        receiver=None if row[5] is None else int(row[5]),
+        t_start=float(row[6]),
+        outcome=str(row[7]),
+        t_forward=_opt(row[8]),
+        lag=_opt(row[9]),
+        stages=tuple((str(n), float(d)) for n, d in row[10]),
+    )

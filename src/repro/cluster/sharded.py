@@ -33,6 +33,8 @@ from __future__ import annotations
 
 import itertools
 import multiprocessing
+import threading
+import time
 from typing import Any, Optional
 
 from ..core.clock import SyncSample
@@ -41,6 +43,7 @@ from ..core.ids import ChannelId, IdAllocator, NodeId
 from ..core.packet import Packet, PacketRecord, PacketStamper
 from ..core.recording import MemoryRecorder, Recorder
 from ..core.scene import Scene, SceneEvent
+from ..core.supervision import SupervisedThread
 from ..errors import ClusterError, ProtocolError
 from ..models.mobility import Bounds
 from ..models.radio import RadioConfig
@@ -52,8 +55,12 @@ from ..net.messages import (
     make_flush,
     make_scene_snapshot,
     make_shutdown,
+    make_telemetry_pull,
 )
+from ..obs import flightrec
+from ..obs.flightrec import FlightRecorder
 from ..obs.telemetry import Telemetry
+from ..obs.tracing import TraceSpan
 from . import ipc
 from .shard import ShardMap
 from .snapshot import snapshot_to_dict
@@ -63,6 +70,10 @@ __all__ = ["ShardedEmulator", "ShardedHost"]
 
 #: How long (s) the parent waits on a worker ack before declaring it dead.
 _REPLY_TIMEOUT = 60.0
+
+#: Staleness threshold multiplier: a shard whose last sample is older
+#: than this many pull intervals is flagged ``stale`` in health output.
+STALE_AFTER_PULLS = 2.0
 
 
 class ShardedHost:
@@ -127,8 +138,10 @@ class ShardedEmulator:
         schedule_capacity: Optional[int] = None,
         use_client_stamps: bool = True,
         telemetry: Optional[Telemetry] = None,
+        telemetry_interval: Optional[float] = None,
         batch_frames: int = 32,
         start_method: Optional[str] = None,
+        flight_dir: Optional[str] = None,
     ) -> None:
         if n_workers < 1:
             raise ClusterError(f"need at least one worker, got {n_workers}")
@@ -158,10 +171,31 @@ class ShardedEmulator:
         )
         self._procs: list[Any] = []
         self._conns: list[Any] = []
-        self._buffers: list[list[bytes]] = [[] for _ in range(n_workers)]
+        #: Per-shard outbound buffers of ``(binary_frame, trace_id)``.
+        self._buffers: list[list[tuple[bytes, int]]] = [
+            [] for _ in range(n_workers)
+        ]
         self._flush_ids = itertools.count(1)
         self._scene_dirty = True  # nothing shipped yet
         self.scene.add_listener(self._mark_dirty)
+        # One lock serializes every pipe exchange (sends *and* the
+        # request/response barriers): the periodic telemetry puller must
+        # never interleave its frames with a flush/collect or a batch
+        # send, or the byte stream itself would corrupt.
+        self._io_lock = threading.RLock()
+        self.telemetry_interval = (
+            float(telemetry_interval) if telemetry_interval else None
+        )
+        self._puller: Optional[SupervisedThread] = None
+        self._pull_stop = threading.Event()
+        #: monotonic stamp of each worker's last health/telemetry sample.
+        self._last_report = [float("-inf")] * n_workers
+        self.flight = FlightRecorder(role="parent", flight_dir=flight_dir)
+        self.flight_dir = flight_dir
+        if flightrec.get_default() is None:
+            flightrec.set_default(self.flight)
+        #: Flight artifacts dumped on worker failure: worker → path.
+        self.crash_artifacts: dict[int, str] = {}
         # Aggregate pipeline counters, refreshed on every barrier ack.
         self.ingested = 0
         self.forwarded = 0
@@ -175,6 +209,8 @@ class ShardedEmulator:
                 "queue_depth": 0,
                 "busy_fraction": 0.0,
                 "counters": {},
+                "stale": False,
+                "report_age": None,
             }
             for i in range(n_workers)
         ]
@@ -200,6 +236,15 @@ class ShardedEmulator:
                 "Frames ingested per shard worker",
                 labels=("shard",),
             )
+            # The parent owns the cluster's sampling decision: traces
+            # start at submit() (stage ipc_encode), continue inside the
+            # worker, and complete here when the worker ships the span
+            # back.  delegated guards against any engine double-sampling
+            # and the sink persists merged spans into trace_spans.
+            tracer = self.telemetry.tracer
+            tracer.delegated = True
+            if tracer.sink is None:
+                tracer.sink = self.recorder.record_span
 
     # -- scene bookkeeping ------------------------------------------------------
 
@@ -269,6 +314,11 @@ class ShardedEmulator:
         """Spawn the shard workers and ship them the initial scene."""
         if self._procs:
             return
+        sample_every = (
+            self.telemetry.tracer.sample_every
+            if self.telemetry.enabled
+            else Telemetry.DEFAULT_SAMPLE_EVERY
+        )
         for i in range(self.n_workers):
             parent_conn, child_conn = self._ctx.Pipe()
             config = WorkerConfig(
@@ -277,6 +327,9 @@ class ShardedEmulator:
                 seed=self.seed,
                 use_client_stamps=self.use_client_stamps,
                 schedule_capacity=self.schedule_capacity,
+                telemetry_enabled=self.telemetry.enabled,
+                sample_every=sample_every,
+                flight_dir=self.flight_dir,
             )
             proc = self._ctx.Process(
                 target=worker_main,
@@ -288,13 +341,27 @@ class ShardedEmulator:
             child_conn.close()
             self._procs.append(proc)
             self._conns.append(parent_conn)
+        self.flight.note("cluster-start", n_workers=self.n_workers)
         self._sync_scene()
+        if self.telemetry_interval and self.telemetry.enabled:
+            self._pull_stop.clear()
+            self._puller = SupervisedThread(
+                "poem-telemetry-pull",
+                self._pull_loop,
+                restartable=False,
+            )
+            self._puller.start()
 
     def stop(self) -> None:
         """Shut the workers down (graceful ``shutdown``/``bye``, then
         join; stragglers are terminated).  Idempotent."""
         if not self._procs:
             return
+        if self._puller is not None:
+            self._pull_stop.set()
+            self._puller.stop(timeout=2.0)
+            self._puller = None
+        self.flight.note("cluster-stop")
         bye = encode_message(make_shutdown())
         for conn in self._conns:
             try:
@@ -361,22 +428,64 @@ class ShardedEmulator:
         return packet
 
     def submit(self, packet: Packet) -> None:
-        """Route one origin-stamped frame to its sender's shard worker."""
+        """Route one origin-stamped frame to its sender's shard worker.
+
+        When telemetry is on, this is where cluster-wide traces start:
+        the 1-in-N sampling decision happens here, the wire-encode is
+        timed as the ``ipc_encode`` stage, and the trace parks in the
+        parent tracer's inflight table under its ``(source, seqno)`` key
+        until the worker ships the matching span back.
+        """
         if not self._procs:
             self.start()
         if self._scene_dirty:
             self._sync_scene()
         shard = self.shards.shard_of(packet.source)
+        tracer = self.telemetry.tracer if self.telemetry.enabled else None
+        trace_id = 0
+        if tracer is not None:
+            tr = tracer.maybe_start()
+            if tr is not None:
+                t0 = time.perf_counter()
+                frame = encode_packet_binary("packet", packet)
+                tr.stage("ipc_encode", time.perf_counter() - t0)
+                tr.bind(packet.source, packet)
+                tracer.park(tr)
+                trace_id = tr.trace_id
+            else:
+                frame = encode_packet_binary("packet", packet)
+        else:
+            frame = encode_packet_binary("packet", packet)
         buffer = self._buffers[shard]
-        buffer.append(encode_packet_binary("packet", packet))
+        buffer.append((frame, trace_id))
         if len(buffer) >= self.batch_frames:
             self._send_batch(shard)
+
+    def _send_to(self, worker: int, data: bytes) -> None:
+        """One guarded pipe send.
+
+        A closed pipe means the worker is already gone: that must
+        surface through the worker-failure path (flight dump, crash
+        artifact, ``ClusterError``) — never as a raw
+        ``BrokenPipeError`` racing the barrier's own detection.
+        """
+        try:
+            self._conns[worker].send_bytes(data)
+        except (OSError, ValueError) as exc:
+            raise self._worker_failure(
+                worker, f"shard worker {worker} pipe closed: {exc}"
+            ) from exc
 
     def _send_batch(self, shard: int) -> None:
         buffer = self._buffers[shard]
         if not buffer:
             return
-        self._conns[shard].send_bytes(ipc.encode_packet_batch(buffer))
+        # The send stamp is wall-clock: both ends of the pipe share the
+        # machine epoch, so the worker's recv−t_sent is real pipe dwell.
+        with self._io_lock:
+            self._send_to(
+                shard, ipc.encode_packet_batch(buffer, time.time())
+            )
         buffer.clear()
 
     def _flush_buffers(self) -> None:
@@ -392,32 +501,75 @@ class ShardedEmulator:
         """
         if not self._procs:
             return
-        self._flush_buffers()
-        snap = self.scene.export_snapshot()
-        frame = encode_message(
-            make_scene_snapshot(snapshot_to_dict(snap), snap.version)
-        )
-        for conn in self._conns:
-            conn.send_bytes(frame)
-        self._scene_dirty = False
+        with self._io_lock:
+            self._flush_buffers()
+            snap = self.scene.export_snapshot()
+            frame = encode_message(
+                make_scene_snapshot(snapshot_to_dict(snap), snap.version)
+            )
+            for worker in range(len(self._conns)):
+                self._send_to(worker, frame)
+            self._scene_dirty = False
 
     def _recv_control(self, worker: int) -> dict[str, Any]:
         conn = self._conns[worker]
         if not conn.poll(_REPLY_TIMEOUT):
-            raise ClusterError(
+            raise self._worker_failure(
+                worker,
                 f"shard worker {worker} did not answer within "
-                f"{_REPLY_TIMEOUT:.0f}s"
+                f"{_REPLY_TIMEOUT:.0f}s",
             )
         try:
             data = conn.recv_bytes()
         except (EOFError, OSError) as exc:
-            raise ClusterError(f"shard worker {worker} died: {exc}") from exc
+            raise self._worker_failure(
+                worker, f"shard worker {worker} died: {exc}"
+            ) from exc
         msg = decode_message(data)
         if msg.get("op") == "worker_error":
-            raise ClusterError(
-                f"shard worker {worker} failed: {msg.get('error')}"
+            raise self._worker_failure(
+                worker,
+                f"shard worker {worker} failed: {msg.get('error')}",
+                worker_flight=msg.get("flight"),
             )
         return msg
+
+    def _worker_failure(
+        self,
+        worker: int,
+        reason: str,
+        worker_flight: Optional[str] = None,
+    ) -> ClusterError:
+        """Flight-record a worker failure before it becomes ClusterError.
+
+        Dumps the parent's own flight artifact, remembers the dead
+        worker's artifact path (shipped on ``worker_error`` frames), and
+        best-effort records a ``worker-crash`` scene event so an offline
+        ``poem analyze`` raises the ``last-crash`` anomaly.
+        """
+        self.flight.note("worker-crash", worker=worker, reason=reason)
+        artifact = self.flight.dump(reason=reason)
+        if worker_flight:
+            self.crash_artifacts[worker] = str(worker_flight)
+        details: dict[str, Any] = {"worker": worker, "reason": reason}
+        if artifact:
+            details["flight"] = artifact
+        if worker_flight:
+            details["worker_flight"] = str(worker_flight)
+        try:
+            self.recorder.record_scene(
+                SceneEvent(
+                    time=self._time,
+                    kind="worker-crash",
+                    node=NodeId(-1),
+                    details=details,
+                )
+            )
+        # A dying cluster must still raise the real error even when the
+        # recorder is already broken.
+        except Exception:  # poem: ignore[POEM005]
+            pass
+        return ClusterError(reason)
 
     # -- barriers -----------------------------------------------------------------
 
@@ -433,18 +585,20 @@ class ShardedEmulator:
             self.start()
         if self._scene_dirty:
             self._sync_scene()
-        self._flush_buffers()
-        flush_id = next(self._flush_ids)
-        frame = encode_message(make_flush(t, flush_id))
-        for conn in self._conns:
-            conn.send_bytes(frame)
-        for worker in range(self.n_workers):
-            msg = self._recv_control(worker)
-            if msg.get("op") != "flushed" or msg.get("id") != flush_id:
-                raise ClusterError(
-                    f"shard worker {worker}: unexpected barrier reply {msg!r}"
-                )
-            self._fold_worker_sample(worker, msg)
+        with self._io_lock:
+            self._flush_buffers()
+            flush_id = next(self._flush_ids)
+            frame = encode_message(make_flush(t, flush_id))
+            for worker in range(self.n_workers):
+                self._send_to(worker, frame)
+            for worker in range(self.n_workers):
+                msg = self._recv_control(worker)
+                if msg.get("op") != "flushed" or msg.get("id") != flush_id:
+                    raise ClusterError(
+                        f"shard worker {worker}: unexpected barrier "
+                        f"reply {msg!r}"
+                    )
+                self._fold_worker_sample(worker, msg)
         self._refresh_aggregates()
         if t > self._time:
             self._time = t
@@ -459,11 +613,22 @@ class ShardedEmulator:
         }
 
     def _fold_worker_sample(self, worker: int, msg: dict[str, Any]) -> None:
+        """Fold one worker's health+telemetry sample into the parent.
+
+        Called from every exchange that carries a sample — flush
+        barriers, ``collect`` replies, and the periodic telemetry pull —
+        so shard gauges and merged metrics refresh as soon as *any*
+        exchange happens, not only at barriers.
+        """
         stats = self.worker_stats[worker]
         stats["shard_ingested"] = int(msg.get("shard_ingested", 0))
         stats["queue_depth"] = int(msg.get("queue_depth", 0))
         stats["busy_fraction"] = float(msg.get("busy_fraction", 0.0))
-        stats["counters"] = dict(msg.get("counters", {}))
+        if msg.get("counters"):
+            stats["counters"] = dict(msg.get("counters", {}))
+        stats["stale"] = False
+        stats["report_age"] = 0.0
+        self._last_report[worker] = time.monotonic()
         if self._m_depth is not None:
             label = str(worker)
             self._m_depth.labels(label).set(stats["queue_depth"])
@@ -472,6 +637,44 @@ class ShardedEmulator:
             if delta > 0:
                 self._m_shard_ingested.labels(label).inc(delta)
         self._last_shard_ingested[worker] = stats["shard_ingested"]
+        self.telemetry.fold_snapshot(worker, msg.get("telemetry"))
+        spans = msg.get("spans")
+        if spans:
+            self._merge_spans(spans)
+
+    def _merge_spans(self, rows: list[list[Any]]) -> None:
+        """Splice worker spans onto their parked parent traces.
+
+        A shipped-back span whose ``(source, seqno)`` matches a trace in
+        the parent tracer's inflight table is completed as *one*
+        contiguous cross-process span: parent stages (``ipc_encode``)
+        first, then the worker's ``ipc_queue → ipc_decode → receive → …``
+        chain, under the parent's trace id and start stamp.  Unmatched
+        spans (their parent trace was evicted) complete as-is.
+        """
+        tracer = self.telemetry.tracer if self.telemetry.enabled else None
+        for row in rows:
+            span = ipc.span_from_row(row)
+            if tracer is None:
+                self.flight.note_span(span)
+                continue
+            parked = tracer.inflight_pop((span.source, span.seqno))
+            if parked is not None:
+                span = TraceSpan(
+                    trace_id=parked.trace_id,
+                    source=span.source,
+                    seqno=span.seqno,
+                    channel=span.channel,
+                    sender=span.sender,
+                    receiver=span.receiver,
+                    t_start=parked.t_start,
+                    outcome=span.outcome,
+                    stages=tuple(parked.stages) + span.stages,
+                    t_forward=span.t_forward,
+                    lag=span.lag,
+                )
+            tracer.complete_span(span)
+            self.flight.note_span(span)
 
     def _refresh_aggregates(self) -> None:
         totals = {"ingested": 0, "forwarded": 0, "dropped": 0,
@@ -483,6 +686,64 @@ class ShardedEmulator:
         self.forwarded = totals["forwarded"]
         self.dropped = totals["dropped"]
         self.transport_dropped = totals["transport_dropped"]
+
+    # -- periodic telemetry pull --------------------------------------------------
+
+    def pull_telemetry(self) -> list[dict[str, Any]]:
+        """Ask every worker for a fresh health/telemetry sample *now*.
+
+        The between-barriers window: a stalled or runaway worker shows
+        up in ``/metrics``, ``/health`` and the console without waiting
+        for the next ``flush``.  Returns the refreshed per-worker stats.
+        """
+        if not self._procs:
+            return [dict(s) for s in self.worker_stats]
+        with self._io_lock:
+            frame = encode_message(make_telemetry_pull())
+            for worker in range(self.n_workers):
+                self._send_to(worker, frame)
+            for worker in range(self.n_workers):
+                msg = self._recv_control(worker)
+                if msg.get("op") != "telemetry_report":
+                    raise ClusterError(
+                        f"shard worker {worker}: unexpected pull "
+                        f"reply {msg!r}"
+                    )
+                self._fold_worker_sample(worker, msg)
+        self._refresh_aggregates()
+        return [dict(s) for s in self.worker_stats]
+
+    def _pull_loop(self) -> None:
+        interval = self.telemetry_interval or 1.0
+        while not self._pull_stop.wait(interval):
+            try:
+                self.pull_telemetry()
+            except ClusterError:
+                # The failure is already flight-recorded; the next
+                # barrier will raise it on the caller's thread, which is
+                # where it can actually be handled.
+                return
+
+    def _refresh_staleness(self) -> None:
+        """Mark shards whose last sample outlived the pull budget.
+
+        With a periodic pull running, a healthy worker reports at least
+        every ``telemetry_interval``; one silent for
+        ``STALE_AFTER_PULLS×`` that is stalled (or the puller is).  With
+        no pull interval configured there is no cadence contract, so
+        only the age is reported.
+        """
+        now = time.monotonic()
+        interval = self.telemetry_interval
+        for worker, stats in enumerate(self.worker_stats):
+            last = self._last_report[worker]
+            age = (now - last) if last != float("-inf") else None
+            stats["report_age"] = age
+            stats["stale"] = bool(
+                interval is not None
+                and age is not None
+                and age > STALE_AFTER_PULLS * interval
+            )
 
     # -- collection ---------------------------------------------------------------
 
@@ -503,22 +764,32 @@ class ShardedEmulator:
         """
         if not self._procs:
             self.start()
-        self._flush_buffers()
-        frame = encode_message(make_collect())
-        for conn in self._conns:
-            conn.send_bytes(frame)
         streams: list[list[PacketRecord]] = []
         counters: list[dict[str, Any]] = []
-        for worker in range(self.n_workers):
-            msg = self._recv_control(worker)
-            if msg.get("op") != "worker_report":
-                raise ClusterError(
-                    f"shard worker {worker}: unexpected collect reply {msg!r}"
+        with self._io_lock:
+            self._flush_buffers()
+            frame = encode_message(make_collect())
+            for worker in range(self.n_workers):
+                self._send_to(worker, frame)
+            for worker in range(self.n_workers):
+                msg = self._recv_control(worker)
+                if msg.get("op") != "worker_report":
+                    raise ClusterError(
+                        f"shard worker {worker}: unexpected collect "
+                        f"reply {msg!r}"
+                    )
+                streams.append(
+                    [
+                        ipc.record_from_row(row)
+                        for row in msg.get("records", [])
+                    ]
                 )
-            streams.append(
-                [ipc.record_from_row(row) for row in msg.get("records", [])]
-            )
-            counters.append(dict(msg.get("counters", {})))
+                counters.append(dict(msg.get("counters", {})))
+                # The report doubles as a telemetry pull: spans merge
+                # and shard gauges refresh here too, not only at
+                # barriers.
+                self._fold_worker_sample(worker, msg)
+        self._refresh_aggregates()
         if self.n_workers == 1:
             ordered = streams[0]
         else:
@@ -591,6 +862,7 @@ class ShardedEmulator:
     def health(self) -> dict[str, Any]:
         """Same shape as the other deployments' ``health()``, plus the
         ``cluster`` section ``format_health`` renders per-shard."""
+        self._refresh_staleness()
         return {
             "running": self.started
             and all(p.is_alive() for p in self._procs),
@@ -625,7 +897,9 @@ class ShardedEmulator:
                 "n_workers": self.n_workers,
                 "alive": sum(1 for p in self._procs if p.is_alive()),
                 "shard_loads": self.shards.loads(),
+                "pull_interval": self.telemetry_interval,
                 "per_worker": [dict(s) for s in self.worker_stats],
+                "crash_artifacts": dict(self.crash_artifacts),
             },
         }
 

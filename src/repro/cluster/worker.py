@@ -11,13 +11,29 @@ worker's event loop is strictly reactive:
 * a **packet batch** runs each frame through
   :meth:`~repro.core.engine.ForwardingEngine.worker_ingest` — the clock
   advances to the frame's client stamp, fires any due flush callbacks,
-  then ingests;
+  then ingests; frames carrying a parent-sampled trace id continue
+  their pipeline trace here, with the cross-process ``ipc_queue`` /
+  ``ipc_decode`` stages recorded first;
 * ``scene_snapshot`` swaps in a freshly rebuilt scene replica (stale
   versions are ignored, so replication is idempotent);
 * ``flush`` runs the clock to the barrier time and acks with pipeline
-  counters, schedule depth, and the process's busy fraction;
-* ``collect`` drains the worker's packet log into a ``worker_report``;
+  counters, schedule depth, the process's busy fraction, and — when
+  telemetry is on — the worker registry's snapshot for the parent's
+  cluster-wide merge;
+* ``telemetry_pull`` answers with the same sample *without* running the
+  clock (the parent's periodic pull between barriers);
+* ``collect`` drains the worker's packet log *and* completed trace
+  spans into a ``worker_report``;
 * ``shutdown`` acks ``bye`` and exits the loop.
+
+Observability: when :attr:`WorkerConfig.telemetry_enabled` the worker
+builds a full :class:`~repro.obs.telemetry.Telemetry` bundle whose
+tracer runs *delegated* — the parent owns the 1-in-N sampling decision
+and worker trace ids are the parent's, so merged cluster spans are
+contiguous.  Every worker also keeps a
+:class:`~repro.obs.flightrec.FlightRecorder`; on a pipeline failure the
+last seconds of events/spans are dumped to a JSON artifact whose path
+rides the ``worker_error`` frame back to the parent.
 
 Time discipline: the worker's virtual clock is driven **entirely by the
 client stamps on incoming frames** (the paper's parallel time-stamping,
@@ -44,9 +60,13 @@ from ..net.messages import (
     decode_packet_binary,
     encode_message,
     make_flushed,
+    make_telemetry_report,
     make_worker_error,
     make_worker_report,
 )
+from ..obs.flightrec import FlightRecorder, set_default
+from ..obs.telemetry import Telemetry
+from ..obs.tracing import Trace
 from . import ipc
 
 __all__ = ["WorkerConfig", "worker_main"]
@@ -61,6 +81,9 @@ class WorkerConfig:
     seed: Optional[int] = 0
     use_client_stamps: bool = True
     schedule_capacity: Optional[int] = None
+    telemetry_enabled: bool = False
+    sample_every: int = Telemetry.DEFAULT_SAMPLE_EVERY
+    flight_dir: Optional[str] = None
 
     def make_rng(self) -> np.random.Generator:
         """The worker engine's RNG.
@@ -82,7 +105,11 @@ class WorkerConfig:
 class _WorkerState:
     """The mutable half of a worker: engine, clock, recorder, counters."""
 
-    def __init__(self, config: WorkerConfig) -> None:
+    def __init__(
+        self,
+        config: WorkerConfig,
+        flight: Optional[FlightRecorder] = None,
+    ) -> None:
         self.config = config
         self.clock = VirtualClock()
         self.recorder = MemoryRecorder()
@@ -91,6 +118,34 @@ class _WorkerState:
         self.shard_ingested = 0
         self.busy_seconds = 0.0
         self.started_at = time.perf_counter()
+        self.flight = flight or FlightRecorder(
+            role=f"worker-{config.worker_index}",
+            flight_dir=config.flight_dir,
+        )
+        #: Completed spans awaiting ship-back (drained by collect/pull).
+        self.spans: list[Any] = []
+        self.telemetry: Optional[Telemetry] = None
+        if config.telemetry_enabled:
+            tele = Telemetry(
+                enabled=True, sample_every=max(int(config.sample_every), 1)
+            )
+            tracer = tele.tracer
+            # The parent owns the sampling decision and the trace ids:
+            # delegated mode keeps the engine from double-sampling with
+            # worker-local ids that would collide at merge time.
+            tracer.delegated = True
+            # Per-stage durations are histogrammed exactly once — by the
+            # parent, on the *merged* span — so the worker ships raw
+            # spans and leaves its own stage histogram unfed.
+            tracer.stage_hist = None
+            # Buffer spans for ship-back instead of recording locally
+            # (set before engine wiring, which only binds a None sink).
+            tracer.sink = self._buffer_span
+            self.telemetry = tele
+
+    def _buffer_span(self, span: Any) -> None:
+        self.spans.append(span)
+        self.flight.note_span(span)
 
     # -- scene replication ----------------------------------------------------
 
@@ -115,6 +170,7 @@ class _WorkerState:
                 rng=self.config.make_rng(),
                 schedule_capacity=self.config.schedule_capacity,
                 use_client_stamps=self.config.use_client_stamps,
+                telemetry=self.telemetry,
             )
         else:
             self.engine.scene = scene
@@ -123,16 +179,31 @@ class _WorkerState:
 
     # -- pipeline -------------------------------------------------------------
 
-    def ingest_batch(self, frames: list[bytes]) -> None:
+    def ingest_batch(
+        self, entries: list[tuple[bytes, int]], t_sent: float
+    ) -> None:
         engine = self.engine
         if engine is None:
             raise ClusterWorkerError(
                 "packet batch received before any scene snapshot"
             )
-        for frame in frames:
-            _op, packet = decode_packet_binary(frame)
-            engine.worker_ingest(packet)
-        self.shard_ingested += len(frames)
+        tracing = self.telemetry is not None
+        # One dwell measurement serves the whole batch: every frame in
+        # it sat in the same pipe for the same interval.
+        dwell = max(time.time() - t_sent, 0.0) if tracing else 0.0
+        for frame, trace_id in entries:
+            if trace_id and tracing:
+                tr = Trace(trace_id)
+                tr.stage("ipc_queue", dwell)
+                t0 = time.perf_counter()
+                _op, packet = decode_packet_binary(frame)
+                tr.stage("ipc_decode", time.perf_counter() - t0)
+                tr.bind(packet.source, packet)
+                engine.worker_ingest(packet, trace=tr)
+            else:
+                _op, packet = decode_packet_binary(frame)
+                engine.worker_ingest(packet)
+        self.shard_ingested += len(entries)
 
     def flush_to(self, t: float) -> None:
         self.clock.run_until(max(t, self.clock.now()))
@@ -159,6 +230,13 @@ class _WorkerState:
         wall = time.perf_counter() - self.started_at
         return self.busy_seconds / wall if wall > 0 else 0.0
 
+    def queue_depth(self) -> int:
+        return len(self.engine.schedule) if self.engine is not None else 0
+
+    def telemetry_snapshot(self) -> Optional[dict[str, Any]]:
+        tele = self.telemetry
+        return tele.snapshot() if tele is not None else None
+
     def drain_records(self) -> list[list[Any]]:
         """Row-encode and clear the packet log (collect is a drain, so
         a second collect never double-reports)."""
@@ -166,6 +244,15 @@ class _WorkerState:
         self.recorder = MemoryRecorder()
         if self.engine is not None:
             self.engine.recorder = self.recorder
+        return rows
+
+    def drain_spans(self) -> Optional[list[list[Any]]]:
+        """Row-encode and clear the completed-span buffer (same drain
+        discipline as the packet log)."""
+        if self.telemetry is None:
+            return None
+        rows = [ipc.span_to_row(s) for s in self.spans]
+        self.spans = []
         return rows
 
 
@@ -178,11 +265,22 @@ def worker_main(conn, config: WorkerConfig) -> None:
 
     ``conn`` is the child end of the parent's pipe.  The loop exits on
     ``shutdown``, on pipe EOF (parent died), or on a pipeline error —
-    which is first reported as a ``worker_error`` control frame so the
-    parent can raise it as :class:`~repro.errors.ClusterError` instead
-    of timing out.
+    which is first reported as a ``worker_error`` control frame (with
+    the flight-recorder artifact path) so the parent can raise it as
+    :class:`~repro.errors.ClusterError` instead of timing out.
     """
-    state = _WorkerState(config)
+    # The crash hook goes in before anything expensive: a SIGTERM that
+    # lands during state construction must still produce an artifact.
+    flight = FlightRecorder(
+        role=f"worker-{config.worker_index}",
+        flight_dir=config.flight_dir,
+    )
+    # This process belongs to the worker: its flight recorder becomes
+    # the default so structured log events land in the crash ring too.
+    set_default(flight)
+    flight.install_sigterm()
+    flight.note("worker-start", worker=config.worker_index)
+    state = _WorkerState(config, flight=flight)
     try:
         while True:
             try:
@@ -191,25 +289,42 @@ def worker_main(conn, config: WorkerConfig) -> None:
                 break
             t0 = time.perf_counter()
             if ipc.is_packet_batch(data):
-                state.ingest_batch(ipc.decode_packet_batch(data))
+                entries, t_sent = ipc.decode_packet_batch(data)
+                state.ingest_batch(entries, t_sent)
                 state.busy_seconds += time.perf_counter() - t0
                 continue
             msg = decode_message(data)
             op = msg["op"]
             if op == "scene_snapshot":
                 state.apply_snapshot(int(msg["version"]), msg["scene"])
+                state.flight.note(
+                    "scene-snapshot", version=int(msg["version"])
+                )
             elif op == "flush":
                 state.flush_to(float(msg["t"]))
                 reply = make_flushed(
                     int(msg["id"]),
                     config.worker_index,
                     counters=state.counters(),
-                    queue_depth=(
-                        len(state.engine.schedule)
-                        if state.engine is not None else 0
-                    ),
+                    queue_depth=state.queue_depth(),
                     busy_fraction=state.busy_fraction(),
                     shard_ingested=state.shard_ingested,
+                    telemetry=state.telemetry_snapshot(),
+                )
+                conn.send_bytes(encode_message(reply))
+                state.flight.note(
+                    "flush", t=float(msg["t"]),
+                    shard_ingested=state.shard_ingested,
+                )
+            elif op == "telemetry_pull":
+                reply = make_telemetry_report(
+                    config.worker_index,
+                    queue_depth=state.queue_depth(),
+                    busy_fraction=state.busy_fraction(),
+                    shard_ingested=state.shard_ingested,
+                    counters=state.counters(),
+                    telemetry=state.telemetry_snapshot(),
+                    spans=state.drain_spans(),
                 )
                 conn.send_bytes(encode_message(reply))
             elif op == "collect":
@@ -217,8 +332,16 @@ def worker_main(conn, config: WorkerConfig) -> None:
                     config.worker_index,
                     records=state.drain_records(),
                     counters=state.counters(),
+                    spans=state.drain_spans(),
+                    telemetry=state.telemetry_snapshot(),
+                    queue_depth=state.queue_depth(),
+                    busy_fraction=state.busy_fraction(),
+                    shard_ingested=state.shard_ingested,
                 )
                 conn.send_bytes(encode_message(report))
+                state.flight.note(
+                    "collect", shard_ingested=state.shard_ingested
+                )
             elif op == "shutdown":
                 conn.send_bytes(encode_message({"op": "bye"}))
                 break
@@ -227,11 +350,16 @@ def worker_main(conn, config: WorkerConfig) -> None:
             state.busy_seconds += time.perf_counter() - t0
     except Exception as exc:
         # Surface the failure to the parent before dying; losing it would
-        # turn every worker bug into an opaque parent-side timeout.
+        # turn every worker bug into an opaque parent-side timeout.  The
+        # flight dump happens first so the artifact path can ride along.
+        state.flight.note("worker-error", error=repr(exc))
+        artifact = state.flight.dump(reason=repr(exc))
         try:
             conn.send_bytes(
                 encode_message(
-                    make_worker_error(config.worker_index, repr(exc))
+                    make_worker_error(
+                        config.worker_index, repr(exc), flight=artifact
+                    )
                 )
             )
         except (OSError, ValueError):

@@ -381,7 +381,9 @@ class ForwardingEngine:
                 scheduled = scheduled[:accepted]
         return self._commit_ingest(packet, sender, scheduled, drops, tr)
 
-    def worker_ingest(self, packet: Packet) -> list[ScheduledPacket]:
+    def worker_ingest(
+        self, packet: Packet, *, trace: Optional[Trace] = None
+    ) -> list[ScheduledPacket]:
         """Worker-mode entry (sharded cluster): one frame, clock included.
 
         A shard worker owns a private :class:`~repro.core.clock.VirtualClock`
@@ -396,13 +398,18 @@ class ForwardingEngine:
 
         Requires ``self.clock`` to be a :class:`VirtualClock` (the
         worker always builds one); the real-time stack never calls this.
+
+        ``trace`` is a cross-process pipeline trace continued from the
+        parent's sampling decision (its IPC stages already recorded);
+        the worker tracer runs *delegated*, so this is the only way a
+        worker frame gets traced.
         """
         clock = self.clock
         t = packet.t_origin
         if self.use_client_stamps and t is not None and t > clock.now():
             clock.run_until(t)  # type: ignore[attr-defined]
         self.scene.advance_time(clock.now())
-        entries = self.ingest(packet.source, packet)
+        entries = self.ingest(packet.source, packet, trace=trace)
         now = clock.now()
         for entry in entries:
             clock.call_at(  # type: ignore[attr-defined]

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -183,6 +184,8 @@ def run_sharded_scaling(
     interval: float = 0.01,
     seed: int = 4,
     size_bits: int = 512,
+    telemetry: bool = False,
+    sample_every: Optional[int] = None,
 ) -> list[ShardedScaleRow]:
     """Broadcast-ingest wall-clock vs real (multi-process) cluster size.
 
@@ -191,12 +194,26 @@ def run_sharded_scaling(
     origin stamps ``interval`` apart.  Timed region: transmit + barrier
     flush + collect — worker spawn/teardown is excluded, since a
     long-lived cluster pays it once, not per scenario.
+
+    ``telemetry=True`` runs every cluster with full cluster-wide
+    observability on (per-worker registries exported and merged at
+    barriers, cross-process trace sampling at ``sample_every``) — the
+    variant the telemetry-overhead bench compares against the bare run.
     """
+    from ..obs.telemetry import Telemetry
+
     rows: list[ShardedScaleRow] = []
     base_wall: float | None = None
     horizon = interval * (frames_per_node + 1) + 2.0
     for k in worker_counts:
-        with ShardedEmulator(n_workers=k, seed=seed) as emu:
+        bundle = (
+            Telemetry(
+                sample_every=sample_every or Telemetry.DEFAULT_SAMPLE_EVERY
+            )
+            if telemetry
+            else None
+        )
+        with ShardedEmulator(n_workers=k, seed=seed, telemetry=bundle) as emu:
             hosts = _grid_nodes(emu, n_nodes)
             t0 = time.perf_counter()
             for f in range(frames_per_node):

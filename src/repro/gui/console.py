@@ -23,6 +23,7 @@ command                         effect
 ``metrics [filter]``            Prometheus-text telemetry snapshot
 ``trace [n]``                   recent sampled pipeline spans
 ``analyze [record-id]``         offline forensics report / packet lineage
+``flight [dump]``               crash flight-recorder rings (pre-mortem)
 ``lint [runtime]``              POEM rule check (+ lock-order graph)
 ``quit``                        leave the console
 =============================  =============================================
@@ -212,6 +213,34 @@ class PoEmConsole(cmd.Cmd):
             self._fail("usage: analyze [record-id]")
         except Exception as exc:  # noqa: BLE001 — operator surface
             self._fail(f"analysis failed: {type(exc).__name__}: {exc}")
+
+    def do_flight(self, arg: str) -> None:
+        """flight [dump] — the process's crash flight recorder: the
+        last structured events, sampled spans and overload transitions
+        it would dump on death.  ``flight dump`` writes the JSON
+        artifact now and prints its path.
+        """
+        try:
+            from ..obs import flightrec
+
+            recorder = flightrec.get_default()
+            if recorder is None:
+                self._fail("no flight recorder installed in this process")
+                return
+            if arg.strip() == "dump":
+                path = recorder.dump(reason="console")
+                if path is None:
+                    self._fail("flight dump failed (artifact unwritable)")
+                else:
+                    self._say(f"flight artifact written to {path}")
+                return
+            self._say(
+                flightrec.format_flight(
+                    recorder.snapshot(reason="console")
+                ).rstrip("\n")
+            )
+        except Exception as exc:  # noqa: BLE001 — operator surface
+            self._fail(f"flight failed: {type(exc).__name__}: {exc}")
 
     def do_lint(self, arg: str) -> None:
         """lint [runtime] — concurrency-correctness check of the installed

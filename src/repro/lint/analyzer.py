@@ -40,7 +40,11 @@ __all__ = ["lint_source", "lint_file", "lint_paths", "iter_python_files"]
 _THREAD_NURSERIES = frozenset({"supervision.py"})
 
 #: Hot-path modules where per-packet recording in a loop is a finding.
-_HOT_PATH_MODULES = frozenset({"engine.py", "scheduler.py", "tcpserver.py"})
+#: ``worker.py`` is the shard worker's ingest loop — per-packet
+#: recording there would multiply by the cluster size.
+_HOT_PATH_MODULES = frozenset(
+    {"engine.py", "scheduler.py", "tcpserver.py", "worker.py"}
+)
 
 #: Delay/scheduling modules where ``time.time()`` is a finding.
 _MONOTONIC_MODULES = frozenset(

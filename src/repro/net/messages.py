@@ -101,6 +101,8 @@ __all__ = [
     "make_flushed",
     "make_collect",
     "make_worker_report",
+    "make_telemetry_pull",
+    "make_telemetry_report",
     "make_shutdown",
     "make_worker_error",
     "BINARY_MAGIC",
@@ -180,9 +182,16 @@ def make_flushed(
     queue_depth: int,
     busy_fraction: float,
     shard_ingested: int,
+    telemetry: Optional[dict[str, Any]] = None,
 ) -> dict[str, Any]:
-    """Barrier ack carrying the worker's health/telemetry sample."""
-    return {
+    """Barrier ack carrying the worker's health/telemetry sample.
+
+    ``telemetry`` is the worker registry's
+    :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` (None when the
+    worker runs without telemetry); the parent folds it in through
+    :class:`~repro.obs.metrics.SnapshotMerger`.
+    """
+    msg = {
         "op": "flushed",
         "id": int(flush_id),
         "worker": int(worker),
@@ -191,6 +200,9 @@ def make_flushed(
         "busy_fraction": float(busy_fraction),
         "shard_ingested": int(shard_ingested),
     }
+    if telemetry is not None:
+        msg["telemetry"] = telemetry
+    return msg
 
 
 def make_collect() -> dict[str, Any]:
@@ -203,14 +215,65 @@ def make_worker_report(
     *,
     records: list[list[Any]],
     counters: dict[str, int],
+    spans: Optional[list[list[Any]]] = None,
+    telemetry: Optional[dict[str, Any]] = None,
+    queue_depth: int = 0,
+    busy_fraction: float = 0.0,
+    shard_ingested: int = 0,
 ) -> dict[str, Any]:
-    """The worker's drained packet log (row-encoded) + final counters."""
-    return {
+    """The worker's drained packet log (row-encoded) + final counters.
+
+    Also carries the worker's drained trace spans
+    (:func:`repro.cluster.ipc.span_to_row` rows), its registry snapshot,
+    and a fresh health sample — collect doubles as a telemetry pull so
+    shard gauges stay current without waiting for the next barrier.
+    """
+    msg = {
         "op": "worker_report",
         "worker": int(worker),
         "records": records,
         "counters": counters,
+        "queue_depth": int(queue_depth),
+        "busy_fraction": float(busy_fraction),
+        "shard_ingested": int(shard_ingested),
     }
+    if spans is not None:
+        msg["spans"] = spans
+    if telemetry is not None:
+        msg["telemetry"] = telemetry
+    return msg
+
+
+def make_telemetry_pull() -> dict[str, Any]:
+    """Ask a worker for a fresh telemetry/health sample (no barrier)."""
+    return {"op": "telemetry_pull"}
+
+
+def make_telemetry_report(
+    worker: int,
+    *,
+    queue_depth: int,
+    busy_fraction: float,
+    shard_ingested: int,
+    counters: dict[str, int],
+    telemetry: Optional[dict[str, Any]] = None,
+    spans: Optional[list[list[Any]]] = None,
+) -> dict[str, Any]:
+    """The worker's answer to a ``telemetry_pull``: same sample shape as
+    a ``flushed`` ack, without running the clock anywhere."""
+    msg = {
+        "op": "telemetry_report",
+        "worker": int(worker),
+        "queue_depth": int(queue_depth),
+        "busy_fraction": float(busy_fraction),
+        "shard_ingested": int(shard_ingested),
+        "counters": counters,
+    }
+    if telemetry is not None:
+        msg["telemetry"] = telemetry
+    if spans is not None:
+        msg["spans"] = spans
+    return msg
 
 
 def make_shutdown() -> dict[str, Any]:
@@ -218,9 +281,18 @@ def make_shutdown() -> dict[str, Any]:
     return {"op": "shutdown"}
 
 
-def make_worker_error(worker: int, error: str) -> dict[str, Any]:
-    """A worker-side pipeline failure, surfaced to the parent."""
-    return {"op": "worker_error", "worker": int(worker), "error": str(error)}
+def make_worker_error(
+    worker: int, error: str, flight: Optional[str] = None
+) -> dict[str, Any]:
+    """A worker-side pipeline failure, surfaced to the parent.
+
+    ``flight`` is the path of the flight-recorder artifact the dying
+    worker managed to dump (None when the dump itself failed).
+    """
+    msg = {"op": "worker_error", "worker": int(worker), "error": str(error)}
+    if flight is not None:
+        msg["flight"] = str(flight)
+    return msg
 
 
 def packet_to_wire(packet: Packet) -> dict[str, Any]:

@@ -1,0 +1,259 @@
+"""Crash flight recorder: the last seconds of a process, always on.
+
+Live telemetry (metrics, traces, `/health`) answers "how is it going?";
+the flight recorder answers "what just happened?" after the process is
+gone.  Each process keeps three bounded rings — recent structured
+events, the last completed pipeline spans, and overload-state
+transitions — and dumps them to a small JSON artifact when something
+dies: a worker's pipeline raises, the parent sees a worker vanish
+(`ClusterError`), or SIGTERM arrives.  The artifact is rendered by
+``poem analyze --flight`` and referenced by the forensics catalog's
+``last-crash`` anomaly.
+
+Everything is best-effort by design: a full disk or a half-dead
+interpreter must never turn the dump into a second crash, so every I/O
+path swallows `OSError` and reports failure through its return value.
+
+The module keeps one process-default recorder
+(:func:`set_default`/:func:`get_default`); the structured-log plane
+(:func:`repro.obs.logging.log_event`) mirrors every event into it —
+including events below the logger's threshold — so the ring holds the
+INFO-level breadcrumbs the stderr log suppressed.
+
+Artifact format (``schema`` 1)::
+
+    {
+      "schema": 1, "role": "worker-2", "pid": 4711,
+      "dumped_at": 1754556000.0, "reason": "ClusterWorkerError(...)",
+      "events":      [{"t": ..., "event": "flush", ...}, ...],
+      "spans":       [TraceSpan.as_dict(), ...],
+      "transitions": [{"t": ..., "event": "overload-state", ...}, ...]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import tempfile
+import threading
+import time
+from collections import deque
+from pathlib import Path
+from typing import Any, Optional, Union
+
+__all__ = [
+    "FlightRecorder",
+    "FLIGHT_SCHEMA",
+    "set_default",
+    "get_default",
+    "load_flight",
+    "format_flight",
+]
+
+FLIGHT_SCHEMA = 1
+
+#: Environment override for where artifacts land (workers inherit it).
+FLIGHT_DIR_ENV = "POEM_FLIGHT_DIR"
+
+
+class FlightRecorder:
+    """Bounded rings of recent events/spans/transitions + a JSON dump."""
+
+    def __init__(
+        self,
+        *,
+        role: str = "parent",
+        capacity: int = 256,
+        span_capacity: int = 64,
+        transition_capacity: int = 64,
+        flight_dir: Optional[Union[str, Path]] = None,
+    ) -> None:
+        self.role = str(role)
+        self.flight_dir = Path(
+            flight_dir
+            or os.environ.get(FLIGHT_DIR_ENV)
+            or tempfile.gettempdir()
+        )
+        self._events: deque[dict] = deque(maxlen=max(int(capacity), 1))
+        self._spans: deque[dict] = deque(maxlen=max(int(span_capacity), 1))
+        self._transitions: deque[dict] = deque(
+            maxlen=max(int(transition_capacity), 1)
+        )
+        self._lock = threading.Lock()
+        self.dumped_path: Optional[str] = None
+        self._prev_sigterm: Any = None
+
+    # -- feeding the rings -----------------------------------------------------
+
+    def note(self, event: str, /, **fields: Any) -> None:
+        """Append one structured event (cheap: a dict + a deque append)."""
+        entry: dict = {"t": time.time()}
+        entry.update(fields)
+        entry["event"] = str(event)
+        with self._lock:
+            self._events.append(entry)
+            # Overload state changes get their own ring so a long event
+            # tail cannot push the degradation history out of the dump.
+            if "overload" in entry["event"]:
+                self._transitions.append(entry)
+
+    def note_span(self, span: Any) -> None:
+        """Keep one completed pipeline span (TraceSpan or its dict)."""
+        row = span.as_dict() if hasattr(span, "as_dict") else dict(span)
+        with self._lock:
+            self._spans.append(row)
+
+    # -- dumping ---------------------------------------------------------------
+
+    def snapshot(self, reason: str = "") -> dict:
+        """The artifact as a dict (what :meth:`dump` serializes)."""
+        with self._lock:
+            return {
+                "schema": FLIGHT_SCHEMA,
+                "role": self.role,
+                "pid": os.getpid(),
+                "dumped_at": time.time(),
+                "reason": str(reason),
+                "events": list(self._events),
+                "spans": list(self._spans),
+                "transitions": list(self._transitions),
+            }
+
+    def artifact_path(self) -> Path:
+        return self.flight_dir / f"poem-flight-{self.role}.json"
+
+    def dump(
+        self,
+        path: Optional[Union[str, Path]] = None,
+        *,
+        reason: str = "",
+    ) -> Optional[str]:
+        """Write the artifact; returns its path, or None when even that
+        failed (a dying process must never crash on the dump)."""
+        target = Path(path) if path is not None else self.artifact_path()
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(
+                json.dumps(self.snapshot(reason), default=str, indent=1)
+            )
+        except (OSError, ValueError):
+            return None
+        self.dumped_path = str(target)
+        return self.dumped_path
+
+    # -- signal hook -----------------------------------------------------------
+
+    def install_sigterm(self) -> bool:
+        """Dump on SIGTERM, then chain to the previous handler.
+
+        Returns False off the main thread (signal API restriction) or
+        when the runtime refuses the handler — callers treat the hook as
+        optional.
+        """
+        try:
+            prev = signal.signal(signal.SIGTERM, self._on_sigterm)
+        except (ValueError, OSError):  # not the main thread / no signals
+            return False
+        self._prev_sigterm = prev
+        return True
+
+    def _on_sigterm(self, signum: int, frame: Any) -> None:
+        self.note("sigterm", signum=int(signum))
+        self.dump(reason="SIGTERM")
+        prev = self._prev_sigterm
+        if callable(prev):
+            prev(signum, frame)
+        elif prev == signal.SIG_DFL:
+            # Re-raise with the default disposition so the exit status
+            # still says "killed by SIGTERM".
+            signal.signal(signal.SIGTERM, signal.SIG_DFL)
+            os.kill(os.getpid(), signal.SIGTERM)
+
+
+# -- the process default -------------------------------------------------------
+
+_default: Optional[FlightRecorder] = None
+_default_lock = threading.Lock()
+
+
+def set_default(recorder: Optional[FlightRecorder]) -> None:
+    """Install (or clear, with None) the process-default recorder that
+    the structured-log plane mirrors into."""
+    global _default
+    with _default_lock:
+        _default = recorder
+
+
+def get_default() -> Optional[FlightRecorder]:
+    return _default
+
+
+# -- reading artifacts back ----------------------------------------------------
+
+def load_flight(path: Union[str, Path]) -> dict:
+    """Load + sanity-check one artifact (``poem analyze --flight``)."""
+    raw = json.loads(Path(path).read_text())
+    if not isinstance(raw, dict) or "events" not in raw:
+        raise ValueError(f"{path}: not a flight-recorder artifact")
+    return raw
+
+
+def format_flight(artifact: dict, *, events: int = 20) -> str:
+    """Render one artifact as the analyzer's text block."""
+    when = artifact.get("dumped_at")
+    when_s = (
+        time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(float(when)))
+        if when is not None
+        else "?"
+    )
+    lines = [
+        f"Flight recorder — {artifact.get('role', '?')} "
+        f"(pid {artifact.get('pid', '?')})",
+        f"  dumped at : {when_s}",
+        f"  reason    : {artifact.get('reason') or '(none)'}",
+    ]
+    transitions = artifact.get("transitions") or []
+    if transitions:
+        lines.append("  overload transitions:")
+        for tr in transitions[-8:]:
+            extra = " ".join(
+                f"{k}={v}" for k, v in sorted(tr.items())
+                if k not in ("t", "event")
+            )
+            lines.append(
+                f"    t={_rel(tr, when)} {tr.get('event')}  {extra}".rstrip()
+            )
+    evs = artifact.get("events") or []
+    lines.append(f"  last {min(events, len(evs))} of {len(evs)} events:")
+    for ev in evs[-events:]:
+        extra = " ".join(
+            f"{k}={v}" for k, v in sorted(ev.items())
+            if k not in ("t", "event")
+        )
+        lines.append(
+            f"    t={_rel(ev, when)} {ev.get('event')}  {extra}".rstrip()
+        )
+    spans = artifact.get("spans") or []
+    if spans:
+        lines.append(f"  last {len(spans)} spans:")
+        for sp in spans[-8:]:
+            stages = " ".join(
+                f"{name}={dur * 1e6:.1f}us"
+                for name, dur in sp.get("stages", [])
+            )
+            lines.append(
+                f"    trace #{sp.get('trace_id')} src={sp.get('source')} "
+                f"seq={sp.get('seqno')} outcome={sp.get('outcome')}  "
+                f"{stages}".rstrip()
+            )
+    return "\n".join(lines)
+
+
+def _rel(entry: dict, dumped_at: Any) -> str:
+    """Event time as seconds-before-dump (what crash reading wants)."""
+    t = entry.get("t")
+    if t is None or dumped_at is None:
+        return "?"
+    return f"-{max(float(dumped_at) - float(t), 0.0):.3f}s"

@@ -1,5 +1,5 @@
 """Localhost HTTP exposition: ``/metrics``, ``/health``, ``/trace``,
-``/report``.
+``/report``, ``/flight``.
 
 A tiny stdlib :mod:`http.server` wrapper that a deployment can hang off
 its telemetry bundle:
@@ -15,6 +15,9 @@ its telemetry bundle:
   recorder-so-far (:func:`repro.analysis.analyze`) as a self-contained
   HTML page; ``?format=json`` or ``?format=text`` for the other
   renderers.  404 when the deployment exposes no recorder.
+* ``GET /flight`` — the process's crash flight recorder (last events,
+  spans, overload transitions) as the same JSON artifact it would dump
+  on death — a *pre-mortem* peek at what a post-mortem would show.
 
 Bound to localhost by default — this is an *operator* surface, not a
 public one; anything wider belongs behind a real reverse proxy.  The
@@ -97,6 +100,18 @@ class _Handler(BaseHTTPRequestHandler):
                 else:
                     body = render_html(report).encode()
                     ctype = "text/html; charset=utf-8"
+            elif parsed.path == "/flight":
+                from .flightrec import get_default
+
+                flight = get_default()
+                if flight is None:
+                    self._send(404, b'{"error": "no flight recorder"}',
+                               "application/json")
+                    return
+                body = json.dumps(
+                    flight.snapshot(reason="http"), default=str
+                ).encode()
+                ctype = "application/json"
             else:
                 self._send(404, b"not found\n", "text/plain")
                 return

@@ -34,6 +34,8 @@ import logging
 import threading
 from typing import Optional, TextIO
 
+from . import flightrec
+
 __all__ = [
     "JsonFormatter",
     "get_logger",
@@ -105,8 +107,18 @@ def log_event(
 
     ``event`` is the stable machine tag; ``fields`` are the payload.
     The level check happens first, so disabled events cost one
-    comparison.
+    comparison.  Every event — including ones below the logger's
+    threshold — is also mirrored into the process flight recorder when
+    one is installed, so a crash dump keeps the INFO-level breadcrumbs
+    the stderr log suppressed.
     """
+    recorder = flightrec.get_default()
+    if recorder is not None:
+        try:
+            recorder.note(event, **{"logger": logger.name, **fields})
+        # Telemetry boundary: the crash ring must never break logging.
+        except Exception:  # poem: ignore[POEM005]
+            pass
     if logger.isEnabledFor(level):
         logger.log(level, event, extra={"event": event, "fields": fields})
 

@@ -40,6 +40,7 @@ __all__ = [
     "Histogram",
     "MetricFamily",
     "MetricsRegistry",
+    "SnapshotMerger",
     "default_latency_buckets",
 ]
 
@@ -186,7 +187,7 @@ class Histogram:
 
     __slots__ = (
         "name", "help", "label_values", "bounds", "_nb",
-        "_shards", "_local", "_lock",
+        "_shards", "_local", "_lock", "_merge_shard",
     )
 
     def __init__(
@@ -209,6 +210,7 @@ class Histogram:
         self._shards: list[list] = []
         self._local = threading.local()
         self._lock = threading.Lock()
+        self._merge_shard: Optional[list] = None
 
     def observe(self, v: float) -> None:
         """Record one observation. Lock-free (thread-private shard)."""
@@ -222,6 +224,33 @@ class Histogram:
         shard[0][bisect_left(self.bounds, v)] += 1
         shard[1] += v
         shard[2] += 1
+
+    def merge_folded(self, counts: Sequence[int], total: float) -> None:
+        """Bucket-wise add an already-folded ``(counts, sum)`` delta.
+
+        The cluster merge path: worker registries ship folded snapshots,
+        the parent injects the per-pull delta here.  All merges share one
+        dedicated shard (folded on read like any other), so repeated
+        pulls accumulate instead of growing the shard list.
+        """
+        if len(counts) != self._nb:
+            raise ValueError(
+                f"{self.name}: merge has {len(counts)} buckets, "
+                f"expected {self._nb}"
+            )
+        with self._lock:
+            acc = self._merge_shard
+            if acc is None:
+                acc = [[0] * self._nb, 0.0, 0]
+                self._merge_shard = acc
+                self._shards.append(acc)
+            ac = acc[0]
+            n = 0
+            for i, c in enumerate(counts):
+                ac[i] += c
+                n += c
+            acc[1] += total
+            acc[2] += n
 
     # -- folded reads ----------------------------------------------------------
 
@@ -513,7 +542,12 @@ class MetricsRegistry:
         return "\n".join(lines) + "\n"
 
     def snapshot(self) -> dict:
-        """JSON-friendly snapshot of every metric (for export/console)."""
+        """JSON-friendly snapshot of every metric (for export/console).
+
+        Doubles as the cluster's wire codec: a worker ships
+        ``snapshot()`` over the pipe and the parent folds it in through
+        :class:`SnapshotMerger`.
+        """
         out: dict = {"time": time.time(), "metrics": {}}
         for name, help_, kind, children in self._flat():
             entries = []
@@ -541,3 +575,132 @@ class MetricsRegistry:
                 "samples": entries,
             }
         return out
+
+
+class SnapshotMerger:
+    """Fold :meth:`MetricsRegistry.snapshot` dicts from other processes
+    into a parent registry (the cluster's worker-telemetry export).
+
+    Merge semantics, per metric kind:
+
+    * **counters** sum across sources: the merger remembers the last
+      value seen per ``(source, name, labels)`` and injects only the
+      positive delta, so folding the same worker repeatedly (every
+      barrier *and* every periodic pull) never double-counts.  A value
+      that went backwards means the source restarted — the full value is
+      re-injected.
+    * **histograms** bucket-wise add (same delta discipline) through
+      :meth:`Histogram.merge_folded`; bucket layouts must match or the
+      sample is skipped.
+    * **gauges** are *not* summed (a mean busy-fraction of two shards is
+      meaningless): each lands as its own child labelled
+      ``shard=<source>`` on top of any labels it already carried.
+
+    Registration conflicts (a worker name colliding with a parent metric
+    of a different kind/labels) are skipped, not raised: merging is a
+    telemetry-plane activity and must never take down the pipeline.
+    Thread-safe: one lock around the whole fold keeps delta bookkeeping
+    consistent under a concurrent periodic pull + flush barrier.
+    """
+
+    def __init__(
+        self, registry: MetricsRegistry, *, source_label: str = "shard"
+    ) -> None:
+        self.registry = registry
+        self.source_label = source_label
+        self._last: dict[tuple, object] = {}
+        self._lock = threading.Lock()
+        self.folded_samples = 0
+        self.skipped_samples = 0
+
+    def fold(self, source: object, snap: dict) -> int:
+        """Merge one source's snapshot; returns samples folded in."""
+        folded = 0
+        with self._lock:
+            for name, family in (snap.get("metrics") or {}).items():
+                kind = family.get("kind")
+                help_ = family.get("help", "")
+                for sample in family.get("samples", []):
+                    try:
+                        if self._fold_sample(
+                            str(source), name, kind, help_, sample
+                        ):
+                            folded += 1
+                    except (ValueError, KeyError, TypeError):
+                        # Kind/label/bucket mismatch with what the parent
+                        # already registered: skip, don't break telemetry.
+                        self.skipped_samples += 1
+        self.folded_samples += folded
+        return folded
+
+    def _fold_sample(
+        self, source: str, name: str, kind: str, help_: str, sample: dict
+    ) -> bool:
+        labels = dict(sample.get("labels") or {})
+        if kind == "counter":
+            value = float(sample["value"])
+            child = self._child(name, help_, "counter", labels)
+            key = (source, name, tuple(sorted(labels.items())))
+            last = float(self._last.get(key, 0.0))  # type: ignore[arg-type]
+            delta = value - last
+            if delta < 0:  # source restarted: its counter began again at 0
+                delta = value
+            self._last[key] = value
+            if delta > 0:
+                child.inc(delta)
+            return True
+        if kind == "gauge":
+            value = float(sample["value"])
+            merged_labels = dict(labels)
+            merged_labels[self.source_label] = source
+            child = self._child(name, help_, "gauge", merged_labels)
+            child.set(value)
+            return True
+        if kind == "histogram":
+            counts = [int(c) for c in sample["counts"]]
+            total = float(sample["sum"])
+            bounds = tuple(float(b) for b in sample["buckets"])
+            child = self._child(
+                name, help_, "histogram", labels, buckets=bounds
+            )
+            if child.bounds != bounds:
+                self.skipped_samples += 1
+                return False
+            key = (source, name, tuple(sorted(labels.items())))
+            last = self._last.get(key)
+            if last is not None and all(
+                c >= lc for c, lc in zip(counts, last[0])
+            ):
+                d_counts = [c - lc for c, lc in zip(counts, last[0])]
+                d_total = total - last[1]
+            else:  # first sight, or the source restarted
+                d_counts, d_total = counts, total
+            self._last[key] = (counts, total)
+            if any(d_counts):
+                child.merge_folded(d_counts, d_total)
+            return True
+        self.skipped_samples += 1
+        return False
+
+    def _child(
+        self,
+        name: str,
+        help_: str,
+        kind: str,
+        labels: dict,
+        buckets: Optional[Sequence[float]] = None,
+    ):
+        """Get-or-create the parent-side target metric/child."""
+        label_names = tuple(labels) or None
+        reg = self.registry
+        if kind == "counter":
+            target = reg.counter(name, help_, labels=label_names)
+        elif kind == "gauge":
+            target = reg.gauge(name, help_, labels=label_names)
+        else:
+            target = reg.histogram(
+                name, help_, labels=label_names, buckets=buckets
+            )
+        if isinstance(target, MetricFamily):
+            return target.labels(*labels.values())
+        return target

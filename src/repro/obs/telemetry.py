@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from .metrics import MetricsRegistry
+from .metrics import MetricsRegistry, SnapshotMerger
 from .tracing import PipelineTracer
 
 __all__ = ["Telemetry"]
@@ -43,6 +43,11 @@ class Telemetry:
         self.enabled = enabled
         self.registry = (
             registry if registry is not None else MetricsRegistry(namespace)
+        )
+        # Eager, not lazy: a racing periodic pull + flush barrier must
+        # share one merger or its delta bookkeeping double-counts.
+        self._merger: Optional[SnapshotMerger] = (
+            SnapshotMerger(self.registry) if enabled else None
         )
         self.tracer: Optional[PipelineTracer] = (
             PipelineTracer(
@@ -79,3 +84,13 @@ class Telemetry:
     def recent_spans(self, n: Optional[int] = None):
         """Recent completed pipeline spans (empty when disabled)."""
         return self.tracer.recent(n) if self.tracer is not None else []
+
+    def fold_snapshot(self, source: object, snap: Optional[dict]) -> int:
+        """Merge another process's registry snapshot into this bundle
+        (the cluster parent's worker-telemetry import; see
+        :class:`~repro.obs.metrics.SnapshotMerger` for the semantics).
+        No-op when disabled or ``snap`` is None; returns samples folded.
+        """
+        if self._merger is None or not snap:
+            return 0
+        return self._merger.fold(source, snap)

@@ -39,7 +39,7 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 __all__ = ["TraceSpan", "Trace", "PipelineTracer", "PIPELINE_STAGES",
-           "format_span"]
+           "IPC_STAGES", "format_span", "span_from_dict"]
 
 PIPELINE_STAGES = (
     "receive",
@@ -51,6 +51,16 @@ PIPELINE_STAGES = (
     "record",
 )
 """Canonical stage names, in pipeline order (§3.2 Steps 1–7)."""
+
+IPC_STAGES = (
+    "ipc_encode",
+    "ipc_queue",
+    "ipc_decode",
+)
+"""Cross-process stages prepended by the sharded cluster: wire-encode in
+the parent, pipe dwell (worker receive stamp − batch send stamp), and
+wire-decode in the worker.  A cluster-traced packet's span reads
+``ipc_encode → ipc_queue → ipc_decode → receive → … → record``."""
 
 
 @dataclass(frozen=True, slots=True)
@@ -189,15 +199,21 @@ class PipelineTracer:
         the drop outcome."""
         if scheduled:
             trace.t_forward = scheduled[0].t_forward
-            with self._lock:
-                while len(self._inflight) >= self.max_inflight:
-                    _, stale = self._inflight.popitem()
-                    self.evicted += 1
-                    self._finalize_locked(stale, "trace-evicted")
-                self._inflight[trace.key] = trace
+            self.park(trace)
         else:
             outcome = drops[-1][1] if drops else "no-neighbors"
             self.finalize(trace, outcome)
+
+    def park(self, trace: Trace) -> None:
+        """Hold a sampled trace in the inflight table until a later
+        pipeline layer finalizes it — the flush stages in-process, or
+        the worker-span merge when the cluster parent owns the trace."""
+        with self._lock:
+            while len(self._inflight) >= self.max_inflight:
+                _, stale = self._inflight.popitem()
+                self.evicted += 1
+                self._finalize_locked(stale, "trace-evicted")
+            self._inflight[trace.key] = trace
 
     # -- flush-side lookup ------------------------------------------------------
 
@@ -231,6 +247,17 @@ class PipelineTracer:
             t_forward=trace.t_forward,
             lag=trace.lag,
         )
+        self._emit_locked(span)
+
+    def complete_span(self, span: TraceSpan) -> None:
+        """Adopt an externally assembled span (the cluster parent merges
+        parent-side IPC stages with a worker's shipped-back span and
+        feeds the result here so ring/histogram/sink see one contiguous
+        cross-process trace)."""
+        with self._lock:
+            self._emit_locked(span)
+
+    def _emit_locked(self, span: TraceSpan) -> None:
         self._recent.append(span)
         self.completed += 1
         hist = self.stage_hist
@@ -262,6 +289,27 @@ class PipelineTracer:
         with self._lock:
             self._recent.clear()
             self._inflight.clear()
+
+
+def span_from_dict(d: dict) -> TraceSpan:
+    """Inverse of :meth:`TraceSpan.as_dict` (worker→parent ship-back)."""
+    return TraceSpan(
+        trace_id=int(d["trace_id"]),
+        source=int(d["source"]),
+        seqno=int(d["seqno"]),
+        channel=int(d["channel"]),
+        sender=int(d["sender"]),
+        receiver=None if d.get("receiver") is None else int(d["receiver"]),
+        t_start=float(d["t_start"]),
+        outcome=str(d["outcome"]),
+        stages=tuple(
+            (str(name), float(dur)) for name, dur in d.get("stages", [])
+        ),
+        t_forward=(
+            None if d.get("t_forward") is None else float(d["t_forward"])
+        ),
+        lag=None if d.get("lag") is None else float(d["lag"]),
+    )
 
 
 def format_span(span: TraceSpan) -> str:

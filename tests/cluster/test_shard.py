@@ -130,16 +130,34 @@ class TestSceneSnapshotCodec:
 
 class TestPacketBatchFraming:
     def test_round_trip(self):
-        frames = [b"\xb1" + bytes([i]) * i for i in range(5)]
-        data = encode_packet_batch(frames)
+        entries = [
+            (b"\xb1" + bytes([i]) * i, i * 7) for i in range(5)
+        ]
+        data = encode_packet_batch(entries, 123.25)
         assert is_packet_batch(data)
-        assert decode_packet_batch(data) == frames
+        decoded, t_sent = decode_packet_batch(data)
+        assert decoded == entries
+        assert t_sent == 123.25
+
+    def test_untraced_frames_carry_zero_id(self):
+        data = encode_packet_batch([(b"\xb1abc", 0)], 1.0)
+        decoded, _ = decode_packet_batch(data)
+        assert decoded == [(b"\xb1abc", 0)]
+
+    def test_large_trace_ids_survive(self):
+        big = 2**40 + 17  # trace ids are u64 on the wire
+        decoded, _ = decode_packet_batch(
+            encode_packet_batch([(b"\xb1x", big)], 0.0)
+        )
+        assert decoded == [(b"\xb1x", big)]
 
     def test_empty_batch(self):
-        assert decode_packet_batch(encode_packet_batch([])) == []
+        decoded, t_sent = decode_packet_batch(encode_packet_batch([], 2.5))
+        assert decoded == []
+        assert t_sent == 2.5
 
     def test_truncation_raises(self):
-        data = encode_packet_batch([b"hello", b"world"])
+        data = encode_packet_batch([(b"hello", 1), (b"world", 0)], 9.0)
         with pytest.raises(ClusterError):
             decode_packet_batch(data[:-3])
         with pytest.raises(ClusterError):

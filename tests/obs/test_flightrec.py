@@ -1,0 +1,157 @@
+"""Flight recorder unit tests: bounded rings, dump/load round trip,
+the rendered artifact, and the structured-log mirror."""
+
+import json
+import signal
+import threading
+
+import pytest
+
+from repro.obs import flightrec
+from repro.obs.flightrec import (
+    FLIGHT_SCHEMA,
+    FlightRecorder,
+    format_flight,
+    load_flight,
+)
+from repro.obs.logging import get_logger, log_event
+from repro.obs.tracing import PipelineTracer
+
+
+class TestRings:
+    def test_event_ring_is_bounded(self):
+        rec = FlightRecorder(role="t", capacity=8)
+        for i in range(40):
+            rec.note("tick", i=i)
+        snap = rec.snapshot()
+        assert len(snap["events"]) == 8
+        assert [e["i"] for e in snap["events"]] == list(range(32, 40))
+
+    def test_overload_events_survive_event_churn(self):
+        """A long tail of ordinary events must not push the overload
+        history out of the dump — transitions get their own ring."""
+        rec = FlightRecorder(role="t", capacity=4)
+        rec.note("overload-state", to="degraded")
+        for i in range(100):
+            rec.note("tick", i=i)
+        snap = rec.snapshot()
+        assert all(e["event"] == "tick" for e in snap["events"])
+        assert len(snap["transitions"]) == 1
+        assert snap["transitions"][0]["to"] == "degraded"
+
+    def test_note_span_accepts_spans_and_dicts(self):
+        rec = FlightRecorder(role="t", span_capacity=2)
+        tracer = PipelineTracer(sample_every=1)
+        tr = tracer.maybe_start()
+        tr.stage("send", 0.001)
+        tr.bind(1, type("P", (), {"source": 1, "seqno": 5, "channel": 1,
+                                  "sender": 1, "receiver": 2})())
+        tracer.finalize(tr, outcome="delivered")
+        rec.note_span(tracer.recent(1)[0])
+        rec.note_span({"source": 9, "seqno": 1, "outcome": "x",
+                       "stages": []})
+        spans = rec.snapshot()["spans"]
+        assert len(spans) == 2
+        assert spans[0]["seqno"] == 5
+
+
+class TestDump:
+    def test_dump_load_round_trip(self, tmp_path):
+        rec = FlightRecorder(role="worker-3", flight_dir=tmp_path)
+        rec.note("worker-start", shard=3)
+        path = rec.dump(reason="RuntimeError('boom')")
+        assert path == str(tmp_path / "poem-flight-worker-3.json")
+        assert rec.dumped_path == path
+        artifact = load_flight(path)
+        assert artifact["schema"] == FLIGHT_SCHEMA
+        assert artifact["role"] == "worker-3"
+        assert artifact["reason"] == "RuntimeError('boom')"
+        assert artifact["events"][-1]["event"] == "worker-start"
+
+    def test_dump_to_unwritable_dir_returns_none(self, tmp_path):
+        # A *file* in the directory position: mkdir/write must fail, and
+        # the dump has to swallow it (a dying process never re-crashes).
+        blocker = tmp_path / "blocker"
+        blocker.write_text("")
+        rec = FlightRecorder(role="t", flight_dir=blocker / "nested")
+        assert rec.dump(reason="x") is None
+        assert rec.dumped_path is None
+
+    def test_load_rejects_non_artifacts(self, tmp_path):
+        p = tmp_path / "junk.json"
+        p.write_text(json.dumps({"schema": 1}))
+        with pytest.raises(ValueError):
+            load_flight(p)
+
+    def test_env_var_steers_artifact_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(flightrec.FLIGHT_DIR_ENV, str(tmp_path))
+        rec = FlightRecorder(role="envtest")
+        assert rec.dump(reason="") == str(
+            tmp_path / "poem-flight-envtest.json"
+        )
+
+
+class TestFormat:
+    def test_render_mentions_everything(self, tmp_path):
+        rec = FlightRecorder(role="parent", flight_dir=tmp_path)
+        rec.note("cluster-start", n_workers=4)
+        rec.note("overload-state", to="saturated")
+        rec.note_span({"source": 1, "seqno": 2, "outcome": "delivered",
+                       "stages": [["send", 0.0001]]})
+        text = format_flight(load_flight(rec.dump(reason="sigterm")))
+        assert "parent" in text
+        assert "sigterm" in text
+        assert "cluster-start" in text
+        assert "overload-state" in text
+        assert "delivered" in text
+
+    def test_event_tail_is_limited(self):
+        rec = FlightRecorder(role="t")
+        for i in range(50):
+            rec.note("tick", i=i)
+        text = format_flight(rec.snapshot(reason=""), events=5)
+        assert text.count("tick") == 5
+
+
+class TestDefaultRecorderAndLogMirror:
+    def test_log_event_mirrors_into_default_recorder(self):
+        prev = flightrec.get_default()
+        rec = FlightRecorder(role="t")
+        flightrec.set_default(rec)
+        try:
+            # DEBUG is below the default log level: the stderr log drops
+            # it, the flight ring still keeps the breadcrumb.
+            log_event(get_logger("test"), "quiet-event",
+                      level=10, detail=1)
+        finally:
+            flightrec.set_default(prev)
+        events = rec.snapshot()["events"]
+        assert events[-1]["event"] == "quiet-event"
+        assert events[-1]["detail"] == 1
+
+    def test_sigterm_dumps_and_chains(self, tmp_path):
+        rec = FlightRecorder(role="t", flight_dir=tmp_path)
+        seen = []
+        prev = signal.signal(signal.SIGTERM, lambda *a: seen.append(a))
+        try:
+            assert rec.install_sigterm() is True
+            rec.note("about-to-die")
+            signal.raise_signal(signal.SIGTERM)
+        finally:
+            signal.signal(signal.SIGTERM, prev)
+        artifact = load_flight(tmp_path / "poem-flight-t.json")
+        assert any(
+            e["event"] == "about-to-die" for e in artifact["events"]
+        )
+        # The previous handler still ran (chained, not clobbered).
+        assert len(seen) == 1
+
+    def test_install_sigterm_off_main_thread_is_refused(self):
+        rec = FlightRecorder(role="t")
+        results = []
+        t = threading.Thread(
+            target=lambda: results.append(rec.install_sigterm())
+        )
+        t.start()
+        t.join()
+        assert results == [False]
