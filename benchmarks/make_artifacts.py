@@ -18,11 +18,18 @@ hybrid routing, full tracing), then writes:
 * ``poem-flight-parent.json`` + ``flight.txt`` — a sample crash
   flight-recorder artifact: a tiny sharded run whose worker is killed
   mid-flight, dumped by the parent's recorder and rendered the way
-  ``poem analyze --flight`` would show it (docs/observability.md).
+  ``poem analyze --flight`` would show it (docs/observability.md),
+* ``profile.folded`` + ``profile.txt`` — the merged collapsed-stack
+  profile of a 4-worker sharded run with continuous profiling on
+  (parent + every worker; feed the ``.folded`` file to flamegraph.pl
+  or https://speedscope.app),
+* ``timeline.json`` — the same run's Chrome trace-event timeline,
+  ready for https://ui.perfetto.dev.
 
 CI uploads the directory with ``actions/upload-artifact`` so every
 build carries an inspectable record of what the benchmarked emulator
-actually did — including what a real worker crash looks like.
+actually did — including what a real worker crash looks like and
+where its microseconds went.
 """
 
 from __future__ import annotations
@@ -112,6 +119,65 @@ def build_flight_artifact(out: Path):
     return path
 
 
+def build_profile_artifacts(out: Path):
+    """A profiled 4-worker run → merged flamegraph input + timeline.
+
+    Continuous profiling is on in every process (parent + 4 workers);
+    the flush barriers ship each worker's folded stacks home, so the
+    collapsed file covers the whole cluster.  Returns the ``.folded``
+    path, or None when the run was too quick to catch a single sample
+    (possible on a heavily oversubscribed CI box — not an error).
+    """
+    from repro.cluster import ShardedEmulator
+    from repro.core.geometry import Vec2
+    from repro.models.radio import RadioConfig
+    from repro.obs.profiler import format_profile
+    from repro.obs.telemetry import Telemetry
+    from repro.obs.timeline import timeline_from_recorder, write_timeline
+
+    radios = RadioConfig.single(1, 200.0)
+    # sample_every=1: with a round-robin transmit script any stride >1
+    # hits the same nodes every round, leaving some shards span-less.
+    emu = ShardedEmulator(
+        n_workers=4,
+        seed=11,
+        telemetry=Telemetry(sample_every=1),
+        profile_hz=250.0,
+    )
+    hosts = [
+        emu.add_node(Vec2(60.0 * i, 0.0), radios, label=f"p{i}")
+        for i in range(8)
+    ]
+    emu.start()
+    try:
+        for rnd in range(30):
+            for i, host in enumerate(hosts):
+                host.transmit(
+                    hosts[(i + 1) % len(hosts)].node_id,
+                    b"x" * 32,
+                    channel=1,
+                    t=0.01 * (rnd + 1) + 0.001 * i,
+                )
+            emu.flush(0.01 * (rnd + 1) + 0.5)
+        emu.collect()
+        emu.record_run_summary()
+        collapsed = emu.profile_collapsed()
+        stacks = emu.profiler.folded() if emu.profiler else {}
+        timeline = timeline_from_recorder(
+            emu.recorder, profiler=emu.profiler
+        )
+    finally:
+        emu.stop()
+
+    write_timeline(out / "timeline.json", timeline)
+    if not collapsed.strip():
+        return None
+    path = out / "profile.folded"
+    path.write_text(collapsed)
+    (out / "profile.txt").write_text(format_profile(stacks) + "\n")
+    return path
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out-dir", default="artifacts",
@@ -134,6 +200,7 @@ def main(argv=None) -> int:
     )
     (out / "analysis.json").write_text(render_json(report))
     flight_path = build_flight_artifact(out)
+    profile_path = build_profile_artifacts(out)
 
     print(
         f"wrote {n_families} metric families to {out / 'metrics.json'};"
@@ -147,6 +214,12 @@ def main(argv=None) -> int:
               file=sys.stderr)
         return 1
     print(f"sample crash flight artifact -> {flight_path}")
+    if profile_path is None:
+        print("profiled run caught no samples (oversubscribed box?);"
+              " timeline.json still written", file=sys.stderr)
+    else:
+        print(f"cluster profile -> {profile_path} "
+              f"(+ timeline.json for Perfetto)")
     if report.total == 0 or not report.summary_consistent:
         print("artifact run looks wrong (no traffic or inconsistent"
               " summary)", file=sys.stderr)

@@ -22,7 +22,13 @@ The commands cover the operator workflows the paper's GUI served:
 ``console``
     Interactive operator console on a fresh emulator.
 ``serve``
-    Start the real-time TCP emulation server and wait for clients.
+    Start the real-time TCP emulation server and wait for clients
+    (``--profile-hz`` turns on the continuous sampling profiler).
+``profile``
+    Render a run's CPU profile: per-thread self-time summary,
+    flamegraph.pl/speedscope collapsed stacks, or the raw JSON
+    snapshot — from a recording's ``profile`` scene event or live from
+    a deployment's ``GET /profile`` endpoint (``--live URL``).
 
 Node-spec JSON (``run-scenario --nodes``)::
 
@@ -136,6 +142,10 @@ def build_parser() -> argparse.ArgumentParser:
                          dest="record_ids", metavar="ID",
                          help="resolve the lineage of this specific packet "
                               "record (repeatable; overrides --lineage)")
+    analyze.add_argument("--timeline", metavar="OUT.json",
+                         help="also export the recording as Chrome "
+                              "trace-event JSON (load in Perfetto: "
+                              "https://ui.perfetto.dev)")
     analyze.add_argument("--fail-degraded", action="store_true",
                          help="exit 3 unless the fidelity verdict is "
                               "'real-time' (CI gate on the validity "
@@ -152,6 +162,37 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--port", type=int, default=0)
     serve.add_argument("--record", help="optional SQLite recording path")
     serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--profile-hz", type=float, default=None,
+                       help="run the continuous sampling profiler at "
+                            "this rate (e.g. 97)")
+
+    profile = sub.add_parser(
+        "profile",
+        help="render a run's CPU profile (collapsed stacks, per-thread "
+             "self-time)",
+    )
+    profile.add_argument(
+        "recording", nargs="?",
+        help="SQLite recording path — reads the run's persisted "
+             "'profile' scene event",
+    )
+    profile.add_argument(
+        "--live", metavar="URL",
+        help="fetch from a running deployment's obs endpoint instead "
+             "(e.g. http://127.0.0.1:9100)",
+    )
+    profile.add_argument(
+        "--seconds", type=float, default=None,
+        help="with --live: sample a fresh N-second window first",
+    )
+    profile.add_argument(
+        "--format", choices=("summary", "collapsed", "json"),
+        default="summary",
+        help="summary = per-thread self-time table; collapsed = "
+             "flamegraph.pl / speedscope input; json = raw snapshot",
+    )
+    profile.add_argument("--out", help="write the profile to a file "
+                                       "instead of stdout")
 
     lint = sub.add_parser(
         "lint",
@@ -357,6 +398,18 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         print(f"wrote {args.format} report to {args.out}")
     else:
         print(rendered, end="" if rendered.endswith("\n") else "\n")
+    if args.timeline:
+        from .obs.timeline import timeline_from_recorder, write_timeline
+
+        recorder = SqliteRecorder(args.recording)
+        try:
+            path = write_timeline(
+                args.timeline, timeline_from_recorder(recorder)
+            )
+        finally:
+            recorder.close()
+        print(f"wrote Perfetto timeline to {path} "
+              "(load at https://ui.perfetto.dev)")
     if args.fail_degraded:
         verdict = report.fidelity.get("verdict", "real-time")
         if verdict != "real-time":
@@ -383,7 +436,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     recorder = SqliteRecorder(args.record) if args.record else None
     server = PoEmServer(
-        host=args.host, port=args.port, seed=args.seed, recorder=recorder
+        host=args.host, port=args.port, seed=args.seed, recorder=recorder,
+        profile_hz=args.profile_hz,
     )
     host, port = server.start()
     print(f"PoEm server listening on {host}:{port} (Ctrl-C to stop)")
@@ -397,6 +451,73 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if recorder is not None:
             recorder.close()
         print("server stopped")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Render a CPU profile from a recording or a live deployment."""
+    from .obs.profiler import format_profile
+
+    if bool(args.recording) == bool(args.live):
+        raise PoEmError(
+            "profile needs exactly one source: a recording path or "
+            "--live URL"
+        )
+    if args.live:
+        import urllib.request
+
+        url = args.live.rstrip("/") + "/profile?format=json"
+        if args.seconds:
+            url += f"&seconds={float(args.seconds)}"
+        try:
+            with urllib.request.urlopen(url, timeout=(
+                float(args.seconds or 0) + 10.0
+            )) as resp:
+                snapshot = json.loads(resp.read().decode())
+        except OSError as exc:
+            raise PoEmError(f"cannot fetch {url}: {exc}") from exc
+    else:
+        if args.seconds:
+            raise PoEmError("--seconds only applies to --live profiles")
+        recorder = SqliteRecorder(args.recording)
+        try:
+            snapshots = [
+                e.details for e in recorder.scene_events()
+                if e.kind == "profile"
+            ]
+        finally:
+            recorder.close()
+        if not snapshots:
+            raise PoEmError(
+                f"{args.recording}: no 'profile' scene event — was the "
+                "run profiled (profile_hz)?"
+            )
+        snapshot = snapshots[-1]  # the terminal (most complete) profile
+    stacks = {
+        str(k): int(v) for k, v in (snapshot.get("stacks") or {}).items()
+    }
+    if args.format == "json":
+        rendered = json.dumps(snapshot, indent=2, sort_keys=True) + "\n"
+    elif args.format == "collapsed":
+        rendered = "".join(
+            f"{key} {count}\n"
+            for key, count in sorted(
+                stacks.items(), key=lambda kv: (-kv[1], kv[0])
+            )
+        )
+    else:
+        header = (
+            f"role={snapshot.get('role', '?')} "
+            f"hz={snapshot.get('hz', '?')} "
+            f"samples={snapshot.get('samples', '?')} "
+            f"paused={snapshot.get('paused', 0)}\n"
+        )
+        rendered = header + format_profile(stacks) + "\n"
+    if args.out:
+        Path(args.out).write_text(rendered)
+        print(f"wrote {args.format} profile to {args.out}")
+    else:
+        print(rendered, end="")
     return 0
 
 
@@ -436,6 +557,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "analyze": _cmd_analyze,
         "console": _cmd_console,
         "serve": _cmd_serve,
+        "profile": _cmd_profile,
         "lint": _cmd_lint,
     }
     try:

@@ -58,7 +58,9 @@ from ..net.messages import (
     make_telemetry_pull,
 )
 from ..obs import flightrec
+from ..obs import profiler as profiler_mod
 from ..obs.flightrec import FlightRecorder
+from ..obs.profiler import SamplingProfiler
 from ..obs.telemetry import Telemetry
 from ..obs.tracing import TraceSpan
 from . import ipc
@@ -142,6 +144,7 @@ class ShardedEmulator:
         batch_frames: int = 32,
         start_method: Optional[str] = None,
         flight_dir: Optional[str] = None,
+        profile_hz: Optional[float] = None,
     ) -> None:
         if n_workers < 1:
             raise ClusterError(f"need at least one worker, got {n_workers}")
@@ -194,6 +197,17 @@ class ShardedEmulator:
         self.flight_dir = flight_dir
         if flightrec.get_default() is None:
             flightrec.set_default(self.flight)
+        # Continuous profiling: the parent runs its own sampler and
+        # folds every worker's folded-stack snapshot into it, so
+        # profile_collapsed() is one flamegraph of the whole cluster.
+        self.profile_hz = float(profile_hz) if profile_hz else None
+        self.profiler: Optional[SamplingProfiler] = None
+        if self.profile_hz:
+            self.profiler = SamplingProfiler(
+                hz=self.profile_hz, role="parent"
+            )
+            if profiler_mod.get_default() is None:
+                profiler_mod.set_default(self.profiler)
         #: Flight artifacts dumped on worker failure: worker → path.
         self.crash_artifacts: dict[int, str] = {}
         # Aggregate pipeline counters, refreshed on every barrier ack.
@@ -330,6 +344,7 @@ class ShardedEmulator:
                 telemetry_enabled=self.telemetry.enabled,
                 sample_every=sample_every,
                 flight_dir=self.flight_dir,
+                profile_hz=self.profile_hz,
             )
             proc = self._ctx.Process(
                 target=worker_main,
@@ -342,6 +357,8 @@ class ShardedEmulator:
             self._procs.append(proc)
             self._conns.append(parent_conn)
         self.flight.note("cluster-start", n_workers=self.n_workers)
+        if self.profiler is not None:
+            self.profiler.start()
         self._sync_scene()
         if self.telemetry_interval and self.telemetry.enabled:
             self._pull_stop.clear()
@@ -361,6 +378,10 @@ class ShardedEmulator:
             self._pull_stop.set()
             self._puller.stop(timeout=2.0)
             self._puller = None
+        if self.profiler is not None:
+            self.profiler.stop()
+            if profiler_mod.get_default() is self.profiler:
+                profiler_mod.set_default(None)
         self.flight.note("cluster-stop")
         bye = encode_message(make_shutdown())
         for conn in self._conns:
@@ -638,6 +659,8 @@ class ShardedEmulator:
                 self._m_shard_ingested.labels(label).inc(delta)
         self._last_shard_ingested[worker] = stats["shard_ingested"]
         self.telemetry.fold_snapshot(worker, msg.get("telemetry"))
+        if self.profiler is not None:
+            self.profiler.fold_remote(worker, msg.get("profile"))
         spans = msg.get("spans")
         if spans:
             self._merge_spans(spans)
@@ -836,10 +859,30 @@ class ShardedEmulator:
         )
         return merged
 
+    def profile_collapsed(self) -> str:
+        """The merged cluster profile (parent + every worker) in
+        collapsed-stack format; empty string when profiling is off."""
+        return self.profiler.collapsed() if self.profiler else ""
+
+    def record_profile(self) -> None:
+        """Persist the merged cluster profile as a ``profile`` scene
+        event so ``poem profile <db>`` can read it back offline."""
+        if self.profiler is None:
+            return
+        self.recorder.record_scene(
+            SceneEvent(
+                time=self._time,
+                kind="profile",
+                node=NodeId(-1),
+                details=self.profiler.snapshot(),
+            )
+        )
+
     def record_run_summary(self) -> None:
         """Terminal ``run-summary`` event (same shape as the in-process
         emulator's) so ``poem analyze`` cross-checks a cluster recording
         against its own totals."""
+        self.record_profile()
         self.recorder.record_scene(
             SceneEvent(
                 time=self._time,
@@ -900,6 +943,16 @@ class ShardedEmulator:
                 "pull_interval": self.telemetry_interval,
                 "per_worker": [dict(s) for s in self.worker_stats],
                 "crash_artifacts": dict(self.crash_artifacts),
+                "profiler": (
+                    {
+                        "hz": self.profiler.hz,
+                        "samples": self.profiler.samples,
+                        "paused": self.profiler.paused,
+                        "stacks": len(self.profiler.folded()),
+                    }
+                    if self.profiler is not None
+                    else None
+                ),
             },
         }
 

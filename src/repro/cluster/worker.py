@@ -33,7 +33,12 @@ and worker trace ids are the parent's, so merged cluster spans are
 contiguous.  Every worker also keeps a
 :class:`~repro.obs.flightrec.FlightRecorder`; on a pipeline failure the
 last seconds of events/spans are dumped to a JSON artifact whose path
-rides the ``worker_error`` frame back to the parent.
+rides the ``worker_error`` frame back to the parent.  When
+:attr:`WorkerConfig.profile_hz` is set the worker additionally runs its
+own :class:`~repro.obs.profiler.SamplingProfiler`; its cumulative
+folded-stack snapshot rides every sample-bearing reply (``flushed``,
+``telemetry_report``, ``worker_report``) and is delta-merged
+parent-side so one profile covers the whole cluster.
 
 Time discipline: the worker's virtual clock is driven **entirely by the
 client stamps on incoming frames** (the paper's parallel time-stamping,
@@ -64,7 +69,9 @@ from ..net.messages import (
     make_worker_error,
     make_worker_report,
 )
+from ..obs import profiler as profiler_mod
 from ..obs.flightrec import FlightRecorder, set_default
+from ..obs.profiler import SamplingProfiler
 from ..obs.telemetry import Telemetry
 from ..obs.tracing import Trace
 from . import ipc
@@ -84,6 +91,8 @@ class WorkerConfig:
     telemetry_enabled: bool = False
     sample_every: int = Telemetry.DEFAULT_SAMPLE_EVERY
     flight_dir: Optional[str] = None
+    #: Sampling-profiler rate (Hz); None runs the worker unprofiled.
+    profile_hz: Optional[float] = None
 
     def make_rng(self) -> np.random.Generator:
         """The worker engine's RNG.
@@ -124,6 +133,16 @@ class _WorkerState:
         )
         #: Completed spans awaiting ship-back (drained by collect/pull).
         self.spans: list[Any] = []
+        #: The worker's own wall-clock sampler; its cumulative snapshot
+        #: rides every sample-bearing reply, delta-merged parent-side.
+        self.profiler: Optional[SamplingProfiler] = None
+        if config.profile_hz:
+            self.profiler = SamplingProfiler(
+                hz=config.profile_hz,
+                role=f"worker-{config.worker_index}",
+            )
+            if profiler_mod.get_default() is None:
+                profiler_mod.set_default(self.profiler)
         self.telemetry: Optional[Telemetry] = None
         if config.telemetry_enabled:
             tele = Telemetry(
@@ -237,6 +256,10 @@ class _WorkerState:
         tele = self.telemetry
         return tele.snapshot() if tele is not None else None
 
+    def profile_snapshot(self) -> Optional[dict[str, Any]]:
+        prof = self.profiler
+        return prof.snapshot() if prof is not None else None
+
     def drain_records(self) -> list[list[Any]]:
         """Row-encode and clear the packet log (collect is a drain, so
         a second collect never double-reports)."""
@@ -281,6 +304,8 @@ def worker_main(conn, config: WorkerConfig) -> None:
     flight.install_sigterm()
     flight.note("worker-start", worker=config.worker_index)
     state = _WorkerState(config, flight=flight)
+    if state.profiler is not None:
+        state.profiler.start()
     try:
         while True:
             try:
@@ -310,6 +335,7 @@ def worker_main(conn, config: WorkerConfig) -> None:
                     busy_fraction=state.busy_fraction(),
                     shard_ingested=state.shard_ingested,
                     telemetry=state.telemetry_snapshot(),
+                    profile=state.profile_snapshot(),
                 )
                 conn.send_bytes(encode_message(reply))
                 state.flight.note(
@@ -325,6 +351,7 @@ def worker_main(conn, config: WorkerConfig) -> None:
                     counters=state.counters(),
                     telemetry=state.telemetry_snapshot(),
                     spans=state.drain_spans(),
+                    profile=state.profile_snapshot(),
                 )
                 conn.send_bytes(encode_message(reply))
             elif op == "collect":
@@ -337,6 +364,7 @@ def worker_main(conn, config: WorkerConfig) -> None:
                     queue_depth=state.queue_depth(),
                     busy_fraction=state.busy_fraction(),
                     shard_ingested=state.shard_ingested,
+                    profile=state.profile_snapshot(),
                 )
                 conn.send_bytes(encode_message(report))
                 state.flight.note(
@@ -366,4 +394,6 @@ def worker_main(conn, config: WorkerConfig) -> None:
             pass  # parent already gone; the re-raise below still records it
         raise
     finally:
+        if state.profiler is not None:
+            state.profiler.stop()
         conn.close()

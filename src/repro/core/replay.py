@@ -146,7 +146,8 @@ class ReplayEngine:
             )
         elif kind == "node-removed":
             nodes.pop(node, None)
-        elif kind in ("run-summary", "overload-state", "cluster-run"):
+        elif kind in ("run-summary", "overload-state", "cluster-run",
+                      "profile"):
             pass  # run-level markers (node is the -1 sentinel), not drawable
         elif node not in nodes:
             # Event for a node we never saw added: recording truncated.

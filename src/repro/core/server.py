@@ -176,6 +176,7 @@ class InProcessEmulator:
         telemetry: Optional[Telemetry] = None,
         lag_budget: float = 0.010,
         overload_config: Optional[OverloadConfig] = None,
+        profile_hz: Optional[float] = None,
     ) -> None:
         self.clock = VirtualClock()
         self.scene = Scene(bounds=bounds, seed=seed)
@@ -216,6 +217,19 @@ class InProcessEmulator:
             overload=self.overload,
         )
         self.engine.deliver = self._deliver_to_host
+        # Optional continuous profiling (wall-clock attribution even on
+        # the virtual clock: run_until burns real CPU).  Gated by the
+        # overload controller exactly like tracing.
+        self.profiler = None
+        if profile_hz:
+            from ..obs.profiler import SamplingProfiler
+            from ..obs import profiler as profiler_mod
+
+            self.profiler = SamplingProfiler(
+                hz=profile_hz, role="emulator", overload=self.overload
+            ).start()
+            if profiler_mod.get_default() is None:
+                profiler_mod.set_default(self.profiler)
         self._hosts: dict[NodeId, VirtualNodeHost] = {}
         self._ids = IdAllocator()
         # A node removed directly through the scene (GUI op, scenario step)
@@ -227,6 +241,18 @@ class InProcessEmulator:
             host = self._hosts.pop(event.node, None)
             if host is not None:
                 host.detach_protocol()
+
+    def shutdown(self) -> None:
+        """Stop background machinery.  The emulator itself is
+        thread-free on the virtual clock, so today this only stops the
+        ``profile_hz`` sampler (and clears the process default when it
+        was ours).  Idempotent; safe to skip for profile-less runs."""
+        if self.profiler is not None:
+            from ..obs import profiler as profiler_mod
+
+            self.profiler.stop()
+            if profiler_mod.get_default() is self.profiler:
+                profiler_mod.set_default(None)
 
     # -- topology construction ---------------------------------------------------
 
@@ -376,6 +402,15 @@ class InProcessEmulator:
         """Terminal ``run-summary`` scene event (same shape as the TCP
         server's clean-shutdown record) so a recording from the virtual
         stack also carries its own end-of-run marker."""
+        if self.profiler is not None:
+            self.recorder.record_scene(
+                SceneEvent(
+                    time=self.clock.now(),
+                    kind="profile",
+                    node=NodeId(-1),
+                    details=self.profiler.snapshot(),
+                )
+            )
         self.recorder.record_scene(
             SceneEvent(
                 time=self.clock.now(),

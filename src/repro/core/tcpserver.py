@@ -209,6 +209,7 @@ class PoEmServer:
         metrics_host: str = "127.0.0.1",
         lag_budget: float = 0.010,
         overload_config: Optional[OverloadConfig] = None,
+        profile_hz: Optional[float] = None,
     ) -> None:
         self._host = host
         self._port = port
@@ -262,6 +263,22 @@ class PoEmServer:
         self._metrics_port = metrics_port
         self._metrics_httpd: Optional[TelemetryHTTPServer] = None
         self.metrics_address: Optional[tuple[str, int]] = None
+        # Continuous profiling: the sampler shares the overload
+        # controller, so it pauses the moment the server leaves NOMINAL
+        # (profiling is shed before any emulation fidelity is).
+        self.profiler = None
+        self._profile_hz = float(profile_hz) if profile_hz else None
+        if self._profile_hz:
+            from ..obs.profiler import SamplingProfiler
+            from ..obs import profiler as profiler_mod
+
+            self.profiler = SamplingProfiler(
+                hz=self._profile_hz,
+                role="server",
+                overload=self.overload,
+            )
+            if profiler_mod.get_default() is None:
+                profiler_mod.set_default(self.profiler)
         self._tracer = None
         self._m_rx_binary = self._m_rx_json = None
         self._m_tx = self._m_overflow = self._m_quarantines = None
@@ -339,12 +356,15 @@ class PoEmServer:
                 restartable=True,
                 should_run=should_run,
             )
+        if self.profiler is not None:
+            self.profiler.start()
         if self._metrics_port is not None and self.telemetry.enabled:
             self._metrics_httpd = TelemetryHTTPServer(
                 self.telemetry.registry,
                 health_fn=self.health,
                 tracer=self.telemetry.tracer,
                 recorder=self.recorder,
+                profiler=self.profiler,
                 host=self._metrics_host,
                 port=self._metrics_port,
             )
@@ -363,6 +383,12 @@ class PoEmServer:
             return
         self._running = False
         self._stop_evt.set()
+        if self.profiler is not None:
+            from ..obs import profiler as profiler_mod
+
+            self.profiler.stop()
+            if profiler_mod.get_default() is self.profiler:
+                profiler_mod.set_default(None)
         if self._metrics_httpd is not None:
             self._metrics_httpd.stop()
             self._metrics_httpd = None
@@ -398,6 +424,17 @@ class PoEmServer:
         ``-1``) so scene listeners/replay are not involved.
         """
         try:
+            if self.profiler is not None:
+                # The sampler was stopped earlier in stop(); its table
+                # survives, so `poem profile <db>` reads the run back.
+                self.recorder.record_scene(
+                    SceneEvent(
+                        time=self.clock.now(),
+                        kind="profile",
+                        node=NodeId(-1),
+                        details=self.profiler.snapshot(),
+                    )
+                )
             self.recorder.record_scene(
                 SceneEvent(
                     time=self.clock.now(),

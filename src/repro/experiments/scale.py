@@ -120,25 +120,34 @@ def run_node_scaling(
     duration: float = 5.0,
     interval: float = 0.5,
     seed: int = 4,
+    profile_hz: Optional[float] = None,
 ) -> list[NodeScaleRow]:
-    """Measure ingest throughput vs emulated-node count."""
+    """Measure ingest throughput vs emulated-node count.
+
+    ``profile_hz`` runs every emulator with the continuous sampling
+    profiler on at that rate — the variant the profiler-overhead bench
+    compares against the bare run.
+    """
     rows = []
     for n in node_counts:
-        emu = InProcessEmulator(seed=seed)
-        hosts = _grid_nodes(emu, n)
-        _broadcast_load(emu, hosts, duration, interval)
-        t0 = time.perf_counter()
-        emu.run_until(duration + 1.0)
-        wall = time.perf_counter() - t0
-        rows.append(
-            NodeScaleRow(
-                n_nodes=n,
-                frames_ingested=emu.engine.ingested,
-                frames_forwarded=emu.engine.forwarded,
-                emu_seconds=duration,
-                wall_seconds=wall,
+        emu = InProcessEmulator(seed=seed, profile_hz=profile_hz)
+        try:
+            hosts = _grid_nodes(emu, n)
+            _broadcast_load(emu, hosts, duration, interval)
+            t0 = time.perf_counter()
+            emu.run_until(duration + 1.0)
+            wall = time.perf_counter() - t0
+            rows.append(
+                NodeScaleRow(
+                    n_nodes=n,
+                    frames_ingested=emu.engine.ingested,
+                    frames_forwarded=emu.engine.forwarded,
+                    emu_seconds=duration,
+                    wall_seconds=wall,
+                )
             )
-        )
+        finally:
+            emu.shutdown()
     return rows
 
 

@@ -22,11 +22,17 @@ command                         effect
 ``health``                      supervision/liveness snapshot
 ``metrics [filter]``            Prometheus-text telemetry snapshot
 ``trace [n]``                   recent sampled pipeline spans
+``profile [start|stop|dump]``   wall-clock sampling profiler (flamegraphs)
+``timeline [out.json]``         export a Perfetto/Chrome trace timeline
 ``analyze [record-id]``         offline forensics report / packet lineage
 ``flight [dump]``               crash flight-recorder rings (pre-mortem)
 ``lint [runtime]``              POEM rule check (+ lock-order graph)
 ``quit``                        leave the console
 =============================  =============================================
+
+(``timeline`` here exports the *wall-clock* Chrome trace-event JSON from
+:mod:`repro.obs.timeline`; the ASCII *emulation-time* replay view lives
+in :mod:`repro.gui.timeline` and is rendered by ``poem analyze``.)
 
 Built on :mod:`cmd`, so it is scriptable in tests via ``onecmd`` and
 usable interactively via ``PoEmConsole(emulator).cmdloop()``.
@@ -287,6 +293,89 @@ class PoEmConsole(cmd.Cmd):
             return
         for span in spans:
             self._say(format_span(span))
+
+    def do_profile(self, arg: str) -> None:
+        """profile [start [hz] | stop | dump [path]] — the wall-clock
+        sampling profiler.  Bare ``profile`` prints the per-thread
+        self-time summary; ``dump`` writes collapsed stacks
+        (flamegraph.pl / speedscope input).
+        """
+        try:
+            from ..obs import profiler as profiler_mod
+            from ..obs.profiler import SamplingProfiler, format_profile
+
+            parts = arg.split()
+            verb = parts[0] if parts else ""
+            prof = getattr(self.emulator, "profiler", None)
+            if prof is None:
+                prof = profiler_mod.get_default()
+            if verb == "start":
+                if prof is not None and prof.running:
+                    self._fail("profiler already running (profile stop first)")
+                    return
+                kwargs = {"hz": float(parts[1])} if len(parts) > 1 else {}
+                prof = SamplingProfiler(
+                    role="console",
+                    overload=getattr(self.emulator, "overload", None),
+                    **kwargs,
+                )
+                profiler_mod.set_default(prof)
+                prof.start()
+                self._say(f"profiler sampling at {prof.hz:g} Hz")
+                return
+            if verb not in ("", "stop", "dump"):
+                self._fail("usage: profile [start [hz] | stop | dump [path]]")
+                return
+            if prof is None:
+                self._fail(
+                    "no profiler installed — ``profile start [hz]`` or "
+                    "construct the emulator with profile_hz="
+                )
+                return
+            if verb == "stop":
+                prof.stop()
+                self._say(format_profile(prof.folded()).rstrip("\n"))
+                return
+            if verb == "dump":
+                path = parts[1] if len(parts) > 1 else "poem-profile.folded"
+                with open(path, "w") as fh:
+                    fh.write(prof.collapsed())
+                self._say(
+                    f"collapsed stacks written to {path} "
+                    "(flamegraph.pl or https://speedscope.app)"
+                )
+                return
+            self._say(format_profile(prof.folded()).rstrip("\n"))
+        except Exception as exc:  # noqa: BLE001 — operator surface
+            self._fail(f"profile failed: {type(exc).__name__}: {exc}")
+
+    def do_timeline(self, arg: str) -> None:
+        """timeline [out.json] — export the wall-clock Chrome
+        trace-event timeline (spans, profiler samples, scene events) for
+        https://ui.perfetto.dev.  For the ASCII *emulation-time* replay
+        view of a recording, use ``poem analyze`` instead.
+        """
+        try:
+            from ..obs import profiler as profiler_mod
+            from ..obs.timeline import timeline_from_recorder, write_timeline
+
+            path = arg.strip() or "poem-timeline.json"
+            prof = getattr(self.emulator, "profiler", None)
+            if prof is None:
+                prof = profiler_mod.get_default()
+            recorder = getattr(self.emulator, "recorder", None)
+            if recorder is None:
+                self._fail("emulator has no recorder to export from")
+                return
+            write_timeline(
+                path, timeline_from_recorder(recorder, profiler=prof)
+            )
+            self._say(
+                f"timeline written to {path} — open in "
+                "https://ui.perfetto.dev (chrome://tracing also works)"
+            )
+        except Exception as exc:  # noqa: BLE001 — operator surface
+            self._fail(f"timeline failed: {type(exc).__name__}: {exc}")
 
     # -- scene operations ---------------------------------------------------------------
 

@@ -6,6 +6,14 @@ ASCII scene picture, the traffic in flight, drop markers, and a running
 statistics strip (offered/delivered/lost so far).  ``iter_frames`` yields
 the strings lazily so long runs can be paged; ``summary`` gives the final
 whole-run statistics block an operator would read first.
+
+Not to be confused with :mod:`repro.obs.timeline`, which exports a
+*wall-clock* Chrome trace-event JSON timeline (pipeline spans, profiler
+samples, shard hops) for https://ui.perfetto.dev.  This module renders
+*emulation-time* scene playback as ASCII; that one shows where real
+microseconds went.  ``poem analyze`` drives this module, ``poem analyze
+--timeline out.json`` (and the console's ``timeline`` command) drive
+that one.
 """
 
 from __future__ import annotations

@@ -41,9 +41,13 @@ _THREAD_NURSERIES = frozenset({"supervision.py"})
 
 #: Hot-path modules where per-packet recording in a loop is a finding.
 #: ``worker.py`` is the shard worker's ingest loop — per-packet
-#: recording there would multiply by the cluster size.
+#: recording there would multiply by the cluster size.  ``profiler.py``
+#: runs ~100×/s inside every process being measured: an unbounded
+#: container or a recorder call in its sampling loop would make the
+#: observer the overload.
 _HOT_PATH_MODULES = frozenset(
-    {"engine.py", "scheduler.py", "tcpserver.py", "worker.py"}
+    {"engine.py", "scheduler.py", "tcpserver.py", "worker.py",
+     "profiler.py"}
 )
 
 #: Delay/scheduling modules where ``time.time()`` is a finding.

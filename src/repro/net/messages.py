@@ -183,13 +183,17 @@ def make_flushed(
     busy_fraction: float,
     shard_ingested: int,
     telemetry: Optional[dict[str, Any]] = None,
+    profile: Optional[dict[str, Any]] = None,
 ) -> dict[str, Any]:
     """Barrier ack carrying the worker's health/telemetry sample.
 
     ``telemetry`` is the worker registry's
     :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` (None when the
     worker runs without telemetry); the parent folds it in through
-    :class:`~repro.obs.metrics.SnapshotMerger`.
+    :class:`~repro.obs.metrics.SnapshotMerger`.  ``profile`` is the
+    worker sampler's cumulative folded-stack snapshot
+    (:meth:`~repro.obs.profiler.SamplingProfiler.snapshot`), folded the
+    same way through :class:`~repro.obs.profiler.ProfileMerger`.
     """
     msg = {
         "op": "flushed",
@@ -202,6 +206,8 @@ def make_flushed(
     }
     if telemetry is not None:
         msg["telemetry"] = telemetry
+    if profile is not None:
+        msg["profile"] = profile
     return msg
 
 
@@ -220,13 +226,15 @@ def make_worker_report(
     queue_depth: int = 0,
     busy_fraction: float = 0.0,
     shard_ingested: int = 0,
+    profile: Optional[dict[str, Any]] = None,
 ) -> dict[str, Any]:
     """The worker's drained packet log (row-encoded) + final counters.
 
     Also carries the worker's drained trace spans
     (:func:`repro.cluster.ipc.span_to_row` rows), its registry snapshot,
-    and a fresh health sample — collect doubles as a telemetry pull so
-    shard gauges stay current without waiting for the next barrier.
+    its profiler snapshot, and a fresh health sample — collect doubles
+    as a telemetry pull so shard gauges stay current without waiting
+    for the next barrier.
     """
     msg = {
         "op": "worker_report",
@@ -241,6 +249,8 @@ def make_worker_report(
         msg["spans"] = spans
     if telemetry is not None:
         msg["telemetry"] = telemetry
+    if profile is not None:
+        msg["profile"] = profile
     return msg
 
 
@@ -258,6 +268,7 @@ def make_telemetry_report(
     counters: dict[str, int],
     telemetry: Optional[dict[str, Any]] = None,
     spans: Optional[list[list[Any]]] = None,
+    profile: Optional[dict[str, Any]] = None,
 ) -> dict[str, Any]:
     """The worker's answer to a ``telemetry_pull``: same sample shape as
     a ``flushed`` ack, without running the clock anywhere."""
@@ -273,6 +284,8 @@ def make_telemetry_report(
         msg["telemetry"] = telemetry
     if spans is not None:
         msg["spans"] = spans
+    if profile is not None:
+        msg["profile"] = profile
     return msg
 
 

@@ -11,7 +11,11 @@ A dependency-free observability plane for the real-time emulator:
 * :mod:`repro.obs.logging` — structured JSON logs for the stack's
   failure/lifecycle events;
 * :mod:`repro.obs.httpd` — the localhost ``/metrics`` + ``/health`` +
-  ``/trace`` endpoint;
+  ``/trace`` (+ ``/profile``, ``/timeline``) endpoint;
+* :mod:`repro.obs.profiler` — the continuous wall-clock sampling
+  profiler (folded stacks, per-thread self-time, cluster merge);
+* :mod:`repro.obs.timeline` — Chrome trace-event (Perfetto) export of
+  spans, shard hops, overload transitions, and profiler samples;
 * :mod:`repro.obs.telemetry` — the per-deployment bundle wiring it all
   together.
 
@@ -30,6 +34,8 @@ from .metrics import (
 from .tracing import PIPELINE_STAGES, PipelineTracer, Trace, TraceSpan, format_span
 from .telemetry import Telemetry
 from .httpd import TelemetryHTTPServer
+from .profiler import SamplingProfiler, format_profile
+from .timeline import build_timeline, timeline_from_recorder, write_timeline
 from .logging import JsonFormatter, configure, get_logger, log_event, set_level
 
 __all__ = [
@@ -46,6 +52,11 @@ __all__ = [
     "format_span",
     "Telemetry",
     "TelemetryHTTPServer",
+    "SamplingProfiler",
+    "format_profile",
+    "build_timeline",
+    "timeline_from_recorder",
+    "write_timeline",
     "JsonFormatter",
     "configure",
     "get_logger",

@@ -27,8 +27,14 @@ Artifact format (``schema`` 1)::
       "dumped_at": 1754556000.0, "reason": "ClusterWorkerError(...)",
       "events":      [{"t": ..., "event": "flush", ...}, ...],
       "spans":       [TraceSpan.as_dict(), ...],
-      "transitions": [{"t": ..., "event": "overload-state", ...}, ...]
+      "transitions": [{"t": ..., "event": "overload-state", ...}, ...],
+      "profile":     SamplingProfiler.snapshot(top=40)   # when running
     }
+
+The optional ``profile`` key embeds the process-default sampling
+profiler's last window (:mod:`repro.obs.profiler`) so a post-mortem
+also says what the process was *doing* — which functions were on-CPU —
+when it died, not just which events preceded death.
 """
 
 from __future__ import annotations
@@ -109,8 +115,11 @@ class FlightRecorder:
 
     def snapshot(self, reason: str = "") -> dict:
         """The artifact as a dict (what :meth:`dump` serializes)."""
+        # The profile window is read before taking our lock (the
+        # profiler has its own) so the dump path never nests locks.
+        profile = self._profile_window()
         with self._lock:
-            return {
+            artifact = {
                 "schema": FLIGHT_SCHEMA,
                 "role": self.role,
                 "pid": os.getpid(),
@@ -120,6 +129,29 @@ class FlightRecorder:
                 "spans": list(self._spans),
                 "transitions": list(self._transitions),
             }
+        if profile is not None:
+            artifact["profile"] = profile
+        return artifact
+
+    @staticmethod
+    def _profile_window(top: int = 40) -> Optional[dict]:
+        """The process profiler's last window, bounded for the artifact.
+
+        Post-mortems should say what the process was *doing* when it
+        died, not only what happened to it — so the crash artifact
+        embeds the top folded stacks of the process-default
+        :class:`~repro.obs.profiler.SamplingProfiler` when one is
+        installed.  Best-effort like every other dump path.
+        """
+        try:
+            from .profiler import get_default as get_profiler
+
+            profiler = get_profiler()
+            if profiler is None:
+                return None
+            return profiler.snapshot(top=top)
+        except Exception:  # poem: ignore[POEM005] — dump path, best-effort
+            return None
 
     def artifact_path(self) -> Path:
         return self.flight_dir / f"poem-flight-{self.role}.json"
@@ -248,6 +280,15 @@ def format_flight(artifact: dict, *, events: int = 20) -> str:
                 f"seq={sp.get('seqno')} outcome={sp.get('outcome')}  "
                 f"{stages}".rstrip()
             )
+    profile = artifact.get("profile")
+    if isinstance(profile, dict) and profile.get("stacks"):
+        from .profiler import format_profile  # lazy: keep imports light
+
+        lines.append("  profile window (what the process was doing):")
+        for row in format_profile(
+            profile["stacks"], top=3
+        ).splitlines():
+            lines.append(f"    {row}")
     return "\n".join(lines)
 
 

@@ -1,5 +1,5 @@
 """Localhost HTTP exposition: ``/metrics``, ``/health``, ``/trace``,
-``/report``, ``/flight``.
+``/report``, ``/flight``, ``/profile``, ``/timeline``.
 
 A tiny stdlib :mod:`http.server` wrapper that a deployment can hang off
 its telemetry bundle:
@@ -18,6 +18,18 @@ its telemetry bundle:
 * ``GET /flight`` — the process's crash flight recorder (last events,
   spans, overload transitions) as the same JSON artifact it would dump
   on death — a *pre-mortem* peek at what a post-mortem would show.
+* ``GET /profile`` — the process profiler's collapsed stacks
+  (flamegraph.pl input).  ``?seconds=N`` samples a fresh window first
+  (on the running profiler, or an ephemeral burst sampler when none is
+  installed); ``?format=json`` returns the snapshot dict,
+  ``?format=summary`` the per-thread self-time text.
+* ``GET /timeline`` — the wall-clock Chrome trace-event timeline
+  (:mod:`repro.obs.timeline`): recent spans, profiler samples, and
+  overload transitions, ready for https://ui.perfetto.dev.
+
+Every route answers ``HEAD`` with the same status/headers (correct
+``Content-Length``, no body), and every error — 404 included — carries
+a JSON body, so callers never have to sniff content types on failures.
 
 Bound to localhost by default — this is an *operator* surface, not a
 public one; anything wider belongs behind a real reverse proxy.  The
@@ -28,6 +40,7 @@ handler threads, all torn down by :meth:`TelemetryHTTPServer.stop`.
 from __future__ import annotations
 
 import json
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable, Optional
 from urllib.parse import parse_qs, urlparse
@@ -38,6 +51,10 @@ from .tracing import PipelineTracer
 
 __all__ = ["TelemetryHTTPServer"]
 
+#: Ceiling on ``/profile?seconds=N`` burst windows (one handler thread
+#: sleeps through the window; it must not be parkable forever).
+MAX_PROFILE_WINDOW = 60.0
+
 
 class _Handler(BaseHTTPRequestHandler):
     # Injected by TelemetryHTTPServer.start() via a subclass attribute.
@@ -45,91 +62,200 @@ class _Handler(BaseHTTPRequestHandler):
     health_fn: Optional[Callable[[], dict]]
     tracer: Optional[PipelineTracer]
     recorder = None  # Optional[repro.core.recording.Recorder]
+    profiler = None  # Optional[repro.obs.profiler.SamplingProfiler]
 
     protocol_version = "HTTP/1.1"
 
     def do_GET(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
-        parsed = urlparse(self.path)
+        self._handle(include_body=True)
+
+    def do_HEAD(self) -> None:  # noqa: N802 — BaseHTTPRequestHandler API
+        self._handle(include_body=False)
+
+    def _handle(self, include_body: bool) -> None:
         try:
-            if parsed.path == "/metrics":
-                body = self.registry.render().encode()
-                ctype = "text/plain; version=0.0.4; charset=utf-8"
-            elif parsed.path == "/health":
-                if self.health_fn is None:
-                    self._send(404, b'{"error": "no health source"}',
-                               "application/json")
-                    return
-                body = json.dumps(self.health_fn(), default=str).encode()
-                ctype = "application/json"
-            elif parsed.path == "/trace":
-                if self.tracer is None:
-                    self._send(404, b'{"error": "tracing disabled"}',
-                               "application/json")
-                    return
-                qs = parse_qs(parsed.query)
-                n = None
-                if "n" in qs:
-                    try:
-                        n = max(int(qs["n"][0]), 0)
-                    except ValueError:
-                        n = None
-                spans = [s.as_dict() for s in self.tracer.recent(n)]
-                body = json.dumps({"spans": spans}, default=str).encode()
-                ctype = "application/json"
-            elif parsed.path == "/report":
-                if self.recorder is None:
-                    self._send(404, b'{"error": "no recorder attached"}',
-                               "application/json")
-                    return
-                # Lazy import: obs must stay importable without the
-                # analysis plane (and analysis imports core, which
-                # imports obs — the cycle only resolves lazily).
-                from ..analysis.report import (
-                    analyze, render_html, render_json, render_text,
-                )
-
-                qs = parse_qs(parsed.query)
-                fmt = qs.get("format", ["html"])[0]
-                report = analyze(self.recorder)
-                if fmt == "json":
-                    body = render_json(report).encode()
-                    ctype = "application/json"
-                elif fmt == "text":
-                    body = render_text(report).encode()
-                    ctype = "text/plain; charset=utf-8"
-                else:
-                    body = render_html(report).encode()
-                    ctype = "text/html; charset=utf-8"
-            elif parsed.path == "/flight":
-                from .flightrec import get_default
-
-                flight = get_default()
-                if flight is None:
-                    self._send(404, b'{"error": "no flight recorder"}',
-                               "application/json")
-                    return
-                body = json.dumps(
-                    flight.snapshot(reason="http"), default=str
-                ).encode()
-                ctype = "application/json"
-            else:
-                self._send(404, b"not found\n", "text/plain")
-                return
+            code, body, ctype = self._route()
         except Exception as exc:  # noqa: BLE001 — exposition must not crash
-            self._send(
-                500,
-                json.dumps({"error": str(exc)}).encode(),
+            code = 500
+            body = json.dumps({"error": str(exc)}).encode()
+            ctype = "application/json"
+        self._send(code, body, ctype, include_body=include_body)
+
+    def _route(self) -> tuple[int, bytes, str]:
+        parsed = urlparse(self.path)
+        if parsed.path == "/metrics":
+            return (
+                200,
+                self.registry.render().encode(),
+                "text/plain; version=0.0.4; charset=utf-8",
+            )
+        if parsed.path == "/health":
+            if self.health_fn is None:
+                return self._error(404, "no health source")
+            body = json.dumps(self.health_fn(), default=str).encode()
+            return 200, body, "application/json"
+        if parsed.path == "/trace":
+            if self.tracer is None:
+                return self._error(404, "tracing disabled")
+            qs = parse_qs(parsed.query)
+            n = None
+            if "n" in qs:
+                try:
+                    n = max(int(qs["n"][0]), 0)
+                except ValueError:
+                    n = None
+            spans = [s.as_dict() for s in self.tracer.recent(n)]
+            body = json.dumps({"spans": spans}, default=str).encode()
+            return 200, body, "application/json"
+        if parsed.path == "/report":
+            if self.recorder is None:
+                return self._error(404, "no recorder attached")
+            # Lazy import: obs must stay importable without the
+            # analysis plane (and analysis imports core, which
+            # imports obs — the cycle only resolves lazily).
+            from ..analysis.report import (
+                analyze, render_html, render_json, render_text,
+            )
+
+            qs = parse_qs(parsed.query)
+            fmt = qs.get("format", ["html"])[0]
+            report = analyze(self.recorder)
+            if fmt == "json":
+                return 200, render_json(report).encode(), "application/json"
+            if fmt == "text":
+                return (
+                    200,
+                    render_text(report).encode(),
+                    "text/plain; charset=utf-8",
+                )
+            return 200, render_html(report).encode(), "text/html; charset=utf-8"
+        if parsed.path == "/flight":
+            from .flightrec import get_default
+
+            flight = get_default()
+            if flight is None:
+                return self._error(404, "no flight recorder")
+            body = json.dumps(
+                flight.snapshot(reason="http"), default=str
+            ).encode()
+            return 200, body, "application/json"
+        if parsed.path == "/profile":
+            return self._profile(parse_qs(parsed.query))
+        if parsed.path == "/timeline":
+            return self._timeline()
+        return self._error(404, "not found", path=parsed.path)
+
+    def _profile(self, qs: dict) -> tuple[int, bytes, str]:
+        from . import profiler as profiler_mod
+        from .profiler import SamplingProfiler, format_profile
+
+        prof = self.profiler or profiler_mod.get_default()
+        seconds = None
+        if "seconds" in qs:
+            try:
+                seconds = min(
+                    max(float(qs["seconds"][0]), 0.0), MAX_PROFILE_WINDOW
+                )
+            except ValueError:
+                seconds = None
+        fmt = qs.get("format", ["collapsed"])[0]
+        if seconds:
+            if prof is not None and prof.running:
+                # Window the continuous profiler: diff its folded table
+                # across the requested interval.
+                before = prof.folded()
+                time.sleep(seconds)
+                after = prof.folded()
+                stacks = {
+                    key: count - before.get(key, 0)
+                    for key, count in after.items()
+                    if count - before.get(key, 0) > 0
+                }
+                snapshot = prof.snapshot(top=0)
+                snapshot["stacks"] = stacks
+                snapshot["window_seconds"] = seconds
+            else:
+                burst = SamplingProfiler(role="burst")
+                burst.start()
+                time.sleep(seconds)
+                burst.stop()
+                stacks = burst.folded()
+                snapshot = burst.snapshot()
+                snapshot["window_seconds"] = seconds
+        else:
+            if prof is None:
+                return self._error(
+                    404,
+                    "no profiler running; pass ?seconds=N for a burst "
+                    "sample",
+                )
+            stacks = prof.folded()
+            snapshot = prof.snapshot()
+        if fmt == "json":
+            return (
+                200,
+                json.dumps(snapshot, default=str).encode(),
                 "application/json",
             )
-            return
-        self._send(200, body, ctype)
+        if fmt == "summary":
+            return (
+                200,
+                (format_profile(stacks) + "\n").encode(),
+                "text/plain; charset=utf-8",
+            )
+        lines = [
+            f"{key} {count}"
+            for key, count in sorted(
+                stacks.items(), key=lambda kv: (-kv[1], kv[0])
+            )
+        ]
+        body = ("\n".join(lines) + "\n" if lines else "").encode()
+        return 200, body, "text/plain; charset=utf-8"
 
-    def _send(self, code: int, body: bytes, ctype: str) -> None:
+    def _timeline(self) -> tuple[int, bytes, str]:
+        from . import profiler as profiler_mod
+        from .flightrec import get_default as get_flight
+        from .timeline import build_timeline
+
+        prof = self.profiler or profiler_mod.get_default()
+        flight = get_flight()
+        spans = self.tracer.recent(None) if self.tracer is not None else []
+        timeline = build_timeline(
+            spans=spans,
+            samples=prof.recent_samples() if prof is not None else (),
+            transitions=(
+                flight.snapshot(reason="http").get("transitions", [])
+                if flight is not None
+                else ()
+            ),
+        )
+        return (
+            200,
+            json.dumps(timeline, default=str).encode(),
+            "application/json",
+        )
+
+    @staticmethod
+    def _error(code: int, message: str, **extra: str) -> tuple[int, bytes, str]:
+        body = json.dumps({"error": message, **extra}).encode()
+        return code, body, "application/json"
+
+    def _send(
+        self,
+        code: int,
+        body: bytes,
+        ctype: str,
+        *,
+        include_body: bool = True,
+    ) -> None:
         self.send_response(code)
         self.send_header("Content-Type", ctype)
+        # Content-Length always reflects the GET body — HEAD answers
+        # with the same headers and an empty body, per the RFC.
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
-        self.wfile.write(body)
+        if include_body:
+            self.wfile.write(body)
 
     def log_message(self, fmt: str, *args) -> None:  # silence stderr chatter
         pass
@@ -145,6 +271,7 @@ class TelemetryHTTPServer:
         health_fn: Optional[Callable[[], dict]] = None,
         tracer: Optional[PipelineTracer] = None,
         recorder=None,
+        profiler=None,
         host: str = "127.0.0.1",
         port: int = 0,
     ) -> None:
@@ -152,6 +279,7 @@ class TelemetryHTTPServer:
         self._health_fn = health_fn
         self._tracer = tracer
         self._recorder = recorder
+        self._profiler = profiler
         self._host = host
         self._port = port
         self._httpd: Optional[ThreadingHTTPServer] = None
@@ -176,6 +304,7 @@ class TelemetryHTTPServer:
                 ),
                 "tracer": self._tracer,
                 "recorder": self._recorder,
+                "profiler": self._profiler,
             },
         )
         self._httpd = ThreadingHTTPServer((self._host, self._port), handler)

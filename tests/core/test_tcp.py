@@ -230,6 +230,29 @@ class TestServerRobustness:
         srv.stop()  # second stop is a no-op
 
 
+class TestProfiledServer:
+    def test_profiled_run_persists_profile_scene_event(self):
+        """A ``profile_hz`` server recording must be readable back with
+        ``poem profile <db>``: stop() persists the sampler's snapshot as
+        a ``profile`` scene event and releases the process default."""
+        from repro.obs import profiler as profiler_mod
+
+        srv = PoEmServer(seed=0, profile_hz=200.0)
+        srv.start()
+        try:
+            srv.profiler.sample_once()  # deterministic even on slow CI
+        finally:
+            srv.stop()
+        assert not srv.profiler.running
+        assert profiler_mod.get_default() is None
+        profiles = [
+            e for e in srv.recorder.scene_events() if e.kind == "profile"
+        ]
+        assert len(profiles) == 1
+        stacks = profiles[0].details["stacks"]
+        assert stacks and all(k.startswith("server;") for k in stacks)
+
+
 class TestBinaryNegotiation:
     """The struct-packed wire fast path and its JSON fallback coexist."""
 

@@ -206,6 +206,13 @@ def test_poem004_cold_module_clean():
     assert _lint(BAD_RECORD_LOOP, "src/repro/analysis/report.py") == []
 
 
+def test_poem004_profiler_is_hot_path():
+    # The sampling profiler runs ~100x/s inside every process it
+    # measures; its loop is hot-path scope like the packet pipeline.
+    findings = _lint(BAD_RECORD_LOOP, "src/repro/obs/profiler.py")
+    assert _codes(findings) == ["POEM004"]
+
+
 def test_poem004_batch_call_clean():
     src = """
         def flush(self, batch):

@@ -26,6 +26,31 @@ class TestMessages:
         with pytest.raises(TransportError):
             encode_message({"x": 1})
 
+    def test_control_frames_carry_optional_profile(self):
+        from repro.net.messages import (
+            make_flushed,
+            make_telemetry_report,
+            make_worker_report,
+        )
+
+        profile = {"role": "worker-0", "stacks": {"worker-0;t;f": 3}}
+        sample = dict(
+            counters={}, queue_depth=0, busy_fraction=0.0, shard_ingested=0
+        )
+        flushed = make_flushed(2, 0, profile=profile, **sample)
+        assert flushed["profile"] == profile
+        # Omitted: the key is absent, not null — bare workers stay bare.
+        assert "profile" not in make_flushed(2, 0, **sample)
+        assert "profile" not in make_worker_report(
+            0, records=[], **sample
+        )
+        report = make_worker_report(
+            0, records=[], profile=profile, **sample
+        )
+        assert report["profile"] == profile
+        telem = make_telemetry_report(0, profile=profile, **sample)
+        assert decode_message(encode_message(telem))["profile"] == profile
+
     def test_garbage_rejected_on_decode(self):
         with pytest.raises(TransportError):
             decode_message(b"\xff\xfe not json")

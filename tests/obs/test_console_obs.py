@@ -91,3 +91,64 @@ class TestHealthDegradation:
         con, _, out = console
         text = run(con, out, "health")
         assert "schedule depth" in text
+
+
+class TestProfileCommand:
+    @pytest.fixture(autouse=True)
+    def _clean_default(self):
+        from repro.obs import profiler as profiler_mod
+
+        profiler_mod.set_default(None)
+        yield
+        prof = profiler_mod.get_default()
+        if prof is not None:
+            prof.stop()
+            profiler_mod.set_default(None)
+
+    def test_profile_without_profiler_fails_with_hint(self, console):
+        con, _, out = console
+        text = run(con, out, "profile")
+        assert "error" in text and "profile start" in text
+
+    def test_start_summary_dump_stop_cycle(self, console, tmp_path):
+        con, _, out = console
+        text = run(con, out, "profile start 200")
+        assert "200 Hz" in text
+        # Starting twice is refused, not silently stacked.
+        assert "already running" in run(con, out, "profile start")
+
+        from repro.obs import profiler as profiler_mod
+
+        profiler_mod.get_default().sample_once()  # deterministic content
+        text = run(con, out, "profile")
+        assert "samples" in text and "console;" in text
+
+        path = tmp_path / "out.folded"
+        text = run(con, out, f"profile dump {path}")
+        assert "speedscope" in text
+        first = path.read_text().splitlines()[0]
+        stack, count = first.rsplit(" ", 1)
+        assert stack.startswith("console;") and int(count) >= 1
+
+        text = run(con, out, "profile stop")
+        assert "samples" in text
+        assert not profiler_mod.get_default().running
+
+    def test_usage_error(self, console):
+        con, _, out = console
+        assert "usage:" in run(con, out, "profile bogus")
+
+
+class TestTimelineCommand:
+    def test_timeline_exports_perfetto_json(self, console, tmp_path):
+        import json
+
+        con, _, out = console
+        path = tmp_path / "tl.json"
+        text = run(con, out, f"timeline {path}")
+        assert "perfetto" in text.lower()
+        doc = json.loads(path.read_text())
+        # The fixture traced with sample_every=1, so spans are present.
+        assert any(
+            e.get("cat") == "pipeline" for e in doc["traceEvents"]
+        )

@@ -113,6 +113,37 @@ class TestFormat:
         assert text.count("tick") == 5
 
 
+class TestProfileEmbed:
+    def test_snapshot_embeds_default_profiler_window(self):
+        from repro.obs import profiler as profiler_mod
+        from repro.obs.profiler import SamplingProfiler
+
+        prof = SamplingProfiler(role="crashing")
+        prof.sample_once()
+        profiler_mod.set_default(prof)
+        try:
+            rec = FlightRecorder(role="crashing")
+            rec.note("boom")
+            snap = rec.snapshot(reason="test")
+            assert snap["profile"]["role"] == "crashing"
+            assert snap["profile"]["stacks"]
+            # Bounded for the artifact: at most the top-40 stacks.
+            assert len(snap["profile"]["stacks"]) <= 40
+            rendered = format_flight(snap)
+            assert "profile window" in rendered
+            assert "crashing" in rendered
+        finally:
+            profiler_mod.set_default(None)
+
+    def test_snapshot_without_profiler_has_no_profile_key(self):
+        from repro.obs import profiler as profiler_mod
+
+        assert profiler_mod.get_default() is None
+        snap = FlightRecorder(role="t").snapshot()
+        assert "profile" not in snap
+        assert "profile window" not in format_flight(snap)
+
+
 class TestDefaultRecorderAndLogMirror:
     def test_log_event_mirrors_into_default_recorder(self):
         prev = flightrec.get_default()

@@ -80,6 +80,135 @@ class TestTelemetryHTTPServer:
         srv.stop()
         srv.stop()
 
+    def test_errors_carry_json_body_and_content_length(self):
+        import urllib.error
+
+        srv = TelemetryHTTPServer(MetricsRegistry())
+        addr = srv.start()
+        try:
+            try:
+                _get(addr, "/nope")
+                raise AssertionError("expected 404")
+            except urllib.error.HTTPError as exc:
+                body = exc.read()
+                assert exc.headers.get("Content-Type") == "application/json"
+                assert int(exc.headers.get("Content-Length")) == len(body)
+                doc = json.loads(body)
+                assert doc["error"] == "not found"
+                assert doc["path"] == "/nope"
+        finally:
+            srv.stop()
+
+    def test_head_mirrors_get_on_every_route(self):
+        import http.client
+
+        reg = MetricsRegistry()
+        reg.counter("poem_y_total", "things").inc(1)
+        srv = TelemetryHTTPServer(reg, health_fn=lambda: {"ok": True})
+        host, port = srv.start()
+        try:
+            for path, expect in (
+                ("/metrics", 200),
+                ("/health", 200),
+                ("/trace", 404),   # no tracer attached
+                ("/nope", 404),
+            ):
+                get_status, _, get_body = None, None, b""
+                conn = http.client.HTTPConnection(host, port, timeout=5.0)
+                conn.request("GET", path)
+                resp = conn.getresponse()
+                get_status, get_body = resp.status, resp.read()
+                conn.close()
+
+                conn = http.client.HTTPConnection(host, port, timeout=5.0)
+                conn.request("HEAD", path)
+                resp = conn.getresponse()
+                head_body = resp.read()
+                assert resp.status == get_status == expect, path
+                # Same headers as GET — length included — but no body.
+                assert (
+                    int(resp.headers.get("Content-Length"))
+                    == len(get_body)
+                ), path
+                assert head_body == b"", path
+                conn.close()
+        finally:
+            srv.stop()
+
+    def test_profile_route(self):
+        import urllib.error
+
+        from repro.obs.profiler import SamplingProfiler
+
+        prof = SamplingProfiler(role="http-test")
+        prof.sample_once()
+        srv = TelemetryHTTPServer(MetricsRegistry(), profiler=prof)
+        addr = srv.start()
+        try:
+            status, ctype, body = _get(addr, "/profile")
+            assert status == 200
+            assert ctype.startswith("text/plain")
+            first = body.decode().splitlines()[0]
+            stack, count = first.rsplit(" ", 1)
+            assert stack.startswith("http-test;") and int(count) >= 1
+
+            status, ctype, body = _get(addr, "/profile?format=json")
+            doc = json.loads(body)
+            assert doc["role"] == "http-test" and doc["stacks"]
+
+            status, _, body = _get(addr, "/profile?format=summary")
+            assert b"samples" in body
+        finally:
+            srv.stop()
+
+        # No profiler anywhere: /profile is a JSON 404, not a crash.
+        srv = TelemetryHTTPServer(MetricsRegistry())
+        addr = srv.start()
+        try:
+            try:
+                _get(addr, "/profile")
+                raise AssertionError("expected 404")
+            except urllib.error.HTTPError as exc:
+                assert exc.code == 404
+                assert "no profiler" in json.loads(exc.read())["error"]
+        finally:
+            srv.stop()
+
+    def test_profile_burst_window(self):
+        srv = TelemetryHTTPServer(MetricsRegistry())
+        addr = srv.start()
+        try:
+            status, _, body = _get(addr, "/profile?seconds=0.2&format=json")
+            assert status == 200
+            doc = json.loads(body)
+            assert doc["role"] == "burst"
+            assert doc["window_seconds"] == 0.2
+        finally:
+            srv.stop()
+
+    def test_timeline_route(self):
+        from repro.obs.profiler import SamplingProfiler
+
+        tracer = PipelineTracer(sample_every=1)
+        tr = tracer.maybe_start()
+        tr.stage("receive", 1e-6)
+        tracer.commit(tr, [], [])
+        prof = SamplingProfiler(role="http-test")
+        prof.sample_once()
+        srv = TelemetryHTTPServer(
+            MetricsRegistry(), tracer=tracer, profiler=prof
+        )
+        addr = srv.start()
+        try:
+            status, ctype, body = _get(addr, "/timeline")
+            assert status == 200
+            assert ctype == "application/json"
+            doc = json.loads(body)
+            cats = {e.get("cat") for e in doc["traceEvents"]}
+            assert "pipeline" in cats and "sample" in cats
+        finally:
+            srv.stop()
+
 
 class TestServerEndpoint:
     def test_poem_server_exposes_metrics(self):

@@ -111,6 +111,38 @@ class TestHistogram:
     def test_percentile_empty_is_nan(self):
         h = Histogram("h")
         assert math.isnan(h.percentile(0.5))
+        # Every quantile of nothing is nothing — the edges included.
+        assert math.isnan(h.percentile(0.0))
+        assert math.isnan(h.percentile(1.0))
+
+    def test_percentile_single_sample(self):
+        h = Histogram("h", buckets=(1.0, 2.0, 4.0, 8.0))
+        h.observe(3.0)
+        # One sample: every interior quantile interpolates inside the
+        # (2, 4] bucket that holds it, never outside it.
+        for q in (0.01, 0.25, 0.5, 0.75, 0.99):
+            assert 2.0 <= h.percentile(q) <= 4.0
+        assert h.percentile(0.0) == pytest.approx(2.0)
+        assert h.percentile(1.0) == pytest.approx(4.0)
+
+    def test_percentile_all_mass_in_top_bucket(self):
+        h = Histogram("h", buckets=(1.0, 2.0, 4.0))
+        for _ in range(10):
+            h.observe(100.0)  # beyond the last finite bound -> +Inf bucket
+        # The +Inf bucket has no finite upper edge to interpolate
+        # toward; the estimate clamps to its lower bound rather than
+        # inventing a number.
+        for q in (0.0, 0.5, 1.0):
+            assert h.percentile(q) == pytest.approx(4.0)
+
+    def test_percentile_q0_and_q1_are_bucket_edges(self):
+        h = Histogram("h", buckets=(1.0, 2.0, 4.0, 8.0))
+        for v in [1.5] * 5 + [5.0] * 5:
+            h.observe(v)
+        # q=0 is the lower edge of the first occupied bucket, q=1 the
+        # upper edge of the last occupied one.
+        assert h.percentile(0.0) == pytest.approx(1.0)
+        assert h.percentile(1.0) == pytest.approx(8.0)
 
     def test_percentile_validates_q(self):
         h = Histogram("h")

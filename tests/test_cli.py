@@ -131,6 +131,106 @@ class TestExperimentCommand:
         assert "PoEm" in capsys.readouterr().out
 
 
+class TestProfileCommand:
+    @staticmethod
+    def _profiled_recording(tmp_path):
+        from repro.core.geometry import Vec2
+        from repro.core.recording import SqliteRecorder
+        from repro.core.server import InProcessEmulator
+        from repro.models.radio import RadioConfig
+
+        db = tmp_path / "profiled.sqlite"
+        recorder = SqliteRecorder(db)
+        emu = InProcessEmulator(
+            seed=1, recorder=recorder, profile_hz=200.0
+        )
+        try:
+            radios = RadioConfig.single(1, 200.0)
+            a = emu.add_node(Vec2(0, 0), radios, label="a")
+            b = emu.add_node(Vec2(100, 0), radios, label="b")
+            for i in range(20):
+                emu.clock.call_at(
+                    0.01 * (i + 1),
+                    lambda: a.transmit(b.node_id, b"x" * 16, channel=1),
+                )
+            emu.run_until(1.0)
+            emu.profiler.sample_once()  # at least one pass, even on slow CI
+            emu.record_run_summary()
+        finally:
+            emu.shutdown()
+            recorder.close()
+        return db
+
+    def test_profile_summary_from_recording(self, tmp_path, capsys):
+        db = self._profiled_recording(tmp_path)
+        assert main(["profile", str(db)]) == 0
+        out = capsys.readouterr().out
+        assert "role=emulator" in out
+        assert "samples" in out
+
+    def test_profile_collapsed_to_file(self, tmp_path, capsys):
+        db = self._profiled_recording(tmp_path)
+        out_file = tmp_path / "prof.folded"
+        rc = main([
+            "profile", str(db), "--format", "collapsed",
+            "--out", str(out_file),
+        ])
+        assert rc == 0
+        lines = out_file.read_text().rstrip("\n").splitlines()
+        assert lines
+        for line in lines:
+            stack, count = line.rsplit(" ", 1)
+            assert stack.startswith("emulator;") and int(count) >= 1
+
+    def test_profile_json_format(self, tmp_path, capsys):
+        db = self._profiled_recording(tmp_path)
+        assert main(["profile", str(db), "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["role"] == "emulator" and doc["stacks"]
+
+    def test_unprofiled_recording_is_an_error(self, workspace, capsys):
+        tmp, nodes, scenario = workspace
+        record = tmp / "bare.sqlite"
+        main([
+            "run-scenario", str(scenario), "--nodes", str(nodes),
+            "--record", str(record), "--until", "2.0",
+        ])
+        capsys.readouterr()
+        assert main(["profile", str(record)]) == 1
+        assert "profile" in capsys.readouterr().err
+
+    def test_needs_exactly_one_source(self, tmp_path, capsys):
+        assert main(["profile"]) == 1
+        db = self._profiled_recording(tmp_path)
+        assert main([
+            "profile", str(db), "--live", "http://127.0.0.1:1",
+        ]) == 1
+
+    def test_seconds_requires_live(self, tmp_path, capsys):
+        db = self._profiled_recording(tmp_path)
+        assert main(["profile", str(db), "--seconds", "1"]) == 1
+        assert "--live" in capsys.readouterr().err
+
+    def test_analyze_exports_timeline(self, tmp_path, capsys):
+        db = self._profiled_recording(tmp_path)
+        out_file = tmp_path / "timeline.json"
+        rc = main([
+            "analyze", str(db), "--format", "text",
+            "--timeline", str(out_file),
+        ])
+        assert rc == 0
+        assert "Perfetto" in capsys.readouterr().out
+        doc = json.loads(out_file.read_text())
+        assert doc["traceEvents"]
+        # The profiled run's terminal marker rides along as a scene
+        # instant; bulky payloads stay out of the args.
+        profile_marks = [
+            e for e in doc["traceEvents"] if e.get("name") == "profile"
+        ]
+        assert profile_marks
+        assert "stacks" not in profile_marks[0]["args"]
+
+
 class TestStatsCommand:
     def test_stats_report(self, workspace, capsys):
         tmp, nodes, scenario = workspace
