@@ -197,19 +197,46 @@ def build_parser() -> argparse.ArgumentParser:
     lint = sub.add_parser(
         "lint",
         help="concurrency-correctness checks (POEM rules + lock-order "
-             "runtime detector)",
+             "runtime detector + whole-program deep analysis)",
+        description="Static and runtime concurrency checks.",
+        epilog="exit codes: 0 = clean, 1 = findings (or an unclean "
+               "runtime/deep pass, or stale baseline entries), "
+               "2 = usage error (bad --changed base, malformed "
+               "baseline, unreadable path)",
     )
     lint.add_argument(
         "paths", nargs="*", default=None,
         help="files/directories to lint (default: the installed "
              "repro package source)",
     )
-    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="sarif = SARIF 2.1.0 for code-scanning upload",
+    )
     lint.add_argument(
         "--runtime", action="store_true",
         help="also run a short instrumented virtual-transport emulation "
              "and report the lock-order graph (cycles = potential "
              "deadlocks)",
+    )
+    lint.add_argument(
+        "--deep", action="store_true",
+        help="whole-program interprocedural analysis: POEM008 static "
+             "shared-state races, POEM009 static lock-order cycles "
+             "(cross-checked against --runtime when both are given), "
+             "POEM010 cluster-protocol drift; accepted findings live "
+             "in the committed baseline",
+    )
+    lint.add_argument(
+        "--baseline", metavar="PATH",
+        help="baseline file for --deep (default: lint-baseline.json "
+             "discovered upward from the first linted path)",
+    )
+    lint.add_argument(
+        "--changed", nargs="?", const="HEAD", metavar="BASE",
+        help="only report findings in files changed versus git BASE "
+             "(default HEAD); the --deep model is still built over the "
+             "full tree so interprocedural results stay sound",
     )
     lint.add_argument("--out", help="write the report to a file "
                                     "instead of stdout")
@@ -324,6 +351,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         print(scale.format_node_rows(scale.run_node_scaling()))
         print()
         print(scale.format_cluster_rows(scale.run_cluster_scaling()))
+        print()
+        print(scale.format_sharded_rows(scale.run_sharded_scaling()))
     return 0
 
 
@@ -521,27 +550,106 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_lint(args: argparse.Namespace) -> int:
-    """Exit 0 on a clean tree (and clean runtime), 1 on any finding."""
-    from .lint import lint_paths, render_json, render_text, run_runtime_check
+def _changed_files(base: str) -> "set[Path]":
+    """Python files changed versus git ``base`` (usage error -> None)."""
+    import subprocess
 
-    paths = list(args.paths) if args.paths else [
-        str(Path(__file__).resolve().parent)
-    ]
-    findings, checked = lint_paths(paths)
-    runtime = None
-    if args.runtime:
-        runtime = run_runtime_check().as_dict()
+    proc = subprocess.run(
+        ["git", "diff", "--name-only", base, "--", "*.py"],
+        capture_output=True,
+        text=True,
+        cwd=str(Path(__file__).resolve().parent),
+    )
+    if proc.returncode != 0:
+        raise _LintUsageError(
+            f"--changed: git diff against {base!r} failed: "
+            f"{proc.stderr.strip() or 'not a git checkout?'}"
+        )
+    toplevel = subprocess.run(
+        ["git", "rev-parse", "--show-toplevel"],
+        capture_output=True,
+        text=True,
+        cwd=str(Path(__file__).resolve().parent),
+    ).stdout.strip()
+    root = Path(toplevel) if toplevel else Path.cwd()
+    return {
+        (root / line).resolve()
+        for line in proc.stdout.splitlines()
+        if line.strip()
+    }
+
+
+class _LintUsageError(Exception):
+    """A ``poem lint`` invocation problem (exit code 2, not 1)."""
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Exit 0 on a clean tree, 1 on findings, 2 on a usage error."""
+    from .lint import (
+        lint_paths,
+        render_json,
+        render_sarif,
+        render_text,
+        run_deep,
+        run_runtime_check,
+    )
+
+    try:
+        paths = list(args.paths) if args.paths else [
+            str(Path(__file__).resolve().parent)
+        ]
+        changed: Optional[set] = None
+        if args.changed is not None:
+            changed = _changed_files(args.changed)
+        findings, checked = lint_paths(paths)
+        runtime = None
+        runtime_report = None
+        if args.runtime:
+            runtime_report = run_runtime_check()
+            runtime = runtime_report.as_dict()
+        deep = None
+        if args.deep:
+            runtime_edges = None
+            if runtime_report is not None:
+                runtime_edges = sorted(runtime_report.graph.edges())
+            baseline = Path(args.baseline) if args.baseline else None
+            try:
+                result = run_deep(
+                    paths, baseline=baseline, runtime_edges=runtime_edges
+                )
+            except (ValueError, OSError) as exc:
+                raise _LintUsageError(str(exc)) from exc
+            findings = findings + [f for f, _ in result.findings]
+            deep = result.as_dict()
+        if changed is not None:
+            findings = [
+                f for f in findings if Path(f.path).resolve() in changed
+            ]
+        findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    except _LintUsageError as exc:
+        print(f"usage error: {exc}", file=sys.stderr)
+        return 2
     if args.format == "json":
-        rendered = render_json(findings, checked, runtime)
+        rendered = render_json(findings, checked, runtime, deep)
+    elif args.format == "sarif":
+        rendered = render_sarif(
+            findings, src_root=Path(__file__).resolve().parent.parent
+        )
     else:
-        rendered = render_text(findings, checked, runtime)
+        rendered = render_text(findings, checked, runtime, deep)
     if args.out:
         Path(args.out).write_text(rendered)
         print(f"wrote {args.format} lint report to {args.out}")
     else:
         print(rendered, end="" if rendered.endswith("\n") else "\n")
-    clean = not findings and (runtime is None or runtime.get("clean", False))
+    # `findings` already folds in the deep pass's actionable findings
+    # (filtered by --changed when given); stale baseline entries fail
+    # the gate regardless so the baseline cannot rot.
+    clean = (
+        not findings
+        and (runtime is None or runtime.get("clean", False))
+        and (deep is None or not deep.get("stale_baseline_entries"))
+    )
     return 0 if clean else 1
 
 

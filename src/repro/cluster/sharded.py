@@ -267,7 +267,9 @@ class ShardedEmulator:
         # quarantine/restore, which deliberately do NOT bump
         # Scene.version (they bypass the version-keyed caches), so a
         # version compare alone would under-replicate.
-        self._scene_dirty = True
+        # All writers race benignly (True-stores; the one False store in
+        # _sync_scene is ordered before the export it covers).
+        self._scene_dirty = True  # poem: ignore[POEM008]
 
     # -- topology construction --------------------------------------------------
 
@@ -389,12 +391,28 @@ class ShardedEmulator:
                 conn.send_bytes(bye)
             except (OSError, ValueError, BrokenPipeError):
                 continue  # worker already gone; join below cleans up
-        for conn in self._conns:
+        for worker, conn in enumerate(self._conns):
             try:
-                if conn.poll(2.0):
-                    conn.recv_bytes()  # the 'bye' ack
-            except (EOFError, OSError):
+                if not conn.poll(2.0):
+                    continue
+                msg = decode_message(conn.recv_bytes())
+            except (EOFError, OSError, ValueError, ProtocolError):
                 continue  # dying worker closed the pipe first — fine
+            op = msg.get("op")
+            if op == "worker_error":
+                # A worker that crashed during shutdown still ships its
+                # flight artifact — keep it for post-mortem analysis.
+                self.flight.note(
+                    "worker-shutdown-error",
+                    worker=worker,
+                    error=msg.get("error"),
+                )
+                if msg.get("flight"):
+                    self.crash_artifacts[worker] = str(msg["flight"])
+            elif op != "bye":
+                self.flight.note(
+                    "unexpected-shutdown-reply", worker=worker, op=op
+                )
         for proc in self._procs:
             proc.join(timeout=5.0)
             if proc.is_alive():
@@ -524,13 +542,20 @@ class ShardedEmulator:
             return
         with self._io_lock:
             self._flush_buffers()
+            # Clear the flag *before* exporting: a scene event landing
+            # mid-export re-marks it and the next barrier re-ships,
+            # instead of a late ``False`` store erasing that event and
+            # leaving the workers on a stale replica.  (A lock is not an
+            # option: ``_mark_dirty`` fires under the Scene lock while
+            # this block holds ``_io_lock`` -> Scene lock, so guarding
+            # the flag would close a lock-order cycle.)
+            self._scene_dirty = False
             snap = self.scene.export_snapshot()
             frame = encode_message(
                 make_scene_snapshot(snapshot_to_dict(snap), snap.version)
             )
             for worker in range(len(self._conns)):
                 self._send_to(worker, frame)
-            self._scene_dirty = False
 
     def _recv_control(self, worker: int) -> dict[str, Any]:
         conn = self._conns[worker]
@@ -620,7 +645,7 @@ class ShardedEmulator:
                         f"reply {msg!r}"
                     )
                 self._fold_worker_sample(worker, msg)
-        self._refresh_aggregates()
+            self._refresh_aggregates()
         if t > self._time:
             self._time = t
         self.scene.advance_time(self._time)
@@ -733,7 +758,7 @@ class ShardedEmulator:
                         f"reply {msg!r}"
                     )
                 self._fold_worker_sample(worker, msg)
-        self._refresh_aggregates()
+            self._refresh_aggregates()
         return [dict(s) for s in self.worker_stats]
 
     def _pull_loop(self) -> None:
@@ -812,7 +837,7 @@ class ShardedEmulator:
                 # and shard gauges refresh here too, not only at
                 # barriers.
                 self._fold_worker_sample(worker, msg)
-        self._refresh_aggregates()
+            self._refresh_aggregates()
         if self.n_workers == 1:
             ordered = streams[0]
         else:

@@ -26,7 +26,7 @@ command                         effect
 ``timeline [out.json]``         export a Perfetto/Chrome trace timeline
 ``analyze [record-id]``         offline forensics report / packet lineage
 ``flight [dump]``               crash flight-recorder rings (pre-mortem)
-``lint [runtime]``              POEM rule check (+ lock-order graph)
+``lint [runtime|deep]``         POEM rule check (+ lock-order / deep)
 ``quit``                        leave the console
 =============================  =============================================
 
@@ -249,25 +249,39 @@ class PoEmConsole(cmd.Cmd):
             self._fail(f"flight failed: {type(exc).__name__}: {exc}")
 
     def do_lint(self, arg: str) -> None:
-        """lint [runtime] — concurrency-correctness check of the installed
-        package source (POEM rules); ``lint runtime`` also runs a short
-        instrumented emulation and reports the lock-order graph.
+        """lint [runtime|deep] — concurrency-correctness check of the
+        installed package source (POEM rules); ``lint runtime`` also runs
+        a short instrumented emulation and reports the lock-order graph;
+        ``lint deep`` runs the whole-program race/lock-order/protocol
+        analysis gated by the committed baseline.
         """
         mode = arg.strip().lower()
-        if mode not in ("", "runtime"):
-            self._fail("usage: lint [runtime]")
+        if mode not in ("", "runtime", "deep"):
+            self._fail("usage: lint [runtime|deep]")
             return
         try:
             from pathlib import Path
 
-            from ..lint import lint_paths, render_text, run_runtime_check
+            from ..lint import (
+                lint_paths,
+                render_text,
+                run_deep,
+                run_runtime_check,
+            )
 
             pkg_root = str(Path(__file__).resolve().parent.parent)
             findings, checked = lint_paths([pkg_root])
             runtime = None
+            deep = None
             if mode == "runtime":
                 runtime = run_runtime_check().as_dict()
-            self._say(render_text(findings, checked, runtime).rstrip("\n"))
+            elif mode == "deep":
+                result = run_deep([pkg_root])
+                findings = findings + [f for f, _ in result.findings]
+                deep = result.as_dict()
+            self._say(
+                render_text(findings, checked, runtime, deep).rstrip("\n")
+            )
         except Exception as exc:  # noqa: BLE001 — operator surface
             self._fail(f"lint failed: {type(exc).__name__}: {exc}")
 

@@ -30,14 +30,27 @@ Two planes
     :func:`repro.lint.runtime.run_runtime_check` runs a short
     virtual-transport emulation under it (``poem lint --runtime``).
 
+:mod:`repro.lint.deep` — ``poem lint --deep``
+    The whole-program plane: :mod:`repro.lint.callgraph` builds an
+    interprocedural model (call graph, thread entrypoints, per-function
+    lock/field summaries) and three passes run over it — POEM008 static
+    shared-state races (:mod:`repro.lint.racecheck`), POEM009 static
+    lock-order cycles cross-checked against the runtime graph
+    (:mod:`repro.lint.staticlocks`), POEM010 cluster-protocol drift
+    (:mod:`repro.lint.protocheck`).  Accepted findings live in the
+    committed ``lint-baseline.json`` with per-entry justifications, so
+    CI gates on *new* findings only.
+
 Both are wired into CI (the ``lint`` job) and the operator console
 (``lint`` command).  See ``docs/static-analysis.md`` for the rule
-catalog and the runtime-detector guide.
+catalog, the runtime-detector guide and the deep-analysis guide.
 """
 
 from __future__ import annotations
 
 from .analyzer import lint_file, lint_paths, lint_source
+from .callgraph import Project, build_project
+from .deep import DEFAULT_BASELINE_NAME, DeepResult, load_baseline, run_deep
 from .lockgraph import (
     ContentionEvent,
     InstrumentedLock,
@@ -48,6 +61,8 @@ from .lockgraph import (
 from .report import render_json, render_text, summarize
 from .rules import RULES, Finding, Rule
 from .runtime import RuntimeReport, run_runtime_check
+from .sarif import render_sarif
+from .staticlocks import StaticLockModel, build_lock_model
 
 __all__ = [
     "RULES",
@@ -58,6 +73,7 @@ __all__ = [
     "lint_paths",
     "render_text",
     "render_json",
+    "render_sarif",
     "summarize",
     "LockGraph",
     "LockCycle",
@@ -66,4 +82,12 @@ __all__ = [
     "instrument_module_locks",
     "RuntimeReport",
     "run_runtime_check",
+    "Project",
+    "build_project",
+    "StaticLockModel",
+    "build_lock_model",
+    "DeepResult",
+    "run_deep",
+    "load_baseline",
+    "DEFAULT_BASELINE_NAME",
 ]

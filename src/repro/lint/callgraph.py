@@ -1,0 +1,1627 @@
+"""Whole-program model for the deep concurrency passes (``poem lint --deep``).
+
+The lexical rules (POEM001-007) judge one function at a time; the deep
+passes need to know *who calls whom with which locks held*.  This module
+builds that model from the AST alone — nothing under analysis is ever
+imported:
+
+:class:`Project`
+    Every module under the linted roots, indexed: classes (with resolved
+    base classes and per-field type/lock info), functions (including
+    nested ``def``\\ s and lambdas), and module imports.
+
+Lock identity
+    A lock is named by its construction site, ``"basename.py:lineno"`` —
+    exactly the name the runtime detector's
+    :func:`~repro.lint.lockgraph.instrument_module_locks` assigns, so the
+    static POEM009 graph and the runtime graph share a vocabulary.
+    ``threading.Condition(self._lock)`` aliases to the wrapped lock's
+    site.  Three families of stdlib-internal locks are modelled
+    abstractly: every ``numpy`` ``default_rng`` generator guards its bit
+    generator with one internal lock (node ``<rng>``), ``queue.Queue``
+    internals collapse to ``<ext:queue.py>``, and a ``threading.Thread``
+    /``Timer``'s startup event is attributed to the construction site
+    (matching the runtime namer, which skips ``threading.py`` frames).
+
+Function summaries
+    One AST walk per function produces position-sensitive events —
+    lock acquisitions (``with`` nesting), calls (with the locks held at
+    the call site), and attribute accesses (read/write + held locks) —
+    that :mod:`.staticlocks` and :mod:`.racecheck` consume.
+
+Callback slots
+    Indirect calls are resolved context-insensitively through *slots*: a
+    parameter that a function invokes, or a field/registry callables are
+    stored into (``scene.add_listener(fn)`` → ``Scene._listeners``;
+    ``clock.call_at(t, fn)`` → the clock heap).  Every callable that
+    flows into a slot anywhere in the program is a possible target of
+    every call through it.
+
+Soundness caveats are documented in docs/static-analysis.md: the model
+is deliberately an over-approximation for call targets (extra edges are
+cheap; a missed edge is a hole the runtime cross-check exists to catch).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field as dc_field
+from pathlib import Path
+from typing import Iterable, Optional, Sequence, Union
+
+from .analyzer import iter_python_files
+
+__all__ = [
+    "RNG_SITE",
+    "QUEUE_SITE",
+    "FieldInfo",
+    "FuncInfo",
+    "ClassInfo",
+    "ModuleInfo",
+    "RootInfo",
+    "AcquireEvent",
+    "CallEvent",
+    "AccessEvent",
+    "Project",
+    "build_project",
+]
+
+#: Abstract node for every numpy ``default_rng`` generator's internal lock.
+RNG_SITE = "<rng>"
+#: Abstract node for ``queue.Queue``-family internal locks.
+QUEUE_SITE = "<ext:queue.py>"
+
+_LOCK_FACTORIES = {"Lock": False, "RLock": True}
+_QUEUE_CLASSES = frozenset(
+    {"Queue", "LifoQueue", "PriorityQueue", "SimpleQueue", "JoinableQueue"}
+)
+_THREAD_CLASSES = frozenset({"Thread", "Timer"})
+_SYNC_CLASSES = frozenset({"Semaphore", "BoundedSemaphore", "Barrier"})
+
+#: Methods of each modelled external type that take its internal lock.
+_EVENT_ACQUIRING = frozenset({"set", "clear", "wait"})
+_QUEUE_ACQUIRING = frozenset(
+    {"put", "get", "put_nowait", "get_nowait", "qsize", "empty", "full",
+     "join", "task_done"}
+)
+_THREAD_ACQUIRING = frozenset({"start", "join"})
+_SYNC_ACQUIRING = frozenset({"acquire", "release", "wait"})
+
+#: Container methods that mutate the receiver (a write to the field).
+_MUTATORS = frozenset(
+    {"append", "extend", "add", "discard", "remove", "pop", "popitem",
+     "clear", "update", "setdefault", "appendleft", "insert", "popleft"}
+)
+#: Container/introspection method names never resolved by the unique-name
+#: fallback (too generic to identify a project class).
+_FALLBACK_STOPLIST = frozenset(
+    {"get", "items", "keys", "values", "copy", "sort", "split", "strip",
+     "join", "read", "write", "encode", "decode", "format", "count",
+     "index", "startswith", "endswith", "as_dict", "close", "send",
+     "recv", "fileno", "flush", "poll", "acquire", "release", "locked",
+     # stdlib look-alikes: sqlite3/socket/subprocess method names that
+     # would otherwise resolve to same-named project methods
+     "connect", "disconnect", "execute", "commit", "cursor", "bind",
+     "listen", "accept", "sendall", "settimeout", "setsockopt",
+     "shutdown", "cancel", "terminate", "set", "clear", "wait"}
+)
+#: Max distinct defining classes for the unique-method-name fallback.
+#: Deliberately tight: the fallback exists for genuinely distinctive
+#: names (``labels``, ``observe``, ``add_listener``); letting common
+#: verbs like ``step``/``stop`` resolve to every definer poisons the
+#: race pass's held-lock contexts with phantom call edges.
+_FALLBACK_LIMIT = 2
+
+
+# ---------------------------------------------------------------------------
+# model dataclasses
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FieldInfo:
+    """One instance attribute of a class (or one module-level global)."""
+
+    name: str
+    kind: str = "plain"  # plain|lock|event|queue|thread|rng|sem|object
+    site: Optional[str] = None  # lock-ish kinds: "file.py:NN" or special
+    reentrant: bool = False
+    types: set = dc_field(default_factory=set)  # project class qualnames
+    line: int = 0
+    #: name of the field this Condition wraps (resolved post-pass)
+    alias_of: Optional[str] = None
+    #: writes seen only in ``__init__``/class body (pre-publication)
+    init_only_writes: bool = True
+
+
+@dataclass
+class FuncInfo:
+    """One function: module-level, method, nested ``def``, or lambda."""
+
+    qualname: str
+    name: str
+    module: "ModuleInfo"
+    cls: Optional[str]  # owning class qualname (methods only)
+    node: ast.AST
+    line: int
+    params: list = dc_field(default_factory=list)
+    annotations: dict = dc_field(default_factory=dict)  # param/return -> raw
+    parent: Optional["FuncInfo"] = None
+    closure_env: dict = dc_field(default_factory=dict)
+    events: list = dc_field(default_factory=list)
+    summarized: bool = False
+
+    def __hash__(self) -> int:
+        return hash(self.qualname)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, FuncInfo) and other.qualname == self.qualname
+
+
+@dataclass
+class ClassInfo:
+    qualname: str
+    name: str
+    module: "ModuleInfo"
+    node: ast.ClassDef
+    bases: list = dc_field(default_factory=list)  # raw base name strings
+    base_quals: list = dc_field(default_factory=list)
+    methods: dict = dc_field(default_factory=dict)  # name -> FuncInfo
+    fields: dict = dc_field(default_factory=dict)  # name -> FieldInfo
+    frozen: bool = False
+
+
+@dataclass
+class ModuleInfo:
+    path: Path
+    relname: str  # "core.engine"
+    basename: str  # "engine.py"
+    tree: ast.Module
+    source_lines: list
+    imports: dict = dc_field(default_factory=dict)  # alias -> dotted target
+    classes: dict = dc_field(default_factory=dict)
+    functions: dict = dc_field(default_factory=dict)  # module-level only
+    globals: dict = dc_field(default_factory=dict)  # name -> FieldInfo
+
+
+@dataclass
+class RootInfo:
+    """A thread entrypoint: where concurrent execution can begin."""
+
+    func: FuncInfo
+    kind: str  # supervised|thread|timer|httpd|worker-main|cli-main|registry
+    spawn_func: Optional[str]  # qualname of the function doing the spawn
+    line: int
+
+    @property
+    def name(self) -> str:
+        return self.func.qualname
+
+
+# -- summary events ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AcquireEvent:
+    """A lock acquisition (``with`` entry, or a modelled external op)."""
+
+    site: str
+    held: frozenset  # sites held just before this acquisition
+    line: int
+
+
+@dataclass
+class CallEvent:
+    """A call site with the locks held around it."""
+
+    callees: list  # FuncInfo (resolved; slots already expanded)
+    held: frozenset
+    line: int
+
+
+@dataclass(frozen=True)
+class AccessEvent:
+    """An instance-attribute access, attributed to the owning class."""
+
+    cls: str  # class qualname
+    attr: str
+    kind: str  # "r" | "w"
+    held: frozenset
+    line: int
+
+
+# ---------------------------------------------------------------------------
+# the project model
+# ---------------------------------------------------------------------------
+
+
+class Project:
+    """The indexed whole-program model; built by :func:`build_project`."""
+
+    def __init__(self) -> None:
+        self.modules: dict = {}  # relname -> ModuleInfo
+        self.classes: dict = {}  # qualname -> ClassInfo
+        self.functions: dict = {}  # qualname -> FuncInfo (all, incl nested)
+        self.classes_by_name: dict = {}  # simple name -> [ClassInfo]
+        self.methods_by_name: dict = {}  # name -> [FuncInfo]
+        self.subclasses: dict = {}  # class qualname -> set of qualnames
+        #: slot key -> {"members": set[FuncInfo], "edges": set[slotkey]}
+        self.slots: dict = {}
+        self.roots: list = []  # RootInfo
+        self.rng_sites: set = set()  # "file.py:NN" of default_rng() calls
+        self.lock_labels: dict = {}  # site -> "module.Class.field"
+        self.basenames: set = set()  # project file basenames
+        self._slot_cache: dict = {}
+
+    # -- resolution helpers --------------------------------------------------
+
+    def resolve_class_name(
+        self, name: str, module: Optional[ModuleInfo]
+    ) -> Optional[ClassInfo]:
+        if module is not None:
+            ci = module.classes.get(name)
+            if ci is not None:
+                return ci
+            target = module.imports.get(name)
+            if target is not None:
+                ci = self.classes.get(target)
+                if ci is not None:
+                    return ci
+                # "pkg.mod.Class" import: try trailing segment lookup
+                tail = target.rsplit(".", 1)[-1]
+                hits = self.classes_by_name.get(tail, [])
+                if len(hits) == 1:
+                    return hits[0]
+        hits = self.classes_by_name.get(name, [])
+        if len(hits) == 1:
+            return hits[0]
+        return None
+
+    def mro(self, qualname: str) -> list:
+        """Approximate linearization: the class, then bases depth-first."""
+        out, seen, work = [], set(), [qualname]
+        while work:
+            q = work.pop(0)
+            if q in seen:
+                continue
+            seen.add(q)
+            ci = self.classes.get(q)
+            if ci is None:
+                continue
+            out.append(ci)
+            work.extend(ci.base_quals)
+        return out
+
+    def resolve_method(self, class_qual: str, name: str) -> list:
+        """Implementations of ``name`` callable on a ``class_qual`` value:
+        the inherited definition plus every subclass override."""
+        out: list = []
+        for ci in self.mro(class_qual):
+            fi = ci.methods.get(name)
+            if fi is not None:
+                out.append(fi)
+                break
+        work = [class_qual]
+        seen = set()
+        while work:
+            q = work.pop()
+            if q in seen:
+                continue
+            seen.add(q)
+            for sub in self.subclasses.get(q, ()):
+                ci = self.classes.get(sub)
+                if ci is not None and name in ci.methods:
+                    out.append(ci.methods[name])
+                work.append(sub)
+        # dedupe, stable order
+        uniq: dict = {}
+        for fi in out:
+            uniq[fi.qualname] = fi
+        return list(uniq.values())
+
+    def fallback_methods(self, name: str) -> list:
+        """Unknown-receiver resolution: every project method named
+        ``name``, when the name is distinctive enough to mean something."""
+        if name.startswith("__") or name in _FALLBACK_STOPLIST:
+            return []
+        cands = self.methods_by_name.get(name, [])
+        owners = {fi.cls for fi in cands}
+        if not cands or len(owners) > _FALLBACK_LIMIT:
+            return []
+        return list(cands)
+
+    def slot(self, key: tuple) -> dict:
+        s = self.slots.get(key)
+        if s is None:
+            s = {"members": set(), "edges": set()}
+            self.slots[key] = s
+        return s
+
+    def slot_members(self, key: tuple) -> set:
+        """Transitive concrete callables reachable through a slot."""
+        cached = self._slot_cache.get(key)
+        if cached is not None:
+            return cached
+        out: set = set()
+        self._slot_cache[key] = out  # break cycles
+        seen, work = set(), [key]
+        while work:
+            k = work.pop()
+            if k in seen:
+                continue
+            seen.add(k)
+            s = self.slots.get(k)
+            if s is None:
+                continue
+            out.update(s["members"])
+            work.extend(s["edges"])
+        return out
+
+    def field(self, class_qual: str, attr: str) -> Optional[FieldInfo]:
+        for ci in self.mro(class_qual):
+            fi = ci.fields.get(attr)
+            if fi is not None:
+                return fi
+        return None
+
+    def is_project_site(self, site: str) -> bool:
+        """True when a runtime lock name points into the linted tree."""
+        base = site.rsplit(":", 1)[0]
+        return base in self.basenames
+
+    def canonical_site(self, site: str) -> str:
+        """Map a runtime lock name onto the static vocabulary."""
+        if site in self.rng_sites:
+            return RNG_SITE
+        if not self.is_project_site(site):
+            base = site.rsplit(":", 1)[0].rsplit("/", 1)[-1]
+            return f"<ext:{base}>"
+        return site
+
+
+# ---------------------------------------------------------------------------
+# pass 1: index modules, classes, functions
+# ---------------------------------------------------------------------------
+
+
+def _module_relname(path: Path, roots: Sequence[Path]) -> str:
+    for root in roots:
+        try:
+            rel = path.resolve().relative_to(root.resolve())
+        except ValueError:
+            continue
+        return ".".join(rel.with_suffix("").parts)
+    return path.stem
+
+
+def _collect_imports(tree: ast.Module) -> dict:
+    imports: dict = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                imports[alias.asname or alias.name.split(".")[0]] = alias.name
+        elif isinstance(node, ast.ImportFrom):
+            mod = node.module or ""
+            for alias in node.names:
+                imports[alias.asname or alias.name] = (
+                    f"{mod}.{alias.name}" if mod else alias.name
+                )
+    return imports
+
+
+def _is_frozen_dataclass(node: ast.ClassDef) -> bool:
+    for dec in node.decorator_list:
+        if isinstance(dec, ast.Call):
+            name = dec.func.attr if isinstance(dec.func, ast.Attribute) else (
+                dec.func.id if isinstance(dec.func, ast.Name) else ""
+            )
+            if name == "dataclass":
+                for kw in dec.keywords:
+                    if kw.arg == "frozen" and isinstance(
+                        kw.value, ast.Constant
+                    ):
+                        return bool(kw.value.value)
+    return False
+
+
+def _base_name(expr: ast.expr) -> str:
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    return ""
+
+
+def _index_module(project: Project, mi: ModuleInfo) -> None:
+    def index_func(
+        node: Union[ast.FunctionDef, ast.AsyncFunctionDef],
+        qual: str,
+        cls: Optional[str],
+        parent: Optional[FuncInfo],
+    ) -> FuncInfo:
+        args = node.args
+        params = [a.arg for a in args.posonlyargs + args.args]
+        if args.vararg:
+            params.append(args.vararg.arg)
+        params.extend(a.arg for a in args.kwonlyargs)
+        if args.kwarg:
+            params.append(args.kwarg.arg)
+        annotations = {}
+        for a in args.posonlyargs + args.args + args.kwonlyargs:
+            if a.annotation is not None:
+                annotations[a.arg] = ast.unparse(a.annotation)
+        if node.returns is not None:
+            annotations["return"] = ast.unparse(node.returns)
+        fi = FuncInfo(
+            qualname=qual, name=node.name, module=mi, cls=cls, node=node,
+            line=node.lineno, params=params, annotations=annotations,
+            parent=parent,
+        )
+        project.functions[qual] = fi
+        if cls is not None and parent is None:
+            project.methods_by_name.setdefault(node.name, []).append(fi)
+        for child in ast.iter_child_nodes(node):
+            index_body(child, qual, None, fi)
+        return fi
+
+    def index_body(
+        node: ast.AST, prefix: str, cls: Optional[str],
+        parent: Optional[FuncInfo],
+    ) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            fi = index_func(node, f"{prefix}.{node.name}", cls, parent)
+            if cls is not None and parent is None:
+                project.classes[cls].methods[node.name] = fi
+            elif parent is None:
+                mi.functions[node.name] = fi
+        elif isinstance(node, ast.ClassDef) and parent is None:
+            qual = f"{prefix}.{node.name}"
+            ci = ClassInfo(
+                qualname=qual, name=node.name, module=mi, node=node,
+                bases=[_base_name(b) for b in node.bases if _base_name(b)],
+                frozen=_is_frozen_dataclass(node),
+            )
+            project.classes[qual] = ci
+            project.classes_by_name.setdefault(node.name, []).append(ci)
+            for child in ast.iter_child_nodes(node):
+                index_body(child, qual, qual, None)
+        else:
+            for child in ast.iter_child_nodes(node):
+                index_body(child, prefix, cls, parent)
+
+    for node in mi.tree.body:
+        index_body(node, mi.relname, None, None)
+
+
+# ---------------------------------------------------------------------------
+# pass 2: field typing (construction-site lock identity)
+# ---------------------------------------------------------------------------
+
+
+def _dotted(expr: ast.expr) -> str:
+    parts: list = []
+    while isinstance(expr, ast.Attribute):
+        parts.append(expr.attr)
+        expr = expr.value
+    if isinstance(expr, ast.Name):
+        parts.append(expr.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def _construct_kind(call: ast.Call, mi: ModuleInfo) -> Optional[tuple]:
+    """Classify a constructor call: (kind, reentrant) for modelled types.
+
+    Returns None for ordinary calls.  ``kind`` is one of lock/event/
+    queue/thread/sem/rng/condition.
+    """
+    dotted = _dotted(call.func)
+    if not dotted:
+        return None
+    head, _, tail = dotted.rpartition(".")
+    name = tail or dotted
+    origin = mi.imports.get(dotted.split(".")[0], dotted.split(".")[0])
+    if name in _LOCK_FACTORIES and (
+        head in ("threading", "") or origin.startswith("threading")
+    ):
+        imported = mi.imports.get(dotted, "")
+        if head == "threading" or imported.startswith("threading."):
+            return ("lock", _LOCK_FACTORIES[name])
+    if head == "threading" or mi.imports.get(dotted, "").startswith(
+        "threading."
+    ):
+        if name == "Event":
+            return ("event", True)
+        if name == "Condition":
+            return ("condition", True)
+        if name in _QUEUE_CLASSES:
+            return ("queue", True)
+        if name in _THREAD_CLASSES:
+            return ("thread", True)
+        if name in _SYNC_CLASSES:
+            return ("sem", True)
+    if name in _QUEUE_CLASSES and (
+        head == "queue" or mi.imports.get(dotted, "").startswith("queue.")
+    ):
+        return ("queue", True)
+    if name == "default_rng":
+        return ("rng", True)
+    return None
+
+
+def _site_of(call: ast.AST, mi: ModuleInfo) -> str:
+    return f"{mi.basename}:{call.lineno}"
+
+
+def _field_types_from_annotation(
+    project: Project, mi: ModuleInfo, raw: Optional[str]
+) -> set:
+    return set(_resolve_annotation(project, mi, raw))
+
+
+def _resolve_annotation(
+    project: Project, mi: ModuleInfo, raw: Optional[str]
+) -> list:
+    """Resolve an annotation string to project class qualnames."""
+    if not raw:
+        return []
+    raw = raw.strip().strip("'\"")
+    for wrapper in ("Optional[", "Type[", "type["):
+        if raw.startswith(wrapper) and raw.endswith("]"):
+            raw = raw[len(wrapper):-1]
+            if wrapper != "Optional[":
+                return []  # a class object, not an instance
+    if raw.startswith("Union[") and raw.endswith("]"):
+        parts = _split_args(raw[len("Union["):-1])
+    elif "|" in raw:
+        parts = [p.strip() for p in raw.split("|")]
+    else:
+        parts = [raw]
+    out: list = []
+    for part in parts:
+        part = part.strip().strip("'\"")
+        if part in ("None", "", "object", "Any"):
+            continue
+        if part.startswith(("Callable", "list[", "dict[", "tuple[",
+                            "set[", "frozenset[", "Sequence[",
+                            "Iterable[", "Mapping[")):
+            continue
+        base = part.split("[", 1)[0]
+        name = base.rsplit(".", 1)[-1]
+        ci = project.resolve_class_name(name, mi)
+        if ci is not None:
+            out.append(ci.qualname)
+    return out
+
+
+def _split_args(s: str) -> list:
+    parts, depth, cur = [], 0, ""
+    for ch in s:
+        if ch == "," and depth == 0:
+            parts.append(cur)
+            cur = ""
+            continue
+        if ch in "[(":
+            depth += 1
+        elif ch in "])":
+            depth -= 1
+        cur += ch
+    if cur.strip():
+        parts.append(cur)
+    return parts
+
+
+def _collect_fields(project: Project) -> None:
+    """Scan every assignment for field definitions — ``self.x = ...`` in
+    methods, cross-object ``expr.attr = ...``, module-level globals."""
+    pending_aliases: list = []  # (ClassInfo, field name, wrapped attr name)
+
+    def classify_value(
+        mi: ModuleInfo, fi: FieldInfo, value: ast.expr,
+        owner: Optional[ClassInfo],
+    ) -> None:
+        if isinstance(value, ast.IfExp):
+            classify_value(mi, fi, value.body, owner)
+            classify_value(mi, fi, value.orelse, owner)
+            return
+        if isinstance(value, ast.BoolOp):
+            for v in value.values:
+                classify_value(mi, fi, v, owner)
+            return
+        if not isinstance(value, ast.Call):
+            return
+        kind = _construct_kind(value, mi)
+        if kind is not None:
+            k, reentrant = kind
+            site = _site_of(value, mi)
+            if k == "rng":
+                project.rng_sites.add(site)
+                fi.kind, fi.site = "rng", RNG_SITE
+            elif k == "queue":
+                fi.kind, fi.site = "queue", QUEUE_SITE
+            elif k == "condition":
+                args = value.args
+                if args and isinstance(args[0], ast.Attribute) and (
+                    isinstance(args[0].value, ast.Name)
+                    and args[0].value.id == "self"
+                    and owner is not None
+                ):
+                    fi.kind = "lock"
+                    fi.reentrant = True
+                    fi.alias_of = args[0].attr
+                    pending_aliases.append((owner, fi.name, args[0].attr))
+                else:
+                    fi.kind, fi.site, fi.reentrant = "lock", site, True
+            else:
+                fi.kind, fi.site, fi.reentrant = k, site, reentrant
+            if fi.kind == "lock" and fi.site:
+                label = (
+                    f"{owner.qualname}.{fi.name}" if owner else
+                    f"{mi.relname}.{fi.name}"
+                )
+                project.lock_labels.setdefault(fi.site, label)
+            return
+        # Ordinary constructor: ClassName(...)
+        dotted = _dotted(value.func)
+        if dotted:
+            name = dotted.rsplit(".", 1)[-1]
+            ci = project.resolve_class_name(name, mi)
+            if ci is not None:
+                fi.types.add(ci.qualname)
+
+    for mi in project.modules.values():
+        # module-level globals
+        for node in mi.tree.body:
+            if isinstance(node, ast.Assign) and len(node.targets) == 1 and (
+                isinstance(node.targets[0], ast.Name)
+            ):
+                name = node.targets[0].id
+                fi = mi.globals.setdefault(
+                    name, FieldInfo(name=name, line=node.lineno)
+                )
+                classify_value(mi, fi, node.value, None)
+
+    for func in list(project.functions.values()):
+        mi = func.module
+        owner = project.classes.get(func.cls) if func.cls else None
+        in_init = func.name in ("__init__", "__post_init__")
+        for node in ast.walk(func.node):
+            targets: list = []
+            value: Optional[ast.expr] = None
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            elif isinstance(node, ast.AnnAssign):
+                targets, value = [node.target], None
+            else:
+                continue
+            for target in targets:
+                if not isinstance(target, ast.Attribute):
+                    continue
+                base = target.value
+                tcls: Optional[ClassInfo] = None
+                if isinstance(base, ast.Name) and base.id == "self" and (
+                    owner is not None
+                ):
+                    tcls = owner
+                if tcls is None:
+                    continue
+                fi = tcls.fields.setdefault(
+                    target.attr,
+                    FieldInfo(name=target.attr, line=target.lineno),
+                )
+                if not in_init:
+                    fi.init_only_writes = False
+                if isinstance(node, ast.AnnAssign) and node.annotation:
+                    fi.types |= _field_types_from_annotation(
+                        project, mi, ast.unparse(node.annotation)
+                    )
+                if value is None:
+                    continue
+                classify_value(mi, fi, value, tcls)
+                if isinstance(value, ast.Name) and value.id in func.params:
+                    fi.types |= _field_types_from_annotation(
+                        project, mi, func.annotations.get(value.id)
+                    )
+                if isinstance(value, ast.IfExp):
+                    for branch in (value.body, value.orelse):
+                        if isinstance(branch, ast.Name) and (
+                            branch.id in func.params
+                        ):
+                            fi.types |= _field_types_from_annotation(
+                                project, mi,
+                                func.annotations.get(branch.id),
+                            )
+
+    # Resolve Condition(self._lock) aliases now that all fields exist.
+    for owner, fname, wrapped in pending_aliases:
+        wrapped_fi = owner.fields.get(wrapped)
+        fi = owner.fields.get(fname)
+        if fi is not None and wrapped_fi is not None and wrapped_fi.site:
+            fi.site = wrapped_fi.site
+            fi.reentrant = wrapped_fi.reentrant
+
+
+def _link_hierarchy(project: Project) -> None:
+    for ci in project.classes.values():
+        for base in ci.bases:
+            resolved = project.resolve_class_name(base, ci.module)
+            if resolved is not None and resolved is not ci:
+                ci.base_quals.append(resolved.qualname)
+                project.subclasses.setdefault(
+                    resolved.qualname, set()
+                ).add(ci.qualname)
+
+
+# ---------------------------------------------------------------------------
+# pass 3: per-function summaries (the held-locks abstract walk)
+# ---------------------------------------------------------------------------
+
+#: env value tokens:  class qualname | "@cb:<slotrepr>" | "@<kind>:<site>"
+def _cb_token(key: tuple) -> str:
+    return "@cb:" + "|".join(str(k) for k in key)
+
+
+def _cb_key(token: str) -> tuple:
+    return tuple(token[len("@cb:"):].split("|"))
+
+
+class _SummaryBuilder:
+    """Walks one function body, emitting Acquire/Call/Access events."""
+
+    def __init__(self, project: Project, func: FuncInfo) -> None:
+        self.p = project
+        self.f = func
+        self.mi = func.module
+        self.owner: Optional[ClassInfo] = (
+            project.classes.get(func.cls) if func.cls else None
+        )
+        self.env: dict = dict(func.closure_env)
+        for p in func.params:
+            types = set(
+                _resolve_annotation(
+                    project, self.mi, func.annotations.get(p)
+                )
+            )
+            types.add(_cb_token(("param", func.qualname, p)))
+            self.env[p] = types
+        if func.params and func.params[0] == "self" and func.cls:
+            self.env["self"] = {func.cls}
+
+    # -- entry ---------------------------------------------------------------
+
+    def run(self) -> None:
+        node = self.f.node
+        if isinstance(node, ast.Lambda):
+            self.eval_expr(node.body, frozenset())
+        else:
+            self.walk_stmts(node.body, frozenset())
+        self.f.summarized = True
+
+    # -- statements ----------------------------------------------------------
+
+    def walk_stmts(self, stmts: Sequence[ast.stmt], held: frozenset) -> None:
+        for stmt in stmts:
+            self.walk_stmt(stmt, held)
+
+    def walk_stmt(self, stmt: ast.stmt, held: frozenset) -> None:
+        if isinstance(stmt, ast.With) or isinstance(stmt, ast.AsyncWith):
+            new_held = held
+            for item in stmt.items:
+                sites = self.lock_sites_of(item.context_expr)
+                if sites:
+                    for site in sites:
+                        if site not in new_held:
+                            self.f.events.append(
+                                AcquireEvent(
+                                    site=site, held=new_held,
+                                    line=item.context_expr.lineno,
+                                )
+                            )
+                            new_held = new_held | {site}
+                else:
+                    self.eval_expr(item.context_expr, held)
+                if item.optional_vars is not None and isinstance(
+                    item.optional_vars, ast.Name
+                ):
+                    self.env[item.optional_vars.id] = set(sites)
+            self.walk_stmts(stmt.body, new_held)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            nested = self.p.functions.get(
+                f"{self.f.qualname}.{stmt.name}"
+            )
+            if nested is not None:
+                nested.closure_env = dict(self.env)
+                self.env[stmt.name] = {
+                    _cb_token(("func", nested.qualname))
+                }
+        elif isinstance(stmt, ast.Assign):
+            vtypes = self.eval_expr(stmt.value, held)
+            for target in stmt.targets:
+                self.bind_target(target, stmt.value, vtypes, held)
+        elif isinstance(stmt, ast.AnnAssign):
+            vtypes = (
+                self.eval_expr(stmt.value, held) if stmt.value else set()
+            )
+            if stmt.annotation is not None:
+                vtypes = vtypes | set(
+                    _resolve_annotation(
+                        self.p, self.mi, ast.unparse(stmt.annotation)
+                    )
+                )
+            self.bind_target(stmt.target, stmt.value, vtypes, held)
+        elif isinstance(stmt, ast.AugAssign):
+            self.eval_expr(stmt.value, held)
+            self.record_access(stmt.target, "w", held, aug=True)
+        elif isinstance(stmt, ast.For):
+            itypes = self.eval_expr(stmt.iter, held)
+            self.bind_loop_target(stmt.target, stmt.iter, itypes)
+            self.walk_stmts(stmt.body, held)
+            self.walk_stmts(stmt.orelse, held)
+        elif isinstance(stmt, ast.While):
+            self.eval_expr(stmt.test, held)
+            self.walk_stmts(stmt.body, held)
+            self.walk_stmts(stmt.orelse, held)
+        elif isinstance(stmt, ast.If):
+            self.eval_expr(stmt.test, held)
+            self.walk_stmts(stmt.body, held)
+            self.walk_stmts(stmt.orelse, held)
+        elif isinstance(stmt, ast.Try):
+            self.walk_stmts(stmt.body, held)
+            for handler in stmt.handlers:
+                self.walk_stmts(handler.body, held)
+            self.walk_stmts(stmt.orelse, held)
+            self.walk_stmts(stmt.finalbody, held)
+        elif isinstance(stmt, (ast.Return, ast.Expr)):
+            if stmt.value is not None:
+                self.eval_expr(stmt.value, held)
+        elif isinstance(stmt, (ast.Raise,)):
+            if stmt.exc is not None:
+                self.eval_expr(stmt.exc, held)
+        elif isinstance(stmt, ast.Delete):
+            for t in stmt.targets:
+                self.record_access(t, "w", held)
+        elif isinstance(stmt, ast.Assert):
+            self.eval_expr(stmt.test, held)
+        # pass/break/continue/import/global: nothing to do
+
+    # -- binding helpers ----------------------------------------------------
+
+    def bind_target(
+        self,
+        target: ast.expr,
+        value: Optional[ast.expr],
+        vtypes: set,
+        held: frozenset,
+    ) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = set(vtypes)
+        elif isinstance(target, ast.Attribute):
+            self.record_access(target, "w", held)
+            # Callable flowing into a field slot (engine.deliver = fn).
+            if value is not None:
+                self.feed_field_slot(target, value)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                # Tuple unpack: propagate callback tokens (heappop rows).
+                self.bind_target(
+                    elt, None,
+                    {t for t in vtypes if t.startswith("@cb:")},
+                    held,
+                )
+        elif isinstance(target, ast.Subscript):
+            self.record_access(target.value, "w", held)
+            if value is not None and isinstance(target.value, ast.Attribute):
+                self.feed_field_slot(target.value, value)
+            self.eval_expr(target.slice, held)
+
+    def bind_loop_target(
+        self, target: ast.expr, iter_expr: ast.expr, itypes: set
+    ) -> None:
+        tokens = {t for t in itypes if t.startswith("@cb:")}
+        if isinstance(target, ast.Name):
+            self.env[target.id] = set(tokens)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                if isinstance(elt, ast.Name):
+                    self.env[elt.id] = set(tokens)
+
+    def module_ref(self, name: str) -> Optional[ModuleInfo]:
+        """Resolve a bare name to a project module (import alias or
+        direct relname) so ``scale.run_cluster_scaling()`` resolves."""
+        if name in self.env:
+            return None
+        cands = []
+        target = self.mi.imports.get(name)
+        if target is not None:
+            cands.append(target)
+        cands.append(name)
+        for t in cands:
+            mi = self.p.modules.get(t)
+            if mi is not None:
+                return mi
+            suffix = "." + t
+            hits = [
+                m for rel, m in self.p.modules.items()
+                if rel.endswith(suffix)
+            ]
+            if len(hits) == 1:
+                return hits[0]
+        return None
+
+    def owner_field_slot(self, attr_expr: ast.Attribute) -> Optional[tuple]:
+        """Slot key for ``<typed expr>.attr`` (a callable-bearing field)."""
+        for cls_q in self.class_types_of(attr_expr.value):
+            return ("field", cls_q, attr_expr.attr)
+        return None
+
+    def feed_field_slot(
+        self, target: ast.Attribute, value: ast.expr
+    ) -> None:
+        key = self.owner_field_slot(target)
+        if key is None:
+            return
+        self.feed_slot(key, value)
+
+    def feed_slot(self, key: tuple, value: ast.expr) -> None:
+        """Record every callable that may flow into ``key``."""
+        for member in self.callables_of(value):
+            if isinstance(member, FuncInfo):
+                self.p.slot(key)["members"].add(member)
+            else:
+                self.p.slot(key)["edges"].add(member)
+
+    # -- expression evaluation ----------------------------------------------
+
+    def class_types_of(self, expr: ast.expr) -> list:
+        return [
+            t for t in self.eval_expr(expr, frozenset(), quiet=True)
+            if not t.startswith("@")
+        ]
+
+    def callables_of(self, expr: ast.expr) -> list:
+        """Concrete FuncInfos / slot keys a callable expression denotes."""
+        out: list = []
+        if isinstance(expr, ast.Lambda):
+            out.append(self.make_lambda(expr))
+        elif isinstance(expr, ast.Name):
+            for tok in self.env.get(expr.id, set()):
+                if tok.startswith("@cb:"):
+                    key = _cb_key(tok)
+                    if key[0] == "func":
+                        fi = self.p.functions.get(key[1])
+                        if fi is not None:
+                            out.append(fi)
+                    else:
+                        out.append(key)
+            mod_fn = self.mi.functions.get(expr.id)
+            if mod_fn is not None:
+                out.append(mod_fn)
+            imported = self.mi.imports.get(expr.id)
+            if imported is not None:
+                fi = self.p.functions.get(imported)
+                if fi is None:
+                    tail = imported.rsplit(".", 1)[-1]
+                    for m in self.p.modules.values():
+                        if tail in m.functions:
+                            out.append(m.functions[tail])
+                            break
+                else:
+                    out.append(fi)
+        elif isinstance(expr, ast.Attribute):
+            if isinstance(expr.value, ast.Name):
+                mod = self.module_ref(expr.value.id)
+                if mod is not None:
+                    fn = mod.functions.get(expr.attr)
+                    if fn is not None:
+                        return [fn]
+            base_types = self.class_types_of(expr.value)
+            resolved = False
+            for cls_q in base_types:
+                fis = self.p.resolve_method(cls_q, expr.attr)
+                if fis:
+                    out.extend(fis)
+                    resolved = True
+                fld = self.p.field(cls_q, expr.attr)
+                if fld is not None:
+                    out.append(("field", cls_q, expr.attr))
+                    resolved = True
+            if not resolved:
+                out.extend(self.p.fallback_methods(expr.attr))
+        return out
+
+    def make_lambda(self, node: ast.Lambda) -> FuncInfo:
+        qual = f"{self.f.qualname}.<lambda:{node.lineno}:{node.col_offset}>"
+        existing = self.p.functions.get(qual)
+        if existing is not None:
+            return existing
+        args = node.args
+        params = [a.arg for a in args.posonlyargs + args.args]
+        fi = FuncInfo(
+            qualname=qual, name="<lambda>", module=self.mi, cls=self.f.cls,
+            node=node, line=node.lineno, params=params,
+            parent=self.f, closure_env=dict(self.env),
+        )
+        self.p.functions[qual] = fi
+        _SummaryBuilder(self.p, fi).run()
+        return fi
+
+    def lock_sites_of(self, expr: ast.expr) -> list:
+        """Lock sites a ``with`` context expression denotes (if any)."""
+        out: list = []
+        if isinstance(expr, ast.Attribute):
+            for cls_q in self.class_types_of(expr.value):
+                fld = self.p.field(cls_q, expr.attr)
+                if fld is not None and fld.kind in ("lock", "sem") and (
+                    fld.site
+                ):
+                    out.append(fld.site)
+            if not out and isinstance(expr.value, ast.Name):
+                g = self.mi.globals.get(_dotted(expr))
+                if g is not None and g.kind == "lock" and g.site:
+                    out.append(g.site)
+        elif isinstance(expr, ast.Name):
+            g = self.mi.globals.get(expr.id)
+            if g is not None and g.kind == "lock" and g.site:
+                out.append(g.site)
+            for tok in self.env.get(expr.id, set()):
+                if tok.startswith("@lock:"):
+                    out.append(tok[len("@lock:"):])
+        return out
+
+    def record_access(
+        self,
+        expr: ast.expr,
+        kind: str,
+        held: frozenset,
+        aug: bool = False,
+    ) -> None:
+        if not isinstance(expr, ast.Attribute):
+            return
+        # Accesses through a locally-constructed object are thread-
+        # confined until the object escapes; attributing them to the
+        # enclosing thread root would be object-insensitive noise
+        # (``tr = Trace(...); tr.channel = ch`` is not a shared write).
+        if isinstance(expr.value, ast.Name) and "@fresh" in self.env.get(
+            expr.value.id, ()
+        ):
+            return
+        for cls_q in self.class_types_of(expr.value):
+            if cls_q in self.p.classes:
+                self.f.events.append(
+                    AccessEvent(
+                        cls=cls_q, attr=expr.attr, kind=kind,
+                        held=held, line=expr.lineno,
+                    )
+                )
+                if aug:
+                    self.f.events.append(
+                        AccessEvent(
+                            cls=cls_q, attr=expr.attr, kind="r",
+                            held=held, line=expr.lineno,
+                        )
+                    )
+
+    def eval_expr(
+        self, expr: ast.expr, held: frozenset, quiet: bool = False
+    ) -> set:
+        """Emit events for ``expr`` and return its type token set."""
+        if isinstance(expr, ast.Name):
+            tokens = set(self.env.get(expr.id, set()))
+            ci = self.p.resolve_class_name(expr.id, self.mi)
+            if ci is not None:
+                tokens.add(f"@class:{ci.qualname}")
+            mod_fn = self.mi.functions.get(expr.id)
+            if mod_fn is not None:
+                tokens.add(_cb_token(("func", mod_fn.qualname)))
+            else:
+                imported = self.mi.imports.get(expr.id)
+                if imported is not None and imported in self.p.functions:
+                    tokens.add(_cb_token(("func", imported)))
+            return tokens
+        if isinstance(expr, ast.Attribute):
+            if not quiet:
+                self.record_access(expr, "r", held)
+            out: set = set()
+            for cls_q in self.class_types_of(expr.value):
+                fld = self.p.field(cls_q, expr.attr)
+                if fld is not None:
+                    out |= set(fld.types)
+                    if fld.kind != "plain":
+                        out.add(f"@{fld.kind}:{fld.site or ''}")
+                    out.add(_cb_token(("field", cls_q, expr.attr)))
+                for m in self.p.resolve_method(cls_q, expr.attr):
+                    out.add(_cb_token(("func", m.qualname)))
+            return out
+        if isinstance(expr, ast.Call):
+            return self.eval_call(expr, held, quiet=quiet)
+        if isinstance(expr, ast.Lambda):
+            return {_cb_token(("func", self.make_lambda(expr).qualname))}
+        if isinstance(expr, ast.IfExp):
+            self.eval_expr(expr.test, held, quiet=quiet)
+            return self.eval_expr(expr.body, held, quiet=quiet) | (
+                self.eval_expr(expr.orelse, held, quiet=quiet)
+            )
+        if isinstance(expr, ast.BoolOp):
+            out = set()
+            for v in expr.values:
+                out |= self.eval_expr(v, held, quiet=quiet)
+            return out
+        if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+            out = set()
+            for elt in expr.elts:
+                out |= self.eval_expr(elt, held, quiet=quiet)
+            return out
+        if isinstance(expr, ast.Dict):
+            # A dict is a callable container too (CLI handler tables):
+            # keep the values' callback tokens so ``handlers[cmd](...)``
+            # still resolves.
+            out = set()
+            for k in expr.keys:
+                if k is not None:
+                    self.eval_expr(k, held, quiet=quiet)
+            for v in expr.values:
+                out |= self.eval_expr(v, held, quiet=quiet)
+            return {t for t in out if t.startswith("@cb:")}
+        if isinstance(expr, ast.Subscript):
+            base = self.eval_expr(expr.value, held, quiet=quiet)
+            self.eval_expr(expr.slice, held, quiet=True)
+            return {t for t in base if t.startswith("@cb:")}
+        if isinstance(expr, ast.Compare):
+            self.eval_expr(expr.left, held, quiet=quiet)
+            for c in expr.comparators:
+                self.eval_expr(c, held, quiet=quiet)
+            return set()
+        if isinstance(expr, ast.BinOp):
+            self.eval_expr(expr.left, held, quiet=quiet)
+            self.eval_expr(expr.right, held, quiet=quiet)
+            return set()
+        if isinstance(expr, ast.UnaryOp):
+            return self.eval_expr(expr.operand, held, quiet=quiet)
+        if isinstance(expr, (ast.ListComp, ast.SetComp, ast.GeneratorExp,
+                             ast.DictComp)):
+            for gen in expr.generators:
+                self.eval_expr(gen.iter, held, quiet=quiet)
+                for cond in gen.ifs:
+                    self.eval_expr(cond, held, quiet=quiet)
+            if isinstance(expr, ast.DictComp):
+                self.eval_expr(expr.key, held, quiet=quiet)
+                self.eval_expr(expr.value, held, quiet=quiet)
+            else:
+                self.eval_expr(expr.elt, held, quiet=quiet)
+            return set()
+        if isinstance(expr, ast.JoinedStr):
+            for v in expr.values:
+                if isinstance(v, ast.FormattedValue):
+                    self.eval_expr(v.value, held, quiet=quiet)
+            return set()
+        if isinstance(expr, ast.Starred):
+            return self.eval_expr(expr.value, held, quiet=quiet)
+        if isinstance(expr, ast.NamedExpr):
+            vtypes = self.eval_expr(expr.value, held, quiet=quiet)
+            if isinstance(expr.target, ast.Name):
+                self.env[expr.target.id] = set(vtypes)
+            return vtypes
+        return set()
+
+    # -- calls ----------------------------------------------------------------
+
+    def eval_call(
+        self, call: ast.Call, held: frozenset, quiet: bool = False
+    ) -> set:
+        # Evaluate arguments first (their own accesses/calls count).
+        for arg in call.args:
+            self.eval_expr(arg, held, quiet=quiet)
+        for kw in call.keywords:
+            self.eval_expr(kw.value, held, quiet=quiet)
+
+        callees: list = []
+        result_types: set = set()
+
+        kind = _construct_kind(call, self.mi)
+        if kind is not None:
+            k, reentrant = kind
+            site = _site_of(call, self.mi)
+            if k == "rng":
+                self.p.rng_sites.add(site)
+                return {"@rng:" + RNG_SITE}
+            if k == "queue":
+                return {"@queue:" + QUEUE_SITE}
+            if k == "thread":
+                self._detect_spawn(call, kind="thread")
+                return {"@thread:" + site}
+            if k in ("lock", "condition", "sem"):
+                tok = "@lock:" + site
+                return {tok}
+            if k == "event":
+                return {"@event:" + site}
+
+        func = call.func
+        fname = (
+            func.attr if isinstance(func, ast.Attribute)
+            else func.id if isinstance(func, ast.Name) else ""
+        )
+        # heapq flows: heappush feeds the heap's registry slot, heappop
+        # yields its contents (the deferred-callback stores, e.g. the
+        # virtual clock's event heap).
+        if fname == "heappush" and call.args and isinstance(
+            call.args[0], ast.Attribute
+        ):
+            key = self.owner_field_slot(call.args[0])
+            if key is not None:
+                for extra in call.args[1:]:
+                    self.feed_slot(key, extra)
+                    if isinstance(extra, (ast.Tuple, ast.List)):
+                        for elt in extra.elts:
+                            self.feed_slot(key, elt)
+        if fname in ("heappop", "heapreplace") and call.args and isinstance(
+            call.args[0], ast.Attribute
+        ):
+            base_tokens = self.eval_expr(call.args[0], held, quiet=True)
+            return {t for t in base_tokens if t.startswith("@cb:")}
+        # Builtin pass-throughs keep callback tokens flowing through
+        # ``list(self._listeners)``-style defensive copies.
+        if isinstance(func, ast.Name) and fname in (
+            "list", "tuple", "set", "sorted", "iter", "reversed", "frozenset"
+        ) and len(call.args) == 1:
+            inner = self.eval_expr(call.args[0], held, quiet=True)
+            return {t for t in inner if t.startswith("@cb:")}
+
+        if isinstance(func, ast.Attribute):
+            meth = func.attr
+            # module-qualified call: scale.run_cluster_scaling(...)
+            if isinstance(func.value, ast.Name):
+                mod = self.module_ref(func.value.id)
+                if mod is not None:
+                    target = mod.functions.get(meth)
+                    if target is not None:
+                        callees.append(target)
+                    tci = mod.classes.get(meth)
+                    if tci is not None:
+                        callees.extend(
+                            self.p.resolve_method(tci.qualname, "__init__")
+                        )
+                        result_types |= {tci.qualname, "@fresh"}
+                        if tci.name.endswith("SupervisedThread"):
+                            self._detect_spawn(call, kind="supervised")
+                    if target is not None or tci is not None:
+                        for fi in [
+                            c for c in callees if isinstance(c, FuncInfo)
+                        ]:
+                            self._feed_params(fi, call)
+                            ret = fi.annotations.get("return")
+                            result_types |= set(
+                                _resolve_annotation(self.p, fi.module, ret)
+                            )
+                        if any(
+                            isinstance(c, FuncInfo) for c in callees
+                        ):
+                            self.f.events.append(
+                                CallEvent(
+                                    callees=[
+                                        c for c in callees
+                                        if isinstance(c, FuncInfo)
+                                    ],
+                                    held=held,
+                                    line=call.lineno,
+                                )
+                            )
+                        return result_types
+            base_types = self.eval_expr(func.value, held, quiet=True)
+            if meth in ("values", "copy", "items"):
+                return {t for t in base_types if t.startswith("@cb:")}
+            resolved = False
+            for tok in base_types:
+                if tok.startswith("@"):
+                    self._special_op(tok, meth, held, call.lineno)
+                    if tok.startswith("@cb:"):
+                        key = _cb_key(tok)
+                        if key[0] == "field" and meth in _MUTATORS:
+                            # self.F.append(fn): feed the registry slot.
+                            for arg in call.args:
+                                self.feed_slot(
+                                    (key[0], key[1], key[2]), arg
+                                )
+                            self._mark_mutation(func.value, held)
+                    continue
+                fis = self.p.resolve_method(tok, meth)
+                if fis:
+                    callees.extend(fis)
+                    resolved = True
+                if tok.startswith("@class:"):
+                    cls_q = tok[len("@class:"):]
+                    init = self.p.resolve_method(cls_q, "__init__")
+                    callees.extend(init)
+                    result_types.add(cls_q)
+                    result_types.add("@fresh")
+                    resolved = True
+            if not resolved and not callees:
+                callees.extend(self.p.fallback_methods(meth))
+            if meth in _MUTATORS and isinstance(func.value, ast.Attribute):
+                self._mark_mutation(func.value, held)
+        elif isinstance(func, ast.Name):
+            # constructor of a project class?
+            ci = self.p.resolve_class_name(func.id, self.mi)
+            if ci is not None:
+                callees.extend(self.p.resolve_method(ci.qualname, "__init__"))
+                result_types.add(ci.qualname)
+                result_types.add("@fresh")
+                if ci.name.endswith("SupervisedThread"):
+                    self._detect_spawn(call, kind="supervised")
+            else:
+                if func.id in ("heappush",) and call.args:
+                    # heappush(self._heap, (..., fn)) feeds the registry.
+                    target = call.args[0]
+                    if isinstance(target, ast.Attribute):
+                        key = self.owner_field_slot(target)
+                        if key is not None:
+                            for extra in call.args[1:]:
+                                self.feed_slot(key, extra)
+                                if isinstance(extra, (ast.Tuple, ast.List)):
+                                    for elt in extra.elts:
+                                        self.feed_slot(key, elt)
+                for member in self.callables_of(func):
+                    if isinstance(member, FuncInfo):
+                        callees.append(member)
+                    else:
+                        callees.extend(self.p.slot_members_late(member))
+        elif isinstance(func, ast.Lambda):
+            callees.append(self.make_lambda(func))
+        else:
+            # Calls through arbitrary expressions — ``handlers[cmd](args)``
+            # dispatch tables, ``(a or b)()`` — resolve via whatever
+            # callback tokens the expression evaluates to.
+            for tok in self.eval_expr(func, held, quiet=True):
+                if tok.startswith("@cb:"):
+                    key = _cb_key(tok)
+                    if key[0] == "func":
+                        fi = self.p.functions.get(key[1])
+                        if fi is not None:
+                            callees.append(fi)
+                    else:
+                        callees.append(key)
+
+        # spawn detection on resolved callees (HealthRegistry.spawn etc.)
+        names = {fi.name for fi in callees}
+        if "spawn" in names:
+            self._detect_spawn(call, kind="supervised", skip_first=True)
+
+        # feed parameter slots of every resolved callee
+        concrete = [c for c in callees if isinstance(c, FuncInfo)]
+        for fi in concrete:
+            self._feed_params(fi, call)
+            ret = fi.annotations.get("return")
+            result_types |= set(_resolve_annotation(self.p, fi.module, ret))
+
+        slot_refs = [c for c in callees if not isinstance(c, FuncInfo)]
+        if isinstance(func, ast.Name) or isinstance(func, ast.Attribute):
+            # calls through callback tokens bound to a bare name
+            target_name = func.id if isinstance(func, ast.Name) else None
+            if target_name is not None:
+                for tok in self.env.get(target_name, set()):
+                    if tok.startswith("@cb:"):
+                        slot_refs.append(_cb_key(tok))
+            elif isinstance(func, ast.Attribute):
+                key = self.owner_field_slot(func)
+                if key is not None:
+                    slot_refs.append(key)
+
+        if concrete or slot_refs:
+            self.f.events.append(
+                CallEvent(
+                    callees=concrete + slot_refs, held=held,
+                    line=call.lineno,
+                )
+            )
+        return result_types
+
+    def _mark_mutation(self, target: ast.expr, held: frozenset) -> None:
+        if isinstance(target, ast.Attribute):
+            self.record_access(target, "w", held)
+
+    def _special_op(
+        self, token: str, meth: str, held: frozenset, line: int
+    ) -> None:
+        """Model a method call on an external synchronized type."""
+        kind, _, site = token[1:].partition(":")
+        acquiring = {
+            "event": _EVENT_ACQUIRING,
+            "queue": _QUEUE_ACQUIRING,
+            "thread": _THREAD_ACQUIRING,
+            "sem": _SYNC_ACQUIRING,
+        }.get(kind)
+        if kind == "rng":
+            acquiring = None  # every Generator method takes the lock
+            if not meth.startswith("__"):
+                self._acquire(RNG_SITE, held, line)
+            return
+        if acquiring is not None and meth in acquiring and site:
+            self._acquire(site, held, line)
+        if kind == "lock" and meth == "acquire" and site:
+            self._acquire(site, held, line)
+
+    def _acquire(self, site: str, held: frozenset, line: int) -> None:
+        if site in held:
+            return
+        self.f.events.append(AcquireEvent(site=site, held=held, line=line))
+
+    def _feed_params(self, callee: FuncInfo, call: ast.Call) -> None:
+        params = list(callee.params)
+        if params and params[0] == "self":
+            params = params[1:]
+        for i, arg in enumerate(call.args):
+            if i < len(params) and self._is_callable_expr(arg):
+                self.feed_slot(("param", callee.qualname, params[i]), arg)
+        for kw in call.keywords:
+            if kw.arg and kw.arg in callee.params and (
+                self._is_callable_expr(kw.value)
+            ):
+                self.feed_slot(("param", callee.qualname, kw.arg), kw.value)
+
+    def _is_callable_expr(self, expr: ast.expr) -> bool:
+        if isinstance(expr, (ast.Lambda,)):
+            return True
+        if isinstance(expr, ast.Attribute):
+            return bool(self.callables_of(expr))
+        if isinstance(expr, ast.Name):
+            return bool(self.callables_of(expr))
+        return False
+
+    def _detect_spawn(
+        self, call: ast.Call, kind: str, skip_first: bool = False
+    ) -> None:
+        """Register thread-root targets from a spawn-shaped call."""
+        target_exprs: list = []
+        for kw in call.keywords:
+            if kw.arg == "target":
+                target_exprs.append(kw.value)
+        if not target_exprs:
+            args = call.args
+            if kind == "thread":
+                # threading.Timer(delay, fn)
+                if len(args) >= 2:
+                    target_exprs.append(args[1])
+            else:
+                # SupervisedThread(name, target) / spawn(name, target)
+                idx = 1
+                if len(args) > idx:
+                    target_exprs.append(args[idx])
+        for expr in target_exprs:
+            for member in self.callables_of(expr):
+                self.p.roots.append(
+                    RootInfo(
+                        func=member if isinstance(member, FuncInfo) else member,
+                        kind=kind, spawn_func=self.f.qualname,
+                        line=call.lineno,
+                    )
+                )
+
+
+# Late slot expansion used while summaries are still being built: the
+# slot tables fill up as functions are walked, so CallEvents keep the
+# slot *keys* and expand them at analysis time (Project.slot_members).
+def _slot_members_late(self: Project, key: tuple) -> list:
+    return []
+
+
+Project.slot_members_late = _slot_members_late  # type: ignore[attr-defined]
+
+
+# ---------------------------------------------------------------------------
+# root discovery (beyond spawn sites)
+# ---------------------------------------------------------------------------
+
+_HTTPD_BASES = frozenset(
+    {"BaseHTTPRequestHandler", "SimpleHTTPRequestHandler"}
+)
+
+
+def _discover_static_roots(project: Project) -> None:
+    for ci in project.classes.values():
+        if any(b in _HTTPD_BASES for b in ci.bases):
+            for name, fi in ci.methods.items():
+                if name.startswith("do_"):
+                    project.roots.append(
+                        RootInfo(
+                            func=fi, kind="httpd",
+                            spawn_func=None, line=fi.line,
+                        )
+                    )
+    for qual, kind in (
+        ("cluster.worker.worker_main", "worker-main"),
+        ("cli.main", "cli-main"),
+    ):
+        fi = project.functions.get(qual)
+        if fi is not None:
+            project.roots.append(
+                RootInfo(func=fi, kind=kind, spawn_func=None, line=fi.line)
+            )
+
+
+def _finalize_roots(project: Project) -> None:
+    """Expand slot-key roots to concrete functions and dedupe."""
+    out: dict = {}
+    for root in project.roots:
+        targets = (
+            [root.func]
+            if isinstance(root.func, FuncInfo)
+            else sorted(
+                project.slot_members(tuple(root.func)),
+                key=lambda f: f.qualname,
+            )
+        )
+        for fi in targets:
+            # The supervision nursery's trampoline is not a user
+            # entrypoint: every target it invokes is rooted at its own
+            # spawn site, so rooting ``_run`` too would double-count
+            # each thread (one thread, two "roots" → phantom races).
+            if fi.name == "_run" and fi.cls and fi.cls.endswith(
+                "SupervisedThread"
+            ):
+                continue
+            key = (fi.qualname, root.kind)
+            if key not in out:
+                out[key] = RootInfo(
+                    func=fi, kind=root.kind,
+                    spawn_func=root.spawn_func, line=root.line,
+                )
+    project.roots = list(out.values())
+
+
+# ---------------------------------------------------------------------------
+# driver
+# ---------------------------------------------------------------------------
+
+
+def build_project(paths: Sequence[Union[str, Path]]) -> Project:
+    """Parse and index every Python file under ``paths``."""
+    files = iter_python_files(paths)
+    project = Project()
+    roots = []
+    for f in files:
+        p = Path(f)
+        for anc in [p] + list(p.parents):
+            if anc.name == "repro":
+                roots.append(anc)
+                break
+    if not roots:
+        # Outside an installed ``repro`` tree (test fixtures, ad-hoc
+        # trees) the given directories themselves are the package
+        # roots, so ``cluster/worker.py`` still names ``cluster.worker``.
+        roots = [Path(p).resolve() for p in paths if Path(p).is_dir()]
+    root_dirs = sorted({r for r in roots}, key=lambda p: len(str(p)))
+
+    for f in files:
+        path = Path(f)
+        source = path.read_text()
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError:
+            continue
+        relname = _module_relname(path, root_dirs or [path.parent])
+        mi = ModuleInfo(
+            path=path, relname=relname, basename=path.name, tree=tree,
+            source_lines=source.splitlines(),
+            imports=_collect_imports(tree),
+        )
+        project.modules[relname] = mi
+        project.basenames.add(path.name)
+
+    for mi in project.modules.values():
+        _index_module(project, mi)
+    _link_hierarchy(project)
+    _collect_fields(project)
+
+    # Summaries: walk outer functions before their nested children so
+    # closures see the enclosing environment.
+    ordered = sorted(
+        project.functions.values(), key=lambda fi: fi.qualname.count(".")
+    )
+    for fi in ordered:
+        if not fi.summarized and not isinstance(fi.node, ast.Lambda):
+            _SummaryBuilder(project, fi).run()
+
+    _discover_static_roots(project)
+    _finalize_roots(project)
+    return project

@@ -1,0 +1,215 @@
+"""Orchestration for ``poem lint --deep``.
+
+Runs the three interprocedural passes over one whole-program model:
+
+* POEM008 — shared-state races (:mod:`repro.lint.racecheck`);
+* POEM009 — static lock-order cycles and, when a runtime report is
+  available, runtime-vs-static consistency
+  (:mod:`repro.lint.staticlocks`);
+* POEM010 — cluster-protocol exhaustiveness
+  (:mod:`repro.lint.protocheck`).
+
+Findings then flow through two filters:
+
+1. the inline suppression protocol (``# poem: ignore[RULE]`` on the
+   flagged line, the line above, or the field-definition scope line);
+2. the **baseline** — a committed JSON file of *fingerprinted* accepted
+   findings, each with a written justification.  Fingerprints are
+   line-number-free (``race:Class.attr:context``, ``cycle:<sorted lock
+   labels>``, ``proto:op:direction``) so refactors that move code do
+   not churn the baseline; CI therefore gates on **new** findings only.
+   Baseline entries that no longer match anything are reported as stale
+   so the file cannot silently rot.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field as dc_field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from .callgraph import Project, build_project
+from .protocheck import protocol_findings
+from .racecheck import race_findings
+from .rules import Finding, is_suppressed
+from .staticlocks import (
+    StaticLockModel,
+    build_lock_model,
+    check_runtime_consistency,
+    static_lock_findings,
+)
+
+__all__ = [
+    "DeepResult",
+    "run_deep",
+    "load_baseline",
+    "DEFAULT_BASELINE_NAME",
+]
+
+#: Default baseline file, looked up upward from the first linted path.
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+
+@dataclass
+class DeepResult:
+    """Outcome of one deep run."""
+
+    #: actionable findings with their fingerprints (not suppressed,
+    #: not baselined)
+    findings: List[Tuple[Finding, str]]
+    #: findings matched by a baseline entry: (finding, fp, justification)
+    baselined: List[Tuple[Finding, str, str]]
+    #: baseline fingerprints that matched nothing this run
+    stale: List[str]
+    #: inline-suppressed finding count
+    suppressed: int
+    model: StaticLockModel
+    project: Project
+    duration: float
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def as_dict(self) -> dict:
+        return {
+            "clean": self.clean,
+            "duration_seconds": round(self.duration, 3),
+            "functions": len(self.project.functions),
+            "thread_roots": sorted(
+                {r.func.qualname for r in self.project.roots}
+            ),
+            "static_lock_edges": len(self.model.edges),
+            "suppressed": self.suppressed,
+            "baselined": [
+                {
+                    "rule": f.rule,
+                    "fingerprint": fp,
+                    "justification": just,
+                }
+                for f, fp, just in self.baselined
+            ],
+            "stale_baseline_entries": list(self.stale),
+            "findings": [
+                dict(f.as_dict(), fingerprint=fp)
+                for f, fp in self.findings
+            ],
+        }
+
+
+def load_baseline(path: Path) -> Dict[str, str]:
+    """fingerprint -> justification.  Raises ValueError on a malformed
+    file (a broken baseline must not silently disable the gate)."""
+    doc = json.loads(path.read_text())
+    if not isinstance(doc, dict) or not isinstance(
+        doc.get("entries"), list
+    ):
+        raise ValueError(
+            f"{path}: baseline must be "
+            '{"version": 1, "entries": [...]}'
+        )
+    out: Dict[str, str] = {}
+    for entry in doc["entries"]:
+        if not isinstance(entry, dict) or "fingerprint" not in entry:
+            raise ValueError(
+                f"{path}: every baseline entry needs a 'fingerprint'"
+            )
+        if not str(entry.get("justification", "")).strip():
+            raise ValueError(
+                f"{path}: entry {entry['fingerprint']!r} has no "
+                "justification — baselines document *why*, or the "
+                "finding gets fixed instead"
+            )
+        out[str(entry["fingerprint"])] = str(entry["justification"])
+    return out
+
+
+def discover_baseline(paths: Sequence[Union[str, Path]]) -> Optional[Path]:
+    """Walk upward from the first linted path looking for the default
+    baseline file (the repo root holds the committed one)."""
+    if not paths:
+        return None
+    start = Path(paths[0]).resolve()
+    if start.is_file():
+        start = start.parent
+    for candidate in [start] + list(start.parents):
+        p = candidate / DEFAULT_BASELINE_NAME
+        if p.is_file():
+            return p
+    return None
+
+
+def _suppression_filter(
+    pairs: List[Tuple[Finding, str]]
+) -> Tuple[List[Tuple[Finding, str]], int]:
+    kept: List[Tuple[Finding, str]] = []
+    dropped = 0
+    lines_cache: Dict[str, List[str]] = {}
+    for finding, fp in pairs:
+        lines = lines_cache.get(finding.path)
+        if lines is None:
+            try:
+                lines = Path(finding.path).read_text().splitlines()
+            except OSError:
+                lines = []
+            lines_cache[finding.path] = lines
+        if is_suppressed(
+            finding.rule, lines, finding.line, finding.scope_line
+        ):
+            dropped += 1
+        else:
+            kept.append((finding, fp))
+    return kept, dropped
+
+
+def run_deep(
+    paths: Sequence[Union[str, Path]],
+    *,
+    baseline: Optional[Path] = None,
+    runtime_edges: Optional[Sequence[Tuple[str, str]]] = None,
+) -> DeepResult:
+    """Build the model, run all three passes, filter, gate."""
+    t0 = time.monotonic()
+    project = build_project(paths)
+    model = build_lock_model(project)
+
+    pairs: List[Tuple[Finding, str]] = []
+    pairs.extend(race_findings(project))
+    pairs.extend(static_lock_findings(project, model))
+    if runtime_edges is not None:
+        pairs.extend(
+            check_runtime_consistency(project, model, runtime_edges)
+        )
+    pairs.extend(protocol_findings(project))
+
+    pairs, suppressed = _suppression_filter(pairs)
+
+    if baseline is None:
+        baseline = discover_baseline(paths)
+    accepted: Dict[str, str] = {}
+    if baseline is not None:
+        accepted = load_baseline(Path(baseline))
+
+    actionable: List[Tuple[Finding, str]] = []
+    baselined: List[Tuple[Finding, str, str]] = []
+    matched: set = set()
+    for finding, fp in pairs:
+        if fp in accepted:
+            matched.add(fp)
+            baselined.append((finding, fp, accepted[fp]))
+        else:
+            actionable.append((finding, fp))
+    stale = sorted(set(accepted) - matched)
+
+    actionable.sort(key=lambda p: (p[0].path, p[0].line, p[0].rule))
+    return DeepResult(
+        findings=actionable,
+        baselined=baselined,
+        stale=stale,
+        suppressed=suppressed,
+        model=model,
+        project=project,
+        duration=time.monotonic() - t0,
+    )

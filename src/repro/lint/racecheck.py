@@ -1,0 +1,222 @@
+"""POEM008: the shared-state race pass.
+
+For every thread entrypoint the call graph discovered (supervised
+threads, timer callbacks, httpd handlers, ``worker_main``, the CLI
+main), walk its reachable code with a *held-locks abstract state* and
+build, per class field, the map
+
+    field -> { (entrypoint, held locks, read|write, location), ... }
+
+An attribute is flagged when it is **written from two or more distinct
+entrypoints in the same process** and the intersection of the held-lock
+sets over all those writes is empty — i.e. no single lock consistently
+guards the writes, so two threads can interleave them.
+
+Held-lock propagation is a meet-over-call-edges fixpoint: a function
+invoked from several sites is analysed under the *intersection* of the
+callers' held sets (the locks guaranteed on every path).  That is the
+sound direction for race detection — it may report a race on a helper
+that every caller happens to guard differently, never miss one because
+a single caller was guarded.
+
+Deliberate exemptions (documented in docs/static-analysis.md):
+
+* writes only in ``__init__``/``__post_init__`` (pre-publication);
+* fields holding ``threading`` primitives, queues, threads, or RNGs
+  (internally synchronized — they *are* the synchronization);
+* frozen dataclasses;
+* unlocked *reads* are not flagged (GIL-atomic snapshot reads of
+  counters are idiomatic here); the write/write rule is the load-
+  bearing one;
+* ``# poem: ignore[POEM008]`` on a flagged write or on the field's
+  definition line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from .callgraph import (
+    AccessEvent,
+    CallEvent,
+    FuncInfo,
+    Project,
+    RootInfo,
+)
+from .rules import Finding
+
+__all__ = ["FieldAccess", "race_findings", "compute_field_accesses"]
+
+_CTOR_NAMES = frozenset({"__init__", "__post_init__", "__new__"})
+_EXEMPT_KINDS = frozenset({"lock", "event", "queue", "thread", "rng", "sem"})
+
+
+@dataclass(frozen=True)
+class FieldAccess:
+    """One access to ``cls.attr`` attributed to a thread entrypoint."""
+
+    root: str  # entrypoint qualname
+    context: str  # "parent" | "worker"
+    func: str  # accessing function qualname
+    path: str
+    line: int
+    kind: str  # "r" | "w"
+    held: FrozenSet[str]
+
+
+def _reachable(project: Project, start: FuncInfo) -> Set[str]:
+    seen: Set[str] = set()
+    work = [start]
+    while work:
+        f = work.pop()
+        if f.qualname in seen:
+            continue
+        seen.add(f.qualname)
+        for ev in f.events:
+            if isinstance(ev, CallEvent):
+                for c in ev.callees:
+                    targets = (
+                        [c] if isinstance(c, FuncInfo)
+                        else project.slot_members(tuple(c))
+                    )
+                    for t in targets:
+                        if t.qualname not in seen:
+                            work.append(t)
+    return seen
+
+
+def _root_contexts(project: Project) -> Dict[str, str]:
+    """Map each root to its process: functions reachable from
+    ``worker_main`` execute in the worker process."""
+    worker_set: Set[str] = set()
+    for root in project.roots:
+        if root.kind == "worker-main":
+            worker_set = _reachable(project, root.func)
+    contexts: Dict[str, str] = {}
+    for root in project.roots:
+        in_worker = root.func.qualname in worker_set or (
+            root.spawn_func is not None and root.spawn_func in worker_set
+        )
+        contexts[root.func.qualname] = "worker" if in_worker else "parent"
+    return contexts
+
+
+def compute_field_accesses(
+    project: Project,
+) -> Dict[Tuple[str, str], List[FieldAccess]]:
+    """The full field -> accesses map, keyed by (class qualname, attr)."""
+    contexts = _root_contexts(project)
+    out: Dict[Tuple[str, str], List[FieldAccess]] = {}
+    for root in project.roots:
+        context = contexts.get(root.func.qualname, "parent")
+        for key, acc in _walk_root_keyed(project, root, context):
+            out.setdefault(key, []).append(acc)
+    return out
+
+
+def _walk_root_keyed(
+    project: Project, root: RootInfo, context: str
+) -> List[Tuple[Tuple[str, str], FieldAccess]]:
+    state: Dict[str, FrozenSet[str]] = {root.func.qualname: frozenset()}
+    work: List[str] = [root.func.qualname]
+    while work:
+        qual = work.pop()
+        func = project.functions.get(qual)
+        if func is None:
+            continue
+        ctx = state[qual]
+        for ev in func.events:
+            if not isinstance(ev, CallEvent):
+                continue
+            call_ctx = ctx | ev.held
+            for c in ev.callees:
+                targets = (
+                    [c] if isinstance(c, FuncInfo)
+                    else project.slot_members(tuple(c))
+                )
+                for t in targets:
+                    prev = state.get(t.qualname)
+                    merged = call_ctx if prev is None else prev & call_ctx
+                    if prev is None or merged != prev:
+                        state[t.qualname] = frozenset(merged)
+                        work.append(t.qualname)
+    out: List[Tuple[Tuple[str, str], FieldAccess]] = []
+    for qual, ctx in state.items():
+        func = project.functions.get(qual)
+        if func is None or func.name in _CTOR_NAMES:
+            continue
+        for ev in func.events:
+            if isinstance(ev, AccessEvent):
+                out.append(
+                    (
+                        (ev.cls, ev.attr),
+                        FieldAccess(
+                            root=root.func.qualname,
+                            context=context,
+                            func=qual,
+                            path=str(func.module.path),
+                            line=ev.line,
+                            kind=ev.kind,
+                            held=frozenset(ctx | ev.held),
+                        ),
+                    )
+                )
+    return out
+
+
+def race_findings(project: Project) -> List[Tuple[Finding, str]]:
+    """POEM008 findings: (finding, fingerprint ``Class.attr``)."""
+    accesses = compute_field_accesses(project)
+    out: List[Tuple[Finding, str]] = []
+    for (cls_q, attr), accs in sorted(accesses.items()):
+        ci = project.classes.get(cls_q)
+        if ci is None or ci.frozen:
+            continue
+        fld = project.field(cls_q, attr)
+        if fld is None:
+            continue  # not an instance field of this class (or inherited
+            # helper attribute the field pass never saw defined)
+        if fld.kind in _EXEMPT_KINDS or fld.init_only_writes:
+            continue
+        for context in ("parent", "worker"):
+            writes = [
+                a for a in accs if a.kind == "w" and a.context == context
+            ]
+            writers = {a.root for a in writes}
+            if len(writers) < 2:
+                continue
+            common = None
+            for a in writes:
+                common = a.held if common is None else (common & a.held)
+            if common:
+                continue
+            unlocked = [a for a in writes if not a.held] or writes
+            site = min(unlocked, key=lambda a: (a.path, a.line))
+            roots = sorted(writers)
+            shown = ", ".join(_short_root(r) for r in roots[:4])
+            if len(roots) > 4:
+                shown += f", +{len(roots) - 4} more"
+            finding = Finding(
+                rule="POEM008",
+                path=site.path,
+                line=site.line,
+                col=0,
+                message=(
+                    f"{_short_cls(cls_q)}.{attr} is written from "
+                    f"{len(roots)} {context}-process entrypoints "
+                    f"({shown}) with no common lock"
+                ),
+                scope_line=fld.line or None,
+            )
+            out.append((finding, f"race:{cls_q}.{attr}:{context}"))
+    return out
+
+
+def _short_cls(qualname: str) -> str:
+    return qualname.rsplit(".", 1)[-1]
+
+
+def _short_root(qualname: str) -> str:
+    parts = qualname.split(".")
+    return ".".join(parts[-2:]) if len(parts) > 1 else qualname

@@ -4,7 +4,9 @@ The JSON document is the artifact the CI ``lint`` job uploads; its
 shape is stable: ``findings`` (list of :meth:`Finding.as_dict` rows),
 ``summary`` (per-rule counts), ``checked_files``, ``clean``, and —
 when ``--runtime`` ran — a ``runtime`` object produced by
-:meth:`repro.lint.runtime.RuntimeReport.as_dict`.
+:meth:`repro.lint.runtime.RuntimeReport.as_dict`, plus — when
+``--deep`` ran — a ``deep`` object produced by
+:meth:`repro.lint.deep.DeepResult.as_dict`.
 """
 
 from __future__ import annotations
@@ -29,6 +31,7 @@ def render_text(
     findings: Sequence[Finding],
     checked_files: int,
     runtime: Optional[Mapping[str, object]] = None,
+    deep: Optional[Mapping[str, object]] = None,
 ) -> str:
     """Human-readable report: one line per finding plus a hint line."""
     out: list[str] = []
@@ -41,6 +44,8 @@ def render_text(
         out.append(f"    hint: {rule.hint}")
     if runtime is not None:
         out.extend(_render_runtime_text(runtime))
+    if deep is not None:
+        out.extend(_render_deep_text(deep))
     if findings:
         parts = ", ".join(
             f"{code}×{n}" for code, n in summarize(findings).items()
@@ -85,10 +90,52 @@ def _render_runtime_text(runtime: Mapping[str, object]) -> list[str]:
     return out
 
 
+def _render_deep_text(deep: Mapping[str, object]) -> list[str]:
+    out = ["", "deep whole-program analysis:"]
+    out.append(
+        "  functions={functions} thread_roots={roots} "
+        "static_lock_edges={edges} ({dur}s)".format(
+            functions=deep.get("functions", 0),
+            roots=len(_seq(deep.get("thread_roots"))),
+            edges=deep.get("static_lock_edges", 0),
+            dur=deep.get("duration_seconds", 0),
+        )
+    )
+    suppressed = deep.get("suppressed", 0)
+    if suppressed:
+        out.append(f"  {suppressed} finding(s) inline-suppressed")
+    baselined = _seq(deep.get("baselined"))
+    if baselined:
+        out.append(f"  {len(baselined)} finding(s) baselined:")
+        for entry in baselined:
+            if isinstance(entry, Mapping):
+                out.append(
+                    "    {fp}: {just}".format(
+                        fp=entry.get("fingerprint"),
+                        just=entry.get("justification"),
+                    )
+                )
+    stale = _seq(deep.get("stale_baseline_entries"))
+    for fp in stale:
+        out.append(
+            f"  STALE baseline entry (matched nothing — remove it): {fp}"
+        )
+    if deep.get("clean", False) and not stale:
+        out.append("  clean: no new findings")
+    return out
+
+
+def _seq(value: object) -> Sequence[object]:
+    if isinstance(value, Sequence) and not isinstance(value, (str, bytes)):
+        return value
+    return []
+
+
 def render_json(
     findings: Sequence[Finding],
     checked_files: int,
     runtime: Optional[Mapping[str, object]] = None,
+    deep: Optional[Mapping[str, object]] = None,
 ) -> str:
     """Machine-readable report (the CI artifact)."""
     doc: dict[str, object] = {
@@ -96,8 +143,11 @@ def render_json(
         "summary": summarize(findings),
         "checked_files": checked_files,
         "clean": not findings
-        and (runtime is None or bool(runtime.get("clean", True))),
+        and (runtime is None or bool(runtime.get("clean", True)))
+        and (deep is None or bool(deep.get("clean", False))),
     }
     if runtime is not None:
         doc["runtime"] = dict(runtime)
+    if deep is not None:
+        doc["deep"] = dict(deep)
     return json.dumps(doc, indent=2, sort_keys=True)

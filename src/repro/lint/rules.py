@@ -98,6 +98,36 @@ RULES: dict[str, Rule] = {
             "unbounded hot-path buffer is how an overloaded server "
             "exhausts memory instead of shedding load",
         ),
+        # -- deep (interprocedural) rules: ``poem lint --deep`` -------------
+        Rule(
+            "POEM008",
+            "shared-state-race",
+            "instance attribute written from ≥2 thread entrypoints with "
+            "no common lock",
+            "guard every write with one lock (document which), confine "
+            "the field to a single thread, or — for a deliberate "
+            "GIL-atomic design — add `# poem: ignore[POEM008]` with a "
+            "justification on the field's definition",
+        ),
+        Rule(
+            "POEM009",
+            "static-lock-cycle",
+            "potential deadlock: cycle in the static lock-order graph "
+            "(or a runtime edge the static model missed)",
+            "impose a global acquisition order (acquire the cycle's "
+            "locks in one fixed order everywhere), or collapse the "
+            "locks; for a runtime-miss finding, teach the static model "
+            "the callback/lock it failed to resolve",
+        ),
+        Rule(
+            "POEM010",
+            "protocol-drift",
+            "cluster control op sent but never dispatched by the peer "
+            "(or dispatched but never sent)",
+            "add the missing dispatch arm (or delete the dead op); the "
+            "parent/worker control protocol must stay exhaustive or "
+            "frames fail as 'unexpected reply' at a distance",
+        ),
     )
 }
 

@@ -1,0 +1,94 @@
+"""SARIF 2.1.0 rendering for ``poem lint --format sarif``.
+
+One run, one driver ("poem-lint"), the full POEM rule catalog as
+``reportingDescriptor``\\ s, and one ``result`` per finding with a
+physical location.  The output validates against the SARIF 2.1.0
+schema consumed by GitHub code scanning, which is the whole point:
+CI uploads it so findings annotate the PR diff.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Optional
+
+from .rules import RULES, Finding
+
+__all__ = ["render_sarif"]
+
+_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _relative_uri(path: str, root: Optional[Path]) -> str:
+    p = Path(path)
+    if root is not None:
+        try:
+            return p.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            pass
+    return p.as_posix()
+
+
+def render_sarif(
+    findings: Iterable[Finding],
+    *,
+    src_root: Optional[Path] = None,
+    tool_version: str = "1.0.0",
+) -> str:
+    """Serialize ``findings`` as a SARIF 2.1.0 log (a JSON string)."""
+    rules = [
+        {
+            "id": rule.code,
+            "name": rule.name,
+            "shortDescription": {"text": rule.summary},
+            "help": {"text": rule.hint},
+            "defaultConfiguration": {"level": "warning"},
+        }
+        for rule in RULES.values()
+    ]
+    results = [
+        {
+            "ruleId": f.rule,
+            "level": "warning",
+            "message": {"text": f"{f.message} (hint: {f.hint})"},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": _relative_uri(f.path, src_root),
+                        },
+                        "region": {
+                            "startLine": max(f.line, 1),
+                            "startColumn": f.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for f in findings
+    ]
+    doc = {
+        "$schema": _SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "poem-lint",
+                        "informationUri": (
+                            "https://example.invalid/poem/docs/"
+                            "static-analysis"
+                        ),
+                        "version": tool_version,
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(doc, indent=2, sort_keys=False)

